@@ -1,0 +1,66 @@
+//! Criterion benches for the cloud substrate: E5 (elastic Monte Carlo),
+//! E7 (image kinds), E8 (policy swap), plus simulator-throughput probes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evop_cloud::{CloudSim, MachineImage, Provider};
+use evop_core::experiments::{e5_elastic_monte_carlo, e7_image_kinds, e8_policy_swap};
+use evop_sim::SimDuration;
+
+fn bench_e5_elastic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_elastic_monte_carlo");
+    group.sample_size(10);
+    for runs in [16usize, 64, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(runs), &runs, |b, &runs| {
+            b.iter(|| e5_elastic_monte_carlo(runs, SimDuration::from_secs(300), 4, 42))
+        });
+    }
+    group.finish();
+}
+
+fn bench_e7_image_kinds(c: &mut Criterion) {
+    c.bench_function("e7_image_kinds", |b| {
+        b.iter(|| e7_image_kinds(5, SimDuration::from_secs(120), 3))
+    });
+}
+
+fn bench_e8_policy_swap(c: &mut Criterion) {
+    c.bench_function("e8_policy_swap", |b| b.iter(|| e8_policy_swap(6, 9)));
+}
+
+/// Raw simulator throughput: how many job events per second the DES kernel
+/// sustains — the capacity ceiling of every experiment above.
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cloudsim_throughput");
+    for jobs in [100usize, 1000, 5000] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let mut sim = CloudSim::new(1);
+                sim.register_provider(Provider::private_openstack("campus", 64));
+                let image = MachineImage::streamlined("img", ["m"]);
+                let id = image.id().clone();
+                sim.register_image(image);
+                let mut nodes = Vec::new();
+                for _ in 0..16 {
+                    nodes.push(sim.launch("campus", "m1.large", &id).unwrap());
+                }
+                for i in 0..jobs {
+                    sim.submit_job(nodes[i % nodes.len()], SimDuration::from_secs(30)).unwrap();
+                }
+                while let Some(t) = sim.next_event_time() {
+                    sim.advance_to(t);
+                }
+                sim.total_cost()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e5_elastic,
+    bench_e7_image_kinds,
+    bench_e8_policy_swap,
+    bench_simulator_throughput
+);
+criterion_main!(benches);

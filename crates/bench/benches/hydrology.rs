@@ -1,0 +1,112 @@
+//! Criterion benches for the hydrology stack: E9 (scenario table), plus
+//! model-execution and pre-processing microbenchmarks — these are the real
+//! compute the paper's instances were sized for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evop_core::experiments::e9_scenarios;
+use evop_data::synthetic::WeatherGenerator;
+use evop_data::{Catchment, Timestamp};
+use evop_models::pet::hamon_series;
+use evop_models::{Forcing, FuseConfig, FuseParams, Topmodel, TopmodelParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn forcing(days: usize) -> (Catchment, Forcing) {
+    let catchment = Catchment::morland();
+    let generator = WeatherGenerator::for_catchment(&catchment, 42);
+    let start = Timestamp::from_ymd(2012, 1, 1);
+    let n = days * 24;
+    let rain = generator.rainfall(start, 3600, n);
+    let temp = generator.temperature(start, 3600, n);
+    let pet = hamon_series(&temp, catchment.outlet().lat());
+    (catchment, Forcing::new(rain, pet))
+}
+
+fn bench_dem_preprocessing(c: &mut Criterion) {
+    let catchment = Catchment::morland();
+    c.bench_function("dem_generate_and_ti_distribution", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let dem = catchment.generate_dem(&mut rng);
+            dem.ti_distribution(16)
+        })
+    });
+}
+
+fn bench_topmodel_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topmodel_run");
+    for days in [30usize, 90, 365] {
+        let (catchment, f) = forcing(days);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let dem = catchment.generate_dem(&mut rng);
+        let model = Topmodel::new(dem.ti_distribution(16), catchment.area_km2());
+        let params = TopmodelParams::default();
+        group.bench_with_input(BenchmarkId::from_parameter(days), &days, |b, _| {
+            b.iter(|| model.run(&params, &f).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fuse_single_vs_ensemble(c: &mut Criterion) {
+    let (catchment, f) = forcing(30);
+    let params = FuseParams::default();
+    let parents: Vec<FuseConfig> =
+        FuseConfig::named_parents().into_iter().map(|(_, cfg)| cfg).collect();
+    let all = FuseConfig::all_combinations();
+
+    let mut group = c.benchmark_group("fuse");
+    group.bench_function("single_structure", |b| {
+        let model = evop_models::FuseModel::new(parents[0], catchment.area_km2());
+        b.iter(|| model.run(&params, &f).unwrap())
+    });
+    group.bench_function("ensemble_4_parents", |b| {
+        b.iter(|| evop_models::fuse::run_ensemble(&parents, &params, &f, catchment.area_km2()).unwrap())
+    });
+    group.bench_function("ensemble_24_structures", |b| {
+        b.iter(|| evop_models::fuse::run_ensemble(&all, &params, &f, catchment.area_km2()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_e9_scenario_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_scenarios");
+    group.sample_size(10);
+    group.bench_function("five_scenarios_two_models", |b| {
+        b.iter(|| e9_scenarios(&Catchment::morland(), 20, 42))
+    });
+    group.finish();
+}
+
+fn bench_monte_carlo_iteration(c: &mut Criterion) {
+    // One calibration sample: the unit of work the elastic fleet of E5
+    // parallelises.
+    let (catchment, f) = forcing(30);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let dem = catchment.generate_dem(&mut rng);
+    let model = Topmodel::new(dem.ti_distribution(16), catchment.area_km2());
+    let truth_q = {
+        let generator = WeatherGenerator::for_catchment(&catchment, 42);
+        let truth = evop_data::synthetic::TruthModel::for_catchment(&catchment, 42);
+        let start = Timestamp::from_ymd(2012, 1, 1);
+        let rain = generator.rainfall(start, 3600, 30 * 24);
+        let temp = generator.temperature(start, 3600, 30 * 24);
+        truth.discharge(&rain, &temp)
+    };
+    c.bench_function("monte_carlo_sample_run_plus_nse", |b| {
+        b.iter(|| {
+            let out = model.run(&TopmodelParams::default(), &f).unwrap();
+            evop_models::objectives::nse(&out.discharge_m3s, &truth_q)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dem_preprocessing,
+    bench_topmodel_run,
+    bench_fuse_single_vs_ensemble,
+    bench_e9_scenario_table,
+    bench_monte_carlo_iteration
+);
+criterion_main!(benches);

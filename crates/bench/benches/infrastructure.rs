@@ -1,0 +1,55 @@
+//! Criterion benches for the infrastructure experiments: E1 (data flow),
+//! E3 (cloudburst), E4 (failure recovery), E6 (flash crowds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evop_cloud::FailureMode;
+use evop_core::experiments::{e1_dataflow, e3_cloudburst, e4_failure_recovery, e6_flash_crowd};
+
+fn bench_e1_dataflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_dataflow");
+    group.sample_size(10);
+    group.bench_function("portal_to_hydrograph", |b| {
+        b.iter(|| e1_dataflow(std::hint::black_box(42)))
+    });
+    group.finish();
+}
+
+fn bench_e3_cloudburst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_cloudburst");
+    group.sample_size(10);
+    for users in [40usize, 120] {
+        group.bench_with_input(BenchmarkId::from_parameter(users), &users, |b, &users| {
+            b.iter(|| e3_cloudburst(users, 42))
+        });
+    }
+    group.finish();
+}
+
+fn bench_e4_failure_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_failure_recovery");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("hang", FailureMode::Hang),
+        ("blackhole", FailureMode::NetworkBlackhole),
+        ("crash", FailureMode::Crash),
+    ] {
+        group.bench_function(name, |b| b.iter(|| e4_failure_recovery(mode, 6, 11)));
+    }
+    group.finish();
+}
+
+fn bench_e6_flash_crowd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_flash_crowd");
+    group.sample_size(10);
+    group.bench_function("crowd_40_warm_4", |b| b.iter(|| e6_flash_crowd(40, 4, 42)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e1_dataflow,
+    bench_e3_cloudburst,
+    bench_e4_failure_recovery,
+    bench_e6_flash_crowd
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches for the portal layer: E10 (multimodal alignment),
+//! E11 (journey cohorts), E12 (asset-map discovery), E13 (workflow
+//! replay), plus rendering microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evop_core::experiments::{e10_multimodal, e11_journeys, e12_run, e12_setup, e13_workflow};
+use evop_data::{TimeSeries, Timestamp};
+use evop_portal::render::{line_chart, sparkline};
+
+fn bench_e10_multimodal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_multimodal");
+    group.sample_size(10);
+    group.bench_function("200_probes", |b| b.iter(|| e10_multimodal(42)));
+    group.finish();
+}
+
+fn bench_e11_journeys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_journeys");
+    for scale in [10usize, 50, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(scale * 6), &scale, |b, &scale| {
+            b.iter(|| e11_journeys(scale, 42))
+        });
+    }
+    group.finish();
+}
+
+fn bench_e12_asset_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_asset_map");
+    for extra in [100usize, 1000, 10_000] {
+        let (map, queries) = e12_setup(extra, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(map.len()), &(), |b, _| {
+            b.iter(|| e12_run(&map, &queries))
+        });
+    }
+    group.finish();
+}
+
+fn bench_e13_workflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_workflow");
+    group.sample_size(10);
+    group.bench_function("compose_execute_replay", |b| b.iter(|| e13_workflow(42)));
+    group.finish();
+}
+
+fn bench_rendering(c: &mut Criterion) {
+    let series = TimeSeries::from_fn(Timestamp::from_ymd(2012, 1, 1), 3600, 24 * 365, |t| {
+        (t.day_of_year() as f64 / 20.0).sin().abs() * 10.0
+    });
+    c.bench_function("render_line_chart_year_hourly", |b| {
+        b.iter(|| line_chart(&series, 72, 14, Some(8.0)))
+    });
+    c.bench_function("render_sparkline_year_hourly", |b| b.iter(|| sparkline(&series, 60)));
+}
+
+criterion_group!(
+    benches,
+    bench_e10_multimodal,
+    bench_e11_journeys,
+    bench_e12_asset_map,
+    bench_e13_workflow,
+    bench_rendering
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benches for the service substrate: E2 (REST vs SOAP), E15
+//! (push vs poll), plus router/XML/WPS microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evop_core::experiments::{e2_rest_vs_soap, e15_push_vs_poll};
+use evop_services::rest::Router;
+use evop_services::wps::{ParamSpec, ParamType, ProcessDescriptor, WpsProcess, WpsServer};
+use evop_services::xml::Element;
+use evop_services::{Method, Request, Response};
+use serde_json::{json, Map, Value};
+
+fn bench_e2_rest_vs_soap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_rest_vs_soap");
+    for workflows in [100usize, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(workflows), &workflows, |b, &w| {
+            b.iter(|| e2_rest_vs_soap(w, 4, 7))
+        });
+    }
+    group.finish();
+}
+
+fn bench_e15_push_vs_poll(c: &mut Criterion) {
+    c.bench_function("e15_push_vs_poll", |b| b.iter(|| e15_push_vs_poll(30, 42)));
+}
+
+fn bench_router_dispatch(c: &mut Criterion) {
+    let mut router = Router::new();
+    for i in 0..20 {
+        router.route(Method::Get, &format!("/collection{i}/{{id}}/items/{{item}}"), |_, p| {
+            Response::ok().text(p.get("id").unwrap_or("?").to_owned())
+        });
+    }
+    let request = Request::get("/collection17/morland/items/42");
+    c.bench_function("router_dispatch_20_routes", |b| {
+        b.iter(|| router.dispatch(std::hint::black_box(&request)))
+    });
+}
+
+fn bench_xml_roundtrip(c: &mut Criterion) {
+    let doc = Element::new("wps:Execute")
+        .attr("service", "WPS")
+        .child(Element::new("ows:Identifier").text("topmodel"))
+        .child(Element::new("wps:DataInputs").children((0..25).map(|i| {
+            Element::new("wps:Input")
+                .child(Element::new("ows:Identifier").text(format!("p{i}")))
+                .child(
+                    Element::new("wps:Data")
+                        .child(Element::new("wps:LiteralData").text(format!("{}", i as f64 * 0.1))),
+                )
+        })));
+    let wire = doc.to_string();
+    c.bench_function("xml_parse_25_inputs", |b| {
+        b.iter(|| Element::parse(std::hint::black_box(&wire)).unwrap())
+    });
+    c.bench_function("xml_serialise_25_inputs", |b| b.iter(|| doc.to_string()));
+}
+
+#[derive(Debug)]
+struct NoopProcess;
+
+impl WpsProcess for NoopProcess {
+    fn descriptor(&self) -> ProcessDescriptor {
+        ProcessDescriptor {
+            identifier: "noop".into(),
+            title: "No-op".into(),
+            abstract_text: "Validation-overhead probe".into(),
+            inputs: vec![
+                ParamSpec::required("x", "x", ParamType::Float { min: Some(0.0), max: Some(1.0) }),
+                ParamSpec::optional("mode", "mode", ParamType::Text, json!("fast")),
+            ],
+            outputs: vec![("y".into(), "echo".into())],
+        }
+    }
+
+    fn execute(&self, inputs: &Map<String, Value>) -> Result<Value, String> {
+        Ok(inputs["x"].clone())
+    }
+}
+
+fn bench_wps_validation_overhead(c: &mut Criterion) {
+    let mut server = WpsServer::new();
+    server.register(NoopProcess);
+    c.bench_function("wps_execute_validation_overhead", |b| {
+        b.iter(|| server.execute("noop", json!({"x": 0.5})).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_e2_rest_vs_soap,
+    bench_e15_push_vs_poll,
+    bench_router_dispatch,
+    bench_xml_roundtrip,
+    bench_wps_validation_overhead
+);
+criterion_main!(benches);

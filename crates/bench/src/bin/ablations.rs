@@ -1,0 +1,113 @@
+//! Prints the ablation tables over the reproduction's design choices.
+//!
+//! ```sh
+//! cargo run -p evop-bench --release --bin ablations
+//! ```
+
+use evop_core::ablations::*;
+use evop_portal::render::table;
+use evop_sim::SimDuration;
+
+const SEED: u64 = 42;
+
+fn main() {
+    println!("======================================================================");
+    println!(" EVOp reproduction — ablation studies (seed {SEED})");
+    println!("======================================================================");
+
+    a1();
+    a2();
+    a3();
+    a4();
+    a5();
+}
+
+fn a1() {
+    println!("\n--- A1: Load Balancer health-check cadence");
+    println!("(detection = interval × consecutive; false positives must stay 0)");
+    let rows = ablate_health_check(
+        &[SimDuration::from_secs(5), SimDuration::from_secs(15), SimDuration::from_secs(60)],
+        &[2, 3, 5],
+        SEED,
+    );
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.check_interval.to_string(),
+                r.consecutive.to_string(),
+                r.detection_delay.map(|d| d.to_string()).unwrap_or_else(|| "—".into()),
+                r.false_positives.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["check interval", "consecutive", "hang detected after", "false positives"], &body)
+    );
+}
+
+fn a2() {
+    println!("\n--- A2: warm-pool size vs time-to-first-result (40-user flash crowd)");
+    let rows = ablate_warm_pool(40, &[0, 2, 4, 8], SEED);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.warm_pool.to_string(),
+                r.median_first_result.to_string(),
+                r.p95_first_result.to_string(),
+                format!("${:.2}", r.cost),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["warm pool", "median TTFR", "p95 TTFR", "cost"], &body));
+}
+
+fn a3() {
+    println!("\n--- A3: private-cloud size vs burst depth (80-user ramp)");
+    let rows = ablate_private_capacity(&[4, 8, 16, 32], SEED);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.private_vcpus.to_string(),
+                r.peak_public_instances.to_string(),
+                format!("${:.2}", r.cost),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["private vCPUs", "peak public instances", "cost"], &body));
+}
+
+fn a4() {
+    println!("\n--- A4: topographic-index discretisation (vs 64-class reference)");
+    let rows = ablate_ti_bins(&[2, 4, 8, 16, 32], SEED);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.bins.to_string(),
+                format!("{:.3}", r.peak_m3s),
+                format!("{:.4}", r.nse_vs_reference),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["TI classes", "peak m³/s", "NSE vs 64-class"], &body));
+}
+
+fn a5() {
+    println!("\n--- A5: replica count vs stateful session loss (one replica killed)");
+    let rows = ablate_replicas(&[2, 3, 4, 8, 16], 1000, SEED);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.replicas.to_string(),
+                format!("{:.1} %", r.soap_loss_rate * 100.0),
+                format!("{:.1} %", r.rest_loss_rate * 100.0),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["replicas", "SOAP sessions lost", "REST workflows lost"], &body));
+}

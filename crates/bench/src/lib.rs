@@ -1,0 +1,8 @@
+//! Benchmark harness for the EVOp reproduction.
+//!
+//! * `cargo bench` runs the Criterion benches (one group per experiment
+//!   family — see `benches/`);
+//! * `cargo run -p evop-bench --release --bin report` regenerates the
+//!   numbers behind every figure/claim in EXPERIMENTS.md in one pass.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,961 @@
+//! The Resource Broker + Load Balancer control loop.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use evop_cloud::{
+    CloudError, CloudSim, ImageId, InstanceId, InstanceState, JobId, Provider, ProviderKind,
+};
+use evop_sim::{SimDuration, SimTime};
+use evop_xcloud::{ComputeService, NodeTemplate, PrivateFirst, XcloudError};
+
+use crate::config::BrokerConfig;
+use crate::library::ModelLibrary;
+use crate::session::{SessionId, SessionRegistry, SessionState, UserSession};
+
+/// Name of the private provider the broker sets up.
+pub const PRIVATE_PROVIDER: &str = "campus";
+/// Name of the public provider the broker sets up.
+pub const PUBLIC_PROVIDER: &str = "aws";
+
+/// Errors from broker operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrokerError {
+    /// The session id is unknown.
+    UnknownSession(SessionId),
+    /// The session has no serving instance (waiting or closed).
+    SessionNotServing(SessionId),
+    /// No library image can serve the requested model.
+    NoImageForModel(String),
+    /// The configuration failed validation.
+    InvalidConfig(String),
+    /// An underlying cloud error.
+    Cloud(CloudError),
+    /// A cross-cloud provisioning error.
+    Provision(XcloudError),
+}
+
+impl fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrokerError::UnknownSession(s) => write!(f, "unknown session: {s}"),
+            BrokerError::SessionNotServing(s) => write!(f, "session not serving: {s}"),
+            BrokerError::NoImageForModel(m) => write!(f, "no library image provides model: {m}"),
+            BrokerError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            BrokerError::Cloud(e) => write!(f, "cloud error: {e}"),
+            BrokerError::Provision(e) => write!(f, "provisioning error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BrokerError::Cloud(e) => Some(e),
+            BrokerError::Provision(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CloudError> for BrokerError {
+    fn from(e: CloudError) -> BrokerError {
+        BrokerError::Cloud(e)
+    }
+}
+
+impl From<XcloudError> for BrokerError {
+    fn from(e: XcloudError) -> BrokerError {
+        BrokerError::Provision(e)
+    }
+}
+
+/// Operationally interesting moments, recorded for the experiment
+/// harnesses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrokerEvent {
+    /// A new instance was provisioned.
+    ScaledUp {
+        /// When.
+        at: SimTime,
+        /// The new instance.
+        instance: InstanceId,
+        /// Its provider.
+        provider: String,
+        /// `true` when this launch overflowed to the public cloud.
+        cloudburst: bool,
+    },
+    /// A surplus instance was drained and terminated.
+    ScaledDown {
+        /// When.
+        at: SimTime,
+        /// The removed instance.
+        instance: InstanceId,
+        /// Its provider.
+        provider: String,
+    },
+    /// Health monitoring declared an instance failed.
+    FailureDetected {
+        /// When (detection, not occurrence).
+        at: SimTime,
+        /// The failed instance.
+        instance: InstanceId,
+        /// The metric signature that triggered detection.
+        signature: String,
+    },
+    /// A session was moved between instances.
+    SessionMigrated {
+        /// When.
+        at: SimTime,
+        /// The session.
+        session: SessionId,
+        /// Where it was.
+        from: InstanceId,
+        /// Where it is now.
+        to: InstanceId,
+    },
+    /// A connection was served instantly from the warm pool.
+    WarmPoolHit {
+        /// When.
+        at: SimTime,
+        /// The session served.
+        session: SessionId,
+    },
+}
+
+impl BrokerEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match self {
+            BrokerEvent::ScaledUp { at, .. }
+            | BrokerEvent::ScaledDown { at, .. }
+            | BrokerEvent::FailureDetected { at, .. }
+            | BrokerEvent::SessionMigrated { at, .. }
+            | BrokerEvent::WarmPoolHit { at, .. } => *at,
+        }
+    }
+}
+
+/// Instance counts by provider kind at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProviderMix {
+    /// Capacity-holding instances on the private cloud.
+    pub private_instances: usize,
+    /// Capacity-holding instances on the public cloud.
+    pub public_instances: usize,
+}
+
+/// The EVOp Infrastructure Manager.
+///
+/// Owns the hybrid cloud, the model library and all user sessions, and runs
+/// the Load Balancer control loop inside [`Broker::advance`].
+#[derive(Debug)]
+pub struct Broker {
+    cloud: CloudSim,
+    compute: ComputeService,
+    library: ModelLibrary,
+    sessions: SessionRegistry,
+    config: BrokerConfig,
+    bad_samples: BTreeMap<InstanceId, u32>,
+    warm: Vec<InstanceId>,
+    events: Vec<BrokerEvent>,
+    default_image: ImageId,
+}
+
+impl Broker {
+    /// Creates a broker with the default model library (streamlined
+    /// TOPMODEL and FUSE bundles calibrated on the Eden catchment, plus a
+    /// generic incubator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation — configuration is programmer
+    /// input.
+    pub fn new(config: BrokerConfig, seed: u64) -> Broker {
+        let mut library = ModelLibrary::new();
+        library.publish_streamlined("topmodel-eden", ["topmodel"], "eden", "hydrology-team");
+        library.publish_streamlined("fuse-eden", ["fuse"], "eden", "hydrology-team");
+        library.publish_incubator("model-incubator", "platform-team");
+        Broker::with_library(config, library, seed)
+    }
+
+    /// Creates a broker with an explicit model library.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation or the library is empty.
+    pub fn with_library(config: BrokerConfig, library: ModelLibrary, seed: u64) -> Broker {
+        config.validate().expect("broker config must be valid");
+        assert!(!library.is_empty(), "model library must not be empty");
+
+        let mut cloud = CloudSim::new(seed);
+        let mut private = Provider::private_openstack(PRIVATE_PROVIDER, config.private_capacity_vcpus);
+        let mut public = Provider::public_aws(PUBLIC_PROVIDER);
+        if let Some(mtbf) = config.instance_mtbf {
+            private = private.with_mtbf(mtbf);
+            public = public.with_mtbf(mtbf);
+            cloud.enable_random_failures(true);
+        }
+        cloud.register_provider(private);
+        cloud.register_provider(public);
+        library.register_all(&mut cloud);
+
+        let mut compute = ComputeService::new(PrivateFirst);
+        compute.register_provider(PRIVATE_PROVIDER);
+        compute.register_provider(PUBLIC_PROVIDER);
+
+        let default_image = library
+            .entries()
+            .find(|e| e.image().kind().is_streamlined())
+            .or_else(|| library.entries().next())
+            .map(|e| e.image().id().clone())
+            .expect("library checked non-empty");
+
+        let mut broker = Broker {
+            cloud,
+            compute,
+            library,
+            sessions: SessionRegistry::new(),
+            config,
+            bad_samples: BTreeMap::new(),
+            warm: Vec::new(),
+            events: Vec::new(),
+            default_image,
+        };
+        broker.replenish_warm_pool();
+        broker
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.cloud.now()
+    }
+
+    /// Read access to the underlying cloud (instances, metrics, costs).
+    pub fn cloud(&self) -> &CloudSim {
+        &self.cloud
+    }
+
+    /// The model library.
+    pub fn library(&self) -> &ModelLibrary {
+        &self.library
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &BrokerConfig {
+        &self.config
+    }
+
+    /// All recorded operational events, oldest first.
+    pub fn events(&self) -> &[BrokerEvent] {
+        &self.events
+    }
+
+    /// A session by id.
+    pub fn session(&self, id: SessionId) -> Option<&UserSession> {
+        self.sessions.get(id)
+    }
+
+    /// All sessions.
+    pub fn sessions(&self) -> impl Iterator<Item = &UserSession> {
+        self.sessions.iter()
+    }
+
+    /// Number of sessions in a state.
+    pub fn session_count(&self, state: SessionState) -> usize {
+        self.sessions.count(state)
+    }
+
+    /// Total accumulated cost.
+    pub fn total_cost(&self) -> f64 {
+        self.cloud.total_cost()
+    }
+
+    /// Accumulated cost per provider.
+    pub fn cost_by_provider(&self) -> BTreeMap<String, f64> {
+        self.cloud.cost_by_provider()
+    }
+
+    /// Capacity-holding instances by provider kind.
+    pub fn provider_mix(&self) -> ProviderMix {
+        let mut mix = ProviderMix::default();
+        for inst in self.cloud.instances().filter(|i| i.occupies_capacity()) {
+            match self.cloud.provider(inst.provider()).map(Provider::kind) {
+                Some(ProviderKind::Private) => mix.private_instances += 1,
+                Some(ProviderKind::Public) => mix.public_instances += 1,
+                None => {}
+            }
+        }
+        mix
+    }
+
+    // ------------------------------------------------------------------
+    // Resource Broker: user-facing operations.
+    // ------------------------------------------------------------------
+
+    /// Handles a user opening a modelling widget: creates a session and
+    /// binds it to a suitable instance (existing, warm, or newly
+    /// provisioned), pushing the address over the session's duplex channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::NoImageForModel`] when the library cannot
+    /// serve the model at all. Capacity shortfalls do not error: the session
+    /// stays `Waiting` and is bound by a later control-loop pass.
+    pub fn connect(&mut self, user: &str, model: &str) -> Result<SessionId, BrokerError> {
+        let image = self
+            .library
+            .image_for_model(model, self.config.allow_incubator_fallback)
+            .ok_or_else(|| BrokerError::NoImageForModel(model.to_owned()))?;
+        let session = self.sessions.open(user, model, self.cloud.now());
+        self.try_bind(session, &image);
+        Ok(session)
+    }
+
+    /// Closes a session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::UnknownSession`] for a bad id.
+    pub fn disconnect(&mut self, id: SessionId) -> Result<(), BrokerError> {
+        self.sessions
+            .get_mut(id)
+            .ok_or(BrokerError::UnknownSession(id))?
+            .close();
+        Ok(())
+    }
+
+    /// Submits a model run on behalf of a session to its serving instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::SessionNotServing`] when the session has no
+    /// instance, or a [`BrokerError::Cloud`] error from job submission.
+    pub fn run_model(&mut self, id: SessionId, work: SimDuration) -> Result<JobId, BrokerError> {
+        let (instance, model) = {
+            let session = self.sessions.get(id).ok_or(BrokerError::UnknownSession(id))?;
+            let instance = session.instance().ok_or(BrokerError::SessionNotServing(id))?;
+            (instance, session.model().to_owned())
+        };
+        Ok(self.cloud.run_model(instance, &model, work)?)
+    }
+
+    /// Injects an instance failure into the underlying cloud — the fault
+    /// hook used by the recovery experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::Cloud`] for an unknown instance.
+    pub fn inject_failure(
+        &mut self,
+        instance: InstanceId,
+        mode: evop_cloud::FailureMode,
+    ) -> Result<(), BrokerError> {
+        Ok(self.cloud.inject_failure(instance, mode)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Load Balancer: the control loop.
+    // ------------------------------------------------------------------
+
+    /// Advances virtual time, running the Load Balancer at every check
+    /// interval: health monitoring, failure recovery, waiting-session
+    /// binding, scale-up (with cloudbursting) and scale-down (with
+    /// migration back to the private cloud).
+    pub fn advance(&mut self, delta: SimDuration) {
+        let target = self.cloud.now() + delta;
+        loop {
+            let next_check = self.cloud.now() + self.config.check_interval;
+            if next_check > target {
+                break;
+            }
+            self.cloud.advance_to(next_check);
+            self.control_loop();
+        }
+        self.cloud.advance_to(target);
+    }
+
+    fn control_loop(&mut self) {
+        self.health_check();
+        self.bind_waiting();
+        self.scale_up_if_needed();
+        self.scale_down_if_surplus();
+        self.rebalance_sessions();
+        self.replenish_warm_pool();
+    }
+
+    /// "LB also monitors the state of active user sessions and redistributes
+    /// users on running cloud instances accordingly" (§IV-D): when the load
+    /// gap between the fullest and emptiest serving instance exceeds two
+    /// slots, one session moves from the former to the latter.
+    fn rebalance_sessions(&mut self) {
+        let serving = self.serving_instances();
+        if serving.len() < 2 {
+            return;
+        }
+        let mut loads: Vec<(InstanceId, usize)> =
+            serving.iter().map(|&id| (id, self.sessions.load(id))).collect();
+        loads.sort_by_key(|&(_, load)| load);
+        let (emptiest, min_load) = loads[0];
+        let (fullest, max_load) = *loads.last().expect("len >= 2");
+        if max_load <= min_load + 2 {
+            return;
+        }
+        let Some(&session) = self.sessions.on_instance(fullest).first() else { return };
+        let now = self.cloud.now();
+        if let Some(s) = self.sessions.get_mut(session) {
+            s.assign(emptiest, now, true);
+        }
+        self.events.push(BrokerEvent::SessionMigrated {
+            at: now,
+            session,
+            from: fullest,
+            to: emptiest,
+        });
+    }
+
+    /// Samples metrics of every monitored instance and reacts to the
+    /// paper's failure signatures.
+    fn health_check(&mut self) {
+        let now = self.cloud.now();
+        let monitored: Vec<InstanceId> = self
+            .cloud
+            .instances()
+            .filter(|i| i.occupies_capacity() && !matches!(i.state(), InstanceState::Pending { .. }))
+            .map(|i| i.id())
+            .collect();
+
+        let mut to_replace: Vec<(InstanceId, String)> = Vec::new();
+        for id in monitored {
+            let Ok(m) = self.cloud.metrics(id) else { continue };
+            // A busy-but-healthy instance also shows 100 % CPU; what marks a
+            // failure is saturation *without any responses leaving*.
+            let signature = if m.net_in_kbps == 0.0 && m.net_out_kbps == 0.0 {
+                Some("no network response")
+            } else if m.cpu >= 0.999 && m.net_out_kbps == 0.0 {
+                Some("sustained CPU saturation")
+            } else if m.net_in_kbps > 0.0 && m.net_out_kbps == 0.0 {
+                Some("inbound traffic with zero outbound")
+            } else {
+                None
+            };
+            match signature {
+                Some(sig) => {
+                    let bad = self.bad_samples.entry(id).or_insert(0);
+                    *bad += 1;
+                    if *bad >= self.config.consecutive_bad_samples {
+                        to_replace.push((id, sig.to_owned()));
+                    }
+                }
+                None => {
+                    self.bad_samples.remove(&id);
+                }
+            }
+        }
+
+        for (bad, signature) in to_replace {
+            self.bad_samples.remove(&bad);
+            self.events.push(BrokerEvent::FailureDetected {
+                at: now,
+                instance: bad,
+                signature,
+            });
+            self.replace_instance(bad);
+        }
+    }
+
+    /// Starts a replacement for a failed instance, migrates its sessions and
+    /// terminates it.
+    fn replace_instance(&mut self, bad: InstanceId) {
+        let image = self
+            .cloud
+            .instance(bad)
+            .map(|i| i.image().id().clone())
+            .unwrap_or_else(|| self.default_image.clone());
+        let affected = self.sessions.on_instance(bad);
+
+        // Prefer an existing instance with room; otherwise provision.
+        let replacement = self
+            .pick_instance_with_room(affected.len(), Some(bad))
+            .or_else(|| self.provision(&image).ok());
+
+        let now = self.cloud.now();
+        if let Some(to) = replacement {
+            for session in affected {
+                if let Some(s) = self.sessions.get_mut(session) {
+                    s.assign(to, now, true);
+                }
+                self.events.push(BrokerEvent::SessionMigrated { at: now, session, from: bad, to });
+            }
+        }
+        let _ = self.cloud.terminate(bad);
+        self.warm.retain(|&w| w != bad);
+    }
+
+    /// Binds sessions still waiting for an instance.
+    fn bind_waiting(&mut self) {
+        for session in self.sessions.waiting() {
+            let Some(model) = self.sessions.get(session).map(|s| s.model().to_owned()) else {
+                continue;
+            };
+            if let Some(image) = self
+                .library
+                .image_for_model(&model, self.config.allow_incubator_fallback)
+            {
+                self.try_bind(session, &image);
+            }
+        }
+    }
+
+    /// Binds one session to the best available instance, using the warm
+    /// pool or provisioning when needed.
+    fn try_bind(&mut self, session: SessionId, image: &ImageId) {
+        let now = self.cloud.now();
+        if let Some(existing) = self.pick_instance_with_room(1, None) {
+            if let Some(s) = self.sessions.get_mut(session) {
+                s.assign(existing, now, false);
+            }
+            return;
+        }
+        if let Some(warm) = self.take_warm() {
+            if let Some(s) = self.sessions.get_mut(session) {
+                s.assign(warm, now, false);
+            }
+            self.events.push(BrokerEvent::WarmPoolHit { at: now, session });
+            return;
+        }
+        if let Ok(new_instance) = self.provision(image) {
+            if let Some(s) = self.sessions.get_mut(session) {
+                s.assign(new_instance, now, false);
+            }
+        }
+        // On provisioning failure the session stays Waiting; the next
+        // control-loop pass retries.
+    }
+
+    /// The serving instance (not warm, not failed) with the most free
+    /// session slots, if any has at least `needed` free.
+    fn pick_instance_with_room(&self, needed: usize, exclude: Option<InstanceId>) -> Option<InstanceId> {
+        let slots = self.config.slots_per_instance() as usize;
+        self.cloud
+            .instances()
+            .filter(|i| {
+                i.occupies_capacity()
+                    && !matches!(i.state(), InstanceState::Failed { .. })
+                    && Some(i.id()) != exclude
+                    && !self.warm.contains(&i.id())
+            })
+            .map(|i| (i.id(), slots.saturating_sub(self.sessions.load(i.id()))))
+            .filter(|&(_, free)| free >= needed)
+            .max_by_key(|&(_, free)| free)
+            .map(|(id, _)| id)
+    }
+
+    fn take_warm(&mut self) -> Option<InstanceId> {
+        while let Some(id) = self.warm.pop() {
+            if self
+                .cloud
+                .instance(id)
+                .is_some_and(|i| i.occupies_capacity() && !matches!(i.state(), InstanceState::Failed { .. }))
+            {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    fn provision(&mut self, image: &ImageId) -> Result<InstanceId, BrokerError> {
+        let template = NodeTemplate::new(self.config.instance_type.clone(), image.clone());
+        let id = self.compute.provision(&mut self.cloud, &template)?;
+        let provider = self
+            .cloud
+            .instance(id)
+            .map(|i| i.provider().to_owned())
+            .unwrap_or_default();
+        let cloudburst = self.cloud.provider(&provider).map(Provider::kind) == Some(ProviderKind::Public);
+        self.events.push(BrokerEvent::ScaledUp {
+            at: self.cloud.now(),
+            instance: id,
+            provider,
+            cloudburst,
+        });
+        Ok(id)
+    }
+
+    /// Provisions when free serving slots drop below the headroom. Only
+    /// acts under demand — an idle system keeps (at most) its warm pool.
+    fn scale_up_if_needed(&mut self) {
+        let demand =
+            self.sessions.count(SessionState::Active) + self.sessions.count(SessionState::Waiting);
+        if demand == 0 {
+            return;
+        }
+        let free = self.total_free_slots();
+        if free < self.config.scale_up_headroom_slots as usize {
+            let image = self.default_image.clone();
+            let _ = self.provision(&image);
+        }
+    }
+
+    /// Drains and removes a surplus instance, public first — "This is
+    /// reversed upon detecting underuse, migrating users back to use private
+    /// instances" (paper §IV-D).
+    fn scale_down_if_surplus(&mut self) {
+        let free = self.total_free_slots();
+        if free <= self.config.scale_down_surplus_slots as usize {
+            return;
+        }
+        // Candidate: the least-loaded instance, public preferred.
+        let candidate = self
+            .serving_instances()
+            .into_iter()
+            .map(|id| {
+                let is_public = self
+                    .cloud
+                    .instance(id)
+                    .and_then(|i| self.cloud.provider(i.provider()))
+                    .map(|p| p.kind() == ProviderKind::Public)
+                    .unwrap_or(false);
+                (id, is_public, self.sessions.load(id))
+            })
+            .min_by_key(|&(_, is_public, load)| (std::cmp::Reverse(is_public), load));
+
+        let Some((victim, _, load)) = candidate else { return };
+        if self.serving_instances().len() <= 1 {
+            return; // never drain the last instance
+        }
+        // Everyone it serves must fit elsewhere.
+        let room_elsewhere: usize = self
+            .serving_instances()
+            .iter()
+            .filter(|&&id| id != victim)
+            .map(|&id| {
+                (self.config.slots_per_instance() as usize).saturating_sub(self.sessions.load(id))
+            })
+            .sum();
+        if room_elsewhere < load {
+            return;
+        }
+
+        let now = self.cloud.now();
+        for session in self.sessions.on_instance(victim) {
+            if let Some(to) = self.pick_instance_with_room(1, Some(victim)) {
+                if let Some(s) = self.sessions.get_mut(session) {
+                    s.assign(to, now, true);
+                }
+                self.events.push(BrokerEvent::SessionMigrated { at: now, session, from: victim, to });
+            }
+        }
+        let provider = self
+            .cloud
+            .instance(victim)
+            .map(|i| i.provider().to_owned())
+            .unwrap_or_default();
+        let _ = self.cloud.terminate(victim);
+        self.events.push(BrokerEvent::ScaledDown { at: now, instance: victim, provider });
+    }
+
+    fn replenish_warm_pool(&mut self) {
+        self.warm.retain(|&id| {
+            self.cloud
+                .instance(id)
+                .is_some_and(|i| i.occupies_capacity() && !matches!(i.state(), InstanceState::Failed { .. }))
+        });
+        // Warm instances stranded on the public cloud during a burst come
+        // home once the private cloud has room again (idle public capacity
+        // is pure cost).
+        let itype_vcpus = evop_cloud::InstanceType::lookup(&self.config.instance_type)
+            .map(|t| t.vcpus())
+            .unwrap_or(1);
+        let stranded: Vec<InstanceId> = self
+            .warm
+            .iter()
+            .copied()
+            .filter(|&id| {
+                self.cloud
+                    .instance(id)
+                    .and_then(|i| self.cloud.provider(i.provider()))
+                    .map(|p| p.kind() == ProviderKind::Public)
+                    .unwrap_or(false)
+            })
+            .collect();
+        for id in stranded {
+            if self.cloud.free_vcpus(PRIVATE_PROVIDER).unwrap_or(0) >= itype_vcpus {
+                let _ = self.cloud.terminate(id);
+                self.warm.retain(|&w| w != id);
+            }
+        }
+        while self.warm.len() < self.config.warm_pool_size as usize {
+            let image = self.default_image.clone();
+            match self.provision(&image) {
+                Ok(id) => self.warm.push(id),
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Instances serving sessions (capacity-holding, not failed, not warm).
+    fn serving_instances(&self) -> Vec<InstanceId> {
+        self.cloud
+            .instances()
+            .filter(|i| {
+                i.occupies_capacity()
+                    && !matches!(i.state(), InstanceState::Failed { .. })
+                    && !self.warm.contains(&i.id())
+            })
+            .map(|i| i.id())
+            .collect()
+    }
+
+    fn total_free_slots(&self) -> usize {
+        let slots = self.config.slots_per_instance() as usize;
+        self.serving_instances()
+            .iter()
+            .map(|&id| slots.saturating_sub(self.sessions.load(id)))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_cloud::FailureMode;
+
+    fn small_broker() -> Broker {
+        // 4 private vCPUs of m1.medium (2 vCPU) = 2 private instances max;
+        // 8 sessions per instance.
+        let config = BrokerConfig {
+            private_capacity_vcpus: 4,
+            scale_up_headroom_slots: 1,
+            scale_down_surplus_slots: 12,
+            ..BrokerConfig::default()
+        };
+        Broker::new(config, 42)
+    }
+
+    #[test]
+    fn connect_provisions_and_binds() {
+        let mut broker = small_broker();
+        let s = broker.connect("alice", "topmodel").unwrap();
+        assert_eq!(broker.session(s).unwrap().state(), SessionState::Active);
+        let inst = broker.session(s).unwrap().instance().unwrap();
+        assert_eq!(broker.cloud().instance(inst).unwrap().provider(), PRIVATE_PROVIDER);
+        // The client got a push update with its instance address.
+        let update = broker.session(s).unwrap().client_channel().try_recv().unwrap();
+        assert_eq!(update.topic(), "session-update");
+    }
+
+    #[test]
+    fn sessions_pack_onto_existing_instances() {
+        let mut broker = small_broker();
+        let first = broker.connect("u0", "topmodel").unwrap();
+        let inst = broker.session(first).unwrap().instance().unwrap();
+        for i in 1..8 {
+            let s = broker.connect(&format!("u{i}"), "topmodel").unwrap();
+            assert_eq!(broker.session(s).unwrap().instance(), Some(inst), "session {i} should pack");
+        }
+        // The 9th exceeds the 8-slot instance: a second one is provisioned.
+        let ninth = broker.connect("u8", "topmodel").unwrap();
+        assert_ne!(broker.session(ninth).unwrap().instance(), Some(inst));
+    }
+
+    #[test]
+    fn cloudburst_on_private_saturation_and_retreat() {
+        let mut broker = small_broker();
+        // Fill private: 2 instances × 8 slots = 16 sessions, then overflow.
+        let mut sessions = Vec::new();
+        for i in 0..24 {
+            sessions.push(broker.connect(&format!("u{i}"), "topmodel").unwrap());
+        }
+        broker.advance(SimDuration::from_secs(120));
+        let mix = broker.provider_mix();
+        assert!(mix.public_instances >= 1, "must have burst: {mix:?}");
+        assert!(broker.events().iter().any(|e| matches!(
+            e,
+            BrokerEvent::ScaledUp { cloudburst: true, .. }
+        )));
+
+        // Load subsides: disconnect everyone; the broker retreats from the
+        // public cloud.
+        for s in sessions {
+            broker.disconnect(s).unwrap();
+        }
+        broker.advance(SimDuration::from_secs(600));
+        let mix = broker.provider_mix();
+        assert_eq!(mix.public_instances, 0, "public instances must retreat: {mix:?}");
+        assert!(broker.events().iter().any(|e| matches!(e, BrokerEvent::ScaledDown { .. })));
+    }
+
+    #[test]
+    fn failure_detection_and_migration() {
+        let mut broker = small_broker();
+        let s = broker.connect("alice", "topmodel").unwrap();
+        let bad = broker.session(s).unwrap().instance().unwrap();
+        broker.advance(SimDuration::from_secs(200)); // let it boot
+
+        // Keep it busy so the blackhole signature is observable, then break it.
+        broker.run_model(s, SimDuration::from_secs(3600)).unwrap();
+        broker
+            .cloud
+            .inject_failure(bad, FailureMode::NetworkBlackhole)
+            .unwrap();
+        broker.advance(SimDuration::from_secs(300));
+
+        let detected = broker
+            .events()
+            .iter()
+            .any(|e| matches!(e, BrokerEvent::FailureDetected { instance, .. } if *instance == bad));
+        assert!(detected, "failure must be detected: {:?}", broker.events());
+
+        let session = broker.session(s).unwrap();
+        assert_eq!(session.state(), SessionState::Active, "session survives");
+        assert_ne!(session.instance(), Some(bad), "session must be migrated");
+        assert_eq!(session.migrations(), 1);
+        // The replaced instance is terminated.
+        assert!(!broker.cloud().instance(bad).unwrap().occupies_capacity());
+    }
+
+    #[test]
+    fn hang_failure_is_detected_via_cpu_signature() {
+        let mut broker = small_broker();
+        let s = broker.connect("bob", "topmodel").unwrap();
+        let bad = broker.session(s).unwrap().instance().unwrap();
+        broker.advance(SimDuration::from_secs(200));
+        broker.cloud.inject_failure(bad, FailureMode::Hang).unwrap();
+        broker.advance(SimDuration::from_secs(120));
+        let sig = broker.events().iter().find_map(|e| match e {
+            BrokerEvent::FailureDetected { instance, signature, .. } if *instance == bad => {
+                Some(signature.clone())
+            }
+            _ => None,
+        });
+        assert_eq!(sig.as_deref(), Some("sustained CPU saturation"));
+    }
+
+    #[test]
+    fn detection_respects_consecutive_sample_threshold() {
+        let mut broker = small_broker();
+        let s = broker.connect("carol", "topmodel").unwrap();
+        let bad = broker.session(s).unwrap().instance().unwrap();
+        broker.advance(SimDuration::from_secs(200));
+        broker.cloud.inject_failure(bad, FailureMode::Hang).unwrap();
+        // Fewer than consecutive_bad_samples × check_interval: not yet.
+        broker.advance(SimDuration::from_secs(31));
+        assert!(!broker
+            .events()
+            .iter()
+            .any(|e| matches!(e, BrokerEvent::FailureDetected { .. })));
+    }
+
+    #[test]
+    fn warm_pool_serves_instantly() {
+        let config = BrokerConfig {
+            warm_pool_size: 2,
+            private_capacity_vcpus: 8,
+            ..BrokerConfig::default()
+        };
+        let mut broker = Broker::new(config, 7);
+        broker.advance(SimDuration::from_secs(200)); // warm pool boots
+
+        // Saturate nothing — the first connect normally provisions; with a
+        // warm pool it can bind a pre-booted instance when no serving
+        // instance exists.
+        let s = broker.connect("dave", "topmodel").unwrap();
+        let hit = broker
+            .events()
+            .iter()
+            .any(|e| matches!(e, BrokerEvent::WarmPoolHit { session, .. } if *session == s));
+        assert!(hit, "expected a warm-pool hit: {:?}", broker.events());
+        let inst = broker.session(s).unwrap().instance().unwrap();
+        assert!(broker.cloud().instance(inst).unwrap().is_running());
+    }
+
+    #[test]
+    fn run_model_executes_on_assigned_instance() {
+        let mut broker = small_broker();
+        let s = broker.connect("erin", "topmodel").unwrap();
+        broker.advance(SimDuration::from_secs(200));
+        let job = broker.run_model(s, SimDuration::from_secs(30)).unwrap();
+        broker.advance(SimDuration::from_secs(120));
+        let inst = broker.session(s).unwrap().instance().unwrap();
+        let job = broker.cloud().instance(inst).unwrap().job(job).unwrap();
+        assert!(job.latency().is_some(), "model run must complete");
+    }
+
+    #[test]
+    fn unknown_model_is_rejected_when_incubator_disabled() {
+        let config = BrokerConfig { allow_incubator_fallback: false, ..BrokerConfig::default() };
+        let mut broker = Broker::new(config, 1);
+        assert!(matches!(
+            broker.connect("f", "swat"),
+            Err(BrokerError::NoImageForModel(_))
+        ));
+        // With fallback, the incubator takes it.
+        let mut broker = Broker::new(BrokerConfig::default(), 1);
+        assert!(broker.connect("f", "swat").is_ok());
+    }
+
+    #[test]
+    fn errors_for_bad_sessions() {
+        let mut broker = small_broker();
+        assert!(matches!(
+            broker.run_model(SessionId(99), SimDuration::from_secs(1)),
+            Err(BrokerError::UnknownSession(_))
+        ));
+        let s = broker.connect("g", "topmodel").unwrap();
+        broker.disconnect(s).unwrap();
+        assert!(matches!(
+            broker.run_model(s, SimDuration::from_secs(1)),
+            Err(BrokerError::SessionNotServing(_))
+        ));
+    }
+
+    #[test]
+    fn load_is_rebalanced_across_instances() {
+        // Two instances: pack 8 sessions onto the first, then force a second
+        // instance via a ninth session and close most of its load — the
+        // control loop should spread sessions out again.
+        let mut broker = small_broker();
+        let mut first_batch = Vec::new();
+        for i in 0..8 {
+            first_batch.push(broker.connect(&format!("u{i}"), "topmodel").unwrap());
+        }
+        let ninth = broker.connect("u8", "topmodel").unwrap();
+        let second_instance = broker.session(ninth).unwrap().instance().unwrap();
+        broker.advance(SimDuration::from_secs(200));
+
+        // Loads: 8 vs 1. After a few control ticks the gap shrinks below 3.
+        broker.advance(SimDuration::from_secs(300));
+        let load_of = |broker: &Broker, inst| {
+            broker
+                .sessions()
+                .filter(|s| s.instance() == Some(inst) && s.state() == SessionState::Active)
+                .count()
+        };
+        let first_instance = broker.session(first_batch[0]).unwrap().instance().unwrap();
+        let (a, b) = (
+            load_of(&broker, first_instance),
+            load_of(&broker, second_instance),
+        );
+        // Sessions may themselves have moved; measure the true spread.
+        let max = a.max(b);
+        let min = a.min(b);
+        assert!(max - min <= 2, "loads should converge, got {a} vs {b}");
+        assert!(broker
+            .events()
+            .iter()
+            .any(|e| matches!(e, BrokerEvent::SessionMigrated { .. })));
+    }
+
+    #[test]
+    fn costs_accrue_and_split_by_provider() {
+        let mut broker = small_broker();
+        for i in 0..20 {
+            broker.connect(&format!("u{i}"), "topmodel").unwrap();
+        }
+        broker.advance(SimDuration::from_secs(3600));
+        let by = broker.cost_by_provider();
+        assert!(broker.total_cost() > 0.0);
+        assert!(by.contains_key(PRIVATE_PROVIDER));
+    }
+}

@@ -1,0 +1,121 @@
+//! Broker configuration.
+
+use evop_sim::SimDuration;
+
+/// Tunables for the Infrastructure Manager.
+///
+/// The defaults reproduce the paper's deployment: a modest private OpenStack
+/// cloud, an unbounded AWS account, private-first placement with
+/// cloudbursting, and health checks driving failure recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrokerConfig {
+    /// Total vCPUs of the private cloud.
+    pub private_capacity_vcpus: u32,
+    /// Flavour used for model-serving instances.
+    pub instance_type: String,
+    /// Concurrent user sessions an instance can serve per vCPU.
+    pub sessions_per_vcpu: u32,
+    /// How often the Load Balancer samples instance health.
+    pub check_interval: SimDuration,
+    /// Consecutive bad health samples before an instance is declared
+    /// failed.
+    pub consecutive_bad_samples: u32,
+    /// Scale up when fewer than this many session slots remain free.
+    pub scale_up_headroom_slots: u32,
+    /// Scale down when more than this many slots sit free.
+    pub scale_down_surplus_slots: u32,
+    /// Idle, pre-booted instances to keep warm (the paper's "preemptively
+    /// bootstrapping cloud instances" optimisation; 0 disables it).
+    pub warm_pool_size: u32,
+    /// Whether experimental (incubator) images are allowed when no
+    /// streamlined image provides a model.
+    pub allow_incubator_fallback: bool,
+    /// When set, instances fail spontaneously with this mean time between
+    /// failures (chaos testing); `None` disables spontaneous failures.
+    pub instance_mtbf: Option<SimDuration>,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> BrokerConfig {
+        BrokerConfig {
+            private_capacity_vcpus: 16,
+            instance_type: "m1.medium".to_owned(),
+            sessions_per_vcpu: 4,
+            check_interval: SimDuration::from_secs(15),
+            consecutive_bad_samples: 3,
+            scale_up_headroom_slots: 2,
+            scale_down_surplus_slots: 20,
+            warm_pool_size: 0,
+            allow_incubator_fallback: true,
+            instance_mtbf: None,
+        }
+    }
+}
+
+impl BrokerConfig {
+    /// Session slots per instance for the configured flavour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured flavour is unknown (checked again at broker
+    /// construction).
+    pub fn slots_per_instance(&self) -> u32 {
+        let itype = evop_cloud::InstanceType::lookup(&self.instance_type)
+            .expect("configured instance type must exist");
+        itype.vcpus() * self.sessions_per_vcpu
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for a zero capacity, unknown flavour, zero
+    /// sessions-per-vCPU or zero check interval.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.private_capacity_vcpus == 0 {
+            return Err("private capacity must be positive".to_owned());
+        }
+        if evop_cloud::InstanceType::lookup(&self.instance_type).is_none() {
+            return Err(format!("unknown instance type: {}", self.instance_type));
+        }
+        if self.sessions_per_vcpu == 0 {
+            return Err("sessions per vCPU must be positive".to_owned());
+        }
+        if self.check_interval.is_zero() {
+            return Err("check interval must be positive".to_owned());
+        }
+        if self.consecutive_bad_samples == 0 {
+            return Err("consecutive bad samples must be positive".to_owned());
+        }
+        if self.instance_mtbf.is_some_and(SimDuration::is_zero) {
+            return Err("instance MTBF must be positive when set".to_owned());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(BrokerConfig::default().validate().is_ok());
+        assert_eq!(BrokerConfig::default().slots_per_instance(), 8);
+    }
+
+    #[test]
+    fn bad_configs_are_caught() {
+        let mut c = BrokerConfig::default();
+        c.private_capacity_vcpus = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = BrokerConfig::default();
+        c.instance_type = "m9.imaginary".to_owned();
+        assert!(c.validate().is_err());
+
+        let mut c = BrokerConfig::default();
+        c.check_interval = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+    }
+}

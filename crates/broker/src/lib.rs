@@ -1,0 +1,44 @@
+//! The EVOp Infrastructure Manager: Model Library, Resource Broker and Load
+//! Balancer.
+//!
+//! Paper §IV-D describes the control plane this crate implements:
+//!
+//! * the **Model Library** holds streamlined execution bundles and generic
+//!   incubator images ([`ModelLibrary`]);
+//! * the **Resource Broker** answers a user's widget connection with "an
+//!   address of a cloud instance that is suitable for the type of
+//!   computation required, along with some session information", pushing
+//!   later session updates over a WebSocket-style duplex channel
+//!   ([`Broker::connect`]);
+//! * the **Load Balancer** "monitors the health status of running instances
+//!   with two objectives: minimise costs and maintain instance
+//!   responsiveness" — serving from the private cloud until saturation,
+//!   cloudbursting to the public cloud, retreating on underuse, detecting
+//!   failure signatures (pegged CPU; inbound-without-outbound traffic) and
+//!   migrating users to replacement instances (the [`Broker::advance`]
+//!   control loop).
+//!
+//! # Examples
+//!
+//! ```
+//! use evop_broker::{Broker, BrokerConfig};
+//! use evop_sim::SimDuration;
+//!
+//! let mut broker = Broker::new(BrokerConfig::default(), 42);
+//! let session = broker.connect("alice", "topmodel").unwrap();
+//! broker.advance(SimDuration::from_secs(300));
+//! assert!(broker.session(session).unwrap().instance().is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod broker;
+mod config;
+mod library;
+mod session;
+
+pub use broker::{Broker, BrokerError, BrokerEvent, ProviderMix, PRIVATE_PROVIDER, PUBLIC_PROVIDER};
+pub use config::BrokerConfig;
+pub use library::{LibraryEntry, ModelLibrary};
+pub use session::{SessionId, SessionState, UserSession};

@@ -1,0 +1,202 @@
+//! The Model Library: the registry of executable model images.
+//!
+//! "The Model Library (ML) is populated by domain specialists … The outcome
+//! of this process is a VM image optimised to run a fine tuned set of models
+//! that are exposed as web services and equipped with all required data.
+//! This streamlined execution bundle is then stored in the ML to be
+//! instantiated upon demand. … The alternative path is to use a generic
+//! image from the ML to serve as a model incubator" (paper §IV-D).
+
+use std::collections::BTreeMap;
+
+use evop_cloud::{ImageId, MachineImage};
+
+/// Metadata for one published library image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibraryEntry {
+    image: MachineImage,
+    /// Catchment the bundled calibration targets (streamlined images),
+    /// e.g. `"eden"`.
+    calibrated_for: Option<String>,
+    /// Who published the image.
+    publisher: String,
+}
+
+impl LibraryEntry {
+    /// The machine image.
+    pub fn image(&self) -> &MachineImage {
+        &self.image
+    }
+
+    /// The catchment the bundle was calibrated for, if any.
+    pub fn calibrated_for(&self) -> Option<&str> {
+        self.calibrated_for.as_deref()
+    }
+
+    /// The publishing specialist or team.
+    pub fn publisher(&self) -> &str {
+        &self.publisher
+    }
+}
+
+/// The library itself: publish and resolve images.
+///
+/// # Examples
+///
+/// ```
+/// use evop_broker::ModelLibrary;
+///
+/// let mut library = ModelLibrary::new();
+/// library.publish_streamlined("topmodel-eden", ["topmodel"], "eden", "hydrology-team");
+/// library.publish_incubator("incubator", "platform-team");
+///
+/// let best = library.image_for_model("topmodel", true).unwrap();
+/// assert_eq!(best.as_str(), "topmodel-eden");
+/// // Unknown models fall back to the incubator.
+/// let fallback = library.image_for_model("swat", true).unwrap();
+/// assert_eq!(fallback.as_str(), "incubator");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ModelLibrary {
+    entries: BTreeMap<ImageId, LibraryEntry>,
+}
+
+impl ModelLibrary {
+    /// Creates an empty library.
+    pub fn new() -> ModelLibrary {
+        ModelLibrary::default()
+    }
+
+    /// Publishes a streamlined execution bundle.
+    pub fn publish_streamlined<I, S>(
+        &mut self,
+        id: impl Into<String>,
+        models: I,
+        calibrated_for: impl Into<String>,
+        publisher: impl Into<String>,
+    ) -> ImageId
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let image = MachineImage::streamlined(id, models);
+        let image_id = image.id().clone();
+        self.entries.insert(
+            image_id.clone(),
+            LibraryEntry {
+                image,
+                calibrated_for: Some(calibrated_for.into()),
+                publisher: publisher.into(),
+            },
+        );
+        image_id
+    }
+
+    /// Publishes a generic incubator image.
+    pub fn publish_incubator(&mut self, id: impl Into<String>, publisher: impl Into<String>) -> ImageId {
+        let image = MachineImage::incubator(id);
+        let image_id = image.id().clone();
+        self.entries.insert(
+            image_id.clone(),
+            LibraryEntry { image, calibrated_for: None, publisher: publisher.into() },
+        );
+        image_id
+    }
+
+    /// All entries, sorted by image id.
+    pub fn entries(&self) -> impl Iterator<Item = &LibraryEntry> {
+        self.entries.values()
+    }
+
+    /// An entry by image id.
+    pub fn entry(&self, id: &ImageId) -> Option<&LibraryEntry> {
+        self.entries.get(id)
+    }
+
+    /// Number of published images.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resolves the image to launch for `model`: a streamlined bundle
+    /// providing it if one exists, otherwise (when `allow_incubator`) any
+    /// incubator image.
+    pub fn image_for_model(&self, model: &str, allow_incubator: bool) -> Option<ImageId> {
+        if let Some(entry) = self
+            .entries
+            .values()
+            .find(|e| e.image.provides_model(model))
+        {
+            return Some(entry.image.id().clone());
+        }
+        if allow_incubator {
+            return self
+                .entries
+                .values()
+                .find(|e| !e.image.kind().is_streamlined())
+                .map(|e| e.image.id().clone());
+        }
+        None
+    }
+
+    /// Registers every library image with a cloud simulator so they can be
+    /// launched.
+    pub fn register_all(&self, sim: &mut evop_cloud::CloudSim) {
+        for entry in self.entries.values() {
+            sim.register_image(entry.image.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn library() -> ModelLibrary {
+        let mut lib = ModelLibrary::new();
+        lib.publish_streamlined("topmodel-eden", ["topmodel"], "eden", "hydro");
+        lib.publish_streamlined("fuse-bundle", ["fuse", "topmodel"], "eden", "hydro");
+        lib.publish_incubator("incubator", "platform");
+        lib
+    }
+
+    #[test]
+    fn streamlined_preferred_over_incubator() {
+        let lib = library();
+        let id = lib.image_for_model("fuse", true).unwrap();
+        assert_eq!(id.as_str(), "fuse-bundle");
+    }
+
+    #[test]
+    fn incubator_fallback_is_gated() {
+        let lib = library();
+        assert_eq!(lib.image_for_model("swat", true).unwrap().as_str(), "incubator");
+        assert!(lib.image_for_model("swat", false).is_none());
+    }
+
+    #[test]
+    fn entries_carry_metadata() {
+        let lib = library();
+        let entry = lib.entry(&ImageId::new("topmodel-eden")).unwrap();
+        assert_eq!(entry.calibrated_for(), Some("eden"));
+        assert_eq!(entry.publisher(), "hydro");
+        assert!(lib.entry(&ImageId::new("ghost")).is_none());
+        assert_eq!(lib.len(), 3);
+    }
+
+    #[test]
+    fn register_all_makes_images_launchable() {
+        let lib = library();
+        let mut sim = evop_cloud::CloudSim::new(1);
+        sim.register_provider(evop_cloud::Provider::private_openstack("campus", 8));
+        lib.register_all(&mut sim);
+        assert!(sim
+            .launch("campus", "m1.small", &ImageId::new("topmodel-eden"))
+            .is_ok());
+    }
+}

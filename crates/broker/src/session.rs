@@ -1,0 +1,282 @@
+//! User sessions and the push channel to the browser.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use evop_cloud::InstanceId;
+use evop_services::push::{duplex_pair, Endpoint, Message};
+use evop_sim::SimTime;
+use serde_json::json;
+
+/// A unique user-session identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub(crate) u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// Lifecycle of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Waiting for an instance (one may be booting for it).
+    Waiting,
+    /// Bound to an instance and serving.
+    Active,
+    /// Closed by the user.
+    Closed,
+}
+
+/// One user's connection to a modelling widget.
+///
+/// Because EVOp services are stateless REST (paper §IV-B), a session holds
+/// *routing* state only — which instance currently serves the user — never
+/// computational state; that is why migration loses nothing.
+#[derive(Debug)]
+pub struct UserSession {
+    id: SessionId,
+    user: String,
+    model: String,
+    state: SessionState,
+    instance: Option<InstanceId>,
+    connected_at: SimTime,
+    activated_at: Option<SimTime>,
+    migrations: u32,
+    server_end: Endpoint,
+    client_end: Endpoint,
+}
+
+impl UserSession {
+    pub(crate) fn new(id: SessionId, user: &str, model: &str, now: SimTime) -> UserSession {
+        let (server_end, client_end) = duplex_pair();
+        UserSession {
+            id,
+            user: user.to_owned(),
+            model: model.to_owned(),
+            state: SessionState::Waiting,
+            instance: None,
+            connected_at: now,
+            activated_at: None,
+            migrations: 0,
+            server_end,
+            client_end,
+        }
+    }
+
+    /// The session id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The connected user.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// The model this session's widget drives.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Lifecycle state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// The instance currently serving the session, if assigned.
+    pub fn instance(&self) -> Option<InstanceId> {
+        self.instance
+    }
+
+    /// When the user connected.
+    pub fn connected_at(&self) -> SimTime {
+        self.connected_at
+    }
+
+    /// When the session first got a running instance.
+    pub fn activated_at(&self) -> Option<SimTime> {
+        self.activated_at
+    }
+
+    /// Wait from connect to first service, if activated.
+    pub fn activation_wait(&self) -> Option<evop_sim::SimDuration> {
+        self.activated_at.map(|t| t.saturating_since(self.connected_at))
+    }
+
+    /// How many times the session was migrated between instances.
+    pub fn migrations(&self) -> u32 {
+        self.migrations
+    }
+
+    /// The browser-side endpoint: widgets read pushed updates here.
+    pub fn client_channel(&self) -> &Endpoint {
+        &self.client_end
+    }
+
+    pub(crate) fn assign(&mut self, instance: InstanceId, now: SimTime, is_migration: bool) {
+        let previous = self.instance.replace(instance);
+        if self.state == SessionState::Waiting {
+            self.state = SessionState::Active;
+            self.activated_at = Some(now);
+        }
+        if is_migration {
+            self.migrations += 1;
+        }
+        let _ = self.server_end.send(Message::new(
+            "session-update",
+            json!({
+                "session": self.id.to_string(),
+                "instance": instance.to_string(),
+                "previous": previous.map(|p| p.to_string()),
+                "migration": is_migration,
+                "at": now.as_millis(),
+            }),
+        ));
+    }
+
+    pub(crate) fn close(&mut self) {
+        self.state = SessionState::Closed;
+        self.instance = None;
+        self.server_end.close();
+    }
+}
+
+/// The registry of all sessions.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    sessions: BTreeMap<SessionId, UserSession>,
+    next: u64,
+}
+
+impl SessionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> SessionRegistry {
+        SessionRegistry::default()
+    }
+
+    /// Opens a new session.
+    pub fn open(&mut self, user: &str, model: &str, now: SimTime) -> SessionId {
+        let id = SessionId(self.next);
+        self.next += 1;
+        self.sessions.insert(id, UserSession::new(id, user, model, now));
+        id
+    }
+
+    /// A session by id.
+    pub fn get(&self, id: SessionId) -> Option<&UserSession> {
+        self.sessions.get(&id)
+    }
+
+    /// A mutable session by id.
+    pub fn get_mut(&mut self, id: SessionId) -> Option<&mut UserSession> {
+        self.sessions.get_mut(&id)
+    }
+
+    /// All sessions.
+    pub fn iter(&self) -> impl Iterator<Item = &UserSession> {
+        self.sessions.values()
+    }
+
+    /// Sessions currently bound to `instance`.
+    pub fn on_instance(&self, instance: InstanceId) -> Vec<SessionId> {
+        self.sessions
+            .values()
+            .filter(|s| s.instance() == Some(instance) && s.state() == SessionState::Active)
+            .map(|s| s.id())
+            .collect()
+    }
+
+    /// Number of active sessions per instance.
+    pub fn load(&self, instance: InstanceId) -> usize {
+        self.on_instance(instance).len()
+    }
+
+    /// Sessions waiting for an instance, oldest first.
+    pub fn waiting(&self) -> Vec<SessionId> {
+        self.sessions
+            .values()
+            .filter(|s| s.state() == SessionState::Waiting)
+            .map(|s| s.id())
+            .collect()
+    }
+
+    /// Count of sessions in a state.
+    pub fn count(&self, state: SessionState) -> usize {
+        self.sessions.values().filter(|s| s.state() == state).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_assign_close_lifecycle() {
+        let mut reg = SessionRegistry::new();
+        let id = reg.open("alice", "topmodel", SimTime::ZERO);
+        assert_eq!(reg.get(id).unwrap().state(), SessionState::Waiting);
+        assert_eq!(reg.count(SessionState::Waiting), 1);
+
+        reg.get_mut(id).unwrap().assign(InstanceId::from_raw(3), SimTime::from_secs(60), false);
+        let s = reg.get(id).unwrap();
+        assert_eq!(s.state(), SessionState::Active);
+        assert_eq!(s.activation_wait(), Some(evop_sim::SimDuration::from_secs(60)));
+        assert_eq!(s.migrations(), 0);
+
+        reg.get_mut(id).unwrap().close();
+        assert_eq!(reg.get(id).unwrap().state(), SessionState::Closed);
+        assert_eq!(reg.get(id).unwrap().instance(), None);
+    }
+
+    #[test]
+    fn assignment_pushes_update_to_client() {
+        let mut reg = SessionRegistry::new();
+        let id = reg.open("bob", "fuse", SimTime::ZERO);
+        reg.get_mut(id).unwrap().assign(InstanceId::from_raw(7), SimTime::from_secs(5), false);
+        let msg = reg.get(id).unwrap().client_channel().try_recv().unwrap();
+        assert_eq!(msg.topic(), "session-update");
+        assert_eq!(msg.payload()["migration"], false);
+    }
+
+    #[test]
+    fn migration_increments_counter_and_reports_previous() {
+        let mut reg = SessionRegistry::new();
+        let id = reg.open("carol", "topmodel", SimTime::ZERO);
+        reg.get_mut(id).unwrap().assign(InstanceId::from_raw(1), SimTime::from_secs(1), false);
+        reg.get_mut(id).unwrap().assign(InstanceId::from_raw(2), SimTime::from_secs(9), true);
+        let s = reg.get(id).unwrap();
+        assert_eq!(s.migrations(), 1);
+        let updates = s.client_channel().drain();
+        assert_eq!(updates.len(), 2);
+        assert_eq!(updates[1].payload()["migration"], true);
+        assert!(updates[1].payload()["previous"].as_str().unwrap().contains("i-"));
+    }
+
+    #[test]
+    fn per_instance_load_accounting() {
+        let mut reg = SessionRegistry::new();
+        let a = reg.open("u1", "topmodel", SimTime::ZERO);
+        let b = reg.open("u2", "topmodel", SimTime::ZERO);
+        let c = reg.open("u3", "topmodel", SimTime::ZERO);
+        let inst = InstanceId::from_raw(1);
+        reg.get_mut(a).unwrap().assign(inst, SimTime::ZERO, false);
+        reg.get_mut(b).unwrap().assign(inst, SimTime::ZERO, false);
+        reg.get_mut(c).unwrap().assign(InstanceId::from_raw(2), SimTime::ZERO, false);
+        assert_eq!(reg.load(inst), 2);
+        assert_eq!(reg.load(InstanceId::from_raw(2)), 1);
+        reg.get_mut(a).unwrap().close();
+        assert_eq!(reg.load(inst), 1);
+    }
+
+    #[test]
+    fn waiting_lists_unassigned() {
+        let mut reg = SessionRegistry::new();
+        let a = reg.open("u1", "topmodel", SimTime::ZERO);
+        let b = reg.open("u2", "topmodel", SimTime::ZERO);
+        assert_eq!(reg.waiting(), vec![a, b]);
+        reg.get_mut(a).unwrap().assign(InstanceId::from_raw(1), SimTime::ZERO, false);
+        assert_eq!(reg.waiting(), vec![b]);
+    }
+}

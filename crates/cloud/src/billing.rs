@@ -1,0 +1,129 @@
+//! Per-second billing, the cost side of every elasticity experiment.
+
+use std::collections::BTreeMap;
+
+use evop_sim::SimTime;
+
+/// One billable lease: an instance's rate and lifetime.
+#[derive(Debug, Clone, PartialEq)]
+struct Lease {
+    provider: String,
+    hourly_rate: f64,
+    start: SimTime,
+    end: Option<SimTime>,
+}
+
+/// Accumulates instance-hours into money, per provider.
+///
+/// Instances are billed per second from launch request to termination (the
+/// modern cloud billing model), at the flavour's hourly list price times the
+/// provider's price factor.
+///
+/// # Examples
+///
+/// ```
+/// use evop_cloud::CostMeter;
+/// use evop_sim::SimTime;
+///
+/// let mut meter = CostMeter::new();
+/// meter.open(1, "aws", 0.13, SimTime::ZERO);
+/// meter.close(1, SimTime::from_secs(1800));
+/// let cost = meter.total_cost(SimTime::from_secs(7200));
+/// assert!((cost - 0.065).abs() < 1e-9); // half an hour at $0.13/h
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CostMeter {
+    leases: BTreeMap<u64, Lease>,
+}
+
+impl CostMeter {
+    /// Creates an empty meter.
+    pub fn new() -> CostMeter {
+        CostMeter::default()
+    }
+
+    /// Opens a lease for instance `key` at `hourly_rate` from `start`.
+    pub fn open(&mut self, key: u64, provider: impl Into<String>, hourly_rate: f64, start: SimTime) {
+        self.leases.insert(
+            key,
+            Lease { provider: provider.into(), hourly_rate, start, end: None },
+        );
+    }
+
+    /// Closes the lease for `key` at `end`. Closing an unknown or already
+    /// closed lease is a no-op.
+    pub fn close(&mut self, key: u64, end: SimTime) {
+        if let Some(lease) = self.leases.get_mut(&key) {
+            if lease.end.is_none() {
+                lease.end = Some(end);
+            }
+        }
+    }
+
+    /// Total cost of all leases, with open leases billed up to `now`.
+    pub fn total_cost(&self, now: SimTime) -> f64 {
+        self.leases.values().map(|l| Self::lease_cost(l, now)).sum()
+    }
+
+    /// Cost per provider, with open leases billed up to `now`.
+    pub fn cost_by_provider(&self, now: SimTime) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for lease in self.leases.values() {
+            *out.entry(lease.provider.clone()).or_insert(0.0) += Self::lease_cost(lease, now);
+        }
+        out
+    }
+
+    /// Number of leases ever opened.
+    pub fn lease_count(&self) -> usize {
+        self.leases.len()
+    }
+
+    fn lease_cost(lease: &Lease, now: SimTime) -> f64 {
+        let end = lease.end.unwrap_or(now).max(lease.start);
+        let hours = end.saturating_since(lease.start).as_secs_f64() / 3600.0;
+        hours * lease.hourly_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_lease_accrues_with_time() {
+        let mut m = CostMeter::new();
+        m.open(1, "campus", 1.0, SimTime::ZERO);
+        assert!((m.total_cost(SimTime::from_secs(3600)) - 1.0).abs() < 1e-9);
+        assert!((m.total_cost(SimTime::from_secs(7200)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_lease_stops_accruing() {
+        let mut m = CostMeter::new();
+        m.open(1, "campus", 1.0, SimTime::ZERO);
+        m.close(1, SimTime::from_secs(3600));
+        assert!((m.total_cost(SimTime::from_secs(100_000)) - 1.0).abs() < 1e-9);
+        // Double close is a no-op.
+        m.close(1, SimTime::from_secs(200_000));
+        assert!((m.total_cost(SimTime::from_secs(300_000)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_provider_split() {
+        let mut m = CostMeter::new();
+        m.open(1, "campus", 0.5, SimTime::ZERO);
+        m.open(2, "aws", 2.0, SimTime::ZERO);
+        let by = m.cost_by_provider(SimTime::from_secs(3600));
+        assert!((by["campus"] - 0.5).abs() < 1e-9);
+        assert!((by["aws"] - 2.0).abs() < 1e-9);
+        assert_eq!(m.lease_count(), 2);
+    }
+
+    #[test]
+    fn unknown_close_is_noop() {
+        let mut m = CostMeter::new();
+        m.close(42, SimTime::from_secs(10));
+        assert_eq!(m.total_cost(SimTime::from_secs(100)), 0.0);
+    }
+}

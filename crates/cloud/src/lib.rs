@@ -1,0 +1,42 @@
+//! Hybrid IaaS cloud simulator for the EVOp reproduction.
+//!
+//! The EVOp project ran on "a hybrid infrastructure comprised of both private
+//! and public cloud resources … OpenStack \[and\] Amazon Web Services"
+//! (paper §IV-A). This crate is the deterministic discrete-event stand-in for
+//! that infrastructure (see DESIGN.md's substitution table): it reproduces
+//! the *control-plane* behaviour the paper's evaluation relies on —
+//! capacity-bounded private clouds, elastic pay-per-use public clouds, VM
+//! boot latency, machine images (streamlined vs incubator), per-instance job
+//! execution with contention, health metrics, failure injection and
+//! per-second billing.
+//!
+//! # Examples
+//!
+//! ```
+//! use evop_cloud::{CloudSim, MachineImage, Provider};
+//! use evop_sim::SimDuration;
+//!
+//! let mut sim = CloudSim::new(7);
+//! sim.register_provider(Provider::private_openstack("campus", 16));
+//! let image = MachineImage::streamlined("topmodel-eden", ["topmodel"]);
+//! sim.register_image(image.clone());
+//!
+//! let id = sim.launch("campus", "m1.medium", image.id()).unwrap();
+//! sim.advance(SimDuration::from_secs(120));
+//! assert!(sim.instance(id).unwrap().is_running());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod billing;
+mod instance;
+mod provider;
+mod sim;
+mod types;
+
+pub use billing::CostMeter;
+pub use instance::{FailureMode, Instance, InstanceState, Job, JobId, JobState};
+pub use provider::{Provider, ProviderKind};
+pub use sim::{CloudError, CloudSim, InstanceMetrics};
+pub use types::{ImageId, ImageKind, InstanceId, InstanceType, MachineImage};

@@ -1,0 +1,173 @@
+//! Cloud providers: the capacity-bounded private cloud and the elastic
+//! public cloud.
+
+use evop_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Whether a provider is owned (private) or leased (public).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProviderKind {
+    /// An owned, capacity-bounded cloud (the project's OpenStack deployment).
+    Private,
+    /// A leased, effectively unbounded pay-per-use cloud (the project's AWS
+    /// account).
+    Public,
+}
+
+/// A cloud provider the simulator can launch instances on.
+///
+/// # Examples
+///
+/// ```
+/// use evop_cloud::{Provider, ProviderKind};
+///
+/// let campus = Provider::private_openstack("campus", 32);
+/// assert_eq!(campus.kind(), ProviderKind::Private);
+/// assert_eq!(campus.capacity_vcpus(), Some(32));
+///
+/// let aws = Provider::public_aws("aws-eu");
+/// assert_eq!(aws.capacity_vcpus(), None); // effectively unbounded
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provider {
+    name: String,
+    kind: ProviderKind,
+    /// Total vCPUs available, or `None` for effectively unlimited.
+    capacity_vcpus: Option<u32>,
+    /// Base time from launch request to a running instance.
+    boot_latency: SimDuration,
+    /// Multiplier applied to flavour prices (private marginal cost is low;
+    /// public list price is 1.0).
+    price_factor: f64,
+    /// Mean time between spontaneous instance failures.
+    mtbf: SimDuration,
+}
+
+impl Provider {
+    /// A private OpenStack-style cloud with `capacity_vcpus` total vCPUs.
+    ///
+    /// Boot is quick (local image cache) and the marginal cost of using
+    /// already-owned hardware is low (power/amortisation, modelled at 20 % of
+    /// list price).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_vcpus` is zero.
+    pub fn private_openstack(name: impl Into<String>, capacity_vcpus: u32) -> Provider {
+        assert!(capacity_vcpus > 0, "private cloud needs capacity");
+        Provider {
+            name: name.into(),
+            kind: ProviderKind::Private,
+            capacity_vcpus: Some(capacity_vcpus),
+            boot_latency: SimDuration::from_secs(45),
+            price_factor: 0.20,
+            mtbf: SimDuration::from_secs(30 * 24 * 3600),
+        }
+    }
+
+    /// A public AWS-style cloud: effectively unbounded capacity at list
+    /// price, with a somewhat longer boot latency.
+    pub fn public_aws(name: impl Into<String>) -> Provider {
+        Provider {
+            name: name.into(),
+            kind: ProviderKind::Public,
+            capacity_vcpus: None,
+            boot_latency: SimDuration::from_secs(95),
+            price_factor: 1.0,
+            mtbf: SimDuration::from_secs(90 * 24 * 3600),
+        }
+    }
+
+    /// The provider name used in launch calls.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Owned or leased.
+    pub fn kind(&self) -> ProviderKind {
+        self.kind
+    }
+
+    /// Total vCPU capacity, or `None` if effectively unbounded.
+    pub fn capacity_vcpus(&self) -> Option<u32> {
+        self.capacity_vcpus
+    }
+
+    /// Base time from launch request to running instance (before image
+    /// overhead).
+    pub fn boot_latency(&self) -> SimDuration {
+        self.boot_latency
+    }
+
+    /// Multiplier applied to flavour list prices.
+    pub fn price_factor(&self) -> f64 {
+        self.price_factor
+    }
+
+    /// Mean time between spontaneous instance failures.
+    pub fn mtbf(&self) -> SimDuration {
+        self.mtbf
+    }
+
+    /// Overrides the boot latency (for experiments).
+    pub fn with_boot_latency(mut self, latency: SimDuration) -> Provider {
+        self.boot_latency = latency;
+        self
+    }
+
+    /// Overrides the price factor (for experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative.
+    pub fn with_price_factor(mut self, factor: f64) -> Provider {
+        assert!(factor >= 0.0, "price factor must be non-negative");
+        self.price_factor = factor;
+        self
+    }
+
+    /// Overrides the mean time between failures (for failure-injection
+    /// experiments).
+    pub fn with_mtbf(mut self, mtbf: SimDuration) -> Provider {
+        self.mtbf = mtbf;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_is_cheaper_but_bounded() {
+        let private = Provider::private_openstack("campus", 16);
+        let public = Provider::public_aws("aws");
+        assert!(private.price_factor() < public.price_factor());
+        assert!(private.capacity_vcpus().is_some());
+        assert!(public.capacity_vcpus().is_none());
+    }
+
+    #[test]
+    fn public_boots_slower() {
+        let private = Provider::private_openstack("campus", 16);
+        let public = Provider::public_aws("aws");
+        assert!(public.boot_latency() > private.boot_latency());
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let p = Provider::public_aws("aws")
+            .with_boot_latency(SimDuration::from_secs(10))
+            .with_price_factor(2.0)
+            .with_mtbf(SimDuration::from_secs(60));
+        assert_eq!(p.boot_latency(), SimDuration::from_secs(10));
+        assert_eq!(p.price_factor(), 2.0);
+        assert_eq!(p.mtbf(), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_private_rejected() {
+        let _ = Provider::private_openstack("campus", 0);
+    }
+}

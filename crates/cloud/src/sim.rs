@@ -1,0 +1,656 @@
+//! The cloud simulator: launch, run, fail, bill.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use evop_sim::{Clock, EventQueue, SimDuration, SimRng, SimTime};
+
+use crate::billing::CostMeter;
+use crate::instance::{FailureMode, Instance, InstanceState, JobId, JobKind};
+use crate::provider::Provider;
+use crate::types::{ImageId, InstanceId, InstanceType, MachineImage};
+
+/// Errors from cloud operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloudError {
+    /// The named provider is not registered.
+    UnknownProvider(String),
+    /// The named flavour is not in the catalogue.
+    UnknownInstanceType(String),
+    /// The image id is not registered.
+    UnknownImage(ImageId),
+    /// The instance id does not exist.
+    UnknownInstance(InstanceId),
+    /// The private provider has no room for the requested flavour.
+    CapacityExceeded {
+        /// The saturated provider.
+        provider: String,
+        /// vCPUs requested.
+        requested: u32,
+        /// vCPUs still free.
+        free: u32,
+    },
+    /// The instance is not in a state that allows the operation.
+    NotRunning(InstanceId),
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::UnknownProvider(p) => write!(f, "unknown provider: {p}"),
+            CloudError::UnknownInstanceType(t) => write!(f, "unknown instance type: {t}"),
+            CloudError::UnknownImage(i) => write!(f, "unknown image: {i}"),
+            CloudError::UnknownInstance(i) => write!(f, "unknown instance: {i}"),
+            CloudError::CapacityExceeded { provider, requested, free } => {
+                write!(f, "capacity exceeded on {provider}: requested {requested} vCPUs, {free} free")
+            }
+            CloudError::NotRunning(i) => write!(f, "instance not running: {i}"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+/// A point-in-time health sample for one instance — what the paper's Load
+/// Balancer "observes: CPU utilisation, disk reads and writes, and network
+/// usage" (§IV-D).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceMetrics {
+    /// CPU utilisation in `[0, 1]`.
+    pub cpu: f64,
+    /// Inbound traffic, kbit/s.
+    pub net_in_kbps: f64,
+    /// Outbound traffic, kbit/s.
+    pub net_out_kbps: f64,
+    /// Disk operations per second.
+    pub disk_iops: f64,
+}
+
+#[derive(Debug)]
+enum Event {
+    BootComplete(InstanceId),
+    JobDone(InstanceId, JobId),
+    SpontaneousFailure(InstanceId),
+}
+
+/// The deterministic hybrid-cloud simulator.
+///
+/// Single-threaded and event-driven: callers interleave control actions
+/// ([`CloudSim::launch`], [`CloudSim::run_model`], …) with time advancement
+/// ([`CloudSim::advance`]), and the simulator delivers boot completions, job
+/// completions and failures in virtual-time order.
+#[derive(Debug)]
+pub struct CloudSim {
+    clock: Clock,
+    rng: SimRng,
+    providers: BTreeMap<String, Provider>,
+    images: BTreeMap<ImageId, MachineImage>,
+    instances: BTreeMap<InstanceId, Instance>,
+    events: EventQueue<Event>,
+    next_instance: u64,
+    next_job: u64,
+    meter: CostMeter,
+    random_failures: bool,
+}
+
+impl CloudSim {
+    /// Creates a simulator with the given RNG seed.
+    pub fn new(seed: u64) -> CloudSim {
+        CloudSim {
+            clock: Clock::new(),
+            rng: SimRng::new(seed).fork("cloud"),
+            providers: BTreeMap::new(),
+            images: BTreeMap::new(),
+            instances: BTreeMap::new(),
+            events: EventQueue::new(),
+            next_instance: 0,
+            next_job: 0,
+            meter: CostMeter::new(),
+            random_failures: false,
+        }
+    }
+
+    /// Registers a provider. Re-registering a name replaces it.
+    pub fn register_provider(&mut self, provider: Provider) {
+        self.providers.insert(provider.name().to_owned(), provider);
+    }
+
+    /// Registers a machine image. Re-registering an id replaces it.
+    pub fn register_image(&mut self, image: MachineImage) {
+        self.images.insert(image.id().clone(), image);
+    }
+
+    /// Enables spontaneous failures drawn from each provider's MTBF.
+    pub fn enable_random_failures(&mut self, on: bool) {
+        self.random_failures = on;
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// A registered provider by name.
+    pub fn provider(&self, name: &str) -> Option<&Provider> {
+        self.providers.get(name)
+    }
+
+    /// A registered image by id.
+    pub fn image(&self, id: &ImageId) -> Option<&MachineImage> {
+        self.images.get(id)
+    }
+
+    /// vCPUs currently committed on a provider (running, booting, and failed
+    /// but untermianted instances all hold capacity).
+    pub fn used_vcpus(&self, provider: &str) -> u32 {
+        self.instances
+            .values()
+            .filter(|i| i.provider() == provider && i.occupies_capacity())
+            .map(|i| i.instance_type().vcpus())
+            .sum()
+    }
+
+    /// vCPUs still free on a provider, or `None` if the provider is
+    /// unbounded.
+    pub fn free_vcpus(&self, provider: &str) -> Option<u32> {
+        let p = self.providers.get(provider)?;
+        p.capacity_vcpus()
+            .map(|cap| cap.saturating_sub(self.used_vcpus(provider)))
+    }
+
+    /// Requests a new instance.
+    ///
+    /// The instance starts `Pending` and becomes `Running` after the
+    /// provider's boot latency plus the image's boot overhead (±15 % jitter).
+    /// Billing starts immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::CapacityExceeded`] when a capacity-bounded
+    /// provider cannot fit the flavour, and `Unknown*` errors for bad names.
+    pub fn launch(
+        &mut self,
+        provider: &str,
+        instance_type: &str,
+        image: &ImageId,
+    ) -> Result<InstanceId, CloudError> {
+        let prov = self
+            .providers
+            .get(provider)
+            .ok_or_else(|| CloudError::UnknownProvider(provider.to_owned()))?
+            .clone();
+        let itype = InstanceType::lookup(instance_type)
+            .ok_or_else(|| CloudError::UnknownInstanceType(instance_type.to_owned()))?;
+        let img = self
+            .images
+            .get(image)
+            .ok_or_else(|| CloudError::UnknownImage(image.clone()))?
+            .clone();
+
+        if let Some(cap) = prov.capacity_vcpus() {
+            let free = cap.saturating_sub(self.used_vcpus(provider));
+            if itype.vcpus() > free {
+                return Err(CloudError::CapacityExceeded {
+                    provider: provider.to_owned(),
+                    requested: itype.vcpus(),
+                    free,
+                });
+            }
+        }
+
+        let id = InstanceId(self.next_instance);
+        self.next_instance += 1;
+        let now = self.clock.now();
+        let jitter = self.rng.uniform_in(0.85, 1.15);
+        let boot = SimDuration::from_secs_f64(
+            (prov.boot_latency() + img.boot_overhead()).as_secs_f64() * jitter,
+        );
+        let ready_at = now + boot;
+        let hourly = itype.hourly_cost() * prov.price_factor();
+        self.meter.open(id.0, provider, hourly, now);
+        self.instances.insert(
+            id,
+            Instance::new(id, provider.to_owned(), itype, img, now, ready_at),
+        );
+        self.events.push(ready_at, Event::BootComplete(id));
+        if self.random_failures {
+            let ttf = SimDuration::from_secs_f64(self.rng.exponential(prov.mtbf().as_secs_f64()));
+            self.events.push(now + ttf, Event::SpontaneousFailure(id));
+        }
+        Ok(id)
+    }
+
+    /// Terminates an instance, releasing capacity and stopping billing.
+    /// In-flight jobs are lost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::UnknownInstance`] for a bad id.
+    pub fn terminate(&mut self, id: InstanceId) -> Result<(), CloudError> {
+        let now = self.clock.now();
+        let inst = self.instances.get_mut(&id).ok_or(CloudError::UnknownInstance(id))?;
+        inst.terminate(now);
+        self.meter.close(id.0, now);
+        Ok(())
+    }
+
+    /// Injects a failure into an instance (for recovery experiments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::UnknownInstance`] for a bad id.
+    pub fn inject_failure(&mut self, id: InstanceId, mode: FailureMode) -> Result<(), CloudError> {
+        let now = self.clock.now();
+        let inst = self.instances.get_mut(&id).ok_or(CloudError::UnknownInstance(id))?;
+        inst.fail(mode, now);
+        Ok(())
+    }
+
+    /// Submits raw computation of `work` duration to an instance. The job
+    /// queues if all vCPU slots are busy, and waits for boot on a pending
+    /// instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::NotRunning`] if the instance is terminated or
+    /// failed.
+    pub fn submit_job(&mut self, id: InstanceId, work: SimDuration) -> Result<JobId, CloudError> {
+        self.submit(id, JobKind::Run, work)
+    }
+
+    /// Runs `model` on an instance, automatically scheduling an install step
+    /// first when the image does not provide the model (the incubator path
+    /// of paper §IV-D). Returns the id of the *run* job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::NotRunning`] if the instance is terminated or
+    /// failed.
+    pub fn run_model(
+        &mut self,
+        id: InstanceId,
+        model: &str,
+        work: SimDuration,
+    ) -> Result<JobId, CloudError> {
+        let needs_install = {
+            let inst = self.instances.get(&id).ok_or(CloudError::UnknownInstance(id))?;
+            !inst.has_model(model)
+                && !inst.jobs().iter().any(|j| {
+                    matches!(j.kind(), JobKind::Install { model: m } if m == model)
+                })
+        };
+        if needs_install {
+            let install_time = {
+                let inst = self.instances.get(&id).expect("checked above");
+                inst.image().install_time()
+            };
+            self.submit(id, JobKind::Install { model: model.to_owned() }, install_time)?;
+        }
+        self.submit(id, JobKind::Run, work)
+    }
+
+    fn submit(&mut self, id: InstanceId, kind: JobKind, work: SimDuration) -> Result<JobId, CloudError> {
+        let now = self.clock.now();
+        let inst = self.instances.get_mut(&id).ok_or(CloudError::UnknownInstance(id))?;
+        match inst.state() {
+            InstanceState::Terminated { .. } | InstanceState::Failed { .. } => {
+                return Err(CloudError::NotRunning(id));
+            }
+            InstanceState::Pending { .. } | InstanceState::Running => {}
+        }
+        let job_id = JobId(self.next_job);
+        self.next_job += 1;
+        let started = inst.submit(job_id, kind, work, now);
+        for (jid, finish) in started {
+            self.events.push(finish, Event::JobDone(id, jid));
+        }
+        Ok(job_id)
+    }
+
+    /// Advances virtual time by `delta`, delivering all due events.
+    pub fn advance(&mut self, delta: SimDuration) {
+        let target = self.clock.now() + delta;
+        self.advance_to(target);
+    }
+
+    /// Advances virtual time to `target`, delivering all due events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is in the past.
+    pub fn advance_to(&mut self, target: SimTime) {
+        while let Some((t, event)) = self.events.pop_due(target) {
+            self.clock.advance_to(t);
+            self.handle(event);
+        }
+        self.clock.advance_to(target);
+    }
+
+    /// The time of the next pending event, if any — for drivers that want to
+    /// step event-by-event.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    fn handle(&mut self, event: Event) {
+        let now = self.clock.now();
+        match event {
+            Event::BootComplete(id) => {
+                if let Some(inst) = self.instances.get_mut(&id) {
+                    if matches!(inst.state(), InstanceState::Pending { .. }) {
+                        inst.mark_running();
+                        for (jid, finish) in inst.start_queued(now) {
+                            self.events.push(finish, Event::JobDone(id, jid));
+                        }
+                    }
+                }
+            }
+            Event::JobDone(id, jid) => {
+                if let Some(inst) = self.instances.get_mut(&id) {
+                    for (next_jid, finish) in inst.complete(jid, now) {
+                        self.events.push(finish, Event::JobDone(id, next_jid));
+                    }
+                }
+            }
+            Event::SpontaneousFailure(id) => {
+                if let Some(inst) = self.instances.get_mut(&id) {
+                    if inst.is_running() || matches!(inst.state(), InstanceState::Pending { .. }) {
+                        let mode = match self.rng.index(3) {
+                            0 => FailureMode::Crash,
+                            1 => FailureMode::Hang,
+                            _ => FailureMode::NetworkBlackhole,
+                        };
+                        inst.fail(mode, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// An instance by id.
+    pub fn instance(&self, id: InstanceId) -> Option<&Instance> {
+        self.instances.get(&id)
+    }
+
+    /// All instances ever launched, in launch order.
+    pub fn instances(&self) -> impl Iterator<Item = &Instance> {
+        self.instances.values()
+    }
+
+    /// Instances currently in the `Running` state.
+    pub fn running_instances(&self) -> impl Iterator<Item = &Instance> {
+        self.instances.values().filter(|i| i.is_running())
+    }
+
+    /// A point-in-time health sample for an instance.
+    ///
+    /// The failure signatures match the paper: a hang shows sustained 100 %
+    /// CPU; a network blackhole shows inbound traffic with zero outbound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::UnknownInstance`] for a bad id.
+    pub fn metrics(&self, id: InstanceId) -> Result<InstanceMetrics, CloudError> {
+        let inst = self.instances.get(&id).ok_or(CloudError::UnknownInstance(id))?;
+        let active = (inst.running_jobs() + inst.queued_jobs()) as f64;
+        let (net_in, net_out, disk) = match inst.state() {
+            InstanceState::Terminated { .. } => (0.0, 0.0, 0.0),
+            InstanceState::Failed { mode, .. } => match mode {
+                FailureMode::Crash => (0.0, 0.0, 0.0),
+                // Hung and blackholed instances keep receiving requests but
+                // emit nothing.
+                FailureMode::Hang | FailureMode::NetworkBlackhole => (8.0 + 120.0 * active, 0.0, 0.0),
+            },
+            InstanceState::Pending { .. } => (4.0, 4.0, 10.0),
+            InstanceState::Running => (
+                8.0 + 120.0 * active,
+                8.0 + 100.0 * inst.running_jobs() as f64,
+                30.0 * inst.running_jobs() as f64,
+            ),
+        };
+        Ok(InstanceMetrics {
+            cpu: inst.cpu_utilisation(),
+            net_in_kbps: net_in,
+            net_out_kbps: net_out,
+            disk_iops: disk,
+        })
+    }
+
+    /// Total accumulated cost at the current time.
+    pub fn total_cost(&self) -> f64 {
+        self.meter.total_cost(self.clock.now())
+    }
+
+    /// Accumulated cost per provider at the current time.
+    pub fn cost_by_provider(&self) -> BTreeMap<String, f64> {
+        self.meter.cost_by_provider(self.clock.now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::JobState;
+    use crate::provider::ProviderKind;
+
+    fn sim_with_defaults() -> (CloudSim, ImageId) {
+        let mut sim = CloudSim::new(42);
+        sim.register_provider(Provider::private_openstack("campus", 8));
+        sim.register_provider(Provider::public_aws("aws"));
+        let image = MachineImage::streamlined("topmodel-eden", ["topmodel"]);
+        let id = image.id().clone();
+        sim.register_image(image);
+        sim.register_image(MachineImage::incubator("incubator"));
+        (sim, id)
+    }
+
+    #[test]
+    fn launch_boots_after_latency() {
+        let (mut sim, img) = sim_with_defaults();
+        let id = sim.launch("campus", "m1.medium", &img).unwrap();
+        assert!(matches!(sim.instance(id).unwrap().state(), InstanceState::Pending { .. }));
+        sim.advance(SimDuration::from_secs(150));
+        assert!(sim.instance(id).unwrap().is_running());
+    }
+
+    #[test]
+    fn private_capacity_is_enforced() {
+        let (mut sim, img) = sim_with_defaults();
+        // campus has 8 vCPUs; m1.large is 4.
+        sim.launch("campus", "m1.large", &img).unwrap();
+        sim.launch("campus", "m1.large", &img).unwrap();
+        let err = sim.launch("campus", "m1.small", &img).unwrap_err();
+        assert!(matches!(err, CloudError::CapacityExceeded { free: 0, .. }));
+        // Public cloud absorbs the overflow.
+        assert!(sim.launch("aws", "m1.small", &img).is_ok());
+    }
+
+    #[test]
+    fn terminate_frees_capacity() {
+        let (mut sim, img) = sim_with_defaults();
+        let a = sim.launch("campus", "m1.xlarge", &img).unwrap();
+        assert_eq!(sim.free_vcpus("campus"), Some(0));
+        sim.terminate(a).unwrap();
+        assert_eq!(sim.free_vcpus("campus"), Some(8));
+    }
+
+    #[test]
+    fn job_on_pending_instance_runs_after_boot() {
+        let (mut sim, img) = sim_with_defaults();
+        let id = sim.launch("campus", "m1.small", &img).unwrap();
+        let job = sim.submit_job(id, SimDuration::from_secs(60)).unwrap();
+        sim.advance(SimDuration::from_secs(400));
+        let j = sim.instance(id).unwrap().job(job).unwrap();
+        assert!(matches!(j.state(), JobState::Completed { .. }));
+        // Latency includes the boot wait: strictly more than the work alone.
+        assert!(j.latency().unwrap() > SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn streamlined_run_needs_no_install() {
+        let (mut sim, img) = sim_with_defaults();
+        let id = sim.launch("campus", "m1.small", &img).unwrap();
+        sim.advance(SimDuration::from_secs(200));
+        sim.run_model(id, "topmodel", SimDuration::from_secs(30)).unwrap();
+        let inst = sim.instance(id).unwrap();
+        assert_eq!(inst.jobs().len(), 1, "no install job expected");
+    }
+
+    #[test]
+    fn incubator_run_installs_once_then_reuses() {
+        let (mut sim, _) = sim_with_defaults();
+        let inc = ImageId::new("incubator");
+        let id = sim.launch("campus", "m1.small", &inc).unwrap();
+        sim.advance(SimDuration::from_secs(100));
+        sim.run_model(id, "fuse", SimDuration::from_secs(30)).unwrap();
+        sim.run_model(id, "fuse", SimDuration::from_secs(30)).unwrap();
+        let installs = sim
+            .instance(id)
+            .unwrap()
+            .jobs()
+            .iter()
+            .filter(|j| matches!(j.kind(), JobKind::Install { .. }))
+            .count();
+        assert_eq!(installs, 1);
+        sim.advance(SimDuration::from_secs(1000));
+        assert!(sim.instance(id).unwrap().has_model("fuse"));
+    }
+
+    #[test]
+    fn incubator_is_slower_end_to_end_than_streamlined() {
+        let (mut sim, baked) = sim_with_defaults();
+        let inc = ImageId::new("incubator");
+        let a = sim.launch("campus", "m1.small", &baked).unwrap();
+        let b = sim.launch("campus", "m1.small", &inc).unwrap();
+        // Wait until both are running so boot differences don't dominate.
+        sim.advance(SimDuration::from_secs(300));
+        let ja = sim.run_model(a, "topmodel", SimDuration::from_secs(60)).unwrap();
+        let jb = sim.run_model(b, "topmodel", SimDuration::from_secs(60)).unwrap();
+        sim.advance(SimDuration::from_secs(2000));
+        let la = sim.instance(a).unwrap().job(ja).unwrap().latency().unwrap();
+        let lb = sim.instance(b).unwrap().job(jb).unwrap().latency().unwrap();
+        assert!(lb > la, "incubator {lb} should be slower than streamlined {la}");
+    }
+
+    #[test]
+    fn hang_shows_pegged_cpu_and_zero_outbound() {
+        let (mut sim, img) = sim_with_defaults();
+        let id = sim.launch("campus", "m1.small", &img).unwrap();
+        sim.advance(SimDuration::from_secs(200));
+        sim.submit_job(id, SimDuration::from_secs(600)).unwrap();
+        sim.inject_failure(id, FailureMode::Hang).unwrap();
+        let m = sim.metrics(id).unwrap();
+        assert_eq!(m.cpu, 1.0);
+        assert_eq!(m.net_out_kbps, 0.0);
+    }
+
+    #[test]
+    fn blackhole_shows_inbound_without_outbound() {
+        let (mut sim, img) = sim_with_defaults();
+        let id = sim.launch("campus", "m1.small", &img).unwrap();
+        sim.advance(SimDuration::from_secs(200));
+        sim.submit_job(id, SimDuration::from_secs(600)).unwrap();
+        sim.inject_failure(id, FailureMode::NetworkBlackhole).unwrap();
+        sim.submit_job(id, SimDuration::from_secs(10)).unwrap_err();
+        let m = sim.metrics(id).unwrap();
+        assert!(m.net_in_kbps > 0.0);
+        assert_eq!(m.net_out_kbps, 0.0);
+    }
+
+    #[test]
+    fn failed_instance_holds_capacity_until_terminated() {
+        let (mut sim, img) = sim_with_defaults();
+        let id = sim.launch("campus", "m1.xlarge", &img).unwrap();
+        sim.advance(SimDuration::from_secs(200));
+        sim.inject_failure(id, FailureMode::Crash).unwrap();
+        assert_eq!(sim.free_vcpus("campus"), Some(0));
+        sim.terminate(id).unwrap();
+        assert_eq!(sim.free_vcpus("campus"), Some(8));
+    }
+
+    #[test]
+    fn billing_prefers_private() {
+        let (mut sim, img) = sim_with_defaults();
+        let a = sim.launch("campus", "m1.medium", &img).unwrap();
+        let b = sim.launch("aws", "m1.medium", &img).unwrap();
+        sim.advance(SimDuration::from_secs(3600));
+        let by = sim.cost_by_provider();
+        assert!(by["campus"] < by["aws"], "private {:.3} must be cheaper than public {:.3}", by["campus"], by["aws"]);
+        assert!((sim.total_cost() - (by["campus"] + by["aws"])).abs() < 1e-9);
+        sim.terminate(a).unwrap();
+        sim.terminate(b).unwrap();
+    }
+
+    #[test]
+    fn contention_serialises_jobs_on_one_vcpu() {
+        let (mut sim, img) = sim_with_defaults();
+        let id = sim.launch("campus", "m1.small", &img).unwrap();
+        sim.advance(SimDuration::from_secs(300));
+        let start = sim.now();
+        let j1 = sim.submit_job(id, SimDuration::from_secs(100)).unwrap();
+        let j2 = sim.submit_job(id, SimDuration::from_secs(100)).unwrap();
+        sim.advance(SimDuration::from_secs(500));
+        let inst = sim.instance(id).unwrap();
+        let f1 = match inst.job(j1).unwrap().state() {
+            JobState::Completed { finished } => finished,
+            s => panic!("job1 not complete: {s:?}"),
+        };
+        let f2 = match inst.job(j2).unwrap().state() {
+            JobState::Completed { finished } => finished,
+            s => panic!("job2 not complete: {s:?}"),
+        };
+        assert_eq!(f1.saturating_since(start), SimDuration::from_secs(100));
+        assert_eq!(f2.saturating_since(start), SimDuration::from_secs(200));
+    }
+
+    #[test]
+    fn random_failures_eventually_fire() {
+        let mut sim = CloudSim::new(1);
+        sim.register_provider(
+            Provider::private_openstack("campus", 64).with_mtbf(SimDuration::from_secs(600)),
+        );
+        let image = MachineImage::streamlined("img", ["m"]);
+        let img = image.id().clone();
+        sim.register_image(image);
+        sim.enable_random_failures(true);
+        let mut ids = Vec::new();
+        for _ in 0..16 {
+            ids.push(sim.launch("campus", "m1.small", &img).unwrap());
+        }
+        sim.advance(SimDuration::from_secs(3600));
+        let failed = ids
+            .iter()
+            .filter(|&&id| matches!(sim.instance(id).unwrap().state(), InstanceState::Failed { .. }))
+            .count();
+        assert!(failed > 0, "with 600s MTBF over an hour, some of 16 instances must fail");
+    }
+
+    #[test]
+    fn provider_kinds_are_queryable() {
+        let (sim, _) = sim_with_defaults();
+        assert_eq!(sim.provider("campus").unwrap().kind(), ProviderKind::Private);
+        assert_eq!(sim.provider("aws").unwrap().kind(), ProviderKind::Public);
+        assert!(sim.provider("nope").is_none());
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let (mut sim, img) = sim_with_defaults();
+        assert!(matches!(
+            sim.launch("nope", "m1.small", &img),
+            Err(CloudError::UnknownProvider(_))
+        ));
+        assert!(matches!(
+            sim.launch("campus", "nope", &img),
+            Err(CloudError::UnknownInstanceType(_))
+        ));
+        assert!(matches!(
+            sim.launch("campus", "m1.small", &ImageId::new("nope")),
+            Err(CloudError::UnknownImage(_))
+        ));
+        assert!(matches!(
+            sim.metrics(InstanceId(999)),
+            Err(CloudError::UnknownInstance(_))
+        ));
+    }
+}

@@ -1,0 +1,295 @@
+//! Identifier and catalogue types: instance types and machine images.
+
+use std::fmt;
+
+use evop_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A unique cloud-instance identifier, assigned by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct InstanceId(pub(crate) u64);
+
+impl InstanceId {
+    /// Builds an id from its raw value — for tests and tools that need to
+    /// fabricate ids; real ids come from [`CloudSim::launch`].
+    ///
+    /// [`CloudSim::launch`]: crate::CloudSim::launch
+    pub fn from_raw(raw: u64) -> InstanceId {
+        InstanceId(raw)
+    }
+
+    /// The raw numeric value.
+    pub fn as_raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i-{:08x}", self.0)
+    }
+}
+
+/// A machine-image identifier, e.g. `"img-topmodel-eden"`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ImageId(String);
+
+impl ImageId {
+    /// Creates an image id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is empty.
+    pub fn new(id: impl Into<String>) -> ImageId {
+        let id = id.into();
+        assert!(!id.is_empty(), "image id must not be empty");
+        ImageId(id)
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ImageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ImageId {
+    fn from(s: &str) -> ImageId {
+        ImageId::new(s)
+    }
+}
+
+/// A flavour of virtual machine: vCPU count, memory and price.
+///
+/// The standard flavours mirror the EC2/OpenStack m1 family the project used.
+///
+/// # Examples
+///
+/// ```
+/// use evop_cloud::InstanceType;
+///
+/// let m = InstanceType::lookup("m1.medium").unwrap();
+/// assert_eq!(m.vcpus(), 2);
+/// assert!(m.hourly_cost() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceType {
+    name: String,
+    vcpus: u32,
+    mem_gb: f64,
+    hourly_cost: f64,
+}
+
+impl InstanceType {
+    /// Creates an instance type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcpus` is zero, or memory/cost are not positive.
+    pub fn new(name: impl Into<String>, vcpus: u32, mem_gb: f64, hourly_cost: f64) -> InstanceType {
+        assert!(vcpus > 0, "an instance needs at least one vCPU");
+        assert!(mem_gb > 0.0, "memory must be positive");
+        assert!(hourly_cost >= 0.0, "cost must be non-negative");
+        InstanceType { name: name.into(), vcpus, mem_gb, hourly_cost }
+    }
+
+    /// The standard flavour catalogue (per-hour on-demand prices in USD,
+    /// modelled on 2012-era EC2).
+    pub fn standard_catalogue() -> Vec<InstanceType> {
+        vec![
+            InstanceType::new("m1.small", 1, 1.7, 0.065),
+            InstanceType::new("m1.medium", 2, 3.75, 0.13),
+            InstanceType::new("m1.large", 4, 7.5, 0.26),
+            InstanceType::new("m1.xlarge", 8, 15.0, 0.52),
+        ]
+    }
+
+    /// Looks a flavour up in the standard catalogue.
+    pub fn lookup(name: &str) -> Option<InstanceType> {
+        InstanceType::standard_catalogue().into_iter().find(|t| t.name == name)
+    }
+
+    /// The flavour name, e.g. `"m1.medium"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of virtual CPUs (parallel job slots).
+    pub fn vcpus(&self) -> u32 {
+        self.vcpus
+    }
+
+    /// Memory in GiB.
+    pub fn mem_gb(&self) -> f64 {
+        self.mem_gb
+    }
+
+    /// On-demand price per hour.
+    pub fn hourly_cost(&self) -> f64 {
+        self.hourly_cost
+    }
+}
+
+/// How a machine image was prepared — the distinction at the heart of the
+/// paper's Model Library (§IV-D).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ImageKind {
+    /// A "streamlined execution bundle": a VM image pre-baked offline with a
+    /// fine-tuned set of models and all required data. Larger (slower to
+    /// boot) but serves model runs at full speed immediately.
+    Streamlined {
+        /// Names of the models baked into the image.
+        models: Vec<String>,
+    },
+    /// A generic "model incubator" image: boots fast but each model must be
+    /// installed after boot, and experimental deployments pay a per-run
+    /// performance penalty (the paper: "some effect on execution
+    /// performance when compared to a streamlined execution unit").
+    Incubator,
+}
+
+impl ImageKind {
+    /// `true` for streamlined bundles.
+    pub fn is_streamlined(&self) -> bool {
+        matches!(self, ImageKind::Streamlined { .. })
+    }
+}
+
+/// A virtual-machine image stored in the Model Library.
+///
+/// # Examples
+///
+/// ```
+/// use evop_cloud::MachineImage;
+///
+/// let baked = MachineImage::streamlined("topmodel-eden", ["topmodel", "fuse"]);
+/// assert!(baked.provides_model("topmodel"));
+/// assert!(!baked.provides_model("swat"));
+///
+/// let generic = MachineImage::incubator("model-incubator");
+/// assert!(!generic.provides_model("topmodel"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineImage {
+    id: ImageId,
+    kind: ImageKind,
+    /// Extra boot time on top of the provider's base boot latency.
+    boot_overhead: SimDuration,
+    /// Multiplier on job execution time (1.0 = full speed).
+    execution_penalty: f64,
+    /// Time to install one model on a booted incubator instance.
+    install_time: SimDuration,
+}
+
+impl MachineImage {
+    /// Creates a streamlined (pre-baked) image bundling `models`.
+    pub fn streamlined<I, S>(id: impl Into<String>, models: I) -> MachineImage
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        MachineImage {
+            id: ImageId::new(id),
+            kind: ImageKind::Streamlined {
+                models: models.into_iter().map(Into::into).collect(),
+            },
+            boot_overhead: SimDuration::from_secs(40),
+            execution_penalty: 1.0,
+            install_time: SimDuration::ZERO,
+        }
+    }
+
+    /// Creates a generic incubator image.
+    pub fn incubator(id: impl Into<String>) -> MachineImage {
+        MachineImage {
+            id: ImageId::new(id),
+            kind: ImageKind::Incubator,
+            boot_overhead: SimDuration::from_secs(5),
+            execution_penalty: 1.35,
+            install_time: SimDuration::from_secs(90),
+        }
+    }
+
+    /// The image id.
+    pub fn id(&self) -> &ImageId {
+        &self.id
+    }
+
+    /// The image kind.
+    pub fn kind(&self) -> &ImageKind {
+        &self.kind
+    }
+
+    /// Extra boot time on top of the provider's base boot latency.
+    pub fn boot_overhead(&self) -> SimDuration {
+        self.boot_overhead
+    }
+
+    /// Multiplier on job execution time (1.0 = full speed).
+    pub fn execution_penalty(&self) -> f64 {
+        self.execution_penalty
+    }
+
+    /// Time to install one model after boot (zero for streamlined images).
+    pub fn install_time(&self) -> SimDuration {
+        self.install_time
+    }
+
+    /// `true` if the image ships with `model` pre-installed.
+    pub fn provides_model(&self, model: &str) -> bool {
+        match &self.kind {
+            ImageKind::Streamlined { models } => models.iter().any(|m| m == model),
+            ImageKind::Incubator => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_catalogue_is_ordered_by_size() {
+        let cat = InstanceType::standard_catalogue();
+        assert_eq!(cat.len(), 4);
+        for pair in cat.windows(2) {
+            assert!(pair[0].vcpus() < pair[1].vcpus());
+            assert!(pair[0].hourly_cost() < pair[1].hourly_cost());
+        }
+    }
+
+    #[test]
+    fn lookup_finds_known_flavours() {
+        assert!(InstanceType::lookup("m1.small").is_some());
+        assert!(InstanceType::lookup("m9.mega").is_none());
+    }
+
+    #[test]
+    fn streamlined_vs_incubator_tradeoffs() {
+        let baked = MachineImage::streamlined("a", ["topmodel"]);
+        let generic = MachineImage::incubator("b");
+        // Streamlined: slower boot, full-speed execution, no install.
+        assert!(baked.boot_overhead() > generic.boot_overhead());
+        assert!(baked.execution_penalty() < generic.execution_penalty());
+        assert!(baked.install_time().is_zero());
+        assert!(!generic.install_time().is_zero());
+    }
+
+    #[test]
+    fn instance_id_display() {
+        assert_eq!(InstanceId(255).to_string(), "i-000000ff");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vCPU")]
+    fn zero_vcpu_rejected() {
+        let _ = InstanceType::new("bad", 0, 1.0, 0.1);
+    }
+}

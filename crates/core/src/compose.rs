@@ -1,0 +1,196 @@
+//! Workflows over web services: the paper's composition vision, wired.
+//!
+//! §VIII defines a workflow as "a directed acyclic graph of basic
+//! execution units (e.g. executables, scripts, **web services**, etc.)".
+//! The `evop-workflow` engine runs arbitrary tasks; this module supplies
+//! the web-service execution unit — a workflow task that calls a WPS
+//! process — plus a ready-made scenario-comparison workflow built entirely
+//! from WPS nodes.
+
+use std::sync::Arc;
+
+use evop_models::scenarios::Scenario;
+use evop_services::wps::WpsServer;
+use evop_workflow::{Workflow, WorkflowError};
+use serde_json::{json, Map, Value};
+
+/// Builds a workflow task that executes `process` on a shared WPS server.
+///
+/// Inputs are assembled by merging, in order: `base_inputs`, then every
+/// upstream output that is a JSON object (later keys win). Non-object
+/// upstream outputs are ignored — connect a shaping task in between when
+/// a scalar needs to become a named input.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use evop_core::compose::wps_execute_task;
+/// use evop_data::{Catchment, Timestamp};
+/// use evop_data::synthetic::WeatherGenerator;
+/// use evop_models::pet::hamon_series;
+/// use evop_models::Forcing;
+/// use evop_portal::processes::register_standard_processes;
+/// use evop_services::wps::WpsServer;
+/// use evop_workflow::Workflow;
+/// use serde_json::json;
+///
+/// let catchment = Catchment::morland();
+/// let g = WeatherGenerator::for_catchment(&catchment, 1);
+/// let start = Timestamp::from_ymd(2012, 1, 1);
+/// let rain = g.rainfall(start, 3600, 240);
+/// let temp = g.temperature(start, 3600, 240);
+/// let forcing = Forcing::new(rain, hamon_series(&temp, catchment.outlet().lat()));
+/// let mut server = WpsServer::new();
+/// register_standard_processes(&mut server, &catchment, &forcing, 1);
+/// let server = Arc::new(server);
+///
+/// let wf = Workflow::builder("one-node")
+///     .task("run", [] as [&str; 0], wps_execute_task(server, "topmodel", json!({})))
+///     .build()?;
+/// let record = wf.execute()?;
+/// assert!(record.output("run").unwrap()["hydrograph"]["peak_m3s"].as_f64().unwrap() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn wps_execute_task(
+    server: Arc<WpsServer>,
+    process: impl Into<String>,
+    base_inputs: Value,
+) -> impl Fn(&[Value]) -> Result<Value, String> + Send + Sync + 'static {
+    let process = process.into();
+    move |upstream: &[Value]| {
+        let mut inputs: Map<String, Value> = match &base_inputs {
+            Value::Object(map) => map.clone(),
+            Value::Null => Map::new(),
+            other => return Err(format!("base inputs must be an object, got {other}")),
+        };
+        for value in upstream {
+            if let Value::Object(map) = value {
+                for (k, v) in map {
+                    inputs.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        server
+            .execute(&process, Value::Object(inputs))
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Builds the scenario-comparison workflow: one WPS execution unit per
+/// scenario, joined by a comparison node that ranks flood peaks — a
+/// "complex experiment that can be easily tweaked and replayed" built
+/// purely from web services.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors (impossible for this fixed shape,
+/// but surfaced rather than unwrapped).
+pub fn scenario_comparison_workflow(
+    server: Arc<WpsServer>,
+    process: &str,
+    scenarios: &[Scenario],
+) -> Result<Workflow, WorkflowError> {
+    let mut builder = Workflow::builder(format!("{process}-scenario-comparison"));
+    let mut node_names = Vec::new();
+    for scenario in scenarios {
+        let name = format!("run-{}", scenario.id());
+        builder = builder.task(
+            &name,
+            [] as [&str; 0],
+            wps_execute_task(Arc::clone(&server), process, json!({"scenario": scenario.id()})),
+        );
+        node_names.push(name);
+    }
+    let labels: Vec<String> = scenarios.iter().map(|s| s.id().to_owned()).collect();
+    builder = builder.task("compare", node_names, move |upstream| {
+        let mut rows: Vec<Value> = Vec::new();
+        for (label, output) in labels.iter().zip(upstream) {
+            let peak = output
+                .pointer("/hydrograph/peak_m3s")
+                .or_else(|| output.pointer("/mean/peak_m3s"))
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{label}: no peak in WPS output"))?;
+            rows.push(json!({ "scenario": label, "peak_m3s": peak }));
+        }
+        rows.sort_by(|a, b| {
+            b["peak_m3s"]
+                .as_f64()
+                .partial_cmp(&a["peak_m3s"].as_f64())
+                .expect("finite peaks")
+        });
+        Ok(json!({ "ranked_by_peak": rows }))
+    });
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_data::synthetic::WeatherGenerator;
+    use evop_data::{Catchment, Timestamp};
+    use evop_models::pet::hamon_series;
+    use evop_models::Forcing;
+    use evop_portal::processes::register_standard_processes;
+
+    fn shared_server() -> Arc<WpsServer> {
+        let catchment = Catchment::morland();
+        let generator = WeatherGenerator::for_catchment(&catchment, 9);
+        let start = Timestamp::from_ymd(2012, 1, 1);
+        let n = 20 * 24;
+        let rain = generator.rainfall(start, 3600, n);
+        let temp = generator.temperature(start, 3600, n);
+        let forcing = Forcing::new(rain, hamon_series(&temp, catchment.outlet().lat()));
+        let mut server = WpsServer::new();
+        register_standard_processes(&mut server, &catchment, &forcing, 9);
+        Arc::new(server)
+    }
+
+    #[test]
+    fn upstream_objects_override_base_inputs() {
+        let server = shared_server();
+        let task = wps_execute_task(server, "topmodel", json!({"scenario": "baseline"}));
+        let out = task(&[json!({"scenario": "compacted-soils"})]).unwrap();
+        assert_eq!(out["scenario"], "compacted-soils");
+    }
+
+    #[test]
+    fn wps_errors_become_node_failures() {
+        let server = shared_server();
+        let task = wps_execute_task(server, "topmodel", json!({"m": 99.0}));
+        let err = task(&[]).unwrap_err();
+        assert!(err.contains("invalid parameter"), "{err}");
+    }
+
+    #[test]
+    fn scenario_comparison_workflow_ranks_peaks() {
+        let server = shared_server();
+        let wf = scenario_comparison_workflow(
+            server,
+            "topmodel",
+            &[Scenario::Baseline, Scenario::CompactedSoils, Scenario::RestoredWetland],
+        )
+        .unwrap();
+        assert_eq!(wf.len(), 4);
+        let record = wf.execute().unwrap();
+        let ranked = record.output("compare").unwrap()["ranked_by_peak"]
+            .as_array()
+            .unwrap()
+            .clone();
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0]["scenario"], "compacted-soils", "highest peak first");
+        assert_eq!(ranked[2]["scenario"], "restored-wetland", "lowest peak last");
+
+        // The whole web-service composition replays deterministically.
+        assert!(wf.replay(&record).unwrap().matches());
+    }
+
+    #[test]
+    fn works_over_the_fuse_ensemble_too() {
+        let server = shared_server();
+        let wf = scenario_comparison_workflow(server, "fuse", &[Scenario::Baseline]).unwrap();
+        let record = wf.execute().unwrap();
+        let ranked = &record.output("compare").unwrap()["ranked_by_peak"];
+        assert!(ranked[0]["peak_m3s"].as_f64().unwrap() > 0.0);
+    }
+}

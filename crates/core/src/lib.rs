@@ -1,0 +1,52 @@
+//! EVOp — the Environmental Virtual Observatory pilot, reproduced in Rust.
+//!
+//! This crate is the top of the workspace: it wires the substrates
+//! (`evop-data`, `evop-cloud`, `evop-xcloud`, `evop-services`,
+//! `evop-models`, `evop-broker`, `evop-workflow`, `evop-portal`) into the
+//! observatory the paper describes — "a cloud-enabled virtual research
+//! space for different users interested in environmental science, ranging
+//! from domain specialists to the general public".
+//!
+//! * [`Evop`] — the facade: study catchments with synthetic archives, SOS
+//!   and WPS services, the asset map, the dataset catalogue, modelling
+//!   widgets and the hybrid-cloud broker, all from one seeded builder;
+//! * [`registry`] — the XaaS asset registry giving every resource a
+//!   uniform address;
+//! * [`experiments`] — the harnesses behind every experiment in
+//!   EXPERIMENTS.md (E1–E15), shared by the Criterion benches and the
+//!   integration tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use evop_core::Evop;
+//!
+//! let mut evop = Evop::builder().seed(42).days(10).build();
+//! let morland = evop.catchments()[0].id().clone();
+//!
+//! // Explore assets on the map…
+//! let markers = evop.map().in_catchment(&morland);
+//! assert!(markers.len() >= 6);
+//!
+//! // …and run the flood model through the WPS service.
+//! let out = evop
+//!     .wps(&morland)
+//!     .unwrap()
+//!     .execute("topmodel", serde_json::json!({"scenario": "baseline"}))
+//!     .unwrap();
+//! assert!(out["hydrograph"]["peak_m3s"].as_f64().unwrap() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod api;
+pub mod compose;
+pub mod experiments;
+pub mod registry;
+
+mod observatory;
+
+pub use observatory::{DownloadError, Evop, EvopBuilder};
+pub use registry::{AssetKind, AssetRecord, AssetRegistry};

@@ -1,0 +1,526 @@
+//! The observatory facade: one builder that assembles the entire EVOp
+//! stack.
+
+use std::collections::BTreeMap;
+
+use evop_broker::{Broker, BrokerConfig};
+use evop_data::catalog::{AccessPolicy, Catalog, DataSource, DatasetMeta};
+use evop_data::catchment::CatchmentId;
+use evop_data::sensors::{SensorKind, WebcamFrame};
+use evop_data::synthetic::{RatingCurve, TruthModel, WeatherGenerator};
+use evop_data::{Catchment, TimeSeries, Timestamp};
+use evop_models::pet::hamon_series;
+use evop_models::Forcing;
+use evop_portal::processes::register_standard_processes;
+use evop_portal::widgets::ModellingWidget;
+use evop_portal::AssetMap;
+use evop_services::sos::SosServer;
+use evop_services::wps::WpsServer;
+
+use crate::registry::{AssetKind, AssetRegistry};
+
+/// Builder for [`Evop`].
+///
+/// Everything is seeded: two observatories built with the same settings are
+/// identical, which is what makes the experiment suite reproducible.
+#[derive(Debug, Clone)]
+pub struct EvopBuilder {
+    seed: u64,
+    start: Timestamp,
+    days: usize,
+    catchments: Vec<Catchment>,
+    broker_config: BrokerConfig,
+}
+
+impl Default for EvopBuilder {
+    fn default() -> EvopBuilder {
+        EvopBuilder {
+            seed: 42,
+            start: Timestamp::from_ymd(2012, 1, 1),
+            days: 30,
+            catchments: vec![Catchment::morland()],
+            broker_config: BrokerConfig::default(),
+        }
+    }
+}
+
+impl EvopBuilder {
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> EvopBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the archive start date.
+    pub fn start(mut self, start: Timestamp) -> EvopBuilder {
+        self.start = start;
+        self
+    }
+
+    /// Sets the archive length in days.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days` is zero.
+    pub fn days(mut self, days: usize) -> EvopBuilder {
+        assert!(days > 0, "archive must cover at least one day");
+        self.days = days;
+        self
+    }
+
+    /// Replaces the catchment set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `catchments` is empty.
+    pub fn catchments(mut self, catchments: Vec<Catchment>) -> EvopBuilder {
+        assert!(!catchments.is_empty(), "at least one catchment is required");
+        self.catchments = catchments;
+        self
+    }
+
+    /// Uses all four study catchments.
+    pub fn all_study_catchments(self) -> EvopBuilder {
+        self.catchments(Catchment::study_catchments())
+    }
+
+    /// Overrides the broker configuration.
+    pub fn broker_config(mut self, config: BrokerConfig) -> EvopBuilder {
+        self.broker_config = config;
+        self
+    }
+
+    /// Builds the observatory: generates every catchment's synthetic
+    /// archive, loads the SOS and WPS services, the asset map, the dataset
+    /// catalogue, the XaaS registry and the cloud broker.
+    pub fn build(self) -> Evop {
+        let n_steps = self.days * 24;
+        let mut sos = SosServer::new();
+        let mut map = AssetMap::new();
+        let mut catalog = Catalog::new();
+        let mut registry = AssetRegistry::new();
+        let mut wps = BTreeMap::new();
+        let mut forcings = BTreeMap::new();
+        let mut observed = BTreeMap::new();
+        let mut stages = BTreeMap::new();
+        let mut frames = BTreeMap::new();
+
+        for catchment in &self.catchments {
+            let id = catchment.id().clone();
+            let generator = WeatherGenerator::for_catchment(catchment, self.seed);
+            let truth = TruthModel::for_catchment(catchment, self.seed);
+
+            let rain = generator.rainfall(self.start, 3600, n_steps);
+            let air_temp = generator.temperature(self.start, 3600, n_steps);
+            let pet = hamon_series(&air_temp, catchment.outlet().lat());
+            let discharge = truth.discharge(&rain, &air_temp);
+            let stage = truth.stage(&discharge);
+            let turbidity = truth.turbidity(&discharge);
+            let water_temp = truth.water_temperature(&air_temp);
+
+            // Sensors, archives and webcam frames.
+            let sensors = catchment.default_sensors();
+            for sensor in &sensors {
+                sos.register_sensor(sensor.clone());
+                registry
+                    .register(AssetKind::Sensor, sensor.id().as_str(), sensor.name(), ["in-situ"])
+                    .expect("sensor ids are unique");
+            }
+            let by_kind = |kind: SensorKind| {
+                sensors
+                    .iter()
+                    .find(|s| s.kind() == kind)
+                    .expect("default network has every kind")
+                    .id()
+                    .clone()
+            };
+            // Live feeds pass through the standard QC pipeline on ingestion
+            // (suspect samples are archived flagged, not dropped).
+            sos.ingest_series_with_qc(&by_kind(SensorKind::RainGauge), &rain).expect("registered");
+            sos.ingest_series_with_qc(&by_kind(SensorKind::RiverLevel), &stage).expect("registered");
+            sos.ingest_series_with_qc(&by_kind(SensorKind::Temperature), &water_temp)
+                .expect("registered");
+            sos.ingest_series_with_qc(&by_kind(SensorKind::Turbidity), &turbidity)
+                .expect("registered");
+            let camera = by_kind(SensorKind::Webcam);
+            frames.insert(id.clone(), truth.webcam_frames(&camera, &turbidity, 1800));
+
+            // Map and catalogue.
+            map.add_catchment_assets(catchment);
+            let end = self.start.plus_days(self.days as i64);
+            // Rainfall and stage are open data; turbidity (a commercial
+            // water-quality product in the real project) is registered-only
+            // — the delegation-over-download policy of paper SIII-B.
+            for (suffix, title, kind, access) in [
+                ("rainfall", "rainfall", SensorKind::RainGauge, AccessPolicy::Open),
+                ("stage", "river stage", SensorKind::RiverLevel, AccessPolicy::Open),
+                ("turbidity", "turbidity", SensorKind::Turbidity, AccessPolicy::Registered),
+            ] {
+                catalog
+                    .add(
+                        DatasetMeta::builder(
+                            format!("{id}-{suffix}"),
+                            format!("{} {title}", catchment.name()),
+                        )
+                        .description(format!(
+                            "Hourly {title} archive for {} ({})",
+                            catchment.name(),
+                            catchment.region()
+                        ))
+                        .source(DataSource::InSitu)
+                        .access(access)
+                        .kind(kind)
+                        .theme("hydrology")
+                        .extent(catchment.bounding_box())
+                        .time_range(self.start, end)
+                        .build(),
+                    )
+                    .expect("dataset ids are unique");
+            }
+
+            // Model services.
+            let forcing = Forcing::new(rain, pet);
+            let mut server = WpsServer::new();
+            register_standard_processes(&mut server, catchment, &forcing, self.seed);
+            registry
+                .register(
+                    AssetKind::Service,
+                    format!("wps-{id}"),
+                    format!("{} WPS endpoint", catchment.name()),
+                    ["ogc", "wps"],
+                )
+                .expect("unique");
+            wps.insert(id.clone(), server);
+
+            forcings.insert(id.clone(), forcing);
+            observed.insert(id.clone(), discharge);
+            stages.insert(id, stage);
+        }
+
+        for model in ["topmodel", "fuse"] {
+            registry
+                .register(AssetKind::Model, model, model.to_uppercase(), ["hydrology"])
+                .expect("unique");
+        }
+
+        let broker = Broker::new(self.broker_config, self.seed);
+
+        Evop {
+            seed: self.seed,
+            start: self.start,
+            days: self.days,
+            catchments: self.catchments,
+            forcings,
+            observed,
+            stages,
+            frames,
+            sos,
+            wps,
+            map,
+            catalog,
+            registry,
+            broker,
+        }
+    }
+}
+
+/// Errors from dataset downloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DownloadError {
+    /// No catalogued dataset with this id.
+    UnknownDataset(String),
+    /// The dataset requires a registered portal account.
+    RegistrationRequired(String),
+    /// The dataset may only feed models, never be downloaded raw.
+    ComputeOnly(String),
+}
+
+impl std::fmt::Display for DownloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DownloadError::UnknownDataset(d) => write!(f, "unknown dataset: {d}"),
+            DownloadError::RegistrationRequired(d) => {
+                write!(f, "dataset {d} requires a registered account")
+            }
+            DownloadError::ComputeOnly(d) => {
+                write!(f, "dataset {d} is compute-only and cannot be downloaded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DownloadError {}
+
+/// The assembled observatory.
+///
+/// See the crate-level example for a typical session.
+#[derive(Debug)]
+pub struct Evop {
+    seed: u64,
+    start: Timestamp,
+    days: usize,
+    catchments: Vec<Catchment>,
+    forcings: BTreeMap<CatchmentId, Forcing>,
+    observed: BTreeMap<CatchmentId, TimeSeries>,
+    stages: BTreeMap<CatchmentId, TimeSeries>,
+    frames: BTreeMap<CatchmentId, Vec<WebcamFrame>>,
+    sos: SosServer,
+    wps: BTreeMap<CatchmentId, WpsServer>,
+    map: AssetMap,
+    catalog: Catalog,
+    registry: AssetRegistry,
+    broker: Broker,
+}
+
+impl Evop {
+    /// Starts building an observatory.
+    pub fn builder() -> EvopBuilder {
+        EvopBuilder::default()
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Archive start.
+    pub fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// Archive length in days.
+    pub fn days(&self) -> usize {
+        self.days
+    }
+
+    /// The loaded catchments.
+    pub fn catchments(&self) -> &[Catchment] {
+        &self.catchments
+    }
+
+    /// A catchment by id.
+    pub fn catchment(&self, id: &CatchmentId) -> Option<&Catchment> {
+        self.catchments.iter().find(|c| c.id() == id)
+    }
+
+    /// The Sensor Observation Service holding every archive.
+    pub fn sos(&self) -> &SosServer {
+        &self.sos
+    }
+
+    /// A catchment's WPS endpoint.
+    pub fn wps(&self, id: &CatchmentId) -> Option<&WpsServer> {
+        self.wps.get(id)
+    }
+
+    /// A catchment's WPS endpoint, mutably (for async executions).
+    pub fn wps_mut(&mut self, id: &CatchmentId) -> Option<&mut WpsServer> {
+        self.wps.get_mut(id)
+    }
+
+    /// The portal asset map.
+    pub fn map(&self) -> &AssetMap {
+        &self.map
+    }
+
+    /// The dataset catalogue.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The XaaS asset registry.
+    pub fn registry(&self) -> &AssetRegistry {
+        &self.registry
+    }
+
+    /// The infrastructure manager.
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+
+    /// The infrastructure manager, mutably (connect users, advance time).
+    pub fn broker_mut(&mut self) -> &mut Broker {
+        &mut self.broker
+    }
+
+    /// A catchment's meteorological forcing.
+    pub fn forcing(&self, id: &CatchmentId) -> Option<&Forcing> {
+        self.forcings.get(id)
+    }
+
+    /// A catchment's "observed" (truth-model) discharge, m³/s.
+    pub fn observed_discharge(&self, id: &CatchmentId) -> Option<&TimeSeries> {
+        self.observed.get(id)
+    }
+
+    /// A catchment's observed stage, m.
+    pub fn observed_stage(&self, id: &CatchmentId) -> Option<&TimeSeries> {
+        self.stages.get(id)
+    }
+
+    /// A catchment's webcam frame archive.
+    pub fn webcam_frames(&self, id: &CatchmentId) -> Option<&[WebcamFrame]> {
+        self.frames.get(id).map(Vec::as_slice)
+    }
+
+    /// A catchment's rating curve.
+    pub fn rating(&self, id: &CatchmentId) -> Option<RatingCurve> {
+        self.catchment(id).map(RatingCurve::for_catchment)
+    }
+
+    /// Downloads a catalogued dataset as CSV, enforcing its access policy
+    /// (the paper's delegation model: compute-only data "can be used in
+    /// models and simulations without necessarily giving it away").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DownloadError::UnknownDataset`] for an uncatalogued id,
+    /// [`DownloadError::RegistrationRequired`] when an anonymous user asks
+    /// for registered data, and [`DownloadError::ComputeOnly`] when the
+    /// policy forbids raw download entirely.
+    pub fn download_dataset(&self, dataset: &str, registered: bool) -> Result<String, DownloadError> {
+        use evop_data::catalog::AccessPolicy;
+        let meta = self
+            .catalog
+            .get(dataset)
+            .ok_or_else(|| DownloadError::UnknownDataset(dataset.to_owned()))?;
+        match meta.access() {
+            AccessPolicy::Open => {}
+            AccessPolicy::Registered if registered => {}
+            AccessPolicy::Registered => {
+                return Err(DownloadError::RegistrationRequired(dataset.to_owned()));
+            }
+            AccessPolicy::ComputeOnly => {
+                return Err(DownloadError::ComputeOnly(dataset.to_owned()));
+            }
+        }
+
+        // Dataset ids are "{catchment}-{suffix}"; resolve the backing sensor.
+        let (catchment, suffix) = dataset
+            .rsplit_once('-')
+            .ok_or_else(|| DownloadError::UnknownDataset(dataset.to_owned()))?;
+        let sensor_suffix = match suffix {
+            "rainfall" => "rain-1",
+            "stage" => "stage-outlet",
+            "turbidity" => "turb-1",
+            _ => return Err(DownloadError::UnknownDataset(dataset.to_owned())),
+        };
+        let sensor = evop_data::SensorId::new(format!("{catchment}-{sensor_suffix}"));
+        let (begin, end) = meta.time_range().expect("catalogued archives are time-bound");
+        let observations = self
+            .sos
+            .get_observation(&evop_services::sos::GetObservation {
+                procedure: sensor,
+                begin,
+                end,
+                max_results: None,
+            })
+            .map_err(|_| DownloadError::UnknownDataset(dataset.to_owned()))?;
+        let irregular: evop_data::timeseries::IrregularSeries =
+            observations.iter().map(|o| (o.time(), o.value())).collect();
+        let len = ((end - begin) / 3600) as usize;
+        let series = irregular.to_regular(begin, 3600, len, evop_data::timeseries::Aggregation::Mean);
+        Ok(evop_data::export::to_csv(&series))
+    }
+
+    /// Builds the LEFT modelling widget for a catchment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catchment is not loaded.
+    pub fn modelling_widget(&self, id: &CatchmentId) -> ModellingWidget {
+        let catchment = self.catchment(id).expect("catchment loaded").clone();
+        let forcing = self.forcings.get(id).expect("catchment loaded").clone();
+        ModellingWidget::new(catchment, forcing, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_data::catalog::Query;
+    use evop_data::SensorId;
+    use evop_services::sos::GetObservation;
+
+    fn small() -> Evop {
+        Evop::builder().seed(7).days(10).build()
+    }
+
+    #[test]
+    fn build_loads_archives_into_sos() {
+        let evop = small();
+        let stage = SensorId::new("morland-stage-outlet");
+        assert_eq!(evop.sos().archive_len(&stage), 240, "10 days of hourly stage");
+        let latest = evop.sos().latest(&stage).unwrap();
+        assert!(latest.value() > 0.0);
+    }
+
+    #[test]
+    fn catalogue_and_registry_are_populated() {
+        let evop = small();
+        assert_eq!(evop.catalog().len(), 3);
+        assert_eq!(evop.catalog().search(&Query::new().text("rainfall")).len(), 1);
+        assert!(evop.registry().len() >= 8);
+        assert!(evop.registry().resolve("evop://model/topmodel").is_some());
+    }
+
+    #[test]
+    fn same_seed_same_observatory() {
+        let a = small();
+        let b = small();
+        let id = a.catchments()[0].id().clone();
+        assert_eq!(a.observed_discharge(&id), b.observed_discharge(&id));
+        assert_eq!(a.webcam_frames(&id), b.webcam_frames(&id));
+    }
+
+    #[test]
+    fn multi_catchment_build() {
+        let evop = Evop::builder().seed(1).days(5).all_study_catchments().build();
+        assert_eq!(evop.catchments().len(), 4);
+        for catchment in evop.catchments() {
+            let id = catchment.id().clone();
+            assert!(evop.wps(&id).is_some(), "{id} needs a WPS endpoint");
+            assert_eq!(evop.observed_discharge(&id).unwrap().len(), 120);
+        }
+        // Map has every catchment's assets.
+        assert_eq!(evop.map().len(), 24);
+    }
+
+    #[test]
+    fn wps_runs_against_the_archive_window() {
+        let evop = small();
+        let id = evop.catchments()[0].id().clone();
+        let out = evop
+            .wps(&id)
+            .unwrap()
+            .execute("topmodel", serde_json::json!({}))
+            .unwrap();
+        let series = out["hydrograph"]["discharge_m3s"].as_array().unwrap();
+        assert_eq!(series.len(), 240);
+    }
+
+    #[test]
+    fn sos_temporal_queries_work_end_to_end() {
+        let evop = small();
+        let rain = SensorId::new("morland-rain-1");
+        let hits = evop
+            .sos()
+            .get_observation(&GetObservation {
+                procedure: rain,
+                begin: evop.start(),
+                end: evop.start().plus_days(2),
+                max_results: None,
+            })
+            .unwrap();
+        assert_eq!(hits.len(), 48);
+    }
+
+    #[test]
+    fn widget_is_constructible_from_facade() {
+        let evop = small();
+        let id = evop.catchments()[0].id().clone();
+        let mut widget = evop.modelling_widget(&id);
+        let run = widget.run("baseline").unwrap();
+        assert_eq!(run.discharge.len(), 240);
+    }
+}

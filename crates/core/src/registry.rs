@@ -1,0 +1,270 @@
+//! The XaaS asset registry: everything is a uniformly addressable resource.
+//!
+//! "A pillar of cloud architectures is the concept of 'everything as a
+//! service' (XaaS) … where all resources are identifiable via a uniform
+//! view" (paper §III-B). The registry assigns every asset — dataset,
+//! sensor, model, VM image, service endpoint, workflow — an `evop://` URI
+//! and uniform metadata, so management and discovery code never needs to
+//! know what kind of thing it is handling.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of resource an asset is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AssetKind {
+    /// A dataset (soft asset).
+    Dataset,
+    /// An in-situ sensor feed (soft asset).
+    Sensor,
+    /// A predictive model (soft asset).
+    Model,
+    /// A machine image in the Model Library.
+    Image,
+    /// A running service endpoint (WPS, SOS, …).
+    Service,
+    /// A composed workflow.
+    Workflow,
+    /// A cloud instance (hard asset).
+    Instance,
+}
+
+impl AssetKind {
+    /// The URI scheme segment for the kind, e.g. `"dataset"`.
+    pub fn segment(self) -> &'static str {
+        match self {
+            AssetKind::Dataset => "dataset",
+            AssetKind::Sensor => "sensor",
+            AssetKind::Model => "model",
+            AssetKind::Image => "image",
+            AssetKind::Service => "service",
+            AssetKind::Workflow => "workflow",
+            AssetKind::Instance => "instance",
+        }
+    }
+}
+
+impl fmt::Display for AssetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.segment())
+    }
+}
+
+/// A registered asset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssetRecord {
+    kind: AssetKind,
+    name: String,
+    title: String,
+    tags: Vec<String>,
+}
+
+impl AssetRecord {
+    /// The asset kind.
+    pub fn kind(&self) -> AssetKind {
+        self.kind
+    }
+
+    /// The asset's unique name within its kind.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Display title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Free-form tags.
+    pub fn tags(&self) -> &[String] {
+        &self.tags
+    }
+
+    /// The asset's uniform address, e.g. `evop://sensor/morland-rain-1`.
+    pub fn uri(&self) -> String {
+        format!("evop://{}/{}", self.kind.segment(), self.name)
+    }
+}
+
+/// Errors from the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// An asset of this kind and name already exists.
+    Duplicate {
+        /// The conflicting kind.
+        kind: AssetKind,
+        /// The conflicting name.
+        name: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Duplicate { kind, name } => {
+                write!(f, "asset already registered: evop://{kind}/{name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The registry itself.
+///
+/// # Examples
+///
+/// ```
+/// use evop_core::{AssetKind, AssetRegistry};
+///
+/// let mut registry = AssetRegistry::new();
+/// registry
+///     .register(AssetKind::Model, "topmodel", "TOPMODEL", ["hydrology"])
+///     .unwrap();
+/// let asset = registry.resolve("evop://model/topmodel").unwrap();
+/// assert_eq!(asset.title(), "TOPMODEL");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AssetRegistry {
+    assets: BTreeMap<(AssetKind, String), AssetRecord>,
+}
+
+impl AssetRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> AssetRegistry {
+        AssetRegistry::default()
+    }
+
+    /// Registers an asset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::Duplicate`] when (kind, name) is taken.
+    pub fn register<I, S>(
+        &mut self,
+        kind: AssetKind,
+        name: impl Into<String>,
+        title: impl Into<String>,
+        tags: I,
+    ) -> Result<String, RegistryError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let name = name.into();
+        let key = (kind, name.clone());
+        if self.assets.contains_key(&key) {
+            return Err(RegistryError::Duplicate { kind, name });
+        }
+        let record = AssetRecord {
+            kind,
+            name,
+            title: title.into(),
+            tags: tags.into_iter().map(Into::into).collect(),
+        };
+        let uri = record.uri();
+        self.assets.insert(key, record);
+        Ok(uri)
+    }
+
+    /// Resolves an `evop://kind/name` URI.
+    pub fn resolve(&self, uri: &str) -> Option<&AssetRecord> {
+        let rest = uri.strip_prefix("evop://")?;
+        let (kind_str, name) = rest.split_once('/')?;
+        let kind = [
+            AssetKind::Dataset,
+            AssetKind::Sensor,
+            AssetKind::Model,
+            AssetKind::Image,
+            AssetKind::Service,
+            AssetKind::Workflow,
+            AssetKind::Instance,
+        ]
+        .into_iter()
+        .find(|k| k.segment() == kind_str)?;
+        self.assets.get(&(kind, name.to_owned()))
+    }
+
+    /// All assets of a kind, sorted by name.
+    pub fn of_kind(&self, kind: AssetKind) -> Vec<&AssetRecord> {
+        self.assets
+            .iter()
+            .filter(|((k, _), _)| *k == kind)
+            .map(|(_, record)| record)
+            .collect()
+    }
+
+    /// Assets whose title or tags contain `needle` (case-insensitive).
+    pub fn search(&self, needle: &str) -> Vec<&AssetRecord> {
+        let needle = needle.to_lowercase();
+        self.assets
+            .values()
+            .filter(|a| {
+                a.title.to_lowercase().contains(&needle)
+                    || a.tags.iter().any(|t| t.to_lowercase().contains(&needle))
+            })
+            .collect()
+    }
+
+    /// Total registered assets.
+    pub fn len(&self) -> usize {
+        self.assets.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.assets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_tags() -> [&'static str; 0] {
+        []
+    }
+
+    #[test]
+    fn uri_round_trip() {
+        let mut r = AssetRegistry::new();
+        let uri = r.register(AssetKind::Sensor, "morland-rain-1", "Rain gauge", no_tags()).unwrap();
+        assert_eq!(uri, "evop://sensor/morland-rain-1");
+        assert_eq!(r.resolve(&uri).unwrap().name(), "morland-rain-1");
+    }
+
+    #[test]
+    fn duplicates_rejected_per_kind() {
+        let mut r = AssetRegistry::new();
+        r.register(AssetKind::Model, "topmodel", "TOPMODEL", no_tags()).unwrap();
+        assert!(matches!(
+            r.register(AssetKind::Model, "topmodel", "again", no_tags()),
+            Err(RegistryError::Duplicate { .. })
+        ));
+        // The same name under a different kind is fine.
+        assert!(r.register(AssetKind::Image, "topmodel", "image", no_tags()).is_ok());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn resolve_rejects_malformed_uris() {
+        let r = AssetRegistry::new();
+        assert!(r.resolve("http://model/x").is_none());
+        assert!(r.resolve("evop://nonsense/x").is_none());
+        assert!(r.resolve("evop://model").is_none());
+    }
+
+    #[test]
+    fn kind_and_text_queries() {
+        let mut r = AssetRegistry::new();
+        r.register(AssetKind::Dataset, "rain", "Morland rainfall", ["hydrology"]).unwrap();
+        r.register(AssetKind::Dataset, "stage", "Morland stage", ["hydrology", "flooding"]).unwrap();
+        r.register(AssetKind::Model, "fuse", "FUSE ensemble", ["hydrology"]).unwrap();
+        assert_eq!(r.of_kind(AssetKind::Dataset).len(), 2);
+        assert_eq!(r.search("flooding").len(), 1);
+        assert_eq!(r.search("HYDROLOGY").len(), 3);
+        assert!(r.search("volcano").is_empty());
+    }
+}

@@ -1,0 +1,508 @@
+//! The searchable dataset catalogue.
+//!
+//! EVOp's requirement of *flexibility* demands "fundamental support for
+//! assets of varied types and sources" (§III-A): in-situ gauging stations,
+//! warehoused data stores, user-provided data and external sources. The
+//! catalogue is the XaaS registry of *soft* data assets — every dataset gets
+//! uniform, discoverable metadata regardless of where it lives, and the
+//! portal's "explore data sources" feature is a query against it.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::geo::BoundingBox;
+use crate::sensors::SensorKind;
+use crate::time::Timestamp;
+
+/// Where a dataset physically lives — the paper's four asset origins.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataSource {
+    /// Live feed from an in-situ gauging station.
+    InSitu,
+    /// EVOp's own warehoused data store.
+    Warehoused,
+    /// An external provider's archive (e.g. a national agency).
+    External {
+        /// The providing organisation.
+        provider: String,
+    },
+    /// Uploaded by a portal user.
+    UserProvided {
+        /// The uploading user's identifier.
+        user: String,
+    },
+}
+
+impl fmt::Display for DataSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataSource::InSitu => f.write_str("in-situ"),
+            DataSource::Warehoused => f.write_str("warehoused"),
+            DataSource::External { provider } => write!(f, "external ({provider})"),
+            DataSource::UserProvided { user } => write!(f, "user-provided ({user})"),
+        }
+    }
+}
+
+/// Who may read a dataset.
+///
+/// The paper highlights that XaaS "allows for the data to be used in models
+/// and simulations without necessarily giving it away to the users" (§III-B);
+/// [`AccessPolicy::ComputeOnly`] encodes exactly that delegation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AccessPolicy {
+    /// Anyone may download the raw data.
+    #[default]
+    Open,
+    /// Registered portal users may download the raw data.
+    Registered,
+    /// The data may feed models but raw values are never released.
+    ComputeOnly,
+}
+
+impl fmt::Display for AccessPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessPolicy::Open => "open",
+            AccessPolicy::Registered => "registered",
+            AccessPolicy::ComputeOnly => "compute-only",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Uniform metadata describing one dataset, whatever its origin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetMeta {
+    id: String,
+    title: String,
+    description: String,
+    source: DataSource,
+    access: AccessPolicy,
+    kind: Option<SensorKind>,
+    themes: Vec<String>,
+    extent: Option<BoundingBox>,
+    time_range: Option<(Timestamp, Timestamp)>,
+}
+
+impl DatasetMeta {
+    /// Starts building dataset metadata.
+    pub fn builder(id: impl Into<String>, title: impl Into<String>) -> DatasetMetaBuilder {
+        DatasetMetaBuilder {
+            id: id.into(),
+            title: title.into(),
+            description: String::new(),
+            source: DataSource::Warehoused,
+            access: AccessPolicy::Open,
+            kind: None,
+            themes: Vec::new(),
+            extent: None,
+            time_range: None,
+        }
+    }
+
+    /// The dataset identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The display title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The prose description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Where the dataset lives.
+    pub fn source(&self) -> &DataSource {
+        &self.source
+    }
+
+    /// Who may read it.
+    pub fn access(&self) -> AccessPolicy {
+        self.access
+    }
+
+    /// The measured quantity, if it is a sensor-like dataset.
+    pub fn kind(&self) -> Option<SensorKind> {
+        self.kind
+    }
+
+    /// Topic tags, e.g. `"hydrology"`, `"flooding"`.
+    pub fn themes(&self) -> &[String] {
+        &self.themes
+    }
+
+    /// Geographic extent, if georeferenced.
+    pub fn extent(&self) -> Option<BoundingBox> {
+        self.extent
+    }
+
+    /// Temporal coverage `[start, end)`, if time-bound.
+    pub fn time_range(&self) -> Option<(Timestamp, Timestamp)> {
+        self.time_range
+    }
+}
+
+/// Builder for [`DatasetMeta`].
+#[derive(Debug, Clone)]
+pub struct DatasetMetaBuilder {
+    id: String,
+    title: String,
+    description: String,
+    source: DataSource,
+    access: AccessPolicy,
+    kind: Option<SensorKind>,
+    themes: Vec<String>,
+    extent: Option<BoundingBox>,
+    time_range: Option<(Timestamp, Timestamp)>,
+}
+
+impl DatasetMetaBuilder {
+    /// Sets the prose description.
+    pub fn description(mut self, d: impl Into<String>) -> Self {
+        self.description = d.into();
+        self
+    }
+
+    /// Sets the origin.
+    pub fn source(mut self, s: DataSource) -> Self {
+        self.source = s;
+        self
+    }
+
+    /// Sets the access policy.
+    pub fn access(mut self, a: AccessPolicy) -> Self {
+        self.access = a;
+        self
+    }
+
+    /// Sets the measured quantity.
+    pub fn kind(mut self, k: SensorKind) -> Self {
+        self.kind = Some(k);
+        self
+    }
+
+    /// Adds a topic tag.
+    pub fn theme(mut self, t: impl Into<String>) -> Self {
+        self.themes.push(t.into());
+        self
+    }
+
+    /// Sets the geographic extent.
+    pub fn extent(mut self, e: BoundingBox) -> Self {
+        self.extent = Some(e);
+        self
+    }
+
+    /// Sets the temporal coverage `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn time_range(mut self, start: Timestamp, end: Timestamp) -> Self {
+        assert!(end > start, "time range inverted");
+        self.time_range = Some((start, end));
+        self
+    }
+
+    /// Builds the metadata record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id or title is empty.
+    pub fn build(self) -> DatasetMeta {
+        assert!(!self.id.is_empty(), "dataset id must not be empty");
+        assert!(!self.title.is_empty(), "dataset title must not be empty");
+        DatasetMeta {
+            id: self.id,
+            title: self.title,
+            description: self.description,
+            source: self.source,
+            access: self.access,
+            kind: self.kind,
+            themes: self.themes,
+            extent: self.extent,
+            time_range: self.time_range,
+        }
+    }
+}
+
+/// A query against the catalogue. All set criteria must match (conjunction).
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::catalog::{Catalog, DatasetMeta, Query};
+/// use evop_data::sensors::SensorKind;
+///
+/// let mut catalog = Catalog::new();
+/// catalog.add(
+///     DatasetMeta::builder("rain-morland", "Morland rainfall")
+///         .kind(SensorKind::RainGauge)
+///         .theme("hydrology")
+///         .build(),
+/// ).unwrap();
+///
+/// let hits = catalog.search(&Query::new().text("rainfall"));
+/// assert_eq!(hits.len(), 1);
+/// let misses = catalog.search(&Query::new().kind(SensorKind::Turbidity));
+/// assert!(misses.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    text: Option<String>,
+    kind: Option<SensorKind>,
+    theme: Option<String>,
+    bbox: Option<BoundingBox>,
+    at_time: Option<Timestamp>,
+    source_in_situ_only: bool,
+}
+
+impl Query {
+    /// Creates an empty query matching everything.
+    pub fn new() -> Query {
+        Query::default()
+    }
+
+    /// Requires `needle` (case-insensitive) in the title or description.
+    pub fn text(mut self, needle: impl Into<String>) -> Query {
+        self.text = Some(needle.into().to_lowercase());
+        self
+    }
+
+    /// Requires the dataset to measure `kind`.
+    pub fn kind(mut self, kind: SensorKind) -> Query {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Requires the theme tag `theme`.
+    pub fn theme(mut self, theme: impl Into<String>) -> Query {
+        self.theme = Some(theme.into());
+        self
+    }
+
+    /// Requires a geographic extent intersecting `bbox`.
+    pub fn bbox(mut self, bbox: BoundingBox) -> Query {
+        self.bbox = Some(bbox);
+        self
+    }
+
+    /// Requires temporal coverage including `t`.
+    pub fn at_time(mut self, t: Timestamp) -> Query {
+        self.at_time = Some(t);
+        self
+    }
+
+    /// Restricts to live in-situ feeds.
+    pub fn live_only(mut self) -> Query {
+        self.source_in_situ_only = true;
+        self
+    }
+
+    fn matches(&self, meta: &DatasetMeta) -> bool {
+        if let Some(needle) = &self.text {
+            let hay = format!("{} {}", meta.title(), meta.description()).to_lowercase();
+            if !hay.contains(needle) {
+                return false;
+            }
+        }
+        if let Some(kind) = self.kind {
+            if meta.kind() != Some(kind) {
+                return false;
+            }
+        }
+        if let Some(theme) = &self.theme {
+            if !meta.themes().iter().any(|t| t == theme) {
+                return false;
+            }
+        }
+        if let Some(bbox) = self.bbox {
+            match meta.extent() {
+                Some(extent) if extent.intersects(bbox) => {}
+                _ => return false,
+            }
+        }
+        if let Some(t) = self.at_time {
+            match meta.time_range() {
+                Some((start, end)) if t >= start && t < end => {}
+                _ => return false,
+            }
+        }
+        if self.source_in_situ_only && *meta.source() != DataSource::InSitu {
+            return false;
+        }
+        true
+    }
+}
+
+/// Error from catalogue mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A dataset with this id is already registered.
+    DuplicateId(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::DuplicateId(id) => write!(f, "dataset id already registered: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// The dataset catalogue: uniform discovery over all data assets.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    datasets: Vec<DatasetMeta>,
+}
+
+impl Catalog {
+    /// Creates an empty catalogue.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError::DuplicateId`] if the id is taken.
+    pub fn add(&mut self, meta: DatasetMeta) -> Result<(), CatalogError> {
+        if self.get(meta.id()).is_some() {
+            return Err(CatalogError::DuplicateId(meta.id().to_owned()));
+        }
+        self.datasets.push(meta);
+        Ok(())
+    }
+
+    /// Looks a dataset up by id.
+    pub fn get(&self, id: &str) -> Option<&DatasetMeta> {
+        self.datasets.iter().find(|d| d.id() == id)
+    }
+
+    /// Runs a query, returning matches in registration order.
+    pub fn search(&self, query: &Query) -> Vec<&DatasetMeta> {
+        self.datasets.iter().filter(|d| query.matches(d)).collect()
+    }
+
+    /// The number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// `true` if the catalogue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+
+    /// Iterates over all datasets.
+    pub fn iter(&self) -> impl Iterator<Item = &DatasetMeta> {
+        self.datasets.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::LatLon;
+
+    fn sample() -> DatasetMeta {
+        DatasetMeta::builder("stage-morland", "Morland outlet stage")
+            .description("15-minute river level at the Morland Beck outlet")
+            .source(DataSource::InSitu)
+            .kind(SensorKind::RiverLevel)
+            .theme("hydrology")
+            .theme("flooding")
+            .extent(BoundingBox::around(LatLon::new(54.593, -2.622), 3.0))
+            .time_range(Timestamp::from_ymd(2011, 1, 1), Timestamp::from_ymd(2013, 1, 1))
+            .build()
+    }
+
+    #[test]
+    fn add_and_get() {
+        let mut c = Catalog::new();
+        c.add(sample()).unwrap();
+        assert_eq!(c.len(), 1);
+        assert!(c.get("stage-morland").is_some());
+        assert!(c.get("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut c = Catalog::new();
+        c.add(sample()).unwrap();
+        assert_eq!(
+            c.add(sample()).unwrap_err(),
+            CatalogError::DuplicateId("stage-morland".to_owned())
+        );
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn text_search_is_case_insensitive() {
+        let mut c = Catalog::new();
+        c.add(sample()).unwrap();
+        assert_eq!(c.search(&Query::new().text("MORLAND")).len(), 1);
+        assert_eq!(c.search(&Query::new().text("tarland")).len(), 0);
+    }
+
+    #[test]
+    fn conjunctive_criteria() {
+        let mut c = Catalog::new();
+        c.add(sample()).unwrap();
+        let q = Query::new()
+            .text("stage")
+            .kind(SensorKind::RiverLevel)
+            .theme("flooding")
+            .live_only();
+        assert_eq!(c.search(&q).len(), 1);
+        // One failing criterion kills the match.
+        let q2 = Query::new().text("stage").kind(SensorKind::RainGauge);
+        assert!(c.search(&q2).is_empty());
+    }
+
+    #[test]
+    fn bbox_search_requires_intersection() {
+        let mut c = Catalog::new();
+        c.add(sample()).unwrap();
+        let near = BoundingBox::around(LatLon::new(54.6, -2.6), 10.0);
+        let far = BoundingBox::around(LatLon::new(51.5, -0.1), 10.0);
+        assert_eq!(c.search(&Query::new().bbox(near)).len(), 1);
+        assert!(c.search(&Query::new().bbox(far)).is_empty());
+    }
+
+    #[test]
+    fn time_search_uses_half_open_range() {
+        let mut c = Catalog::new();
+        c.add(sample()).unwrap();
+        assert_eq!(c.search(&Query::new().at_time(Timestamp::from_ymd(2012, 6, 1))).len(), 1);
+        assert!(c
+            .search(&Query::new().at_time(Timestamp::from_ymd(2013, 1, 1)))
+            .is_empty());
+    }
+
+    #[test]
+    fn dataset_without_extent_fails_bbox_query() {
+        let mut c = Catalog::new();
+        c.add(DatasetMeta::builder("x", "No extent").build()).unwrap();
+        let anywhere = BoundingBox::around(LatLon::new(54.0, -2.0), 1000.0);
+        assert!(c.search(&Query::new().bbox(anywhere)).is_empty());
+    }
+
+    #[test]
+    fn compute_only_policy_is_representable() {
+        let meta = DatasetMeta::builder("secret", "Restricted flows")
+            .access(AccessPolicy::ComputeOnly)
+            .build();
+        assert_eq!(meta.access(), AccessPolicy::ComputeOnly);
+        assert_eq!(meta.access().to_string(), "compute-only");
+    }
+}

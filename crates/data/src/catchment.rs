@@ -1,0 +1,435 @@
+//! Study-catchment descriptors.
+//!
+//! The EVOp local flooding exemplar (LEFT) was developed with stakeholders in
+//! three rural catchments — Morland (Cumbria, England), Tarland
+//! (Aberdeenshire, Scotland) and Machynlleth (Powys, Wales) — and the model
+//! library was calibrated on the Eden catchment in north-west England
+//! (paper §IV-D, §V-B). This module provides descriptors for all four with
+//! realistic locations, areas and climatologies, plus a builder for custom
+//! catchments.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::geo::{BoundingBox, Dem, GridSpec, LatLon};
+use crate::sensors::{Sensor, SensorId, SensorKind};
+
+/// A unique catchment identifier, e.g. `"morland"`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct CatchmentId(String);
+
+impl CatchmentId {
+    /// Creates an identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is empty.
+    pub fn new(id: impl Into<String>) -> CatchmentId {
+        let id = id.into();
+        assert!(!id.is_empty(), "catchment id must not be empty");
+        CatchmentId(id)
+    }
+
+    /// The identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for CatchmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for CatchmentId {
+    fn from(s: &str) -> CatchmentId {
+        CatchmentId::new(s)
+    }
+}
+
+/// A river catchment: the geographic unit every EVOp tool is scoped to.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::Catchment;
+///
+/// let morland = Catchment::morland();
+/// assert_eq!(morland.id().as_str(), "morland");
+/// assert!((morland.area_km2() - 12.5).abs() < f64::EPSILON);
+/// assert!(morland.bounding_box().contains(morland.outlet()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Catchment {
+    id: CatchmentId,
+    name: String,
+    region: String,
+    outlet: LatLon,
+    area_km2: f64,
+    mean_annual_rainfall_mm: f64,
+    mean_annual_temp_c: f64,
+    /// Indicative stage (m) above which flooding starts at the outlet
+    /// community — the "flood hazard threshold" shown on the portal.
+    flood_stage_m: f64,
+}
+
+impl Catchment {
+    /// Starts building a custom catchment.
+    pub fn builder(id: impl Into<String>, name: impl Into<String>) -> CatchmentBuilder {
+        CatchmentBuilder::new(id, name)
+    }
+
+    /// Morland Beck, Cumbria, England — the Eden sub-catchment where the LEFT
+    /// tool was co-developed with villagers and farmers.
+    pub fn morland() -> Catchment {
+        Catchment::builder("morland", "Morland Beck")
+            .region("Cumbria, England")
+            .outlet(LatLon::new(54.5930, -2.6220))
+            .area_km2(12.5)
+            .mean_annual_rainfall_mm(1050.0)
+            .mean_annual_temp_c(8.5)
+            .flood_stage_m(1.2)
+            .build()
+    }
+
+    /// Tarland Burn, Aberdeenshire, Scotland.
+    pub fn tarland() -> Catchment {
+        Catchment::builder("tarland", "Tarland Burn")
+            .region("Aberdeenshire, Scotland")
+            .outlet(LatLon::new(57.1330, -2.8610))
+            .area_km2(72.0)
+            .mean_annual_rainfall_mm(900.0)
+            .mean_annual_temp_c(7.5)
+            .flood_stage_m(1.5)
+            .build()
+    }
+
+    /// The Dyfi at Machynlleth, Powys, Wales.
+    pub fn machynlleth() -> Catchment {
+        Catchment::builder("machynlleth", "Dyfi at Machynlleth")
+            .region("Powys, Wales")
+            .outlet(LatLon::new(52.5930, -3.8510))
+            .area_km2(471.0)
+            .mean_annual_rainfall_mm(1800.0)
+            .mean_annual_temp_c(9.0)
+            .flood_stage_m(2.5)
+            .build()
+    }
+
+    /// The Eden at Temple Sowerby, Cumbria — the catchment the model library
+    /// images were calibrated on (paper §IV-D).
+    pub fn eden() -> Catchment {
+        Catchment::builder("eden", "Eden at Temple Sowerby")
+            .region("Cumbria, England")
+            .outlet(LatLon::new(54.6530, -2.6040))
+            .area_km2(616.0)
+            .mean_annual_rainfall_mm(1200.0)
+            .mean_annual_temp_c(8.0)
+            .flood_stage_m(3.0)
+            .build()
+    }
+
+    /// All four study catchments.
+    pub fn study_catchments() -> Vec<Catchment> {
+        vec![
+            Catchment::morland(),
+            Catchment::tarland(),
+            Catchment::machynlleth(),
+            Catchment::eden(),
+        ]
+    }
+
+    /// The catchment's identifier.
+    pub fn id(&self) -> &CatchmentId {
+        &self.id
+    }
+
+    /// The catchment's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The administrative region, e.g. `"Cumbria, England"`.
+    pub fn region(&self) -> &str {
+        &self.region
+    }
+
+    /// The gauged outlet location.
+    pub fn outlet(&self) -> LatLon {
+        self.outlet
+    }
+
+    /// Drainage area in square kilometres.
+    pub fn area_km2(&self) -> f64 {
+        self.area_km2
+    }
+
+    /// Long-term mean annual rainfall in millimetres.
+    pub fn mean_annual_rainfall_mm(&self) -> f64 {
+        self.mean_annual_rainfall_mm
+    }
+
+    /// Long-term mean annual air temperature in degrees Celsius.
+    pub fn mean_annual_temp_c(&self) -> f64 {
+        self.mean_annual_temp_c
+    }
+
+    /// The indicative flood-hazard stage threshold at the outlet, in metres.
+    pub fn flood_stage_m(&self) -> f64 {
+        self.flood_stage_m
+    }
+
+    /// A bounding box that comfortably covers the catchment (square of the
+    /// catchment's area, doubled for margin).
+    pub fn bounding_box(&self) -> BoundingBox {
+        let half_side_km = (self.area_km2.sqrt() / 2.0) * 2.0;
+        BoundingBox::around(self.outlet, half_side_km.max(2.0))
+    }
+
+    /// A grid spec suitable for generating this catchment's DEM: 50 m cells
+    /// covering the catchment area (clamped to keep pre-processing fast).
+    pub fn dem_spec(&self) -> GridSpec {
+        let side_m = (self.area_km2.sqrt() * 1000.0).max(2000.0);
+        let cell = 50.0;
+        let n = ((side_m / cell) as usize).clamp(20, 120);
+        let bbox = self.bounding_box();
+        GridSpec::new(bbox.south_west(), cell, n, n)
+    }
+
+    /// Generates this catchment's synthetic DEM (see
+    /// [`Dem::synthetic_valley`] and the substitutions table in DESIGN.md).
+    pub fn generate_dem<R: rand::Rng>(&self, rng: &mut R) -> Dem {
+        // Steeper relief for wetter upland catchments.
+        let relief = 150.0 + self.mean_annual_rainfall_mm / 10.0;
+        Dem::synthetic_valley(self.dem_spec(), relief, relief * 0.15, rng)
+    }
+
+    /// The default in-situ sensor network deployed in this catchment: a rain
+    /// gauge, outlet river-level gauge, water temperature and turbidity
+    /// sensors, and a webcam — the asset set the LEFT landing page shows
+    /// (paper Fig. 4/5).
+    pub fn default_sensors(&self) -> Vec<Sensor> {
+        let id = |suffix: &str| SensorId::new(format!("{}-{suffix}", self.id));
+        let near = |dlat: f64, dlon: f64| {
+            LatLon::new(self.outlet.lat() + dlat, self.outlet.lon() + dlon)
+        };
+        vec![
+            Sensor::new(
+                id("rain-1"),
+                SensorKind::RainGauge,
+                format!("{} rain gauge", self.name),
+                near(0.012, -0.008),
+                self.id.clone(),
+                900,
+            ),
+            Sensor::new(
+                id("stage-outlet"),
+                SensorKind::RiverLevel,
+                format!("{} outlet stage", self.name),
+                self.outlet,
+                self.id.clone(),
+                900,
+            ),
+            Sensor::new(
+                id("temp-1"),
+                SensorKind::Temperature,
+                format!("{} water temperature", self.name),
+                near(0.001, 0.001),
+                self.id.clone(),
+                900,
+            ),
+            Sensor::new(
+                id("turb-1"),
+                SensorKind::Turbidity,
+                format!("{} turbidity", self.name),
+                near(0.001, 0.0015),
+                self.id.clone(),
+                900,
+            ),
+            Sensor::new(
+                id("cam-1"),
+                SensorKind::Webcam,
+                format!("{} webcam", self.name),
+                near(0.002, 0.0),
+                self.id.clone(),
+                1800,
+            ),
+        ]
+    }
+}
+
+/// Builder for [`Catchment`].
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::Catchment;
+/// use evop_data::geo::LatLon;
+///
+/// let c = Catchment::builder("test", "Test Beck")
+///     .outlet(LatLon::new(54.0, -2.0))
+///     .area_km2(20.0)
+///     .build();
+/// assert_eq!(c.name(), "Test Beck");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CatchmentBuilder {
+    id: String,
+    name: String,
+    region: String,
+    outlet: LatLon,
+    area_km2: f64,
+    mean_annual_rainfall_mm: f64,
+    mean_annual_temp_c: f64,
+    flood_stage_m: f64,
+}
+
+impl CatchmentBuilder {
+    fn new(id: impl Into<String>, name: impl Into<String>) -> CatchmentBuilder {
+        CatchmentBuilder {
+            id: id.into(),
+            name: name.into(),
+            region: "Unknown".to_owned(),
+            outlet: LatLon::new(54.0, -2.5),
+            area_km2: 10.0,
+            mean_annual_rainfall_mm: 1000.0,
+            mean_annual_temp_c: 8.5,
+            flood_stage_m: 1.5,
+        }
+    }
+
+    /// Sets the administrative region.
+    pub fn region(mut self, region: impl Into<String>) -> CatchmentBuilder {
+        self.region = region.into();
+        self
+    }
+
+    /// Sets the gauged outlet location.
+    pub fn outlet(mut self, outlet: LatLon) -> CatchmentBuilder {
+        self.outlet = outlet;
+        self
+    }
+
+    /// Sets the drainage area in km².
+    pub fn area_km2(mut self, area: f64) -> CatchmentBuilder {
+        self.area_km2 = area;
+        self
+    }
+
+    /// Sets the mean annual rainfall in millimetres.
+    pub fn mean_annual_rainfall_mm(mut self, mm: f64) -> CatchmentBuilder {
+        self.mean_annual_rainfall_mm = mm;
+        self
+    }
+
+    /// Sets the mean annual temperature in °C.
+    pub fn mean_annual_temp_c(mut self, c: f64) -> CatchmentBuilder {
+        self.mean_annual_temp_c = c;
+        self
+    }
+
+    /// Sets the indicative flood stage threshold in metres.
+    pub fn flood_stage_m(mut self, m: f64) -> CatchmentBuilder {
+        self.flood_stage_m = m;
+        self
+    }
+
+    /// Builds the catchment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the area, rainfall or flood stage are not positive.
+    pub fn build(self) -> Catchment {
+        assert!(self.area_km2 > 0.0, "area must be positive");
+        assert!(self.mean_annual_rainfall_mm > 0.0, "rainfall must be positive");
+        assert!(self.flood_stage_m > 0.0, "flood stage must be positive");
+        Catchment {
+            id: CatchmentId::new(self.id),
+            name: self.name,
+            region: self.region,
+            outlet: self.outlet,
+            area_km2: self.area_km2,
+            mean_annual_rainfall_mm: self.mean_annual_rainfall_mm,
+            mean_annual_temp_c: self.mean_annual_temp_c,
+            flood_stage_m: self.flood_stage_m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn study_catchments_are_distinct_and_plausible() {
+        let all = Catchment::study_catchments();
+        assert_eq!(all.len(), 4);
+        let mut ids: Vec<&str> = all.iter().map(|c| c.id().as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "ids must be unique");
+        for c in &all {
+            assert!(c.area_km2() > 1.0 && c.area_km2() < 1000.0);
+            assert!(c.mean_annual_rainfall_mm() > 500.0);
+            assert!(c.bounding_box().contains(c.outlet()));
+        }
+    }
+
+    #[test]
+    fn machynlleth_is_wettest() {
+        let wettest = Catchment::study_catchments()
+            .into_iter()
+            .max_by(|a, b| {
+                a.mean_annual_rainfall_mm()
+                    .partial_cmp(&b.mean_annual_rainfall_mm())
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(wettest.id().as_str(), "machynlleth");
+    }
+
+    #[test]
+    fn default_sensor_network_covers_all_kinds() {
+        let sensors = Catchment::morland().default_sensors();
+        assert_eq!(sensors.len(), 5);
+        let kinds: Vec<SensorKind> = sensors.iter().map(|s| s.kind()).collect();
+        for kind in [
+            SensorKind::RainGauge,
+            SensorKind::RiverLevel,
+            SensorKind::Temperature,
+            SensorKind::Turbidity,
+            SensorKind::Webcam,
+        ] {
+            assert!(kinds.contains(&kind), "missing {kind}");
+        }
+        // All sensors fall inside the catchment bounding box.
+        let bbox = Catchment::morland().bounding_box();
+        assert!(sensors.iter().all(|s| bbox.contains(s.location())));
+    }
+
+    #[test]
+    fn dem_spec_scales_with_area_within_bounds() {
+        let small = Catchment::morland().dem_spec();
+        let large = Catchment::eden().dem_spec();
+        assert!(small.rows >= 20 && small.rows <= 120);
+        assert!(large.rows >= small.rows);
+    }
+
+    #[test]
+    fn generate_dem_is_deterministic_per_seed() {
+        let c = Catchment::morland();
+        let a = c.generate_dem(&mut ChaCha8Rng::seed_from_u64(1));
+        let b = c.generate_dem(&mut ChaCha8Rng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "area must be positive")]
+    fn builder_rejects_bad_area() {
+        let _ = Catchment::builder("x", "X").area_km2(0.0).build();
+    }
+}

@@ -1,0 +1,618 @@
+//! Geospatial primitives: coordinates, bounding boxes, rasters and digital
+//! elevation models.
+//!
+//! The portal's landing page (paper Fig. 4) lays assets on an interactive map
+//! and the hydrological models consume DEM-derived topographic indices; this
+//! module provides both halves: point/box geometry for the asset map, and a
+//! full raster DEM with sink filling, D8 flow routing, flow accumulation and
+//! TOPMODEL's `ln(a / tan β)` topographic index.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres (IUGG).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A WGS-84 latitude/longitude pair in decimal degrees.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::geo::LatLon;
+///
+/// let lancaster = LatLon::new(54.0466, -2.8007);
+/// let penrith = LatLon::new(54.6641, -2.7527);
+/// let d = lancaster.haversine_km(penrith);
+/// assert!((d - 68.7).abs() < 1.0, "distance was {d}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatLon {
+    lat: f64,
+    lon: f64,
+}
+
+impl LatLon {
+    /// Creates a coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lat` is outside `[-90, 90]` or `lon` outside `[-180, 180]`.
+    pub fn new(lat: f64, lon: f64) -> LatLon {
+        assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
+        assert!((-180.0..=180.0).contains(&lon), "longitude out of range: {lon}");
+        LatLon { lat, lon }
+    }
+
+    /// Latitude in decimal degrees.
+    pub fn lat(self) -> f64 {
+        self.lat
+    }
+
+    /// Longitude in decimal degrees.
+    pub fn lon(self) -> f64 {
+        self.lon
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine formula).
+    pub fn haversine_km(self, other: LatLon) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+}
+
+/// An axis-aligned geographic bounding box.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::geo::{BoundingBox, LatLon};
+///
+/// let cumbria = BoundingBox::new(LatLon::new(54.0, -3.5), LatLon::new(55.0, -2.0));
+/// assert!(cumbria.contains(LatLon::new(54.6, -2.6)));
+/// assert!(!cumbria.contains(LatLon::new(51.5, -0.1))); // London
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    south_west: LatLon,
+    north_east: LatLon,
+}
+
+impl BoundingBox {
+    /// Creates a box from its south-west and north-east corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corners are not in south-west / north-east order.
+    pub fn new(south_west: LatLon, north_east: LatLon) -> BoundingBox {
+        assert!(
+            south_west.lat() <= north_east.lat() && south_west.lon() <= north_east.lon(),
+            "corners must be (south-west, north-east)"
+        );
+        BoundingBox { south_west, north_east }
+    }
+
+    /// A box centred on `centre` extending `half_side_km` in each cardinal
+    /// direction (approximate, small-box planar maths).
+    pub fn around(centre: LatLon, half_side_km: f64) -> BoundingBox {
+        let dlat = half_side_km / 111.32;
+        let dlon = half_side_km / (111.32 * centre.lat().to_radians().cos().max(1e-6));
+        BoundingBox::new(
+            LatLon::new((centre.lat() - dlat).max(-90.0), (centre.lon() - dlon).max(-180.0)),
+            LatLon::new((centre.lat() + dlat).min(90.0), (centre.lon() + dlon).min(180.0)),
+        )
+    }
+
+    /// The south-west corner.
+    pub fn south_west(self) -> LatLon {
+        self.south_west
+    }
+
+    /// The north-east corner.
+    pub fn north_east(self) -> LatLon {
+        self.north_east
+    }
+
+    /// `true` if `p` lies inside (or on the edge of) the box.
+    pub fn contains(self, p: LatLon) -> bool {
+        p.lat() >= self.south_west.lat()
+            && p.lat() <= self.north_east.lat()
+            && p.lon() >= self.south_west.lon()
+            && p.lon() <= self.north_east.lon()
+    }
+
+    /// `true` if the two boxes overlap.
+    pub fn intersects(self, other: BoundingBox) -> bool {
+        self.south_west.lat() <= other.north_east.lat()
+            && self.north_east.lat() >= other.south_west.lat()
+            && self.south_west.lon() <= other.north_east.lon()
+            && self.north_east.lon() >= other.south_west.lon()
+    }
+
+    /// The centre of the box.
+    pub fn centre(self) -> LatLon {
+        LatLon::new(
+            (self.south_west.lat() + self.north_east.lat()) / 2.0,
+            (self.south_west.lon() + self.north_east.lon()) / 2.0,
+        )
+    }
+}
+
+/// The shape and georeferencing of a raster grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// South-west corner of the grid.
+    pub origin: LatLon,
+    /// Cell edge length in metres.
+    pub cell_size_m: f64,
+    /// Number of rows (south → north).
+    pub rows: usize,
+    /// Number of columns (west → east).
+    pub cols: usize,
+}
+
+impl GridSpec {
+    /// Creates a grid spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty or the cell size is not positive.
+    pub fn new(origin: LatLon, cell_size_m: f64, rows: usize, cols: usize) -> GridSpec {
+        assert!(rows > 0 && cols > 0, "grid must be non-empty");
+        assert!(cell_size_m.is_finite() && cell_size_m > 0.0, "cell size must be positive");
+        GridSpec { origin, cell_size_m, rows, cols }
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` when the grid has no cells (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The area of one cell in square kilometres.
+    pub fn cell_area_km2(&self) -> f64 {
+        (self.cell_size_m / 1000.0).powi(2)
+    }
+
+    /// Flat index of `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn index(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.rows && col < self.cols, "({row},{col}) outside {}x{}", self.rows, self.cols);
+        row * self.cols + col
+    }
+
+    /// `(row, col)` of a flat index.
+    pub fn row_col(&self, index: usize) -> (usize, usize) {
+        (index / self.cols, index % self.cols)
+    }
+}
+
+/// A single-band floating-point raster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Raster {
+    spec: GridSpec,
+    values: Vec<f64>,
+}
+
+impl Raster {
+    /// Creates a raster filled with `fill`.
+    pub fn filled(spec: GridSpec, fill: f64) -> Raster {
+        Raster { values: vec![fill; spec.len()], spec }
+    }
+
+    /// Creates a raster from row-major values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != spec.len()`.
+    pub fn from_values(spec: GridSpec, values: Vec<f64>) -> Raster {
+        assert_eq!(values.len(), spec.len(), "value count must match grid size");
+        Raster { spec, values }
+    }
+
+    /// The grid spec.
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// The value at `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.values[self.spec.index(row, col)]
+    }
+
+    /// Sets the value at `(row, col)`.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        let i = self.spec.index(row, col);
+        self.values[i] = value;
+    }
+
+    /// All values, row-major.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Minimum and maximum values.
+    pub fn min_max(&self) -> (f64, f64) {
+        self.values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        })
+    }
+}
+
+/// The eight D8 neighbour offsets `(d_row, d_col)` and their distances in
+/// cell units.
+const D8: [(isize, isize, f64); 8] = [
+    (-1, -1, std::f64::consts::SQRT_2),
+    (-1, 0, 1.0),
+    (-1, 1, std::f64::consts::SQRT_2),
+    (0, -1, 1.0),
+    (0, 1, 1.0),
+    (1, -1, std::f64::consts::SQRT_2),
+    (1, 0, 1.0),
+    (1, 1, std::f64::consts::SQRT_2),
+];
+
+/// A digital elevation model with hydrological derivatives.
+///
+/// Provides the pre-processing chain TOPMODEL needs: sink filling, D8
+/// steepest-descent flow directions, flow accumulation, local slope and the
+/// topographic index `ln(a / tan β)`.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::geo::{Dem, GridSpec, LatLon};
+/// use rand::SeedableRng;
+///
+/// let spec = GridSpec::new(LatLon::new(54.59, -2.64), 50.0, 40, 40);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let dem = Dem::synthetic_valley(spec, 250.0, 60.0, &mut rng);
+/// let ti = dem.topographic_index();
+/// assert_eq!(ti.values().len(), 1600);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dem {
+    elevation: Raster,
+}
+
+impl Dem {
+    /// Wraps an elevation raster as a DEM.
+    pub fn new(elevation: Raster) -> Dem {
+        Dem { elevation }
+    }
+
+    /// Generates a synthetic upland valley DEM.
+    ///
+    /// The surface is a V-shaped valley draining towards the southern edge
+    /// (row 0), with `relief_m` of side-slope relief, a downstream gradient,
+    /// and smooth correlated noise of amplitude `noise_m`. This is the stand-in
+    /// for the Ordnance-Survey DEMs the EVOp project used (see DESIGN.md).
+    pub fn synthetic_valley<R: rand::Rng>(
+        spec: GridSpec,
+        relief_m: f64,
+        noise_m: f64,
+        rng: &mut R,
+    ) -> Dem {
+        // Coarse lattice of random values, bilinearly interpolated for smooth
+        // noise.
+        let coarse = 8usize;
+        let lat_rows = spec.rows / coarse + 2;
+        let lat_cols = spec.cols / coarse + 2;
+        let lattice: Vec<f64> = (0..lat_rows * lat_cols).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let noise_at = |r: usize, c: usize| -> f64 {
+            let fr = r as f64 / coarse as f64;
+            let fc = c as f64 / coarse as f64;
+            let (r0, c0) = (fr as usize, fc as usize);
+            let (tr, tc) = (fr - r0 as f64, fc - c0 as f64);
+            let v = |rr: usize, cc: usize| lattice[rr * lat_cols + cc];
+            let top = v(r0, c0) * (1.0 - tc) + v(r0, c0 + 1) * tc;
+            let bot = v(r0 + 1, c0) * (1.0 - tc) + v(r0 + 1, c0 + 1) * tc;
+            top * (1.0 - tr) + bot * tr
+        };
+
+        let mut raster = Raster::filled(spec, 0.0);
+        let mid = spec.cols as f64 / 2.0;
+        for row in 0..spec.rows {
+            for col in 0..spec.cols {
+                let across = ((col as f64 - mid).abs() / mid).min(1.0);
+                let downstream = row as f64 / spec.rows as f64;
+                let elev = 100.0
+                    + relief_m * across
+                    + relief_m * 0.6 * downstream
+                    + noise_m * noise_at(row, col);
+                raster.set(row, col, elev);
+            }
+        }
+        let mut dem = Dem::new(raster);
+        dem.fill_sinks();
+        dem
+    }
+
+    /// The elevation raster.
+    pub fn elevation(&self) -> &Raster {
+        &self.elevation
+    }
+
+    /// The grid spec.
+    pub fn spec(&self) -> &GridSpec {
+        self.elevation.spec()
+    }
+
+    /// Fills interior sinks by iteratively raising any cell lower than all of
+    /// its neighbours to just above its lowest neighbour. Edge cells are
+    /// outlets and never raised.
+    pub fn fill_sinks(&mut self) {
+        let spec = *self.spec();
+        loop {
+            let mut changed = false;
+            for row in 1..spec.rows.saturating_sub(1) {
+                for col in 1..spec.cols.saturating_sub(1) {
+                    let z = self.elevation.get(row, col);
+                    let lowest_neighbour = D8
+                        .iter()
+                        .map(|&(dr, dc, _)| {
+                            self.elevation
+                                .get((row as isize + dr) as usize, (col as isize + dc) as usize)
+                        })
+                        .fold(f64::INFINITY, f64::min);
+                    if z < lowest_neighbour {
+                        self.elevation.set(row, col, lowest_neighbour + 0.01);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// D8 steepest-descent flow direction for every cell: the flat index of
+    /// the receiving neighbour, or `None` for cells with no downhill
+    /// neighbour (outlets).
+    pub fn flow_directions(&self) -> Vec<Option<usize>> {
+        let spec = *self.spec();
+        let mut dirs = vec![None; spec.len()];
+        for row in 0..spec.rows {
+            for col in 0..spec.cols {
+                let z = self.elevation.get(row, col);
+                let mut best: Option<(usize, f64)> = None;
+                for &(dr, dc, dist) in &D8 {
+                    let (nr, nc) = (row as isize + dr, col as isize + dc);
+                    if nr < 0 || nc < 0 || nr >= spec.rows as isize || nc >= spec.cols as isize {
+                        continue;
+                    }
+                    let (nr, nc) = (nr as usize, nc as usize);
+                    let drop = (z - self.elevation.get(nr, nc)) / dist;
+                    if drop > 0.0 && best.map_or(true, |(_, d)| drop > d) {
+                        best = Some((spec.index(nr, nc), drop));
+                    }
+                }
+                dirs[spec.index(row, col)] = best.map(|(i, _)| i);
+            }
+        }
+        dirs
+    }
+
+    /// Upslope contributing area for every cell, in cell counts (each cell
+    /// contributes itself). Computed by accumulating in descending elevation
+    /// order along D8 directions.
+    pub fn flow_accumulation(&self) -> Vec<f64> {
+        let dirs = self.flow_directions();
+        let mut order: Vec<usize> = (0..self.spec().len()).collect();
+        let values = self.elevation.values();
+        order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("finite elevations"));
+        let mut acc = vec![1.0; self.spec().len()];
+        for &cell in &order {
+            if let Some(target) = dirs[cell] {
+                acc[target] += acc[cell];
+            }
+        }
+        acc
+    }
+
+    /// Local slope `tan β` for every cell: the steepest D8 downhill gradient,
+    /// floored at a small positive value so the topographic index is finite.
+    pub fn slope(&self) -> Vec<f64> {
+        let spec = *self.spec();
+        let mut slopes = vec![0.0; spec.len()];
+        for row in 0..spec.rows {
+            for col in 0..spec.cols {
+                let z = self.elevation.get(row, col);
+                let mut best = 0.0f64;
+                for &(dr, dc, dist) in &D8 {
+                    let (nr, nc) = (row as isize + dr, col as isize + dc);
+                    if nr < 0 || nc < 0 || nr >= spec.rows as isize || nc >= spec.cols as isize {
+                        continue;
+                    }
+                    let gradient =
+                        (z - self.elevation.get(nr as usize, nc as usize)) / (dist * spec.cell_size_m);
+                    best = best.max(gradient);
+                }
+                slopes[spec.index(row, col)] = best.max(1e-4);
+            }
+        }
+        slopes
+    }
+
+    /// TOPMODEL's topographic index `ln(a / tan β)` for every cell, where `a`
+    /// is the specific upslope area (contributing area per unit contour
+    /// length).
+    pub fn topographic_index(&self) -> Raster {
+        let spec = *self.spec();
+        let acc = self.flow_accumulation();
+        let slope = self.slope();
+        let cell = spec.cell_size_m;
+        let values = acc
+            .iter()
+            .zip(&slope)
+            .map(|(&a_cells, &tanb)| {
+                let specific_area = a_cells * cell * cell / cell; // m² per m contour
+                (specific_area / tanb).ln()
+            })
+            .collect();
+        Raster::from_values(spec, values)
+    }
+
+    /// The areal distribution of the topographic index as `(class value,
+    /// area fraction)` pairs over `bins` equal-width classes — the form
+    /// TOPMODEL consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn ti_distribution(&self, bins: usize) -> Vec<(f64, f64)> {
+        assert!(bins > 0, "at least one bin required");
+        let ti = self.topographic_index();
+        let (lo, hi) = ti.min_max();
+        let hi = hi + 1e-9;
+        let width = (hi - lo) / bins as f64;
+        let mut counts = vec![0usize; bins];
+        for &v in ti.values() {
+            let idx = (((v - lo) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        let total = ti.values().len() as f64;
+        counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (lo + width * (i as f64 + 0.5), c as f64 / total))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_spec() -> GridSpec {
+        GridSpec::new(LatLon::new(54.0, -2.5), 50.0, 20, 20)
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // London to Paris ~343.5 km
+        let london = LatLon::new(51.5074, -0.1278);
+        let paris = LatLon::new(48.8566, 2.3522);
+        let d = london.haversine_km(paris);
+        assert!((d - 343.5).abs() < 2.0, "distance was {d}");
+    }
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        let p = LatLon::new(54.6, -2.6);
+        assert!(p.haversine_km(p) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude out of range")]
+    fn latlon_rejects_bad_latitude() {
+        let _ = LatLon::new(91.0, 0.0);
+    }
+
+    #[test]
+    fn bbox_contains_and_intersects() {
+        let a = BoundingBox::new(LatLon::new(54.0, -3.0), LatLon::new(55.0, -2.0));
+        let b = BoundingBox::new(LatLon::new(54.5, -2.5), LatLon::new(55.5, -1.5));
+        let c = BoundingBox::new(LatLon::new(50.0, 0.0), LatLon::new(51.0, 1.0));
+        assert!(a.intersects(b));
+        assert!(b.intersects(a));
+        assert!(!a.intersects(c));
+        assert!(a.contains(a.centre()));
+    }
+
+    #[test]
+    fn bbox_around_contains_centre() {
+        let centre = LatLon::new(54.6, -2.6);
+        let bbox = BoundingBox::around(centre, 5.0);
+        assert!(bbox.contains(centre));
+        // A point ~3 km north should be inside.
+        assert!(bbox.contains(LatLon::new(54.627, -2.6)));
+        // A point ~20 km north should be outside.
+        assert!(!bbox.contains(LatLon::new(54.78, -2.6)));
+    }
+
+    #[test]
+    fn grid_index_round_trip() {
+        let spec = small_spec();
+        for row in [0, 7, 19] {
+            for col in [0, 3, 19] {
+                assert_eq!(spec.row_col(spec.index(row, col)), (row, col));
+            }
+        }
+    }
+
+    #[test]
+    fn raster_get_set() {
+        let mut r = Raster::filled(small_spec(), 1.0);
+        r.set(3, 4, 9.5);
+        assert_eq!(r.get(3, 4), 9.5);
+        assert_eq!(r.get(0, 0), 1.0);
+        assert_eq!(r.min_max(), (1.0, 9.5));
+    }
+
+    #[test]
+    fn synthetic_valley_drains_downhill() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let dem = Dem::synthetic_valley(small_spec(), 200.0, 20.0, &mut rng);
+        // Valley floor (middle column) should descend towards row 0.
+        let top = dem.elevation().get(19, 10);
+        let bottom = dem.elevation().get(0, 10);
+        assert!(top > bottom, "top={top}, bottom={bottom}");
+    }
+
+    #[test]
+    fn fill_sinks_removes_pits() {
+        let spec = GridSpec::new(LatLon::new(54.0, -2.5), 50.0, 5, 5);
+        let mut raster = Raster::filled(spec, 100.0);
+        raster.set(2, 2, 10.0); // deep interior pit
+        let mut dem = Dem::new(raster);
+        dem.fill_sinks();
+        assert!(dem.elevation().get(2, 2) >= 100.0);
+    }
+
+    #[test]
+    fn flow_accumulation_conserves_cells() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let dem = Dem::synthetic_valley(small_spec(), 200.0, 10.0, &mut rng);
+        let acc = dem.flow_accumulation();
+        // Every cell contributes at least itself.
+        assert!(acc.iter().all(|&a| a >= 1.0));
+        // Maximum accumulation should be substantial (a stream forms) but can
+        // never exceed the number of cells.
+        let max = acc.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 20.0, "max accumulation was {max}");
+        assert!(max <= (20 * 20) as f64);
+    }
+
+    #[test]
+    fn topographic_index_is_finite_and_varied() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let dem = Dem::synthetic_valley(small_spec(), 200.0, 15.0, &mut rng);
+        let ti = dem.topographic_index();
+        assert!(ti.values().iter().all(|v| v.is_finite()));
+        let (lo, hi) = ti.min_max();
+        assert!(hi - lo > 1.0, "index range was [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn ti_distribution_sums_to_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let dem = Dem::synthetic_valley(small_spec(), 200.0, 15.0, &mut rng);
+        let dist = dem.ti_distribution(16);
+        assert_eq!(dist.len(), 16);
+        let total: f64 = dist.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

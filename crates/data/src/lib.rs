@@ -1,0 +1,44 @@
+//! Environmental data substrate for the EVOp reproduction.
+//!
+//! The EVOp paper integrates "live data feeds (such as real time river level,
+//! temperature, etc.), historical time series or spatial datasets (e.g.
+//! rainfall measurements and digital elevation models) and others (e.g.
+//! webcam images)" (§III-A). This crate builds all of those from scratch:
+//!
+//! * [`geo`] — latitude/longitude, bounding boxes, haversine distance,
+//!   gridded rasters and digital elevation models (DEMs) with flow routing
+//!   and topographic-index extraction;
+//! * [`time`] — a calendar-aware [`time::Timestamp`];
+//! * [`timeseries`] — regular and irregular series with resampling,
+//!   alignment, aggregation and gap handling;
+//! * [`sensors`] — the in-situ sensor and observation model (river level,
+//!   rain gauges, temperature, turbidity, webcams);
+//! * [`catchment`] — descriptors for the paper's study catchments (Eden,
+//!   Morland, Tarland, Machynlleth);
+//! * [`synthetic`] — physically plausible synthetic weather/flow generators
+//!   standing in for the project's proprietary data feeds (see DESIGN.md,
+//!   substitutions table);
+//! * [`quality`] — quality-control checks applied to incoming feeds;
+//! * [`catalog`] — the searchable dataset catalogue behind the portal's
+//!   "explore data sources" feature;
+//! * [`export`] — CSV import/export for the portal's download/upload
+//!   features.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod catchment;
+pub mod export;
+pub mod geo;
+pub mod quality;
+pub mod sensors;
+pub mod synthetic;
+pub mod time;
+pub mod timeseries;
+
+pub use catchment::{Catchment, CatchmentId};
+pub use geo::{BoundingBox, Dem, LatLon};
+pub use sensors::{Observation, QualityFlag, Sensor, SensorId, SensorKind};
+pub use time::Timestamp;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,394 @@
+//! Quality control for incoming data feeds.
+//!
+//! The paper notes environmental data "can be insufficient or incomplete …
+//! and/or require significant pre-processing before they may be considered
+//! usable" (§I). This module implements the pre-processing EVOp applied on
+//! ingestion: plausibility checks that flag suspect samples before they reach
+//! models or widgets.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::sensors::SensorKind;
+use crate::timeseries::TimeSeries;
+
+/// Why a sample was flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IssueKind {
+    /// Value outside the physically plausible range for the sensor kind.
+    OutOfRange,
+    /// Jump from the previous sample exceeds the allowed rate of change.
+    Spike,
+    /// Identical value repeated longer than a stuck sensor plausibly would.
+    Flatline,
+    /// Sample is missing (`NaN`).
+    Missing,
+}
+
+impl fmt::Display for IssueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IssueKind::OutOfRange => "out of range",
+            IssueKind::Spike => "spike",
+            IssueKind::Flatline => "flatline",
+            IssueKind::Missing => "missing",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A flagged sample: its index in the checked series and the reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QcIssue {
+    /// Index of the offending sample.
+    pub index: usize,
+    /// Why it was flagged.
+    pub kind: IssueKind,
+}
+
+/// A quality-control check over a regular series.
+///
+/// This trait is sealed: the fixed set of checks mirrors the project's
+/// ingestion pipeline and the report format depends on it.
+pub trait QualityCheck: sealed::Sealed + fmt::Debug {
+    /// Runs the check, returning every flagged sample.
+    fn check(&self, series: &TimeSeries) -> Vec<QcIssue>;
+
+    /// A short machine-readable name, e.g. `"range"`.
+    fn name(&self) -> &'static str;
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::RangeCheck {}
+    impl Sealed for super::SpikeCheck {}
+    impl Sealed for super::FlatlineCheck {}
+    impl Sealed for super::MissingCheck {}
+}
+
+/// Flags samples outside `[min, max]`.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::quality::{QualityCheck, RangeCheck};
+/// use evop_data::{TimeSeries, Timestamp};
+///
+/// let series = TimeSeries::from_values(Timestamp::UNIX_EPOCH, 60, vec![1.0, 99.0, 2.0]);
+/// let issues = RangeCheck::new(0.0, 10.0).check(&series);
+/// assert_eq!(issues.len(), 1);
+/// assert_eq!(issues[0].index, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeCheck {
+    min: f64,
+    max: f64,
+}
+
+impl RangeCheck {
+    /// Creates a range check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(min: f64, max: f64) -> RangeCheck {
+        assert!(min <= max, "range inverted: [{min}, {max}]");
+        RangeCheck { min, max }
+    }
+
+    /// The standard range check for a sensor kind (see
+    /// [`SensorKind::valid_range`]).
+    pub fn for_kind(kind: SensorKind) -> RangeCheck {
+        let (min, max) = kind.valid_range();
+        RangeCheck { min, max }
+    }
+}
+
+impl QualityCheck for RangeCheck {
+    fn check(&self, series: &TimeSeries) -> Vec<QcIssue> {
+        series
+            .values()
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_nan() && (**v < self.min || **v > self.max))
+            .map(|(index, _)| QcIssue { index, kind: IssueKind::OutOfRange })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "range"
+    }
+}
+
+/// Flags samples that jump more than `max_jump` from the previous non-missing
+/// sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpikeCheck {
+    max_jump: f64,
+}
+
+impl SpikeCheck {
+    /// Creates a spike check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_jump` is not positive.
+    pub fn new(max_jump: f64) -> SpikeCheck {
+        assert!(max_jump > 0.0, "max jump must be positive");
+        SpikeCheck { max_jump }
+    }
+}
+
+impl QualityCheck for SpikeCheck {
+    fn check(&self, series: &TimeSeries) -> Vec<QcIssue> {
+        let mut issues = Vec::new();
+        let mut prev: Option<f64> = None;
+        for (index, &v) in series.values().iter().enumerate() {
+            if v.is_nan() {
+                continue;
+            }
+            if let Some(p) = prev {
+                if (v - p).abs() > self.max_jump {
+                    issues.push(QcIssue { index, kind: IssueKind::Spike });
+                }
+            }
+            prev = Some(v);
+        }
+        issues
+    }
+
+    fn name(&self) -> &'static str {
+        "spike"
+    }
+}
+
+/// Flags runs of an identical non-zero value longer than `max_run` samples —
+/// the signature of a stuck sensor. Zero runs are ignored (dry spells are
+/// legitimately long).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlatlineCheck {
+    max_run: usize,
+}
+
+impl FlatlineCheck {
+    /// Creates a flatline check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_run` is zero.
+    pub fn new(max_run: usize) -> FlatlineCheck {
+        assert!(max_run > 0, "max run must be positive");
+        FlatlineCheck { max_run }
+    }
+}
+
+impl QualityCheck for FlatlineCheck {
+    fn check(&self, series: &TimeSeries) -> Vec<QcIssue> {
+        let mut issues = Vec::new();
+        let values = series.values();
+        let mut run_start = 0usize;
+        for index in 1..=values.len() {
+            let continues = index < values.len()
+                && !values[index].is_nan()
+                && !values[run_start].is_nan()
+                && values[index] == values[run_start];
+            if !continues {
+                let run_len = index - run_start;
+                if run_len > self.max_run && values[run_start] != 0.0 && !values[run_start].is_nan()
+                {
+                    for i in run_start..index {
+                        issues.push(QcIssue { index: i, kind: IssueKind::Flatline });
+                    }
+                }
+                run_start = index;
+            }
+        }
+        issues
+    }
+
+    fn name(&self) -> &'static str {
+        "flatline"
+    }
+}
+
+/// Flags missing (`NaN`) samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MissingCheck;
+
+impl MissingCheck {
+    /// Creates the check.
+    pub fn new() -> MissingCheck {
+        MissingCheck
+    }
+}
+
+impl QualityCheck for MissingCheck {
+    fn check(&self, series: &TimeSeries) -> Vec<QcIssue> {
+        series
+            .values()
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_nan())
+            .map(|(index, _)| QcIssue { index, kind: IssueKind::Missing })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "missing"
+    }
+}
+
+/// A quality-control report: every issue found by a suite of checks.
+#[derive(Debug, Clone, Default)]
+pub struct QcReport {
+    issues: Vec<QcIssue>,
+    checked_samples: usize,
+}
+
+impl QcReport {
+    /// All flagged samples, in check order then index order.
+    pub fn issues(&self) -> &[QcIssue] {
+        &self.issues
+    }
+
+    /// The number of samples that were checked.
+    pub fn checked_samples(&self) -> usize {
+        self.checked_samples
+    }
+
+    /// `true` if no issues were found.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// The fraction of samples flagged by at least one check.
+    pub fn flagged_fraction(&self) -> f64 {
+        if self.checked_samples == 0 {
+            return 0.0;
+        }
+        let mut indices: Vec<usize> = self.issues.iter().map(|i| i.index).collect();
+        indices.sort_unstable();
+        indices.dedup();
+        indices.len() as f64 / self.checked_samples as f64
+    }
+
+    /// Number of issues of a given kind.
+    pub fn count_of(&self, kind: IssueKind) -> usize {
+        self.issues.iter().filter(|i| i.kind == kind).count()
+    }
+}
+
+/// The standard ingestion pipeline for a sensor kind: range + spike +
+/// flatline + missing, with kind-appropriate thresholds.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::quality::run_standard_checks;
+/// use evop_data::sensors::SensorKind;
+/// use evop_data::{TimeSeries, Timestamp};
+///
+/// let series = TimeSeries::from_values(
+///     Timestamp::UNIX_EPOCH,
+///     900,
+///     vec![0.4, 0.5, 8.0, 0.5, f64::NAN],
+/// );
+/// let report = run_standard_checks(SensorKind::RiverLevel, &series);
+/// assert!(!report.is_clean());
+/// ```
+pub fn run_standard_checks(kind: SensorKind, series: &TimeSeries) -> QcReport {
+    let (lo, hi) = kind.valid_range();
+    let max_jump = match kind {
+        SensorKind::RiverLevel => 0.8,
+        SensorKind::RainGauge => 40.0,
+        SensorKind::Temperature => 8.0,
+        SensorKind::Turbidity => 1500.0,
+        SensorKind::Webcam => 1.0,
+    };
+    let checks: [&dyn QualityCheck; 4] = [
+        &RangeCheck::new(lo, hi),
+        &SpikeCheck::new(max_jump),
+        &FlatlineCheck::new(96),
+        &MissingCheck::new(),
+    ];
+    let mut issues = Vec::new();
+    for check in checks {
+        issues.extend(check.check(series));
+    }
+    QcReport { issues, checked_samples: series.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn series(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::from_values(Timestamp::UNIX_EPOCH, 900, values)
+    }
+
+    #[test]
+    fn range_check_flags_extremes_only() {
+        let s = series(vec![-1.0, 0.5, 11.0, 5.0]);
+        let issues = RangeCheck::new(0.0, 10.0).check(&s);
+        let idx: Vec<usize> = issues.iter().map(|i| i.index).collect();
+        assert_eq!(idx, [0, 2]);
+    }
+
+    #[test]
+    fn range_check_ignores_nan() {
+        let s = series(vec![f64::NAN, 1.0]);
+        assert!(RangeCheck::new(0.0, 10.0).check(&s).is_empty());
+    }
+
+    #[test]
+    fn spike_check_skips_missing_and_uses_last_present() {
+        let s = series(vec![1.0, f64::NAN, 1.1, 9.0, 9.1]);
+        let issues = SpikeCheck::new(2.0).check(&s);
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].index, 3);
+    }
+
+    #[test]
+    fn flatline_check_flags_stuck_sensor_not_dry_spell() {
+        let mut values = vec![0.0; 20]; // dry spell: fine
+        values.extend(vec![3.3; 20]); // stuck: flagged
+        values.push(4.0);
+        let s = series(values);
+        let issues = FlatlineCheck::new(10).check(&s);
+        assert_eq!(issues.len(), 20);
+        assert!(issues.iter().all(|i| (20..40).contains(&i.index)));
+    }
+
+    #[test]
+    fn flatline_run_at_series_end_is_flagged() {
+        let s = series(vec![1.0, 2.0, 2.0, 2.0, 2.0]);
+        let issues = FlatlineCheck::new(3).check(&s);
+        assert_eq!(issues.len(), 4);
+    }
+
+    #[test]
+    fn missing_check_counts_nans() {
+        let s = series(vec![1.0, f64::NAN, f64::NAN]);
+        assert_eq!(MissingCheck::new().check(&s).len(), 2);
+    }
+
+    #[test]
+    fn standard_checks_aggregate() {
+        let s = series(vec![0.4, 0.5, 9.9, 0.5, f64::NAN]);
+        let report = run_standard_checks(SensorKind::RiverLevel, &s);
+        assert!(report.count_of(IssueKind::Spike) >= 1);
+        assert_eq!(report.count_of(IssueKind::Missing), 1);
+        assert!(report.flagged_fraction() > 0.0 && report.flagged_fraction() <= 1.0);
+        assert_eq!(report.checked_samples(), 5);
+    }
+
+    #[test]
+    fn clean_series_is_clean() {
+        let s = series(vec![0.4, 0.45, 0.5, 0.48]);
+        let report = run_standard_checks(SensorKind::RiverLevel, &s);
+        assert!(report.is_clean());
+        assert_eq!(report.flagged_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,511 @@
+//! Physically plausible synthetic environmental data.
+//!
+//! The EVOp project consumed proprietary Met Office / Environment Agency
+//! feeds and in-situ sensor networks that are not redistributable. Per the
+//! substitution policy in DESIGN.md, this module generates the closest
+//! synthetic equivalents, calibrated to UK-upland magnitudes, so every
+//! downstream code path (SOS feeds, portal widgets, model calibration)
+//! exercises realistic data:
+//!
+//! * [`WeatherGenerator`] — seasonal wet/dry Markov-chain rainfall with an
+//!   exponential intensity tail, and seasonal + diurnal AR(1) temperature;
+//! * [`TruthModel`] — a two-reservoir rainfall-runoff "nature" that produces
+//!   the observed discharge the models calibrate against, plus stage (via a
+//!   [`RatingCurve`]), turbidity and webcam frames derived from it.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::catchment::Catchment;
+use crate::sensors::{SensorId, WebcamFrame};
+use crate::time::Timestamp;
+use crate::timeseries::TimeSeries;
+
+/// Generates synthetic weather forcing for a catchment.
+///
+/// Deterministic given `(catchment, seed)`: regenerating the same window
+/// yields identical series, which is what makes every experiment in
+/// EXPERIMENTS.md reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::{Catchment, Timestamp};
+/// use evop_data::synthetic::WeatherGenerator;
+///
+/// let generator = WeatherGenerator::for_catchment(&Catchment::morland(), 42);
+/// let start = Timestamp::from_ymd(2012, 1, 1);
+/// let rain = generator.rainfall(start, 3600, 24 * 30);
+/// assert_eq!(rain.len(), 720);
+/// assert!(rain.values().iter().all(|&v| v >= 0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeatherGenerator {
+    annual_rainfall_mm: f64,
+    mean_temp_c: f64,
+    seed: u64,
+}
+
+impl WeatherGenerator {
+    /// Creates a generator matched to a catchment's climatology.
+    pub fn for_catchment(catchment: &Catchment, seed: u64) -> WeatherGenerator {
+        WeatherGenerator {
+            annual_rainfall_mm: catchment.mean_annual_rainfall_mm(),
+            mean_temp_c: catchment.mean_annual_temp_c(),
+            seed,
+        }
+    }
+
+    /// Creates a generator from explicit climatology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `annual_rainfall_mm` is not positive.
+    pub fn new(annual_rainfall_mm: f64, mean_temp_c: f64, seed: u64) -> WeatherGenerator {
+        assert!(annual_rainfall_mm > 0.0, "annual rainfall must be positive");
+        WeatherGenerator { annual_rainfall_mm, mean_temp_c, seed }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Hourly-resolvable rainfall series in millimetres per step.
+    ///
+    /// Wet/dry occurrence follows a two-state Markov chain whose transition
+    /// probabilities vary seasonally (wetter winters, as in Cumbria); wet-step
+    /// depths are exponential with a seasonal mean and a heavy-tail storm
+    /// amplification, so multi-day floods occur at realistic frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_secs` is zero.
+    pub fn rainfall(&self, start: Timestamp, step_secs: u32, len: usize) -> TimeSeries {
+        assert!(step_secs > 0, "step must be positive");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x5261_494e); // "RAIN"
+        let step_hours = f64::from(step_secs) / 3600.0;
+
+        // Calibrate mean wet intensity so the expected annual total matches
+        // the catchment's climatology. Average wet fraction of the chain is
+        // ~0.30; winter/summer modulation averages out.
+        let avg_wet_fraction = 0.30;
+        let mean_intensity_mm_h = self.annual_rainfall_mm / (8760.0 * avg_wet_fraction);
+
+        let mut wet = false;
+        TimeSeries::from_fn(start, step_secs, len, |t| {
+            // Seasonality: 1.0 mid-winter, -1.0 mid-summer.
+            let season = (std::f64::consts::TAU * (t.year_fraction() - 0.02)).cos();
+            let p_dry_to_wet = (0.065 + 0.025 * season) * step_hours.min(3.0);
+            let p_wet_to_wet = 0.82 + 0.05 * season;
+            wet = if wet {
+                rng.gen::<f64>() < p_wet_to_wet
+            } else {
+                rng.gen::<f64>() < p_dry_to_wet
+            };
+            if !wet {
+                return 0.0;
+            }
+            let seasonal_intensity = mean_intensity_mm_h * (1.0 + 0.25 * season);
+            // 5 % of wet steps are convective/frontal cores with a 6x mean.
+            let mean = if rng.gen::<f64>() < 0.05 {
+                seasonal_intensity * 6.0
+            } else {
+                seasonal_intensity
+            };
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            -mean * u.ln() * step_hours
+        })
+    }
+
+    /// Air-temperature series in °C: seasonal cycle (±6.5 °C, peak mid-July)
+    /// plus a diurnal cycle (±3.5 °C, peak 15:00) plus AR(1) weather noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_secs` is zero.
+    pub fn temperature(&self, start: Timestamp, step_secs: u32, len: usize) -> TimeSeries {
+        assert!(step_secs > 0, "step must be positive");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x5445_4d50); // "TEMP"
+        let mut ar = 0.0f64;
+        let rho = 0.95f64;
+        let sigma = 1.5 * (1.0 - rho * rho).sqrt();
+        TimeSeries::from_fn(start, step_secs, len, |t| {
+            let seasonal = -6.5 * (std::f64::consts::TAU * (t.year_fraction() - 0.035)).cos();
+            let diurnal = 3.5 * (std::f64::consts::TAU * (t.day_fraction() - 0.375)).sin();
+            let z: f64 = {
+                let u1: f64 = 1.0 - rng.gen::<f64>();
+                let u2: f64 = rng.gen();
+                (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+            };
+            ar = rho * ar + sigma * z;
+            self.mean_temp_c + seasonal + diurnal + ar
+        })
+    }
+}
+
+/// A stage-discharge rating curve `Q = a·(h − h₀)^b`.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::synthetic::RatingCurve;
+///
+/// let rating = RatingCurve::new(4.5, 1.8, 0.05);
+/// let q = rating.discharge_from_stage(1.0);
+/// let h = rating.stage_from_discharge(q);
+/// assert!((h - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatingCurve {
+    a: f64,
+    b: f64,
+    h0: f64,
+}
+
+impl RatingCurve {
+    /// Creates a rating curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` are not positive.
+    pub fn new(a: f64, b: f64, h0: f64) -> RatingCurve {
+        assert!(a > 0.0 && b > 0.0, "rating coefficients must be positive");
+        RatingCurve { a, b, h0 }
+    }
+
+    /// A plausible rating for a catchment: calibrated so that discharge at
+    /// the indicative flood stage equals a specific flood discharge of
+    /// 0.5 m³ s⁻¹ km⁻².
+    pub fn for_catchment(catchment: &Catchment) -> RatingCurve {
+        let b = 1.8;
+        let h0 = 0.05;
+        let q_flood = 0.5 * catchment.area_km2();
+        let a = q_flood / (catchment.flood_stage_m() - h0).powf(b);
+        RatingCurve::new(a, b, h0)
+    }
+
+    /// Discharge (m³/s) for a stage (m). Stages at or below the datum map to
+    /// zero.
+    pub fn discharge_from_stage(&self, stage_m: f64) -> f64 {
+        if stage_m <= self.h0 {
+            0.0
+        } else {
+            self.a * (stage_m - self.h0).powf(self.b)
+        }
+    }
+
+    /// Stage (m) for a discharge (m³/s).
+    pub fn stage_from_discharge(&self, q_m3s: f64) -> f64 {
+        if q_m3s <= 0.0 {
+            self.h0
+        } else {
+            self.h0 + (q_m3s / self.a).powf(1.0 / self.b)
+        }
+    }
+}
+
+/// The synthetic "nature" that produces observed discharge and downstream
+/// water-quality signals for a catchment.
+///
+/// A two-reservoir (fast/slow) conceptual model with a temperature-dependent
+/// runoff coefficient. It is deliberately *not* one of the library models
+/// (TOPMODEL/FUSE), so calibrating those against this truth is a genuine
+/// inverse problem, as in the real project.
+#[derive(Debug, Clone)]
+pub struct TruthModel {
+    area_km2: f64,
+    mean_temp_c: f64,
+    rating: RatingCurve,
+    seed: u64,
+}
+
+impl TruthModel {
+    /// Creates the truth model for a catchment.
+    pub fn for_catchment(catchment: &Catchment, seed: u64) -> TruthModel {
+        TruthModel {
+            area_km2: catchment.area_km2(),
+            mean_temp_c: catchment.mean_annual_temp_c(),
+            rating: RatingCurve::for_catchment(catchment),
+            seed,
+        }
+    }
+
+    /// The rating curve used to convert between stage and discharge.
+    pub fn rating(&self) -> RatingCurve {
+        self.rating
+    }
+
+    /// Observed discharge (m³/s) from rainfall and temperature forcing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two series are not aligned (same start, step and
+    /// length).
+    pub fn discharge(&self, rainfall: &TimeSeries, temperature: &TimeSeries) -> TimeSeries {
+        assert_eq!(rainfall.start(), temperature.start(), "forcing must share a start");
+        assert_eq!(rainfall.step_secs(), temperature.step_secs(), "forcing must share a step");
+        assert_eq!(rainfall.len(), temperature.len(), "forcing must share a length");
+
+        let step_hours = f64::from(rainfall.step_secs()) / 3600.0;
+        // Reservoir rate constants per hour, scaled to the step.
+        let kf = 1.0 - (-0.08 * step_hours).exp();
+        let ks = 1.0 - (-0.005 * step_hours).exp();
+        let mut fast = 2.0f64; // mm of storage
+        let mut slow = 60.0f64;
+
+        let mut q = TimeSeries::new(rainfall.start(), rainfall.step_secs());
+        for i in 0..rainfall.len() {
+            let rain = rainfall.value_at(i).max(0.0);
+            let temp = temperature.value_at(i);
+            // Runoff coefficient: higher when cold (low evapotranspiration).
+            let phi = (0.55 - 0.015 * (temp - self.mean_temp_c)).clamp(0.2, 0.75);
+            let eff = rain * phi;
+            fast += eff * 0.7;
+            slow += eff * 0.3;
+            let qf = fast * kf;
+            let qs = slow * ks;
+            fast -= qf;
+            slow -= qs;
+            let q_mm_per_step = qf + qs;
+            // mm over the catchment per step → m³/s.
+            let q_m3s = q_mm_per_step * self.area_km2 / (3.6 * step_hours);
+            q.push(q_m3s);
+        }
+        q
+    }
+
+    /// River stage (m) series from a discharge series, via the rating curve.
+    pub fn stage(&self, discharge: &TimeSeries) -> TimeSeries {
+        discharge.map(|q| self.rating.stage_from_discharge(q))
+    }
+
+    /// Turbidity (NTU) from discharge: a power-law sediment rating with
+    /// multiplicative noise.
+    pub fn turbidity(&self, discharge: &TimeSeries) -> TimeSeries {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x5455_5242); // "TURB"
+        let q_specific_flood = 0.5 * self.area_km2;
+        discharge.map(|q| {
+            let rel = (q / q_specific_flood).max(0.0);
+            let noise = 1.0 + 0.25 * (rng.gen::<f64>() - 0.5);
+            (5.0 + 220.0 * rel.powf(1.3)) * noise
+        })
+    }
+
+    /// Water temperature (°C): damped, lagged air temperature.
+    pub fn water_temperature(&self, air_temperature: &TimeSeries) -> TimeSeries {
+        let mut state = self.mean_temp_c;
+        let alpha = 0.03 * f64::from(air_temperature.step_secs()) / 3600.0;
+        let alpha = alpha.min(1.0);
+        air_temperature.map(|t_air| {
+            state += alpha * (t_air - state);
+            state.max(0.1)
+        })
+    }
+
+    /// Webcam frames every `interval_secs`, with diurnal brightness and
+    /// murkiness tracking the provided turbidity series (this is the linkage
+    /// the multimodal widget of paper Fig. 5 visualises).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_secs` is zero.
+    pub fn webcam_frames(
+        &self,
+        camera: &SensorId,
+        turbidity: &TimeSeries,
+        interval_secs: u32,
+    ) -> Vec<WebcamFrame> {
+        assert!(interval_secs > 0, "interval must be positive");
+        let mut frames = Vec::new();
+        let mut t = turbidity.start();
+        while t < turbidity.end() {
+            let hour = t.day_fraction() * 24.0;
+            let brightness = if (6.0..18.0).contains(&hour) {
+                (std::f64::consts::PI * (hour - 6.0) / 12.0).sin().max(0.0)
+            } else {
+                0.02 // street-lit night scene
+            };
+            let ntu = turbidity.at(t).unwrap_or(f64::NAN);
+            let murkiness = if ntu.is_nan() { 0.0 } else { (ntu / 400.0).clamp(0.0, 1.0) };
+            frames.push(WebcamFrame::new(camera.clone(), t, brightness, murkiness));
+            t = t.plus_secs(i64::from(interval_secs));
+        }
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn morland() -> Catchment {
+        Catchment::morland()
+    }
+
+    fn year_start() -> Timestamp {
+        Timestamp::from_ymd(2012, 1, 1)
+    }
+
+    #[test]
+    fn rainfall_annual_total_near_climatology() {
+        let generator = WeatherGenerator::for_catchment(&morland(), 42);
+        let rain = generator.rainfall(year_start(), 3600, 24 * 366);
+        let total = rain.sum();
+        let target = morland().mean_annual_rainfall_mm();
+        assert!(
+            (total - target).abs() / target < 0.4,
+            "annual total {total:.0} mm vs climatology {target:.0} mm"
+        );
+    }
+
+    #[test]
+    fn rainfall_is_non_negative_and_intermittent() {
+        let generator = WeatherGenerator::for_catchment(&morland(), 1);
+        let rain = generator.rainfall(year_start(), 3600, 24 * 90);
+        assert!(rain.values().iter().all(|&v| v >= 0.0));
+        let dry = rain.values().iter().filter(|&&v| v == 0.0).count();
+        let frac_dry = dry as f64 / rain.len() as f64;
+        assert!(frac_dry > 0.4 && frac_dry < 0.9, "dry fraction {frac_dry}");
+    }
+
+    #[test]
+    fn rainfall_is_deterministic() {
+        let g = WeatherGenerator::for_catchment(&morland(), 7);
+        let a = g.rainfall(year_start(), 3600, 100);
+        let b = g.rainfall(year_start(), 3600, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn winter_is_wetter_than_summer() {
+        let generator = WeatherGenerator::for_catchment(&morland(), 3);
+        let jan = generator.rainfall(year_start(), 3600, 24 * 31).sum();
+        let jul = generator
+            .rainfall(Timestamp::from_ymd(2012, 7, 1), 3600, 24 * 31)
+            .sum();
+        assert!(jan > jul * 0.8, "jan={jan:.0} jul={jul:.0}");
+    }
+
+    #[test]
+    fn temperature_has_seasonal_and_diurnal_structure() {
+        let generator = WeatherGenerator::for_catchment(&morland(), 11);
+        let jan = generator.temperature(year_start(), 3600, 24 * 31);
+        let jul = generator.temperature(Timestamp::from_ymd(2012, 7, 1), 3600, 24 * 31);
+        assert!(jul.mean() > jan.mean() + 6.0, "jul={} jan={}", jul.mean(), jan.mean());
+
+        // Diurnal: 15:00 warmer than 03:00 on average in July.
+        let day = jul.iter().filter(|(t, _)| t.hour() == 15).map(|(_, v)| v).sum::<f64>() / 31.0;
+        let night = jul.iter().filter(|(t, _)| t.hour() == 3).map(|(_, v)| v).sum::<f64>() / 31.0;
+        assert!(day > night + 3.0, "day={day} night={night}");
+    }
+
+    #[test]
+    fn rating_curve_round_trip() {
+        let rating = RatingCurve::for_catchment(&morland());
+        for q in [0.1, 1.0, 6.0, 20.0] {
+            let h = rating.stage_from_discharge(q);
+            let back = rating.discharge_from_stage(h);
+            assert!((back - q).abs() < 1e-9, "q={q} back={back}");
+        }
+        assert_eq!(rating.discharge_from_stage(0.0), 0.0);
+        assert_eq!(rating.stage_from_discharge(0.0), 0.05);
+    }
+
+    #[test]
+    fn rating_hits_flood_discharge_at_flood_stage() {
+        let c = morland();
+        let rating = RatingCurve::for_catchment(&c);
+        let q = rating.discharge_from_stage(c.flood_stage_m());
+        assert!((q - 0.5 * c.area_km2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discharge_responds_to_rain() {
+        let c = morland();
+        let g = WeatherGenerator::for_catchment(&c, 21);
+        let start = year_start();
+        let n = 24 * 60;
+        let rain = g.rainfall(start, 3600, n);
+        let temp = g.temperature(start, 3600, n);
+        let truth = TruthModel::for_catchment(&c, 21);
+        let q = truth.discharge(&rain, &temp);
+        assert_eq!(q.len(), n);
+        assert!(q.values().iter().all(|&v| v.is_finite() && v >= 0.0));
+
+        // Water balance sanity: runoff volume is 20–75 % of rainfall volume
+        // plus initial storage drainage.
+        let rain_volume_mm = rain.sum();
+        let q_volume_mm: f64 = q.values().iter().sum::<f64>() * 3.6 / c.area_km2();
+        assert!(
+            q_volume_mm > 0.15 * rain_volume_mm && q_volume_mm < 1.1 * rain_volume_mm,
+            "runoff {q_volume_mm:.0} mm vs rain {rain_volume_mm:.0} mm"
+        );
+    }
+
+    #[test]
+    fn discharge_peak_follows_storm() {
+        let c = morland();
+        let start = year_start();
+        // A dry week, a 12-hour 60 mm storm, then dry.
+        let rain = TimeSeries::from_fn(start, 3600, 24 * 14, |t| {
+            let h = (t - start) / 3600;
+            if (168..180).contains(&h) {
+                5.0
+            } else {
+                0.0
+            }
+        });
+        let temp = TimeSeries::from_values(start, 3600, vec![8.5; 24 * 14]);
+        let truth = TruthModel::for_catchment(&c, 1);
+        let q = truth.discharge(&rain, &temp);
+        let (peak_idx, peak) = q.peak().unwrap();
+        assert!(
+            (168..24 * 14).contains(&peak_idx),
+            "peak at {peak_idx} should follow storm onset at 168"
+        );
+        assert!(peak > q.value_at(100) * 3.0, "peak {peak} vs pre-storm {}", q.value_at(100));
+    }
+
+    #[test]
+    fn turbidity_tracks_discharge() {
+        let c = morland();
+        let truth = TruthModel::for_catchment(&c, 9);
+        let q = TimeSeries::from_values(year_start(), 3600, vec![0.5, 0.5, 6.0, 6.0]);
+        let turb = truth.turbidity(&q);
+        assert!(turb.value_at(2) > turb.value_at(0) * 3.0);
+        assert!(turb.values().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn water_temperature_is_damped() {
+        let c = morland();
+        let g = WeatherGenerator::for_catchment(&c, 2);
+        let air = g.temperature(year_start(), 3600, 24 * 30);
+        let truth = TruthModel::for_catchment(&c, 2);
+        let water = truth.water_temperature(&air);
+        let air_range = air.peak().unwrap().1 - air.trough().unwrap().1;
+        let water_range = water.peak().unwrap().1 - water.trough().unwrap().1;
+        assert!(water_range < air_range * 0.6, "water {water_range} vs air {air_range}");
+    }
+
+    #[test]
+    fn webcam_frames_align_with_turbidity() {
+        let c = morland();
+        let truth = TruthModel::for_catchment(&c, 5);
+        let turb = TimeSeries::from_values(
+            Timestamp::from_ymd_hms(2012, 6, 1, 0, 0, 0),
+            3600,
+            (0..48).map(|i| if i >= 24 { 350.0 } else { 10.0 }).collect(),
+        );
+        let frames = truth.webcam_frames(&SensorId::new("cam"), &turb, 1800);
+        assert_eq!(frames.len(), 96);
+        // Noon frame is brighter than midnight frame.
+        let noon = frames.iter().find(|f| f.time().hour() == 12).unwrap();
+        let midnight = &frames[0];
+        assert!(noon.brightness() > midnight.brightness() + 0.5);
+        // Day-2 frames are murkier than day-1 frames.
+        assert!(frames[70].murkiness() > frames[10].murkiness() + 0.3);
+    }
+}

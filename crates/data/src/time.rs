@@ -1,0 +1,305 @@
+//! Calendar-aware timestamps for environmental observations.
+//!
+//! Environmental data are wall-clock phenomena (rainfall seasonality, diurnal
+//! temperature cycles), so this type carries real calendar semantics, unlike
+//! the control plane's pure virtual [`SimTime`](https://example.org/evop)
+//! offsets.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds in one day.
+pub const SECS_PER_DAY: i64 = 86_400;
+
+/// Seconds in one hour.
+pub const SECS_PER_HOUR: i64 = 3_600;
+
+/// A UTC instant with second resolution, stored as seconds since the Unix
+/// epoch.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::Timestamp;
+///
+/// let t = Timestamp::from_ymd_hms(2012, 6, 15, 12, 0, 0);
+/// assert_eq!(t.year(), 2012);
+/// assert_eq!(t.day_of_year(), 167);
+/// assert_eq!(t.hour(), 12);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    /// The Unix epoch, 1970-01-01T00:00:00Z.
+    pub const UNIX_EPOCH: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from seconds since the Unix epoch.
+    pub const fn from_unix(secs: i64) -> Timestamp {
+        Timestamp(secs)
+    }
+
+    /// Creates a timestamp from a calendar date and time (UTC, proleptic
+    /// Gregorian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `month` is not in `1..=12`, `day` not in `1..=31`, `hour`
+    /// not in `0..24`, or `minute`/`second` not in `0..60`.
+    pub fn from_ymd_hms(year: i32, month: u32, day: u32, hour: u32, minute: u32, second: u32) -> Timestamp {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        assert!((1..=31).contains(&day), "day out of range: {day}");
+        assert!(hour < 24, "hour out of range: {hour}");
+        assert!(minute < 60, "minute out of range: {minute}");
+        assert!(second < 60, "second out of range: {second}");
+        let days = days_from_civil(year, month, day);
+        Timestamp(
+            days * SECS_PER_DAY + i64::from(hour) * SECS_PER_HOUR + i64::from(minute) * 60 + i64::from(second),
+        )
+    }
+
+    /// Creates a timestamp at midnight UTC on the given date.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Timestamp {
+        Timestamp::from_ymd_hms(year, month, day, 0, 0, 0)
+    }
+
+    /// Seconds since the Unix epoch.
+    pub const fn as_unix(self) -> i64 {
+        self.0
+    }
+
+    /// The calendar year.
+    pub fn year(self) -> i32 {
+        self.civil().0
+    }
+
+    /// The calendar month, `1..=12`.
+    pub fn month(self) -> u32 {
+        self.civil().1
+    }
+
+    /// The day of the month, `1..=31`.
+    pub fn day(self) -> u32 {
+        self.civil().2
+    }
+
+    /// The hour of day, `0..24`.
+    pub fn hour(self) -> u32 {
+        (self.seconds_of_day() / SECS_PER_HOUR) as u32
+    }
+
+    /// The minute of the hour, `0..60`.
+    pub fn minute(self) -> u32 {
+        ((self.seconds_of_day() % SECS_PER_HOUR) / 60) as u32
+    }
+
+    /// The day of the year, `1..=366`.
+    pub fn day_of_year(self) -> u32 {
+        let (y, m, d) = self.civil();
+        let jan1 = days_from_civil(y, 1, 1);
+        (days_from_civil(y, m, d) - jan1 + 1) as u32
+    }
+
+    /// Fraction of the day elapsed, in `[0, 1)`. Drives diurnal cycles in the
+    /// synthetic weather generator.
+    pub fn day_fraction(self) -> f64 {
+        self.seconds_of_day() as f64 / SECS_PER_DAY as f64
+    }
+
+    /// Fraction of the year elapsed, in `[0, 1)`. Drives seasonal cycles.
+    pub fn year_fraction(self) -> f64 {
+        let doy = f64::from(self.day_of_year() - 1) + self.day_fraction();
+        let length = if is_leap_year(self.year()) { 366.0 } else { 365.0 };
+        doy / length
+    }
+
+    /// Adds whole seconds.
+    pub fn plus_secs(self, secs: i64) -> Timestamp {
+        Timestamp(self.0 + secs)
+    }
+
+    /// Adds whole hours.
+    pub fn plus_hours(self, hours: i64) -> Timestamp {
+        self.plus_secs(hours * SECS_PER_HOUR)
+    }
+
+    /// Adds whole days.
+    pub fn plus_days(self, days: i64) -> Timestamp {
+        self.plus_secs(days * SECS_PER_DAY)
+    }
+
+    /// Rounds down to the containing multiple of `step_secs`, anchored at the
+    /// epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_secs` is zero.
+    pub fn floor_to(self, step_secs: u32) -> Timestamp {
+        assert!(step_secs > 0, "step must be positive");
+        let step = i64::from(step_secs);
+        Timestamp(self.0.div_euclid(step) * step)
+    }
+
+    fn seconds_of_day(self) -> i64 {
+        self.0.rem_euclid(SECS_PER_DAY)
+    }
+
+    fn civil(self) -> (i32, u32, u32) {
+        civil_from_days(self.0.div_euclid(SECS_PER_DAY))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.civil();
+        let sod = self.seconds_of_day();
+        write!(
+            f,
+            "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
+            sod / SECS_PER_HOUR,
+            (sod % SECS_PER_HOUR) / 60,
+            sod % 60
+        )
+    }
+}
+
+impl Add<i64> for Timestamp {
+    type Output = Timestamp;
+
+    /// Adds whole seconds.
+    fn add(self, rhs: i64) -> Timestamp {
+        self.plus_secs(rhs)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = i64;
+
+    /// The signed number of seconds from `rhs` to `self`.
+    fn sub(self, rhs: Timestamp) -> i64 {
+        self.0 - rhs.0
+    }
+}
+
+/// `true` if `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Days since the Unix epoch for a civil date (Howard Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for days since the Unix epoch (inverse of [`days_from_civil`]).
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    ((y + i64::from(m <= 2)) as i32, m as u32, d as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        let t = Timestamp::UNIX_EPOCH;
+        assert_eq!((t.year(), t.month(), t.day()), (1970, 1, 1));
+        assert_eq!(t.to_string(), "1970-01-01T00:00:00Z");
+    }
+
+    #[test]
+    fn civil_round_trip_across_eras() {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (1999, 12, 31),
+            (2000, 2, 29),
+            (2011, 11, 5),
+            (2012, 2, 29),
+            (2100, 3, 1),
+            (1900, 2, 28),
+        ] {
+            let t = Timestamp::from_ymd(y, m, d);
+            assert_eq!((t.year(), t.month(), t.day()), (y, m, d), "date {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn known_unix_values() {
+        // 2012-06-15T12:00:00Z == 1339761600
+        assert_eq!(Timestamp::from_ymd_hms(2012, 6, 15, 12, 0, 0).as_unix(), 1_339_761_600);
+        // 2000-01-01 == 946684800
+        assert_eq!(Timestamp::from_ymd(2000, 1, 1).as_unix(), 946_684_800);
+    }
+
+    #[test]
+    fn day_of_year_handles_leap_years() {
+        assert_eq!(Timestamp::from_ymd(2011, 12, 31).day_of_year(), 365);
+        assert_eq!(Timestamp::from_ymd(2012, 12, 31).day_of_year(), 366);
+        assert_eq!(Timestamp::from_ymd(2012, 3, 1).day_of_year(), 61);
+        assert_eq!(Timestamp::from_ymd(2011, 3, 1).day_of_year(), 60);
+    }
+
+    #[test]
+    fn fractions_are_in_range() {
+        let t = Timestamp::from_ymd_hms(2012, 6, 15, 18, 0, 0);
+        assert!((t.day_fraction() - 0.75).abs() < 1e-12);
+        assert!(t.year_fraction() > 0.4 && t.year_fraction() < 0.5);
+    }
+
+    #[test]
+    fn arithmetic_and_floor() {
+        let t = Timestamp::from_ymd_hms(2012, 1, 1, 10, 34, 56);
+        assert_eq!(t.plus_days(1).day(), 2);
+        assert_eq!(t.floor_to(3600).minute(), 0);
+        assert_eq!(t.floor_to(3600).hour(), 10);
+        let delta = t.plus_hours(3) - t;
+        assert_eq!(delta, 3 * SECS_PER_HOUR);
+    }
+
+    #[test]
+    fn floor_works_before_epoch() {
+        let t = Timestamp::from_unix(-1);
+        assert_eq!(t.floor_to(3600).as_unix(), -3600);
+    }
+
+    #[test]
+    fn display_pads_fields() {
+        let t = Timestamp::from_ymd_hms(2012, 2, 3, 4, 5, 6);
+        assert_eq!(t.to_string(), "2012-02-03T04:05:06Z");
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(is_leap_year(2012));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2011));
+    }
+
+    #[test]
+    #[should_panic(expected = "month out of range")]
+    fn rejects_bad_month() {
+        let _ = Timestamp::from_ymd(2012, 13, 1);
+    }
+}

@@ -1,0 +1,676 @@
+//! Regular and irregular time series.
+//!
+//! Everything the portal shows — rainfall records, river stages, model
+//! hydrographs — is a time series. [`TimeSeries`] is a regularly sampled
+//! series (fixed step), which is what models consume; [`IrregularSeries`] is
+//! an event-stamped series (what raw sensors and webcams produce), with
+//! conversion between the two. Missing data are represented as `NaN` and
+//! handled explicitly by every operation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Timestamp;
+
+/// How to combine several samples into one when resampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Arithmetic mean of non-missing samples (e.g. temperature).
+    Mean,
+    /// Sum of non-missing samples (e.g. rainfall depth).
+    Sum,
+    /// Minimum of non-missing samples.
+    Min,
+    /// Maximum of non-missing samples (e.g. flood peak).
+    Max,
+    /// The last non-missing sample (e.g. instantaneous stage).
+    Last,
+}
+
+impl Aggregation {
+    fn apply(self, window: &[f64]) -> f64 {
+        let mut present = window.iter().copied().filter(|v| !v.is_nan()).peekable();
+        if present.peek().is_none() {
+            return f64::NAN;
+        }
+        match self {
+            Aggregation::Mean => {
+                let (sum, n) = present.fold((0.0, 0usize), |(s, n), v| (s + v, n + 1));
+                sum / n as f64
+            }
+            Aggregation::Sum => present.sum(),
+            Aggregation::Min => present.fold(f64::INFINITY, f64::min),
+            Aggregation::Max => present.fold(f64::NEG_INFINITY, f64::max),
+            Aggregation::Last => present.last().expect("checked non-empty"),
+        }
+    }
+}
+
+/// How to fill missing (`NaN`) samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FillMethod {
+    /// Carry the previous non-missing value forward.
+    Hold,
+    /// Linear interpolation between the surrounding non-missing values.
+    Linear,
+}
+
+/// Errors from time-series operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeriesError {
+    /// Two series could not be aligned because their steps differ.
+    StepMismatch {
+        /// Step of the left-hand series in seconds.
+        left: u32,
+        /// Step of the right-hand series in seconds.
+        right: u32,
+    },
+    /// Two series do not overlap in time.
+    NoOverlap,
+    /// The requested window is empty or inverted.
+    EmptyWindow,
+}
+
+impl fmt::Display for SeriesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeriesError::StepMismatch { left, right } => {
+                write!(f, "series steps differ: {left}s vs {right}s")
+            }
+            SeriesError::NoOverlap => write!(f, "series do not overlap in time"),
+            SeriesError::EmptyWindow => write!(f, "requested window is empty"),
+        }
+    }
+}
+
+impl std::error::Error for SeriesError {}
+
+/// A regularly sampled time series with a fixed step.
+///
+/// Missing samples are stored as `NaN`.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::{TimeSeries, Timestamp};
+///
+/// let start = Timestamp::from_ymd(2012, 1, 1);
+/// let hourly = TimeSeries::from_values(start, 3600, vec![0.0, 1.5, 3.0, 0.5]);
+/// assert_eq!(hourly.len(), 4);
+/// assert_eq!(hourly.value_at(2), 3.0);
+/// assert!((hourly.sum() - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    start: Timestamp,
+    step_secs: u32,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series starting at `start` with the given step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_secs` is zero.
+    pub fn new(start: Timestamp, step_secs: u32) -> TimeSeries {
+        assert!(step_secs > 0, "step must be positive");
+        TimeSeries { start, step_secs, values: Vec::new() }
+    }
+
+    /// Creates a series from explicit values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_secs` is zero.
+    pub fn from_values(start: Timestamp, step_secs: u32, values: Vec<f64>) -> TimeSeries {
+        assert!(step_secs > 0, "step must be positive");
+        TimeSeries { start, step_secs, values }
+    }
+
+    /// Creates a series of `len` samples by evaluating `f` at each timestamp.
+    pub fn from_fn<F: FnMut(Timestamp) -> f64>(
+        start: Timestamp,
+        step_secs: u32,
+        len: usize,
+        mut f: F,
+    ) -> TimeSeries {
+        let mut s = TimeSeries::new(start, step_secs);
+        for i in 0..len {
+            let t = start.plus_secs(i as i64 * i64::from(step_secs));
+            s.values.push(f(t));
+        }
+        s
+    }
+
+    /// The timestamp of the first sample.
+    pub fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// The sampling step in seconds.
+    pub fn step_secs(&self) -> u32 {
+        self.step_secs
+    }
+
+    /// The exclusive end time (one step past the last sample).
+    pub fn end(&self) -> Timestamp {
+        self.start.plus_secs(self.values.len() as i64 * i64::from(self.step_secs))
+    }
+
+    /// The number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The timestamp of sample `i`.
+    pub fn time_at(&self, i: usize) -> Timestamp {
+        self.start.plus_secs(i as i64 * i64::from(self.step_secs))
+    }
+
+    /// The value of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn value_at(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// The value at timestamp `t`, if `t` falls within the series (floored to
+    /// the containing step).
+    pub fn at(&self, t: Timestamp) -> Option<f64> {
+        if t < self.start || t >= self.end() {
+            return None;
+        }
+        let idx = ((t - self.start) / i64::from(self.step_secs)) as usize;
+        Some(self.values[idx])
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// All values in order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates over `(timestamp, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Timestamp, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (self.time_at(i), v))
+    }
+
+    /// The sub-series covering `[from, to)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::EmptyWindow`] if the window is inverted, or
+    /// [`SeriesError::NoOverlap`] if it does not intersect the series.
+    pub fn window(&self, from: Timestamp, to: Timestamp) -> Result<TimeSeries, SeriesError> {
+        if to <= from {
+            return Err(SeriesError::EmptyWindow);
+        }
+        if to <= self.start || from >= self.end() {
+            return Err(SeriesError::NoOverlap);
+        }
+        let step = i64::from(self.step_secs);
+        let lo = if from <= self.start {
+            0
+        } else {
+            ((from - self.start) + step - 1).div_euclid(step) as usize
+        };
+        let hi = (((to - self.start) + step - 1).div_euclid(step) as usize).min(self.values.len());
+        if lo >= hi {
+            return Err(SeriesError::NoOverlap);
+        }
+        Ok(TimeSeries {
+            start: self.time_at(lo),
+            step_secs: self.step_secs,
+            values: self.values[lo..hi].to_vec(),
+        })
+    }
+
+    /// Resamples to a coarser step, combining each window with `agg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_step_secs` is not a positive multiple of the current
+    /// step.
+    pub fn resample(&self, new_step_secs: u32, agg: Aggregation) -> TimeSeries {
+        assert!(
+            new_step_secs > 0 && new_step_secs % self.step_secs == 0,
+            "new step {new_step_secs}s must be a positive multiple of {}s",
+            self.step_secs
+        );
+        let factor = (new_step_secs / self.step_secs) as usize;
+        let values = self
+            .values
+            .chunks(factor)
+            .map(|chunk| agg.apply(chunk))
+            .collect();
+        TimeSeries { start: self.start, step_secs: new_step_secs, values }
+    }
+
+    /// Returns a copy with missing (`NaN`) samples filled.
+    ///
+    /// Leading missing samples (with no previous value) are left missing under
+    /// [`FillMethod::Hold`], and trailing missing samples are held at the last
+    /// known value under [`FillMethod::Linear`].
+    pub fn fill_missing(&self, method: FillMethod) -> TimeSeries {
+        let mut out = self.clone();
+        match method {
+            FillMethod::Hold => {
+                let mut last = f64::NAN;
+                for v in &mut out.values {
+                    if v.is_nan() {
+                        *v = last;
+                    } else {
+                        last = *v;
+                    }
+                }
+            }
+            FillMethod::Linear => {
+                let n = out.values.len();
+                let mut i = 0;
+                while i < n {
+                    if out.values[i].is_nan() {
+                        let gap_start = i;
+                        while i < n && out.values[i].is_nan() {
+                            i += 1;
+                        }
+                        let before = gap_start.checked_sub(1).map(|j| out.values[j]);
+                        let after = (i < n).then(|| out.values[i]);
+                        match (before, after) {
+                            (Some(b), Some(a)) => {
+                                let gap = i - gap_start + 1;
+                                for (k, v) in out.values[gap_start..i].iter_mut().enumerate() {
+                                    let t = (k + 1) as f64 / gap as f64;
+                                    *v = b + (a - b) * t;
+                                }
+                            }
+                            (Some(b), None) => {
+                                for v in &mut out.values[gap_start..i] {
+                                    *v = b;
+                                }
+                            }
+                            (None, Some(a)) => {
+                                for v in &mut out.values[gap_start..i] {
+                                    *v = a;
+                                }
+                            }
+                            (None, None) => {}
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Trims both series to their overlapping window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeriesError::StepMismatch`] if the steps differ, and
+    /// [`SeriesError::NoOverlap`] if the series do not overlap.
+    pub fn align(&self, other: &TimeSeries) -> Result<(TimeSeries, TimeSeries), SeriesError> {
+        if self.step_secs != other.step_secs {
+            return Err(SeriesError::StepMismatch { left: self.step_secs, right: other.step_secs });
+        }
+        let from = self.start.max(other.start);
+        let to = self.end().min(other.end());
+        if to <= from {
+            return Err(SeriesError::NoOverlap);
+        }
+        Ok((self.window(from, to)?, other.window(from, to)?))
+    }
+
+    /// Applies `f` to every sample, returning a new series.
+    pub fn map<F: FnMut(f64) -> f64>(&self, f: F) -> TimeSeries {
+        TimeSeries {
+            start: self.start,
+            step_secs: self.step_secs,
+            values: self.values.iter().copied().map(f).collect(),
+        }
+    }
+
+    /// The number of missing (`NaN`) samples.
+    pub fn missing_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_nan()).count()
+    }
+
+    /// The sum of non-missing samples.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().filter(|v| !v.is_nan()).sum()
+    }
+
+    /// The mean of non-missing samples, or `NaN` if all are missing.
+    pub fn mean(&self) -> f64 {
+        let present: Vec<f64> = self.values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if present.is_empty() {
+            f64::NAN
+        } else {
+            present.iter().sum::<f64>() / present.len() as f64
+        }
+    }
+
+    /// The maximum non-missing sample with its index, or `None` if all
+    /// samples are missing.
+    pub fn peak(&self) -> Option<(usize, f64)> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_nan())
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN"))
+            .map(|(i, &v)| (i, v))
+    }
+
+    /// The minimum non-missing sample with its index, or `None` if all
+    /// samples are missing.
+    pub fn trough(&self) -> Option<(usize, f64)> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_nan())
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN"))
+            .map(|(i, &v)| (i, v))
+    }
+}
+
+/// An irregularly sampled (event-stamped) series, kept sorted by time.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::timeseries::IrregularSeries;
+/// use evop_data::Timestamp;
+///
+/// let mut s = IrregularSeries::new();
+/// let t0 = Timestamp::from_ymd(2012, 1, 1);
+/// s.push(t0.plus_secs(100), 1.0);
+/// s.push(t0, 0.5); // out-of-order insert is fine
+/// assert_eq!(s.nearest(t0.plus_secs(40)).unwrap().1, 0.5);
+/// assert_eq!(s.nearest(t0.plus_secs(60)).unwrap().1, 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct IrregularSeries {
+    points: Vec<(Timestamp, f64)>,
+}
+
+impl IrregularSeries {
+    /// Creates an empty series.
+    pub fn new() -> IrregularSeries {
+        IrregularSeries::default()
+    }
+
+    /// Inserts a sample, keeping the series sorted by time.
+    pub fn push(&mut self, t: Timestamp, value: f64) {
+        let idx = self.points.partition_point(|&(pt, _)| pt <= t);
+        self.points.insert(idx, (t, value));
+    }
+
+    /// The number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All `(timestamp, value)` points in time order.
+    pub fn points(&self) -> &[(Timestamp, f64)] {
+        &self.points
+    }
+
+    /// Iterates over `(timestamp, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Timestamp, f64)> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// The sample closest in time to `t`, or `None` if empty. Ties go to the
+    /// earlier sample.
+    pub fn nearest(&self, t: Timestamp) -> Option<(Timestamp, f64)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let idx = self.points.partition_point(|&(pt, _)| pt < t);
+        let after = self.points.get(idx);
+        let before = idx.checked_sub(1).and_then(|i| self.points.get(i));
+        match (before, after) {
+            (Some(&b), Some(&a)) => {
+                if (t - b.0) <= (a.0 - t) {
+                    Some(b)
+                } else {
+                    Some(a)
+                }
+            }
+            (Some(&b), None) => Some(b),
+            (None, Some(&a)) => Some(a),
+            (None, None) => None,
+        }
+    }
+
+    /// The sample closest to `t` within `tolerance_secs`, or `None`.
+    pub fn nearest_within(&self, t: Timestamp, tolerance_secs: i64) -> Option<(Timestamp, f64)> {
+        self.nearest(t)
+            .filter(|&(pt, _)| (t - pt).abs() <= tolerance_secs)
+    }
+
+    /// All points in `[from, to)`.
+    pub fn window(&self, from: Timestamp, to: Timestamp) -> &[(Timestamp, f64)] {
+        let lo = self.points.partition_point(|&(pt, _)| pt < from);
+        let hi = self.points.partition_point(|&(pt, _)| pt < to);
+        &self.points[lo..hi]
+    }
+
+    /// Converts to a regular series over `[start, start + len*step)`,
+    /// aggregating the points in each step with `agg`; empty steps become
+    /// missing (`NaN`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_secs` is zero.
+    pub fn to_regular(
+        &self,
+        start: Timestamp,
+        step_secs: u32,
+        len: usize,
+        agg: Aggregation,
+    ) -> TimeSeries {
+        assert!(step_secs > 0, "step must be positive");
+        let mut out = TimeSeries::new(start, step_secs);
+        for i in 0..len {
+            let from = start.plus_secs(i as i64 * i64::from(step_secs));
+            let to = from.plus_secs(i64::from(step_secs));
+            let window: Vec<f64> = self.window(from, to).iter().map(|&(_, v)| v).collect();
+            out.push(agg.apply(&window));
+        }
+        out
+    }
+}
+
+impl FromIterator<(Timestamp, f64)> for IrregularSeries {
+    fn from_iter<I: IntoIterator<Item = (Timestamp, f64)>>(iter: I) -> IrregularSeries {
+        let mut points: Vec<(Timestamp, f64)> = iter.into_iter().collect();
+        points.sort_by_key(|&(t, _)| t);
+        IrregularSeries { points }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Timestamp {
+        Timestamp::from_ymd(2012, 1, 1)
+    }
+
+    #[test]
+    fn basics() {
+        let s = TimeSeries::from_values(t0(), 3600, vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.time_at(2), t0().plus_hours(2));
+        assert_eq!(s.end(), t0().plus_hours(3));
+        assert_eq!(s.at(t0().plus_secs(3599)), Some(1.0));
+        assert_eq!(s.at(t0().plus_hours(3)), None);
+        assert_eq!(s.at(t0().plus_secs(-1)), None);
+    }
+
+    #[test]
+    fn from_fn_generates_timestamps() {
+        let s = TimeSeries::from_fn(t0(), 3600, 24, |t| f64::from(t.hour()));
+        assert_eq!(s.value_at(0), 0.0);
+        assert_eq!(s.value_at(23), 23.0);
+    }
+
+    #[test]
+    fn window_clips_to_series() {
+        let s = TimeSeries::from_values(t0(), 3600, (0..24).map(f64::from).collect());
+        let w = s.window(t0().plus_hours(6), t0().plus_hours(9)).unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.value_at(0), 6.0);
+        assert_eq!(w.start(), t0().plus_hours(6));
+
+        // Window larger than the series returns the whole series.
+        let all = s.window(t0().plus_days(-1), t0().plus_days(2)).unwrap();
+        assert_eq!(all.len(), 24);
+    }
+
+    #[test]
+    fn window_errors() {
+        let s = TimeSeries::from_values(t0(), 3600, vec![1.0; 4]);
+        assert_eq!(
+            s.window(t0().plus_hours(2), t0().plus_hours(2)).unwrap_err(),
+            SeriesError::EmptyWindow
+        );
+        assert_eq!(
+            s.window(t0().plus_days(5), t0().plus_days(6)).unwrap_err(),
+            SeriesError::NoOverlap
+        );
+    }
+
+    #[test]
+    fn resample_sum_and_mean() {
+        let s = TimeSeries::from_values(t0(), 3600, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let daily_ish = s.resample(3 * 3600, Aggregation::Sum);
+        assert_eq!(daily_ish.values(), &[6.0, 15.0]);
+        let means = s.resample(2 * 3600, Aggregation::Mean);
+        assert_eq!(means.values(), &[1.5, 3.5, 5.5]);
+        let maxes = s.resample(6 * 3600, Aggregation::Max);
+        assert_eq!(maxes.values(), &[6.0]);
+    }
+
+    #[test]
+    fn resample_with_missing() {
+        let s = TimeSeries::from_values(t0(), 3600, vec![1.0, f64::NAN, f64::NAN, f64::NAN]);
+        let r = s.resample(2 * 3600, Aggregation::Mean);
+        assert_eq!(r.value_at(0), 1.0);
+        assert!(r.value_at(1).is_nan());
+    }
+
+    #[test]
+    fn fill_hold() {
+        let s = TimeSeries::from_values(t0(), 60, vec![f64::NAN, 1.0, f64::NAN, f64::NAN, 2.0]);
+        let f = s.fill_missing(FillMethod::Hold);
+        assert!(f.value_at(0).is_nan()); // no previous value
+        assert_eq!(f.values()[1..], [1.0, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn fill_linear() {
+        let s = TimeSeries::from_values(t0(), 60, vec![0.0, f64::NAN, f64::NAN, 3.0, f64::NAN]);
+        let f = s.fill_missing(FillMethod::Linear);
+        assert_eq!(f.values()[..4], [0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(f.value_at(4), 3.0); // trailing gap held
+    }
+
+    #[test]
+    fn align_overlapping() {
+        let a = TimeSeries::from_values(t0(), 3600, (0..10).map(f64::from).collect());
+        let b = TimeSeries::from_values(t0().plus_hours(5), 3600, (0..10).map(f64::from).collect());
+        let (aa, bb) = a.align(&b).unwrap();
+        assert_eq!(aa.len(), 5);
+        assert_eq!(bb.len(), 5);
+        assert_eq!(aa.start(), bb.start());
+        assert_eq!(aa.value_at(0), 5.0);
+        assert_eq!(bb.value_at(0), 0.0);
+    }
+
+    #[test]
+    fn align_mismatched_step_fails() {
+        let a = TimeSeries::from_values(t0(), 3600, vec![1.0; 5]);
+        let b = TimeSeries::from_values(t0(), 1800, vec![1.0; 5]);
+        assert!(matches!(a.align(&b), Err(SeriesError::StepMismatch { .. })));
+    }
+
+    #[test]
+    fn stats_ignore_missing() {
+        let s = TimeSeries::from_values(t0(), 60, vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(s.sum(), 4.0);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.missing_count(), 1);
+        assert_eq!(s.peak(), Some((2, 3.0)));
+        assert_eq!(s.trough(), Some((0, 1.0)));
+    }
+
+    #[test]
+    fn irregular_insert_keeps_order() {
+        let mut s = IrregularSeries::new();
+        s.push(t0().plus_secs(50), 2.0);
+        s.push(t0(), 1.0);
+        s.push(t0().plus_secs(25), 1.5);
+        let times: Vec<i64> = s.iter().map(|(t, _)| t - t0()).collect();
+        assert_eq!(times, [0, 25, 50]);
+    }
+
+    #[test]
+    fn irregular_nearest_and_tolerance() {
+        let s: IrregularSeries = vec![
+            (t0(), 1.0),
+            (t0().plus_secs(100), 2.0),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.nearest(t0().plus_secs(49)).unwrap().1, 1.0);
+        assert_eq!(s.nearest(t0().plus_secs(50)).unwrap().1, 1.0); // tie → earlier
+        assert_eq!(s.nearest(t0().plus_secs(51)).unwrap().1, 2.0);
+        assert!(s.nearest_within(t0().plus_secs(300), 60).is_none());
+        assert!(s.nearest_within(t0().plus_secs(130), 60).is_some());
+    }
+
+    #[test]
+    fn irregular_to_regular() {
+        let s: IrregularSeries = vec![
+            (t0().plus_secs(10), 1.0),
+            (t0().plus_secs(20), 3.0),
+            (t0().plus_secs(70), 5.0),
+        ]
+        .into_iter()
+        .collect();
+        let r = s.to_regular(t0(), 60, 3, Aggregation::Mean);
+        assert_eq!(r.value_at(0), 2.0);
+        assert_eq!(r.value_at(1), 5.0);
+        assert!(r.value_at(2).is_nan());
+    }
+
+    #[test]
+    fn empty_irregular_nearest_is_none() {
+        let s = IrregularSeries::new();
+        assert!(s.nearest(t0()).is_none());
+    }
+}

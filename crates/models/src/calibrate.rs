@@ -1,0 +1,330 @@
+//! Seeded Monte Carlo calibration.
+//!
+//! "Model calibration was carried out offline to ensure that input data and
+//! parameters were in the correct format and the model could adequately
+//! reproduce observed discharge at the outlet of the catchment" (paper
+//! §V-B). Monte Carlo sampling over parameter ranges is also the paper's
+//! canonical embarrassingly parallel cloud workload (§IV-B, §VI) — each
+//! sample is an independent model run, which is exactly what the elasticity
+//! experiments fan out across instances.
+
+use evop_data::TimeSeries;
+use evop_sim::SimRng;
+
+use crate::objectives::Objective;
+
+/// A named box-constrained parameter space.
+///
+/// # Examples
+///
+/// ```
+/// use evop_models::calibrate::ParamSpace;
+/// use evop_models::TopmodelParams;
+/// use evop_sim::SimRng;
+///
+/// let space = ParamSpace::from_ranges(&TopmodelParams::ranges());
+/// let mut rng = SimRng::new(1);
+/// let sample = space.sample(&mut rng);
+/// assert_eq!(sample.len(), 7);
+/// assert!(space.contains(&sample));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamSpace {
+    dims: Vec<(String, f64, f64)>,
+}
+
+impl ParamSpace {
+    /// Builds a space from `(name, min, max)` triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is empty or inverted.
+    pub fn from_ranges(ranges: &[(&str, f64, f64)]) -> ParamSpace {
+        assert!(!ranges.is_empty(), "parameter space needs at least one dimension");
+        for (name, lo, hi) in ranges {
+            assert!(lo < hi, "range for {name} is inverted: [{lo}, {hi}]");
+        }
+        ParamSpace {
+            dims: ranges.iter().map(|(n, lo, hi)| ((*n).to_owned(), *lo, *hi)).collect(),
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// `true` if the space has no dimensions (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Dimension names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.dims.iter().map(|(n, _, _)| n.as_str()).collect()
+    }
+
+    /// Draws a uniform sample.
+    pub fn sample(&self, rng: &mut SimRng) -> Vec<f64> {
+        self.dims.iter().map(|(_, lo, hi)| rng.uniform_in(*lo, *hi)).collect()
+    }
+
+    /// `true` if `point` lies inside the box.
+    pub fn contains(&self, point: &[f64]) -> bool {
+        point.len() == self.dims.len()
+            && point
+                .iter()
+                .zip(&self.dims)
+                .all(|(x, (_, lo, hi))| x >= lo && x <= hi)
+    }
+}
+
+/// One evaluated sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationSample {
+    /// The sampled parameter vector.
+    pub params: Vec<f64>,
+    /// Its objective score (larger is better; `NaN` runs are kept but never
+    /// win).
+    pub score: f64,
+}
+
+/// The outcome of a Monte Carlo calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationResult {
+    samples: Vec<CalibrationSample>,
+    best: usize,
+}
+
+impl CalibrationResult {
+    /// All evaluated samples, in draw order.
+    pub fn samples(&self) -> &[CalibrationSample] {
+        &self.samples
+    }
+
+    /// The best sample.
+    pub fn best(&self) -> &CalibrationSample {
+        &self.samples[self.best]
+    }
+
+    /// The best score.
+    pub fn best_score(&self) -> f64 {
+        self.best().score
+    }
+
+    /// Fraction of samples scoring above `threshold` (used by GLUE to pick
+    /// a behavioural cut).
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        let n = self.samples.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.score > threshold).count() as f64 / n as f64
+    }
+}
+
+/// Runs `n` independent, seeded Monte Carlo evaluations of `run`.
+///
+/// `run` maps a parameter vector to a score (larger is better); model
+/// failures should return `NaN`, which never wins.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or every sample scored `NaN`.
+pub fn monte_carlo<F>(space: &ParamSpace, n: usize, seed: u64, mut run: F) -> CalibrationResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(n > 0, "at least one sample is required");
+    let mut rng = SimRng::new(seed).fork("monte-carlo");
+    let mut samples: Vec<CalibrationSample> = Vec::with_capacity(n);
+    let mut best: Option<usize> = None;
+    for i in 0..n {
+        let params = space.sample(&mut rng);
+        let score = run(&params);
+        if !score.is_nan() && best.map_or(true, |b: usize| score > samples[b].score) {
+            best = Some(i);
+        }
+        samples.push(CalibrationSample { params, score });
+    }
+    let best = best.expect("every sample scored NaN — model is broken over the whole space");
+    CalibrationResult { samples, best }
+}
+
+/// Multi-round Monte Carlo with box refinement: each round samples
+/// uniformly, then shrinks the box around the incumbent best by `shrink`
+/// (clamped to the original bounds) for the next round.
+///
+/// This is the cheap global-then-local search hydrologists reach for when
+/// a single uniform pass undersamples a high-dimensional space.
+///
+/// # Panics
+///
+/// Panics if `rounds` or `samples_per_round` is zero, `shrink` is not in
+/// `(0, 1)`, or every sample scores `NaN`.
+///
+/// # Examples
+///
+/// ```
+/// use evop_models::calibrate::{monte_carlo_refined, ParamSpace};
+///
+/// let space = ParamSpace::from_ranges(&[("x", -10.0, 10.0), ("y", -10.0, 10.0)]);
+/// let result = monte_carlo_refined(&space, 4, 200, 0.5, 1, |p| {
+///     -(p[0] - 3.0).powi(2) - (p[1] + 2.0).powi(2)
+/// });
+/// assert!((result.best().params[0] - 3.0).abs() < 0.1);
+/// ```
+pub fn monte_carlo_refined<F>(
+    space: &ParamSpace,
+    rounds: usize,
+    samples_per_round: usize,
+    shrink: f64,
+    seed: u64,
+    mut run: F,
+) -> CalibrationResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(rounds > 0 && samples_per_round > 0, "rounds and samples must be positive");
+    assert!(shrink > 0.0 && shrink < 1.0, "shrink must be in (0, 1)");
+
+    let mut all_samples: Vec<CalibrationSample> = Vec::new();
+    let mut best: Option<usize> = None;
+    let mut current = space.clone();
+    for round in 0..rounds {
+        let result = monte_carlo(&current, samples_per_round, seed ^ (round as u64) << 32, &mut run);
+        for sample in result.samples {
+            if !sample.score.is_nan()
+                && best.map_or(true, |b: usize| sample.score > all_samples[b].score)
+            {
+                best = Some(all_samples.len());
+            }
+            all_samples.push(sample);
+        }
+        // Shrink around the incumbent, clamped to the original bounds.
+        let incumbent = &all_samples[best.expect("monte_carlo guarantees a best")].params;
+        current = ParamSpace {
+            dims: space
+                .dims
+                .iter()
+                .enumerate()
+                .map(|(i, (name, lo, hi))| {
+                    let half = (hi - lo) * shrink.powi(round as i32 + 1) / 2.0;
+                    let centre = incumbent[i];
+                    (name.clone(), (centre - half).max(*lo), (centre + half).min(*hi))
+                })
+                .collect(),
+        };
+    }
+    CalibrationResult { samples: all_samples, best: best.expect("non-empty") }
+}
+
+/// Convenience: calibrates a simulation closure against observations with a
+/// standard objective.
+///
+/// `simulate` maps a parameter vector to a discharge series aligned with
+/// `observed`; failures may return `None`.
+pub fn calibrate_series<F>(
+    space: &ParamSpace,
+    n: usize,
+    seed: u64,
+    observed: &TimeSeries,
+    objective: Objective,
+    mut simulate: F,
+) -> CalibrationResult
+where
+    F: FnMut(&[f64]) -> Option<TimeSeries>,
+{
+    monte_carlo(space, n, seed, |params| match simulate(params) {
+        Some(sim) => objective.score(&sim, observed),
+        None => f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_data::Timestamp;
+
+    #[test]
+    fn monte_carlo_finds_known_optimum() {
+        // Score = -(x-3)² - (y+1)²: optimum at (3, -1).
+        let space = ParamSpace::from_ranges(&[("x", 0.0, 5.0), ("y", -3.0, 2.0)]);
+        let result = monte_carlo(&space, 4000, 42, |p| {
+            -(p[0] - 3.0).powi(2) - (p[1] + 1.0).powi(2)
+        });
+        let best = result.best();
+        assert!((best.params[0] - 3.0).abs() < 0.2, "x = {}", best.params[0]);
+        assert!((best.params[1] + 1.0).abs() < 0.2, "y = {}", best.params[1]);
+        assert_eq!(result.samples().len(), 4000);
+    }
+
+    #[test]
+    fn calibration_is_deterministic_per_seed() {
+        let space = ParamSpace::from_ranges(&[("x", 0.0, 1.0)]);
+        let a = monte_carlo(&space, 100, 7, |p| -p[0]);
+        let b = monte_carlo(&space, 100, 7, |p| -p[0]);
+        assert_eq!(a, b);
+        let c = monte_carlo(&space, 100, 8, |p| -p[0]);
+        assert_ne!(a.best().params, c.best().params);
+    }
+
+    #[test]
+    fn nan_scores_never_win() {
+        let space = ParamSpace::from_ranges(&[("x", 0.0, 1.0)]);
+        let result = monte_carlo(&space, 200, 1, |p| {
+            if p[0] > 0.5 {
+                f64::NAN
+            } else {
+                p[0]
+            }
+        });
+        assert!(result.best().params[0] <= 0.5);
+        assert!(!result.best_score().is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "every sample scored NaN")]
+    fn all_nan_panics() {
+        let space = ParamSpace::from_ranges(&[("x", 0.0, 1.0)]);
+        let _ = monte_carlo(&space, 10, 1, |_| f64::NAN);
+    }
+
+    #[test]
+    fn fraction_above_counts_correctly() {
+        let space = ParamSpace::from_ranges(&[("x", 0.0, 1.0)]);
+        let result = monte_carlo(&space, 1000, 3, |p| p[0]);
+        let frac = result.fraction_above(0.8);
+        assert!((frac - 0.2).abs() < 0.05, "fraction {frac}");
+    }
+
+    #[test]
+    fn calibrate_series_scores_against_observed() {
+        let t0 = Timestamp::from_ymd(2012, 1, 1);
+        let observed = TimeSeries::from_values(t0, 3600, vec![2.0, 4.0, 6.0, 8.0]);
+        let space = ParamSpace::from_ranges(&[("gain", 0.1, 5.0)]);
+        // The "model": gain · [1,2,3,4]. True gain = 2.
+        let result = calibrate_series(&space, 2000, 11, &observed, Objective::Nse, |p| {
+            Some(TimeSeries::from_values(t0, 3600, vec![p[0], 2.0 * p[0], 3.0 * p[0], 4.0 * p[0]]))
+        });
+        assert!((result.best().params[0] - 2.0).abs() < 0.05);
+        assert!(result.best_score() > 0.99);
+    }
+
+    #[test]
+    fn sample_stays_in_box() {
+        let space = ParamSpace::from_ranges(&[("a", -1.0, 1.0), ("b", 100.0, 200.0)]);
+        let mut rng = SimRng::new(5);
+        for _ in 0..100 {
+            assert!(space.contains(&space.sample(&mut rng)));
+        }
+        assert!(!space.contains(&[0.0]));
+        assert!(!space.contains(&[0.0, 99.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_rejected() {
+        let _ = ParamSpace::from_ranges(&[("x", 1.0, 0.0)]);
+    }
+}

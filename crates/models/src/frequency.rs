@@ -1,0 +1,269 @@
+//! Flood-frequency analysis: flow-duration curves and return periods.
+//!
+//! The portal overlays "indicative flood hazard thresholds" on its data
+//! (paper §I), and stakeholders asked "how do I decide when my property is
+//! at risk of flooding?" (§V-B). This module provides the standard
+//! hydrological answers: the flow-duration curve (how often is a flow
+//! exceeded?), annual-maximum extraction, and Gumbel (EV1) return-level
+//! estimation ("the 10-year flood").
+
+use evop_data::TimeSeries;
+
+/// A flow-duration curve: exceedance probability versus flow.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::{TimeSeries, Timestamp};
+/// use evop_models::frequency::FlowDurationCurve;
+///
+/// let q = TimeSeries::from_values(
+///     Timestamp::UNIX_EPOCH,
+///     3600,
+///     (1..=100).map(f64::from).collect(),
+/// );
+/// let fdc = FlowDurationCurve::from_series(&q).unwrap();
+/// // Q95 (flow exceeded 95 % of the time) is near the low end…
+/// assert!(fdc.exceeded_fraction_of_time(0.95) <= 10.0);
+/// // …and Q5 near the top.
+/// assert!(fdc.exceeded_fraction_of_time(0.05) >= 90.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowDurationCurve {
+    /// Flows sorted descending.
+    sorted: Vec<f64>,
+}
+
+impl FlowDurationCurve {
+    /// Builds the curve from a discharge series (missing samples ignored).
+    ///
+    /// Returns `None` when no finite samples exist.
+    pub fn from_series(discharge: &TimeSeries) -> Option<FlowDurationCurve> {
+        let mut sorted: Vec<f64> = discharge
+            .values()
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        Some(FlowDurationCurve { sorted })
+    }
+
+    /// The flow exceeded `fraction` of the time (e.g. `0.95` → Q95).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn exceeded_fraction_of_time(&self, fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        let n = self.sorted.len();
+        let rank = ((fraction * n as f64).ceil() as usize).clamp(1, n);
+        self.sorted[rank - 1]
+    }
+
+    /// The fraction of time `flow` is equalled or exceeded.
+    pub fn exceedance_probability(&self, flow: f64) -> f64 {
+        let over = self.sorted.partition_point(|&v| v >= flow);
+        over as f64 / self.sorted.len() as f64
+    }
+
+    /// Samples the curve at `points` evenly spaced exceedance fractions,
+    /// as `(fraction, flow)` pairs — the series the portal plots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn sample(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two points");
+        (0..points)
+            .map(|i| {
+                let fraction = i as f64 / (points - 1) as f64;
+                (fraction, self.exceeded_fraction_of_time(fraction.clamp(0.001, 1.0)))
+            })
+            .collect()
+    }
+}
+
+/// Extracts annual maxima from a discharge series (calendar years with at
+/// least ~half a year of data).
+pub fn annual_maxima(discharge: &TimeSeries) -> Vec<(i32, f64)> {
+    use std::collections::BTreeMap;
+    let mut by_year: BTreeMap<i32, (f64, usize)> = BTreeMap::new();
+    for (t, v) in discharge.iter() {
+        if !v.is_finite() {
+            continue;
+        }
+        let entry = by_year.entry(t.year()).or_insert((f64::NEG_INFINITY, 0));
+        entry.0 = entry.0.max(v);
+        entry.1 += 1;
+    }
+    let steps_per_year = (365 * 86_400) / i64::from(discharge.step_secs()).max(1);
+    by_year
+        .into_iter()
+        .filter(|(_, (_, count))| *count as i64 >= steps_per_year / 2)
+        .map(|(year, (max, _))| (year, max))
+        .collect()
+}
+
+/// A fitted Gumbel (EV1) distribution over annual maxima.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GumbelFit {
+    /// Location parameter μ.
+    pub location: f64,
+    /// Scale parameter β.
+    pub scale: f64,
+    /// Sample size the fit used.
+    pub n: usize,
+}
+
+impl GumbelFit {
+    /// Fits by the method of moments: `β = s·√6/π`, `μ = x̄ − γβ`.
+    ///
+    /// Returns `None` with fewer than 3 maxima or zero variance.
+    pub fn fit(annual_maxima: &[(i32, f64)]) -> Option<GumbelFit> {
+        if annual_maxima.len() < 3 {
+            return None;
+        }
+        let n = annual_maxima.len() as f64;
+        let mean = annual_maxima.iter().map(|&(_, v)| v).sum::<f64>() / n;
+        let var = annual_maxima
+            .iter()
+            .map(|&(_, v)| (v - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1.0);
+        if var <= 0.0 {
+            return None;
+        }
+        const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+        let scale = var.sqrt() * (6.0f64).sqrt() / std::f64::consts::PI;
+        let location = mean - EULER_GAMMA * scale;
+        Some(GumbelFit { location, scale, n: annual_maxima.len() })
+    }
+
+    /// The `t`-year return level: the annual-maximum flow exceeded on
+    /// average once every `t` years.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t <= 1`.
+    pub fn return_level(&self, t: f64) -> f64 {
+        assert!(t > 1.0, "return period must exceed one year");
+        let y = -(-(1.0 - 1.0 / t).ln()).ln(); // reduced variate −ln(−ln(1−1/T))
+        self.location + self.scale * y
+    }
+
+    /// The return period (years) of a given annual-maximum flow.
+    pub fn return_period(&self, flow: f64) -> f64 {
+        let y = (flow - self.location) / self.scale;
+        let p_non_exceed = (-(-y).exp()).exp();
+        if p_non_exceed >= 1.0 {
+            f64::INFINITY
+        } else {
+            1.0 / (1.0 - p_non_exceed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_data::Timestamp;
+
+    fn t0() -> Timestamp {
+        Timestamp::from_ymd(2010, 1, 1)
+    }
+
+    #[test]
+    fn fdc_is_monotone_decreasing() {
+        let q = TimeSeries::from_values(t0(), 3600, (0..500).map(|i| (i as f64 * 0.37).sin().abs() * 9.0 + 0.5).collect());
+        let fdc = FlowDurationCurve::from_series(&q).unwrap();
+        let samples = fdc.sample(21);
+        for pair in samples.windows(2) {
+            assert!(pair[1].1 <= pair[0].1 + 1e-12, "FDC must decrease: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn fdc_exceedance_round_trip() {
+        let q = TimeSeries::from_values(t0(), 3600, (1..=1000).map(f64::from).collect());
+        let fdc = FlowDurationCurve::from_series(&q).unwrap();
+        let q90 = fdc.exceeded_fraction_of_time(0.9);
+        let p = fdc.exceedance_probability(q90);
+        assert!((p - 0.9).abs() < 0.01, "round trip gave {p}");
+    }
+
+    #[test]
+    fn fdc_ignores_missing_and_rejects_empty() {
+        let q = TimeSeries::from_values(t0(), 3600, vec![f64::NAN, 2.0, f64::NAN, 4.0]);
+        let fdc = FlowDurationCurve::from_series(&q).unwrap();
+        assert_eq!(fdc.exceeded_fraction_of_time(1.0), 2.0);
+        let empty = TimeSeries::from_values(t0(), 3600, vec![f64::NAN; 3]);
+        assert!(FlowDurationCurve::from_series(&empty).is_none());
+    }
+
+    #[test]
+    fn annual_maxima_picks_per_year_peaks() {
+        // Three full years of hourly data with known peaks.
+        let n = 3 * 365 * 24;
+        let q = TimeSeries::from_fn(t0(), 3600, n, |t| {
+            let base = 1.0;
+            match (t.year(), t.day_of_year()) {
+                (2010, 30) => 10.0,
+                (2011, 200) => 20.0,
+                (2012, 100) => 15.0,
+                _ => base,
+            }
+        });
+        let maxima = annual_maxima(&q);
+        assert_eq!(maxima.len(), 3);
+        assert_eq!(maxima[0], (2010, 10.0));
+        assert_eq!(maxima[1], (2011, 20.0));
+        assert_eq!(maxima[2], (2012, 15.0));
+    }
+
+    #[test]
+    fn short_years_are_excluded() {
+        // Only 10 days of 2013: no annual maximum for it.
+        let n = 365 * 24 + 10 * 24;
+        let q = TimeSeries::from_fn(t0().plus_days(365 * 3), 3600, n, |_| 1.0);
+        let maxima = annual_maxima(&q);
+        assert_eq!(maxima.len(), 1);
+    }
+
+    #[test]
+    fn gumbel_return_levels_are_ordered_and_bracket_the_data() {
+        let maxima: Vec<(i32, f64)> = (0..20)
+            .map(|i| (2000 + i, 8.0 + 3.0 * ((i as f64 * 0.7).sin() + 1.0)))
+            .collect();
+        let fit = GumbelFit::fit(&maxima).unwrap();
+        let q2 = fit.return_level(2.0);
+        let q10 = fit.return_level(10.0);
+        let q100 = fit.return_level(100.0);
+        assert!(q2 < q10 && q10 < q100, "{q2} {q10} {q100}");
+        // The 2-year level sits near the median of the maxima.
+        let mut values: Vec<f64> = maxima.iter().map(|&(_, v)| v).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = values[values.len() / 2];
+        assert!((q2 - median).abs() < 2.0, "q2 {q2} vs median {median}");
+    }
+
+    #[test]
+    fn gumbel_return_period_inverts_return_level() {
+        let maxima: Vec<(i32, f64)> = (0..30).map(|i| (1990 + i, 5.0 + (i % 7) as f64)).collect();
+        let fit = GumbelFit::fit(&maxima).unwrap();
+        for t in [2.0, 5.0, 25.0, 100.0] {
+            let level = fit.return_level(t);
+            let back = fit.return_period(level);
+            assert!((back - t).abs() / t < 1e-6, "t={t} back={back}");
+        }
+    }
+
+    #[test]
+    fn gumbel_fit_rejects_degenerate_input() {
+        assert!(GumbelFit::fit(&[(2000, 1.0), (2001, 2.0)]).is_none());
+        assert!(GumbelFit::fit(&[(2000, 3.0), (2001, 3.0), (2002, 3.0)]).is_none());
+    }
+}

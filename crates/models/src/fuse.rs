@@ -1,0 +1,561 @@
+//! A FUSE-style modular modelling framework (Clark et al., 2008).
+//!
+//! FUSE ("Framework for Understanding Structural Errors") builds conceptual
+//! rainfall-runoff models by *mixing architectural decisions* rather than
+//! picking one fixed structure; the LEFT widget ran "the multi-model
+//! ensemble FUSE" alongside TOPMODEL (paper §V-B). This module implements a
+//! two-store framework with four interchangeable decisions — upper-layer
+//! architecture, percolation, surface runoff and baseflow — a set of named
+//! parent configurations, and an ensemble runner with prediction bands.
+
+use evop_data::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+use crate::routing::{convolve, triangular_kernel};
+use crate::Forcing;
+
+/// Upper-layer (soil) architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UpperArch {
+    /// One undifferentiated store.
+    SingleState,
+    /// Tension storage (evaporation-accessible) fills before free storage
+    /// (drainage-accessible).
+    TensionFree,
+}
+
+/// Percolation from the upper to the lower store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PercolationArch {
+    /// Drainage above field capacity only.
+    FieldCapacity,
+    /// Power-law of relative storage (drains at all moisture levels).
+    Saturation,
+}
+
+/// Surface (storm) runoff generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RunoffArch {
+    /// Saturated-area fraction `(s/smax)^b` (TOPMODEL/PRMS-like).
+    SaturatedArea,
+    /// VIC/Arno infiltration curve `1 − (1 − s/smax)^b`.
+    VicCurve,
+}
+
+/// Baseflow from the lower store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BaseflowArch {
+    /// Single linear reservoir.
+    Linear,
+    /// Power-law reservoir (`n > 1` gives slow deep recessions).
+    Power,
+    /// Two parallel linear reservoirs (fast + slow), Sacramento-like.
+    TwoParallel,
+}
+
+/// One complete structural configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FuseConfig {
+    /// Upper-layer architecture.
+    pub upper: UpperArch,
+    /// Percolation scheme.
+    pub percolation: PercolationArch,
+    /// Surface-runoff scheme.
+    pub runoff: RunoffArch,
+    /// Baseflow scheme.
+    pub baseflow: BaseflowArch,
+}
+
+impl FuseConfig {
+    /// A short structural signature, e.g. `"single/fc/sat/linear"`.
+    pub fn signature(&self) -> String {
+        let u = match self.upper {
+            UpperArch::SingleState => "single",
+            UpperArch::TensionFree => "tension",
+        };
+        let p = match self.percolation {
+            PercolationArch::FieldCapacity => "fc",
+            PercolationArch::Saturation => "sat-perc",
+        };
+        let r = match self.runoff {
+            RunoffArch::SaturatedArea => "satarea",
+            RunoffArch::VicCurve => "vic",
+        };
+        let b = match self.baseflow {
+            BaseflowArch::Linear => "linear",
+            BaseflowArch::Power => "power",
+            BaseflowArch::TwoParallel => "parallel",
+        };
+        format!("{u}/{p}/{r}/{b}")
+    }
+
+    /// The four named parent configurations FUSE was built from.
+    pub fn named_parents() -> Vec<(&'static str, FuseConfig)> {
+        vec![
+            (
+                "prms-like",
+                FuseConfig {
+                    upper: UpperArch::TensionFree,
+                    percolation: PercolationArch::FieldCapacity,
+                    runoff: RunoffArch::SaturatedArea,
+                    baseflow: BaseflowArch::Linear,
+                },
+            ),
+            (
+                "arno-vic-like",
+                FuseConfig {
+                    upper: UpperArch::SingleState,
+                    percolation: PercolationArch::Saturation,
+                    runoff: RunoffArch::VicCurve,
+                    baseflow: BaseflowArch::Power,
+                },
+            ),
+            (
+                "topmodel-like",
+                FuseConfig {
+                    upper: UpperArch::SingleState,
+                    percolation: PercolationArch::FieldCapacity,
+                    runoff: RunoffArch::SaturatedArea,
+                    baseflow: BaseflowArch::Power,
+                },
+            ),
+            (
+                "sacramento-like",
+                FuseConfig {
+                    upper: UpperArch::TensionFree,
+                    percolation: PercolationArch::Saturation,
+                    runoff: RunoffArch::VicCurve,
+                    baseflow: BaseflowArch::TwoParallel,
+                },
+            ),
+        ]
+    }
+
+    /// Every structural combination (2·2·2·3 = 24 configurations) — the
+    /// full ensemble.
+    pub fn all_combinations() -> Vec<FuseConfig> {
+        let mut out = Vec::with_capacity(24);
+        for upper in [UpperArch::SingleState, UpperArch::TensionFree] {
+            for percolation in [PercolationArch::FieldCapacity, PercolationArch::Saturation] {
+                for runoff in [RunoffArch::SaturatedArea, RunoffArch::VicCurve] {
+                    for baseflow in
+                        [BaseflowArch::Linear, BaseflowArch::Power, BaseflowArch::TwoParallel]
+                    {
+                        out.push(FuseConfig { upper, percolation, runoff, baseflow });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// FUSE parameters, shared across structures (unused ones are ignored by
+/// structures that do not need them — FUSE's convention).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FuseParams {
+    /// Upper store capacity (mm).
+    pub s1max: f64,
+    /// Tension-storage fraction of the upper store (TensionFree only).
+    pub tension_frac: f64,
+    /// Field capacity as a fraction of `s1max`.
+    pub field_capacity: f64,
+    /// Maximum percolation rate (mm/h).
+    pub ku: f64,
+    /// Percolation exponent (Saturation percolation).
+    pub c: f64,
+    /// Runoff curve exponent.
+    pub b: f64,
+    /// Baseflow rate constant (1/h).
+    pub ks: f64,
+    /// Baseflow exponent (Power baseflow).
+    pub n: f64,
+    /// Fast/slow split for TwoParallel baseflow, `[0, 1]` fast share.
+    pub fast_frac: f64,
+    /// Fast-reservoir rate multiplier (TwoParallel).
+    pub fast_mult: f64,
+    /// Channel routing time-to-peak (h).
+    pub route_tp_hours: f64,
+}
+
+impl Default for FuseParams {
+    fn default() -> FuseParams {
+        FuseParams {
+            s1max: 150.0,
+            tension_frac: 0.4,
+            field_capacity: 0.5,
+            ku: 0.8,
+            c: 2.0,
+            b: 1.5,
+            ks: 0.004,
+            n: 1.6,
+            fast_frac: 0.4,
+            fast_mult: 12.0,
+            route_tp_hours: 4.0,
+        }
+    }
+}
+
+impl FuseParams {
+    /// Calibration ranges `(name, min, max)` in the order used by
+    /// [`FuseParams::from_vector`].
+    pub fn ranges() -> Vec<(&'static str, f64, f64)> {
+        vec![
+            ("s1max", 40.0, 400.0),
+            ("tension_frac", 0.1, 0.9),
+            ("field_capacity", 0.2, 0.8),
+            ("ku", 0.05, 4.0),
+            ("c", 1.0, 6.0),
+            ("b", 0.3, 4.0),
+            ("ks", 0.0005, 0.03),
+            ("n", 1.0, 4.0),
+            ("fast_frac", 0.1, 0.9),
+            ("fast_mult", 2.0, 40.0),
+            ("route_tp_hours", 1.0, 12.0),
+        ]
+    }
+
+    /// Builds parameters from a calibration vector ordered as
+    /// [`FuseParams::ranges`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have exactly eleven entries.
+    pub fn from_vector(values: &[f64]) -> FuseParams {
+        assert_eq!(values.len(), 11, "expected 11 parameter values");
+        FuseParams {
+            s1max: values[0],
+            tension_frac: values[1],
+            field_capacity: values[2],
+            ku: values[3],
+            c: values[4],
+            b: values[5],
+            ks: values[6],
+            n: values[7],
+            fast_frac: values[8],
+            fast_mult: values[9],
+            route_tp_hours: values[10],
+        }
+    }
+
+    /// Validates physical consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.s1max > 0.0) {
+            return Err(format!("s1max must be positive, got {}", self.s1max));
+        }
+        for (name, v) in [
+            ("tension_frac", self.tension_frac),
+            ("field_capacity", self.field_capacity),
+            ("fast_frac", self.fast_frac),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0,1], got {v}"));
+            }
+        }
+        for (name, v) in [("ku", self.ku), ("b", self.b), ("ks", self.ks), ("n", self.n), ("route_tp_hours", self.route_tp_hours)]
+        {
+            if !(v > 0.0) {
+                return Err(format!("{name} must be positive, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A FUSE model: one structural configuration bound to a catchment area.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::{TimeSeries, Timestamp};
+/// use evop_models::{Forcing, FuseConfig, FuseModel, FuseParams};
+///
+/// let config = FuseConfig::named_parents()[0].1;
+/// let model = FuseModel::new(config, 12.5);
+/// let t0 = Timestamp::from_ymd(2012, 1, 1);
+/// let rain = TimeSeries::from_values(t0, 3600, vec![2.0; 100]);
+/// let pet = TimeSeries::from_values(t0, 3600, vec![0.05; 100]);
+/// let q = model.run(&FuseParams::default(), &Forcing::new(rain, pet)).unwrap();
+/// assert_eq!(q.len(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FuseModel {
+    config: FuseConfig,
+    area_km2: f64,
+}
+
+impl FuseModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area_km2` is not positive.
+    pub fn new(config: FuseConfig, area_km2: f64) -> FuseModel {
+        assert!(area_km2 > 0.0, "area must be positive");
+        FuseModel { config, area_km2 }
+    }
+
+    /// The structural configuration.
+    pub fn config(&self) -> FuseConfig {
+        self.config
+    }
+
+    /// Runs the model, returning routed discharge in m³/s.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the parameters fail
+    /// [`FuseParams::validate`].
+    pub fn run(&self, params: &FuseParams, forcing: &Forcing) -> Result<TimeSeries, String> {
+        params.validate()?;
+        let dt = forcing.step_hours();
+        let n = forcing.len();
+
+        let mut s1 = params.s1max * 0.3; // upper store, mm
+        let mut s2 = 50.0f64; // lower store, mm
+        let mut runoff = Vec::with_capacity(n);
+
+        for t in 0..n {
+            let p = forcing.rainfall().value_at(t).max(0.0);
+            let pet = forcing.pet().value_at(t).max(0.0);
+            let rel1 = (s1 / params.s1max).clamp(0.0, 1.0);
+
+            // Surface runoff fraction by decision.
+            let sat_frac = match self.config.runoff {
+                RunoffArch::SaturatedArea => rel1.powf(params.b),
+                RunoffArch::VicCurve => 1.0 - (1.0 - rel1).powf(params.b),
+            }
+            .clamp(0.0, 1.0);
+            let qsx = p * sat_frac;
+            s1 += p - qsx;
+
+            // Evaporation by upper architecture.
+            let evap = match self.config.upper {
+                UpperArch::SingleState => pet * rel1,
+                UpperArch::TensionFree => {
+                    // Tension storage evaporates at potential while wet.
+                    let tension = (s1).min(params.tension_frac * params.s1max);
+                    pet * (tension / (params.tension_frac * params.s1max)).clamp(0.0, 1.0)
+                }
+            };
+            s1 = (s1 - evap.min(s1)).max(0.0);
+
+            // Percolation by decision.
+            let q12 = match self.config.percolation {
+                PercolationArch::FieldCapacity => {
+                    let fc = params.field_capacity * params.s1max;
+                    if s1 > fc {
+                        (params.ku * dt * ((s1 - fc) / (params.s1max - fc)).clamp(0.0, 1.0))
+                            .min(s1 - fc)
+                    } else {
+                        0.0
+                    }
+                }
+                PercolationArch::Saturation => {
+                    (params.ku * dt * rel1.powf(params.c)).min(s1)
+                }
+            };
+            s1 -= q12;
+            s2 += q12;
+
+            // Upper-store overflow.
+            let overflow = (s1 - params.s1max).max(0.0);
+            s1 = s1.min(params.s1max);
+
+            // Baseflow by decision.
+            let qb = match self.config.baseflow {
+                BaseflowArch::Linear => params.ks * dt * s2,
+                BaseflowArch::Power => {
+                    params.ks * dt * s2 * (s2 / 100.0).powf(params.n - 1.0).min(20.0)
+                }
+                BaseflowArch::TwoParallel => {
+                    let fast = params.fast_frac * s2;
+                    let slow = s2 - fast;
+                    (params.ks * params.fast_mult * dt * fast) + (params.ks * dt * slow)
+                }
+            }
+            .min(s2);
+            s2 -= qb;
+
+            runoff.push(qsx + overflow + qb);
+        }
+
+        let kernel = triangular_kernel(params.route_tp_hours, dt);
+        let routed = convolve(&runoff, &kernel);
+
+        let start = forcing.rainfall().start();
+        let step = forcing.rainfall().step_secs();
+        let mut q = TimeSeries::new(start, step);
+        for depth_mm in routed {
+            // mm over the catchment per step → m³/s.
+            q.push(depth_mm * self.area_km2 / (3.6 * dt));
+        }
+        Ok(q)
+    }
+}
+
+/// An ensemble run: every member's hydrograph plus summary bands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleOutput {
+    /// Per-member `(signature, discharge)` pairs.
+    pub members: Vec<(String, TimeSeries)>,
+    /// Ensemble mean at each step.
+    pub mean: TimeSeries,
+    /// Ensemble minimum at each step.
+    pub lower: TimeSeries,
+    /// Ensemble maximum at each step.
+    pub upper: TimeSeries,
+}
+
+/// Runs a FUSE ensemble over the given configurations with shared
+/// parameters — the multi-model spread the LEFT widget displays.
+///
+/// # Errors
+///
+/// Returns the first member's error when parameters are invalid.
+///
+/// # Panics
+///
+/// Panics if `configs` is empty.
+pub fn run_ensemble(
+    configs: &[FuseConfig],
+    params: &FuseParams,
+    forcing: &Forcing,
+    area_km2: f64,
+) -> Result<EnsembleOutput, String> {
+    assert!(!configs.is_empty(), "ensemble needs at least one member");
+    let mut members = Vec::with_capacity(configs.len());
+    for config in configs {
+        let q = FuseModel::new(*config, area_km2).run(params, forcing)?;
+        members.push((config.signature(), q));
+    }
+    let n = members[0].1.len();
+    let start = members[0].1.start();
+    let step = members[0].1.step_secs();
+    let mut mean = TimeSeries::new(start, step);
+    let mut lower = TimeSeries::new(start, step);
+    let mut upper = TimeSeries::new(start, step);
+    for t in 0..n {
+        let values: Vec<f64> = members.iter().map(|(_, q)| q.value_at(t)).collect();
+        mean.push(values.iter().sum::<f64>() / values.len() as f64);
+        lower.push(values.iter().cloned().fold(f64::INFINITY, f64::min));
+        upper.push(values.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+    Ok(EnsembleOutput { members, mean, lower, upper })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_data::Timestamp;
+
+    fn storm_forcing() -> Forcing {
+        let t0 = Timestamp::from_ymd(2012, 1, 1);
+        let n = 24 * 12;
+        let rain = TimeSeries::from_fn(t0, 3600, n, |t| {
+            let h = (t - t0) / 3600;
+            if (72..84).contains(&h) {
+                5.0
+            } else {
+                0.0
+            }
+        });
+        let pet = TimeSeries::from_values(t0, 3600, vec![0.05; n]);
+        Forcing::new(rain, pet)
+    }
+
+    #[test]
+    fn all_structures_run_and_differ() {
+        let forcing = storm_forcing();
+        let params = FuseParams::default();
+        let mut peaks = Vec::new();
+        for config in FuseConfig::all_combinations() {
+            let q = FuseModel::new(config, 12.5).run(&params, &forcing).unwrap();
+            assert!(q.values().iter().all(|v| v.is_finite() && *v >= 0.0), "{}", config.signature());
+            peaks.push(q.peak().unwrap().1);
+        }
+        let min = peaks.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = peaks.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max > min * 1.05, "structures should disagree: peaks in [{min}, {max}]");
+    }
+
+    #[test]
+    fn named_parents_are_distinct() {
+        let parents = FuseConfig::named_parents();
+        assert_eq!(parents.len(), 4);
+        let mut sigs: Vec<String> = parents.iter().map(|(_, c)| c.signature()).collect();
+        sigs.sort();
+        sigs.dedup();
+        assert_eq!(sigs.len(), 4);
+    }
+
+    #[test]
+    fn combination_count() {
+        assert_eq!(FuseConfig::all_combinations().len(), 24);
+    }
+
+    #[test]
+    fn storm_response_is_causal() {
+        let q = FuseModel::new(FuseConfig::named_parents()[0].1, 12.5)
+            .run(&FuseParams::default(), &storm_forcing())
+            .unwrap();
+        let (peak_idx, peak) = q.peak().unwrap();
+        assert!(peak_idx >= 72, "peak at {peak_idx} precedes storm");
+        assert!(peak > q.value_at(60), "storm must raise flow");
+    }
+
+    #[test]
+    fn mass_is_bounded() {
+        let forcing = storm_forcing();
+        for (_, config) in FuseConfig::named_parents() {
+            let q = FuseModel::new(config, 12.5).run(&FuseParams::default(), &forcing).unwrap();
+            let q_mm: f64 = q.values().iter().sum::<f64>() * 3.6 / 12.5;
+            let rain_mm = forcing.rainfall().sum();
+            // Allow initial-storage drainage of up to 60 mm.
+            assert!(
+                q_mm < rain_mm + 60.0,
+                "{}: {q_mm:.1} mm out vs {rain_mm:.1} mm rain",
+                config.signature()
+            );
+        }
+    }
+
+    #[test]
+    fn ensemble_bands_bracket_members() {
+        let forcing = storm_forcing();
+        let configs = FuseConfig::all_combinations();
+        let out = run_ensemble(&configs, &FuseParams::default(), &forcing, 12.5).unwrap();
+        assert_eq!(out.members.len(), 24);
+        for t in (0..out.mean.len()).step_by(17) {
+            for (_, member) in &out.members {
+                assert!(member.value_at(t) >= out.lower.value_at(t) - 1e-12);
+                assert!(member.value_at(t) <= out.upper.value_at(t) + 1e-12);
+            }
+            assert!(out.mean.value_at(t) >= out.lower.value_at(t) - 1e-12);
+            assert!(out.mean.value_at(t) <= out.upper.value_at(t) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let bad = FuseParams { s1max: -5.0, ..FuseParams::default() };
+        assert!(FuseModel::new(FuseConfig::named_parents()[0].1, 10.0)
+            .run(&bad, &storm_forcing())
+            .is_err());
+        let bad_frac = FuseParams { tension_frac: 1.5, ..FuseParams::default() };
+        assert!(bad_frac.validate().is_err());
+    }
+
+    #[test]
+    fn param_vector_round_trip() {
+        let ranges = FuseParams::ranges();
+        let mid: Vec<f64> = ranges.iter().map(|(_, lo, hi)| (lo + hi) / 2.0).collect();
+        let params = FuseParams::from_vector(&mid);
+        assert!(params.validate().is_ok());
+        assert_eq!(ranges.len(), 11);
+    }
+}

@@ -1,0 +1,299 @@
+//! GLUE uncertainty analysis (Beven & Binley, 1992).
+//!
+//! The stakeholders asked for exactly this: "One aspect brought up by the
+//! stakeholders during the workshops is the lack of presentation of
+//! uncertainty bounds" (paper §VI). GLUE — Generalised Likelihood
+//! Uncertainty Estimation — runs a large Monte Carlo ensemble, keeps the
+//! *behavioural* members (score above a threshold), weights them by
+//! likelihood, and derives prediction bounds per time step. Each member is
+//! an independent model run: the paper's flagship embarrassingly parallel
+//! cloud workload (§VI).
+
+use evop_data::TimeSeries;
+use evop_sim::SimRng;
+
+use crate::calibrate::ParamSpace;
+use crate::objectives::Objective;
+
+/// One behavioural ensemble member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BehaviouralMember {
+    /// The parameter vector.
+    pub params: Vec<f64>,
+    /// Its objective score.
+    pub score: f64,
+    /// Normalised likelihood weight (sums to 1 over the ensemble).
+    pub weight: f64,
+    /// The simulated series.
+    pub simulation: TimeSeries,
+}
+
+/// The outcome of a GLUE analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlueResult {
+    members: Vec<BehaviouralMember>,
+    lower: TimeSeries,
+    median: TimeSeries,
+    upper: TimeSeries,
+    total_runs: usize,
+}
+
+impl GlueResult {
+    /// The behavioural members, in draw order.
+    pub fn members(&self) -> &[BehaviouralMember] {
+        &self.members
+    }
+
+    /// Number of Monte Carlo runs evaluated in total.
+    pub fn total_runs(&self) -> usize {
+        self.total_runs
+    }
+
+    /// Fraction of runs that were behavioural.
+    pub fn acceptance_rate(&self) -> f64 {
+        self.members.len() as f64 / self.total_runs as f64
+    }
+
+    /// The lower (5 %) weighted prediction bound.
+    pub fn lower(&self) -> &TimeSeries {
+        &self.lower
+    }
+
+    /// The weighted median prediction.
+    pub fn median(&self) -> &TimeSeries {
+        &self.median
+    }
+
+    /// The upper (95 %) weighted prediction bound.
+    pub fn upper(&self) -> &TimeSeries {
+        &self.upper
+    }
+
+    /// Fraction of observations falling inside the bounds — the bracketing
+    /// rate stakeholders read off the widget.
+    pub fn coverage(&self, observed: &TimeSeries) -> f64 {
+        let mut inside = 0usize;
+        let mut total = 0usize;
+        for i in 0..observed.len().min(self.lower.len()) {
+            let o = observed.value_at(i);
+            if o.is_nan() {
+                continue;
+            }
+            total += 1;
+            if o >= self.lower.value_at(i) && o <= self.upper.value_at(i) {
+                inside += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            inside as f64 / total as f64
+        }
+    }
+}
+
+/// Errors from a GLUE analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlueError {
+    /// No sampled parameter set reached the behavioural threshold.
+    NoBehaviouralMembers {
+        /// Runs evaluated.
+        runs: usize,
+    },
+}
+
+impl std::fmt::Display for GlueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GlueError::NoBehaviouralMembers { runs } => {
+                write!(f, "no behavioural members among {runs} runs — lower the threshold")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GlueError {}
+
+/// Runs a GLUE analysis: `n` seeded Monte Carlo simulations, behavioural
+/// filtering at `threshold`, likelihood weighting, and 5/50/95 % weighted
+/// prediction bounds.
+///
+/// `simulate` maps a parameter vector to a discharge series aligned with
+/// `observed` (`None` for failed runs).
+///
+/// # Errors
+///
+/// Returns [`GlueError::NoBehaviouralMembers`] when nothing passes the
+/// threshold.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn glue<F>(
+    space: &ParamSpace,
+    n: usize,
+    seed: u64,
+    observed: &TimeSeries,
+    objective: Objective,
+    threshold: f64,
+    mut simulate: F,
+) -> Result<GlueResult, GlueError>
+where
+    F: FnMut(&[f64]) -> Option<TimeSeries>,
+{
+    assert!(n > 0, "at least one run is required");
+    let mut rng = SimRng::new(seed).fork("glue");
+    let mut members = Vec::new();
+    for _ in 0..n {
+        let params = space.sample(&mut rng);
+        let Some(simulation) = simulate(&params) else { continue };
+        let score = objective.score(&simulation, observed);
+        if score.is_nan() || score <= threshold {
+            continue;
+        }
+        members.push(BehaviouralMember { params, score, weight: 0.0, simulation });
+    }
+    if members.is_empty() {
+        return Err(GlueError::NoBehaviouralMembers { runs: n });
+    }
+
+    // Likelihood weights: score shifted so the threshold maps to zero.
+    let total: f64 = members.iter().map(|m| m.score - threshold).sum();
+    for m in &mut members {
+        m.weight = (m.score - threshold) / total;
+    }
+
+    // Weighted quantiles per step.
+    let steps = members[0].simulation.len();
+    let start = members[0].simulation.start();
+    let step_secs = members[0].simulation.step_secs();
+    let mut lower = TimeSeries::new(start, step_secs);
+    let mut median = TimeSeries::new(start, step_secs);
+    let mut upper = TimeSeries::new(start, step_secs);
+    for t in 0..steps {
+        let mut pairs: Vec<(f64, f64)> = members
+            .iter()
+            .map(|m| (m.simulation.value_at(t), m.weight))
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite simulations"));
+        lower.push(weighted_quantile(&pairs, 0.05));
+        median.push(weighted_quantile(&pairs, 0.50));
+        upper.push(weighted_quantile(&pairs, 0.95));
+    }
+
+    Ok(GlueResult { members, lower, median, upper, total_runs: n })
+}
+
+/// Weighted quantile over `(value, weight)` pairs sorted by value.
+fn weighted_quantile(sorted_pairs: &[(f64, f64)], q: f64) -> f64 {
+    let mut cumulative = 0.0;
+    for &(value, weight) in sorted_pairs {
+        cumulative += weight;
+        if cumulative >= q {
+            return value;
+        }
+    }
+    sorted_pairs.last().map(|&(v, _)| v).unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_data::Timestamp;
+
+    fn t0() -> Timestamp {
+        Timestamp::from_ymd(2012, 1, 1)
+    }
+
+    /// Toy model: q(t) = gain · base(t) + offset.
+    fn toy_simulate(params: &[f64]) -> Option<TimeSeries> {
+        let base = [1.0, 2.0, 5.0, 3.0, 1.5, 1.0];
+        Some(TimeSeries::from_values(
+            t0(),
+            3600,
+            base.iter().map(|b| params[0] * b + params[1]).collect(),
+        ))
+    }
+
+    fn toy_observed() -> TimeSeries {
+        // Truth: gain 2, offset 0.5.
+        toy_simulate(&[2.0, 0.5]).unwrap()
+    }
+
+    fn toy_space() -> ParamSpace {
+        ParamSpace::from_ranges(&[("gain", 0.5, 4.0), ("offset", 0.0, 2.0)])
+    }
+
+    #[test]
+    fn bounds_bracket_truth() {
+        let observed = toy_observed();
+        let result = glue(&toy_space(), 2000, 42, &observed, Objective::Nse, 0.5, toy_simulate)
+            .unwrap();
+        assert!(result.acceptance_rate() > 0.05, "rate {}", result.acceptance_rate());
+        let coverage = result.coverage(&observed);
+        assert!(coverage > 0.9, "coverage {coverage}");
+        // Bounds are ordered.
+        for t in 0..observed.len() {
+            assert!(result.lower().value_at(t) <= result.median().value_at(t) + 1e-12);
+            assert!(result.median().value_at(t) <= result.upper().value_at(t) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let result = glue(&toy_space(), 1000, 1, &toy_observed(), Objective::Nse, 0.3, toy_simulate)
+            .unwrap();
+        let total: f64 = result.members().iter().map(|m| m.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(result.members().iter().all(|m| m.weight > 0.0));
+    }
+
+    #[test]
+    fn stricter_threshold_narrows_bounds() {
+        let observed = toy_observed();
+        let loose = glue(&toy_space(), 3000, 9, &observed, Objective::Nse, 0.0, toy_simulate).unwrap();
+        let strict = glue(&toy_space(), 3000, 9, &observed, Objective::Nse, 0.9, toy_simulate).unwrap();
+        assert!(strict.members().len() < loose.members().len());
+        let width = |r: &GlueResult| {
+            (0..observed.len())
+                .map(|t| r.upper().value_at(t) - r.lower().value_at(t))
+                .sum::<f64>()
+        };
+        assert!(width(&strict) < width(&loose), "strict bounds must be narrower");
+    }
+
+    #[test]
+    fn impossible_threshold_errors() {
+        let err = glue(&toy_space(), 50, 2, &toy_observed(), Objective::Nse, 0.99999, |p| {
+            // A model that can never be that good.
+            toy_simulate(p).map(|s| s.map(|v| v + 3.0))
+        })
+        .unwrap_err();
+        assert_eq!(err, GlueError::NoBehaviouralMembers { runs: 50 });
+    }
+
+    #[test]
+    fn failed_simulations_are_skipped() {
+        let observed = toy_observed();
+        let mut failures = 0;
+        let result = glue(&toy_space(), 500, 3, &observed, Objective::Nse, 0.0, |p| {
+            if p[0] > 3.0 {
+                failures += 1;
+                None
+            } else {
+                toy_simulate(p)
+            }
+        })
+        .unwrap();
+        assert!(failures > 0, "some runs should have failed");
+        assert!(result.members().iter().all(|m| m.params[0] <= 3.0));
+    }
+
+    #[test]
+    fn weighted_quantile_degenerate_cases() {
+        assert_eq!(weighted_quantile(&[(5.0, 1.0)], 0.5), 5.0);
+        let pairs = [(1.0, 0.5), (2.0, 0.5)];
+        assert_eq!(weighted_quantile(&pairs, 0.25), 1.0);
+        assert_eq!(weighted_quantile(&pairs, 0.75), 2.0);
+    }
+}

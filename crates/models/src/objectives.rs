@@ -1,0 +1,230 @@
+//! Objective functions and flood metrics.
+//!
+//! Calibration and GLUE both need a goodness-of-fit measure between
+//! simulated and observed discharge; the portal's scenario comparison needs
+//! flood-event metrics (peak, time-to-peak, time over threshold). All
+//! functions ignore paired samples where either side is missing.
+
+use evop_data::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// Which objective to optimise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Objective {
+    /// Nash–Sutcliffe efficiency (1 is perfect; maximise).
+    Nse,
+    /// NSE on log-transformed flows — weights low flows (maximise).
+    LogNse,
+    /// Root-mean-square error (minimise).
+    Rmse,
+    /// Percent bias (closer to 0 is better).
+    Pbias,
+}
+
+impl Objective {
+    /// Scores a simulation against observations such that **larger is
+    /// always better** (error measures are negated, PBIAS is negated
+    /// absolute).
+    pub fn score(self, simulated: &TimeSeries, observed: &TimeSeries) -> f64 {
+        match self {
+            Objective::Nse => nse(simulated, observed),
+            Objective::LogNse => log_nse(simulated, observed),
+            Objective::Rmse => -rmse(simulated, observed),
+            Objective::Pbias => -pbias(simulated, observed).abs(),
+        }
+    }
+}
+
+fn paired(simulated: &TimeSeries, observed: &TimeSeries) -> Vec<(f64, f64)> {
+    simulated
+        .values()
+        .iter()
+        .zip(observed.values())
+        .filter(|(s, o)| !s.is_nan() && !o.is_nan())
+        .map(|(&s, &o)| (s, o))
+        .collect()
+}
+
+/// Nash–Sutcliffe efficiency: `1 − Σ(o−s)² / Σ(o−ō)²`.
+///
+/// Returns `-inf`-like very negative values for terrible fits, 1.0 for a
+/// perfect fit, and `NaN` when there are no valid pairs or the observations
+/// are constant.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::{TimeSeries, Timestamp};
+/// use evop_models::objectives::nse;
+///
+/// let t = Timestamp::UNIX_EPOCH;
+/// let obs = TimeSeries::from_values(t, 3600, vec![1.0, 3.0, 2.0, 5.0]);
+/// assert!((nse(&obs.clone(), &obs) - 1.0).abs() < 1e-12);
+/// ```
+pub fn nse(simulated: &TimeSeries, observed: &TimeSeries) -> f64 {
+    let pairs = paired(simulated, observed);
+    if pairs.is_empty() {
+        return f64::NAN;
+    }
+    let mean_obs = pairs.iter().map(|(_, o)| o).sum::<f64>() / pairs.len() as f64;
+    let ss_err: f64 = pairs.iter().map(|(s, o)| (o - s).powi(2)).sum();
+    let ss_tot: f64 = pairs.iter().map(|(_, o)| (o - mean_obs).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return f64::NAN;
+    }
+    1.0 - ss_err / ss_tot
+}
+
+/// NSE on `ln(x + ε)`-transformed flows, emphasising low-flow fit.
+pub fn log_nse(simulated: &TimeSeries, observed: &TimeSeries) -> f64 {
+    const EPS: f64 = 1e-6;
+    let ln = |series: &TimeSeries| series.map(|v| (v.max(0.0) + EPS).ln());
+    nse(&ln(simulated), &ln(observed))
+}
+
+/// Root-mean-square error.
+pub fn rmse(simulated: &TimeSeries, observed: &TimeSeries) -> f64 {
+    let pairs = paired(simulated, observed);
+    if pairs.is_empty() {
+        return f64::NAN;
+    }
+    (pairs.iter().map(|(s, o)| (o - s).powi(2)).sum::<f64>() / pairs.len() as f64).sqrt()
+}
+
+/// Percent bias: `100 · Σ(s−o) / Σo`. Positive = over-prediction.
+pub fn pbias(simulated: &TimeSeries, observed: &TimeSeries) -> f64 {
+    let pairs = paired(simulated, observed);
+    let sum_obs: f64 = pairs.iter().map(|(_, o)| o).sum();
+    if pairs.is_empty() || sum_obs == 0.0 {
+        return f64::NAN;
+    }
+    100.0 * pairs.iter().map(|(s, o)| s - o).sum::<f64>() / sum_obs
+}
+
+/// Flood-event metrics for the scenario comparison table (experiment E9).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FloodMetrics {
+    /// Peak discharge, m³/s.
+    pub peak_m3s: f64,
+    /// Index of the peak sample.
+    pub peak_step: usize,
+    /// Steps spent at or above the threshold.
+    pub steps_over_threshold: usize,
+    /// Total volume, m³ (sum · step seconds).
+    pub volume_m3: f64,
+}
+
+/// Computes flood metrics for a discharge series against a discharge
+/// threshold.
+///
+/// Returns `None` for an empty or all-missing series.
+pub fn flood_metrics(discharge_m3s: &TimeSeries, threshold_m3s: f64) -> Option<FloodMetrics> {
+    let (peak_step, peak) = discharge_m3s.peak()?;
+    let over = discharge_m3s
+        .values()
+        .iter()
+        .filter(|v| !v.is_nan() && **v >= threshold_m3s)
+        .count();
+    let volume = discharge_m3s.sum() * f64::from(discharge_m3s.step_secs());
+    Some(FloodMetrics {
+        peak_m3s: peak,
+        peak_step,
+        steps_over_threshold: over,
+        volume_m3: volume,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_data::Timestamp;
+
+    fn series(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::from_values(Timestamp::UNIX_EPOCH, 3600, values)
+    }
+
+    #[test]
+    fn nse_of_mean_prediction_is_zero() {
+        let obs = series(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mean = series(vec![3.0; 5]);
+        assert!((nse(&mean, &obs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nse_penalises_bad_fits_below_zero() {
+        let obs = series(vec![1.0, 2.0, 3.0]);
+        let bad = series(vec![10.0, -5.0, 8.0]);
+        assert!(nse(&bad, &obs) < 0.0);
+    }
+
+    #[test]
+    fn nse_ignores_missing_pairs() {
+        let obs = series(vec![1.0, f64::NAN, 3.0, 4.0]);
+        let sim = series(vec![1.0, 99.0, 3.0, 4.0]);
+        assert!((nse(&sim, &obs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nse_nan_for_constant_observations() {
+        let obs = series(vec![2.0, 2.0, 2.0]);
+        let sim = series(vec![2.0, 2.0, 2.0]);
+        assert!(nse(&sim, &obs).is_nan());
+    }
+
+    #[test]
+    fn log_nse_weights_low_flows() {
+        let obs = series(vec![0.1, 0.2, 0.1, 10.0]);
+        // Bad at low flow, perfect at peak.
+        let low_bad = series(vec![0.5, 0.8, 0.5, 10.0]);
+        // Perfect at low flow, 20 % off at peak.
+        let peak_off = series(vec![0.1, 0.2, 0.1, 8.0]);
+        assert!(log_nse(&peak_off, &obs) > log_nse(&low_bad, &obs));
+        assert!(nse(&peak_off, &obs) < nse(&low_bad, &obs));
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let obs = series(vec![0.0, 0.0]);
+        let sim = series(vec![3.0, 4.0]);
+        assert!((rmse(&sim, &obs) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pbias_sign_convention() {
+        let obs = series(vec![1.0, 1.0]);
+        let over = series(vec![1.5, 1.5]);
+        let under = series(vec![0.5, 0.5]);
+        assert!((pbias(&over, &obs) - 50.0).abs() < 1e-9);
+        assert!((pbias(&under, &obs) + 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn objective_scores_are_larger_is_better() {
+        let obs = series(vec![1.0, 2.0, 3.0, 4.0]);
+        let good = series(vec![1.1, 2.0, 2.9, 4.0]);
+        // Both mis-shaped and biased, so every objective ranks it worse.
+        let bad = series(vec![4.0, 1.0, 4.0, 6.0]);
+        for objective in [Objective::Nse, Objective::LogNse, Objective::Rmse, Objective::Pbias] {
+            assert!(
+                objective.score(&good, &obs) > objective.score(&bad, &obs),
+                "{objective:?} did not rank the better fit higher"
+            );
+        }
+    }
+
+    #[test]
+    fn flood_metrics_basics() {
+        let q = series(vec![0.5, 1.0, 6.0, 8.0, 3.0, 0.7]);
+        let m = flood_metrics(&q, 5.0).unwrap();
+        assert_eq!(m.peak_m3s, 8.0);
+        assert_eq!(m.peak_step, 3);
+        assert_eq!(m.steps_over_threshold, 2);
+        assert!((m.volume_m3 - q.sum() * 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flood_metrics_none_when_empty() {
+        let q = series(vec![f64::NAN, f64::NAN]);
+        assert!(flood_metrics(&q, 1.0).is_none());
+    }
+}

@@ -1,0 +1,184 @@
+//! Potential evapotranspiration (Hamon method).
+//!
+//! The models need a PET forcing; EVOp derived it from Met Office
+//! temperature products. We use Hamon's temperature-based formulation, which
+//! needs only air temperature and day length (from latitude and day of
+//! year) — a standard choice when radiation data are unavailable.
+
+use evop_data::{TimeSeries, Timestamp};
+
+/// Daylight hours at `lat_deg` on the given day of year (standard solar
+/// declination geometry, clamped for polar edge cases).
+pub fn day_length_hours(lat_deg: f64, day_of_year: u32) -> f64 {
+    let phi = lat_deg.to_radians();
+    // Solar declination (Cooper's formula).
+    let decl = (23.45f64).to_radians()
+        * (std::f64::consts::TAU * (284.0 + f64::from(day_of_year)) / 365.0).sin();
+    let cos_h = -phi.tan() * decl.tan();
+    let h = cos_h.clamp(-1.0, 1.0).acos();
+    24.0 * h / std::f64::consts::PI
+}
+
+/// Saturated vapour density term of the Hamon formulation, g/m³.
+fn saturated_vapour_density(temp_c: f64) -> f64 {
+    let e_sat = 6.108 * (17.27 * temp_c / (temp_c + 237.3)).exp(); // hPa
+    216.7 * e_sat / (temp_c + 273.3)
+}
+
+/// Hamon potential evapotranspiration for one day, in millimetres.
+///
+/// `mean_temp_c` is the daily mean air temperature. Negative temperatures
+/// yield (near) zero PET.
+///
+/// # Examples
+///
+/// ```
+/// use evop_models::pet::hamon_daily_mm;
+///
+/// // A warm July day in Cumbria evaporates a few millimetres…
+/// let summer = hamon_daily_mm(16.0, 54.6, 196);
+/// assert!(summer > 1.5 && summer < 6.0, "summer PET {summer}");
+/// // …a cold January day almost nothing.
+/// let winter = hamon_daily_mm(2.0, 54.6, 15);
+/// assert!(winter < summer / 3.0, "winter PET {winter}");
+/// ```
+pub fn hamon_daily_mm(mean_temp_c: f64, lat_deg: f64, day_of_year: u32) -> f64 {
+    if mean_temp_c <= -10.0 {
+        return 0.0;
+    }
+    let d = day_length_hours(lat_deg, day_of_year) / 12.0;
+    0.1651 * d * saturated_vapour_density(mean_temp_c) * 10.0 / 10.0
+}
+
+/// Converts an (hourly or coarser) temperature series into a PET series at
+/// the same step, in millimetres per step.
+///
+/// Daily Hamon PET is computed from each calendar day's mean temperature and
+/// distributed over the day proportionally to daylight (night steps get a
+/// small residual).
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::{Catchment, Timestamp};
+/// use evop_data::synthetic::WeatherGenerator;
+/// use evop_models::pet::hamon_series;
+///
+/// let c = Catchment::morland();
+/// let g = WeatherGenerator::for_catchment(&c, 1);
+/// let start = Timestamp::from_ymd(2012, 6, 1);
+/// let temp = g.temperature(start, 3600, 24 * 7);
+/// let pet = hamon_series(&temp, c.outlet().lat());
+/// assert_eq!(pet.len(), temp.len());
+/// assert!(pet.values().iter().all(|&v| v >= 0.0));
+/// ```
+pub fn hamon_series(temperature: &TimeSeries, lat_deg: f64) -> TimeSeries {
+    let step = temperature.step_secs();
+    let steps_per_day = (86_400 / i64::from(step)).max(1) as usize;
+
+    // Pre-compute per-day mean temperature.
+    let mut day_means: Vec<(Timestamp, f64)> = Vec::new();
+    let mut i = 0;
+    while i < temperature.len() {
+        let day_start = temperature.time_at(i).floor_to(86_400);
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        let mut j = i;
+        while j < temperature.len() && temperature.time_at(j).floor_to(86_400) == day_start {
+            let v = temperature.value_at(j);
+            if !v.is_nan() {
+                sum += v;
+                n += 1;
+            }
+            j += 1;
+        }
+        let mean = if n == 0 { 5.0 } else { sum / n as f64 };
+        day_means.push((day_start, mean));
+        i = j;
+    }
+
+    let mut day_idx = 0usize;
+    TimeSeries::from_fn(temperature.start(), step, temperature.len(), |t| {
+        let day_start = t.floor_to(86_400);
+        while day_idx + 1 < day_means.len() && day_means[day_idx].0 < day_start {
+            day_idx += 1;
+        }
+        let mean_temp = day_means[day_idx].1;
+        let daily = hamon_daily_mm(mean_temp, lat_deg, t.day_of_year());
+        // Distribute: 90 % over daylight hours, 10 % over the night.
+        let daylight = day_length_hours(lat_deg, t.day_of_year());
+        let hour = t.day_fraction() * 24.0;
+        let sunrise = 12.0 - daylight / 2.0;
+        let sunset = 12.0 + daylight / 2.0;
+        let step_hours = f64::from(step) / 3600.0;
+        let is_day = hour >= sunrise && hour < sunset;
+        let rate_per_hour = if is_day {
+            0.9 * daily / daylight
+        } else {
+            0.1 * daily / (24.0 - daylight).max(1.0)
+        };
+        (rate_per_hour * step_hours).min(daily / steps_per_day as f64 * 4.0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_data::Timestamp;
+
+    #[test]
+    fn day_length_seasonality_northern_hemisphere() {
+        let midsummer = day_length_hours(54.6, 172);
+        let midwinter = day_length_hours(54.6, 355);
+        assert!(midsummer > 16.0 && midsummer < 18.5, "midsummer {midsummer}");
+        assert!(midwinter > 6.0 && midwinter < 8.5, "midwinter {midwinter}");
+        // Equator: ~12h year-round.
+        assert!((day_length_hours(0.0, 100) - 12.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn polar_day_and_night_clamp() {
+        assert!(day_length_hours(80.0, 172) > 23.9);
+        assert!(day_length_hours(80.0, 355) < 0.1);
+    }
+
+    #[test]
+    fn pet_increases_with_temperature() {
+        let cold = hamon_daily_mm(5.0, 54.6, 180);
+        let warm = hamon_daily_mm(20.0, 54.6, 180);
+        assert!(warm > cold * 1.8, "warm {warm} vs cold {cold}");
+    }
+
+    #[test]
+    fn deep_frost_yields_zero() {
+        assert_eq!(hamon_daily_mm(-15.0, 54.6, 15), 0.0);
+    }
+
+    #[test]
+    fn series_concentrates_pet_in_daylight() {
+        let start = Timestamp::from_ymd(2012, 6, 15);
+        let temp = TimeSeries::from_values(start, 3600, vec![15.0; 48]);
+        let pet = hamon_series(&temp, 54.6);
+        let noon = pet.at(start.plus_hours(12)).unwrap();
+        let midnight = pet.at(start.plus_hours(0)).unwrap();
+        assert!(noon > midnight * 3.0, "noon {noon} vs midnight {midnight}");
+    }
+
+    #[test]
+    fn series_daily_total_matches_daily_formula() {
+        let start = Timestamp::from_ymd(2012, 6, 15);
+        let temp = TimeSeries::from_values(start, 3600, vec![15.0; 24]);
+        let pet = hamon_series(&temp, 54.6);
+        let total: f64 = pet.sum();
+        let daily = hamon_daily_mm(15.0, 54.6, 167);
+        assert!((total - daily).abs() / daily < 0.15, "series total {total} vs daily {daily}");
+    }
+
+    #[test]
+    fn handles_missing_temperature() {
+        let start = Timestamp::from_ymd(2012, 6, 15);
+        let temp = TimeSeries::from_values(start, 3600, vec![f64::NAN; 24]);
+        let pet = hamon_series(&temp, 54.6);
+        assert!(pet.values().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,99 @@
+//! Channel routing shared by the models.
+
+/// Triangular unit-hydrograph weights with time-to-peak `tp` (time base
+/// `2·tp`), discretised to the model step and normalised to sum to 1.
+///
+/// # Examples
+///
+/// ```
+/// use evop_models::routing::triangular_kernel;
+///
+/// let k = triangular_kernel(4.0, 1.0);
+/// assert!((k.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `tp_hours` or `dt_hours` is not positive.
+pub fn triangular_kernel(tp_hours: f64, dt_hours: f64) -> Vec<f64> {
+    assert!(tp_hours > 0.0 && dt_hours > 0.0, "routing times must be positive");
+    let base = 2.0 * tp_hours;
+    let n = ((base / dt_hours).ceil() as usize).max(1);
+    let mut weights: Vec<f64> = (0..n)
+        .map(|k| {
+            let t = (k as f64 + 0.5) * dt_hours;
+            if t <= tp_hours {
+                t / tp_hours
+            } else {
+                ((base - t) / tp_hours).max(0.0)
+            }
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        // Time base shorter than one step: all mass arrives immediately.
+        return vec![1.0];
+    }
+    for w in &mut weights {
+        *w /= total;
+    }
+    weights
+}
+
+/// Convolves a runoff series (depth per step) with a kernel, returning a
+/// series of the same length (tail truncated).
+pub fn convolve(runoff: &[f64], kernel: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; runoff.len() + kernel.len()];
+    for (t, &r) in runoff.iter().enumerate() {
+        for (k, &w) in kernel.iter().enumerate() {
+            out[t + k] += r * w;
+        }
+    }
+    out.truncate(runoff.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_normalised() {
+        for (tp, dt) in [(4.0, 1.0), (0.5, 1.0), (12.0, 0.25)] {
+            let k = triangular_kernel(tp, dt);
+            assert!((k.iter().sum::<f64>() - 1.0).abs() < 1e-12, "tp={tp} dt={dt}");
+        }
+    }
+
+    #[test]
+    fn kernel_rises_then_falls() {
+        let k = triangular_kernel(6.0, 1.0);
+        let peak = k.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert!(k[..peak].windows(2).all(|w| w[0] <= w[1]));
+        assert!(k[peak..].windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn convolution_preserves_mass_within_window() {
+        let kernel = triangular_kernel(2.0, 1.0);
+        let runoff = vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let routed = convolve(&runoff, &kernel);
+        assert_eq!(routed.len(), runoff.len());
+        assert!((routed.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolution_delays_peak() {
+        let kernel = triangular_kernel(3.0, 1.0);
+        let runoff = vec![5.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let routed = convolve(&runoff, &kernel);
+        let peak = routed.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert!(peak >= 2, "routed peak at {peak}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_tp_rejected() {
+        let _ = triangular_kernel(0.0, 1.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! The land-use and management change scenarios of the LEFT modelling
+//! widget.
+//!
+//! "the user could also select from four land use and management change
+//! scenarios. These scenarios, developed with stakeholders, were used to
+//! illustrate how changes to land use and land management practices are
+//! likely to impact flood risk at the catchment outlet" (paper §V-B). Each
+//! scenario is a physically-motivated modifier on model parameters; the
+//! widget's preset buttons map one-to-one onto this enum, and the sliders
+//! default to each scenario's modified values.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::fuse::FuseParams;
+use crate::topmodel::TopmodelParams;
+
+/// A land-use / land-management scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Current land use — the reference run.
+    #[default]
+    Baseline,
+    /// Planting broadleaf woodland on upland pasture: deeper rooting and
+    /// higher infiltration absorb more rain (reduces flood peaks).
+    Afforestation,
+    /// Intensive livestock grazing compacts the soil: thinner effective
+    /// root zone, faster saturation (increases flood peaks).
+    CompactedSoils,
+    /// Installing field drains on wet moorland: water reaches the channel
+    /// faster (increases flood peaks, speeds response).
+    DrainedMoorland,
+    /// Blocking drains and restoring wetland storage: slower, damped
+    /// response (reduces flood peaks).
+    RestoredWetland,
+}
+
+impl Scenario {
+    /// All scenarios in widget display order (baseline first).
+    pub fn all() -> [Scenario; 5] {
+        [
+            Scenario::Baseline,
+            Scenario::Afforestation,
+            Scenario::CompactedSoils,
+            Scenario::DrainedMoorland,
+            Scenario::RestoredWetland,
+        ]
+    }
+
+    /// The four change scenarios shown as preset buttons (paper Fig. 6).
+    pub fn change_scenarios() -> [Scenario; 4] {
+        [
+            Scenario::Afforestation,
+            Scenario::CompactedSoils,
+            Scenario::DrainedMoorland,
+            Scenario::RestoredWetland,
+        ]
+    }
+
+    /// A stable identifier used in URLs and WPS inputs.
+    pub fn id(self) -> &'static str {
+        match self {
+            Scenario::Baseline => "baseline",
+            Scenario::Afforestation => "afforestation",
+            Scenario::CompactedSoils => "compacted-soils",
+            Scenario::DrainedMoorland => "drained-moorland",
+            Scenario::RestoredWetland => "restored-wetland",
+        }
+    }
+
+    /// Parses a scenario id.
+    pub fn from_id(id: &str) -> Option<Scenario> {
+        Scenario::all().into_iter().find(|s| s.id() == id)
+    }
+
+    /// The help text the widget shows — part of the paper's "educate the
+    /// user about the model and scenarios" requirement.
+    pub fn description(self) -> &'static str {
+        match self {
+            Scenario::Baseline => "Current land use and management, as observed today.",
+            Scenario::Afforestation => {
+                "Broadleaf woodland planted on upland pasture. Deeper roots and \
+                 litter layers store more water in the soil, so less rain runs \
+                 off quickly: flood peaks fall."
+            }
+            Scenario::CompactedSoils => {
+                "Heavy livestock traffic compacts the topsoil. The effective \
+                 root zone thins and the ground saturates sooner, shedding \
+                 more storm rain: flood peaks rise."
+            }
+            Scenario::DrainedMoorland => {
+                "New field drains move soil water to the channel network \
+                 quickly. The catchment responds faster and peaks rise."
+            }
+            Scenario::RestoredWetland => {
+                "Drains are blocked and wetlands re-wetted. Extra surface \
+                 storage slows the flood wave and clips the peak."
+            }
+        }
+    }
+
+    /// Whether stakeholder reasoning expects this scenario to *increase*
+    /// flood peaks relative to baseline (used as the assertion in
+    /// experiment E9).
+    pub fn expected_peak_increase(self) -> Option<bool> {
+        match self {
+            Scenario::Baseline => None,
+            Scenario::Afforestation | Scenario::RestoredWetland => Some(false),
+            Scenario::CompactedSoils | Scenario::DrainedMoorland => Some(true),
+        }
+    }
+
+    /// Applies the scenario to TOPMODEL parameters.
+    pub fn apply_to_topmodel(self, base: &TopmodelParams) -> TopmodelParams {
+        let mut p = *base;
+        match self {
+            Scenario::Baseline => {}
+            Scenario::Afforestation => {
+                // Deeper rooting and higher infiltration: more storm rain is
+                // stored before it can run off.
+                p.srmax *= 2.0;
+                p.td *= 1.6;
+                p.ln_t0 += 0.8; // macropores raise transmissivity
+                p.route_tp_hours *= 1.2;
+            }
+            Scenario::CompactedSoils => {
+                // Thin, fast-saturating, low-transmissivity soils that also
+                // shed surface water quickly.
+                p.srmax *= 0.3;
+                p.td *= 0.3;
+                p.ln_t0 -= 1.2;
+                p.route_tp_hours = (p.route_tp_hours * 0.7).max(0.5);
+            }
+            Scenario::DrainedMoorland => {
+                // Faster delivery to the channel.
+                p.td *= 0.35;
+                p.route_tp_hours = (p.route_tp_hours * 0.55).max(0.5);
+                p.srmax *= 0.8;
+            }
+            Scenario::RestoredWetland => {
+                // Added storage and slowed routing.
+                p.srmax *= 1.4;
+                p.route_tp_hours *= 1.6;
+                p.td *= 1.8;
+            }
+        }
+        // Modifiers must not break the sr0 <= srmax invariant.
+        p.sr0 = p.sr0.min(p.srmax);
+        p
+    }
+
+    /// Applies the scenario to FUSE parameters.
+    pub fn apply_to_fuse(self, base: &FuseParams) -> FuseParams {
+        let mut p = *base;
+        match self {
+            Scenario::Baseline => {}
+            Scenario::Afforestation => {
+                p.s1max *= 1.7;
+                p.b *= 0.7;
+                p.route_tp_hours *= 1.2;
+            }
+            Scenario::CompactedSoils => {
+                p.s1max *= 0.5;
+                p.b *= 1.5;
+            }
+            Scenario::DrainedMoorland => {
+                p.route_tp_hours = (p.route_tp_hours * 0.55).max(0.5);
+                p.ku *= 1.5;
+                p.b *= 1.2;
+            }
+            Scenario::RestoredWetland => {
+                p.s1max *= 1.35;
+                p.route_tp_hours *= 1.7;
+                p.b *= 0.8;
+            }
+        }
+        p
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Scenario::Baseline => "Baseline",
+            Scenario::Afforestation => "Afforestation",
+            Scenario::CompactedSoils => "Compacted soils",
+            Scenario::DrainedMoorland => "Drained moorland",
+            Scenario::RestoredWetland => "Restored wetland",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for s in Scenario::all() {
+            assert_eq!(Scenario::from_id(s.id()), Some(s));
+        }
+        assert_eq!(Scenario::from_id("martian-canals"), None);
+    }
+
+    #[test]
+    fn four_change_scenarios_plus_baseline() {
+        assert_eq!(Scenario::all().len(), 5);
+        assert_eq!(Scenario::change_scenarios().len(), 4);
+        assert!(!Scenario::change_scenarios().contains(&Scenario::Baseline));
+    }
+
+    #[test]
+    fn baseline_is_identity() {
+        let t = TopmodelParams::default();
+        assert_eq!(Scenario::Baseline.apply_to_topmodel(&t), t);
+        let f = FuseParams::default();
+        assert_eq!(Scenario::Baseline.apply_to_fuse(&f), f);
+    }
+
+    #[test]
+    fn modified_params_remain_valid() {
+        for s in Scenario::all() {
+            assert!(
+                s.apply_to_topmodel(&TopmodelParams::default()).validate().is_ok(),
+                "{s} breaks TOPMODEL params"
+            );
+            assert!(
+                s.apply_to_fuse(&FuseParams::default()).validate().is_ok(),
+                "{s} breaks FUSE params"
+            );
+        }
+    }
+
+    #[test]
+    fn storage_direction_matches_narrative() {
+        let base = TopmodelParams::default();
+        assert!(Scenario::Afforestation.apply_to_topmodel(&base).srmax > base.srmax);
+        assert!(Scenario::CompactedSoils.apply_to_topmodel(&base).srmax < base.srmax);
+        assert!(Scenario::DrainedMoorland.apply_to_topmodel(&base).route_tp_hours < base.route_tp_hours);
+        assert!(Scenario::RestoredWetland.apply_to_topmodel(&base).route_tp_hours > base.route_tp_hours);
+    }
+
+    #[test]
+    fn expected_direction_is_declared_for_changes() {
+        for s in Scenario::change_scenarios() {
+            assert!(s.expected_peak_increase().is_some(), "{s} lacks an expectation");
+        }
+        assert!(Scenario::Baseline.expected_peak_increase().is_none());
+    }
+
+    #[test]
+    fn descriptions_are_substantive() {
+        for s in Scenario::all() {
+            assert!(s.description().len() > 30, "{s} description too short");
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! TOPMODEL (Beven & Kirkby, 1979) — the "established quasi-physical
+//! process-based model" of the LEFT widget (paper §V-B).
+//!
+//! The implementation follows the classic formulation: the catchment is
+//! discretised into topographic-index classes; a local saturation deficit is
+//! maintained per class via the catchment-mean deficit and the exponential
+//! transmissivity assumption; rain on saturated classes becomes
+//! saturation-excess overland flow; the unsaturated zone drains to the
+//! saturated store with a deficit-dependent delay; baseflow follows the
+//! exponential store; and total runoff is routed through a triangular unit
+//! hydrograph.
+
+use evop_data::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+use crate::routing::triangular_kernel;
+use crate::Forcing;
+
+/// TOPMODEL parameters. Units follow the classic papers (metres and hours).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopmodelParams {
+    /// Exponential transmissivity decay parameter `m` (m). Small `m` → flashy.
+    pub m: f64,
+    /// Log of the saturated transmissivity `ln T₀` (T₀ in m²/h).
+    pub ln_t0: f64,
+    /// Root-zone available water capacity (m).
+    pub srmax: f64,
+    /// Initial root-zone deficit (m), `0 ≤ sr0 ≤ srmax`.
+    pub sr0: f64,
+    /// Unsaturated-zone time delay per unit deficit (h/m).
+    pub td: f64,
+    /// Channel routing time-to-peak (h) of the triangular unit hydrograph.
+    pub route_tp_hours: f64,
+    /// Antecedent specific discharge used to initialise the mean deficit
+    /// (mm/h) — classic TOPMODEL takes this from the first observed flow.
+    pub q0_init_mm_h: f64,
+}
+
+impl Default for TopmodelParams {
+    fn default() -> TopmodelParams {
+        TopmodelParams {
+            m: 0.012,
+            ln_t0: 5.0,
+            srmax: 0.05,
+            sr0: 0.02,
+            td: 10.0,
+            route_tp_hours: 4.0,
+            q0_init_mm_h: 0.15,
+        }
+    }
+}
+
+impl TopmodelParams {
+    /// The calibration ranges used by the Monte Carlo calibrator and the
+    /// widget's parameter sliders: `(name, min, max)`.
+    pub fn ranges() -> Vec<(&'static str, f64, f64)> {
+        vec![
+            ("m", 0.002, 0.08),
+            ("ln_t0", -2.0, 8.0),
+            ("srmax", 0.01, 0.20),
+            ("sr0", 0.0, 0.05),
+            ("td", 1.0, 40.0),
+            ("route_tp_hours", 1.0, 12.0),
+            ("q0_init_mm_h", 0.02, 2.0),
+        ]
+    }
+
+    /// Builds parameters from a calibration vector ordered as
+    /// [`TopmodelParams::ranges`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have exactly seven entries.
+    pub fn from_vector(values: &[f64]) -> TopmodelParams {
+        assert_eq!(values.len(), 7, "expected 7 parameter values");
+        TopmodelParams {
+            m: values[0],
+            ln_t0: values[1],
+            srmax: values[2],
+            sr0: values[3],
+            td: values[4],
+            route_tp_hours: values[5],
+            q0_init_mm_h: values[6],
+        }
+    }
+
+    /// Flattens to a calibration vector ordered as
+    /// [`TopmodelParams::ranges`].
+    pub fn to_vector(self) -> Vec<f64> {
+        vec![self.m, self.ln_t0, self.srmax, self.sr0, self.td, self.route_tp_hours, self.q0_init_mm_h]
+    }
+
+    /// Validates physical consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for non-positive `m`/`srmax`/`td`,
+    /// or `sr0` outside `[0, srmax]`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.m > 0.0) {
+            return Err(format!("m must be positive, got {}", self.m));
+        }
+        if !(self.srmax > 0.0) {
+            return Err(format!("srmax must be positive, got {}", self.srmax));
+        }
+        if !(self.td > 0.0) {
+            return Err(format!("td must be positive, got {}", self.td));
+        }
+        if self.sr0 < 0.0 || self.sr0 > self.srmax {
+            return Err(format!("sr0 {} outside [0, srmax={}]", self.sr0, self.srmax));
+        }
+        if !(self.route_tp_hours > 0.0) {
+            return Err(format!("route_tp_hours must be positive, got {}", self.route_tp_hours));
+        }
+        if !(self.q0_init_mm_h > 0.0) {
+            return Err(format!("q0_init_mm_h must be positive, got {}", self.q0_init_mm_h));
+        }
+        Ok(())
+    }
+}
+
+/// Model output: discharge plus diagnostic series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopmodelOutput {
+    /// Routed discharge at the outlet, m³/s.
+    pub discharge_m3s: TimeSeries,
+    /// Fraction of the catchment saturated at each step, `[0, 1]`.
+    pub saturated_fraction: TimeSeries,
+    /// Baseflow component before routing, mm per step.
+    pub baseflow_mm: TimeSeries,
+    /// Saturation-excess overland flow before routing, mm per step.
+    pub overland_mm: TimeSeries,
+}
+
+/// A TOPMODEL instance bound to a catchment's topographic-index
+/// distribution and area.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::{Catchment, Timestamp};
+/// use evop_data::synthetic::WeatherGenerator;
+/// use evop_models::pet::hamon_series;
+/// use evop_models::{Forcing, Topmodel, TopmodelParams};
+/// use rand::SeedableRng;
+///
+/// let catchment = Catchment::morland();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let dem = catchment.generate_dem(&mut rng);
+/// let model = Topmodel::new(dem.ti_distribution(16), catchment.area_km2());
+///
+/// let g = WeatherGenerator::for_catchment(&catchment, 1);
+/// let start = Timestamp::from_ymd(2012, 1, 1);
+/// let rain = g.rainfall(start, 3600, 24 * 30);
+/// let temp = g.temperature(start, 3600, 24 * 30);
+/// let forcing = Forcing::new(rain, hamon_series(&temp, catchment.outlet().lat()));
+///
+/// let out = model.run(&TopmodelParams::default(), &forcing).unwrap();
+/// assert_eq!(out.discharge_m3s.len(), 24 * 30);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topmodel {
+    ti_classes: Vec<(f64, f64)>,
+    area_km2: f64,
+    lambda: f64,
+}
+
+impl Topmodel {
+    /// Creates a model from a topographic-index distribution (`(class
+    /// value, area fraction)` pairs, fractions summing to ~1) and catchment
+    /// area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution is empty, fractions do not sum to ~1, or
+    /// the area is not positive.
+    pub fn new(ti_classes: Vec<(f64, f64)>, area_km2: f64) -> Topmodel {
+        assert!(!ti_classes.is_empty(), "need at least one TI class");
+        assert!(area_km2 > 0.0, "area must be positive");
+        let total: f64 = ti_classes.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 0.01, "TI fractions must sum to 1, got {total}");
+        let lambda = ti_classes.iter().map(|(ti, f)| ti * f).sum();
+        Topmodel { ti_classes, area_km2, lambda }
+    }
+
+    /// The catchment-average topographic index λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The catchment area in km².
+    pub fn area_km2(&self) -> f64 {
+        self.area_km2
+    }
+
+    /// Runs the model over the forcing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the parameters fail
+    /// [`TopmodelParams::validate`].
+    pub fn run(&self, params: &TopmodelParams, forcing: &Forcing) -> Result<TopmodelOutput, String> {
+        params.validate()?;
+        let dt = forcing.step_hours();
+        let n = forcing.len();
+        let start = forcing.rainfall().start();
+        let step = forcing.rainfall().step_secs();
+
+        // Subsurface rate scale q0 = T0 e^{-λ} (m/h per unit area).
+        let q0 = (params.ln_t0 - self.lambda).exp();
+        // Initialise the mean deficit from the antecedent discharge.
+        let q_init = params.q0_init_mm_h / 1000.0; // m/h
+        let mut sbar = (-params.m * (q_init / q0).ln()).max(1e-4);
+        let mut srz = params.sr0; // root-zone deficit, m
+        let mut suz = vec![0.0f64; self.ti_classes.len()]; // per-class unsat storage, m
+
+        let kernel = triangular_kernel(params.route_tp_hours, dt);
+        let mut route_buffer = vec![0.0f64; n + kernel.len()];
+
+        let mut baseflow_mm = TimeSeries::new(start, step);
+        let mut overland_mm = TimeSeries::new(start, step);
+        let mut saturated = TimeSeries::new(start, step);
+
+        for t in 0..n {
+            let rain_m = forcing.rainfall().value_at(t).max(0.0) / 1000.0;
+            let pet_m = forcing.pet().value_at(t).max(0.0) / 1000.0;
+
+            // 1. Baseflow from the exponential saturated store.
+            let qb = (q0 * (-sbar / params.m).exp() * dt).max(0.0); // m per step
+
+            // 2. Root zone: evapotranspiration scaled by moisture, then rain
+            //    infiltration.
+            let ea = pet_m * (1.0 - srz / params.srmax).clamp(0.0, 1.0);
+            srz = (srz + ea).min(params.srmax);
+            let fill = rain_m.min(srz);
+            srz -= fill;
+            let p_excess = rain_m - fill;
+
+            // 3. Per-class unsaturated zone accounting.
+            let mut qof = 0.0; // saturation-excess, m per step
+            let mut recharge = 0.0; // to saturated zone, m per step
+            let mut sat_area = 0.0;
+            for (i, &(ti, frac)) in self.ti_classes.iter().enumerate() {
+                let local_deficit = sbar + params.m * (self.lambda - ti);
+                if local_deficit <= 0.0 {
+                    // Saturated class: everything runs off, stored water
+                    // exfiltrates.
+                    sat_area += frac;
+                    qof += frac * (p_excess + suz[i]);
+                    suz[i] = 0.0;
+                } else {
+                    suz[i] += p_excess;
+                    if suz[i] > local_deficit {
+                        qof += frac * (suz[i] - local_deficit);
+                        suz[i] = local_deficit;
+                    }
+                    // Gravity drainage with deficit-dependent delay.
+                    let rate = suz[i] / (local_deficit * params.td); // m/h
+                    let quz = (rate * dt).min(suz[i]);
+                    suz[i] -= quz;
+                    recharge += frac * quz;
+                }
+            }
+
+            // 4. Mean deficit bookkeeping: baseflow deepens it, recharge
+            //    shallows it.
+            sbar = (sbar + qb - recharge).max(-0.05);
+
+            // 5. Route total runoff through the unit hydrograph.
+            let total = qof + qb;
+            for (k, &w) in kernel.iter().enumerate() {
+                route_buffer[t + k] += total * w;
+            }
+
+            baseflow_mm.push(qb * 1000.0);
+            overland_mm.push(qof * 1000.0);
+            saturated.push(sat_area);
+        }
+
+        // Convert routed depth (m per step) to discharge (m³/s).
+        let area_m2 = self.area_km2 * 1e6;
+        let dt_secs = f64::from(step);
+        let mut discharge = TimeSeries::new(start, step);
+        for value in route_buffer.iter().take(n) {
+            discharge.push(value * area_m2 / dt_secs);
+        }
+
+        Ok(TopmodelOutput {
+            discharge_m3s: discharge,
+            saturated_fraction: saturated,
+            baseflow_mm,
+            overland_mm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_data::{Catchment, Timestamp};
+
+    fn model() -> Topmodel {
+        use rand::SeedableRng;
+        let catchment = Catchment::morland();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let dem = catchment.generate_dem(&mut rng);
+        Topmodel::new(dem.ti_distribution(16), catchment.area_km2())
+    }
+
+    fn storm_forcing(dry_hours: usize, storm_mm_per_h: f64, storm_hours: usize) -> Forcing {
+        let start = Timestamp::from_ymd(2012, 1, 1);
+        let total = dry_hours + storm_hours + 240;
+        let rain = TimeSeries::from_fn(start, 3600, total, |t| {
+            let h = ((t - start) / 3600) as usize;
+            if (dry_hours..dry_hours + storm_hours).contains(&h) {
+                storm_mm_per_h
+            } else {
+                0.0
+            }
+        });
+        let pet = TimeSeries::from_values(start, 3600, vec![0.02; total]);
+        Forcing::new(rain, pet)
+    }
+
+    #[test]
+    fn recession_without_rain() {
+        let m = model();
+        let start = Timestamp::from_ymd(2012, 1, 1);
+        let rain = TimeSeries::from_values(start, 3600, vec![0.0; 240]);
+        let pet = TimeSeries::from_values(start, 3600, vec![0.02; 240]);
+        let out = m.run(&TopmodelParams::default(), &Forcing::new(rain, pet)).unwrap();
+        let q = &out.discharge_m3s;
+        // After the routing kernel settles, flow must recede monotonically.
+        for i in 20..q.len() - 1 {
+            assert!(
+                q.value_at(i + 1) <= q.value_at(i) + 1e-12,
+                "flow rose during recession at step {i}"
+            );
+        }
+        assert!(q.value_at(239) < q.value_at(20));
+    }
+
+    #[test]
+    fn storm_produces_delayed_peak() {
+        let m = model();
+        let out = m.run(&TopmodelParams::default(), &storm_forcing(48, 6.0, 12)).unwrap();
+        let (peak_idx, peak) = out.discharge_m3s.peak().unwrap();
+        assert!(peak_idx >= 48, "peak at {peak_idx} precedes storm onset at 48");
+        let pre_storm = out.discharge_m3s.value_at(40);
+        assert!(peak > pre_storm * 2.0, "peak {peak} vs pre-storm {pre_storm}");
+    }
+
+    #[test]
+    fn mass_balance_is_bounded_by_input() {
+        let m = model();
+        let forcing = storm_forcing(24, 5.0, 24);
+        let out = m.run(&TopmodelParams::default(), &forcing).unwrap();
+        let rain_m3 = forcing.rainfall().sum() / 1000.0 * m.area_km2() * 1e6;
+        let q_m3: f64 = out.discharge_m3s.values().iter().sum::<f64>() * 3600.0;
+        // Output cannot exceed input plus initial storage drainage
+        // (generously bounded at 100 mm over the catchment).
+        let initial_storage_m3 = 0.1 * m.area_km2() * 1e6;
+        assert!(
+            q_m3 < rain_m3 + initial_storage_m3,
+            "discharge volume {q_m3:.0} m³ vs rain {rain_m3:.0} m³"
+        );
+        assert!(q_m3 > 0.05 * rain_m3, "implausibly little runoff");
+    }
+
+    #[test]
+    fn saturated_fraction_grows_in_storm() {
+        let m = model();
+        let out = m.run(&TopmodelParams::default(), &storm_forcing(24, 8.0, 48)).unwrap();
+        let before = out.saturated_fraction.value_at(20);
+        let after = out.saturated_fraction.value_at(80);
+        assert!(after > before, "saturation {after} should exceed pre-storm {before}");
+        assert!(out
+            .saturated_fraction
+            .values()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn smaller_m_is_flashier() {
+        let m = model();
+        let forcing = storm_forcing(48, 6.0, 12);
+        let flashy = TopmodelParams { m: 0.008, ..TopmodelParams::default() };
+        let damped = TopmodelParams { m: 0.06, ..TopmodelParams::default() };
+        let q_flashy = m.run(&flashy, &forcing).unwrap().discharge_m3s;
+        let q_damped = m.run(&damped, &forcing).unwrap().discharge_m3s;
+        assert!(
+            q_flashy.peak().unwrap().1 > q_damped.peak().unwrap().1,
+            "flashy peak {} should exceed damped peak {}",
+            q_flashy.peak().unwrap().1,
+            q_damped.peak().unwrap().1
+        );
+    }
+
+    #[test]
+    fn larger_root_zone_absorbs_more() {
+        let m = model();
+        let forcing = storm_forcing(48, 4.0, 10);
+        let thin = TopmodelParams { srmax: 0.01, sr0: 0.01, ..TopmodelParams::default() };
+        let thick = TopmodelParams { srmax: 0.18, sr0: 0.05, ..TopmodelParams::default() };
+        let v_thin: f64 = m.run(&thin, &forcing).unwrap().discharge_m3s.sum();
+        let v_thick: f64 = m.run(&thick, &forcing).unwrap().discharge_m3s.sum();
+        assert!(v_thin > v_thick, "thin root zone {v_thin} should yield more runoff than {v_thick}");
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let m = model();
+        let forcing = storm_forcing(48, 6.0, 12);
+        let a = m.run(&TopmodelParams::default(), &forcing).unwrap();
+        let b = m.run(&TopmodelParams::default(), &forcing).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let m = model();
+        let forcing = storm_forcing(4, 1.0, 2);
+        let bad = TopmodelParams { m: -1.0, ..TopmodelParams::default() };
+        assert!(m.run(&bad, &forcing).is_err());
+        let bad_sr0 = TopmodelParams { sr0: 1.0, srmax: 0.05, ..TopmodelParams::default() };
+        assert!(m.run(&bad_sr0, &forcing).is_err());
+    }
+
+    #[test]
+    fn param_vector_round_trip() {
+        let p = TopmodelParams::default();
+        let v = p.to_vector();
+        assert_eq!(TopmodelParams::from_vector(&v), p);
+        assert_eq!(v.len(), TopmodelParams::ranges().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_ti_distribution_rejected() {
+        let _ = Topmodel::new(vec![(5.0, 0.4)], 10.0);
+    }
+}

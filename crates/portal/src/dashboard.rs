@@ -1,0 +1,234 @@
+//! The catchment status board: at-a-glance flood awareness.
+//!
+//! The paper's motivating question — "is my local area susceptible to
+//! flood after the past few days' rainfall?" (§I) — deserves a one-screen
+//! answer. The status board condenses each catchment's live feeds into a
+//! stage-vs-threshold gauge, 24-hour rainfall total, data-quality health
+//! and an alert level.
+
+use std::fmt;
+
+use evop_data::sensors::SensorKind;
+use evop_data::timeseries::Aggregation;
+use evop_data::{Catchment, QualityFlag, SensorId, Timestamp};
+use evop_services::sos::{GetObservation, SosServer};
+
+use crate::render::{sparkline, table};
+
+/// How worried the banner should look.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertLevel {
+    /// Stage well below the flood threshold.
+    Normal,
+    /// Stage above 60 % of the flood threshold — watch the river.
+    Elevated,
+    /// Stage at or above the indicative flood threshold.
+    Flood,
+}
+
+impl fmt::Display for AlertLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AlertLevel::Normal => "normal",
+            AlertLevel::Elevated => "ELEVATED",
+            AlertLevel::Flood => "FLOOD",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One catchment's condensed status.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatchmentStatus {
+    /// Catchment display name.
+    pub name: String,
+    /// Latest river stage, m, if the gauge is reporting.
+    pub latest_stage_m: Option<f64>,
+    /// The indicative flood threshold, m.
+    pub flood_stage_m: f64,
+    /// Rain total over the last 24 h, mm.
+    pub rain_24h_mm: f64,
+    /// 48-hour stage sparkline.
+    pub stage_sparkline: String,
+    /// Fraction of the last 48 h of stage samples flagged suspect by QC.
+    pub suspect_fraction: f64,
+    /// The banner level.
+    pub alert: AlertLevel,
+}
+
+/// Computes one catchment's status from the SOS archives at time `now`.
+///
+/// See the repository's `catchment_dashboard` example for a full board
+/// over live archives.
+pub fn catchment_status(sos: &SosServer, catchment: &Catchment, now: Timestamp) -> CatchmentStatus {
+    let sensor_id = |kind: SensorKind| -> SensorId {
+        let suffix = match kind {
+            SensorKind::RainGauge => "rain-1",
+            SensorKind::RiverLevel => "stage-outlet",
+            SensorKind::Temperature => "temp-1",
+            SensorKind::Turbidity => "turb-1",
+            SensorKind::Webcam => "cam-1",
+        };
+        SensorId::new(format!("{}-{suffix}", catchment.id()))
+    };
+
+    let stage_obs = sos
+        .get_observation(&GetObservation {
+            procedure: sensor_id(SensorKind::RiverLevel),
+            begin: now.plus_hours(-48),
+            end: now,
+            max_results: None,
+        })
+        .unwrap_or_default();
+    let latest_stage_m = stage_obs.last().map(|o| o.value());
+    let suspect = stage_obs
+        .iter()
+        .filter(|o| o.quality() == QualityFlag::Suspect)
+        .count();
+    let suspect_fraction = if stage_obs.is_empty() {
+        0.0
+    } else {
+        suspect as f64 / stage_obs.len() as f64
+    };
+    let stage_series: evop_data::timeseries::IrregularSeries =
+        stage_obs.iter().map(|o| (o.time(), o.value())).collect();
+    let stage_regular = stage_series.to_regular(now.plus_hours(-48), 3600, 48, Aggregation::Mean);
+
+    let rain_24h_mm = sos
+        .get_observation(&GetObservation {
+            procedure: sensor_id(SensorKind::RainGauge),
+            begin: now.plus_hours(-24),
+            end: now,
+            max_results: None,
+        })
+        .map(|obs| obs.iter().map(|o| o.value()).sum())
+        .unwrap_or(0.0);
+
+    let alert = match latest_stage_m {
+        Some(stage) if stage >= catchment.flood_stage_m() => AlertLevel::Flood,
+        Some(stage) if stage >= 0.6 * catchment.flood_stage_m() => AlertLevel::Elevated,
+        _ => AlertLevel::Normal,
+    };
+
+    CatchmentStatus {
+        name: catchment.name().to_owned(),
+        latest_stage_m,
+        flood_stage_m: catchment.flood_stage_m(),
+        rain_24h_mm,
+        stage_sparkline: sparkline(&stage_regular, 24),
+        suspect_fraction,
+        alert,
+    }
+}
+
+/// Renders a multi-catchment status board as a text table.
+pub fn render_status_board(statuses: &[CatchmentStatus]) -> String {
+    let rows: Vec<Vec<String>> = statuses
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                s.latest_stage_m
+                    .map(|v| format!("{v:.2} / {:.2} m", s.flood_stage_m))
+                    .unwrap_or_else(|| "no data".into()),
+                format!("{:.1} mm", s.rain_24h_mm),
+                s.stage_sparkline.clone(),
+                format!("{:.0} %", s.suspect_fraction * 100.0),
+                s.alert.to_string(),
+            ]
+        })
+        .collect();
+    table(
+        &["catchment", "stage / flood", "rain 24 h", "stage 48 h", "suspect data", "alert"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_data::synthetic::{TruthModel, WeatherGenerator};
+    use evop_data::TimeSeries;
+
+    fn loaded_sos(catchment: &Catchment, days: usize, seed: u64) -> (SosServer, Timestamp) {
+        let mut sos = SosServer::new();
+        for sensor in catchment.default_sensors() {
+            sos.register_sensor(sensor);
+        }
+        let generator = WeatherGenerator::for_catchment(catchment, seed);
+        let truth = TruthModel::for_catchment(catchment, seed);
+        let start = Timestamp::from_ymd(2012, 1, 1);
+        let n = days * 24;
+        let rain = generator.rainfall(start, 3600, n);
+        let temp = generator.temperature(start, 3600, n);
+        let q = truth.discharge(&rain, &temp);
+        let stage = truth.stage(&q);
+        sos.ingest_series(&SensorId::new(format!("{}-rain-1", catchment.id())), &rain)
+            .unwrap();
+        sos.ingest_series(&SensorId::new(format!("{}-stage-outlet", catchment.id())), &stage)
+            .unwrap();
+        (sos, start.plus_days(days as i64))
+    }
+
+    #[test]
+    fn status_reads_live_archives() {
+        let catchment = Catchment::morland();
+        let (sos, now) = loaded_sos(&catchment, 10, 3);
+        let status = catchment_status(&sos, &catchment, now);
+        assert!(status.latest_stage_m.unwrap() > 0.0);
+        assert!(status.rain_24h_mm >= 0.0);
+        assert_eq!(status.stage_sparkline.chars().count(), 24);
+        assert_eq!(status.suspect_fraction, 0.0);
+    }
+
+    #[test]
+    fn alert_levels_follow_the_threshold() {
+        let catchment = Catchment::morland();
+        let mut sos = SosServer::new();
+        for sensor in catchment.default_sensors() {
+            sos.register_sensor(sensor);
+        }
+        let now = Timestamp::from_ymd(2012, 6, 2);
+        let stage_id = SensorId::new("morland-stage-outlet");
+
+        // Calm river.
+        let calm = TimeSeries::from_values(now.plus_hours(-4), 3600, vec![0.3; 4]);
+        sos.ingest_series(&stage_id, &calm).unwrap();
+        assert_eq!(catchment_status(&sos, &catchment, now).alert, AlertLevel::Normal);
+
+        // Rising river (> 60 % of the 1.2 m threshold).
+        sos.insert(evop_data::Observation::new(stage_id.clone(), now.plus_hours(-1), 0.9))
+            .unwrap();
+        assert_eq!(catchment_status(&sos, &catchment, now).alert, AlertLevel::Elevated);
+
+        // Over the threshold.
+        sos.insert(evop_data::Observation::new(stage_id, now.plus_secs(-60), 1.4)).unwrap();
+        assert_eq!(catchment_status(&sos, &catchment, now).alert, AlertLevel::Flood);
+    }
+
+    #[test]
+    fn empty_archive_degrades_gracefully() {
+        let catchment = Catchment::tarland();
+        let sos = SosServer::new(); // nothing registered at all
+        let status = catchment_status(&sos, &catchment, Timestamp::from_ymd(2012, 6, 1));
+        assert_eq!(status.latest_stage_m, None);
+        assert_eq!(status.alert, AlertLevel::Normal);
+        assert_eq!(status.rain_24h_mm, 0.0);
+    }
+
+    #[test]
+    fn board_renders_one_row_per_catchment() {
+        let catchments = [Catchment::morland(), Catchment::tarland()];
+        let statuses: Vec<CatchmentStatus> = catchments
+            .iter()
+            .map(|c| {
+                let (sos, now) = loaded_sos(c, 5, 9);
+                catchment_status(&sos, c, now)
+            })
+            .collect();
+        let board = render_status_board(&statuses);
+        assert_eq!(board.lines().count(), 4, "header + separator + 2 rows");
+        assert!(board.contains("Morland Beck"));
+        assert!(board.contains("Tarland Burn"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Stochastic stakeholder-journey simulation (experiment E11).
+//!
+//! Human workshop participants are not redistributable, so — per the
+//! substitution policy in DESIGN.md — this module models them: users of
+//! varying expertise walk a storyboard's steps, failing and retrying with
+//! probabilities driven by step difficulty, their own skill, and whether
+//! the portal's help/education features are enabled. The cohort statistics
+//! reproduce the paper's evaluation claims: ">75 % of users found the tool
+//! to be both useful and easy to use" (§VI) and "awareness is not enough to
+//! ensure engagement" (Fig. 7 — help off collapses completion).
+
+use evop_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::storyboard::Storyboard;
+
+/// The paper's four target user groups (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expertise {
+    /// Domain specialists: comfortable with models and data.
+    EnvironmentalScientist,
+    /// Statutory-authority officers seeking 'what if' answers.
+    PolicyMaker,
+    /// Local land managers with deep contextual knowledge.
+    Farmer,
+    /// Interested members of the public.
+    GeneralPublic,
+}
+
+impl Expertise {
+    /// All groups.
+    pub fn all() -> [Expertise; 4] {
+        [
+            Expertise::EnvironmentalScientist,
+            Expertise::PolicyMaker,
+            Expertise::Farmer,
+            Expertise::GeneralPublic,
+        ]
+    }
+
+    /// Tool-skill factor in `[0, 1]` used by the step-success model.
+    pub fn skill(self) -> f64 {
+        match self {
+            Expertise::EnvironmentalScientist => 0.9,
+            Expertise::PolicyMaker => 0.65,
+            Expertise::Farmer => 0.55,
+            Expertise::GeneralPublic => 0.45,
+        }
+    }
+}
+
+/// Journey-simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JourneyConfig {
+    /// Whether the widget help / education features are on (the paper's
+    /// "a certain degree of education is required beyond mere awareness").
+    pub help_enabled: bool,
+    /// Retries a user attempts before abandoning a step.
+    pub max_retries: u32,
+}
+
+impl Default for JourneyConfig {
+    fn default() -> JourneyConfig {
+        JourneyConfig { help_enabled: true, max_retries: 2 }
+    }
+}
+
+/// One simulated user's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JourneyOutcome {
+    /// The user's group.
+    pub expertise: Expertise,
+    /// `true` if they reached the end of the storyboard.
+    pub completed: bool,
+    /// Steps attempted (completed or abandoned at).
+    pub steps_attempted: usize,
+    /// Total retries across all steps.
+    pub retries: u32,
+    /// Post-session survey: found the tool useful.
+    pub found_useful: bool,
+    /// Post-session survey: found the tool easy to use.
+    pub found_easy: bool,
+}
+
+/// Aggregate cohort statistics — the numbers the paper reports from its
+/// evaluation workshops.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CohortStats {
+    /// Users simulated.
+    pub users: usize,
+    /// Fraction completing the storyboard.
+    pub completion_rate: f64,
+    /// Fraction reporting the tool useful.
+    pub useful_rate: f64,
+    /// Fraction reporting it easy to use.
+    pub easy_rate: f64,
+    /// Fraction reporting **both** — the paper's ">75 %" figure.
+    pub useful_and_easy_rate: f64,
+    /// Mean retries per user.
+    pub mean_retries: f64,
+}
+
+/// Simulates one user walking the storyboard.
+pub fn simulate_user(
+    storyboard: &Storyboard,
+    expertise: Expertise,
+    config: &JourneyConfig,
+    rng: &mut SimRng,
+) -> JourneyOutcome {
+    let help_bonus = if config.help_enabled { 0.25 } else { 0.0 };
+    let mut retries = 0u32;
+    let mut steps_attempted = 0usize;
+    let mut completed = true;
+
+    for step in storyboard.steps() {
+        steps_attempted += 1;
+        let base =
+            (0.35 + 0.6 * expertise.skill() - 0.45 * step.difficulty() + help_bonus).clamp(0.05, 0.99);
+        let mut succeeded = false;
+        for attempt in 0..=config.max_retries {
+            // Users learn a little with each retry.
+            let p = (base + 0.1 * f64::from(attempt)).min(0.99);
+            if rng.chance(p) {
+                succeeded = true;
+                break;
+            }
+            retries += 1;
+        }
+        if !succeeded {
+            completed = false;
+            break;
+        }
+    }
+
+    // Post-session survey model: usefulness hinges on having achieved the
+    // goal; ease on how much friction (retries) was felt.
+    let p_useful = if completed { 0.93 } else { 0.25 };
+    let friction = f64::from(retries) / (storyboard.steps().len().max(1) as f64);
+    let p_easy = if completed {
+        (0.95 - 0.5 * friction).clamp(0.05, 0.99)
+    } else {
+        0.15
+    };
+    JourneyOutcome {
+        expertise,
+        completed,
+        steps_attempted,
+        retries,
+        found_useful: rng.chance(p_useful),
+        found_easy: rng.chance(p_easy),
+    }
+}
+
+/// Simulates a cohort with the given `(group, count)` composition.
+///
+/// # Panics
+///
+/// Panics if the cohort is empty.
+pub fn simulate_cohort(
+    storyboard: &Storyboard,
+    composition: &[(Expertise, usize)],
+    config: &JourneyConfig,
+    seed: u64,
+) -> CohortStats {
+    let total: usize = composition.iter().map(|(_, n)| n).sum();
+    assert!(total > 0, "cohort must not be empty");
+    let mut rng = SimRng::new(seed).fork("journeys");
+    let mut stats = CohortStats { users: total, ..CohortStats::default() };
+    let mut completed = 0usize;
+    let mut useful = 0usize;
+    let mut easy = 0usize;
+    let mut both = 0usize;
+    let mut retries = 0u64;
+
+    for &(expertise, count) in composition {
+        for _ in 0..count {
+            let outcome = simulate_user(storyboard, expertise, config, &mut rng);
+            completed += usize::from(outcome.completed);
+            useful += usize::from(outcome.found_useful);
+            easy += usize::from(outcome.found_easy);
+            both += usize::from(outcome.found_useful && outcome.found_easy);
+            retries += u64::from(outcome.retries);
+        }
+    }
+
+    stats.completion_rate = completed as f64 / total as f64;
+    stats.useful_rate = useful as f64 / total as f64;
+    stats.easy_rate = easy as f64 / total as f64;
+    stats.useful_and_easy_rate = both as f64 / total as f64;
+    stats.mean_retries = retries as f64 / total as f64;
+    stats
+}
+
+/// The workshop composition of paper §V-B: "Workshop groups mainly
+/// consisted of villagers, farmers and catchment managers", with a couple
+/// of scientists and officers in the room.
+pub fn workshop_cohort(size_per_group: usize) -> Vec<(Expertise, usize)> {
+    vec![
+        (Expertise::GeneralPublic, size_per_group * 2),
+        (Expertise::Farmer, size_per_group * 2),
+        (Expertise::PolicyMaker, size_per_group),
+        (Expertise::EnvironmentalScientist, size_per_group),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_claim_over_75_percent_useful_and_easy() {
+        let sb = Storyboard::left();
+        let stats = simulate_cohort(&sb, &workshop_cohort(50), &JourneyConfig::default(), 42);
+        assert!(
+            stats.useful_and_easy_rate > 0.75,
+            "paper claims >75 %, simulated {:.1} %",
+            stats.useful_and_easy_rate * 100.0
+        );
+        assert!(stats.useful_rate >= stats.useful_and_easy_rate);
+        assert!(stats.easy_rate >= stats.useful_and_easy_rate);
+    }
+
+    #[test]
+    fn education_widens_engagement() {
+        // Fig. 7: awareness alone (help off) is not enough.
+        let sb = Storyboard::left();
+        let with_help = simulate_cohort(&sb, &workshop_cohort(50), &JourneyConfig::default(), 7);
+        let without_help = simulate_cohort(
+            &sb,
+            &workshop_cohort(50),
+            &JourneyConfig { help_enabled: false, max_retries: 2 },
+            7,
+        );
+        assert!(
+            with_help.completion_rate > without_help.completion_rate + 0.1,
+            "help {:.2} vs no help {:.2}",
+            with_help.completion_rate,
+            without_help.completion_rate
+        );
+        assert!(with_help.useful_and_easy_rate > without_help.useful_and_easy_rate);
+    }
+
+    #[test]
+    fn experts_outperform_novices() {
+        let sb = Storyboard::left();
+        let config = JourneyConfig { help_enabled: false, max_retries: 1 };
+        let experts = simulate_cohort(&sb, &[(Expertise::EnvironmentalScientist, 300)], &config, 3);
+        let public = simulate_cohort(&sb, &[(Expertise::GeneralPublic, 300)], &config, 3);
+        assert!(experts.completion_rate > public.completion_rate + 0.1);
+        assert!(experts.mean_retries < public.mean_retries);
+    }
+
+    #[test]
+    fn cohort_is_deterministic_per_seed() {
+        let sb = Storyboard::left();
+        let a = simulate_cohort(&sb, &workshop_cohort(10), &JourneyConfig::default(), 5);
+        let b = simulate_cohort(&sb, &workshop_cohort(10), &JourneyConfig::default(), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn outcome_fields_are_consistent() {
+        let sb = Storyboard::left();
+        let mut rng = SimRng::new(9);
+        for _ in 0..200 {
+            let o = simulate_user(&sb, Expertise::Farmer, &JourneyConfig::default(), &mut rng);
+            assert!(o.steps_attempted >= 1 && o.steps_attempted <= sb.steps().len());
+            if o.completed {
+                assert_eq!(o.steps_attempted, sb.steps().len());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cohort must not be empty")]
+    fn empty_cohort_panics() {
+        let sb = Storyboard::left();
+        let _ = simulate_cohort(&sb, &[], &JourneyConfig::default(), 1);
+    }
+}

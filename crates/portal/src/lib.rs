@@ -1,0 +1,37 @@
+//! The EVOp web portal layer.
+//!
+//! "The EVOp web portal was developed to ensure universal access, easy and
+//! intuitive use, as well as visual presentation and interpretation of the
+//! results" (paper §I). This crate implements the user-facing half of the
+//! reproduction:
+//!
+//! * [`map`] — the interactive asset map of the LEFT landing page (paper
+//!   Fig. 4): geotagged markers with spatial queries over a grid index;
+//! * [`widgets`] — the portal widgets: live time-series graphs, the
+//!   multimodal sensor + webcam view (Fig. 5), and the modelling widget
+//!   with scenario buttons and parameter sliders (Fig. 6);
+//! * [`render`] — terminal-friendly chart rendering (the Flot substitute);
+//! * [`storyboard`] — storyboards, requirements and the
+//!   verification/validation cycle of the project's test-driven methodology
+//!   (Figs. 2–3);
+//! * [`dashboard`] — the catchment status board (stage vs flood threshold,
+//!   24-hour rain, QC health, alert level);
+//! * [`journey`] — the stochastic stakeholder-journey simulator behind
+//!   experiment E11 (the ">75 % found it useful and easy" statistic);
+//! * [`processes`] — WPS process adapters exposing TOPMODEL and FUSE to
+//!   the service layer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dashboard;
+pub mod journey;
+pub mod map;
+pub mod processes;
+pub mod render;
+pub mod storyboard;
+pub mod widgets;
+
+pub use map::{AssetMap, Marker, MarkerKind};
+pub use storyboard::{Requirement, RequirementStatus, Storyboard, StoryStep};
+pub use widgets::{ModellingWidget, MultimodalWidget, TimeSeriesWidget};

@@ -1,0 +1,305 @@
+//! The interactive asset map (paper Fig. 4).
+//!
+//! "an interactive mapping backdrop was developed as the LEFT landing page,
+//! on top of which datasets (both static and live) and other assets (such
+//! as webcam feeds) were overlaid on the map as geotagged markers. This
+//! provides users with the ability to instantly identify assets of interest
+//! based on geographical location" (paper §V-B). The Google Maps backdrop
+//! is substituted by a pure spatial index: markers in a uniform grid with
+//! bounding-box and nearest-neighbour queries.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use evop_data::catchment::CatchmentId;
+use evop_data::geo::{BoundingBox, LatLon};
+use evop_data::sensors::SensorKind;
+use evop_data::Catchment;
+use serde::{Deserialize, Serialize};
+
+/// What a map marker points at.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MarkerKind {
+    /// An in-situ sensor feed.
+    Sensor(SensorKind),
+    /// A static or historical dataset.
+    Dataset,
+    /// A launchable modelling widget.
+    ModelWidget,
+    /// A community point of interest (e.g. a flood-prone property).
+    PointOfInterest,
+}
+
+impl fmt::Display for MarkerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkerKind::Sensor(kind) => write!(f, "sensor ({kind})"),
+            MarkerKind::Dataset => f.write_str("dataset"),
+            MarkerKind::ModelWidget => f.write_str("model widget"),
+            MarkerKind::PointOfInterest => f.write_str("point of interest"),
+        }
+    }
+}
+
+/// A geotagged marker on the portal map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Marker {
+    id: String,
+    kind: MarkerKind,
+    name: String,
+    location: LatLon,
+    catchment: CatchmentId,
+}
+
+impl Marker {
+    /// Creates a marker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is empty.
+    pub fn new(
+        id: impl Into<String>,
+        kind: MarkerKind,
+        name: impl Into<String>,
+        location: LatLon,
+        catchment: CatchmentId,
+    ) -> Marker {
+        let id = id.into();
+        assert!(!id.is_empty(), "marker id must not be empty");
+        Marker { id, kind, name: name.into(), location, catchment }
+    }
+
+    /// The marker id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// What the marker points at.
+    pub fn kind(&self) -> &MarkerKind {
+        &self.kind
+    }
+
+    /// The display name shown in the marker popup.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Where the marker sits.
+    pub fn location(&self) -> LatLon {
+        self.location
+    }
+
+    /// The catchment the marker belongs to.
+    pub fn catchment(&self) -> &CatchmentId {
+        &self.catchment
+    }
+}
+
+/// Grid cell key: quantised (lat, lon).
+type Cell = (i32, i32);
+
+/// The asset map: markers plus a uniform grid spatial index.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::Catchment;
+/// use evop_data::geo::BoundingBox;
+/// use evop_portal::AssetMap;
+///
+/// let morland = Catchment::morland();
+/// let mut map = AssetMap::new();
+/// map.add_catchment_assets(&morland);
+///
+/// let hits = map.markers_in(morland.bounding_box());
+/// assert!(hits.len() >= 5, "sensor network should appear on the map");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AssetMap {
+    markers: Vec<Marker>,
+    index: BTreeMap<Cell, Vec<usize>>,
+}
+
+/// Index cell size in degrees (~2.8 km of latitude).
+const CELL_DEG: f64 = 0.025;
+
+fn cell_of(p: LatLon) -> Cell {
+    ((p.lat() / CELL_DEG).floor() as i32, (p.lon() / CELL_DEG).floor() as i32)
+}
+
+impl AssetMap {
+    /// Creates an empty map.
+    pub fn new() -> AssetMap {
+        AssetMap::default()
+    }
+
+    /// Adds a marker.
+    pub fn add(&mut self, marker: Marker) {
+        let cell = cell_of(marker.location());
+        self.markers.push(marker);
+        self.index.entry(cell).or_default().push(self.markers.len() - 1);
+    }
+
+    /// Adds a catchment's standard assets: its sensor network plus a
+    /// modelling-widget marker at the outlet.
+    pub fn add_catchment_assets(&mut self, catchment: &Catchment) {
+        for sensor in catchment.default_sensors() {
+            self.add(Marker::new(
+                sensor.id().as_str(),
+                MarkerKind::Sensor(sensor.kind()),
+                sensor.name(),
+                sensor.location(),
+                catchment.id().clone(),
+            ));
+        }
+        self.add(Marker::new(
+            format!("{}-flood-widget", catchment.id()),
+            MarkerKind::ModelWidget,
+            format!("{} flood modelling", catchment.name()),
+            catchment.outlet(),
+            catchment.id().clone(),
+        ));
+    }
+
+    /// All markers, in insertion order.
+    pub fn markers(&self) -> &[Marker] {
+        &self.markers
+    }
+
+    /// Number of markers.
+    pub fn len(&self) -> usize {
+        self.markers.len()
+    }
+
+    /// `true` when the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.markers.is_empty()
+    }
+
+    /// A marker by id.
+    pub fn marker(&self, id: &str) -> Option<&Marker> {
+        self.markers.iter().find(|m| m.id() == id)
+    }
+
+    /// Markers inside a bounding box (the map viewport), via the grid
+    /// index.
+    pub fn markers_in(&self, bbox: BoundingBox) -> Vec<&Marker> {
+        let lo = cell_of(bbox.south_west());
+        let hi = cell_of(bbox.north_east());
+        let mut hits = Vec::new();
+        for lat_cell in lo.0..=hi.0 {
+            for lon_cell in lo.1..=hi.1 {
+                if let Some(indices) = self.index.get(&(lat_cell, lon_cell)) {
+                    for &i in indices {
+                        if bbox.contains(self.markers[i].location()) {
+                            hits.push(&self.markers[i]);
+                        }
+                    }
+                }
+            }
+        }
+        hits
+    }
+
+    /// The `n` markers nearest to `point`, closest first.
+    pub fn nearest(&self, point: LatLon, n: usize) -> Vec<&Marker> {
+        let mut by_distance: Vec<(&Marker, f64)> = self
+            .markers
+            .iter()
+            .map(|m| (m, point.haversine_km(m.location())))
+            .collect();
+        by_distance.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        by_distance.into_iter().take(n).map(|(m, _)| m).collect()
+    }
+
+    /// Markers belonging to a catchment.
+    pub fn in_catchment(&self, catchment: &CatchmentId) -> Vec<&Marker> {
+        self.markers.iter().filter(|m| m.catchment() == catchment).collect()
+    }
+
+    /// Markers of a given kind.
+    pub fn of_kind(&self, kind: &MarkerKind) -> Vec<&Marker> {
+        self.markers.iter().filter(|m| m.kind() == kind).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_map() -> AssetMap {
+        let mut map = AssetMap::new();
+        for catchment in Catchment::study_catchments() {
+            map.add_catchment_assets(&catchment);
+        }
+        map
+    }
+
+    #[test]
+    fn catchment_assets_include_widget_and_sensors() {
+        let map = full_map();
+        // 4 catchments × (5 sensors + 1 widget).
+        assert_eq!(map.len(), 24);
+        assert_eq!(map.of_kind(&MarkerKind::ModelWidget).len(), 4);
+        assert!(map.marker("morland-stage-outlet").is_some());
+    }
+
+    #[test]
+    fn viewport_query_scopes_to_catchment() {
+        let map = full_map();
+        let morland = Catchment::morland();
+        let hits = map.markers_in(morland.bounding_box());
+        assert_eq!(hits.len(), 6, "exactly Morland's assets");
+        assert!(hits.iter().all(|m| m.catchment().as_str() == "morland"));
+    }
+
+    #[test]
+    fn empty_viewport_is_empty() {
+        let map = full_map();
+        let sahara = BoundingBox::around(LatLon::new(23.0, 12.0), 50.0);
+        assert!(map.markers_in(sahara).is_empty());
+    }
+
+    #[test]
+    fn nearest_returns_closest_first() {
+        let map = full_map();
+        let morland_outlet = Catchment::morland().outlet();
+        let nearest = map.nearest(morland_outlet, 3);
+        assert_eq!(nearest.len(), 3);
+        assert!(nearest.iter().all(|m| m.catchment().as_str() == "morland"));
+        // First hit is at the outlet itself (stage gauge or widget).
+        assert!(morland_outlet.haversine_km(nearest[0].location()) < 0.1);
+    }
+
+    #[test]
+    fn index_agrees_with_linear_scan() {
+        let map = full_map();
+        let boxes = [
+            Catchment::morland().bounding_box(),
+            Catchment::eden().bounding_box(),
+            BoundingBox::around(LatLon::new(54.6, -2.62), 1.0),
+            BoundingBox::around(LatLon::new(55.9, -3.2), 300.0),
+        ];
+        for bbox in boxes {
+            let indexed: Vec<&str> = map.markers_in(bbox).iter().map(|m| m.id()).collect();
+            let linear: Vec<&str> = map
+                .markers()
+                .iter()
+                .filter(|m| bbox.contains(m.location()))
+                .map(|m| m.id())
+                .collect();
+            let mut a = indexed.clone();
+            let mut b = linear.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "index diverged from linear scan");
+        }
+    }
+
+    #[test]
+    fn in_catchment_filter() {
+        let map = full_map();
+        assert_eq!(map.in_catchment(&CatchmentId::new("tarland")).len(), 6);
+        assert!(map.in_catchment(&CatchmentId::new("amazon")).is_empty());
+    }
+}

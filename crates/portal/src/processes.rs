@@ -1,0 +1,276 @@
+//! WPS process adapters: the models as OGC web services.
+//!
+//! "more experimental models are installed and exposed as web services
+//! deployed according to the OGC WPS standard" (paper §IV-D). These
+//! adapters wrap TOPMODEL and FUSE as [`WpsProcess`] implementations, so
+//! the portal (and any OGC client) can GetCapabilities / DescribeProcess /
+//! Execute them.
+
+use evop_data::Catchment;
+use evop_models::objectives::flood_metrics;
+use evop_models::scenarios::Scenario;
+use evop_models::{Forcing, FuseConfig, FuseParams, Topmodel, TopmodelParams};
+use evop_services::wps::{ParamSpec, ParamType, ProcessDescriptor, WpsProcess, WpsServer};
+use serde_json::{json, Map, Value};
+
+fn scenario_param() -> ParamSpec {
+    ParamSpec::optional(
+        "scenario",
+        "Land-use scenario",
+        ParamType::Choice(Scenario::all().iter().map(|s| s.id().to_owned()).collect()),
+        json!(Scenario::Baseline.id()),
+    )
+}
+
+fn hydrograph_json(discharge: &evop_data::TimeSeries, threshold: f64) -> Value {
+    let metrics = flood_metrics(discharge, threshold);
+    json!({
+        "start_unix": discharge.start().as_unix(),
+        "step_secs": discharge.step_secs(),
+        "discharge_m3s": discharge.values(),
+        "flood_threshold_m3s": threshold,
+        "peak_m3s": metrics.map(|m| m.peak_m3s),
+        "steps_over_threshold": metrics.map(|m| m.steps_over_threshold),
+    })
+}
+
+/// TOPMODEL as a WPS process, bound to one catchment and forcing window.
+///
+/// Inputs: `scenario` (preset) plus the widget's slider parameters, all
+/// optional with scenario-derived defaults applied first.
+pub struct TopmodelProcess {
+    model: Topmodel,
+    forcing: Forcing,
+    threshold_m3s: f64,
+}
+
+impl std::fmt::Debug for TopmodelProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopmodelProcess")
+            .field("threshold_m3s", &self.threshold_m3s)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TopmodelProcess {
+    /// Builds the process for a catchment (DEM from the given seed) and a
+    /// forcing window.
+    pub fn new(catchment: &Catchment, forcing: Forcing, dem_seed: u64) -> TopmodelProcess {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(dem_seed);
+        let dem = catchment.generate_dem(&mut rng);
+        TopmodelProcess {
+            model: Topmodel::new(dem.ti_distribution(16), catchment.area_km2()),
+            forcing,
+            threshold_m3s: 0.5 * catchment.area_km2(),
+        }
+    }
+}
+
+impl WpsProcess for TopmodelProcess {
+    fn descriptor(&self) -> ProcessDescriptor {
+        let mut inputs = vec![scenario_param()];
+        for (name, lo, hi) in TopmodelParams::ranges() {
+            inputs.push(ParamSpec::optional(
+                name,
+                format!("TOPMODEL parameter {name}"),
+                ParamType::Float { min: Some(lo), max: Some(hi) },
+                Value::Null,
+            ));
+        }
+        ProcessDescriptor {
+            identifier: "topmodel".to_owned(),
+            title: "TOPMODEL flood simulation".to_owned(),
+            abstract_text: "Saturation-excess rainfall-runoff model over the catchment's \
+                            topographic-index distribution, with land-use scenario presets."
+                .to_owned(),
+            inputs,
+            outputs: vec![("hydrograph".to_owned(), "Routed outlet discharge, m³/s".to_owned())],
+        }
+    }
+
+    fn execute(&self, inputs: &Map<String, Value>) -> Result<Value, String> {
+        let scenario = inputs
+            .get("scenario")
+            .and_then(Value::as_str)
+            .and_then(Scenario::from_id)
+            .unwrap_or_default();
+        let mut params = scenario.apply_to_topmodel(&TopmodelParams::default());
+        let mut vector = params.to_vector();
+        for (i, (name, _, _)) in TopmodelParams::ranges().iter().enumerate() {
+            if let Some(v) = inputs.get(*name).and_then(Value::as_f64) {
+                vector[i] = v;
+            }
+        }
+        params = TopmodelParams::from_vector(&vector);
+        let output = self.model.run(&params, &self.forcing)?;
+        Ok(json!({
+            "scenario": scenario.id(),
+            "hydrograph": hydrograph_json(&output.discharge_m3s, self.threshold_m3s),
+            "max_saturated_fraction": output.saturated_fraction.peak().map(|(_, v)| v),
+        }))
+    }
+}
+
+/// The FUSE ensemble as a WPS process.
+pub struct FuseProcess {
+    configs: Vec<FuseConfig>,
+    area_km2: f64,
+    forcing: Forcing,
+    threshold_m3s: f64,
+}
+
+impl std::fmt::Debug for FuseProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FuseProcess")
+            .field("members", &self.configs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FuseProcess {
+    /// Builds the process for a catchment and forcing window using the
+    /// named parent configurations.
+    pub fn new(catchment: &Catchment, forcing: Forcing) -> FuseProcess {
+        FuseProcess {
+            configs: FuseConfig::named_parents().into_iter().map(|(_, c)| c).collect(),
+            area_km2: catchment.area_km2(),
+            forcing,
+            threshold_m3s: 0.5 * catchment.area_km2(),
+        }
+    }
+}
+
+impl WpsProcess for FuseProcess {
+    fn descriptor(&self) -> ProcessDescriptor {
+        ProcessDescriptor {
+            identifier: "fuse".to_owned(),
+            title: "FUSE multi-model ensemble".to_owned(),
+            abstract_text: "Runs the named FUSE parent structures and returns the ensemble \
+                            mean hydrograph with min/max spread."
+                .to_owned(),
+            inputs: vec![scenario_param()],
+            outputs: vec![(
+                "ensemble".to_owned(),
+                "Mean, lower and upper ensemble discharge, m³/s".to_owned(),
+            )],
+        }
+    }
+
+    fn execute(&self, inputs: &Map<String, Value>) -> Result<Value, String> {
+        let scenario = inputs
+            .get("scenario")
+            .and_then(Value::as_str)
+            .and_then(Scenario::from_id)
+            .unwrap_or_default();
+        let params = scenario.apply_to_fuse(&FuseParams::default());
+        let ensemble =
+            evop_models::fuse::run_ensemble(&self.configs, &params, &self.forcing, self.area_km2)?;
+        Ok(json!({
+            "scenario": scenario.id(),
+            "members": ensemble.members.iter().map(|(sig, _)| sig.clone()).collect::<Vec<_>>(),
+            "mean": hydrograph_json(&ensemble.mean, self.threshold_m3s),
+            "lower_m3s": ensemble.lower.values(),
+            "upper_m3s": ensemble.upper.values(),
+        }))
+    }
+}
+
+/// Registers the standard model processes for a catchment on a WPS server.
+pub fn register_standard_processes(
+    server: &mut WpsServer,
+    catchment: &Catchment,
+    forcing: &Forcing,
+    dem_seed: u64,
+) {
+    server.register(TopmodelProcess::new(catchment, forcing.clone(), dem_seed));
+    server.register(FuseProcess::new(catchment, forcing.clone()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_data::synthetic::WeatherGenerator;
+    use evop_data::Timestamp;
+    use evop_models::pet::hamon_series;
+
+    fn setup() -> (Catchment, Forcing) {
+        let catchment = Catchment::morland();
+        let g = WeatherGenerator::for_catchment(&catchment, 4);
+        let start = Timestamp::from_ymd(2012, 1, 1);
+        let n = 24 * 20;
+        let rain = g.rainfall(start, 3600, n);
+        let temp = g.temperature(start, 3600, n);
+        let pet = hamon_series(&temp, catchment.outlet().lat());
+        (catchment, Forcing::new(rain, pet))
+    }
+
+    fn server() -> WpsServer {
+        let (catchment, forcing) = setup();
+        let mut server = WpsServer::new();
+        register_standard_processes(&mut server, &catchment, &forcing, 1);
+        server
+    }
+
+    #[test]
+    fn both_processes_are_discoverable() {
+        let s = server();
+        assert_eq!(s.process_ids(), ["fuse", "topmodel"]);
+        assert!(s.describe_process("topmodel").is_ok());
+        assert!(s.describe_process("fuse").is_ok());
+    }
+
+    #[test]
+    fn topmodel_executes_with_defaults() {
+        let out = server().execute("topmodel", json!({})).unwrap();
+        assert_eq!(out["scenario"], "baseline");
+        let series = out["hydrograph"]["discharge_m3s"].as_array().unwrap();
+        assert_eq!(series.len(), 24 * 20);
+        assert!(out["hydrograph"]["peak_m3s"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn scenario_input_changes_output() {
+        let s = server();
+        let baseline = s.execute("topmodel", json!({"scenario": "baseline"})).unwrap();
+        let compacted = s
+            .execute("topmodel", json!({"scenario": "compacted-soils"}))
+            .unwrap();
+        let pb = baseline["hydrograph"]["peak_m3s"].as_f64().unwrap();
+        let pc = compacted["hydrograph"]["peak_m3s"].as_f64().unwrap();
+        assert!(pc > pb, "compacted peak {pc} should exceed baseline {pb}");
+    }
+
+    #[test]
+    fn slider_overrides_apply_and_validate() {
+        let s = server();
+        assert!(s.execute("topmodel", json!({"m": 0.01})).is_ok());
+        // Out of declared range → WPS-level validation error.
+        assert!(s.execute("topmodel", json!({"m": 5.0})).is_err());
+    }
+
+    #[test]
+    fn fuse_returns_ensemble_spread() {
+        let out = server().execute("fuse", json!({})).unwrap();
+        assert_eq!(out["members"].as_array().unwrap().len(), 4);
+        let mean = out["mean"]["discharge_m3s"].as_array().unwrap();
+        let lower = out["lower_m3s"].as_array().unwrap();
+        let upper = out["upper_m3s"].as_array().unwrap();
+        assert_eq!(mean.len(), lower.len());
+        for i in (0..mean.len()).step_by(37) {
+            let (m, lo, hi) = (
+                mean[i].as_f64().unwrap(),
+                lower[i].as_f64().unwrap(),
+                upper[i].as_f64().unwrap(),
+            );
+            assert!(lo <= m + 1e-12 && m <= hi + 1e-12, "spread must bracket mean");
+        }
+    }
+
+    #[test]
+    fn invalid_scenario_is_rejected_by_wps_validation() {
+        let err = server().execute("topmodel", json!({"scenario": "volcano"})).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("scenario"), "{msg}");
+    }
+}

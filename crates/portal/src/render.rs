@@ -1,0 +1,290 @@
+//! Terminal chart rendering — the reproduction's stand-in for the Flot
+//! JavaScript plots.
+//!
+//! "the returned results are rendered as a hydrograph plotted using Flot"
+//! (paper §V-B). Examples and experiment harnesses render the same
+//! hydrographs as ASCII line charts and sparklines.
+
+use evop_data::TimeSeries;
+
+/// Renders a series as a multi-line ASCII chart of `width`×`height`
+/// characters (plus axis labels).
+///
+/// Missing samples leave gaps. The vertical axis is annotated with min/max;
+/// an optional horizontal `threshold` (e.g. the flood stage) is drawn as a
+/// dashed line.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::{TimeSeries, Timestamp};
+/// use evop_portal::render::line_chart;
+///
+/// let series = TimeSeries::from_values(
+///     Timestamp::UNIX_EPOCH,
+///     3600,
+///     (0..48).map(|i| (f64::from(i) / 4.0).sin().abs() * 10.0).collect(),
+/// );
+/// let chart = line_chart(&series, 60, 10, Some(8.0));
+/// assert!(chart.lines().count() > 10);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is zero.
+pub fn line_chart(series: &TimeSeries, width: usize, height: usize, threshold: Option<f64>) -> String {
+    assert!(width > 0 && height > 0, "chart must have positive dimensions");
+    if series.is_empty() {
+        return "(empty series)".to_owned();
+    }
+
+    // Resample the series to `width` columns by taking window maxima
+    // (hydrograph peaks must not vanish when zoomed out).
+    let columns = resample_max(series.values(), width);
+    let finite: Vec<f64> = columns.iter().copied().filter(|v| !v.is_nan()).collect();
+    if finite.is_empty() {
+        return "(all samples missing)".to_owned();
+    }
+    let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min).min(0.0);
+    let hi_raw = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let hi = threshold.map_or(hi_raw, |t| hi_raw.max(t)).max(lo + 1e-9);
+
+    let row_of = |v: f64| -> usize {
+        let norm = (v - lo) / (hi - lo);
+        ((1.0 - norm) * (height - 1) as f64).round() as usize
+    };
+    let threshold_row = threshold.map(row_of);
+
+    let mut grid = vec![vec![' '; width]; height];
+    if let Some(tr) = threshold_row {
+        for (x, cell) in grid[tr].iter_mut().enumerate() {
+            if x % 2 == 0 {
+                *cell = '-';
+            }
+        }
+    }
+    for (x, &v) in columns.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        let y = row_of(v);
+        grid[y][x] = '*';
+        // Fill below the point lightly for readability.
+        for row in grid.iter_mut().take(height).skip(y + 1) {
+            if row[x] == ' ' {
+                row[x] = '.';
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (y, row) in grid.iter().enumerate() {
+        let label = if y == 0 {
+            format!("{hi:>9.2} ")
+        } else if y == height - 1 {
+            format!("{lo:>9.2} ")
+        } else if Some(y) == threshold_row {
+            format!("{:>9.2} ", threshold.expect("row implies threshold"))
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(10));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>10} {} .. {}\n",
+        "",
+        series.start(),
+        series.end()
+    ));
+    out
+}
+
+/// Renders a compact one-line sparkline of the series.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::{TimeSeries, Timestamp};
+/// use evop_portal::render::sparkline;
+///
+/// let s = TimeSeries::from_values(Timestamp::UNIX_EPOCH, 60, vec![0.0, 5.0, 10.0, 2.0]);
+/// let line = sparkline(&s, 4);
+/// assert_eq!(line.chars().count(), 4);
+/// ```
+pub fn sparkline(series: &TimeSeries, width: usize) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() || width == 0 {
+        return String::new();
+    }
+    let columns = resample_max(series.values(), width);
+    let finite: Vec<f64> = columns.iter().copied().filter(|v| !v.is_nan()).collect();
+    if finite.is_empty() {
+        return "·".repeat(width);
+    }
+    let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    columns
+        .iter()
+        .map(|&v| {
+            if v.is_nan() {
+                '·'
+            } else if hi - lo < 1e-12 {
+                LEVELS[0]
+            } else {
+                let idx = (((v - lo) / (hi - lo)) * 7.0).round() as usize;
+                LEVELS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Renders rows as a fixed-width text table with a header.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width must match header");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&render_row(header.to_vec(), &widths));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&render_row(row.iter().map(String::as_str).collect(), &widths));
+    }
+    out
+}
+
+/// Downsamples to `width` columns by window maxima (NaN-aware).
+fn resample_max(values: &[f64], width: usize) -> Vec<f64> {
+    if values.len() <= width {
+        let mut out = values.to_vec();
+        out.resize(width.min(values.len()).max(out.len()), f64::NAN);
+        return out;
+    }
+    (0..width)
+        .map(|col| {
+            let lo = col * values.len() / width;
+            let hi = ((col + 1) * values.len() / width).max(lo + 1);
+            let window = &values[lo..hi.min(values.len())];
+            let max = window
+                .iter()
+                .copied()
+                .filter(|v| !v.is_nan())
+                .fold(f64::NEG_INFINITY, f64::max);
+            if max.is_finite() {
+                max
+            } else {
+                f64::NAN
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_data::Timestamp;
+
+    fn series(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::from_values(Timestamp::UNIX_EPOCH, 3600, values)
+    }
+
+    #[test]
+    fn chart_has_requested_dimensions() {
+        let s = series((0..100).map(|i| f64::from(i % 17)).collect());
+        let chart = line_chart(&s, 40, 8, None);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 8 + 2); // grid + axis + time range
+        assert!(lines[0].len() >= 40);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn threshold_line_is_drawn() {
+        let s = series(vec![1.0; 50]);
+        let chart = line_chart(&s, 30, 9, Some(5.0));
+        assert!(chart.contains('-'), "dashed threshold expected");
+        assert!(chart.contains("5.00"));
+    }
+
+    #[test]
+    fn empty_and_all_missing_series() {
+        assert_eq!(line_chart(&series(vec![]), 10, 5, None), "(empty series)");
+        assert_eq!(
+            line_chart(&series(vec![f64::NAN; 4]), 10, 5, None),
+            "(all samples missing)"
+        );
+    }
+
+    #[test]
+    fn peaks_survive_downsampling() {
+        // One huge spike in 1000 samples must appear in a 20-column chart.
+        let mut values = vec![0.1; 1000];
+        values[537] = 99.0;
+        let chart = line_chart(&series(values), 20, 6, None);
+        assert!(chart.contains("99.00"), "peak lost: {chart}");
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = series(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let line = sparkline(&s, 8);
+        assert_eq!(line.chars().next(), Some('▁'));
+        assert_eq!(line.chars().last(), Some('█'));
+    }
+
+    #[test]
+    fn sparkline_flat_series() {
+        let s = series(vec![3.0; 10]);
+        assert!(sparkline(&s, 5).chars().all(|c| c == '▁'));
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["scenario", "peak"],
+            &[
+                vec!["baseline".to_owned(), "5.21".to_owned()],
+                vec!["afforestation".to_owned(), "4.4".to_owned()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[0].contains("scenario"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let _ = table(&["a", "b"], &[vec!["only-one".to_owned()]]);
+    }
+}

@@ -1,0 +1,433 @@
+//! Storyboards, requirements and the verification/validation cycle.
+//!
+//! "A storyboard, i.e. a stepped illustration of a fully defined user
+//! scenario, was outlined by partner domain specialists … Based on these,
+//! prototypes were developed and iteratively improved and built upon
+//! following processes of verification and validation" (paper §V-A,
+//! Figs. 2–3). This module encodes that methodology as data: storyboards
+//! own steps, steps trace to requirements, and requirements progress
+//! through *draft → verified (technical) → validated (stakeholder)*.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Requirement lifecycle, in the order the paper's cycle moves them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub enum RequirementStatus {
+    /// Captured from the storyboard, not yet checked.
+    #[default]
+    Draft,
+    /// Technically correct: unit/integration tests pass ("verification …
+    /// occurring at the end of each development cycle").
+    Verified,
+    /// Confirmed useful and usable by stakeholders ("validation … carried
+    /// out … with the stakeholders through evaluation workshops").
+    Validated,
+}
+
+impl fmt::Display for RequirementStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RequirementStatus::Draft => "draft",
+            RequirementStatus::Verified => "verified",
+            RequirementStatus::Validated => "validated",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A captured requirement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Requirement {
+    id: String,
+    description: String,
+    status: RequirementStatus,
+}
+
+impl Requirement {
+    /// The requirement id, e.g. `"R3"`.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// What the requirement demands.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Current lifecycle status.
+    pub fn status(&self) -> RequirementStatus {
+        self.status
+    }
+}
+
+/// One step of a storyboard's user journey.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoryStep {
+    description: String,
+    requirements: Vec<String>,
+    /// How hard the step is for a novice, `[0, 1]` (drives the journey
+    /// simulator).
+    difficulty: f64,
+}
+
+impl StoryStep {
+    /// The step's narrative.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Requirement ids the step traces to.
+    pub fn requirements(&self) -> &[String] {
+        &self.requirements
+    }
+
+    /// Novice difficulty in `[0, 1]`.
+    pub fn difficulty(&self) -> f64 {
+        self.difficulty
+    }
+}
+
+/// Errors from storyboard bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoryboardError {
+    /// The requirement id is unknown.
+    UnknownRequirement(String),
+    /// Duplicate requirement id.
+    DuplicateRequirement(String),
+    /// Validation attempted before verification.
+    NotYetVerified(String),
+}
+
+impl fmt::Display for StoryboardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoryboardError::UnknownRequirement(id) => write!(f, "unknown requirement: {id}"),
+            StoryboardError::DuplicateRequirement(id) => write!(f, "duplicate requirement: {id}"),
+            StoryboardError::NotYetVerified(id) => {
+                write!(f, "requirement {id} must be verified before validation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoryboardError {}
+
+/// Coverage summary: how much of the storyboard is backed by verified /
+/// validated requirements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverageReport {
+    /// Number of steps.
+    pub steps: usize,
+    /// Steps whose requirements are all at least verified.
+    pub steps_verified: usize,
+    /// Steps whose requirements are all validated.
+    pub steps_validated: usize,
+}
+
+impl CoverageReport {
+    /// Fraction of steps fully verified.
+    pub fn verified_fraction(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.steps_verified as f64 / self.steps as f64
+        }
+    }
+
+    /// Fraction of steps fully validated.
+    pub fn validated_fraction(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.steps_validated as f64 / self.steps as f64
+        }
+    }
+}
+
+/// A storyboard: owner, narrative steps and the requirements they trace to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Storyboard {
+    title: String,
+    owner: String,
+    steps: Vec<StoryStep>,
+    requirements: BTreeMap<String, Requirement>,
+}
+
+impl Storyboard {
+    /// Creates an empty storyboard owned by `owner` (the paper's
+    /// "storyboard owners" — partner domain specialists).
+    pub fn new(title: impl Into<String>, owner: impl Into<String>) -> Storyboard {
+        Storyboard {
+            title: title.into(),
+            owner: owner.into(),
+            steps: Vec::new(),
+            requirements: BTreeMap::new(),
+        }
+    }
+
+    /// The storyboard title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The owning stakeholder group.
+    pub fn owner(&self) -> &str {
+        &self.owner
+    }
+
+    /// Captures a requirement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoryboardError::DuplicateRequirement`] for a reused id.
+    pub fn add_requirement(
+        &mut self,
+        id: impl Into<String>,
+        description: impl Into<String>,
+    ) -> Result<(), StoryboardError> {
+        let id = id.into();
+        if self.requirements.contains_key(&id) {
+            return Err(StoryboardError::DuplicateRequirement(id));
+        }
+        self.requirements.insert(
+            id.clone(),
+            Requirement { id, description: description.into(), status: RequirementStatus::Draft },
+        );
+        Ok(())
+    }
+
+    /// Appends a step tracing to existing requirements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoryboardError::UnknownRequirement`] for an untraced id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `difficulty` is outside `[0, 1]`.
+    pub fn add_step<I, S>(
+        &mut self,
+        description: impl Into<String>,
+        requirements: I,
+        difficulty: f64,
+    ) -> Result<(), StoryboardError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        assert!((0.0..=1.0).contains(&difficulty), "difficulty must be in [0,1]");
+        let requirements: Vec<String> = requirements.into_iter().map(Into::into).collect();
+        for id in &requirements {
+            if !self.requirements.contains_key(id) {
+                return Err(StoryboardError::UnknownRequirement(id.clone()));
+            }
+        }
+        self.steps.push(StoryStep { description: description.into(), requirements, difficulty });
+        Ok(())
+    }
+
+    /// The narrative steps in order.
+    pub fn steps(&self) -> &[StoryStep] {
+        &self.steps
+    }
+
+    /// All requirements, by id.
+    pub fn requirements(&self) -> impl Iterator<Item = &Requirement> {
+        self.requirements.values()
+    }
+
+    /// A requirement by id.
+    pub fn requirement(&self, id: &str) -> Option<&Requirement> {
+        self.requirements.get(id)
+    }
+
+    /// Marks a requirement technically verified (end of a development
+    /// cycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoryboardError::UnknownRequirement`] for a bad id.
+    pub fn verify(&mut self, id: &str) -> Result<(), StoryboardError> {
+        let req = self
+            .requirements
+            .get_mut(id)
+            .ok_or_else(|| StoryboardError::UnknownRequirement(id.to_owned()))?;
+        if req.status == RequirementStatus::Draft {
+            req.status = RequirementStatus::Verified;
+        }
+        Ok(())
+    }
+
+    /// Marks a requirement stakeholder-validated (evaluation workshop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoryboardError::NotYetVerified`] when technical
+    /// verification has not happened — the paper's cycle order — or
+    /// [`StoryboardError::UnknownRequirement`].
+    pub fn validate(&mut self, id: &str) -> Result<(), StoryboardError> {
+        let req = self
+            .requirements
+            .get_mut(id)
+            .ok_or_else(|| StoryboardError::UnknownRequirement(id.to_owned()))?;
+        match req.status {
+            RequirementStatus::Draft => Err(StoryboardError::NotYetVerified(id.to_owned())),
+            RequirementStatus::Verified | RequirementStatus::Validated => {
+                req.status = RequirementStatus::Validated;
+                Ok(())
+            }
+        }
+    }
+
+    /// The coverage report for the current requirement statuses.
+    pub fn coverage(&self) -> CoverageReport {
+        let at_least = |step: &StoryStep, status: RequirementStatus| {
+            step.requirements
+                .iter()
+                .all(|id| self.requirements[id].status >= status)
+        };
+        CoverageReport {
+            steps: self.steps.len(),
+            steps_verified: self
+                .steps
+                .iter()
+                .filter(|s| at_least(s, RequirementStatus::Verified))
+                .count(),
+            steps_validated: self
+                .steps
+                .iter()
+                .filter(|s| at_least(s, RequirementStatus::Validated))
+                .count(),
+        }
+    }
+
+    /// The Local EVOp Flooding Tool storyboard of paper §V-B, as drawn with
+    /// the Morland, Tarland and Machynlleth stakeholders.
+    pub fn left() -> Storyboard {
+        let mut sb = Storyboard::new(
+            "Local EVOp Flooding Tool (LEFT)",
+            "catchment stakeholders (villagers, farmers, catchment managers)",
+        );
+        let reqs: [(&str, &str); 9] = [
+            ("R1", "Interactive map shows local assets as geotagged markers"),
+            ("R2", "Live rainfall and river-level data are viewable as graphs"),
+            ("R3", "Historical data can be explored over arbitrary windows"),
+            ("R4", "Webcam imagery is linked to co-located sensor readings"),
+            ("R5", "A flood model can be run on demand in the cloud"),
+            ("R6", "Land-use scenarios are selectable as presets"),
+            ("R7", "Model parameters are adjustable through sliders"),
+            ("R8", "Runs are comparable against the flood-hazard threshold"),
+            ("R9", "Help text explains the model and each scenario"),
+        ];
+        for (id, text) in reqs {
+            sb.add_requirement(id, text).expect("unique ids");
+        }
+        let steps: [(&str, &[&str], f64); 7] = [
+            ("Open the portal and find my catchment on the map", &["R1"], 0.15),
+            ("Check current rainfall and river level near my property", &["R1", "R2"], 0.25),
+            ("Look back at the last big flood in the records", &["R3"], 0.35),
+            ("See how murky the water looked on the webcam that day", &["R3", "R4"], 0.4),
+            ("Run the flood model for my catchment", &["R5"], 0.5),
+            ("Try land-use scenarios to see what changes the risk", &["R5", "R6", "R9"], 0.45),
+            ("Fine-tune parameters and compare runs against the flood line", &["R7", "R8"], 0.6),
+        ];
+        for (text, reqs, difficulty) in steps {
+            sb.add_step(text, reqs.iter().copied(), difficulty).expect("known reqs");
+        }
+        sb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn left_storyboard_is_complete() {
+        let sb = Storyboard::left();
+        assert_eq!(sb.steps().len(), 7);
+        assert_eq!(sb.requirements().count(), 9);
+        assert!(sb.steps().iter().all(|s| !s.requirements().is_empty()));
+        // Every requirement is traced by at least one step.
+        for req in sb.requirements() {
+            assert!(
+                sb.steps().iter().any(|s| s.requirements().contains(&req.id().to_owned())),
+                "{} is orphaned",
+                req.id()
+            );
+        }
+    }
+
+    #[test]
+    fn verification_then_validation() {
+        let mut sb = Storyboard::left();
+        assert_eq!(sb.requirement("R1").unwrap().status(), RequirementStatus::Draft);
+        // Cannot validate a draft.
+        assert_eq!(sb.validate("R1").unwrap_err(), StoryboardError::NotYetVerified("R1".into()));
+        sb.verify("R1").unwrap();
+        sb.validate("R1").unwrap();
+        assert_eq!(sb.requirement("R1").unwrap().status(), RequirementStatus::Validated);
+    }
+
+    #[test]
+    fn coverage_tracks_cycle_progress() {
+        let mut sb = Storyboard::left();
+        assert_eq!(sb.coverage().steps_verified, 0);
+
+        for id in ["R1", "R2"] {
+            sb.verify(id).unwrap();
+        }
+        let mid = sb.coverage();
+        assert_eq!(mid.steps_verified, 2, "steps 1 and 2 are now covered");
+        assert_eq!(mid.steps_validated, 0);
+
+        let ids: Vec<String> = sb.requirements().map(|r| r.id().to_owned()).collect();
+        for id in &ids {
+            sb.verify(id).unwrap();
+            sb.validate(id).unwrap();
+        }
+        let done = sb.coverage();
+        assert_eq!(done.steps_verified, 7);
+        assert_eq!(done.steps_validated, 7);
+        assert!((done.validated_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_requirements() {
+        let mut sb = Storyboard::new("t", "o");
+        sb.add_requirement("R1", "x").unwrap();
+        assert_eq!(
+            sb.add_requirement("R1", "y").unwrap_err(),
+            StoryboardError::DuplicateRequirement("R1".into())
+        );
+        assert_eq!(
+            sb.add_step("s", ["R9"], 0.5).unwrap_err(),
+            StoryboardError::UnknownRequirement("R9".into())
+        );
+        assert_eq!(
+            sb.verify("R9").unwrap_err(),
+            StoryboardError::UnknownRequirement("R9".into())
+        );
+    }
+
+    #[test]
+    fn verify_is_idempotent_and_preserves_validated() {
+        let mut sb = Storyboard::new("t", "o");
+        sb.add_requirement("R1", "x").unwrap();
+        sb.verify("R1").unwrap();
+        sb.validate("R1").unwrap();
+        sb.verify("R1").unwrap(); // must not regress
+        assert_eq!(sb.requirement("R1").unwrap().status(), RequirementStatus::Validated);
+    }
+
+    #[test]
+    #[should_panic(expected = "difficulty")]
+    fn difficulty_out_of_range_panics() {
+        let mut sb = Storyboard::new("t", "o");
+        sb.add_requirement("R1", "x").unwrap();
+        let _ = sb.add_step("s", ["R1"], 1.5);
+    }
+}

@@ -1,0 +1,526 @@
+//! The portal widgets: live graphs, the multimodal view and the modelling
+//! widget.
+
+use evop_data::sensors::WebcamFrame;
+use evop_data::synthetic::RatingCurve;
+use evop_data::timeseries::Aggregation;
+use evop_data::{Catchment, SensorId, TimeSeries, Timestamp};
+use evop_models::objectives::{flood_metrics, FloodMetrics};
+use evop_models::scenarios::Scenario;
+use evop_models::{Forcing, FuseConfig, FuseModel, FuseParams, Topmodel, TopmodelParams};
+use evop_services::sos::{GetObservation, SosServer};
+
+/// A live time-series widget bound to one SOS offering.
+///
+/// "live data (such as those fed by in situ sensors) were presented as time
+/// series graphs" (paper §V-B).
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::{Catchment, Observation, SensorId, Timestamp};
+/// use evop_portal::TimeSeriesWidget;
+/// use evop_services::sos::SosServer;
+///
+/// let mut sos = SosServer::new();
+/// let stage = Catchment::morland().default_sensors().remove(1);
+/// let id = stage.id().clone();
+/// sos.register_sensor(stage);
+/// let t = Timestamp::from_ymd(2012, 6, 1);
+/// sos.insert(Observation::new(id.clone(), t, 0.42)).unwrap();
+///
+/// let widget = TimeSeriesWidget::new("River level", "m", id);
+/// let view = widget.view(&sos, t.plus_days(-1), t.plus_days(1)).unwrap();
+/// assert_eq!(view.latest, Some(0.42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeSeriesWidget {
+    title: String,
+    unit: String,
+    sensor: SensorId,
+}
+
+/// What a time-series widget shows for a window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesView {
+    /// Widget title.
+    pub title: String,
+    /// Measurement unit.
+    pub unit: String,
+    /// The windowed series at the sensor's native 15-minute step.
+    pub series: TimeSeries,
+    /// The most recent value in the window, if any.
+    pub latest: Option<f64>,
+    /// Window maximum, if any sample exists.
+    pub max: Option<f64>,
+}
+
+impl TimeSeriesWidget {
+    /// Creates a widget for one sensor.
+    pub fn new(title: impl Into<String>, unit: impl Into<String>, sensor: SensorId) -> TimeSeriesWidget {
+        TimeSeriesWidget { title: title.into(), unit: unit.into(), sensor: sensor.clone() }
+    }
+
+    /// The bound sensor.
+    pub fn sensor(&self) -> &SensorId {
+        &self.sensor
+    }
+
+    /// Builds the widget's view for `[from, to)` from the SOS archive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SOS errors (unknown procedure, bad filter).
+    pub fn view(
+        &self,
+        sos: &SosServer,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Result<SeriesView, evop_services::sos::SosError> {
+        let observations = sos.get_observation(&GetObservation {
+            procedure: self.sensor.clone(),
+            begin: from,
+            end: to,
+            max_results: None,
+        })?;
+        let irregular: evop_data::timeseries::IrregularSeries =
+            observations.iter().map(|o| (o.time(), o.value())).collect();
+        let step = 900u32;
+        let len = ((to - from).max(0) as u64 / u64::from(step)) as usize;
+        let series = irregular.to_regular(from, step, len, Aggregation::Mean);
+        let latest = observations.last().map(|o| o.value());
+        let max = series.peak().map(|(_, v)| v);
+        Ok(SeriesView {
+            title: self.title.clone(),
+            unit: self.unit.clone(),
+            series,
+            latest,
+            max,
+        })
+    }
+}
+
+/// The multimodal sensor + webcam widget of paper Fig. 5.
+///
+/// "different sensors were used to plot water temperature and turbidity
+/// linked with the corresponding webcam image taken roughly at the same
+/// time".
+#[derive(Debug, Clone)]
+pub struct MultimodalWidget {
+    temperature: SensorId,
+    turbidity: SensorId,
+    frames: Vec<WebcamFrame>,
+    /// Maximum sensor/frame timestamp mismatch tolerated, seconds.
+    tolerance_secs: i64,
+}
+
+/// One aligned multimodal sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultimodalView {
+    /// Water temperature at (or nearest to) the hover time, °C.
+    pub temperature_c: Option<f64>,
+    /// Turbidity at the hover time, NTU.
+    pub turbidity_ntu: Option<f64>,
+    /// The webcam frame taken roughly at the same time.
+    pub frame: Option<WebcamFrame>,
+    /// Frame-to-hover-time offset, seconds (absolute).
+    pub frame_lag_secs: Option<i64>,
+}
+
+impl MultimodalWidget {
+    /// Creates the widget from two sensors and a frame archive.
+    pub fn new(
+        temperature: SensorId,
+        turbidity: SensorId,
+        frames: Vec<WebcamFrame>,
+    ) -> MultimodalWidget {
+        MultimodalWidget { temperature, turbidity, frames, tolerance_secs: 1800 }
+    }
+
+    /// Overrides the alignment tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is not positive.
+    pub fn with_tolerance_secs(mut self, secs: i64) -> MultimodalWidget {
+        assert!(secs > 0, "tolerance must be positive");
+        self.tolerance_secs = secs;
+        self
+    }
+
+    /// The aligned view at hover time `t`, reading sensor values from the
+    /// SOS archive and the frame from the widget's archive.
+    pub fn at(&self, sos: &SosServer, t: Timestamp) -> MultimodalView {
+        let nearest_value = |sensor: &SensorId| -> Option<f64> {
+            let obs = sos
+                .get_observation(&GetObservation {
+                    procedure: sensor.clone(),
+                    begin: t.plus_secs(-self.tolerance_secs),
+                    end: t.plus_secs(self.tolerance_secs + 1),
+                    max_results: None,
+                })
+                .ok()?;
+            obs.iter()
+                .min_by_key(|o| (t - o.time()).abs())
+                .map(|o| o.value())
+        };
+        let frame = self
+            .frames
+            .iter()
+            .min_by_key(|f| (t - f.time()).abs())
+            .filter(|f| (t - f.time()).abs() <= self.tolerance_secs)
+            .cloned();
+        let frame_lag_secs = frame.as_ref().map(|f| (t - f.time()).abs());
+        MultimodalView {
+            temperature_c: nearest_value(&self.temperature),
+            turbidity_ntu: nearest_value(&self.turbidity),
+            frame,
+            frame_lag_secs,
+        }
+    }
+}
+
+/// Which hydrological model the widget drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelChoice {
+    /// TOPMODEL.
+    Topmodel,
+    /// The FUSE ensemble (named parent configurations).
+    FuseEnsemble,
+}
+
+/// One completed widget run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelRun {
+    /// User-facing label, e.g. `"baseline"`.
+    pub label: String,
+    /// The scenario that was active.
+    pub scenario: Scenario,
+    /// Which model produced it.
+    pub model: ModelChoice,
+    /// Outlet discharge, m³/s.
+    pub discharge: TimeSeries,
+}
+
+/// The LEFT modelling widget of paper Fig. 6: dataset + model + scenario
+/// buttons + parameter sliders + run comparison.
+///
+/// "This widget contains a number of different options for the user to
+/// choose from: the datasets available at this location, the hydrologic
+/// model to use, and the model's parameters. … The sliders default to the
+/// settings for each scenario."
+#[derive(Debug, Clone)]
+pub struct ModellingWidget {
+    catchment: Catchment,
+    topmodel: Topmodel,
+    forcing: Forcing,
+    scenario: Scenario,
+    model: ModelChoice,
+    topmodel_params: TopmodelParams,
+    fuse_params: FuseParams,
+    runs: Vec<ModelRun>,
+}
+
+impl ModellingWidget {
+    /// Creates the widget for a catchment: builds its DEM-derived TOPMODEL
+    /// and stores the forcing the user will run against.
+    pub fn new(catchment: Catchment, forcing: Forcing, dem_seed: u64) -> ModellingWidget {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(dem_seed);
+        let dem = catchment.generate_dem(&mut rng);
+        let topmodel = Topmodel::new(dem.ti_distribution(16), catchment.area_km2());
+        ModellingWidget {
+            catchment,
+            topmodel,
+            forcing,
+            scenario: Scenario::Baseline,
+            model: ModelChoice::Topmodel,
+            topmodel_params: TopmodelParams::default(),
+            fuse_params: FuseParams::default(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// The catchment the widget is scoped to.
+    pub fn catchment(&self) -> &Catchment {
+        &self.catchment
+    }
+
+    /// The discharge (m³/s) corresponding to the indicative flood stage —
+    /// the threshold line drawn on the hydrograph.
+    pub fn flood_threshold_m3s(&self) -> f64 {
+        RatingCurve::for_catchment(&self.catchment)
+            .discharge_from_stage(self.catchment.flood_stage_m())
+    }
+
+    /// The active scenario.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// Selects a scenario preset; the sliders snap to the scenario's
+    /// parameter values (paper: "The sliders default to the settings for
+    /// each scenario").
+    pub fn select_scenario(&mut self, scenario: Scenario) {
+        self.scenario = scenario;
+        self.topmodel_params = scenario.apply_to_topmodel(&TopmodelParams::default());
+        self.fuse_params = scenario.apply_to_fuse(&FuseParams::default());
+    }
+
+    /// Selects the model to run.
+    pub fn select_model(&mut self, model: ModelChoice) {
+        self.model = model;
+    }
+
+    /// Current slider values for the TOPMODEL path, `(name, value, min,
+    /// max)` per slider.
+    pub fn sliders(&self) -> Vec<(String, f64, f64, f64)> {
+        let values = self.topmodel_params.to_vector();
+        TopmodelParams::ranges()
+            .into_iter()
+            .zip(values)
+            .map(|((name, lo, hi), v)| (name.to_owned(), v, lo, hi))
+            .collect()
+    }
+
+    /// Moves one TOPMODEL slider.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown name or out-of-range value — the
+    /// widget's client-side validation.
+    pub fn set_slider(&mut self, name: &str, value: f64) -> Result<(), String> {
+        let ranges = TopmodelParams::ranges();
+        let (idx, &(_, lo, hi)) = ranges
+            .iter()
+            .enumerate()
+            .find(|(_, (n, _, _))| *n == name)
+            .ok_or_else(|| format!("unknown parameter: {name}"))?;
+        if !(lo..=hi).contains(&value) {
+            return Err(format!("{name}={value} outside slider range [{lo}, {hi}]"));
+        }
+        let mut vector = self.topmodel_params.to_vector();
+        vector[idx] = value;
+        let candidate = TopmodelParams::from_vector(&vector);
+        candidate.validate()?;
+        self.topmodel_params = candidate;
+        Ok(())
+    }
+
+    /// The scenario help text (paper: "detailed textual and animated help to
+    /// provide background information and educate the user").
+    pub fn help_text(&self) -> String {
+        format!(
+            "{}: {}\nModel: {:?}. Flood threshold at this outlet: {:.1} m³/s.",
+            self.scenario,
+            self.scenario.description(),
+            self.model,
+            self.flood_threshold_m3s()
+        )
+    }
+
+    /// Runs the selected model under the current scenario/sliders, storing
+    /// the result for comparison.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model validation/run errors.
+    pub fn run(&mut self, label: impl Into<String>) -> Result<&ModelRun, String> {
+        let discharge = match self.model {
+            ModelChoice::Topmodel => {
+                self.topmodel
+                    .run(&self.topmodel_params, &self.forcing)?
+                    .discharge_m3s
+            }
+            ModelChoice::FuseEnsemble => {
+                let configs: Vec<FuseConfig> =
+                    FuseConfig::named_parents().into_iter().map(|(_, c)| c).collect();
+                evop_models::fuse::run_ensemble(
+                    &configs,
+                    &self.fuse_params,
+                    &self.forcing,
+                    self.catchment.area_km2(),
+                )?
+                .mean
+            }
+        };
+        self.runs.push(ModelRun {
+            label: label.into(),
+            scenario: self.scenario,
+            model: self.model,
+            discharge,
+        });
+        Ok(self.runs.last().expect("just pushed"))
+    }
+
+    /// All stored runs, oldest first.
+    pub fn runs(&self) -> &[ModelRun] {
+        &self.runs
+    }
+
+    /// Flood metrics per stored run against the catchment threshold —
+    /// "allow comparison between model runs" (paper §V-B).
+    pub fn compare(&self) -> Vec<(String, FloodMetrics)> {
+        let threshold = self.flood_threshold_m3s();
+        self.runs
+            .iter()
+            .filter_map(|r| flood_metrics(&r.discharge, threshold).map(|m| (r.label.clone(), m)))
+            .collect()
+    }
+
+    /// Clears stored runs.
+    pub fn clear_runs(&mut self) {
+        self.runs.clear();
+    }
+
+    /// A FUSE model for direct use (e.g. WPS adapters).
+    pub fn fuse_model(&self, config: FuseConfig) -> FuseModel {
+        FuseModel::new(config, self.catchment.area_km2())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_data::synthetic::{TruthModel, WeatherGenerator};
+    use evop_data::Observation;
+    use evop_models::pet::hamon_series;
+
+    fn morland_setup() -> (Catchment, Forcing, SosServer) {
+        let catchment = Catchment::morland();
+        let generator = WeatherGenerator::for_catchment(&catchment, 11);
+        let start = Timestamp::from_ymd(2012, 1, 1);
+        let n = 24 * 30;
+        let rain = generator.rainfall(start, 3600, n);
+        let temp = generator.temperature(start, 3600, n);
+        let pet = hamon_series(&temp, catchment.outlet().lat());
+        let forcing = Forcing::new(rain, pet);
+
+        let mut sos = SosServer::new();
+        for sensor in catchment.default_sensors() {
+            sos.register_sensor(sensor);
+        }
+        (catchment, forcing, sos)
+    }
+
+    #[test]
+    fn timeseries_widget_views_archive() {
+        let (catchment, _, mut sos) = morland_setup();
+        let stage = SensorId::new("morland-stage-outlet");
+        let t = Timestamp::from_ymd(2012, 6, 1);
+        for i in 0..8 {
+            sos.insert(Observation::new(stage.clone(), t.plus_secs(i * 900), 0.4 + 0.05 * i as f64))
+                .unwrap();
+        }
+        let widget = TimeSeriesWidget::new("Stage", "m", stage);
+        let view = widget.view(&sos, t, t.plus_hours(2)).unwrap();
+        assert_eq!(view.series.len(), 8);
+        assert_eq!(view.latest, Some(0.75));
+        assert_eq!(view.max, Some(0.75));
+        let _ = catchment;
+    }
+
+    #[test]
+    fn multimodal_alignment_within_tolerance() {
+        let (catchment, forcing, mut sos) = morland_setup();
+        let truth = TruthModel::for_catchment(&catchment, 11);
+        let temp_id = SensorId::new("morland-temp-1");
+        let turb_id = SensorId::new("morland-turb-1");
+        let cam_id = SensorId::new("morland-cam-1");
+
+        let q = truth.discharge(forcing.rainfall(), forcing.pet());
+        let turb = truth.turbidity(&q);
+        let water_temp = truth.water_temperature(forcing.pet()); // any series works
+        sos.ingest_series(&temp_id, &water_temp).unwrap();
+        sos.ingest_series(&turb_id, &turb).unwrap();
+        let frames = truth.webcam_frames(&cam_id, &turb, 1800);
+
+        let widget = MultimodalWidget::new(temp_id, turb_id, frames);
+        let hover = Timestamp::from_ymd(2012, 1, 10).plus_hours(14);
+        let view = widget.at(&sos, hover);
+        assert!(view.temperature_c.is_some());
+        assert!(view.turbidity_ntu.is_some());
+        let frame = view.frame.expect("frame within tolerance");
+        assert!(view.frame_lag_secs.unwrap() <= 1800);
+        assert!(frame.brightness() > 0.2, "2pm frame should be daylight");
+    }
+
+    #[test]
+    fn multimodal_misses_outside_tolerance() {
+        let (_, _, sos) = morland_setup();
+        let widget = MultimodalWidget::new(
+            SensorId::new("morland-temp-1"),
+            SensorId::new("morland-turb-1"),
+            Vec::new(),
+        );
+        let view = widget.at(&sos, Timestamp::from_ymd(2012, 6, 1));
+        assert_eq!(view.temperature_c, None);
+        assert_eq!(view.frame, None);
+    }
+
+    #[test]
+    fn scenario_selection_snaps_sliders() {
+        let (catchment, forcing, _) = morland_setup();
+        let mut widget = ModellingWidget::new(catchment, forcing, 1);
+        let baseline_srmax = widget.sliders().iter().find(|s| s.0 == "srmax").unwrap().1;
+        widget.select_scenario(Scenario::Afforestation);
+        let afforested_srmax = widget.sliders().iter().find(|s| s.0 == "srmax").unwrap().1;
+        assert!(afforested_srmax > baseline_srmax);
+        assert_eq!(widget.scenario(), Scenario::Afforestation);
+    }
+
+    #[test]
+    fn slider_validation() {
+        let (catchment, forcing, _) = morland_setup();
+        let mut widget = ModellingWidget::new(catchment, forcing, 1);
+        assert!(widget.set_slider("m", 0.05).is_ok());
+        assert!(widget.set_slider("m", 99.0).is_err());
+        assert!(widget.set_slider("bogus", 1.0).is_err());
+    }
+
+    #[test]
+    fn runs_accumulate_and_compare() {
+        let (catchment, forcing, _) = morland_setup();
+        let mut widget = ModellingWidget::new(catchment, forcing, 1);
+        widget.run("baseline").unwrap();
+        widget.select_scenario(Scenario::CompactedSoils);
+        widget.run("compacted").unwrap();
+        assert_eq!(widget.runs().len(), 2);
+        let comparison = widget.compare();
+        assert_eq!(comparison.len(), 2);
+        let baseline_peak = comparison[0].1.peak_m3s;
+        let compacted_peak = comparison[1].1.peak_m3s;
+        assert!(
+            compacted_peak > baseline_peak,
+            "compaction must raise the peak: {compacted_peak} vs {baseline_peak}"
+        );
+        widget.clear_runs();
+        assert!(widget.runs().is_empty());
+    }
+
+    #[test]
+    fn fuse_ensemble_path_runs() {
+        let (catchment, forcing, _) = morland_setup();
+        let mut widget = ModellingWidget::new(catchment, forcing, 1);
+        widget.select_model(ModelChoice::FuseEnsemble);
+        let run = widget.run("fuse-baseline").unwrap();
+        assert!(run.discharge.values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn help_text_educates() {
+        let (catchment, forcing, _) = morland_setup();
+        let mut widget = ModellingWidget::new(catchment, forcing, 1);
+        widget.select_scenario(Scenario::DrainedMoorland);
+        let help = widget.help_text();
+        assert!(help.contains("Drained moorland"));
+        assert!(help.contains("m³/s"));
+    }
+
+    #[test]
+    fn flood_threshold_matches_rating() {
+        let (catchment, forcing, _) = morland_setup();
+        let widget = ModellingWidget::new(catchment.clone(), forcing, 1);
+        assert!((widget.flood_threshold_m3s() - 0.5 * catchment.area_km2()).abs() < 1e-9);
+    }
+}

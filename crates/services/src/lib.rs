@@ -1,0 +1,38 @@
+//! Web-service substrate for the EVOp reproduction.
+//!
+//! "All EVOp web services interfaces are of a uniform view, designed
+//! according to the Representational State Transfer (REST) architectural
+//! principles, except where current standards do not accommodate REST"
+//! (paper §IV-B). This crate builds that service layer from scratch, at the
+//! message level (see DESIGN.md's substitution table — the REST-vs-SOAP
+//! claims are about statelessness, not TCP):
+//!
+//! * [`http`] — method/request/response envelope types;
+//! * [`rest`] — a stateless router with path templates: any replica can
+//!   serve any request, which is what makes the paper's load balancing and
+//!   failure recovery "graceful";
+//! * [`soap`] — the transaction-oriented, *stateful* baseline the paper
+//!   contrasts REST against: session state lives on one server, and dies
+//!   with it (experiment E2);
+//! * [`xml`] — a small XML element tree with writer and parser for the OGC
+//!   messages;
+//! * [`wps`] — OGC Web Processing Service: GetCapabilities /
+//!   DescribeProcess / Execute (sync and async) over pluggable processes;
+//! * [`sos`] — OGC Sensor Observation Service: GetCapabilities /
+//!   GetObservation over the sensor archive;
+//! * [`push`] — WebSocket-style duplex session channels plus the polling
+//!   client they replace (experiment E15 measures the saving).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod push;
+pub mod rest;
+pub mod soap;
+pub mod sos;
+pub mod wps;
+pub mod xml;
+
+pub use http::{Method, Request, Response, StatusCode};
+pub use rest::Router;

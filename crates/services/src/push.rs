@@ -1,0 +1,335 @@
+//! WebSocket-style duplex session channels, and the polling baseline they
+//! replace.
+//!
+//! "This communication is done in the background using HTML5 WebSockets
+//! which facilitates event-based asynchronous duplex communication without
+//! the need for periodic polling or streaming, which are costly and
+//! inefficient modes of background browser traffic exchange" (paper §IV-D).
+//! [`duplex_pair`] provides the channel the Resource Broker uses to push
+//! session updates to browsers; [`simulate_push`] / [`simulate_polling`]
+//! quantify the paper's efficiency claim (experiment E15).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use serde_json::Value;
+
+/// A message on a duplex channel: a topic plus a JSON payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    topic: String,
+    payload: Value,
+}
+
+impl Message {
+    /// Creates a message.
+    pub fn new(topic: impl Into<String>, payload: Value) -> Message {
+        Message { topic: topic.into(), payload }
+    }
+
+    /// The topic, e.g. `"session-update"`.
+    pub fn topic(&self) -> &str {
+        &self.topic
+    }
+
+    /// The JSON payload.
+    pub fn payload(&self) -> &Value {
+        &self.payload
+    }
+
+    /// Approximate size on the wire, in bytes (topic + serialised payload +
+    /// small framing overhead).
+    pub fn wire_size(&self) -> usize {
+        self.topic.len() + self.payload.to_string().len() + 6
+    }
+}
+
+/// Cumulative traffic counters for one direction of a channel.
+#[derive(Debug, Default)]
+struct Counters {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// A snapshot of one endpoint's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Messages sent from this endpoint.
+    pub sent_messages: u64,
+    /// Bytes sent from this endpoint.
+    pub sent_bytes: u64,
+}
+
+/// One end of a duplex channel.
+///
+/// Cheap to clone; clones share the underlying channel and counters (as
+/// browser-side and server-side handles to one WebSocket would).
+#[derive(Debug, Clone)]
+pub struct Endpoint {
+    tx: Sender<Message>,
+    rx: Receiver<Message>,
+    sent: Arc<Counters>,
+    peer_open: Arc<AtomicU64>,
+}
+
+/// Error returned when sending on a closed channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelClosed;
+
+impl fmt::Display for ChannelClosed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("duplex channel closed by peer")
+    }
+}
+
+impl std::error::Error for ChannelClosed {}
+
+impl Endpoint {
+    /// Sends a message to the peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelClosed`] if the peer hung up.
+    pub fn send(&self, message: Message) -> Result<(), ChannelClosed> {
+        if self.peer_open.load(Ordering::SeqCst) == 0 {
+            return Err(ChannelClosed);
+        }
+        let size = message.wire_size() as u64;
+        self.tx.send(message).map_err(|_| ChannelClosed)?;
+        self.sent.messages.fetch_add(1, Ordering::SeqCst);
+        self.sent.bytes.fetch_add(size, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Receives one pending message, if any.
+    pub fn try_recv(&self) -> Option<Message> {
+        match self.rx.try_recv() {
+            Ok(m) => Some(m),
+            Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Drains all pending messages.
+    pub fn drain(&self) -> Vec<Message> {
+        std::iter::from_fn(|| self.try_recv()).collect()
+    }
+
+    /// This endpoint's cumulative send counters.
+    pub fn stats(&self) -> TrafficStats {
+        TrafficStats {
+            sent_messages: self.sent.messages.load(Ordering::SeqCst),
+            sent_bytes: self.sent.bytes.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Closes the channel; subsequent peer sends fail.
+    pub fn close(&self) {
+        self.peer_open.store(0, Ordering::SeqCst);
+    }
+
+    /// `true` while the peer has not closed.
+    pub fn is_open(&self) -> bool {
+        self.peer_open.load(Ordering::SeqCst) == 1
+    }
+}
+
+/// Creates a connected duplex pair `(server_end, client_end)`.
+///
+/// # Examples
+///
+/// ```
+/// use evop_services::push::{duplex_pair, Message};
+/// use serde_json::json;
+///
+/// let (server, client) = duplex_pair();
+/// server.send(Message::new("session-update", json!({"instance": "i-00000001"}))).unwrap();
+/// let received = client.try_recv().unwrap();
+/// assert_eq!(received.topic(), "session-update");
+/// ```
+pub fn duplex_pair() -> (Endpoint, Endpoint) {
+    let (tx_a, rx_b) = unbounded();
+    let (tx_b, rx_a) = unbounded();
+    let open = Arc::new(AtomicU64::new(1));
+    let a = Endpoint {
+        tx: tx_a,
+        rx: rx_a,
+        sent: Arc::new(Counters::default()),
+        peer_open: Arc::clone(&open),
+    };
+    let b = Endpoint {
+        tx: tx_b,
+        rx: rx_b,
+        sent: Arc::new(Counters::default()),
+        peer_open: open,
+    };
+    (a, b)
+}
+
+/// Outcome of a push-vs-poll traffic simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficReport {
+    /// Total messages exchanged in both directions.
+    pub messages: u64,
+    /// Total bytes exchanged in both directions.
+    pub bytes: u64,
+    /// Mean delay between a state change and the client learning of it, in
+    /// seconds.
+    pub mean_staleness_secs: f64,
+}
+
+/// Approximate wire size of one poll request (HTTP GET with headers).
+const POLL_REQUEST_BYTES: u64 = 220;
+/// Approximate wire size of an empty poll response.
+const POLL_EMPTY_RESPONSE_BYTES: u64 = 130;
+
+/// Simulates periodic polling: the client asks every `interval_secs`
+/// whether state changed; each poll costs a request and a response whether
+/// or not there is news.
+///
+/// `updates` are `(time_secs, payload)` state changes within
+/// `[0, horizon_secs)`.
+///
+/// # Panics
+///
+/// Panics if `interval_secs` is zero.
+pub fn simulate_polling(
+    updates: &[(u64, Value)],
+    horizon_secs: u64,
+    interval_secs: u64,
+) -> TrafficReport {
+    assert!(interval_secs > 0, "poll interval must be positive");
+    let mut messages = 0u64;
+    let mut bytes = 0u64;
+    let mut staleness_total = 0.0;
+    let mut delivered = 0usize;
+    let mut next_update = 0usize;
+
+    let mut t = interval_secs;
+    while t <= horizon_secs {
+        messages += 2; // request + response
+        bytes += POLL_REQUEST_BYTES;
+        // All updates that happened since the previous poll arrive now.
+        let mut payload_bytes = 0u64;
+        while next_update < updates.len() && updates[next_update].0 < t {
+            let (changed_at, payload) = &updates[next_update];
+            payload_bytes += payload.to_string().len() as u64;
+            staleness_total += (t - changed_at) as f64;
+            delivered += 1;
+            next_update += 1;
+        }
+        bytes += POLL_EMPTY_RESPONSE_BYTES + payload_bytes;
+        t += interval_secs;
+    }
+
+    TrafficReport {
+        messages,
+        bytes,
+        mean_staleness_secs: if delivered == 0 { 0.0 } else { staleness_total / delivered as f64 },
+    }
+}
+
+/// Simulates event-driven push over an established duplex channel: the
+/// server sends exactly one message per state change, with negligible
+/// delivery delay.
+pub fn simulate_push(updates: &[(u64, Value)], _horizon_secs: u64) -> TrafficReport {
+    let (server, client) = duplex_pair();
+    for (_, payload) in updates {
+        server
+            .send(Message::new("session-update", payload.clone()))
+            .expect("channel open");
+    }
+    let received = client.drain();
+    let stats = server.stats();
+    debug_assert_eq!(received.len(), updates.len());
+    TrafficReport {
+        messages: stats.sent_messages,
+        bytes: stats.sent_bytes,
+        mean_staleness_secs: 0.05, // one-way delivery latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn duplex_is_bidirectional() {
+        let (server, client) = duplex_pair();
+        server.send(Message::new("a", json!(1))).unwrap();
+        client.send(Message::new("b", json!(2))).unwrap();
+        assert_eq!(client.try_recv().unwrap().topic(), "a");
+        assert_eq!(server.try_recv().unwrap().topic(), "b");
+        assert!(client.try_recv().is_none());
+    }
+
+    #[test]
+    fn counters_track_sends() {
+        let (server, client) = duplex_pair();
+        server.send(Message::new("t", json!({"x": 1}))).unwrap();
+        server.send(Message::new("t", json!({"x": 2}))).unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.sent_messages, 2);
+        assert!(stats.sent_bytes > 0);
+        assert_eq!(client.stats().sent_messages, 0);
+    }
+
+    #[test]
+    fn close_stops_sends() {
+        let (server, client) = duplex_pair();
+        client.close();
+        assert_eq!(server.send(Message::new("t", json!(1))), Err(ChannelClosed));
+        assert!(!server.is_open());
+    }
+
+    #[test]
+    fn drain_returns_in_order() {
+        let (server, client) = duplex_pair();
+        for i in 0..5 {
+            server.send(Message::new("t", json!(i))).unwrap();
+        }
+        let all = client.drain();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[4].payload(), &json!(4));
+    }
+
+    #[test]
+    fn push_beats_polling_on_sparse_updates() {
+        // Three updates over an hour; a 10-second poll interval.
+        let updates = vec![
+            (100, json!({"state": "booting"})),
+            (600, json!({"state": "ready"})),
+            (3000, json!({"state": "migrated"})),
+        ];
+        let poll = simulate_polling(&updates, 3600, 10);
+        let push = simulate_push(&updates, 3600);
+        assert!(poll.messages > push.messages * 50);
+        assert!(poll.bytes > push.bytes * 10);
+    }
+
+    #[test]
+    fn slow_polling_saves_traffic_but_costs_staleness() {
+        let updates = vec![(100, json!("a")), (1700, json!("b"))];
+        let fast = simulate_polling(&updates, 3600, 5);
+        let slow = simulate_polling(&updates, 3600, 300);
+        assert!(slow.bytes < fast.bytes);
+        assert!(slow.mean_staleness_secs > fast.mean_staleness_secs);
+    }
+
+    #[test]
+    fn polling_with_no_updates_still_costs() {
+        let report = simulate_polling(&[], 600, 10);
+        assert_eq!(report.messages, 120);
+        assert!(report.bytes > 0);
+        assert_eq!(report.mean_staleness_secs, 0.0);
+    }
+
+    #[test]
+    fn push_delivers_everything() {
+        let updates: Vec<(u64, Value)> = (0..50).map(|i| (i * 10, json!(i))).collect();
+        let report = simulate_push(&updates, 600);
+        assert_eq!(report.messages, 50);
+    }
+}

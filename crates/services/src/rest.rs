@@ -1,0 +1,259 @@
+//! A stateless REST router.
+//!
+//! "RESTful web services remain completely stateless with all data required
+//! to transition between different states being included in the service
+//! request" (paper §IV-B). The router therefore owns no session state at
+//! all: handlers receive the request plus extracted path parameters, and any
+//! replica holding the same `Router` value can serve any request — the
+//! property experiments E2 and E4 rely on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::http::{Method, Request, Response};
+
+/// Path parameters extracted from a matched route template.
+///
+/// For the template `/catchments/{id}/sensors/{sensor}`, a request for
+/// `/catchments/morland/sensors/rain-1` yields `id = "morland"` and
+/// `sensor = "rain-1"`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathParams(BTreeMap<String, String>);
+
+impl PathParams {
+    /// A parameter by name.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.0.get(name).map(String::as_str)
+    }
+
+    /// All parameters.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+/// A request handler. Handlers are `Fn` (not `FnMut`): they may not
+/// accumulate state between calls, which keeps replicas interchangeable.
+pub type Handler = Arc<dyn Fn(&Request, &PathParams) -> Response + Send + Sync>;
+
+#[derive(Clone)]
+struct Route {
+    method: Method,
+    segments: Vec<Segment>,
+    handler: Handler,
+}
+
+impl fmt::Debug for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Route")
+            .field("method", &self.method)
+            .field("segments", &self.segments)
+            .finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+fn parse_template(template: &str) -> Vec<Segment> {
+    template
+        .trim_matches('/')
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            if let Some(name) = s.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+                Segment::Param(name.to_owned())
+            } else {
+                Segment::Literal(s.to_owned())
+            }
+        })
+        .collect()
+}
+
+fn match_path(segments: &[Segment], path: &str) -> Option<PathParams> {
+    let parts: Vec<&str> = path.trim_matches('/').split('/').filter(|s| !s.is_empty()).collect();
+    if parts.len() != segments.len() {
+        return None;
+    }
+    let mut params = BTreeMap::new();
+    for (seg, part) in segments.iter().zip(&parts) {
+        match seg {
+            Segment::Literal(lit) if lit == part => {}
+            Segment::Literal(_) => return None,
+            Segment::Param(name) => {
+                params.insert(name.clone(), (*part).to_owned());
+            }
+        }
+    }
+    Some(PathParams(params))
+}
+
+/// A stateless request router with `{param}` path templates.
+///
+/// Cloning a `Router` clones the routing table (handlers are shared), which
+/// is exactly how replicas are made in the failover experiments: every clone
+/// serves identically because there is no per-router state to diverge.
+///
+/// # Examples
+///
+/// ```
+/// use evop_services::rest::Router;
+/// use evop_services::{Method, Request, Response, StatusCode};
+///
+/// let mut router = Router::new();
+/// router.route(Method::Get, "/catchments/{id}", |_req, params| {
+///     Response::ok().text(format!("catchment {}", params.get("id").unwrap()))
+/// });
+///
+/// let resp = router.dispatch(&Request::get("/catchments/morland"));
+/// assert_eq!(resp.status(), StatusCode::OK);
+/// assert_eq!(resp.body_text(), Some("catchment morland"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Registers a handler for `method` on the path `template`.
+    ///
+    /// Templates use `{name}` to capture one path segment. Routes are
+    /// matched in registration order; the first match wins.
+    pub fn route<F>(&mut self, method: Method, template: &str, handler: F) -> &mut Router
+    where
+        F: Fn(&Request, &PathParams) -> Response + Send + Sync + 'static,
+    {
+        self.routes.push(Route {
+            method,
+            segments: parse_template(template),
+            handler: Arc::new(handler),
+        });
+        self
+    }
+
+    /// Dispatches a request to the first matching route.
+    ///
+    /// Returns `404 Not Found` when no template matches the path, and
+    /// `405 Method Not Allowed` when a template matches but not the method.
+    pub fn dispatch(&self, request: &Request) -> Response {
+        let mut path_matched = false;
+        for route in &self.routes {
+            if let Some(params) = match_path(&route.segments, request.path()) {
+                if route.method == request.method() {
+                    return (route.handler)(request, &params);
+                }
+                path_matched = true;
+            }
+        }
+        if path_matched {
+            Response::new(crate::http::StatusCode::METHOD_NOT_ALLOWED)
+                .text(format!("method {} not allowed", request.method()))
+        } else {
+            Response::not_found(format!("no route for {}", request.path()))
+        }
+    }
+
+    /// The number of registered routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// `true` if no routes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::StatusCode;
+
+    fn sample_router() -> Router {
+        let mut r = Router::new();
+        r.route(Method::Get, "/datasets", |_, _| Response::ok().text("list"));
+        r.route(Method::Get, "/datasets/{id}", |_, p| {
+            Response::ok().text(format!("get {}", p.get("id").unwrap()))
+        });
+        r.route(Method::Post, "/datasets/{id}/runs/{run}", |_, p| {
+            Response::ok().text(format!("run {}/{}", p.get("id").unwrap(), p.get("run").unwrap()))
+        });
+        r
+    }
+
+    #[test]
+    fn literal_and_param_matching() {
+        let r = sample_router();
+        assert_eq!(r.dispatch(&Request::get("/datasets")).body_text(), Some("list"));
+        assert_eq!(
+            r.dispatch(&Request::get("/datasets/rain-1")).body_text(),
+            Some("get rain-1")
+        );
+        assert_eq!(
+            r.dispatch(&Request::post("/datasets/rain-1/runs/42")).body_text(),
+            Some("run rain-1/42")
+        );
+    }
+
+    #[test]
+    fn trailing_slashes_are_tolerated() {
+        let r = sample_router();
+        assert_eq!(r.dispatch(&Request::get("/datasets/")).status(), StatusCode::OK);
+        assert_eq!(r.dispatch(&Request::get("datasets")).status(), StatusCode::OK);
+    }
+
+    #[test]
+    fn wrong_length_does_not_match() {
+        let r = sample_router();
+        assert_eq!(r.dispatch(&Request::get("/datasets/a/b")).status(), StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn method_mismatch_is_405() {
+        let r = sample_router();
+        let resp = r.dispatch(&Request::delete("/datasets"));
+        assert_eq!(resp.status(), StatusCode::METHOD_NOT_ALLOWED);
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        let r = sample_router();
+        assert_eq!(r.dispatch(&Request::get("/nope")).status(), StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn first_registration_wins() {
+        let mut r = Router::new();
+        r.route(Method::Get, "/x/{a}", |_, _| Response::ok().text("param"));
+        r.route(Method::Get, "/x/literal", |_, _| Response::ok().text("literal"));
+        assert_eq!(r.dispatch(&Request::get("/x/literal")).body_text(), Some("param"));
+    }
+
+    #[test]
+    fn clones_serve_identically() {
+        let r = sample_router();
+        let replica = r.clone();
+        let req = Request::get("/datasets/rain-1");
+        assert_eq!(r.dispatch(&req), replica.dispatch(&req));
+    }
+
+    #[test]
+    fn handlers_see_query_and_body() {
+        let mut r = Router::new();
+        r.route(Method::Post, "/echo", |req, _| {
+            let who = req.query_param("who").unwrap_or("world");
+            Response::ok().text(format!("hello {who}: {}", req.body_bytes().len()))
+        });
+        let resp = r.dispatch(&Request::post("/echo").query("who", "evop").body(vec![1, 2, 3]));
+        assert_eq!(resp.body_text(), Some("hello evop: 3"));
+    }
+}

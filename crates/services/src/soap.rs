@@ -1,0 +1,203 @@
+//! The transaction-oriented, stateful service baseline.
+//!
+//! "[SOAP web services] require high communication and operation overheads
+//! in order to maintain transaction state on the server … This has a knock
+//! on effect on performance, scalability, and fault tolerance" (paper
+//! §IV-B). This module implements exactly that style: a multi-step
+//! scientific transaction whose intermediate state lives *on the endpoint*.
+//! Kill the endpoint and every open session dies with it — the failure mode
+//! experiment E2 measures against the stateless REST router.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde_json::Value;
+
+/// A server-side session token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionToken(u64);
+
+impl fmt::Display for SessionToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "soap-session-{}", self.0)
+    }
+}
+
+/// A SOAP-style fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SoapFault {
+    /// The referenced session does not exist on this endpoint — the error a
+    /// client sees after its server was replaced.
+    UnknownSession(SessionToken),
+    /// The transaction was already committed.
+    AlreadyCommitted(SessionToken),
+}
+
+impl fmt::Display for SoapFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoapFault::UnknownSession(t) => write!(f, "unknown session: {t}"),
+            SoapFault::AlreadyCommitted(t) => write!(f, "session already committed: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for SoapFault {}
+
+#[derive(Debug, Clone)]
+struct Transaction {
+    steps: Vec<Value>,
+    committed: bool,
+}
+
+/// A stateful endpoint holding multi-step transactions server-side.
+///
+/// Note what is *missing* compared to [`Router`](crate::rest::Router):
+/// there is no way to clone a live endpoint onto a replacement replica —
+/// session state is process-local, exactly as in classic WS-* deployments.
+///
+/// # Examples
+///
+/// ```
+/// use evop_services::soap::SoapEndpoint;
+/// use serde_json::json;
+///
+/// let mut endpoint = SoapEndpoint::new();
+/// let session = endpoint.begin();
+/// endpoint.invoke(session, json!({"set": "model=topmodel"})).unwrap();
+/// endpoint.invoke(session, json!({"set": "scenario=baseline"})).unwrap();
+/// let result = endpoint.commit(session).unwrap();
+/// assert_eq!(result["steps"], 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct SoapEndpoint {
+    sessions: BTreeMap<SessionToken, Transaction>,
+    next_token: u64,
+    invocations: u64,
+}
+
+impl SoapEndpoint {
+    /// Creates an endpoint with no sessions.
+    pub fn new() -> SoapEndpoint {
+        SoapEndpoint::default()
+    }
+
+    /// Opens a transaction, returning its token. The state now lives here
+    /// and only here.
+    pub fn begin(&mut self) -> SessionToken {
+        let token = SessionToken(self.next_token);
+        self.next_token += 1;
+        self.sessions.insert(token, Transaction { steps: Vec::new(), committed: false });
+        token
+    }
+
+    /// Applies one step to an open transaction, returning the number of
+    /// accumulated steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoapFault::UnknownSession`] if this endpoint has never seen
+    /// (or has lost) the token, and [`SoapFault::AlreadyCommitted`] after
+    /// commit.
+    pub fn invoke(&mut self, token: SessionToken, step: Value) -> Result<usize, SoapFault> {
+        self.invocations += 1;
+        let tx = self.sessions.get_mut(&token).ok_or(SoapFault::UnknownSession(token))?;
+        if tx.committed {
+            return Err(SoapFault::AlreadyCommitted(token));
+        }
+        tx.steps.push(step);
+        Ok(tx.steps.len())
+    }
+
+    /// Commits a transaction, returning a summary document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoapFault::UnknownSession`] or
+    /// [`SoapFault::AlreadyCommitted`].
+    pub fn commit(&mut self, token: SessionToken) -> Result<Value, SoapFault> {
+        self.invocations += 1;
+        let tx = self.sessions.get_mut(&token).ok_or(SoapFault::UnknownSession(token))?;
+        if tx.committed {
+            return Err(SoapFault::AlreadyCommitted(token));
+        }
+        tx.committed = true;
+        Ok(serde_json::json!({
+            "session": token.to_string(),
+            "steps": tx.steps.len(),
+            "inputs": tx.steps,
+        }))
+    }
+
+    /// Number of open (uncommitted) sessions — server memory the paper
+    /// calls "much less load" to avoid.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.values().filter(|t| !t.committed).count()
+    }
+
+    /// Total invocations served (for overhead accounting).
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn transaction_accumulates_steps() {
+        let mut ep = SoapEndpoint::new();
+        let t = ep.begin();
+        assert_eq!(ep.invoke(t, json!(1)).unwrap(), 1);
+        assert_eq!(ep.invoke(t, json!(2)).unwrap(), 2);
+        let result = ep.commit(t).unwrap();
+        assert_eq!(result["steps"], 2);
+        assert_eq!(result["inputs"][1], 2);
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let mut ep = SoapEndpoint::new();
+        let a = ep.begin();
+        let b = ep.begin();
+        ep.invoke(a, json!("a1")).unwrap();
+        assert_eq!(ep.invoke(b, json!("b1")).unwrap(), 1);
+        assert_eq!(ep.open_sessions(), 2);
+    }
+
+    #[test]
+    fn replacement_endpoint_loses_sessions() {
+        let mut original = SoapEndpoint::new();
+        let token = original.begin();
+        original.invoke(token, json!("step")).unwrap();
+
+        // The "replacement replica" after a failure: a fresh endpoint.
+        let mut replacement = SoapEndpoint::new();
+        assert_eq!(
+            replacement.invoke(token, json!("step2")).unwrap_err(),
+            SoapFault::UnknownSession(token)
+        );
+    }
+
+    #[test]
+    fn commit_is_terminal() {
+        let mut ep = SoapEndpoint::new();
+        let t = ep.begin();
+        ep.commit(t).unwrap();
+        assert_eq!(ep.invoke(t, json!(1)).unwrap_err(), SoapFault::AlreadyCommitted(t));
+        assert_eq!(ep.commit(t).unwrap_err(), SoapFault::AlreadyCommitted(t));
+        assert_eq!(ep.open_sessions(), 0);
+    }
+
+    #[test]
+    fn invocations_are_counted() {
+        let mut ep = SoapEndpoint::new();
+        let t = ep.begin();
+        ep.invoke(t, json!(1)).unwrap();
+        let _ = ep.invoke(SessionToken(999), json!(1));
+        ep.commit(t).unwrap();
+        assert_eq!(ep.invocations(), 3);
+    }
+}

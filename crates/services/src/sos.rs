@@ -1,0 +1,442 @@
+//! OGC Sensor Observation Service (SOS).
+//!
+//! The portal's live widgets — river level, rainfall, turbidity and the
+//! webcam-linked graphs of paper Fig. 5 — are fed through this service: each
+//! in-situ sensor is an SOS *offering*, observations are archived per
+//! procedure, and clients retrieve them with temporal filters or ask for the
+//! latest value.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use evop_data::{Observation, Sensor, SensorId, TimeSeries, Timestamp};
+
+use crate::xml::Element;
+
+/// Errors from SOS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SosError {
+    /// The procedure (sensor) is not registered.
+    UnknownProcedure(SensorId),
+    /// The temporal filter is inverted or empty.
+    BadTemporalFilter,
+}
+
+impl fmt::Display for SosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SosError::UnknownProcedure(id) => write!(f, "unknown procedure: {id}"),
+            SosError::BadTemporalFilter => write!(f, "bad temporal filter"),
+        }
+    }
+}
+
+impl std::error::Error for SosError {}
+
+/// A GetObservation request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GetObservation {
+    /// The sensor whose archive is queried.
+    pub procedure: SensorId,
+    /// Start of the temporal filter (inclusive).
+    pub begin: Timestamp,
+    /// End of the temporal filter (exclusive).
+    pub end: Timestamp,
+    /// Optional cap on returned observations (most recent wins).
+    pub max_results: Option<usize>,
+}
+
+/// The SOS server: sensor registry plus per-procedure observation archives.
+///
+/// # Examples
+///
+/// ```
+/// use evop_data::{Catchment, Observation, Timestamp};
+/// use evop_services::sos::{GetObservation, SosServer};
+///
+/// let mut sos = SosServer::new();
+/// let sensors = Catchment::morland().default_sensors();
+/// let stage = sensors[1].clone();
+/// let stage_id = stage.id().clone();
+/// sos.register_sensor(stage);
+///
+/// let t = Timestamp::from_ymd(2012, 6, 1);
+/// sos.insert(Observation::new(stage_id.clone(), t, 0.42)).unwrap();
+///
+/// let hits = sos
+///     .get_observation(&GetObservation {
+///         procedure: stage_id,
+///         begin: t.plus_days(-1),
+///         end: t.plus_days(1),
+///         max_results: None,
+///     })
+///     .unwrap();
+/// assert_eq!(hits.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SosServer {
+    sensors: BTreeMap<SensorId, Sensor>,
+    archives: BTreeMap<SensorId, Vec<Observation>>,
+}
+
+impl SosServer {
+    /// Creates an empty server.
+    pub fn new() -> SosServer {
+        SosServer::default()
+    }
+
+    /// Registers a sensor as an offering. Re-registering replaces the
+    /// descriptor but keeps the archive.
+    pub fn register_sensor(&mut self, sensor: Sensor) {
+        self.archives.entry(sensor.id().clone()).or_default();
+        self.sensors.insert(sensor.id().clone(), sensor);
+    }
+
+    /// The registered sensors, sorted by id.
+    pub fn sensors(&self) -> impl Iterator<Item = &Sensor> {
+        self.sensors.values()
+    }
+
+    /// A sensor descriptor by id.
+    pub fn sensor(&self, id: &SensorId) -> Option<&Sensor> {
+        self.sensors.get(id)
+    }
+
+    /// Archives one observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SosError::UnknownProcedure`] when the sensor is not
+    /// registered.
+    pub fn insert(&mut self, observation: Observation) -> Result<(), SosError> {
+        let archive = self
+            .archives
+            .get_mut(observation.sensor())
+            .ok_or_else(|| SosError::UnknownProcedure(observation.sensor().clone()))?;
+        let idx = archive.partition_point(|o| o.time() <= observation.time());
+        archive.insert(idx, observation);
+        Ok(())
+    }
+
+    /// Bulk-ingests a regular series as observations for `sensor`, skipping
+    /// missing (`NaN`) samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SosError::UnknownProcedure`] when the sensor is not
+    /// registered.
+    pub fn ingest_series(&mut self, sensor: &SensorId, series: &TimeSeries) -> Result<usize, SosError> {
+        if !self.sensors.contains_key(sensor) {
+            return Err(SosError::UnknownProcedure(sensor.clone()));
+        }
+        let mut inserted = 0;
+        for (t, v) in series.iter() {
+            if !v.is_nan() {
+                self.insert(Observation::new(sensor.clone(), t, v))?;
+                inserted += 1;
+            }
+        }
+        Ok(inserted)
+    }
+
+    /// Bulk-ingests a regular series with the standard quality-control
+    /// pipeline applied first: samples failing range/spike/flatline checks
+    /// are archived flagged [`Suspect`](evop_data::QualityFlag::Suspect)
+    /// rather than silently trusted — the paper's "significant
+    /// pre-processing before they may be considered usable".
+    ///
+    /// Returns `(inserted, flagged)` counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SosError::UnknownProcedure`] when the sensor is not
+    /// registered.
+    pub fn ingest_series_with_qc(
+        &mut self,
+        sensor: &SensorId,
+        series: &TimeSeries,
+    ) -> Result<(usize, usize), SosError> {
+        use evop_data::quality::run_standard_checks;
+        use evop_data::QualityFlag;
+
+        let kind = self
+            .sensors
+            .get(sensor)
+            .ok_or_else(|| SosError::UnknownProcedure(sensor.clone()))?
+            .kind();
+        let report = run_standard_checks(kind, series);
+        let flagged_indices: std::collections::BTreeSet<usize> =
+            report.issues().iter().map(|i| i.index).collect();
+
+        let mut inserted = 0;
+        let mut flagged = 0;
+        for (i, (t, v)) in series.iter().enumerate() {
+            if v.is_nan() {
+                continue; // missing samples are simply absent from the archive
+            }
+            let quality = if flagged_indices.contains(&i) {
+                flagged += 1;
+                QualityFlag::Suspect
+            } else {
+                QualityFlag::Good
+            };
+            self.insert(Observation::with_quality(sensor.clone(), t, v, quality))?;
+            inserted += 1;
+        }
+        Ok((inserted, flagged))
+    }
+
+    /// GetObservation: the archived observations matching a temporal filter,
+    /// in time order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SosError::UnknownProcedure`] or
+    /// [`SosError::BadTemporalFilter`].
+    pub fn get_observation(&self, request: &GetObservation) -> Result<Vec<&Observation>, SosError> {
+        if request.end <= request.begin {
+            return Err(SosError::BadTemporalFilter);
+        }
+        let archive = self
+            .archives
+            .get(&request.procedure)
+            .ok_or_else(|| SosError::UnknownProcedure(request.procedure.clone()))?;
+        let lo = archive.partition_point(|o| o.time() < request.begin);
+        let hi = archive.partition_point(|o| o.time() < request.end);
+        let mut hits: Vec<&Observation> = archive[lo..hi].iter().collect();
+        if let Some(cap) = request.max_results {
+            if hits.len() > cap {
+                hits = hits.split_off(hits.len() - cap);
+            }
+        }
+        Ok(hits)
+    }
+
+    /// The most recent observation for a sensor — the "live" value the
+    /// portal widgets poll or are pushed.
+    pub fn latest(&self, sensor: &SensorId) -> Option<&Observation> {
+        self.archives.get(sensor).and_then(|a| a.last())
+    }
+
+    /// Number of archived observations for a sensor.
+    pub fn archive_len(&self, sensor: &SensorId) -> usize {
+        self.archives.get(sensor).map_or(0, Vec::len)
+    }
+
+    /// GetCapabilities: service metadata and the offering list, as XML.
+    pub fn get_capabilities(&self) -> Element {
+        let offerings = self.sensors.values().map(|s| {
+            Element::new("sos:ObservationOffering")
+                .child(Element::new("gml:name").text(s.id().as_str()))
+                .child(Element::new("sos:procedure").attr("xlink:href", s.id().as_str()))
+                .child(Element::new("sos:observedProperty").text(s.kind().to_string()))
+        });
+        Element::new("sos:Capabilities")
+            .attr("service", "SOS")
+            .attr("version", "1.0.0")
+            .child(Element::new("sos:Contents").children(offerings))
+    }
+
+    /// Encodes observations as an O&M-style XML collection.
+    pub fn encode_observations(&self, observations: &[&Observation]) -> Element {
+        let members = observations.iter().map(|o| {
+            Element::new("om:Observation")
+                .child(Element::new("om:procedure").attr("xlink:href", o.sensor().as_str()))
+                .child(Element::new("om:samplingTime").text(o.time().to_string()))
+                .child(Element::new("om:result").text(format!("{}", o.value())))
+                .child(Element::new("om:quality").text(o.quality().to_string()))
+        });
+        Element::new("om:ObservationCollection").children(members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_data::{Catchment, QualityFlag};
+
+    fn stage_sensor() -> Sensor {
+        Catchment::morland().default_sensors().remove(1)
+    }
+
+    fn t0() -> Timestamp {
+        Timestamp::from_ymd(2012, 6, 1)
+    }
+
+    fn server_with_data() -> (SosServer, SensorId) {
+        let mut sos = SosServer::new();
+        let sensor = stage_sensor();
+        let id = sensor.id().clone();
+        sos.register_sensor(sensor);
+        for i in 0..10 {
+            sos.insert(Observation::new(id.clone(), t0().plus_hours(i), 0.4 + 0.01 * i as f64))
+                .unwrap();
+        }
+        (sos, id)
+    }
+
+    #[test]
+    fn temporal_filter_is_half_open() {
+        let (sos, id) = server_with_data();
+        let hits = sos
+            .get_observation(&GetObservation {
+                procedure: id,
+                begin: t0().plus_hours(2),
+                end: t0().plus_hours(5),
+                max_results: None,
+            })
+            .unwrap();
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].time(), t0().plus_hours(2));
+        assert_eq!(hits[2].time(), t0().plus_hours(4));
+    }
+
+    #[test]
+    fn max_results_keeps_most_recent() {
+        let (sos, id) = server_with_data();
+        let hits = sos
+            .get_observation(&GetObservation {
+                procedure: id,
+                begin: t0(),
+                end: t0().plus_days(1),
+                max_results: Some(2),
+            })
+            .unwrap();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[1].time(), t0().plus_hours(9));
+    }
+
+    #[test]
+    fn unknown_procedure_and_bad_filter_error() {
+        let (sos, id) = server_with_data();
+        assert!(matches!(
+            sos.get_observation(&GetObservation {
+                procedure: SensorId::new("ghost"),
+                begin: t0(),
+                end: t0().plus_days(1),
+                max_results: None,
+            }),
+            Err(SosError::UnknownProcedure(_))
+        ));
+        assert_eq!(
+            sos.get_observation(&GetObservation {
+                procedure: id,
+                begin: t0(),
+                end: t0(),
+                max_results: None,
+            })
+            .unwrap_err(),
+            SosError::BadTemporalFilter
+        );
+    }
+
+    #[test]
+    fn latest_returns_newest() {
+        let (sos, id) = server_with_data();
+        assert_eq!(sos.latest(&id).unwrap().time(), t0().plus_hours(9));
+        assert!(sos.latest(&SensorId::new("ghost")).is_none());
+    }
+
+    #[test]
+    fn out_of_order_inserts_are_sorted() {
+        let mut sos = SosServer::new();
+        let sensor = stage_sensor();
+        let id = sensor.id().clone();
+        sos.register_sensor(sensor);
+        sos.insert(Observation::new(id.clone(), t0().plus_hours(5), 2.0)).unwrap();
+        sos.insert(Observation::new(id.clone(), t0(), 1.0)).unwrap();
+        let hits = sos
+            .get_observation(&GetObservation {
+                procedure: id,
+                begin: t0().plus_days(-1),
+                end: t0().plus_days(1),
+                max_results: None,
+            })
+            .unwrap();
+        assert!(hits[0].time() < hits[1].time());
+    }
+
+    #[test]
+    fn ingest_series_skips_missing() {
+        let mut sos = SosServer::new();
+        let sensor = stage_sensor();
+        let id = sensor.id().clone();
+        sos.register_sensor(sensor);
+        let series = TimeSeries::from_values(t0(), 900, vec![0.4, f64::NAN, 0.5]);
+        let n = sos.ingest_series(&id, &series).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(sos.archive_len(&id), 2);
+    }
+
+    #[test]
+    fn capabilities_lists_offerings() {
+        let (sos, id) = server_with_data();
+        let caps = sos.get_capabilities();
+        let names: Vec<String> = caps
+            .find_all("gml:name")
+            .iter()
+            .map(|e| e.text_content())
+            .collect();
+        assert!(names.contains(&id.as_str().to_owned()));
+    }
+
+    #[test]
+    fn observation_encoding_carries_quality() {
+        let mut sos = SosServer::new();
+        let sensor = stage_sensor();
+        let id = sensor.id().clone();
+        sos.register_sensor(sensor);
+        sos.insert(Observation::with_quality(id.clone(), t0(), 9.0, QualityFlag::Suspect))
+            .unwrap();
+        let hits = sos
+            .get_observation(&GetObservation {
+                procedure: id,
+                begin: t0().plus_days(-1),
+                end: t0().plus_days(1),
+                max_results: None,
+            })
+            .unwrap();
+        let xml = sos.encode_observations(&hits);
+        assert_eq!(xml.find("om:quality").unwrap().text_content(), "suspect");
+    }
+
+    #[test]
+    fn qc_ingestion_flags_suspect_samples() {
+        let mut sos = SosServer::new();
+        let sensor = stage_sensor();
+        let id = sensor.id().clone();
+        sos.register_sensor(sensor);
+        // A plausible stage trace with one physically impossible spike.
+        let series = TimeSeries::from_values(
+            t0(),
+            900,
+            vec![0.40, 0.42, 9.50, 0.43, f64::NAN, 0.44],
+        );
+        let (inserted, flagged) = sos.ingest_series_with_qc(&id, &series).unwrap();
+        assert_eq!(inserted, 5, "NaN is skipped");
+        assert!(flagged >= 1, "the 9.5 m spike must be flagged");
+        let hits = sos
+            .get_observation(&GetObservation {
+                procedure: id,
+                begin: t0(),
+                end: t0().plus_days(1),
+                max_results: None,
+            })
+            .unwrap();
+        let suspect: Vec<f64> = hits
+            .iter()
+            .filter(|o| o.quality() == QualityFlag::Suspect)
+            .map(|o| o.value())
+            .collect();
+        assert!(suspect.contains(&9.5));
+        // Good samples keep their flag.
+        assert!(hits.iter().any(|o| o.quality() == QualityFlag::Good));
+    }
+
+    #[test]
+    fn ingest_unknown_sensor_errors() {
+        let mut sos = SosServer::new();
+        let series = TimeSeries::from_values(t0(), 900, vec![1.0]);
+        assert!(sos.ingest_series(&SensorId::new("ghost"), &series).is_err());
+    }
+}

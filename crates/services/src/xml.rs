@@ -1,0 +1,455 @@
+//! A minimal XML element tree with writer and parser.
+//!
+//! The OGC standards EVOp adopted (WPS, SOS) are XML protocols: "Conforming
+//! to these standards is of high priority to us for all model
+//! implementations" (paper §IV-B). This module provides just enough XML to
+//! speak them: an element tree, escaped serialisation, and a small
+//! non-validating parser. Namespaces are carried verbatim in names (e.g.
+//! `"wps:Execute"`), which is how the reproduction's endpoints compare them.
+
+use std::fmt;
+
+/// A node in the tree: a child element or a text run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// Character data (unescaped form).
+    Text(String),
+}
+
+/// An XML element: name, attributes and children.
+///
+/// # Examples
+///
+/// ```
+/// use evop_services::xml::Element;
+///
+/// let doc = Element::new("wps:Execute")
+///     .attr("service", "WPS")
+///     .child(Element::new("ows:Identifier").text("topmodel"));
+/// let s = doc.to_string();
+/// assert!(s.contains("<wps:Execute service=\"WPS\">"));
+///
+/// let parsed = Element::parse(&s).unwrap();
+/// assert_eq!(parsed.find("ows:Identifier").unwrap().text_content(), "topmodel");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    name: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an element with the given (possibly prefixed) name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty or contains whitespace.
+    pub fn new(name: impl Into<String>) -> Element {
+        let name = name.into();
+        assert!(
+            !name.is_empty() && !name.contains(char::is_whitespace),
+            "invalid element name: {name:?}"
+        );
+        Element { name, attrs: Vec::new(), children: Vec::new() }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Element {
+        self.attrs.push((name.into(), value.into()));
+        self
+    }
+
+    /// Adds a child element (builder style).
+    pub fn child(mut self, child: Element) -> Element {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Adds a text child (builder style).
+    pub fn text(mut self, text: impl Into<String>) -> Element {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Adds several child elements (builder style).
+    pub fn children<I: IntoIterator<Item = Element>>(mut self, children: I) -> Element {
+        self.children.extend(children.into_iter().map(Node::Element));
+        self
+    }
+
+    /// The element name, including any prefix.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The value of an attribute, if present.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// All child nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.children
+    }
+
+    /// Child elements only.
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// The first descendant element (depth-first) with the given name,
+    /// including `self`.
+    pub fn find(&self, name: &str) -> Option<&Element> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.elements().find_map(|e| e.find(name))
+    }
+
+    /// All descendant elements (depth-first) with the given name.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> Vec<&'a Element> {
+        let mut out = Vec::new();
+        self.collect_named(name, &mut out);
+        out
+    }
+
+    fn collect_named<'a>(&'a self, name: &str, out: &mut Vec<&'a Element>) {
+        if self.name == name {
+            out.push(self);
+        }
+        for e in self.elements() {
+            e.collect_named(name, out);
+        }
+    }
+
+    /// The concatenated text content of this element's direct text children.
+    pub fn text_content(&self) -> String {
+        self.children
+            .iter()
+            .filter_map(|n| match n {
+                Node::Text(t) => Some(t.as_str()),
+                Node::Element(_) => None,
+            })
+            .collect()
+    }
+
+    /// Parses a document, returning its root element.
+    ///
+    /// The parser is non-validating and supports elements, attributes, text,
+    /// self-closing tags, comments and the XML declaration — enough for the
+    /// OGC message bodies used in this workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseXmlError`] describing the byte offset and problem.
+    pub fn parse(input: &str) -> Result<Element, ParseXmlError> {
+        Parser { input: input.as_bytes(), pos: 0 }.parse_document()
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}", self.name)?;
+        for (name, value) in &self.attrs {
+            write!(f, " {}=\"{}\"", name, escape(value))?;
+        }
+        if self.children.is_empty() {
+            return write!(f, "/>");
+        }
+        write!(f, ">")?;
+        for node in &self.children {
+            match node {
+                Node::Element(e) => write!(f, "{e}")?,
+                Node::Text(t) => write!(f, "{}", escape(t))?,
+            }
+        }
+        write!(f, "</{}>", self.name)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&quot;", "\"")
+        .replace("&gt;", ">")
+        .replace("&lt;", "<")
+        .replace("&amp;", "&")
+}
+
+/// An XML parsing error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseXmlError {
+    /// Byte offset at which the problem was detected.
+    pub offset: usize,
+    /// Human-readable problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseXmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseXmlError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> ParseXmlError {
+        ParseXmlError { offset: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), ParseXmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.advance_past("?>")?;
+            } else if self.starts_with("<!--") {
+                self.advance_past("-->")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn advance_past(&mut self, terminator: &str) -> Result<(), ParseXmlError> {
+        let rest = &self.input[self.pos..];
+        let term = terminator.as_bytes();
+        match rest.windows(term.len()).position(|w| w == term) {
+            Some(i) => {
+                self.pos += i + term.len();
+                Ok(())
+            }
+            None => Err(self.error(format!("unterminated construct, expected {terminator:?}"))),
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Element, ParseXmlError> {
+        self.skip_prolog()?;
+        let root = self.parse_element()?;
+        self.skip_ws();
+        if self.pos != self.input.len() {
+            return Err(self.error("trailing content after root element"));
+        }
+        Ok(root)
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseXmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b':' | b'_' | b'-' | b'.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<Element, ParseXmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.error("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut element = Element::new(name.clone());
+
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.error("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.error("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.peek();
+                    if quote != Some(b'"') && quote != Some(b'\'') {
+                        return Err(self.error("expected quoted attribute value"));
+                    }
+                    let quote = quote.expect("checked");
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some() && self.peek() != Some(quote) {
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.error("unterminated attribute value"));
+                    }
+                    let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    element.attrs.push((attr_name, unescape(&raw)));
+                }
+                None => return Err(self.error("unexpected end of input in tag")),
+            }
+        }
+
+        // Children until the matching close tag.
+        loop {
+            if self.starts_with("<!--") {
+                self.advance_past("-->")?;
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.error(format!("mismatched close tag: <{name}> vs </{close}>")));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.error("expected '>' in close tag"));
+                }
+                self.pos += 1;
+                return Ok(element);
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    let child = self.parse_element()?;
+                    element.children.push(Node::Element(child));
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().is_some() && self.peek() != Some(b'<') {
+                        self.pos += 1;
+                    }
+                    let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    let text = unescape(&raw);
+                    if !text.trim().is_empty() {
+                        element.children.push(Node::Text(text));
+                    }
+                }
+                None => return Err(self.error(format!("unexpected end of input inside <{name}>"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_serialise() {
+        let doc = Element::new("a").attr("x", "1").child(Element::new("b").text("hi"));
+        assert_eq!(doc.to_string(), "<a x=\"1\"><b>hi</b></a>");
+    }
+
+    #[test]
+    fn self_closing_when_empty() {
+        assert_eq!(Element::new("empty").to_string(), "<empty/>");
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let doc = Element::new("t").attr("q", "a\"b").text("1 < 2 & 3 > 2");
+        let parsed = Element::parse(&doc.to_string()).unwrap();
+        assert_eq!(parsed.attribute("q"), Some("a\"b"));
+        assert_eq!(parsed.text_content(), "1 < 2 & 3 > 2");
+    }
+
+    #[test]
+    fn parse_with_prolog_and_comments() {
+        let s = "<?xml version=\"1.0\"?><!-- hello --><root a='1'><!-- inner --><leaf/></root>";
+        let root = Element::parse(s).unwrap();
+        assert_eq!(root.name(), "root");
+        assert_eq!(root.attribute("a"), Some("1"));
+        assert_eq!(root.elements().count(), 1);
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let root = Element::parse("<a>\n  <b>x</b>\n</a>").unwrap();
+        assert_eq!(root.nodes().len(), 1);
+    }
+
+    #[test]
+    fn find_descends_depth_first() {
+        let doc = Element::new("root")
+            .child(Element::new("mid").child(Element::new("ows:Identifier").text("one")))
+            .child(Element::new("ows:Identifier").text("two"));
+        assert_eq!(doc.find("ows:Identifier").unwrap().text_content(), "one");
+        assert_eq!(doc.find_all("ows:Identifier").len(), 2);
+        assert!(doc.find("missing").is_none());
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let err = Element::parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_errors() {
+        assert!(Element::parse("<a/>junk").is_err());
+    }
+
+    #[test]
+    fn unterminated_input_errors() {
+        assert!(Element::parse("<a><b>").is_err());
+        assert!(Element::parse("<a attr=>").is_err());
+    }
+
+    #[test]
+    fn nested_round_trip() {
+        let doc = Element::new("sos:GetObservation")
+            .attr("service", "SOS")
+            .attr("version", "1.0.0")
+            .child(Element::new("sos:offering").text("morland-stage-outlet"))
+            .child(
+                Element::new("sos:eventTime").child(
+                    Element::new("ogc:TM_During")
+                        .child(Element::new("gml:begin").text("2012-01-01T00:00:00Z"))
+                        .child(Element::new("gml:end").text("2012-01-08T00:00:00Z")),
+                ),
+            );
+        let parsed = Element::parse(&doc.to_string()).unwrap();
+        assert_eq!(parsed, doc);
+    }
+}

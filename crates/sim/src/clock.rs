@@ -1,0 +1,89 @@
+//! A monotonic virtual clock.
+
+use crate::{SimDuration, SimTime};
+
+/// A monotonic virtual clock for driving a discrete-event simulation.
+///
+/// The clock starts at [`SimTime::ZERO`] and can only move forward; trying to
+/// rewind it is a programming error and panics. Components that share a
+/// simulation typically hold the clock in the simulation driver and pass the
+/// current time into component methods (the pattern used by `evop-cloud`).
+///
+/// # Examples
+///
+/// ```
+/// use evop_sim::{Clock, SimDuration, SimTime};
+///
+/// let mut clock = Clock::new();
+/// clock.advance(SimDuration::from_secs(5));
+/// assert_eq!(clock.now(), SimTime::from_secs(5));
+/// clock.advance_to(SimTime::from_secs(9));
+/// assert_eq!(clock.now().as_secs(), 9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Clock {
+    now: SimTime,
+}
+
+impl Clock {
+    /// Creates a clock positioned at [`SimTime::ZERO`].
+    pub fn new() -> Clock {
+        Clock::default()
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Moves the clock forward by `delta`.
+    pub fn advance(&mut self, delta: SimDuration) {
+        self.now += delta;
+    }
+
+    /// Moves the clock to the absolute instant `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is earlier than the current time — virtual time is
+    /// monotonic.
+    pub fn advance_to(&mut self, to: SimTime) {
+        assert!(
+            to >= self.now,
+            "clock cannot move backwards: now={}, requested={}",
+            self.now,
+            to
+        );
+        self.now = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let mut clock = Clock::new();
+        assert_eq!(clock.now(), SimTime::ZERO);
+        clock.advance(SimDuration::from_millis(250));
+        clock.advance(SimDuration::from_millis(750));
+        assert_eq!(clock.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn advance_to_same_instant_is_allowed() {
+        let mut clock = Clock::new();
+        clock.advance_to(SimTime::from_secs(3));
+        clock.advance_to(SimTime::from_secs(3));
+        assert_eq!(clock.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move backwards")]
+    fn advance_to_rejects_rewind() {
+        let mut clock = Clock::new();
+        clock.advance_to(SimTime::from_secs(3));
+        clock.advance_to(SimTime::from_secs(2));
+    }
+}

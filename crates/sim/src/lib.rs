@@ -1,0 +1,43 @@
+//! Deterministic discrete-event simulation kernel for the EVOp control plane.
+//!
+//! The EVOp paper's infrastructure claims (cloudbursting, elasticity, failure
+//! recovery, flash crowds) are all *control-plane* behaviours. This crate
+//! provides the foundation on which the `evop-cloud` hybrid-cloud simulator
+//! and the `evop-broker` infrastructure manager are built:
+//!
+//! * [`SimTime`] / [`SimDuration`] — virtual time with millisecond resolution;
+//! * [`Clock`] — a monotonic virtual clock;
+//! * [`EventQueue`] — a time-ordered, FIFO-stable event queue;
+//! * [`SimRng`] — a seeded, forkable random-number generator so every
+//!   simulation run is reproducible;
+//! * [`stats`] — online statistics (Welford mean/variance, percentiles,
+//!   histograms) used by every benchmark harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use evop_sim::{EventQueue, SimTime};
+//!
+//! let mut queue = EventQueue::new();
+//! queue.push(SimTime::from_secs(3), "boot complete");
+//! queue.push(SimTime::from_secs(1), "request arrives");
+//!
+//! let (t, event) = queue.pop().unwrap();
+//! assert_eq!(t, SimTime::from_secs(1));
+//! assert_eq!(event, "request arrives");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stats;
+
+mod clock;
+mod queue;
+mod rng;
+mod time;
+
+pub use clock::Clock;
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,458 @@
+//! Online statistics used by the benchmark harnesses.
+//!
+//! Every experiment in EXPERIMENTS.md reports latency/cost distributions.
+//! This module provides the small set of estimators they share:
+//! [`Running`] (Welford mean/variance with min/max), [`Percentiles`]
+//! (exact order statistics over a recorded sample) and [`Histogram`]
+//! (fixed-width bucket counts for distribution shape).
+
+use std::fmt;
+
+/// Online mean / variance / extrema using Welford's algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use evop_sim::stats::Running;
+///
+/// let mut r = Running::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     r.record(x);
+/// }
+/// assert_eq!(r.count(), 8);
+/// assert!((r.mean() - 5.0).abs() < 1e-12);
+/// assert!((r.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Running {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Running {
+        Running {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// Non-finite values are ignored (they would otherwise poison the whole
+    /// accumulator); callers that care should validate first.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// The number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The arithmetic mean, or `0.0` if nothing was recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// The population variance (dividing by *n*), or `0.0` if fewer than one
+    /// observation was recorded.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// The population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// The smallest recorded value, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// The largest recorded value, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The sum of all recorded values.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Running) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Running {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean(),
+            self.population_std_dev(),
+            self.min().unwrap_or(f64::NAN),
+            self.max().unwrap_or(f64::NAN),
+        )
+    }
+}
+
+impl Extend<f64> for Running {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Running {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Running {
+        let mut r = Running::new();
+        r.extend(iter);
+        r
+    }
+}
+
+/// Exact percentile estimation over a recorded sample.
+///
+/// Keeps all samples; suitable for the experiment scales in this repository
+/// (up to a few million observations).
+///
+/// # Examples
+///
+/// ```
+/// use evop_sim::stats::Percentiles;
+///
+/// let mut p: Percentiles = (1..=100).map(f64::from).collect();
+/// assert_eq!(p.quantile(0.5), Some(50.0));
+/// assert_eq!(p.quantile(0.99), Some(99.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Creates an empty sample set.
+    pub fn new() -> Percentiles {
+        Percentiles::default()
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn record(&mut self, x: f64) {
+        if x.is_finite() {
+            self.samples.push(x);
+            self.sorted = false;
+        }
+    }
+
+    /// The number of recorded observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-quantile (nearest-rank), `q` in `[0, 1]`. Returns `None` when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.samples[rank - 1])
+    }
+
+    /// Convenience: the median.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Convenience: the 95th percentile — the paper's QoS yardstick for
+    /// flash-crowd experiments.
+    pub fn p95(&mut self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// Convenience: the 99th percentile.
+    pub fn p99(&mut self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// The mean of the recorded sample.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+}
+
+impl Extend<f64> for Percentiles {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Percentiles {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Percentiles {
+        let mut p = Percentiles::new();
+        p.extend(iter);
+        p
+    }
+}
+
+/// A fixed-width-bucket histogram over `[lo, hi)` with overflow/underflow
+/// buckets.
+///
+/// # Examples
+///
+/// ```
+/// use evop_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.record(0.5);
+/// h.record(9.5);
+/// h.record(42.0); // overflow
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(4), 1);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `buckets` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`, bounds are not finite, or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Histogram {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        assert!(buckets > 0, "at least one bucket is required");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() || x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// The count in bucket `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets[idx]
+    }
+
+    /// The number of buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// `true` if nothing has been recorded in any in-range bucket.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Iterates over `(bucket_lower_bound, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + width * i as f64, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_matches_textbook() {
+        let r: Running = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(r.count(), 8);
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+        assert!((r.population_std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(r.min(), Some(2.0));
+        assert_eq!(r.max(), Some(9.0));
+        assert!((r.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_ignores_non_finite() {
+        let mut r = Running::new();
+        r.record(f64::NAN);
+        r.record(f64::INFINITY);
+        r.record(3.0);
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.mean(), 3.0);
+    }
+
+    #[test]
+    fn running_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole: Running = xs.iter().copied().collect();
+        let mut left: Running = xs[..300].iter().copied().collect();
+        let right: Running = xs[300..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.population_variance() - whole.population_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_running_is_safe() {
+        let r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.min(), None);
+        assert_eq!(r.max(), None);
+        assert_eq!(r.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut p: Percentiles = (1..=100).map(f64::from).collect();
+        assert_eq!(p.quantile(0.0), Some(1.0));
+        assert_eq!(p.quantile(0.5), Some(50.0));
+        assert_eq!(p.p95(), Some(95.0));
+        assert_eq!(p.p99(), Some(99.0));
+        assert_eq!(p.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn percentiles_empty_returns_none() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.median(), None);
+    }
+
+    #[test]
+    fn percentiles_interleaved_record_and_query() {
+        let mut p = Percentiles::new();
+        p.record(5.0);
+        assert_eq!(p.median(), Some(5.0));
+        p.record(1.0);
+        p.record(9.0);
+        assert_eq!(p.median(), Some(5.0));
+    }
+
+    #[test]
+    fn histogram_buckets_and_flows() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for x in [0.0, 9.99, 10.0, 55.0, 99.9] {
+            h.record(x);
+        }
+        h.record(-1.0);
+        h.record(100.0);
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(5), 1);
+        assert_eq!(h.bucket_count(9), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_iter_lower_bounds() {
+        let h = Histogram::new(0.0, 10.0, 2);
+        let bounds: Vec<f64> = h.iter().map(|(b, _)| b).collect();
+        assert_eq!(bounds, [0.0, 5.0]);
+    }
+}

@@ -1,0 +1,298 @@
+//! Virtual time primitives.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in virtual simulation time, measured in milliseconds since the
+/// start of the simulation.
+///
+/// `SimTime` is totally ordered, starts at [`SimTime::ZERO`], and only ever
+/// moves forward (the [`Clock`](crate::Clock) enforces monotonicity).
+///
+/// # Examples
+///
+/// ```
+/// use evop_sim::{SimDuration, SimTime};
+///
+/// let boot = SimTime::from_secs(2);
+/// let ready = boot + SimDuration::from_millis(350);
+/// assert_eq!(ready.as_millis(), 2350);
+/// assert!(ready > boot);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of simulation time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The greatest representable instant; useful as an "infinity" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `millis` milliseconds after the start of the
+    /// simulation.
+    ///
+    /// ```
+    /// use evop_sim::SimTime;
+    /// assert_eq!(SimTime::from_millis(1500).as_secs_f64(), 1.5);
+    /// ```
+    pub const fn from_millis(millis: u64) -> SimTime {
+        SimTime(millis)
+    }
+
+    /// Creates an instant `secs` seconds after the start of the simulation.
+    pub const fn from_secs(secs: u64) -> SimTime {
+        SimTime(secs * 1000)
+    }
+
+    /// Creates an instant from a fractional number of seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> SimTime {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime::from_secs_f64 requires a finite, non-negative value, got {secs}"
+        );
+        SimTime((secs * 1000.0).round() as u64)
+    }
+
+    /// Milliseconds since the start of the simulation.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since the start of the simulation (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Fractional seconds since the start of the simulation.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// The duration elapsed since `earlier`, or [`SimDuration::ZERO`] if
+    /// `earlier` is in the future.
+    ///
+    /// ```
+    /// use evop_sim::{SimDuration, SimTime};
+    /// let a = SimTime::from_secs(1);
+    /// let b = SimTime::from_secs(4);
+    /// assert_eq!(b.saturating_since(a), SimDuration::from_secs(3));
+    /// assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+    /// ```
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration. Returns `None` on overflow.
+    pub fn checked_add(self, rhs: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when order is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+/// A span of virtual time with millisecond resolution.
+///
+/// # Examples
+///
+/// ```
+/// use evop_sim::SimDuration;
+///
+/// let sample_interval = SimDuration::from_secs(5);
+/// assert_eq!(sample_interval * 3, SimDuration::from_secs(15));
+/// assert_eq!(sample_interval.as_secs_f64(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> SimDuration {
+        SimDuration(millis)
+    }
+
+    /// Creates a duration of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> SimDuration {
+        SimDuration(secs * 1000)
+    }
+
+    /// Creates a duration from a fractional number of seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> SimDuration {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimDuration::from_secs_f64 requires a finite, non-negative value, got {secs}"
+        );
+        SimDuration((secs * 1000.0).round() as u64)
+    }
+
+    /// The duration in whole milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// `true` if this is the empty duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the duration by a scalar, saturating at the maximum.
+    pub fn saturating_mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_ordering_and_arithmetic() {
+        let a = SimTime::from_secs(1);
+        let b = a + SimDuration::from_millis(500);
+        assert!(b > a);
+        assert_eq!(b - a, SimDuration::from_millis(500));
+        assert_eq!(b.as_millis(), 1500);
+    }
+
+    #[test]
+    fn saturating_since_never_underflows() {
+        let a = SimTime::from_secs(10);
+        let b = SimTime::from_secs(2);
+        assert_eq!(b.saturating_since(a), SimDuration::ZERO);
+        assert_eq!(a.saturating_since(b), SimDuration::from_secs(8));
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_to_millis() {
+        assert_eq!(SimTime::from_secs_f64(1.2345).as_millis(), 1235);
+        assert_eq!(SimDuration::from_secs_f64(0.0005).as_millis(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn from_secs_f64_rejects_negative() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn duration_scalar_ops() {
+        let d = SimDuration::from_secs(6);
+        assert_eq!(d * 2, SimDuration::from_secs(12));
+        assert_eq!(d / 3, SimDuration::from_secs(2));
+        assert_eq!(d - SimDuration::from_secs(10), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "t+1.500s");
+        assert_eq!(SimDuration::from_millis(250).to_string(), "0.250s");
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(SimTime::MAX.checked_add(SimDuration::from_millis(1)).is_none());
+        assert_eq!(
+            SimTime::ZERO.checked_add(SimDuration::from_secs(1)),
+            Some(SimTime::from_secs(1))
+        );
+    }
+}

@@ -1,0 +1,558 @@
+//! Workflow composition: directed acyclic graphs of execution units.
+//!
+//! "A workflow is a conglomerate scientific process composed of a directed
+//! acyclic graph of basic execution units (e.g. executables, scripts, web
+//! services, etc.). Workflows allow 'advanced' users … to create complex
+//! experiments that can be easily tweaked and replayed, offering
+//! reproducibility and traceability" (paper §VIII). This crate implements
+//! that future-work feature: typed-by-JSON task nodes, cycle-checked
+//! composition, deterministic topological execution, a provenance trace per
+//! run, and replay verification (experiment E13).
+//!
+//! # Examples
+//!
+//! ```
+//! use evop_workflow::Workflow;
+//! use serde_json::{json, Value};
+//!
+//! let workflow = Workflow::builder("peak-finder")
+//!     .task("load", [] as [&str; 0], |_inputs| Ok(json!([1.0, 4.0, 2.0])))
+//!     .task("peak", ["load"], |inputs| {
+//!         let series = inputs[0].as_array().ok_or("expected array")?;
+//!         let max = series
+//!             .iter()
+//!             .filter_map(Value::as_f64)
+//!             .fold(f64::NEG_INFINITY, f64::max);
+//!         Ok(json!(max))
+//!     })
+//!     .build()?;
+//!
+//! let run = workflow.execute()?;
+//! assert_eq!(run.output("peak").unwrap(), &json!(4.0));
+//! assert!(workflow.replay(&run)?.matches());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use serde_json::Value;
+
+/// A task body: consumes the outputs of its input nodes (in declaration
+/// order), produces one JSON value.
+pub type TaskFn = Arc<dyn Fn(&[Value]) -> Result<Value, String> + Send + Sync>;
+
+/// Errors from building or running a workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowError {
+    /// Two nodes share a name.
+    DuplicateNode(String),
+    /// A node references an input that is not a node.
+    UnknownInput {
+        /// The referencing node.
+        node: String,
+        /// The missing input name.
+        input: String,
+    },
+    /// The graph contains a cycle through the named node.
+    Cycle(String),
+    /// A node's task failed at execution time.
+    NodeFailed {
+        /// The failing node.
+        node: String,
+        /// The task's error message.
+        message: String,
+    },
+    /// A replayed record does not belong to this workflow.
+    RecordMismatch(String),
+}
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowError::DuplicateNode(n) => write!(f, "duplicate node name: {n}"),
+            WorkflowError::UnknownInput { node, input } => {
+                write!(f, "node {node} references unknown input {input}")
+            }
+            WorkflowError::Cycle(n) => write!(f, "workflow graph has a cycle through {n}"),
+            WorkflowError::NodeFailed { node, message } => {
+                write!(f, "node {node} failed: {message}")
+            }
+            WorkflowError::RecordMismatch(reason) => write!(f, "record mismatch: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+struct Node {
+    name: String,
+    inputs: Vec<String>,
+    task: TaskFn,
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Node")
+            .field("name", &self.name)
+            .field("inputs", &self.inputs)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One node's provenance entry in a run record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The executed node.
+    pub node: String,
+    /// Names of the nodes whose outputs it consumed.
+    pub consumed: Vec<String>,
+    /// Content hash of the node's output.
+    pub output_hash: u64,
+    /// Position in the execution order (0-based).
+    pub order: usize,
+}
+
+/// The record of one workflow execution: every output plus a provenance
+/// trace — the paper's "reproducibility and traceability".
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    workflow: String,
+    outputs: BTreeMap<String, Value>,
+    trace: Vec<TraceEntry>,
+}
+
+impl RunRecord {
+    /// The workflow name this record came from.
+    pub fn workflow(&self) -> &str {
+        &self.workflow
+    }
+
+    /// A node's output.
+    pub fn output(&self, node: &str) -> Option<&Value> {
+        self.outputs.get(node)
+    }
+
+    /// The outputs of the workflow's sink nodes (nodes nothing consumes).
+    pub fn outputs(&self) -> &BTreeMap<String, Value> {
+        &self.outputs
+    }
+
+    /// The provenance trace in execution order.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+}
+
+/// The verdict of replaying a run record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayReport {
+    divergent: Vec<String>,
+}
+
+impl ReplayReport {
+    /// `true` when every node reproduced the recorded output hash.
+    pub fn matches(&self) -> bool {
+        self.divergent.is_empty()
+    }
+
+    /// Nodes whose outputs diverged from the record.
+    pub fn divergent_nodes(&self) -> &[String] {
+        &self.divergent
+    }
+}
+
+/// A validated, executable workflow DAG.
+#[derive(Debug)]
+pub struct Workflow {
+    name: String,
+    nodes: Vec<Node>,
+    /// Topological execution order, as indices into `nodes`.
+    order: Vec<usize>,
+}
+
+impl Workflow {
+    /// Starts building a workflow.
+    pub fn builder(name: impl Into<String>) -> WorkflowBuilder {
+        WorkflowBuilder { name: name.into(), nodes: Vec::new() }
+    }
+
+    /// The workflow name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the workflow has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node names in topological execution order.
+    pub fn execution_order(&self) -> Vec<&str> {
+        self.order.iter().map(|&i| self.nodes[i].name.as_str()).collect()
+    }
+
+    /// Executes every node in topological order, recording provenance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkflowError::NodeFailed`] on the first task failure.
+    pub fn execute(&self) -> Result<RunRecord, WorkflowError> {
+        let mut outputs: BTreeMap<String, Value> = BTreeMap::new();
+        let mut trace = Vec::with_capacity(self.nodes.len());
+        for (order, &idx) in self.order.iter().enumerate() {
+            let node = &self.nodes[idx];
+            let inputs: Vec<Value> = node
+                .inputs
+                .iter()
+                .map(|name| outputs.get(name).cloned().expect("topological order guarantees inputs"))
+                .collect();
+            let output = (node.task)(&inputs).map_err(|message| WorkflowError::NodeFailed {
+                node: node.name.clone(),
+                message,
+            })?;
+            trace.push(TraceEntry {
+                node: node.name.clone(),
+                consumed: node.inputs.clone(),
+                output_hash: hash_value(&output),
+                order,
+            });
+            outputs.insert(node.name.clone(), output);
+        }
+        Ok(RunRecord { workflow: self.name.clone(), outputs, trace })
+    }
+
+    /// Re-executes the workflow and compares every node's output hash
+    /// against `record` — the reproducibility check of experiment E13.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkflowError::RecordMismatch`] when the record names a
+    /// different workflow or node set, or any execution error.
+    pub fn replay(&self, record: &RunRecord) -> Result<ReplayReport, WorkflowError> {
+        if record.workflow != self.name {
+            return Err(WorkflowError::RecordMismatch(format!(
+                "record is for workflow {:?}, this is {:?}",
+                record.workflow, self.name
+            )));
+        }
+        if record.trace.len() != self.nodes.len() {
+            return Err(WorkflowError::RecordMismatch(format!(
+                "record has {} nodes, workflow has {}",
+                record.trace.len(),
+                self.nodes.len()
+            )));
+        }
+        let rerun = self.execute()?;
+        let recorded: BTreeMap<&str, u64> =
+            record.trace.iter().map(|t| (t.node.as_str(), t.output_hash)).collect();
+        let divergent = rerun
+            .trace
+            .iter()
+            .filter(|t| recorded.get(t.node.as_str()) != Some(&t.output_hash))
+            .map(|t| t.node.clone())
+            .collect();
+        Ok(ReplayReport { divergent })
+    }
+
+    /// Node names nothing consumes — the workflow's results.
+    pub fn sink_nodes(&self) -> Vec<&str> {
+        let consumed: BTreeSet<&str> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.inputs.iter().map(String::as_str))
+            .collect();
+        self.nodes
+            .iter()
+            .map(|n| n.name.as_str())
+            .filter(|n| !consumed.contains(n))
+            .collect()
+    }
+}
+
+/// FNV-1a over the canonical JSON encoding.
+fn hash_value(value: &Value) -> u64 {
+    let encoded = value.to_string();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in encoded.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Builder for [`Workflow`].
+pub struct WorkflowBuilder {
+    name: String,
+    nodes: Vec<Node>,
+}
+
+impl fmt::Debug for WorkflowBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkflowBuilder")
+            .field("name", &self.name)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl WorkflowBuilder {
+    /// Adds a task node consuming the named inputs (in order).
+    pub fn task<I, S, F>(mut self, name: impl Into<String>, inputs: I, task: F) -> WorkflowBuilder
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+        F: Fn(&[Value]) -> Result<Value, String> + Send + Sync + 'static,
+    {
+        self.nodes.push(Node {
+            name: name.into(),
+            inputs: inputs.into_iter().map(Into::into).collect(),
+            task: Arc::new(task),
+        });
+        self
+    }
+
+    /// Adds a constant source node.
+    pub fn constant(self, name: impl Into<String>, value: Value) -> WorkflowBuilder {
+        self.task(name, Vec::<String>::new(), move |_| Ok(value.clone()))
+    }
+
+    /// Validates the graph (unique names, known inputs, acyclicity) and
+    /// freezes the topological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkflowError::DuplicateNode`],
+    /// [`WorkflowError::UnknownInput`] or [`WorkflowError::Cycle`].
+    pub fn build(self) -> Result<Workflow, WorkflowError> {
+        let mut seen = BTreeSet::new();
+        for node in &self.nodes {
+            if !seen.insert(node.name.as_str()) {
+                return Err(WorkflowError::DuplicateNode(node.name.clone()));
+            }
+        }
+        let index: BTreeMap<&str, usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.name.as_str(), i))
+            .collect();
+        for node in &self.nodes {
+            for input in &node.inputs {
+                if !index.contains_key(input.as_str()) {
+                    return Err(WorkflowError::UnknownInput {
+                        node: node.name.clone(),
+                        input: input.clone(),
+                    });
+                }
+            }
+        }
+
+        // Kahn's algorithm, deterministic (declaration-order tie-breaking).
+        let n = self.nodes.len();
+        let mut in_degree = vec![0usize; n];
+        let mut dependants: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for input in &node.inputs {
+                let j = index[input.as_str()];
+                in_degree[i] += 1;
+                dependants[j].push(i);
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| in_degree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.first().copied() {
+            ready.remove(0);
+            order.push(i);
+            for &d in &dependants[i] {
+                in_degree[d] -= 1;
+                if in_degree[d] == 0 {
+                    ready.push(d);
+                    ready.sort_unstable();
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n)
+                .find(|&i| in_degree[i] > 0)
+                .map(|i| self.nodes[i].name.clone())
+                .unwrap_or_default();
+            return Err(WorkflowError::Cycle(stuck));
+        }
+
+        Ok(Workflow { name: self.name, nodes: self.nodes, order })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn diamond() -> Workflow {
+        Workflow::builder("diamond")
+            .constant("source", json!(10))
+            .task("left", ["source"], |ins| Ok(json!(ins[0].as_i64().unwrap() * 2)))
+            .task("right", ["source"], |ins| Ok(json!(ins[0].as_i64().unwrap() + 5)))
+            .task("join", ["left", "right"], |ins| {
+                Ok(json!(ins[0].as_i64().unwrap() + ins[1].as_i64().unwrap()))
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn diamond_executes_in_topological_order() {
+        let wf = diamond();
+        let order = wf.execution_order();
+        assert_eq!(order[0], "source");
+        assert_eq!(order[3], "join");
+        let run = wf.execute().unwrap();
+        assert_eq!(run.output("join").unwrap(), &json!(35));
+        assert_eq!(wf.sink_nodes(), vec!["join"]);
+    }
+
+    #[test]
+    fn trace_records_order_and_consumption() {
+        let run = diamond().execute().unwrap();
+        assert_eq!(run.trace().len(), 4);
+        assert_eq!(run.trace()[0].node, "source");
+        let join = run.trace().iter().find(|t| t.node == "join").unwrap();
+        assert_eq!(join.consumed, vec!["left", "right"]);
+        assert_eq!(join.order, 3);
+    }
+
+    #[test]
+    fn replay_matches_for_deterministic_workflow() {
+        let wf = diamond();
+        let run = wf.execute().unwrap();
+        let report = wf.replay(&run).unwrap();
+        assert!(report.matches());
+    }
+
+    #[test]
+    fn replay_detects_divergence() {
+        use std::sync::atomic::{AtomicI64, Ordering};
+        let counter = Arc::new(AtomicI64::new(0));
+        let c2 = Arc::clone(&counter);
+        let wf = Workflow::builder("drifting")
+            .task("tick", [] as [&str; 0], move |_| {
+                Ok(json!(c2.fetch_add(1, Ordering::SeqCst)))
+            })
+            .build()
+            .unwrap();
+        let run = wf.execute().unwrap();
+        let report = wf.replay(&run).unwrap();
+        assert!(!report.matches());
+        assert_eq!(report.divergent_nodes(), ["tick"]);
+    }
+
+    #[test]
+    fn replay_rejects_foreign_record() {
+        let wf = diamond();
+        let other = Workflow::builder("other")
+            .constant("x", json!(1))
+            .build()
+            .unwrap();
+        let record = other.execute().unwrap();
+        assert!(matches!(wf.replay(&record), Err(WorkflowError::RecordMismatch(_))));
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let err = Workflow::builder("loopy")
+            .task("a", ["b"], |_| Ok(json!(1)))
+            .task("b", ["a"], |_| Ok(json!(2)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, WorkflowError::Cycle(_)));
+    }
+
+    #[test]
+    fn self_loop_is_rejected() {
+        let err = Workflow::builder("selfie")
+            .task("a", ["a"], |_| Ok(json!(1)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, WorkflowError::Cycle(_)));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_names_rejected() {
+        let err = Workflow::builder("dup")
+            .constant("x", json!(1))
+            .constant("x", json!(2))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, WorkflowError::DuplicateNode("x".to_owned()));
+
+        let err = Workflow::builder("missing")
+            .task("a", ["ghost"], |_| Ok(json!(1)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, WorkflowError::UnknownInput { .. }));
+    }
+
+    #[test]
+    fn node_failure_is_attributed() {
+        let wf = Workflow::builder("failing")
+            .constant("ok", json!(1))
+            .task("boom", ["ok"], |_| Err("kaput".to_owned()))
+            .build()
+            .unwrap();
+        let err = wf.execute().unwrap_err();
+        assert_eq!(
+            err,
+            WorkflowError::NodeFailed { node: "boom".to_owned(), message: "kaput".to_owned() }
+        );
+    }
+
+    #[test]
+    fn declaration_order_breaks_ties_deterministically() {
+        let wf = Workflow::builder("ties")
+            .constant("b", json!(1))
+            .constant("a", json!(2))
+            .task("sum", ["a", "b"], |ins| {
+                Ok(json!(ins[0].as_i64().unwrap() + ins[1].as_i64().unwrap()))
+            })
+            .build()
+            .unwrap();
+        // Declaration order: b before a.
+        assert_eq!(wf.execution_order(), vec!["b", "a", "sum"]);
+        // Inputs are delivered in *declared input* order, not execution order.
+        let run = wf.execute().unwrap();
+        assert_eq!(run.output("sum").unwrap(), &json!(3));
+    }
+
+    #[test]
+    fn multi_stage_pipeline_passes_data() {
+        // The paper's example shape: data → model → statistics.
+        let wf = Workflow::builder("rainfall-stats")
+            .constant("rainfall", json!([0.0, 2.5, 10.0, 4.0]))
+            .task("runoff", ["rainfall"], |ins| {
+                let total: f64 = ins[0]
+                    .as_array()
+                    .ok_or("expected array")?
+                    .iter()
+                    .filter_map(Value::as_f64)
+                    .sum();
+                Ok(json!({ "runoff_mm": total * 0.4 }))
+            })
+            .task("report", ["runoff"], |ins| {
+                Ok(json!(format!("runoff: {} mm", ins[0]["runoff_mm"])))
+            })
+            .build()
+            .unwrap();
+        let run = wf.execute().unwrap();
+        assert_eq!(run.output("report").unwrap(), &json!("runoff: 6.6000000000000005 mm"));
+    }
+}

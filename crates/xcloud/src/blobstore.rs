@@ -1,0 +1,255 @@
+//! Uniform blob storage — the S3/Swift half of the cross-cloud layer.
+//!
+//! EVOp warehoused historical datasets and the Model Library's VM images in
+//! provider storage (S3 on AWS, Swift on OpenStack). The cross-cloud layer
+//! exposes both through one container/key interface, so callers never know
+//! which side of the hybrid holds a blob.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bytes::Bytes;
+
+/// A stored object plus minimal metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Blob {
+    data: Bytes,
+    content_type: String,
+}
+
+impl Blob {
+    /// Creates a blob with an explicit content type.
+    pub fn new(data: impl Into<Bytes>, content_type: impl Into<String>) -> Blob {
+        Blob { data: data.into(), content_type: content_type.into() }
+    }
+
+    /// The payload.
+    pub fn data(&self) -> &Bytes {
+        &self.data
+    }
+
+    /// The declared content type, e.g. `"application/json"`.
+    pub fn content_type(&self) -> &str {
+        &self.content_type
+    }
+
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Blob {
+    fn from(data: Vec<u8>) -> Blob {
+        Blob::new(data, "application/octet-stream")
+    }
+}
+
+impl From<&str> for Blob {
+    fn from(data: &str) -> Blob {
+        Blob::new(data.as_bytes().to_vec(), "text/plain")
+    }
+}
+
+/// Errors from blob operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlobStoreError {
+    /// The container does not exist.
+    NoSuchContainer(String),
+    /// The key does not exist in the container.
+    NoSuchKey {
+        /// The container that was queried.
+        container: String,
+        /// The missing key.
+        key: String,
+    },
+}
+
+impl fmt::Display for BlobStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlobStoreError::NoSuchContainer(c) => write!(f, "no such container: {c}"),
+            BlobStoreError::NoSuchKey { container, key } => {
+                write!(f, "no such key: {container}/{key}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlobStoreError {}
+
+/// An in-memory container/key blob store with usage accounting.
+///
+/// # Examples
+///
+/// ```
+/// use evop_xcloud::{Blob, BlobStore};
+///
+/// let mut store = BlobStore::new();
+/// store.create_container("model-library");
+/// store.put("model-library", "topmodel-eden.img", Blob::from("…image bytes…")).unwrap();
+///
+/// let blob = store.get("model-library", "topmodel-eden.img").unwrap();
+/// assert_eq!(blob.content_type(), "text/plain");
+/// assert!(store.total_bytes() > 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BlobStore {
+    containers: BTreeMap<String, BTreeMap<String, Blob>>,
+}
+
+impl BlobStore {
+    /// Creates an empty store.
+    pub fn new() -> BlobStore {
+        BlobStore::default()
+    }
+
+    /// Creates a container; creating an existing container is a no-op.
+    pub fn create_container(&mut self, name: impl Into<String>) {
+        self.containers.entry(name.into()).or_default();
+    }
+
+    /// `true` if the container exists.
+    pub fn has_container(&self, name: &str) -> bool {
+        self.containers.contains_key(name)
+    }
+
+    /// Stores a blob, replacing any previous value. Returns the previous
+    /// blob, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlobStoreError::NoSuchContainer`] if the container was
+    /// never created.
+    pub fn put(
+        &mut self,
+        container: &str,
+        key: impl Into<String>,
+        blob: Blob,
+    ) -> Result<Option<Blob>, BlobStoreError> {
+        let c = self
+            .containers
+            .get_mut(container)
+            .ok_or_else(|| BlobStoreError::NoSuchContainer(container.to_owned()))?;
+        Ok(c.insert(key.into(), blob))
+    }
+
+    /// Fetches a blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlobStoreError::NoSuchContainer`] or
+    /// [`BlobStoreError::NoSuchKey`].
+    pub fn get(&self, container: &str, key: &str) -> Result<&Blob, BlobStoreError> {
+        let c = self
+            .containers
+            .get(container)
+            .ok_or_else(|| BlobStoreError::NoSuchContainer(container.to_owned()))?;
+        c.get(key).ok_or_else(|| BlobStoreError::NoSuchKey {
+            container: container.to_owned(),
+            key: key.to_owned(),
+        })
+    }
+
+    /// Deletes a blob, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlobStoreError::NoSuchContainer`] or
+    /// [`BlobStoreError::NoSuchKey`].
+    pub fn delete(&mut self, container: &str, key: &str) -> Result<Blob, BlobStoreError> {
+        let c = self
+            .containers
+            .get_mut(container)
+            .ok_or_else(|| BlobStoreError::NoSuchContainer(container.to_owned()))?;
+        c.remove(key).ok_or_else(|| BlobStoreError::NoSuchKey {
+            container: container.to_owned(),
+            key: key.to_owned(),
+        })
+    }
+
+    /// Lists keys in a container, in sorted order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlobStoreError::NoSuchContainer`] if absent.
+    pub fn list(&self, container: &str) -> Result<Vec<&str>, BlobStoreError> {
+        let c = self
+            .containers
+            .get(container)
+            .ok_or_else(|| BlobStoreError::NoSuchContainer(container.to_owned()))?;
+        Ok(c.keys().map(String::as_str).collect())
+    }
+
+    /// Total bytes stored across all containers.
+    pub fn total_bytes(&self) -> usize {
+        self.containers
+            .values()
+            .flat_map(|c| c.values())
+            .map(Blob::len)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let mut store = BlobStore::new();
+        store.create_container("data");
+        assert!(store.put("data", "k", Blob::from("hello")).unwrap().is_none());
+        assert_eq!(store.get("data", "k").unwrap().data().as_ref(), b"hello");
+        let removed = store.delete("data", "k").unwrap();
+        assert_eq!(removed.len(), 5);
+        assert!(matches!(
+            store.get("data", "k"),
+            Err(BlobStoreError::NoSuchKey { .. })
+        ));
+    }
+
+    #[test]
+    fn put_replaces_and_returns_previous() {
+        let mut store = BlobStore::new();
+        store.create_container("data");
+        store.put("data", "k", Blob::from("one")).unwrap();
+        let prev = store.put("data", "k", Blob::from("two")).unwrap().unwrap();
+        assert_eq!(prev.data().as_ref(), b"one");
+        assert_eq!(store.get("data", "k").unwrap().data().as_ref(), b"two");
+    }
+
+    #[test]
+    fn missing_container_errors() {
+        let mut store = BlobStore::new();
+        assert!(matches!(
+            store.put("ghost", "k", Blob::from("x")),
+            Err(BlobStoreError::NoSuchContainer(_))
+        ));
+        assert!(matches!(store.list("ghost"), Err(BlobStoreError::NoSuchContainer(_))));
+    }
+
+    #[test]
+    fn list_and_accounting() {
+        let mut store = BlobStore::new();
+        store.create_container("lib");
+        store.put("lib", "b", Blob::from("22")).unwrap();
+        store.put("lib", "a", Blob::from("4444")).unwrap();
+        assert_eq!(store.list("lib").unwrap(), ["a", "b"]);
+        assert_eq!(store.total_bytes(), 6);
+    }
+
+    #[test]
+    fn create_container_is_idempotent() {
+        let mut store = BlobStore::new();
+        store.create_container("x");
+        store.put("x", "k", Blob::from("v")).unwrap();
+        store.create_container("x");
+        assert!(store.get("x", "k").is_ok(), "recreating must not wipe contents");
+    }
+}

@@ -1,0 +1,284 @@
+//! The provider-agnostic compute service.
+
+use std::fmt;
+
+use evop_cloud::{CloudError, CloudSim, ImageId, InstanceId};
+
+use crate::policy::{provider_views, PlacementPolicy};
+
+/// Errors from cross-cloud provisioning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XcloudError {
+    /// No registered provider could accept the node (all saturated or the
+    /// policy excluded them all).
+    NoCapacity {
+        /// Providers that were tried, in order, with the error each returned.
+        attempts: Vec<(String, String)>,
+    },
+    /// The template referenced an unregistered image.
+    UnknownImage(ImageId),
+}
+
+impl fmt::Display for XcloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XcloudError::NoCapacity { attempts } => {
+                write!(f, "no provider could place the node ({} tried)", attempts.len())
+            }
+            XcloudError::UnknownImage(id) => write!(f, "unknown image: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for XcloudError {}
+
+/// A declarative description of the node a caller wants — the analogue of
+/// jclouds' `TemplateBuilder`.
+///
+/// # Examples
+///
+/// ```
+/// use evop_cloud::ImageId;
+/// use evop_xcloud::NodeTemplate;
+///
+/// let template = NodeTemplate::new("m1.large", ImageId::new("topmodel-eden"));
+/// assert_eq!(template.instance_type(), "m1.large");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTemplate {
+    instance_type: String,
+    image: ImageId,
+    streamlined_hint: Option<bool>,
+}
+
+impl NodeTemplate {
+    /// Creates a template for one node of the given flavour and image.
+    pub fn new(instance_type: impl Into<String>, image: ImageId) -> NodeTemplate {
+        NodeTemplate {
+            instance_type: instance_type.into(),
+            image,
+            streamlined_hint: None,
+        }
+    }
+
+    /// The requested flavour name.
+    pub fn instance_type(&self) -> &str {
+        &self.instance_type
+    }
+
+    /// The requested image.
+    pub fn image(&self) -> &ImageId {
+        &self.image
+    }
+
+    /// Overrides the streamlined/incubator classification used by
+    /// image-aware policies (normally derived from the registered image).
+    pub fn with_streamlined_hint(mut self, streamlined: bool) -> NodeTemplate {
+        self.streamlined_hint = Some(streamlined);
+        self
+    }
+
+    /// Whether image-aware policies should treat this node as a streamlined
+    /// bundle. Falls back to `false` when no hint was set and the image is
+    /// not resolvable.
+    pub fn image_is_streamlined(&self) -> bool {
+        self.streamlined_hint.unwrap_or(false)
+    }
+
+    fn resolved(&self, sim: &CloudSim) -> NodeTemplate {
+        if self.streamlined_hint.is_some() {
+            return self.clone();
+        }
+        let streamlined = sim
+            .image(&self.image)
+            .map(|img| img.kind().is_streamlined())
+            .unwrap_or(false);
+        self.clone().with_streamlined_hint(streamlined)
+    }
+}
+
+/// The uniform compute facade over all registered providers.
+///
+/// Callers provision against the service; the active [`PlacementPolicy`]
+/// decides provider order, and the service walks that order until a launch
+/// succeeds. Swapping the policy (the paper's §VI example) is one call and
+/// touches no call sites.
+#[derive(Debug)]
+pub struct ComputeService {
+    policy: Box<dyn PlacementPolicy>,
+    known_providers: Vec<String>,
+}
+
+impl ComputeService {
+    /// Creates the service with an initial placement policy.
+    pub fn new<P: PlacementPolicy + 'static>(policy: P) -> ComputeService {
+        ComputeService { policy: Box::new(policy), known_providers: Vec::new() }
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Hot-swaps the placement policy — experiment E8's one-line change.
+    pub fn set_policy<P: PlacementPolicy + 'static>(&mut self, policy: P) {
+        self.policy = Box::new(policy);
+    }
+
+    /// Registers a provider name the service may place nodes on. Order of
+    /// registration does not matter; ranking is the policy's job.
+    pub fn register_provider(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        if !self.known_providers.contains(&name) {
+            self.known_providers.push(name);
+        }
+    }
+
+    /// Providers the service knows about.
+    pub fn providers(&self) -> &[String] {
+        &self.known_providers
+    }
+
+    /// Provisions one node matching `template`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XcloudError::NoCapacity`] when every ranked provider
+    /// refused the launch, with per-provider failure reasons.
+    pub fn provision(
+        &mut self,
+        sim: &mut CloudSim,
+        template: &NodeTemplate,
+    ) -> Result<InstanceId, XcloudError> {
+        let resolved = template.resolved(sim);
+        let views = provider_views(sim, &self.known_providers);
+        let order = self.policy.rank(&resolved, &views);
+        let mut attempts = Vec::new();
+        for provider in order {
+            match sim.launch(&provider, resolved.instance_type(), resolved.image()) {
+                Ok(id) => return Ok(id),
+                Err(CloudError::UnknownImage(_)) => {
+                    return Err(XcloudError::UnknownImage(resolved.image().clone()));
+                }
+                Err(err) => attempts.push((provider, err.to_string())),
+            }
+        }
+        Err(XcloudError::NoCapacity { attempts })
+    }
+
+    /// Provisions up to `count` nodes, returning the ones that succeeded.
+    /// Stops early when capacity runs out under a bounded policy.
+    pub fn provision_group(
+        &mut self,
+        sim: &mut CloudSim,
+        template: &NodeTemplate,
+        count: usize,
+    ) -> Vec<InstanceId> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            match self.provision(sim, template) {
+                Ok(id) => out.push(id),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{PrivateFirst, PrivateOnly, PublicOnly, SplitByImageKind};
+    use evop_cloud::{MachineImage, Provider};
+
+    fn setup() -> (CloudSim, ComputeService, ImageId, ImageId) {
+        let mut sim = CloudSim::new(3);
+        sim.register_provider(Provider::private_openstack("campus", 4));
+        sim.register_provider(Provider::public_aws("aws"));
+        let baked = MachineImage::streamlined("baked", ["topmodel"]);
+        let baked_id = baked.id().clone();
+        sim.register_image(baked);
+        let inc = MachineImage::incubator("inc");
+        let inc_id = inc.id().clone();
+        sim.register_image(inc);
+        let mut compute = ComputeService::new(PrivateFirst);
+        compute.register_provider("campus");
+        compute.register_provider("aws");
+        (sim, compute, baked_id, inc_id)
+    }
+
+    #[test]
+    fn bursts_to_public_on_saturation() {
+        let (mut sim, mut compute, baked, _) = setup();
+        let template = NodeTemplate::new("m1.large", baked);
+        let a = compute.provision(&mut sim, &template).unwrap();
+        let b = compute.provision(&mut sim, &template).unwrap();
+        assert_eq!(sim.instance(a).unwrap().provider(), "campus");
+        assert_eq!(sim.instance(b).unwrap().provider(), "aws");
+    }
+
+    #[test]
+    fn private_only_fails_cleanly_when_full() {
+        let (mut sim, mut compute, baked, _) = setup();
+        compute.set_policy(PrivateOnly);
+        let template = NodeTemplate::new("m1.large", baked);
+        assert!(compute.provision(&mut sim, &template).is_ok());
+        let err = compute.provision(&mut sim, &template).unwrap_err();
+        match err {
+            XcloudError::NoCapacity { attempts } => {
+                assert_eq!(attempts.len(), 1);
+                assert_eq!(attempts[0].0, "campus");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn policy_swap_redirects_without_caller_changes() {
+        let (mut sim, mut compute, baked, inc) = setup();
+        compute.set_policy(SplitByImageKind);
+        assert_eq!(compute.policy_name(), "split-by-image-kind");
+
+        let baked_node = compute
+            .provision(&mut sim, &NodeTemplate::new("m1.small", baked))
+            .unwrap();
+        let inc_node = compute
+            .provision(&mut sim, &NodeTemplate::new("m1.small", inc))
+            .unwrap();
+        assert_eq!(sim.instance(baked_node).unwrap().provider(), "aws");
+        assert_eq!(sim.instance(inc_node).unwrap().provider(), "campus");
+    }
+
+    #[test]
+    fn provision_group_stops_at_capacity() {
+        let (mut sim, mut compute, baked, _) = setup();
+        compute.set_policy(PrivateOnly);
+        let nodes = compute.provision_group(&mut sim, &NodeTemplate::new("m1.small", baked), 10);
+        assert_eq!(nodes.len(), 4, "campus has 4 vCPUs of m1.small capacity");
+    }
+
+    #[test]
+    fn provision_group_unbounded_on_public() {
+        let (mut sim, mut compute, baked, _) = setup();
+        compute.set_policy(PublicOnly);
+        let nodes = compute.provision_group(&mut sim, &NodeTemplate::new("m1.small", baked), 25);
+        assert_eq!(nodes.len(), 25);
+        assert!(nodes.iter().all(|&n| sim.instance(n).unwrap().provider() == "aws"));
+    }
+
+    #[test]
+    fn unknown_image_is_reported() {
+        let (mut sim, mut compute, _, _) = setup();
+        let err = compute
+            .provision(&mut sim, &NodeTemplate::new("m1.small", ImageId::new("ghost")))
+            .unwrap_err();
+        assert!(matches!(err, XcloudError::UnknownImage(_)));
+    }
+
+    #[test]
+    fn streamlined_hint_is_derived_from_registry() {
+        let (sim, _, baked, inc) = setup();
+        assert!(NodeTemplate::new("m1.small", baked).resolved(&sim).image_is_streamlined());
+        assert!(!NodeTemplate::new("m1.small", inc).resolved(&sim).image_is_streamlined());
+    }
+}

@@ -1,0 +1,57 @@
+//! Cross-cloud abstraction — the reproduction's analogue of jclouds.
+//!
+//! "In an effort to promote portability and to avoid being tied in to one
+//! provider, we decided to use the cross-cloud library jclouds … This open
+//! source software provides abstractions across many of the widely used
+//! cloud solutions" (paper §IV-A). This crate provides that layer over the
+//! [`evop_cloud`] simulator:
+//!
+//! * [`ComputeService`] — provider-agnostic provisioning: callers describe
+//!   *what* they need (a [`NodeTemplate`]); a [`PlacementPolicy`] decides
+//!   *where* it goes;
+//! * placement policies matching the paper's examples — the default
+//!   [`PrivateFirst`] ("all computations on private cloud until saturation")
+//!   and [`SplitByImageKind`] ("streamlined models to AWS and experimental
+//!   ones to the private cloud"), hot-swappable without touching callers
+//!   (experiment E8);
+//! * [`BlobStore`] — the uniform storage half of the abstraction (the
+//!   S3/Swift analogue) used for warehoused datasets and model-library
+//!   images.
+//!
+//! # Examples
+//!
+//! ```
+//! use evop_cloud::{CloudSim, MachineImage, Provider};
+//! use evop_xcloud::{ComputeService, NodeTemplate, PrivateFirst};
+//!
+//! let mut sim = CloudSim::new(1);
+//! sim.register_provider(Provider::private_openstack("campus", 4));
+//! sim.register_provider(Provider::public_aws("aws"));
+//! let image = MachineImage::streamlined("topmodel", ["topmodel"]);
+//! sim.register_image(image.clone());
+//!
+//! let mut compute = ComputeService::new(PrivateFirst);
+//! compute.register_provider("campus");
+//! compute.register_provider("aws");
+//! let template = NodeTemplate::new("m1.large", image.id().clone());
+//!
+//! // First instance fits on campus; the second bursts to AWS.
+//! let a = compute.provision(&mut sim, &template).unwrap();
+//! let b = compute.provision(&mut sim, &template).unwrap();
+//! assert_eq!(sim.instance(a).unwrap().provider(), "campus");
+//! assert_eq!(sim.instance(b).unwrap().provider(), "aws");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blobstore;
+mod compute;
+mod policy;
+
+pub use blobstore::{Blob, BlobStore, BlobStoreError};
+pub use compute::{ComputeService, NodeTemplate, XcloudError};
+pub use policy::{
+    CheapestFirst, PlacementPolicy, PrivateFirst, PrivateOnly, ProviderView, PublicOnly,
+    SplitByImageKind,
+};

@@ -1,0 +1,230 @@
+//! Placement policies: who decides where a node goes.
+
+use std::fmt;
+
+use evop_cloud::{CloudSim, ProviderKind};
+
+use crate::compute::NodeTemplate;
+
+/// What a policy may know about one provider when ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProviderView {
+    /// Provider name, as registered with the simulator.
+    pub name: String,
+    /// Private (owned) or public (leased).
+    pub kind: ProviderKind,
+    /// Free vCPUs, or `None` when effectively unbounded.
+    pub free_vcpus: Option<u32>,
+    /// Multiplier on flavour list prices.
+    pub price_factor: f64,
+}
+
+/// Builds the policy-visible snapshot of all registered providers.
+pub(crate) fn provider_views(sim: &CloudSim, names: &[String]) -> Vec<ProviderView> {
+    names
+        .iter()
+        .filter_map(|name| {
+            sim.provider(name).map(|p| ProviderView {
+                name: name.clone(),
+                kind: p.kind(),
+                free_vcpus: sim.free_vcpus(name),
+                price_factor: p.price_factor(),
+            })
+        })
+        .collect()
+}
+
+/// Decides the order in which providers are tried for a placement.
+///
+/// Implementations are pure rankers: the [`ComputeService`] tries providers
+/// in the returned order until a launch succeeds, so a policy never needs to
+/// handle capacity races itself.
+///
+/// [`ComputeService`]: crate::ComputeService
+pub trait PlacementPolicy: fmt::Debug + Send + Sync {
+    /// The providers to try, most preferred first. Providers omitted from
+    /// the result are never used.
+    fn rank(&self, template: &NodeTemplate, providers: &[ProviderView]) -> Vec<String>;
+
+    /// A short policy name for logs and experiment output.
+    fn name(&self) -> &'static str;
+}
+
+fn privates_then_publics(providers: &[ProviderView]) -> (Vec<&ProviderView>, Vec<&ProviderView>) {
+    let privates = providers.iter().filter(|p| p.kind == ProviderKind::Private).collect();
+    let publics = providers.iter().filter(|p| p.kind == ProviderKind::Public).collect();
+    (privates, publics)
+}
+
+/// The paper's default scheduling policy: "user requests are served by
+/// default using private instances. Upon saturation of private cloud
+/// resources, LB initiates cloudbursting mode where public cloud instances
+/// are used beside private ones" (§IV-D).
+///
+/// Private providers are ranked by free capacity (fullest-fit last), then
+/// public providers by price.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrivateFirst;
+
+impl PlacementPolicy for PrivateFirst {
+    fn rank(&self, _template: &NodeTemplate, providers: &[ProviderView]) -> Vec<String> {
+        let (mut privates, mut publics) = privates_then_publics(providers);
+        privates.sort_by(|a, b| b.free_vcpus.cmp(&a.free_vcpus));
+        publics.sort_by(|a, b| a.price_factor.partial_cmp(&b.price_factor).expect("finite"));
+        privates.into_iter().chain(publics).map(|p| p.name.clone()).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "private-first"
+    }
+}
+
+/// Only ever uses private providers — the quota-bound "cluster computing"
+/// baseline the paper contrasts elasticity against (§VI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrivateOnly;
+
+impl PlacementPolicy for PrivateOnly {
+    fn rank(&self, _template: &NodeTemplate, providers: &[ProviderView]) -> Vec<String> {
+        let (mut privates, _) = privates_then_publics(providers);
+        privates.sort_by(|a, b| b.free_vcpus.cmp(&a.free_vcpus));
+        privates.into_iter().map(|p| p.name.clone()).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "private-only"
+    }
+}
+
+/// Only ever uses public providers — the everything-on-AWS cost baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PublicOnly;
+
+impl PlacementPolicy for PublicOnly {
+    fn rank(&self, _template: &NodeTemplate, providers: &[ProviderView]) -> Vec<String> {
+        let (_, mut publics) = privates_then_publics(providers);
+        publics.sort_by(|a, b| a.price_factor.partial_cmp(&b.price_factor).expect("finite"));
+        publics.into_iter().map(|p| p.name.clone()).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "public-only"
+    }
+}
+
+/// The paper's example of a policy change enabled by the cross-cloud layer:
+/// "streamlined models to AWS and experimental ones to the private cloud"
+/// (§VI).
+///
+/// Streamlined-image nodes go to public providers first (overflowing to
+/// private); incubator nodes go to private providers first (overflowing to
+/// public).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SplitByImageKind;
+
+impl PlacementPolicy for SplitByImageKind {
+    fn rank(&self, template: &NodeTemplate, providers: &[ProviderView]) -> Vec<String> {
+        let (mut privates, mut publics) = privates_then_publics(providers);
+        privates.sort_by(|a, b| b.free_vcpus.cmp(&a.free_vcpus));
+        publics.sort_by(|a, b| a.price_factor.partial_cmp(&b.price_factor).expect("finite"));
+        let (first, second): (Vec<&ProviderView>, Vec<&ProviderView>) =
+            if template.image_is_streamlined() {
+                (publics, privates)
+            } else {
+                (privates, publics)
+            };
+        first.into_iter().chain(second).map(|p| p.name.clone()).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "split-by-image-kind"
+    }
+}
+
+/// Ranks all providers purely by effective price, regardless of kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheapestFirst;
+
+impl PlacementPolicy for CheapestFirst {
+    fn rank(&self, _template: &NodeTemplate, providers: &[ProviderView]) -> Vec<String> {
+        let mut all: Vec<&ProviderView> = providers.iter().collect();
+        all.sort_by(|a, b| a.price_factor.partial_cmp(&b.price_factor).expect("finite"));
+        all.into_iter().map(|p| p.name.clone()).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "cheapest-first"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_cloud::ImageId;
+
+    fn views() -> Vec<ProviderView> {
+        vec![
+            ProviderView {
+                name: "campus".into(),
+                kind: ProviderKind::Private,
+                free_vcpus: Some(8),
+                price_factor: 0.2,
+            },
+            ProviderView {
+                name: "aws".into(),
+                kind: ProviderKind::Public,
+                free_vcpus: None,
+                price_factor: 1.0,
+            },
+            ProviderView {
+                name: "campus-2".into(),
+                kind: ProviderKind::Private,
+                free_vcpus: Some(2),
+                price_factor: 0.25,
+            },
+        ]
+    }
+
+    fn streamlined_template() -> NodeTemplate {
+        NodeTemplate::new("m1.small", ImageId::new("baked")).with_streamlined_hint(true)
+    }
+
+    fn incubator_template() -> NodeTemplate {
+        NodeTemplate::new("m1.small", ImageId::new("inc")).with_streamlined_hint(false)
+    }
+
+    #[test]
+    fn private_first_prefers_roomiest_private() {
+        let order = PrivateFirst.rank(&streamlined_template(), &views());
+        assert_eq!(order, ["campus", "campus-2", "aws"]);
+    }
+
+    #[test]
+    fn private_only_never_returns_public() {
+        let order = PrivateOnly.rank(&streamlined_template(), &views());
+        assert_eq!(order, ["campus", "campus-2"]);
+    }
+
+    #[test]
+    fn public_only_never_returns_private() {
+        let order = PublicOnly.rank(&streamlined_template(), &views());
+        assert_eq!(order, ["aws"]);
+    }
+
+    #[test]
+    fn split_policy_routes_by_image_kind() {
+        let baked = SplitByImageKind.rank(&streamlined_template(), &views());
+        assert_eq!(baked[0], "aws");
+        let experimental = SplitByImageKind.rank(&incubator_template(), &views());
+        assert_eq!(experimental[0], "campus");
+        // Both policies still fall back to the other side.
+        assert_eq!(baked.len(), 3);
+        assert_eq!(experimental.len(), 3);
+    }
+
+    #[test]
+    fn cheapest_first_sorts_by_price() {
+        let order = CheapestFirst.rank(&streamlined_template(), &views());
+        assert_eq!(order, ["campus", "campus-2", "aws"]);
+    }
+}

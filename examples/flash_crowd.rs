@@ -1,0 +1,95 @@
+//! Drive a flash crowd against the Infrastructure Manager and watch the
+//! Load Balancer cloudburst to the public cloud and retreat (experiments
+//! E3/E6 live).
+//!
+//! ```sh
+//! cargo run --example flash_crowd
+//! ```
+
+use evop::broker::{Broker, BrokerConfig, BrokerEvent, SessionId};
+use evop::sim::SimDuration;
+
+fn main() {
+    let config = BrokerConfig {
+        private_capacity_vcpus: 8, // a small campus cloud: 4 medium instances
+        warm_pool_size: 2,         // pre-bootstrapped instances (paper §VI)
+        scale_down_surplus_slots: 12,
+        ..BrokerConfig::default()
+    };
+    let mut broker = Broker::new(config, 42);
+    println!("=== EVOp flash crowd ===");
+    println!("private capacity: 8 vCPUs; warm pool: 2 instances\n");
+
+    // Let the warm pool boot.
+    broker.advance(SimDuration::from_secs(240));
+
+    // A flood warning is issued: 60 users hit the portal within a minute.
+    println!("t+{:>6}: FLOOD WARNING — 60 users arrive", broker.now().as_secs());
+    let mut sessions: Vec<SessionId> = Vec::new();
+    for i in 0..60 {
+        sessions.push(
+            broker
+                .connect(&format!("resident-{i}"), "topmodel")
+                .expect("topmodel is in the library"),
+        );
+    }
+    for &s in &sessions {
+        let _ = broker.run_model(s, SimDuration::from_secs(60));
+    }
+
+    // Watch the control loop react minute by minute.
+    for minute in 1..=20 {
+        broker.advance(SimDuration::from_secs(60));
+        let mix = broker.provider_mix();
+        println!(
+            "t+{:>6}: minute {minute:>2} | private {} | public {} | cost so far ${:.2}",
+            broker.now().as_secs(),
+            mix.private_instances,
+            mix.public_instances,
+            broker.total_cost()
+        );
+    }
+
+    // The crowd disperses.
+    println!("\nt+{:>6}: warning lifted — users leave", broker.now().as_secs());
+    for s in sessions {
+        broker.disconnect(s).expect("session exists");
+    }
+    for minute in 1..=15 {
+        broker.advance(SimDuration::from_secs(120));
+        let mix = broker.provider_mix();
+        println!(
+            "t+{:>6}: +{:>2} min | private {} | public {}",
+            broker.now().as_secs(),
+            minute * 2,
+            mix.private_instances,
+            mix.public_instances
+        );
+    }
+
+    // Recap the operational log.
+    println!("\n=== Load Balancer event log ===");
+    for event in broker.events() {
+        match event {
+            BrokerEvent::ScaledUp { at, instance, provider, cloudburst } => {
+                let burst = if *cloudburst { "  ← CLOUDBURST" } else { "" };
+                println!("t+{:>6}: scale-up   {instance} on {provider}{burst}", at.as_secs());
+            }
+            BrokerEvent::ScaledDown { at, instance, provider } => {
+                println!("t+{:>6}: scale-down {instance} on {provider}", at.as_secs());
+            }
+            BrokerEvent::FailureDetected { at, instance, signature } => {
+                println!("t+{:>6}: FAILURE    {instance}: {signature}", at.as_secs());
+            }
+            BrokerEvent::SessionMigrated { at, session, from, to } => {
+                println!("t+{:>6}: migrate    {session}: {from} → {to}", at.as_secs());
+            }
+            BrokerEvent::WarmPoolHit { at, session } => {
+                println!("t+{:>6}: warm hit   {session}", at.as_secs());
+            }
+        }
+    }
+
+    let by = broker.cost_by_provider();
+    println!("\nFinal cost: ${:.2} ({:?})", broker.total_cost(), by);
+}

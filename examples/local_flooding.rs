@@ -1,0 +1,96 @@
+//! The LEFT storyboard end-to-end (paper §V-B, Figs. 4–6): map
+//! exploration, live sensor widgets, the multimodal webcam view, and the
+//! scenario-comparison modelling widget — the full stakeholder journey.
+//!
+//! ```sh
+//! cargo run --example local_flooding
+//! ```
+
+use evop::data::{Catchment, SensorId};
+use evop::models::scenarios::Scenario;
+use evop::portal::render::{line_chart, table};
+use evop::portal::storyboard::Storyboard;
+use evop::portal::widgets::{MultimodalWidget, TimeSeriesWidget};
+use evop::Evop;
+
+fn main() {
+    let evop = Evop::builder().seed(7).days(30).build();
+    let morland = Catchment::morland();
+    let id = morland.id().clone();
+    let storyboard = Storyboard::left();
+
+    println!("=== {} ===", storyboard.title());
+    println!("owned by: {}\n", storyboard.owner());
+
+    // Step 1-2: the landing map and live data (Fig. 4).
+    println!("--- Step: \"{}\" ---", storyboard.steps()[0].description());
+    let in_view = evop.map().markers_in(morland.bounding_box());
+    println!("{} markers in the catchment viewport:", in_view.len());
+    for marker in &in_view {
+        println!("  • {}", marker.name());
+    }
+
+    println!("\n--- Step: \"{}\" ---", storyboard.steps()[1].description());
+    let stage_widget =
+        TimeSeriesWidget::new("River level", "m", SensorId::new(format!("{id}-stage-outlet")));
+    let window_end = evop.start().plus_days(30);
+    let view = stage_widget
+        .view(evop.sos(), window_end.plus_days(-3), window_end)
+        .expect("sensor registered");
+    println!(
+        "Last 3 days of river level: latest {:.2} m, max {:.2} m",
+        view.latest.unwrap_or(f64::NAN),
+        view.max.unwrap_or(f64::NAN)
+    );
+
+    // Step 3-4: the flood in the archive, and how the water looked (Fig. 5).
+    println!("\n--- Step: \"{}\" ---", storyboard.steps()[2].description());
+    let q = evop.observed_discharge(&id).expect("archive loaded");
+    let (peak_idx, peak) = q.peak().expect("non-empty archive");
+    let peak_time = q.time_at(peak_idx);
+    println!("Biggest event: {peak:.2} m³/s at {peak_time}");
+
+    println!("\n--- Step: \"{}\" ---", storyboard.steps()[3].description());
+    let multimodal = MultimodalWidget::new(
+        SensorId::new(format!("{id}-temp-1")),
+        SensorId::new(format!("{id}-turb-1")),
+        evop.webcam_frames(&id).expect("frames generated").to_vec(),
+    );
+    let at_peak = multimodal.at(evop.sos(), peak_time);
+    println!(
+        "At the flood peak: water {:.1} °C, turbidity {:.0} NTU, webcam frame {} (murkiness {:.2})",
+        at_peak.temperature_c.unwrap_or(f64::NAN),
+        at_peak.turbidity_ntu.unwrap_or(f64::NAN),
+        at_peak.frame.as_ref().map(|f| f.url()).unwrap_or_default(),
+        at_peak.frame.as_ref().map(|f| f.murkiness()).unwrap_or(f64::NAN),
+    );
+
+    // Step 5-7: the modelling widget (Fig. 6).
+    println!("\n--- Step: \"{}\" ---", storyboard.steps()[4].description());
+    let mut widget = evop.modelling_widget(&id);
+    println!("Sliders available:");
+    for (name, value, lo, hi) in widget.sliders() {
+        println!("  {name:<16} {value:>8.3}   [{lo} … {hi}]");
+    }
+
+    println!("\n--- Step: \"{}\" ---", storyboard.steps()[5].description());
+    for scenario in Scenario::all() {
+        widget.select_scenario(scenario);
+        widget.run(scenario.id()).expect("scenario parameters valid");
+        println!("  ran {scenario}: {}", scenario.description());
+    }
+
+    println!("\n--- Step: \"{}\" ---", storyboard.steps()[6].description());
+    let rows: Vec<Vec<String>> = widget
+        .compare()
+        .into_iter()
+        .map(|(label, m)| {
+            vec![label, format!("{:.2}", m.peak_m3s), format!("{:.0}", m.volume_m3)]
+        })
+        .collect();
+    println!("{}", table(&["scenario", "peak m³/s", "volume m³"], &rows));
+
+    let baseline = &widget.runs()[0].discharge;
+    println!("Baseline hydrograph against the flood threshold:");
+    println!("{}", line_chart(baseline, 72, 12, Some(widget.flood_threshold_m3s())));
+}

@@ -1,0 +1,30 @@
+//! EVOp — the Environmental Virtual Observatory pilot, reproduced in Rust.
+//!
+//! This is the umbrella crate: it re-exports the observatory facade from
+//! [`evop_core`] and the individual subsystem crates for downstream users
+//! who want one dependency. See the repository README for a tour and
+//! `examples/` for runnable scenarios.
+//!
+//! # Examples
+//!
+//! ```
+//! let evop = evop::Evop::builder().seed(42).days(5).build();
+//! assert_eq!(evop.catchments()[0].id().as_str(), "morland");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use evop_core::{
+    ablations, api, compose, experiments, registry, AssetKind, AssetRecord, AssetRegistry, Evop, EvopBuilder,
+};
+
+pub use evop_broker as broker;
+pub use evop_cloud as cloud;
+pub use evop_data as data;
+pub use evop_models as models;
+pub use evop_portal as portal;
+pub use evop_services as services;
+pub use evop_sim as sim;
+pub use evop_workflow as workflow;
+pub use evop_xcloud as xcloud;

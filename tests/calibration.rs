@@ -1,0 +1,213 @@
+//! Scientific integration tests: calibrating the library models against
+//! the synthetic "observed" truth, and GLUE uncertainty analysis — the
+//! offline workflow of paper §V-B ("Model calibration was carried out
+//! offline to ensure … the model could adequately reproduce observed
+//! discharge at the outlet of the catchment").
+
+use evop::data::synthetic::{TruthModel, WeatherGenerator};
+use evop::data::{Catchment, Timestamp};
+use evop::models::calibrate::{calibrate_series, monte_carlo_refined, ParamSpace};
+use evop::models::glue::glue;
+use evop::models::objectives::{nse, Objective};
+use evop::models::pet::hamon_series;
+use evop::models::{Forcing, FuseConfig, FuseModel, FuseParams, Topmodel, TopmodelParams};
+
+struct Setup {
+    model: Topmodel,
+    forcing: Forcing,
+    observed: evop::data::TimeSeries,
+    area_km2: f64,
+    /// Evaluation window excluding the 7-day spin-up (standard hydrological
+    /// practice: initial-store transients are not scored).
+    eval: (Timestamp, Timestamp),
+}
+
+impl Setup {
+    fn trimmed<'a>(&self, series: &'a evop::data::TimeSeries) -> evop::data::TimeSeries {
+        series.window(self.eval.0, self.eval.1).expect("window inside archive")
+    }
+}
+
+fn setup(days: usize, seed: u64) -> Setup {
+    use rand::SeedableRng;
+    let catchment = Catchment::morland();
+    let generator = WeatherGenerator::for_catchment(&catchment, seed);
+    let truth = TruthModel::for_catchment(&catchment, seed);
+    let start = Timestamp::from_ymd(2012, 1, 1);
+    let n = days * 24;
+    let rain = generator.rainfall(start, 3600, n);
+    let temp = generator.temperature(start, 3600, n);
+    let pet = hamon_series(&temp, catchment.outlet().lat());
+    let observed = truth.discharge(&rain, &temp);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let dem = catchment.generate_dem(&mut rng);
+    Setup {
+        model: Topmodel::new(dem.ti_distribution(16), catchment.area_km2()),
+        forcing: Forcing::new(rain, pet),
+        observed,
+        area_km2: catchment.area_km2(),
+        eval: (start.plus_days(7), start.plus_days(days as i64)),
+    }
+}
+
+#[test]
+fn topmodel_calibration_beats_default_parameters() {
+    let s = setup(60, 42);
+    let obs_eval = s.trimmed(&s.observed);
+    let default_nse = {
+        let out = s.model.run(&TopmodelParams::default(), &s.forcing).unwrap();
+        nse(&s.trimmed(&out.discharge_m3s), &obs_eval)
+    };
+    let space = ParamSpace::from_ranges(&TopmodelParams::ranges());
+    let result = monte_carlo_refined(&space, 3, 250, 0.45, 42, |params| {
+        s.model
+            .run(&TopmodelParams::from_vector(params), &s.forcing)
+            .map(|o| nse(&s.trimmed(&o.discharge_m3s), &obs_eval))
+            .unwrap_or(f64::NAN)
+    });
+    assert!(
+        result.best_score() > default_nse + 0.1,
+        "calibrated NSE {:.3} must clearly beat default {:.3}",
+        result.best_score(),
+        default_nse
+    );
+    // The truth model is *structurally different* (two parallel linear
+    // reservoirs with a temperature-dependent runoff coefficient), so a
+    // cross-structure NSE in the 0.3-0.5 band is an adequate fit here.
+    assert!(
+        result.best_score() > 0.3,
+        "calibrated NSE {:.3} should be an adequate cross-structure fit",
+        result.best_score()
+    );
+}
+
+#[test]
+fn fuse_structures_rank_differently_on_the_same_data() {
+    let s = setup(45, 7);
+    let mut scores: Vec<(String, f64)> = FuseConfig::named_parents()
+        .into_iter()
+        .map(|(name, config)| {
+            let q = FuseModel::new(config, s.area_km2)
+                .run(&FuseParams::default(), &s.forcing)
+                .unwrap();
+            (name.to_owned(), nse(&q, &s.observed))
+        })
+        .collect();
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    assert!(
+        scores[0].1 > scores[3].1 + 0.01,
+        "structural choices must matter: {scores:?}"
+    );
+}
+
+#[test]
+fn glue_bounds_bracket_most_observations() {
+    let s = setup(45, 42);
+    let space = ParamSpace::from_ranges(&TopmodelParams::ranges());
+    let obs_eval = s.trimmed(&s.observed);
+    let result = glue(&space, 600, 42, &obs_eval, Objective::Nse, 0.0, |params| {
+        s.model
+            .run(&TopmodelParams::from_vector(params), &s.forcing)
+            .ok()
+            .map(|o| s.trimmed(&o.discharge_m3s))
+    })
+    .expect("behavioural members exist at NSE > 0");
+
+    assert!(result.acceptance_rate() > 0.02, "rate {:.3}", result.acceptance_rate());
+    let coverage = result.coverage(&obs_eval);
+    // Structural error (TOPMODEL vs the two-reservoir truth) keeps some
+    // observed dynamics outside any behavioural simulation — ~50-60 %
+    // bracketing is the realistic band for misspecified GLUE.
+    assert!(
+        coverage > 0.45,
+        "GLUE bounds should bracket a majority of observations, covered {:.2}",
+        coverage
+    );
+    // Bounds are widest where flow is high (uncertainty scales with flow).
+    let peak_idx = obs_eval.peak().unwrap().0;
+    let width_at_peak = result.upper().value_at(peak_idx) - result.lower().value_at(peak_idx);
+    let width_at_low = {
+        let low_idx = obs_eval.trough().unwrap().0;
+        result.upper().value_at(low_idx) - result.lower().value_at(low_idx)
+    };
+    assert!(width_at_peak > width_at_low, "{width_at_peak} vs {width_at_low}");
+}
+
+#[test]
+fn calibration_transfers_across_weather_but_not_perfectly() {
+    // Calibrate on one period, evaluate on another (split-sample test).
+    let calibration = setup(45, 42);
+    let cal_obs = calibration.trimmed(&calibration.observed);
+    let space = ParamSpace::from_ranges(&TopmodelParams::ranges());
+    let result = calibrate_series(&space, 400, 11, &cal_obs, Objective::Nse, |p| {
+        calibration
+            .model
+            .run(&TopmodelParams::from_vector(p), &calibration.forcing)
+            .ok()
+            .map(|o| calibration.trimmed(&o.discharge_m3s))
+    });
+    let best = TopmodelParams::from_vector(&result.best().params);
+
+    // New weather, same catchment/truth pairing (different seed → different
+    // storms; same truth parameters because TruthModel uses catchment
+    // constants).
+    let validation = setup(45, 99);
+    let out = validation.model.run(&best, &validation.forcing).unwrap();
+    let validation_nse = nse(
+        &validation.trimmed(&out.discharge_m3s),
+        &validation.trimmed(&validation.observed),
+    );
+    assert!(
+        validation_nse > 0.1,
+        "calibration should transfer to unseen weather, NSE {validation_nse:.3}"
+    );
+    assert!(
+        validation_nse <= result.best_score() + 0.05,
+        "validation {validation_nse:.3} should not beat calibration {:.3}",
+        result.best_score()
+    );
+}
+
+#[test]
+fn scenario_effects_exceed_parameter_noise() {
+    // The scenario signal (peak change) must be larger than the jitter from
+    // small parameter perturbations — otherwise the widget's story is noise.
+    use evop::models::scenarios::Scenario;
+    let s = setup(30, 21);
+    let base = TopmodelParams::default();
+    let baseline_peak = s
+        .model
+        .run(&base, &s.forcing)
+        .unwrap()
+        .discharge_m3s
+        .peak()
+        .unwrap()
+        .1;
+
+    let compacted_params = Scenario::CompactedSoils.apply_to_topmodel(&base);
+    let compacted_peak = s
+        .model
+        .run(&compacted_params, &s.forcing)
+        .unwrap()
+        .discharge_m3s
+        .peak()
+        .unwrap()
+        .1;
+    let scenario_effect = (compacted_peak - baseline_peak).abs();
+
+    let jittered = TopmodelParams { m: base.m * 1.01, ..base };
+    let jitter_peak = s
+        .model
+        .run(&jittered, &s.forcing)
+        .unwrap()
+        .discharge_m3s
+        .peak()
+        .unwrap()
+        .1;
+    let jitter_effect = (jitter_peak - baseline_peak).abs();
+
+    assert!(
+        scenario_effect > jitter_effect * 4.0,
+        "scenario {scenario_effect:.3} vs jitter {jitter_effect:.3}"
+    );
+}

@@ -1,0 +1,113 @@
+//! Chaos soak test: spontaneous instance failures over a long horizon.
+//!
+//! The paper's pitch for handing distributed-systems management to the
+//! cloud layer is "assured levels of reliability" (§III-B): the Load
+//! Balancer must keep every user served through arbitrary instance
+//! failures. This test turns on random failures with an aggressive MTBF
+//! and soaks the broker for four virtual hours.
+
+use evop::broker::{Broker, BrokerConfig, BrokerEvent, SessionState};
+use evop::sim::SimDuration;
+
+#[test]
+fn broker_survives_four_hours_of_random_failures() {
+    let config = BrokerConfig {
+        private_capacity_vcpus: 16,
+        // Aggressive chaos: each instance fails on average every 30 minutes.
+        instance_mtbf: Some(SimDuration::from_secs(1800)),
+        ..BrokerConfig::default()
+    };
+    let mut broker = Broker::new(config, 1234);
+
+    // Twenty stakeholders stay connected the whole afternoon.
+    let sessions: Vec<_> = (0..20)
+        .map(|i| broker.connect(&format!("user-{i}"), "topmodel").expect("served"))
+        .collect();
+
+    // Soak: every 5 minutes each user fires a model run.
+    for _ in 0..48 {
+        for &s in &sessions {
+            // Runs fail only transiently while a session awaits re-binding.
+            let _ = broker.run_model(s, SimDuration::from_secs(30));
+        }
+        broker.advance(SimDuration::from_secs(300));
+    }
+
+    let detections = broker
+        .events()
+        .iter()
+        .filter(|e| matches!(e, BrokerEvent::FailureDetected { .. }))
+        .count();
+    let migrations = broker
+        .events()
+        .iter()
+        .filter(|e| matches!(e, BrokerEvent::SessionMigrated { .. }))
+        .count();
+    assert!(
+        detections >= 3,
+        "30-minute MTBF over 4 hours must produce several failures, saw {detections}"
+    );
+    assert!(migrations >= detections, "every detection must migrate its users");
+
+    // Despite the chaos, every session ends the afternoon actively served by
+    // a live instance.
+    for &s in &sessions {
+        let session = broker.session(s).expect("exists");
+        assert_eq!(session.state(), SessionState::Active, "{s} must stay active");
+        let instance = session.instance().expect("bound");
+        let state = broker.cloud().instance(instance).expect("exists").state();
+        assert!(
+            !matches!(state, evop::cloud::InstanceState::Terminated { .. }),
+            "{s} points at a terminated instance"
+        );
+    }
+
+    // Failed instances never linger: everything still holding capacity is
+    // either running or booting.
+    let lingering_failures = broker
+        .cloud()
+        .instances()
+        .filter(|i| {
+            i.occupies_capacity() && matches!(i.state(), evop::cloud::InstanceState::Failed { .. })
+        })
+        .count();
+    assert!(
+        lingering_failures <= 1,
+        "at most the most recent failure may still be in detection, saw {lingering_failures}"
+    );
+
+    // And the job stream kept flowing: a large majority of submitted runs
+    // completed (only those in flight on a dying instance are lost).
+    let (completed, lost): (usize, usize) = broker.cloud().instances().fold((0, 0), |(c, l), i| {
+        let done = i.jobs().iter().filter(|j| j.latency().is_some()).count();
+        let gone = i
+            .jobs()
+            .iter()
+            .filter(|j| matches!(j.state(), evop::cloud::JobState::Lost { .. }))
+            .count();
+        (c + done, l + gone)
+    });
+    assert!(
+        completed > lost * 3,
+        "service must dominate: {completed} completed vs {lost} lost"
+    );
+}
+
+#[test]
+fn chaos_is_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let config = BrokerConfig {
+            instance_mtbf: Some(SimDuration::from_secs(900)),
+            ..BrokerConfig::default()
+        };
+        let mut broker = Broker::new(config, seed);
+        for i in 0..8 {
+            broker.connect(&format!("u{i}"), "topmodel").expect("served");
+        }
+        broker.advance(SimDuration::from_secs(3600));
+        broker.events().len()
+    };
+    assert_eq!(run(7), run(7));
+    // Different seeds produce different failure schedules (almost surely).
+    assert_ne!(run(7), run(8));
+}

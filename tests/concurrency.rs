@@ -1,0 +1,127 @@
+//! True multi-threaded tests: many simultaneous portal users.
+//!
+//! "The services are universally accessible by all target groups" (§IV-C)
+//! — which in practice means concurrent access. These tests hammer the
+//! shared observatory from real OS threads: the stateless router replicas,
+//! the interior-mutable WPS async-job store, and the duplex push channels
+//! all have to behave under contention.
+
+use std::sync::Arc;
+use std::thread;
+
+use evop::api::portal_api;
+use evop::services::push::{duplex_pair, Message};
+use evop::services::Request;
+use evop::Evop;
+use serde_json::{json, Value};
+
+#[test]
+fn sixteen_threads_hammer_the_portal_api() {
+    let evop = Arc::new(Evop::builder().seed(11).days(10).build());
+    let router = portal_api(Arc::clone(&evop));
+
+    let reference: Value = router
+        .dispatch(&Request::get("/catchments/morland/sensors"))
+        .json_body()
+        .unwrap();
+
+    let handles: Vec<_> = (0..16)
+        .map(|t| {
+            // Each thread gets its own replica — clones share handlers, not
+            // mutable state, exactly like horizontally scaled instances.
+            let replica = router.clone();
+            let expected = reference.clone();
+            thread::spawn(move || {
+                for i in 0..50 {
+                    let sensors: Value = replica
+                        .dispatch(&Request::get("/catchments/morland/sensors"))
+                        .json_body()
+                        .expect("json");
+                    assert_eq!(sensors, expected, "thread {t} iteration {i} diverged");
+
+                    let latest = replica
+                        .dispatch(&Request::get("/sensors/morland-stage-outlet/latest"));
+                    assert!(latest.status().is_success());
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("no thread may panic");
+    }
+}
+
+#[test]
+fn concurrent_async_model_runs_each_get_their_own_result() {
+    let evop = Arc::new(Evop::builder().seed(3).days(10).build());
+    let router = portal_api(Arc::clone(&evop));
+
+    // Eight users enqueue runs concurrently (different scenarios), then each
+    // polls its own job to completion.
+    let scenarios = ["baseline", "afforestation", "compacted-soils", "restored-wetland"];
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let replica = router.clone();
+            let scenario = scenarios[t % scenarios.len()].to_owned();
+            thread::spawn(move || {
+                let accepted = replica.dispatch(
+                    &Request::post("/catchments/morland/processes/topmodel/execute-async")
+                        .json(&json!({ "scenario": scenario })),
+                );
+                let body: Value = accepted.json_body().expect("json");
+                let location = body["status_location"].as_str().expect("location").to_owned();
+
+                // Poll until done (the poll itself drives pending work).
+                for _ in 0..10 {
+                    let status: Value =
+                        replica.dispatch(&Request::get(&location)).json_body().expect("json");
+                    match status["state"].as_str() {
+                        Some("succeeded") => {
+                            assert_eq!(status["outputs"]["scenario"], scenario.as_str());
+                            return;
+                        }
+                        Some("accepted") => continue,
+                        other => panic!("unexpected state {other:?}"),
+                    }
+                }
+                panic!("job never completed");
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("no thread may panic");
+    }
+}
+
+#[test]
+fn duplex_channels_work_across_threads() {
+    let (server, client) = duplex_pair();
+
+    let producer = thread::spawn(move || {
+        for i in 0..500 {
+            server
+                .send(Message::new("session-update", json!({ "seq": i })))
+                .expect("client alive");
+        }
+        server.stats().sent_messages
+    });
+
+    let consumer = thread::spawn(move || {
+        let mut received = 0usize;
+        let mut last_seq = -1i64;
+        while received < 500 {
+            if let Some(msg) = client.try_recv() {
+                let seq = msg.payload()["seq"].as_i64().expect("seq");
+                assert_eq!(seq, last_seq + 1, "messages must arrive in order");
+                last_seq = seq;
+                received += 1;
+            } else {
+                thread::yield_now();
+            }
+        }
+        received
+    });
+
+    assert_eq!(producer.join().expect("producer ok"), 500);
+    assert_eq!(consumer.join().expect("consumer ok"), 500);
+}

