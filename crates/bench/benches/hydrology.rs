@@ -61,7 +61,9 @@ fn bench_fuse_single_vs_ensemble(c: &mut Criterion) {
         b.iter(|| model.run(&params, &f).unwrap())
     });
     group.bench_function("ensemble_4_parents", |b| {
-        b.iter(|| evop_models::fuse::run_ensemble(&parents, &params, &f, catchment.area_km2()).unwrap())
+        b.iter(|| {
+            evop_models::fuse::run_ensemble(&parents, &params, &f, catchment.area_km2()).unwrap()
+        })
     });
     group.bench_function("ensemble_24_structures", |b| {
         b.iter(|| evop_models::fuse::run_ensemble(&all, &params, &f, catchment.area_km2()).unwrap())

@@ -2,7 +2,7 @@
 //! (push vs poll), plus router/XML/WPS microbenchmarks.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use evop_core::experiments::{e2_rest_vs_soap, e15_push_vs_poll};
+use evop_core::experiments::{e15_push_vs_poll, e2_rest_vs_soap};
 use evop_services::rest::Router;
 use evop_services::wps::{ParamSpec, ParamType, ProcessDescriptor, WpsProcess, WpsServer};
 use evop_services::xml::Element;

@@ -75,14 +75,27 @@ fn e2() {
 }
 
 fn e3() {
-    heading("E3 (§IV-D/§VI)", "cloudburst on private saturation, retreat on underuse, cheaper than all-public");
+    heading(
+        "E3 (§IV-D/§VI)",
+        "cloudburst on private saturation, retreat on underuse, cheaper than all-public",
+    );
     let r = e3_cloudburst(120, SEED);
-    println!("  burst at                : {}", r.burst_at.map(|t| t.to_string()).unwrap_or_default());
-    println!("  retreat complete at     : {}", r.retreat_at.map(|t| t.to_string()).unwrap_or_default());
+    println!(
+        "  burst at                : {}",
+        r.burst_at.map(|t| t.to_string()).unwrap_or_default()
+    );
+    println!(
+        "  retreat complete at     : {}",
+        r.retreat_at.map(|t| t.to_string()).unwrap_or_default()
+    );
     let peak_public = r.timeline.iter().map(|s| s.public_instances).max().unwrap_or(0);
     println!("  peak public instances   : {peak_public}");
     println!("  hybrid cost             : ${:.2}", r.hybrid_cost);
-    println!("  all-public equivalent   : ${:.2}  ({:.1}x)", r.all_public_equivalent_cost, r.all_public_equivalent_cost / r.hybrid_cost);
+    println!(
+        "  all-public equivalent   : ${:.2}  ({:.1}x)",
+        r.all_public_equivalent_cost,
+        r.all_public_equivalent_cost / r.hybrid_cost
+    );
     println!("  provider-mix timeline (every 20 min):");
     for sample in r.timeline.iter().step_by(20) {
         println!(
@@ -94,19 +107,20 @@ fn e3() {
 
 fn e4() {
     heading("E4 (§IV-D)", "failure signatures detected; users migrated; zero sessions lost");
-    let rows: Vec<Vec<String>> = [FailureMode::Hang, FailureMode::NetworkBlackhole, FailureMode::Crash]
-        .into_iter()
-        .map(|mode| {
-            let r = e4_failure_recovery(mode, 6, SEED);
-            vec![
-                mode.to_string(),
-                r.signature.clone().unwrap_or_default(),
-                r.detection_delay.map(|d| d.to_string()).unwrap_or_default(),
-                format!("{}/{}", r.sessions_migrated, r.sessions_at_failure),
-                r.sessions_lost.to_string(),
-            ]
-        })
-        .collect();
+    let rows: Vec<Vec<String>> =
+        [FailureMode::Hang, FailureMode::NetworkBlackhole, FailureMode::Crash]
+            .into_iter()
+            .map(|mode| {
+                let r = e4_failure_recovery(mode, 6, SEED);
+                vec![
+                    mode.to_string(),
+                    r.signature.clone().unwrap_or_default(),
+                    r.detection_delay.map(|d| d.to_string()).unwrap_or_default(),
+                    format!("{}/{}", r.sessions_migrated, r.sessions_at_failure),
+                    r.sessions_lost.to_string(),
+                ]
+            })
+            .collect();
     println!("{}", table(&["mode", "signature", "detection", "migrated", "lost"], &rows));
 }
 
@@ -125,10 +139,7 @@ fn e5() {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        table(&["runs", "quota (4 vCPU)", "elastic", "instances", "speedup"], &rows)
-    );
+    println!("{}", table(&["runs", "quota (4 vCPU)", "elastic", "instances", "speedup"], &rows));
 }
 
 fn e6() {

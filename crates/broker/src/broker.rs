@@ -6,6 +6,7 @@ use std::fmt;
 use evop_cloud::{
     CloudError, CloudSim, ImageId, InstanceId, InstanceState, JobId, Provider, ProviderKind,
 };
+use evop_obs::{MetricsRegistry, TraceContext, Tracer};
 use evop_sim::{SimDuration, SimTime};
 use evop_xcloud::{ComputeService, NodeTemplate, PrivateFirst, XcloudError};
 
@@ -160,6 +161,11 @@ pub struct Broker {
     warm: Vec<InstanceId>,
     events: Vec<BrokerEvent>,
     default_image: ImageId,
+    /// Always-on observability. Pure observation — attaching a shared
+    /// tracer/registry (or keeping the private defaults) never touches the
+    /// RNG or the event order, so experiment results are unchanged.
+    tracer: Tracer,
+    metrics: MetricsRegistry,
 }
 
 impl Broker {
@@ -185,11 +191,28 @@ impl Broker {
     ///
     /// Panics if `config` fails validation or the library is empty.
     pub fn with_library(config: BrokerConfig, library: ModelLibrary, seed: u64) -> Broker {
+        Broker::with_observability(config, library, seed, Tracer::new(), MetricsRegistry::new())
+    }
+
+    /// Creates a broker reporting into shared observability handles — how
+    /// the portal stack gets one collector across router, broker and cloud.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation or the library is empty.
+    pub fn with_observability(
+        config: BrokerConfig,
+        library: ModelLibrary,
+        seed: u64,
+        tracer: Tracer,
+        metrics: MetricsRegistry,
+    ) -> Broker {
         config.validate().expect("broker config must be valid");
         assert!(!library.is_empty(), "model library must not be empty");
 
         let mut cloud = CloudSim::new(seed);
-        let mut private = Provider::private_openstack(PRIVATE_PROVIDER, config.private_capacity_vcpus);
+        let mut private =
+            Provider::private_openstack(PRIVATE_PROVIDER, config.private_capacity_vcpus);
         let mut public = Provider::public_aws(PUBLIC_PROVIDER);
         if let Some(mtbf) = config.instance_mtbf {
             private = private.with_mtbf(mtbf);
@@ -198,6 +221,7 @@ impl Broker {
         }
         cloud.register_provider(private);
         cloud.register_provider(public);
+        cloud.set_observability(tracer.clone(), metrics.clone());
         library.register_all(&mut cloud);
 
         let mut compute = ComputeService::new(PrivateFirst);
@@ -221,9 +245,21 @@ impl Broker {
             warm: Vec::new(),
             events: Vec::new(),
             default_image,
+            tracer,
+            metrics,
         };
         broker.replenish_warm_pool();
         broker
+    }
+
+    /// The tracer this broker (and its cloud) reports spans into.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The metrics registry this broker (and its cloud) reports into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The current virtual time.
@@ -303,12 +339,48 @@ impl Broker {
     /// serve the model at all. Capacity shortfalls do not error: the session
     /// stays `Waiting` and is bound by a later control-loop pass.
     pub fn connect(&mut self, user: &str, model: &str) -> Result<SessionId, BrokerError> {
-        let image = self
-            .library
-            .image_for_model(model, self.config.allow_incubator_fallback)
-            .ok_or_else(|| BrokerError::NoImageForModel(model.to_owned()))?;
+        self.connect_with_context(user, model, None)
+    }
+
+    /// [`Broker::connect`] joined to a caller's trace context.
+    ///
+    /// The connection is recorded as a `broker.connect` span — a child of
+    /// `ctx` when given, a fresh trace otherwise — and that span's context
+    /// becomes the session's: later binds, boots, migrations and push
+    /// updates all land on the same timeline.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Broker::connect`].
+    pub fn connect_with_context(
+        &mut self,
+        user: &str,
+        model: &str,
+        ctx: Option<&TraceContext>,
+    ) -> Result<SessionId, BrokerError> {
+        let span = match ctx {
+            Some(ctx) => self.tracer.start_span("broker.connect", ctx),
+            None => self.tracer.start_trace("broker.connect"),
+        };
+        span.attr("user", user);
+        span.attr("model", model);
+
+        let image = match self.library.image_for_model(model, self.config.allow_incubator_fallback)
+        {
+            Some(image) => image,
+            None => {
+                span.attr("outcome", "no-image");
+                span.finish();
+                return Err(BrokerError::NoImageForModel(model.to_owned()));
+            }
+        };
         let session = self.sessions.open(user, model, self.cloud.now());
+        span.attr("session", session.to_string());
+        if let Some(s) = self.sessions.get_mut(session) {
+            s.set_trace_context(span.context());
+        }
         self.try_bind(session, &image);
+        span.finish();
         Ok(session)
     }
 
@@ -318,10 +390,7 @@ impl Broker {
     ///
     /// Returns [`BrokerError::UnknownSession`] for a bad id.
     pub fn disconnect(&mut self, id: SessionId) -> Result<(), BrokerError> {
-        self.sessions
-            .get_mut(id)
-            .ok_or(BrokerError::UnknownSession(id))?
-            .close();
+        self.sessions.get_mut(id).ok_or(BrokerError::UnknownSession(id))?.close();
         Ok(())
     }
 
@@ -332,12 +401,30 @@ impl Broker {
     /// Returns [`BrokerError::SessionNotServing`] when the session has no
     /// instance, or a [`BrokerError::Cloud`] error from job submission.
     pub fn run_model(&mut self, id: SessionId, work: SimDuration) -> Result<JobId, BrokerError> {
-        let (instance, model) = {
+        self.run_model_with_context(id, work, None)
+    }
+
+    /// [`Broker::run_model`] joined to a caller's trace context.
+    ///
+    /// The underlying `model.run` span parents under `ctx` when given, and
+    /// otherwise under the session's own context (set at connect time).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Broker::run_model`].
+    pub fn run_model_with_context(
+        &mut self,
+        id: SessionId,
+        work: SimDuration,
+        ctx: Option<&TraceContext>,
+    ) -> Result<JobId, BrokerError> {
+        let (instance, model, session_ctx) = {
             let session = self.sessions.get(id).ok_or(BrokerError::UnknownSession(id))?;
             let instance = session.instance().ok_or(BrokerError::SessionNotServing(id))?;
-            (instance, session.model().to_owned())
+            (instance, session.model().to_owned(), session.trace_context())
         };
-        Ok(self.cloud.run_model(instance, &model, work)?)
+        let ctx = ctx.copied().or(session_ctx);
+        Ok(self.cloud.run_model_traced(instance, &model, work, ctx.as_ref())?)
     }
 
     /// Injects an instance failure into the underlying cloud — the fault
@@ -382,6 +469,48 @@ impl Broker {
         self.scale_down_if_surplus();
         self.rebalance_sessions();
         self.replenish_warm_pool();
+        self.refresh_gauges();
+    }
+
+    /// Publishes point-in-time gauges after every control tick.
+    fn refresh_gauges(&self) {
+        let active = self.sessions.count(SessionState::Active) as f64;
+        let waiting = self.sessions.count(SessionState::Waiting) as f64;
+        self.metrics.set_gauge("broker_sessions", &[("state", "active")], active);
+        self.metrics.set_gauge("broker_sessions", &[("state", "waiting")], waiting);
+        let mix = self.provider_mix();
+        self.metrics.set_gauge(
+            "broker_instances",
+            &[("kind", "private")],
+            mix.private_instances as f64,
+        );
+        self.metrics.set_gauge(
+            "broker_instances",
+            &[("kind", "public")],
+            mix.public_instances as f64,
+        );
+    }
+
+    /// Records a migration once: experiment event, counter and — when the
+    /// session is traced — an instantaneous `session.migrate` span.
+    fn note_migration(
+        &mut self,
+        session: SessionId,
+        from: InstanceId,
+        to: InstanceId,
+        reason: &str,
+    ) {
+        let now = self.cloud.now();
+        self.events.push(BrokerEvent::SessionMigrated { at: now, session, from, to });
+        self.metrics.inc_counter("broker_migrations_total", &[("reason", reason)]);
+        if let Some(ctx) = self.sessions.get(session).and_then(UserSession::trace_context) {
+            let span = self.tracer.start_span("session.migrate", &ctx);
+            span.attr("from", from.to_string());
+            span.attr("to", to.to_string());
+            span.attr("reason", reason);
+            span.event("push session-update");
+            span.finish();
+        }
     }
 
     /// "LB also monitors the state of active user sessions and redistributes
@@ -406,12 +535,7 @@ impl Broker {
         if let Some(s) = self.sessions.get_mut(session) {
             s.assign(emptiest, now, true);
         }
-        self.events.push(BrokerEvent::SessionMigrated {
-            at: now,
-            session,
-            from: fullest,
-            to: emptiest,
-        });
+        self.note_migration(session, fullest, emptiest, "rebalance");
     }
 
     /// Samples metrics of every monitored instance and reacts to the
@@ -421,7 +545,9 @@ impl Broker {
         let monitored: Vec<InstanceId> = self
             .cloud
             .instances()
-            .filter(|i| i.occupies_capacity() && !matches!(i.state(), InstanceState::Pending { .. }))
+            .filter(|i| {
+                i.occupies_capacity() && !matches!(i.state(), InstanceState::Pending { .. })
+            })
             .map(|i| i.id())
             .collect();
 
@@ -455,11 +581,9 @@ impl Broker {
 
         for (bad, signature) in to_replace {
             self.bad_samples.remove(&bad);
-            self.events.push(BrokerEvent::FailureDetected {
-                at: now,
-                instance: bad,
-                signature,
-            });
+            self.metrics
+                .inc_counter("broker_failures_detected_total", &[("signature", &signature)]);
+            self.events.push(BrokerEvent::FailureDetected { at: now, instance: bad, signature });
             self.replace_instance(bad);
         }
     }
@@ -485,7 +609,7 @@ impl Broker {
                 if let Some(s) = self.sessions.get_mut(session) {
                     s.assign(to, now, true);
                 }
-                self.events.push(BrokerEvent::SessionMigrated { at: now, session, from: bad, to });
+                self.note_migration(session, bad, to, "failure-recovery");
             }
         }
         let _ = self.cloud.terminate(bad);
@@ -498,9 +622,8 @@ impl Broker {
             let Some(model) = self.sessions.get(session).map(|s| s.model().to_owned()) else {
                 continue;
             };
-            if let Some(image) = self
-                .library
-                .image_for_model(&model, self.config.allow_incubator_fallback)
+            if let Some(image) =
+                self.library.image_for_model(&model, self.config.allow_incubator_fallback)
             {
                 self.try_bind(session, &image);
             }
@@ -511,31 +634,44 @@ impl Broker {
     /// pool or provisioning when needed.
     fn try_bind(&mut self, session: SessionId, image: &ImageId) {
         let now = self.cloud.now();
-        if let Some(existing) = self.pick_instance_with_room(1, None) {
-            if let Some(s) = self.sessions.get_mut(session) {
-                s.assign(existing, now, false);
+        let ctx = self.sessions.get(session).and_then(UserSession::trace_context);
+        let (instance, how) = if let Some(existing) = self.pick_instance_with_room(1, None) {
+            (Some(existing), "existing")
+        } else if let Some(warm) = self.take_warm() {
+            (Some(warm), "warm-pool")
+        } else {
+            // On provisioning failure the session stays Waiting; the next
+            // control-loop pass retries.
+            (self.provision_traced(image, ctx.as_ref()).ok(), "provisioned")
+        };
+        let Some(instance) = instance else { return };
+        if let Some(s) = self.sessions.get_mut(session) {
+            s.assign(instance, now, false);
+            if let Some(wait) = s.activation_wait() {
+                self.metrics.observe("broker_activation_wait_seconds", &[], wait.as_secs_f64());
             }
-            return;
         }
-        if let Some(warm) = self.take_warm() {
-            if let Some(s) = self.sessions.get_mut(session) {
-                s.assign(warm, now, false);
-            }
+        if how == "warm-pool" {
             self.events.push(BrokerEvent::WarmPoolHit { at: now, session });
-            return;
+            self.metrics.inc_counter("broker_warm_pool_hits_total", &[]);
         }
-        if let Ok(new_instance) = self.provision(image) {
-            if let Some(s) = self.sessions.get_mut(session) {
-                s.assign(new_instance, now, false);
-            }
+        self.metrics.inc_counter("broker_binds_total", &[("how", how)]);
+        if let Some(ctx) = &ctx {
+            let span = self.tracer.start_span("session.bind", ctx);
+            span.attr("instance", instance.to_string());
+            span.attr("how", how);
+            span.event("push session-update");
+            span.finish();
         }
-        // On provisioning failure the session stays Waiting; the next
-        // control-loop pass retries.
     }
 
     /// The serving instance (not warm, not failed) with the most free
     /// session slots, if any has at least `needed` free.
-    fn pick_instance_with_room(&self, needed: usize, exclude: Option<InstanceId>) -> Option<InstanceId> {
+    fn pick_instance_with_room(
+        &self,
+        needed: usize,
+        exclude: Option<InstanceId>,
+    ) -> Option<InstanceId> {
         let slots = self.config.slots_per_instance() as usize;
         self.cloud
             .instances()
@@ -553,11 +689,9 @@ impl Broker {
 
     fn take_warm(&mut self) -> Option<InstanceId> {
         while let Some(id) = self.warm.pop() {
-            if self
-                .cloud
-                .instance(id)
-                .is_some_and(|i| i.occupies_capacity() && !matches!(i.state(), InstanceState::Failed { .. }))
-            {
+            if self.cloud.instance(id).is_some_and(|i| {
+                i.occupies_capacity() && !matches!(i.state(), InstanceState::Failed { .. })
+            }) {
                 return Some(id);
             }
         }
@@ -565,14 +699,26 @@ impl Broker {
     }
 
     fn provision(&mut self, image: &ImageId) -> Result<InstanceId, BrokerError> {
+        self.provision_traced(image, None)
+    }
+
+    fn provision_traced(
+        &mut self,
+        image: &ImageId,
+        ctx: Option<&TraceContext>,
+    ) -> Result<InstanceId, BrokerError> {
         let template = NodeTemplate::new(self.config.instance_type.clone(), image.clone());
-        let id = self.compute.provision(&mut self.cloud, &template)?;
-        let provider = self
-            .cloud
-            .instance(id)
-            .map(|i| i.provider().to_owned())
-            .unwrap_or_default();
-        let cloudburst = self.cloud.provider(&provider).map(Provider::kind) == Some(ProviderKind::Public);
+        self.cloud.set_launch_context(ctx.copied());
+        let result = self.compute.provision(&mut self.cloud, &template);
+        self.cloud.set_launch_context(None);
+        let id = result?;
+        let provider = self.cloud.instance(id).map(|i| i.provider().to_owned()).unwrap_or_default();
+        let cloudburst =
+            self.cloud.provider(&provider).map(Provider::kind) == Some(ProviderKind::Public);
+        self.metrics.inc_counter("broker_placements_total", &[("provider", &provider)]);
+        if cloudburst {
+            self.metrics.inc_counter("broker_cloudbursts_total", &[]);
+        }
         self.events.push(BrokerEvent::ScaledUp {
             at: self.cloud.now(),
             instance: id,
@@ -643,23 +789,21 @@ impl Broker {
                 if let Some(s) = self.sessions.get_mut(session) {
                     s.assign(to, now, true);
                 }
-                self.events.push(BrokerEvent::SessionMigrated { at: now, session, from: victim, to });
+                self.note_migration(session, victim, to, "scale-down");
             }
         }
-        let provider = self
-            .cloud
-            .instance(victim)
-            .map(|i| i.provider().to_owned())
-            .unwrap_or_default();
+        let provider =
+            self.cloud.instance(victim).map(|i| i.provider().to_owned()).unwrap_or_default();
         let _ = self.cloud.terminate(victim);
+        self.metrics.inc_counter("broker_scale_downs_total", &[("provider", &provider)]);
         self.events.push(BrokerEvent::ScaledDown { at: now, instance: victim, provider });
     }
 
     fn replenish_warm_pool(&mut self) {
         self.warm.retain(|&id| {
-            self.cloud
-                .instance(id)
-                .is_some_and(|i| i.occupies_capacity() && !matches!(i.state(), InstanceState::Failed { .. }))
+            self.cloud.instance(id).is_some_and(|i| {
+                i.occupies_capacity() && !matches!(i.state(), InstanceState::Failed { .. })
+            })
         });
         // Warm instances stranded on the public cloud during a burst come
         // home once the private cloud has room again (idle public capacity
@@ -752,7 +896,11 @@ mod tests {
         let inst = broker.session(first).unwrap().instance().unwrap();
         for i in 1..8 {
             let s = broker.connect(&format!("u{i}"), "topmodel").unwrap();
-            assert_eq!(broker.session(s).unwrap().instance(), Some(inst), "session {i} should pack");
+            assert_eq!(
+                broker.session(s).unwrap().instance(),
+                Some(inst),
+                "session {i} should pack"
+            );
         }
         // The 9th exceeds the 8-slot instance: a second one is provisioned.
         let ninth = broker.connect("u8", "topmodel").unwrap();
@@ -770,10 +918,10 @@ mod tests {
         broker.advance(SimDuration::from_secs(120));
         let mix = broker.provider_mix();
         assert!(mix.public_instances >= 1, "must have burst: {mix:?}");
-        assert!(broker.events().iter().any(|e| matches!(
-            e,
-            BrokerEvent::ScaledUp { cloudburst: true, .. }
-        )));
+        assert!(broker
+            .events()
+            .iter()
+            .any(|e| matches!(e, BrokerEvent::ScaledUp { cloudburst: true, .. })));
 
         // Load subsides: disconnect everyone; the broker retreats from the
         // public cloud.
@@ -795,16 +943,12 @@ mod tests {
 
         // Keep it busy so the blackhole signature is observable, then break it.
         broker.run_model(s, SimDuration::from_secs(3600)).unwrap();
-        broker
-            .cloud
-            .inject_failure(bad, FailureMode::NetworkBlackhole)
-            .unwrap();
+        broker.cloud.inject_failure(bad, FailureMode::NetworkBlackhole).unwrap();
         broker.advance(SimDuration::from_secs(300));
 
-        let detected = broker
-            .events()
-            .iter()
-            .any(|e| matches!(e, BrokerEvent::FailureDetected { instance, .. } if *instance == bad));
+        let detected = broker.events().iter().any(
+            |e| matches!(e, BrokerEvent::FailureDetected { instance, .. } if *instance == bad),
+        );
         assert!(detected, "failure must be detected: {:?}", broker.events());
 
         let session = broker.session(s).unwrap();
@@ -841,10 +985,7 @@ mod tests {
         broker.cloud.inject_failure(bad, FailureMode::Hang).unwrap();
         // Fewer than consecutive_bad_samples × check_interval: not yet.
         broker.advance(SimDuration::from_secs(31));
-        assert!(!broker
-            .events()
-            .iter()
-            .any(|e| matches!(e, BrokerEvent::FailureDetected { .. })));
+        assert!(!broker.events().iter().any(|e| matches!(e, BrokerEvent::FailureDetected { .. })));
     }
 
     #[test]
@@ -886,10 +1027,7 @@ mod tests {
     fn unknown_model_is_rejected_when_incubator_disabled() {
         let config = BrokerConfig { allow_incubator_fallback: false, ..BrokerConfig::default() };
         let mut broker = Broker::new(config, 1);
-        assert!(matches!(
-            broker.connect("f", "swat"),
-            Err(BrokerError::NoImageForModel(_))
-        ));
+        assert!(matches!(broker.connect("f", "swat"), Err(BrokerError::NoImageForModel(_))));
         // With fallback, the incubator takes it.
         let mut broker = Broker::new(BrokerConfig::default(), 1);
         assert!(broker.connect("f", "swat").is_ok());
@@ -933,18 +1071,83 @@ mod tests {
                 .count()
         };
         let first_instance = broker.session(first_batch[0]).unwrap().instance().unwrap();
-        let (a, b) = (
-            load_of(&broker, first_instance),
-            load_of(&broker, second_instance),
-        );
+        let (a, b) = (load_of(&broker, first_instance), load_of(&broker, second_instance));
         // Sessions may themselves have moved; measure the true spread.
         let max = a.max(b);
         let min = a.min(b);
         assert!(max - min <= 2, "loads should converge, got {a} vs {b}");
-        assert!(broker
-            .events()
-            .iter()
-            .any(|e| matches!(e, BrokerEvent::SessionMigrated { .. })));
+        assert!(broker.events().iter().any(|e| matches!(e, BrokerEvent::SessionMigrated { .. })));
+    }
+
+    #[test]
+    fn connect_produces_one_connected_trace() {
+        let mut broker = small_broker();
+        let tracer = broker.tracer().clone();
+        let caller = tracer.start_trace("e1.request");
+        let ctx = caller.context();
+
+        let s = broker.connect_with_context("alice", "topmodel", Some(&ctx)).unwrap();
+        broker.advance(SimDuration::from_secs(200));
+        broker.run_model_with_context(s, SimDuration::from_secs(45), None).unwrap();
+        broker.advance(SimDuration::from_secs(300));
+        caller.finish();
+
+        let spans = tracer.finished();
+        let on_trace: Vec<_> = spans.iter().filter(|sp| sp.trace_id == ctx.trace_id).collect();
+        for name in
+            ["broker.connect", "session.bind", "instance.boot i-00000000", "model.run topmodel"]
+        {
+            assert!(
+                on_trace.iter().any(|sp| sp.name == name),
+                "expected {name} on the trace, got {:?}",
+                on_trace.iter().map(|sp| &sp.name).collect::<Vec<_>>()
+            );
+        }
+        // Every span reaches the root: one connected tree.
+        for span in &on_trace {
+            let mut cur = *span;
+            while let Some(parent) = cur.parent {
+                cur = on_trace
+                    .iter()
+                    .find(|sp| sp.span_id == parent)
+                    .unwrap_or_else(|| panic!("dangling parent for {}", span.name));
+            }
+        }
+        // The push update carried the trace ids.
+        let update = broker.session(s).unwrap().client_channel().try_recv().unwrap();
+        assert_eq!(update.payload()["trace_id"].as_str(), Some(ctx.trace_id.to_string().as_str()));
+
+        let metrics = broker.metrics();
+        assert_eq!(metrics.counter("broker_placements_total", &[("provider", "campus")]), 1);
+        assert_eq!(metrics.counter("broker_binds_total", &[("how", "provisioned")]), 1);
+        assert_eq!(metrics.observations("broker_activation_wait_seconds", &[]), 1);
+    }
+
+    #[test]
+    fn cloudburst_and_failure_metrics_accumulate() {
+        let mut broker = small_broker();
+        for i in 0..24 {
+            broker.connect(&format!("u{i}"), "topmodel").unwrap();
+        }
+        broker.advance(SimDuration::from_secs(120));
+        assert!(broker.metrics().counter("broker_cloudbursts_total", &[]) >= 1);
+        assert!(broker.metrics().counter("broker_placements_total", &[("provider", "aws")]) >= 1);
+
+        let s = broker.sessions().next().unwrap().id();
+        let bad = broker.session(s).unwrap().instance().unwrap();
+        broker.cloud.inject_failure(bad, FailureMode::Hang).unwrap();
+        broker.advance(SimDuration::from_secs(300));
+        assert_eq!(
+            broker.metrics().counter(
+                "broker_failures_detected_total",
+                &[("signature", "sustained CPU saturation")],
+            ),
+            1
+        );
+        assert!(
+            broker.metrics().counter("broker_migrations_total", &[("reason", "failure-recovery")])
+                >= 1
+        );
     }
 
     #[test]

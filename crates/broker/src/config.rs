@@ -106,16 +106,14 @@ mod tests {
 
     #[test]
     fn bad_configs_are_caught() {
-        let mut c = BrokerConfig::default();
-        c.private_capacity_vcpus = 0;
+        let c = BrokerConfig { private_capacity_vcpus: 0, ..BrokerConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = BrokerConfig::default();
-        c.instance_type = "m9.imaginary".to_owned();
+        let c =
+            BrokerConfig { instance_type: "m9.imaginary".to_owned(), ..BrokerConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = BrokerConfig::default();
-        c.check_interval = SimDuration::ZERO;
+        let c = BrokerConfig { check_interval: SimDuration::ZERO, ..BrokerConfig::default() };
         assert!(c.validate().is_err());
     }
 }

@@ -38,7 +38,9 @@ mod config;
 mod library;
 mod session;
 
-pub use broker::{Broker, BrokerError, BrokerEvent, ProviderMix, PRIVATE_PROVIDER, PUBLIC_PROVIDER};
+pub use broker::{
+    Broker, BrokerError, BrokerEvent, ProviderMix, PRIVATE_PROVIDER, PUBLIC_PROVIDER,
+};
 pub use config::BrokerConfig;
 pub use library::{LibraryEntry, ModelLibrary};
 pub use session::{SessionId, SessionState, UserSession};

@@ -93,7 +93,11 @@ impl ModelLibrary {
     }
 
     /// Publishes a generic incubator image.
-    pub fn publish_incubator(&mut self, id: impl Into<String>, publisher: impl Into<String>) -> ImageId {
+    pub fn publish_incubator(
+        &mut self,
+        id: impl Into<String>,
+        publisher: impl Into<String>,
+    ) -> ImageId {
         let image = MachineImage::incubator(id);
         let image_id = image.id().clone();
         self.entries.insert(
@@ -127,11 +131,7 @@ impl ModelLibrary {
     /// providing it if one exists, otherwise (when `allow_incubator`) any
     /// incubator image.
     pub fn image_for_model(&self, model: &str, allow_incubator: bool) -> Option<ImageId> {
-        if let Some(entry) = self
-            .entries
-            .values()
-            .find(|e| e.image.provides_model(model))
-        {
+        if let Some(entry) = self.entries.values().find(|e| e.image.provides_model(model)) {
             return Some(entry.image.id().clone());
         }
         if allow_incubator {
@@ -195,8 +195,6 @@ mod tests {
         let mut sim = evop_cloud::CloudSim::new(1);
         sim.register_provider(evop_cloud::Provider::private_openstack("campus", 8));
         lib.register_all(&mut sim);
-        assert!(sim
-            .launch("campus", "m1.small", &ImageId::new("topmodel-eden"))
-            .is_ok());
+        assert!(sim.launch("campus", "m1.small", &ImageId::new("topmodel-eden")).is_ok());
     }
 }

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use evop_cloud::InstanceId;
+use evop_obs::TraceContext;
 use evop_services::push::{duplex_pair, Endpoint, Message};
 use evop_sim::SimTime;
 use serde_json::json;
@@ -46,6 +47,7 @@ pub struct UserSession {
     migrations: u32,
     server_end: Endpoint,
     client_end: Endpoint,
+    trace: Option<TraceContext>,
 }
 
 impl UserSession {
@@ -62,6 +64,7 @@ impl UserSession {
             migrations: 0,
             server_end,
             client_end,
+            trace: None,
         }
     }
 
@@ -110,6 +113,16 @@ impl UserSession {
         self.migrations
     }
 
+    /// The trace context this session's server-side work reports under,
+    /// when the broker is tracing.
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        self.trace
+    }
+
+    pub(crate) fn set_trace_context(&mut self, ctx: TraceContext) {
+        self.trace = Some(ctx);
+    }
+
     /// The browser-side endpoint: widgets read pushed updates here.
     pub fn client_channel(&self) -> &Endpoint {
         &self.client_end
@@ -124,16 +137,22 @@ impl UserSession {
         if is_migration {
             self.migrations += 1;
         }
-        let _ = self.server_end.send(Message::new(
-            "session-update",
-            json!({
-                "session": self.id.to_string(),
-                "instance": instance.to_string(),
-                "previous": previous.map(|p| p.to_string()),
-                "migration": is_migration,
-                "at": now.as_millis(),
-            }),
-        ));
+        let mut payload = json!({
+            "session": self.id.to_string(),
+            "instance": instance.to_string(),
+            "previous": previous.map(|p| p.to_string()),
+            "migration": is_migration,
+            "at": now.as_millis(),
+        });
+        // Carry the trace context on the push, so the browser-side widget
+        // can correlate the update with the server-side timeline.
+        if let Some(ctx) = &self.trace {
+            if let Some(map) = payload.as_object_mut() {
+                map.insert("trace_id".to_owned(), json!(ctx.trace_id.to_string()));
+                map.insert("span_id".to_owned(), json!(ctx.span_id.to_string()));
+            }
+        }
+        let _ = self.server_end.send(Message::new("session-update", payload));
     }
 
     pub(crate) fn close(&mut self) {

@@ -43,11 +43,14 @@ impl CostMeter {
     }
 
     /// Opens a lease for instance `key` at `hourly_rate` from `start`.
-    pub fn open(&mut self, key: u64, provider: impl Into<String>, hourly_rate: f64, start: SimTime) {
-        self.leases.insert(
-            key,
-            Lease { provider: provider.into(), hourly_rate, start, end: None },
-        );
+    pub fn open(
+        &mut self,
+        key: u64,
+        provider: impl Into<String>,
+        hourly_rate: f64,
+        start: SimTime,
+    ) {
+        self.leases.insert(key, Lease { provider: provider.into(), hourly_rate, start, end: None });
     }
 
     /// Closes the lease for `key` at `end`. Closing an unknown or already

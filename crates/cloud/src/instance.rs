@@ -269,7 +269,8 @@ impl Instance {
     pub fn cpu_utilisation(&self) -> f64 {
         match self.state {
             InstanceState::Failed { mode: FailureMode::Hang, .. } => 1.0,
-            InstanceState::Terminated { .. } | InstanceState::Failed { mode: FailureMode::Crash, .. } => 0.0,
+            InstanceState::Terminated { .. }
+            | InstanceState::Failed { mode: FailureMode::Crash, .. } => 0.0,
             _ => self.running.len() as f64 / f64::from(self.itype.vcpus()),
         }
     }
@@ -305,7 +306,8 @@ impl Instance {
         let Some(idx) = self.jobs.iter().position(|j| j.id == id) else {
             return Vec::new();
         };
-        let is_current = matches!(self.jobs[idx].state, JobState::Running { finish_at, .. } if finish_at == now);
+        let is_current =
+            matches!(self.jobs[idx].state, JobState::Running { finish_at, .. } if finish_at == now);
         if !is_current || !self.is_running() {
             return Vec::new(); // stale event (failure intervened)
         }
@@ -326,8 +328,9 @@ impl Instance {
         let mut started = Vec::new();
         while self.running.len() < self.itype.vcpus() as usize {
             let Some(idx) = self.queue.pop_front() else { break };
-            let duration =
-                SimDuration::from_secs_f64(self.jobs[idx].work.as_secs_f64() * self.image.execution_penalty());
+            let duration = SimDuration::from_secs_f64(
+                self.jobs[idx].work.as_secs_f64() * self.image.execution_penalty(),
+            );
             let finish_at = now + duration;
             self.jobs[idx].state = JobState::Running { started: now, finish_at };
             self.running.push(idx);
@@ -396,7 +399,8 @@ mod tests {
     #[test]
     fn submit_starts_when_slot_free() {
         let mut inst = instance(2);
-        let started = inst.submit(JobId(1), JobKind::Run, SimDuration::from_secs(10), SimTime::ZERO);
+        let started =
+            inst.submit(JobId(1), JobKind::Run, SimDuration::from_secs(10), SimTime::ZERO);
         assert_eq!(started.len(), 1);
         assert_eq!(started[0].1, SimTime::from_secs(10));
         assert_eq!(inst.running_jobs(), 1);
@@ -469,10 +473,7 @@ mod tests {
         inst.submit(JobId(2), JobKind::Run, SimDuration::from_secs(10), SimTime::ZERO);
         inst.terminate(SimTime::from_secs(5));
         assert!(!inst.occupies_capacity());
-        assert!(inst
-            .jobs()
-            .iter()
-            .all(|j| matches!(j.state(), JobState::Lost { .. })));
+        assert!(inst.jobs().iter().all(|j| matches!(j.state(), JobState::Lost { .. })));
     }
 
     #[test]
@@ -497,7 +498,8 @@ mod tests {
             SimTime::ZERO,
             SimTime::from_secs(45),
         );
-        let started = inst.submit(JobId(1), JobKind::Run, SimDuration::from_secs(10), SimTime::ZERO);
+        let started =
+            inst.submit(JobId(1), JobKind::Run, SimDuration::from_secs(10), SimTime::ZERO);
         assert!(started.is_empty(), "job must wait for boot");
         inst.mark_running();
         let started = inst.start_queued(SimTime::from_secs(45));

@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use evop_obs::{MetricsRegistry, Span, TraceContext, Tracer};
 use evop_sim::{Clock, EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::billing::CostMeter;
@@ -42,7 +43,10 @@ impl fmt::Display for CloudError {
             CloudError::UnknownImage(i) => write!(f, "unknown image: {i}"),
             CloudError::UnknownInstance(i) => write!(f, "unknown instance: {i}"),
             CloudError::CapacityExceeded { provider, requested, free } => {
-                write!(f, "capacity exceeded on {provider}: requested {requested} vCPUs, {free} free")
+                write!(
+                    f,
+                    "capacity exceeded on {provider}: requested {requested} vCPUs, {free} free"
+                )
             }
             CloudError::NotRunning(i) => write!(f, "instance not running: {i}"),
         }
@@ -91,6 +95,13 @@ pub struct CloudSim {
     next_job: u64,
     meter: CostMeter,
     random_failures: bool,
+    /// Observability hooks. Pure observation: attaching them never touches
+    /// the RNG or the event queue, so simulation results are unchanged.
+    tracer: Option<Tracer>,
+    registry: Option<MetricsRegistry>,
+    boot_spans: BTreeMap<InstanceId, Span>,
+    job_spans: BTreeMap<JobId, Span>,
+    launch_ctx: Option<TraceContext>,
 }
 
 impl CloudSim {
@@ -107,12 +118,38 @@ impl CloudSim {
             next_job: 0,
             meter: CostMeter::new(),
             random_failures: false,
+            tracer: None,
+            registry: None,
+            boot_spans: BTreeMap::new(),
+            job_spans: BTreeMap::new(),
+            launch_ctx: None,
         }
     }
 
     /// Registers a provider. Re-registering a name replaces it.
     pub fn register_provider(&mut self, provider: Provider) {
         self.providers.insert(provider.name().to_owned(), provider);
+    }
+
+    /// Attaches shared observability handles: boot and model-run spans go to
+    /// `tracer`, state-transition counters and billing gauges to `registry`.
+    pub fn set_observability(&mut self, tracer: Tracer, registry: MetricsRegistry) {
+        self.tracer = Some(tracer);
+        self.registry = Some(registry);
+    }
+
+    /// Sets the ambient trace context adopted by the next successful
+    /// [`CloudSim::launch`]. This lets intermediaries that cannot carry a
+    /// context through their signatures (the cross-cloud placement service)
+    /// still parent the boot span under the request that caused the launch.
+    pub fn set_launch_context(&mut self, ctx: Option<TraceContext>) {
+        self.launch_ctx = ctx;
+    }
+
+    fn count_transition(&self, to: &str) {
+        if let Some(reg) = &self.registry {
+            reg.inc_counter("cloud_state_transitions_total", &[("to", to)]);
+        }
     }
 
     /// Registers a machine image. Re-registering an id replaces it.
@@ -154,8 +191,7 @@ impl CloudSim {
     /// unbounded.
     pub fn free_vcpus(&self, provider: &str) -> Option<u32> {
         let p = self.providers.get(provider)?;
-        p.capacity_vcpus()
-            .map(|cap| cap.saturating_sub(self.used_vcpus(provider)))
+        p.capacity_vcpus().map(|cap| cap.saturating_sub(self.used_vcpus(provider)))
     }
 
     /// Requests a new instance.
@@ -174,6 +210,53 @@ impl CloudSim {
         instance_type: &str,
         image: &ImageId,
     ) -> Result<InstanceId, CloudError> {
+        let ctx = self.launch_ctx;
+        let id = self.launch_traced(provider, instance_type, image, ctx.as_ref())?;
+        self.launch_ctx = None; // consumed only by a successful launch
+        Ok(id)
+    }
+
+    /// [`CloudSim::launch`] joined to a caller's trace context.
+    ///
+    /// When a tracer is attached, the boot is recorded as an
+    /// `instance.boot {id}` span — opened now, finished when the
+    /// `BootComplete` event fires (or the instance dies first) — so boot
+    /// latency appears on the request timeline that caused the launch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CloudSim::launch`].
+    pub fn launch_traced(
+        &mut self,
+        provider: &str,
+        instance_type: &str,
+        image: &ImageId,
+        ctx: Option<&TraceContext>,
+    ) -> Result<InstanceId, CloudError> {
+        let id = self.launch_inner(provider, instance_type, image)?;
+        if let Some(tracer) = &self.tracer {
+            let name = format!("instance.boot {id}");
+            let span = match ctx {
+                Some(ctx) => tracer.start_span(name, ctx),
+                None => tracer.start_trace(name),
+            };
+            span.attr("provider", provider);
+            span.attr("type", instance_type);
+            self.boot_spans.insert(id, span);
+        }
+        if let Some(reg) = &self.registry {
+            reg.inc_counter("cloud_launches_total", &[("provider", provider)]);
+        }
+        self.count_transition("pending");
+        Ok(id)
+    }
+
+    fn launch_inner(
+        &mut self,
+        provider: &str,
+        instance_type: &str,
+        image: &ImageId,
+    ) -> Result<InstanceId, CloudError> {
         let prov = self
             .providers
             .get(provider)
@@ -181,11 +264,8 @@ impl CloudSim {
             .clone();
         let itype = InstanceType::lookup(instance_type)
             .ok_or_else(|| CloudError::UnknownInstanceType(instance_type.to_owned()))?;
-        let img = self
-            .images
-            .get(image)
-            .ok_or_else(|| CloudError::UnknownImage(image.clone()))?
-            .clone();
+        let img =
+            self.images.get(image).ok_or_else(|| CloudError::UnknownImage(image.clone()))?.clone();
 
         if let Some(cap) = prov.capacity_vcpus() {
             let free = cap.saturating_sub(self.used_vcpus(provider));
@@ -208,10 +288,8 @@ impl CloudSim {
         let ready_at = now + boot;
         let hourly = itype.hourly_cost() * prov.price_factor();
         self.meter.open(id.0, provider, hourly, now);
-        self.instances.insert(
-            id,
-            Instance::new(id, provider.to_owned(), itype, img, now, ready_at),
-        );
+        self.instances
+            .insert(id, Instance::new(id, provider.to_owned(), itype, img, now, ready_at));
         self.events.push(ready_at, Event::BootComplete(id));
         if self.random_failures {
             let ttf = SimDuration::from_secs_f64(self.rng.exponential(prov.mtbf().as_secs_f64()));
@@ -231,6 +309,11 @@ impl CloudSim {
         let inst = self.instances.get_mut(&id).ok_or(CloudError::UnknownInstance(id))?;
         inst.terminate(now);
         self.meter.close(id.0, now);
+        if let Some(span) = self.boot_spans.remove(&id) {
+            span.event("terminated before boot completed");
+            span.finish();
+        }
+        self.count_transition("terminated");
         Ok(())
     }
 
@@ -243,6 +326,11 @@ impl CloudSim {
         let now = self.clock.now();
         let inst = self.instances.get_mut(&id).ok_or(CloudError::UnknownInstance(id))?;
         inst.fail(mode, now);
+        if let Some(span) = self.boot_spans.remove(&id) {
+            span.event("failed before boot completed");
+            span.finish();
+        }
+        self.count_transition("failed");
         Ok(())
     }
 
@@ -272,12 +360,53 @@ impl CloudSim {
         model: &str,
         work: SimDuration,
     ) -> Result<JobId, CloudError> {
+        self.run_model_traced(id, model, work, None)
+    }
+
+    /// [`CloudSim::run_model`] joined to a caller's trace context.
+    ///
+    /// When a tracer is attached, the run is recorded as a
+    /// `model.run {model}` span — opened now, finished when the job's
+    /// `JobDone` event fires — capturing queueing, boot wait and any
+    /// install step in its duration.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CloudSim::run_model`].
+    pub fn run_model_traced(
+        &mut self,
+        id: InstanceId,
+        model: &str,
+        work: SimDuration,
+        ctx: Option<&TraceContext>,
+    ) -> Result<JobId, CloudError> {
+        let job = self.run_model_inner(id, model, work)?;
+        if let Some(tracer) = &self.tracer {
+            let name = format!("model.run {model}");
+            let span = match ctx {
+                Some(ctx) => tracer.start_span(name, ctx),
+                None => tracer.start_trace(name),
+            };
+            span.attr("instance", id.to_string());
+            span.attr("model", model);
+            self.job_spans.insert(job, span);
+        }
+        Ok(job)
+    }
+
+    fn run_model_inner(
+        &mut self,
+        id: InstanceId,
+        model: &str,
+        work: SimDuration,
+    ) -> Result<JobId, CloudError> {
         let needs_install = {
             let inst = self.instances.get(&id).ok_or(CloudError::UnknownInstance(id))?;
             !inst.has_model(model)
-                && !inst.jobs().iter().any(|j| {
-                    matches!(j.kind(), JobKind::Install { model: m } if m == model)
-                })
+                && !inst
+                    .jobs()
+                    .iter()
+                    .any(|j| matches!(j.kind(), JobKind::Install { model: m } if m == model))
         };
         if needs_install {
             let install_time = {
@@ -289,7 +418,12 @@ impl CloudSim {
         self.submit(id, JobKind::Run, work)
     }
 
-    fn submit(&mut self, id: InstanceId, kind: JobKind, work: SimDuration) -> Result<JobId, CloudError> {
+    fn submit(
+        &mut self,
+        id: InstanceId,
+        kind: JobKind,
+        work: SimDuration,
+    ) -> Result<JobId, CloudError> {
         let now = self.clock.now();
         let inst = self.instances.get_mut(&id).ok_or(CloudError::UnknownInstance(id))?;
         match inst.state() {
@@ -321,9 +455,27 @@ impl CloudSim {
     pub fn advance_to(&mut self, target: SimTime) {
         while let Some((t, event)) = self.events.pop_due(target) {
             self.clock.advance_to(t);
+            if let Some(tracer) = &self.tracer {
+                tracer.set_now(t);
+            }
             self.handle(event);
         }
         self.clock.advance_to(target);
+        self.refresh_observability();
+    }
+
+    /// Pushes the virtual clock into the tracer and the current billing
+    /// totals into per-provider gauges.
+    fn refresh_observability(&mut self) {
+        let now = self.clock.now();
+        if let Some(tracer) = &self.tracer {
+            tracer.set_now(now);
+        }
+        if let Some(reg) = &self.registry {
+            for (provider, cost) in self.meter.cost_by_provider(now) {
+                reg.set_gauge("cloud_cost_total", &[("provider", &provider)], cost);
+            }
+        }
     }
 
     /// The time of the next pending event, if any — for drivers that want to
@@ -342,6 +494,10 @@ impl CloudSim {
                         for (jid, finish) in inst.start_queued(now) {
                             self.events.push(finish, Event::JobDone(id, jid));
                         }
+                        if let Some(span) = self.boot_spans.remove(&id) {
+                            span.finish();
+                        }
+                        self.count_transition("running");
                     }
                 }
             }
@@ -349,6 +505,16 @@ impl CloudSim {
                 if let Some(inst) = self.instances.get_mut(&id) {
                     for (next_jid, finish) in inst.complete(jid, now) {
                         self.events.push(finish, Event::JobDone(id, next_jid));
+                    }
+                    let latency = inst.job(jid).and_then(|j| j.latency());
+                    if let Some(span) = self.job_spans.remove(&jid) {
+                        span.finish();
+                    }
+                    if let Some(reg) = &self.registry {
+                        reg.inc_counter("cloud_jobs_completed_total", &[]);
+                        if let Some(latency) = latency {
+                            reg.observe("cloud_job_latency_seconds", &[], latency.as_secs_f64());
+                        }
                     }
                 }
             }
@@ -361,6 +527,11 @@ impl CloudSim {
                             _ => FailureMode::NetworkBlackhole,
                         };
                         inst.fail(mode, now);
+                        if let Some(span) = self.boot_spans.remove(&id) {
+                            span.event("failed before boot completed");
+                            span.finish();
+                        }
+                        self.count_transition("failed");
                     }
                 }
             }
@@ -399,7 +570,9 @@ impl CloudSim {
                 FailureMode::Crash => (0.0, 0.0, 0.0),
                 // Hung and blackholed instances keep receiving requests but
                 // emit nothing.
-                FailureMode::Hang | FailureMode::NetworkBlackhole => (8.0 + 120.0 * active, 0.0, 0.0),
+                FailureMode::Hang | FailureMode::NetworkBlackhole => {
+                    (8.0 + 120.0 * active, 0.0, 0.0)
+                }
             },
             InstanceState::Pending { .. } => (4.0, 4.0, 10.0),
             InstanceState::Running => (
@@ -575,7 +748,12 @@ mod tests {
         let b = sim.launch("aws", "m1.medium", &img).unwrap();
         sim.advance(SimDuration::from_secs(3600));
         let by = sim.cost_by_provider();
-        assert!(by["campus"] < by["aws"], "private {:.3} must be cheaper than public {:.3}", by["campus"], by["aws"]);
+        assert!(
+            by["campus"] < by["aws"],
+            "private {:.3} must be cheaper than public {:.3}",
+            by["campus"],
+            by["aws"]
+        );
         assert!((sim.total_cost() - (by["campus"] + by["aws"])).abs() < 1e-9);
         sim.terminate(a).unwrap();
         sim.terminate(b).unwrap();
@@ -620,9 +798,60 @@ mod tests {
         sim.advance(SimDuration::from_secs(3600));
         let failed = ids
             .iter()
-            .filter(|&&id| matches!(sim.instance(id).unwrap().state(), InstanceState::Failed { .. }))
+            .filter(|&&id| {
+                matches!(sim.instance(id).unwrap().state(), InstanceState::Failed { .. })
+            })
             .count();
         assert!(failed > 0, "with 600s MTBF over an hour, some of 16 instances must fail");
+    }
+
+    #[test]
+    fn boot_and_job_spans_land_on_the_caller_trace() {
+        let (mut sim, img) = sim_with_defaults();
+        let tracer = Tracer::new();
+        let metrics = MetricsRegistry::new();
+        sim.set_observability(tracer.clone(), metrics.clone());
+
+        let root = tracer.start_trace("request");
+        let ctx = root.context();
+        let id = sim.launch_traced("campus", "m1.small", &img, Some(&ctx)).unwrap();
+        sim.advance(SimDuration::from_secs(200));
+        sim.run_model_traced(id, "topmodel", SimDuration::from_secs(60), Some(&ctx)).unwrap();
+        sim.advance(SimDuration::from_secs(600));
+        root.finish();
+
+        let spans = tracer.finished();
+        let boot = spans.iter().find(|s| s.name.starts_with("instance.boot")).unwrap();
+        assert_eq!(boot.trace_id, ctx.trace_id);
+        assert_eq!(boot.parent, Some(ctx.span_id));
+        assert!(boot.end.is_some(), "boot span closed by BootComplete");
+        assert!(boot.duration().as_secs_f64() > 0.0);
+        let run = spans.iter().find(|s| s.name == "model.run topmodel").unwrap();
+        assert_eq!(run.trace_id, ctx.trace_id);
+        assert_eq!(run.duration(), SimDuration::from_secs(60));
+
+        assert_eq!(metrics.counter("cloud_state_transitions_total", &[("to", "pending")]), 1);
+        assert_eq!(metrics.counter("cloud_state_transitions_total", &[("to", "running")]), 1);
+        assert_eq!(metrics.counter("cloud_jobs_completed_total", &[]), 1);
+        assert_eq!(metrics.observations("cloud_job_latency_seconds", &[]), 1);
+        assert!(metrics.gauge("cloud_cost_total", &[("provider", "campus")]).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn observability_does_not_perturb_the_simulation() {
+        let run = |observed: bool| {
+            let (mut sim, img) = sim_with_defaults();
+            if observed {
+                sim.set_observability(Tracer::new(), MetricsRegistry::new());
+            }
+            let id = sim.launch("campus", "m1.small", &img).unwrap();
+            sim.advance(SimDuration::from_secs(200));
+            let job = sim.run_model(id, "topmodel", SimDuration::from_secs(60)).unwrap();
+            sim.advance(SimDuration::from_secs(600));
+            let latency = sim.instance(id).unwrap().job(job).unwrap().latency().unwrap();
+            (latency, sim.total_cost())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]
@@ -648,9 +877,6 @@ mod tests {
             sim.launch("campus", "m1.small", &ImageId::new("nope")),
             Err(CloudError::UnknownImage(_))
         ));
-        assert!(matches!(
-            sim.metrics(InstanceId(999)),
-            Err(CloudError::UnknownInstance(_))
-        ));
+        assert!(matches!(sim.metrics(InstanceId(999)), Err(CloudError::UnknownInstance(_))));
     }
 }

@@ -197,9 +197,7 @@ impl MachineImage {
     {
         MachineImage {
             id: ImageId::new(id),
-            kind: ImageKind::Streamlined {
-                models: models.into_iter().map(Into::into).collect(),
-            },
+            kind: ImageKind::Streamlined { models: models.into_iter().map(Into::into).collect() },
             boot_overhead: SimDuration::from_secs(40),
             execution_penalty: 1.0,
             install_time: SimDuration::ZERO,

@@ -66,9 +66,7 @@ pub fn ablate_health_check(
             // serving instance other than the busy control (the balancer may
             // shuffle individual sessions in between).
             for i in 0..broker.config().slots_per_instance() {
-                broker
-                    .connect(&format!("probe-{i}"), "topmodel")
-                    .expect("served");
+                broker.connect(&format!("probe-{i}"), "topmodel").expect("served");
             }
             broker.advance(SimDuration::from_secs(200));
             let busy_instance = broker.session(busy).and_then(|s| s.instance()).expect("bound");
@@ -84,7 +82,9 @@ pub fn ablate_health_check(
             broker.advance(check_interval.saturating_mul(u64::from(consecutive) * 4));
 
             let detection_delay = broker.events().iter().find_map(|e| match e {
-                BrokerEvent::FailureDetected { at, instance, .. } if *instance == probe_instance => {
+                BrokerEvent::FailureDetected { at, instance, .. }
+                    if *instance == probe_instance =>
+                {
                     Some(at.saturating_since(injected_at))
                 }
                 _ => None,
@@ -96,7 +96,12 @@ pub fn ablate_health_check(
                     matches!(e, BrokerEvent::FailureDetected { instance, .. } if *instance == busy_instance)
                 })
                 .count();
-            rows.push(HealthCheckRow { check_interval, consecutive, detection_delay, false_positives });
+            rows.push(HealthCheckRow {
+                check_interval,
+                consecutive,
+                detection_delay,
+                false_positives,
+            });
         }
     }
     rows
@@ -227,7 +232,11 @@ pub fn ablate_private_capacity(capacities: &[u32], seed: u64) -> Vec<CapacityRow
                 broker.advance(SimDuration::from_secs(60));
                 peak_public = peak_public.max(broker.provider_mix().public_instances);
             }
-            CapacityRow { private_vcpus, peak_public_instances: peak_public, cost: broker.total_cost() }
+            CapacityRow {
+                private_vcpus,
+                peak_public_instances: peak_public,
+                cost: broker.total_cost(),
+            }
         })
         .collect()
 }

@@ -33,9 +33,9 @@ use evop_data::{SensorId, Timestamp};
 use evop_services::rest::{PathParams, Router};
 use evop_services::sos::GetObservation;
 use evop_services::wps::WpsError;
-use evop_services::Response;
 #[cfg(test)]
 use evop_services::Request;
+use evop_services::Response;
 use serde_json::{json, Value};
 
 use crate::observatory::Evop;
@@ -60,6 +60,10 @@ use crate::registry::AssetKind;
 /// ```
 pub fn portal_api(evop: Arc<Evop>) -> Router {
     let mut router = Router::new();
+    // Every dispatch opens (or joins) a trace in the observatory-wide
+    // tracer and counts into `router_requests_total{method,route,status}`.
+    router.set_tracer(evop.tracer().clone());
+    router.set_metrics(evop.metrics().clone());
 
     // --- Catchments ----------------------------------------------------
     let shared = Arc::clone(&evop);
@@ -77,10 +81,8 @@ pub fn portal_api(evop: Arc<Evop>) -> Router {
     });
 
     let shared = Arc::clone(&evop);
-    router.route(
-        evop_services::Method::Get,
-        "/catchments/{id}/sensors",
-        move |_, params| match lookup_catchment(&shared, params) {
+    router.route(evop_services::Method::Get, "/catchments/{id}/sensors", move |_, params| {
+        match lookup_catchment(&shared, params) {
             Ok(catchment) => {
                 let sensors: Vec<Value> = catchment
                     .default_sensors()
@@ -100,46 +102,42 @@ pub fn portal_api(evop: Arc<Evop>) -> Router {
                 Response::ok().json(&sensors)
             }
             Err(resp) => resp,
-        },
-    );
+        }
+    });
 
     // --- Observations (SOS) ---------------------------------------------
     let shared = Arc::clone(&evop);
-    router.route(
-        evop_services::Method::Get,
-        "/sensors/{id}/observations",
-        move |req, params| {
-            let sensor = SensorId::new(params.get("id").expect("route has {id}"));
-            let parse_time = |key: &str| -> Option<Timestamp> {
-                req.query_param(key).and_then(|v| v.parse::<i64>().ok()).map(Timestamp::from_unix)
-            };
-            let (Some(from), Some(to)) = (parse_time("from"), parse_time("to")) else {
-                return Response::bad_request("from/to unix-second query parameters are required");
-            };
-            let limit = req.query_param("limit").and_then(|v| v.parse::<usize>().ok());
-            match shared.sos().get_observation(&GetObservation {
-                procedure: sensor,
-                begin: from,
-                end: to,
-                max_results: limit,
-            }) {
-                Ok(observations) => {
-                    let body: Vec<Value> = observations
-                        .iter()
-                        .map(|o| {
-                            json!({
-                                "time": o.time().as_unix(),
-                                "value": o.value(),
-                                "quality": o.quality().to_string(),
-                            })
+    router.route(evop_services::Method::Get, "/sensors/{id}/observations", move |req, params| {
+        let sensor = SensorId::new(params.get("id").expect("route has {id}"));
+        let parse_time = |key: &str| -> Option<Timestamp> {
+            req.query_param(key).and_then(|v| v.parse::<i64>().ok()).map(Timestamp::from_unix)
+        };
+        let (Some(from), Some(to)) = (parse_time("from"), parse_time("to")) else {
+            return Response::bad_request("from/to unix-second query parameters are required");
+        };
+        let limit = req.query_param("limit").and_then(|v| v.parse::<usize>().ok());
+        match shared.sos().get_observation(&GetObservation {
+            procedure: sensor,
+            begin: from,
+            end: to,
+            max_results: limit,
+        }) {
+            Ok(observations) => {
+                let body: Vec<Value> = observations
+                    .iter()
+                    .map(|o| {
+                        json!({
+                            "time": o.time().as_unix(),
+                            "value": o.value(),
+                            "quality": o.quality().to_string(),
                         })
-                        .collect();
-                    Response::ok().json(&body)
-                }
-                Err(e) => Response::not_found(e.to_string()),
+                    })
+                    .collect();
+                Response::ok().json(&body)
             }
-        },
-    );
+            Err(e) => Response::not_found(e.to_string()),
+        }
+    });
 
     let shared = Arc::clone(&evop);
     router.route(evop_services::Method::Get, "/sensors/{id}/latest", move |_, params| {
@@ -218,35 +216,27 @@ pub fn portal_api(evop: Arc<Evop>) -> Router {
 
     // --- Dataset download (access-policy enforced) ------------------------
     let shared = Arc::clone(&evop);
-    router.route(
-        evop_services::Method::Get,
-        "/datasets/{id}/download",
-        move |req, params| {
-            let dataset = params.get("id").expect("route has {id}");
-            let registered = req.query_param("registered") == Some("true");
-            match shared.download_dataset(dataset, registered) {
-                Ok(csv) => Response::ok().header("content-type", "text/csv").text(csv),
-                Err(e @ crate::observatory::DownloadError::UnknownDataset(_)) => {
-                    Response::not_found(e.to_string())
-                }
-                Err(e) => Response::new(evop_services::StatusCode::FORBIDDEN).text(e.to_string()),
+    router.route(evop_services::Method::Get, "/datasets/{id}/download", move |req, params| {
+        let dataset = params.get("id").expect("route has {id}");
+        let registered = req.query_param("registered") == Some("true");
+        match shared.download_dataset(dataset, registered) {
+            Ok(csv) => Response::ok().header("content-type", "text/csv").text(csv),
+            Err(e @ crate::observatory::DownloadError::UnknownDataset(_)) => {
+                Response::not_found(e.to_string())
             }
-        },
-    );
+            Err(e) => Response::new(evop_services::StatusCode::FORBIDDEN).text(e.to_string()),
+        }
+    });
 
     // --- Model execution (WPS) -------------------------------------------
     let shared = Arc::clone(&evop);
-    router.route(
-        evop_services::Method::Get,
-        "/catchments/{id}/processes",
-        move |_, params| {
-            let id = CatchmentId::new(params.get("id").expect("route has {id}"));
-            match shared.wps(&id) {
-                Some(wps) => Response::ok().json(&wps.process_ids()),
-                None => Response::not_found(format!("no WPS endpoint for {id}")),
-            }
-        },
-    );
+    router.route(evop_services::Method::Get, "/catchments/{id}/processes", move |_, params| {
+        let id = CatchmentId::new(params.get("id").expect("route has {id}"));
+        match shared.wps(&id) {
+            Some(wps) => Response::ok().json(&wps.process_ids()),
+            None => Response::not_found(format!("no WPS endpoint for {id}")),
+        }
+    });
 
     let shared = Arc::clone(&evop);
     router.route(
@@ -266,9 +256,14 @@ pub fn portal_api(evop: Arc<Evop>) -> Router {
                     Err(e) => return Response::bad_request(format!("bad JSON body: {e}")),
                 }
             };
-            match wps.execute(process, inputs) {
+            // The router stamped its span context onto the request; the
+            // WPS execution parents under it, keeping the whole request
+            // on one trace.
+            match wps.execute_traced(process, inputs, req.trace_context().as_ref()) {
                 Ok(outputs) => Response::ok().json(&outputs),
-                Err(WpsError::UnknownProcess(p)) => Response::not_found(format!("unknown process: {p}")),
+                Err(WpsError::UnknownProcess(p)) => {
+                    Response::not_found(format!("unknown process: {p}"))
+                }
                 Err(e @ WpsError::InvalidParameter { .. }) => Response::bad_request(e.to_string()),
                 Err(e) => Response::internal_error(e.to_string()),
             }
@@ -301,7 +296,9 @@ pub fn portal_api(evop: Arc<Evop>) -> Router {
                     "job": job,
                     "status_location": format!("/catchments/{id}/jobs/{job}"),
                 })),
-                Err(WpsError::UnknownProcess(p)) => Response::not_found(format!("unknown process: {p}")),
+                Err(WpsError::UnknownProcess(p)) => {
+                    Response::not_found(format!("unknown process: {p}"))
+                }
                 Err(e @ WpsError::InvalidParameter { .. }) => Response::bad_request(e.to_string()),
                 Err(e) => Response::internal_error(e.to_string()),
             }
@@ -309,34 +306,30 @@ pub fn portal_api(evop: Arc<Evop>) -> Router {
     );
 
     let shared = Arc::clone(&evop);
-    router.route(
-        evop_services::Method::Get,
-        "/catchments/{id}/jobs/{job}",
-        move |_, params| {
-            let id = CatchmentId::new(params.get("id").expect("route has {id}"));
-            let Some(wps) = shared.wps(&id) else {
-                return Response::not_found(format!("no WPS endpoint for {id}"));
-            };
-            let Some(job) = params.get("job").and_then(|j| j.parse::<u64>().ok()) else {
-                return Response::bad_request("job id must be an integer");
-            };
-            // Polling drives pending work (the in-process analogue of the
-            // WPS status document updating behind a statusLocation URL).
-            wps.process_pending();
-            match wps.status(job) {
-                Ok(evop_services::wps::ExecStatus::Accepted) => {
-                    Response::ok().json(&json!({"state": "accepted"}))
-                }
-                Ok(evop_services::wps::ExecStatus::Succeeded(outputs)) => {
-                    Response::ok().json(&json!({"state": "succeeded", "outputs": outputs}))
-                }
-                Ok(evop_services::wps::ExecStatus::Failed(reason)) => {
-                    Response::ok().json(&json!({"state": "failed", "reason": reason}))
-                }
-                Err(e) => Response::not_found(e.to_string()),
+    router.route(evop_services::Method::Get, "/catchments/{id}/jobs/{job}", move |_, params| {
+        let id = CatchmentId::new(params.get("id").expect("route has {id}"));
+        let Some(wps) = shared.wps(&id) else {
+            return Response::not_found(format!("no WPS endpoint for {id}"));
+        };
+        let Some(job) = params.get("job").and_then(|j| j.parse::<u64>().ok()) else {
+            return Response::bad_request("job id must be an integer");
+        };
+        // Polling drives pending work (the in-process analogue of the
+        // WPS status document updating behind a statusLocation URL).
+        wps.process_pending();
+        match wps.status(job) {
+            Ok(evop_services::wps::ExecStatus::Accepted) => {
+                Response::ok().json(&json!({"state": "accepted"}))
             }
-        },
-    );
+            Ok(evop_services::wps::ExecStatus::Succeeded(outputs)) => {
+                Response::ok().json(&json!({"state": "succeeded", "outputs": outputs}))
+            }
+            Ok(evop_services::wps::ExecStatus::Failed(reason)) => {
+                Response::ok().json(&json!({"state": "failed", "reason": reason}))
+            }
+            Err(e) => Response::not_found(e.to_string()),
+        }
+    });
 
     // --- XaaS registry ----------------------------------------------------
     let shared = Arc::clone(&evop);
@@ -384,8 +377,7 @@ fn lookup_catchment<'a>(
     params: &PathParams,
 ) -> Result<&'a evop_data::Catchment, Response> {
     let id = CatchmentId::new(params.get("id").expect("route has {id}"));
-    evop.catchment(&id)
-        .ok_or_else(|| Response::not_found(format!("unknown catchment: {id}")))
+    evop.catchment(&id).ok_or_else(|| Response::not_found(format!("unknown catchment: {id}")))
 }
 
 #[cfg(test)]
@@ -400,10 +392,7 @@ mod tests {
     #[test]
     fn lists_and_fetches_catchments() {
         let router = api();
-        let list: Vec<Value> = router
-            .dispatch(&Request::get("/catchments"))
-            .json_body()
-            .unwrap();
+        let list: Vec<Value> = router.dispatch(&Request::get("/catchments")).json_body().unwrap();
         assert_eq!(list.len(), 1);
         assert_eq!(list[0]["id"], "morland");
 
@@ -418,10 +407,8 @@ mod tests {
     #[test]
     fn sensors_and_latest_value() {
         let router = api();
-        let sensors: Vec<Value> = router
-            .dispatch(&Request::get("/catchments/morland/sensors"))
-            .json_body()
-            .unwrap();
+        let sensors: Vec<Value> =
+            router.dispatch(&Request::get("/catchments/morland/sensors")).json_body().unwrap();
         assert_eq!(sensors.len(), 5);
 
         let latest: Value = router
@@ -479,10 +466,8 @@ mod tests {
     #[test]
     fn catalogue_search() {
         let router = api();
-        let hits: Vec<Value> = router
-            .dispatch(&Request::get("/datasets").query("text", "stage"))
-            .json_body()
-            .unwrap();
+        let hits: Vec<Value> =
+            router.dispatch(&Request::get("/datasets").query("text", "stage")).json_body().unwrap();
         assert_eq!(hits.len(), 1);
         let all: Vec<Value> = router.dispatch(&Request::get("/datasets")).json_body().unwrap();
         assert_eq!(all.len(), 3);
@@ -491,10 +476,8 @@ mod tests {
     #[test]
     fn model_execution_over_the_api() {
         let router = api();
-        let processes: Vec<String> = router
-            .dispatch(&Request::get("/catchments/morland/processes"))
-            .json_body()
-            .unwrap();
+        let processes: Vec<String> =
+            router.dispatch(&Request::get("/catchments/morland/processes")).json_body().unwrap();
         assert!(processes.contains(&"topmodel".to_owned()));
 
         let resp = router.dispatch(
@@ -512,8 +495,9 @@ mod tests {
                 .json(&json!({"m": 99.0})),
         );
         assert_eq!(bad.status(), StatusCode::BAD_REQUEST);
-        let missing = router
-            .dispatch(&Request::post("/catchments/morland/processes/swat/execute").json(&json!({})));
+        let missing = router.dispatch(
+            &Request::post("/catchments/morland/processes/swat/execute").json(&json!({})),
+        );
         assert_eq!(missing.status(), StatusCode::NOT_FOUND);
     }
 
@@ -587,13 +571,41 @@ mod tests {
     }
 
     #[test]
+    fn portal_execute_is_one_connected_trace() {
+        let evop = Arc::new(Evop::builder().seed(5).days(5).build());
+        let router = portal_api(Arc::clone(&evop));
+        let resp = router.dispatch(
+            &Request::post("/catchments/morland/processes/topmodel/execute").json(&json!({})),
+        );
+        assert!(resp.status().is_success());
+
+        let spans = evop.tracer().finished();
+        let http = spans
+            .iter()
+            .find(|s| s.name == "http POST /catchments/{id}/processes/{process}/execute")
+            .expect("router span recorded");
+        let wps =
+            spans.iter().find(|s| s.name == "wps.execute topmodel").expect("wps span recorded");
+        assert_eq!(wps.trace_id, http.trace_id, "one request, one trace");
+        assert_eq!(wps.parent, Some(http.span_id), "wps parents under the router");
+        assert_eq!(
+            evop.metrics().counter(
+                "router_requests_total",
+                &[
+                    ("method", "POST"),
+                    ("route", "/catchments/{id}/processes/{process}/execute"),
+                    ("status", "200"),
+                ],
+            ),
+            1
+        );
+    }
+
+    #[test]
     fn replicas_serve_identically() {
         let router = api();
         let replica = router.clone();
         let req = Request::get("/catchments/morland/sensors");
-        assert_eq!(
-            router.dispatch(&req).body_bytes(),
-            replica.dispatch(&req).body_bytes()
-        );
+        assert_eq!(router.dispatch(&req).body_bytes(), replica.dispatch(&req).body_bytes());
     }
 }

@@ -71,9 +71,7 @@ pub fn wps_execute_task(
                 }
             }
         }
-        server
-            .execute(&process, Value::Object(inputs))
-            .map_err(|e| e.to_string())
+        server.execute(&process, Value::Object(inputs)).map_err(|e| e.to_string())
     }
 }
 
@@ -114,10 +112,7 @@ pub fn scenario_comparison_workflow(
             rows.push(json!({ "scenario": label, "peak_m3s": peak }));
         }
         rows.sort_by(|a, b| {
-            b["peak_m3s"]
-                .as_f64()
-                .partial_cmp(&a["peak_m3s"].as_f64())
-                .expect("finite peaks")
+            b["peak_m3s"].as_f64().partial_cmp(&a["peak_m3s"].as_f64()).expect("finite peaks")
         });
         Ok(json!({ "ranked_by_peak": rows }))
     });
@@ -173,10 +168,8 @@ mod tests {
         .unwrap();
         assert_eq!(wf.len(), 4);
         let record = wf.execute().unwrap();
-        let ranked = record.output("compare").unwrap()["ranked_by_peak"]
-            .as_array()
-            .unwrap()
-            .clone();
+        let ranked =
+            record.output("compare").unwrap()["ranked_by_peak"].as_array().unwrap().clone();
         assert_eq!(ranked.len(), 3);
         assert_eq!(ranked[0]["scenario"], "compacted-soils", "highest peak first");
         assert_eq!(ranked[2]["scenario"], "restored-wetland", "lowest peak last");

@@ -8,6 +8,7 @@
 //! which direction, where the crossover falls).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use evop_broker::{Broker, BrokerConfig, BrokerEvent, SessionId, SessionState};
 use evop_cloud::{CloudSim, FailureMode, JobState, MachineImage, Provider};
@@ -15,6 +16,7 @@ use evop_data::geo::BoundingBox;
 use evop_data::{Catchment, SensorId};
 use evop_models::objectives::FloodMetrics;
 use evop_models::scenarios::Scenario;
+use evop_obs::{MetricsRegistry, SpanRecord, TimelineReport, TraceId, Tracer};
 use evop_portal::journey::{simulate_cohort, workshop_cohort, CohortStats, JourneyConfig};
 use evop_portal::map::{AssetMap, Marker, MarkerKind};
 use evop_portal::storyboard::{CoverageReport, Storyboard};
@@ -29,7 +31,47 @@ use evop_workflow::Workflow;
 use evop_xcloud::{ComputeService, NodeTemplate, PrivateFirst, PrivateOnly, SplitByImageKind};
 use serde_json::{json, Value};
 
+use crate::api;
 use crate::observatory::Evop;
+
+// ====================================================================
+// Trace capture: the observability side-car of an experiment run
+// ====================================================================
+
+/// The trace and metrics captured alongside a `*_traced` experiment run.
+///
+/// Everything in here is *observation*: attaching it never changes the
+/// measured result (the `e1_traced_matches_untraced` test pins that).
+#[derive(Debug, Clone)]
+pub struct TraceCapture {
+    /// The run's primary trace.
+    pub trace_id: TraceId,
+    /// Spans on that trace, sorted by (start, span id).
+    pub spans: Vec<SpanRecord>,
+    /// Deterministic JSON rendering of the trace tree — byte-identical
+    /// across same-seed runs.
+    pub trace_json: String,
+    /// Metrics snapshot (counters, gauges, histograms) at the end of the
+    /// run.
+    pub metrics: Value,
+}
+
+impl TraceCapture {
+    fn of(tracer: &Tracer, metrics: &MetricsRegistry, trace: TraceId) -> TraceCapture {
+        let report = TimelineReport::for_trace(tracer, trace);
+        TraceCapture {
+            trace_id: trace,
+            spans: report.spans().to_vec(),
+            trace_json: report.json().to_string(),
+            metrics: metrics.snapshot(),
+        }
+    }
+
+    /// Renders the captured trace as an ASCII timeline.
+    pub fn ascii(&self) -> String {
+        TimelineReport::from_spans(self.spans.clone()).ascii()
+    }
+}
 
 // ====================================================================
 // E1 — Fig. 1: end-to-end data flow
@@ -55,7 +97,8 @@ pub fn e1_dataflow(seed: u64) -> E1Result {
     let id = evop.catchments()[0].id().clone();
 
     // 1. The user opens the modelling widget: the broker binds a session.
-    let session = evop.broker_mut().connect("stakeholder", "topmodel").expect("library serves topmodel");
+    let session =
+        evop.broker_mut().connect("stakeholder", "topmodel").expect("library serves topmodel");
     evop.broker_mut().advance(SimDuration::from_secs(180));
 
     // 2. The widget submits a model run to the session's instance.
@@ -66,11 +109,8 @@ pub fn e1_dataflow(seed: u64) -> E1Result {
     evop.broker_mut().advance(SimDuration::from_secs(300));
 
     // 3. Meanwhile the actual model produces the hydrograph via WPS.
-    let out = evop
-        .wps(&id)
-        .unwrap()
-        .execute("topmodel", json!({}))
-        .expect("default inputs are valid");
+    let out =
+        evop.wps(&id).unwrap().execute("topmodel", json!({})).expect("default inputs are valid");
 
     let broker = evop.broker();
     let session_ref = broker.session(session).expect("session exists");
@@ -88,6 +128,66 @@ pub fn e1_dataflow(seed: u64) -> E1Result {
         push_updates: session_ref.client_channel().drain().len(),
         peak_m3s: out["hydrograph"]["peak_m3s"].as_f64().expect("peak present"),
     }
+}
+
+/// Runs E1 with the full request on one trace: a root `e1.request` span
+/// covers the broker connect, instance boot, model run and the WPS
+/// execution dispatched through the portal's REST router (the Fig. 1
+/// pipeline as a single causal timeline).
+pub fn e1_dataflow_traced(seed: u64) -> (E1Result, TraceCapture) {
+    let mut evop = Evop::builder().seed(seed).days(10).build();
+    let id = evop.catchments()[0].id().clone();
+
+    let root = evop.tracer().start_trace("e1.request");
+    root.attr("user", "stakeholder");
+    let ctx = root.context();
+
+    // 1. The user opens the modelling widget: the broker binds a session.
+    let session = evop
+        .broker_mut()
+        .connect_with_context("stakeholder", "topmodel", Some(&ctx))
+        .expect("library serves topmodel");
+    evop.broker_mut().advance(SimDuration::from_secs(180));
+
+    // 2. The widget submits a model run to the session's instance.
+    let job = evop
+        .broker_mut()
+        .run_model_with_context(session, SimDuration::from_secs(45), Some(&ctx))
+        .expect("session active after boot");
+    evop.broker_mut().advance(SimDuration::from_secs(300));
+
+    // 3. The hydrograph request goes through the portal API with the
+    //    root's context in its headers, so router and WPS spans join the
+    //    same trace.
+    let evop = Arc::new(evop);
+    let router = api::portal_api(Arc::clone(&evop));
+    let resp = router.dispatch(
+        &Request::post(format!("/catchments/{id}/processes/topmodel/execute"))
+            .json(&json!({}))
+            .traced(&ctx),
+    );
+    assert!(resp.status().is_success(), "execute failed: {:?}", resp.status());
+    let out: Value = resp.json_body().expect("json response");
+    root.finish();
+
+    let broker = evop.broker();
+    let session_ref = broker.session(session).expect("session exists");
+    let instance = session_ref.instance().expect("active session");
+    let job_latency = broker
+        .cloud()
+        .instance(instance)
+        .and_then(|i| i.job(job))
+        .and_then(|j| j.latency())
+        .expect("job completed");
+
+    let result = E1Result {
+        activation_wait: session_ref.activation_wait().expect("activated"),
+        job_latency,
+        push_updates: session_ref.client_channel().drain().len(),
+        peak_m3s: out["hydrograph"]["peak_m3s"].as_f64().expect("peak present"),
+    };
+    let capture = TraceCapture::of(evop.tracer(), evop.metrics(), ctx.trace_id);
+    (result, capture)
 }
 
 // ====================================================================
@@ -132,7 +232,8 @@ pub fn e2_rest_vs_soap(workflows: usize, replicas: usize, seed: u64) -> E2Result
         let step = body["step"].as_u64().unwrap_or(0);
         Response::ok().json(&json!({ "acc": body["acc"].as_u64().unwrap_or(0) + step }))
     });
-    let mut rest_replicas: Vec<Option<Router>> = (0..replicas).map(|_| Some(router.clone())).collect();
+    let mut rest_replicas: Vec<Option<Router>> =
+        (0..replicas).map(|_| Some(router.clone())).collect();
 
     let mut rest_completed = 0;
     let mut rest_lost_steps = 0;
@@ -148,11 +249,11 @@ pub fn e2_rest_vs_soap(workflows: usize, replicas: usize, seed: u64) -> E2Result
                 rest_replicas[victim] = Some(router.clone());
             }
             // Round-robin over live replicas.
-            let replica = rest_replicas[(w + step) % replicas]
-                .as_ref()
-                .expect("replaced synchronously");
+            let replica =
+                rest_replicas[(w + step) % replicas].as_ref().expect("replaced synchronously");
             let resp = replica.dispatch(
-                &Request::post("/experiment/step").json(&json!({ "acc": acc, "step": step as u64 + 1 })),
+                &Request::post("/experiment/step")
+                    .json(&json!({ "acc": acc, "step": step as u64 + 1 })),
             );
             if resp.status().is_success() {
                 let body: Value = resp.json_body().expect("json response");
@@ -237,12 +338,31 @@ pub struct E3Result {
 /// Runs experiment E3: ramps `peak_users` up over an hour, holds, then
 /// ramps down, sampling the provider mix each minute.
 pub fn e3_cloudburst(peak_users: usize, seed: u64) -> E3Result {
+    let mut broker = e3_broker(seed);
+    run_e3(&mut broker, peak_users)
+}
+
+/// Runs E3 and captures the first user's session trace — connect, bind,
+/// cloudburst placements and eventual scale-down migration all on one
+/// timeline — plus the broker/cloud metrics for the whole ramp.
+pub fn e3_cloudburst_traced(peak_users: usize, seed: u64) -> (E3Result, TraceCapture) {
+    let mut broker = e3_broker(seed);
+    let result = run_e3(&mut broker, peak_users);
+    let trace = broker.tracer().trace_ids().first().copied().expect("connects recorded");
+    let capture = TraceCapture::of(broker.tracer(), broker.metrics(), trace);
+    (result, capture)
+}
+
+fn e3_broker(seed: u64) -> Broker {
     let config = BrokerConfig {
         private_capacity_vcpus: 8, // 4 m1.medium instances → 32 session slots
         scale_down_surplus_slots: 12,
         ..BrokerConfig::default()
     };
-    let mut broker = Broker::new(config, seed);
+    Broker::new(config, seed)
+}
+
+fn run_e3(broker: &mut Broker, peak_users: usize) -> E3Result {
     let mut timeline = Vec::new();
     let mut sessions: Vec<SessionId> = Vec::new();
     let minute = SimDuration::from_secs(60);
@@ -265,12 +385,12 @@ pub fn e3_cloudburst(peak_users: usize, seed: u64) -> E3Result {
             sessions.push(broker.connect(&user, "topmodel").expect("topmodel served"));
         }
         broker.advance(minute);
-        timeline.push(sample(&broker, &sessions));
+        timeline.push(sample(broker, &sessions));
     }
     // Hold for 20 minutes.
     for _ in 0..20 {
         broker.advance(minute);
-        timeline.push(sample(&broker, &sessions));
+        timeline.push(sample(broker, &sessions));
     }
     // Ramp down: everyone leaves over 30 minutes.
     let leaving_per_minute = sessions.len().div_ceil(30);
@@ -282,22 +402,17 @@ pub fn e3_cloudburst(peak_users: usize, seed: u64) -> E3Result {
             }
         }
         broker.advance(minute);
-        timeline.push(sample(&broker, &remaining));
+        timeline.push(sample(broker, &remaining));
     }
     // Cool-down so scale-down completes.
     for _ in 0..30 {
         broker.advance(minute);
-        timeline.push(sample(&broker, &remaining));
+        timeline.push(sample(broker, &remaining));
     }
 
     let burst_at = timeline.iter().find(|s| s.public_instances > 0).map(|s| s.at);
     let retreat_at = burst_at.and_then(|_| {
-        timeline
-            .iter()
-            .rev()
-            .take_while(|s| s.public_instances == 0)
-            .last()
-            .map(|s| s.at)
+        timeline.iter().rev().take_while(|s| s.public_instances == 0).last().map(|s| s.at)
     });
 
     let by_provider = broker.cost_by_provider();
@@ -341,16 +456,32 @@ pub struct E4Result {
 /// instance, injects the failure, and watches the Load Balancer recover.
 pub fn e4_failure_recovery(mode: FailureMode, users: usize, seed: u64) -> E4Result {
     let mut broker = Broker::new(BrokerConfig::default(), seed);
+    run_e4(&mut broker, mode, users)
+}
+
+/// Runs E4 and captures the first victim session's trace: connect, bind,
+/// boot, the doomed model run and the `session.migrate` recovery span,
+/// plus `broker_failures_detected_total` and friends in the metrics.
+pub fn e4_failure_recovery_traced(
+    mode: FailureMode,
+    users: usize,
+    seed: u64,
+) -> (E4Result, TraceCapture) {
+    let mut broker = Broker::new(BrokerConfig::default(), seed);
+    let result = run_e4(&mut broker, mode, users);
+    let trace = broker.tracer().trace_ids().first().copied().expect("connects recorded");
+    let capture = TraceCapture::of(broker.tracer(), broker.metrics(), trace);
+    (result, capture)
+}
+
+fn run_e4(broker: &mut Broker, mode: FailureMode, users: usize) -> E4Result {
     let mut sessions = Vec::new();
     for i in 0..users {
         sessions.push(broker.connect(&format!("user-{i}"), "topmodel").expect("served"));
     }
     broker.advance(SimDuration::from_secs(200)); // boot
 
-    let victim = broker
-        .session(sessions[0])
-        .and_then(|s| s.instance())
-        .expect("bound");
+    let victim = broker.session(sessions[0]).and_then(|s| s.instance()).expect("bound");
     // Give the instance observable traffic so blackholes are detectable.
     for &s in &sessions {
         let _ = broker.run_model(s, SimDuration::from_secs(1800));
@@ -410,7 +541,12 @@ pub struct E5Result {
 
 /// Runs experiment E5: `runs` independent Monte Carlo model executions of
 /// `work` each, elastically vs under a `quota_vcpus` private-only quota.
-pub fn e5_elastic_monte_carlo(runs: usize, work: SimDuration, quota_vcpus: u32, seed: u64) -> E5Result {
+pub fn e5_elastic_monte_carlo(
+    runs: usize,
+    work: SimDuration,
+    quota_vcpus: u32,
+    seed: u64,
+) -> E5Result {
     let run_fleet = |elastic: bool| -> (SimDuration, usize) {
         let mut sim = CloudSim::new(seed);
         sim.register_provider(Provider::private_openstack("campus", quota_vcpus));
@@ -533,13 +669,12 @@ pub fn e6_flash_crowd(crowd: usize, warm_pool: u32, seed: u64) -> E6Result {
         let mut first_results = Percentiles::new();
         for &(s, job) in &jobs {
             let Some(instance) = broker.session(s).and_then(|x| x.instance()) else { continue };
-            if let Some(finished) = broker
-                .cloud()
-                .instance(instance)
-                .and_then(|i| i.job(job))
-                .and_then(|j| match j.state() {
-                    JobState::Completed { finished } => Some(finished),
-                    _ => None,
+            if let Some(finished) =
+                broker.cloud().instance(instance).and_then(|i| i.job(job)).and_then(|j| {
+                    match j.state() {
+                        JobState::Completed { finished } => Some(finished),
+                        _ => None,
+                    }
                 })
             {
                 first_results.record(finished.saturating_since(crowd_arrival).as_secs_f64());
@@ -547,8 +682,12 @@ pub fn e6_flash_crowd(crowd: usize, warm_pool: u32, seed: u64) -> E6Result {
         }
         E6Config {
             warm_pool: pool,
-            median_first_result: SimDuration::from_secs_f64(first_results.median().unwrap_or(f64::MAX.min(1e9))),
-            p95_first_result: SimDuration::from_secs_f64(first_results.p95().unwrap_or(f64::MAX.min(1e9))),
+            median_first_result: SimDuration::from_secs_f64(
+                first_results.median().unwrap_or(f64::MAX.min(1e9)),
+            ),
+            p95_first_result: SimDuration::from_secs_f64(
+                first_results.p95().unwrap_or(f64::MAX.min(1e9)),
+            ),
             cost: broker.total_cost(),
         }
     };
@@ -662,7 +801,10 @@ pub fn e8_policy_swap(nodes_per_kind: usize, seed: u64) -> E8Result {
         compute.register_provider("aws");
         (sim, compute, baked_id, inc_id)
     };
-    let place = |sim: &mut CloudSim, compute: &mut ComputeService, image: &evop_cloud::ImageId, n: usize| {
+    let place = |sim: &mut CloudSim,
+                 compute: &mut ComputeService,
+                 image: &evop_cloud::ImageId,
+                 n: usize| {
         let template = NodeTemplate::new("m1.small", image.clone());
         let mut counts = PlacementCounts::new();
         for node in compute.provision_group(sim, &template, n) {
@@ -712,11 +854,7 @@ pub struct E9Result {
 /// Runs experiment E9: all five scenarios under TOPMODEL and the FUSE
 /// ensemble on the given catchment.
 pub fn e9_scenarios(catchment: &Catchment, days: usize, seed: u64) -> E9Result {
-    let evop = Evop::builder()
-        .seed(seed)
-        .days(days)
-        .catchments(vec![catchment.clone()])
-        .build();
+    let evop = Evop::builder().seed(seed).days(days).catchments(vec![catchment.clone()]).build();
     let id = catchment.id().clone();
     let mut widget = evop.modelling_widget(&id);
 
@@ -737,24 +875,20 @@ pub fn e9_scenarios(catchment: &Catchment, days: usize, seed: u64) -> E9Result {
         }
     }
 
-    let ordering_holds = [ModelChoice::Topmodel, ModelChoice::FuseEnsemble]
-        .iter()
-        .all(|&model| {
-            let peak_of = |s: Scenario| {
-                rows.iter()
-                    .find(|r| r.scenario == s && r.model == model)
-                    .map(|r| r.metrics.peak_m3s)
-                    .expect("row exists")
-            };
-            let baseline = peak_of(Scenario::Baseline);
-            Scenario::change_scenarios().iter().all(|&s| {
-                match s.expected_peak_increase() {
-                    Some(true) => peak_of(s) > baseline,
-                    Some(false) => peak_of(s) < baseline,
-                    None => true,
-                }
-            })
-        });
+    let ordering_holds = [ModelChoice::Topmodel, ModelChoice::FuseEnsemble].iter().all(|&model| {
+        let peak_of = |s: Scenario| {
+            rows.iter()
+                .find(|r| r.scenario == s && r.model == model)
+                .map(|r| r.metrics.peak_m3s)
+                .expect("row exists")
+        };
+        let baseline = peak_of(Scenario::Baseline);
+        Scenario::change_scenarios().iter().all(|&s| match s.expected_peak_increase() {
+            Some(true) => peak_of(s) > baseline,
+            Some(false) => peak_of(s) < baseline,
+            None => true,
+        })
+    });
 
     E9Result { rows, ordering_holds }
 }
@@ -1089,6 +1223,62 @@ mod tests {
         assert_eq!(r.rest_lost_steps, 0);
         assert!(r.soap_lost_sessions > 0, "sticky sessions must die with replicas");
         assert_eq!(r.soap_completed + r.soap_lost_sessions, 60);
+    }
+
+    #[test]
+    fn e1_traced_matches_untraced() {
+        let plain = e1_dataflow(11);
+        let (traced, capture) = e1_dataflow_traced(11);
+        assert_eq!(traced, plain, "observation must not perturb the experiment");
+
+        // One trace, one connected tree: no span dangles off an unknown
+        // parent.
+        assert_eq!(capture.trace_id, TraceId(0), "root opened first");
+        assert!(capture.spans.iter().all(|s| s.trace_id == capture.trace_id));
+        for span in &capture.spans {
+            if let Some(parent) = span.parent {
+                assert!(
+                    capture.spans.iter().any(|s| s.span_id == parent),
+                    "dangling parent in:\n{}",
+                    capture.ascii()
+                );
+            }
+        }
+        let names: Vec<&str> = capture.spans.iter().map(|s| s.name.as_str()).collect();
+        for expected in [
+            "e1.request",
+            "broker.connect",
+            "session.bind",
+            "model.run topmodel",
+            "wps.execute topmodel",
+        ] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        assert!(names.iter().any(|n| n.starts_with("instance.boot")), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("http POST")), "{names:?}");
+    }
+
+    #[test]
+    fn e3_and_e4_traced_capture_session_timelines() {
+        let (_, c3) = e3_cloudburst_traced(8, 7);
+        assert!(c3.spans.iter().any(|s| s.name == "broker.connect"), "{}", c3.ascii());
+        let binds: u64 = ["existing", "provisioned", "warm-pool"]
+            .iter()
+            .map(|how| {
+                c3.metrics["counters"][format!("broker_binds_total{{how={how}}}").as_str()]
+                    .as_u64()
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert!(binds > 0, "ramp must bind sessions: {}", c3.metrics);
+
+        let (r4, c4) = e4_failure_recovery_traced(FailureMode::Crash, 4, 9);
+        assert_eq!(r4.sessions_lost, 0);
+        assert!(
+            c4.spans.iter().any(|s| s.name == "session.migrate"),
+            "victim session's recovery must appear on its timeline:\n{}",
+            c4.ascii()
+        );
     }
 
     #[test]

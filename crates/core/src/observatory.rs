@@ -95,6 +95,11 @@ impl EvopBuilder {
     /// catalogue, the XaaS registry and the cloud broker.
     pub fn build(self) -> Evop {
         let n_steps = self.days * 24;
+        // The broker owns the stack's shared observability handles; every
+        // WPS endpoint (and, via `portal_api`, the REST router) reports
+        // into the same tracer and metrics registry, which is what lets
+        // one portal request become one connected trace.
+        let broker = Broker::new(self.broker_config.clone(), self.seed);
         let mut sos = SosServer::new();
         let mut map = AssetMap::new();
         let mut catalog = Catalog::new();
@@ -137,7 +142,8 @@ impl EvopBuilder {
             // Live feeds pass through the standard QC pipeline on ingestion
             // (suspect samples are archived flagged, not dropped).
             sos.ingest_series_with_qc(&by_kind(SensorKind::RainGauge), &rain).expect("registered");
-            sos.ingest_series_with_qc(&by_kind(SensorKind::RiverLevel), &stage).expect("registered");
+            sos.ingest_series_with_qc(&by_kind(SensorKind::RiverLevel), &stage)
+                .expect("registered");
             sos.ingest_series_with_qc(&by_kind(SensorKind::Temperature), &water_temp)
                 .expect("registered");
             sos.ingest_series_with_qc(&by_kind(SensorKind::Turbidity), &turbidity)
@@ -181,6 +187,8 @@ impl EvopBuilder {
             // Model services.
             let forcing = Forcing::new(rain, pet);
             let mut server = WpsServer::new();
+            server.set_tracer(broker.tracer().clone());
+            server.set_metrics(broker.metrics().clone());
             register_standard_processes(&mut server, catchment, &forcing, self.seed);
             registry
                 .register(
@@ -202,8 +210,6 @@ impl EvopBuilder {
                 .register(AssetKind::Model, model, model.to_uppercase(), ["hydrology"])
                 .expect("unique");
         }
-
-        let broker = Broker::new(self.broker_config, self.seed);
 
         Evop {
             seed: self.seed,
@@ -343,6 +349,17 @@ impl Evop {
         &mut self.broker
     }
 
+    /// The observatory-wide span tracer (shared by router, WPS, broker
+    /// and cloud).
+    pub fn tracer(&self) -> &evop_obs::Tracer {
+        self.broker.tracer()
+    }
+
+    /// The observatory-wide metrics registry.
+    pub fn metrics(&self) -> &evop_obs::MetricsRegistry {
+        self.broker.metrics()
+    }
+
     /// A catchment's meteorological forcing.
     pub fn forcing(&self, id: &CatchmentId) -> Option<&Forcing> {
         self.forcings.get(id)
@@ -378,7 +395,11 @@ impl Evop {
     /// [`DownloadError::RegistrationRequired`] when an anonymous user asks
     /// for registered data, and [`DownloadError::ComputeOnly`] when the
     /// policy forbids raw download entirely.
-    pub fn download_dataset(&self, dataset: &str, registered: bool) -> Result<String, DownloadError> {
+    pub fn download_dataset(
+        &self,
+        dataset: &str,
+        registered: bool,
+    ) -> Result<String, DownloadError> {
         use evop_data::catalog::AccessPolicy;
         let meta = self
             .catalog
@@ -419,7 +440,8 @@ impl Evop {
         let irregular: evop_data::timeseries::IrregularSeries =
             observations.iter().map(|o| (o.time(), o.value())).collect();
         let len = ((end - begin) / 3600) as usize;
-        let series = irregular.to_regular(begin, 3600, len, evop_data::timeseries::Aggregation::Mean);
+        let series =
+            irregular.to_regular(begin, 3600, len, evop_data::timeseries::Aggregation::Mean);
         Ok(evop_data::export::to_csv(&series))
     }
 
@@ -490,11 +512,7 @@ mod tests {
     fn wps_runs_against_the_archive_window() {
         let evop = small();
         let id = evop.catchments()[0].id().clone();
-        let out = evop
-            .wps(&id)
-            .unwrap()
-            .execute("topmodel", serde_json::json!({}))
-            .unwrap();
+        let out = evop.wps(&id).unwrap().execute("topmodel", serde_json::json!({})).unwrap();
         let series = out["hydrograph"]["discharge_m3s"].as_array().unwrap();
         assert_eq!(series.len(), 240);
     }
@@ -513,6 +531,23 @@ mod tests {
             })
             .unwrap();
         assert_eq!(hits.len(), 48);
+    }
+
+    #[test]
+    fn wps_broker_and_facade_share_one_observability_plane() {
+        let evop = small();
+        let id = evop.catchments()[0].id().clone();
+        evop.wps(&id).unwrap().execute("topmodel", serde_json::json!({})).unwrap();
+        let spans = evop.tracer().finished();
+        assert!(
+            spans.iter().any(|s| s.name == "wps.execute topmodel"),
+            "WPS executions must land in the observatory tracer"
+        );
+        assert_eq!(
+            evop.metrics()
+                .counter("wps_executions_total", &[("outcome", "ok"), ("process", "topmodel")]),
+            1
+        );
     }
 
     #[test]

@@ -189,11 +189,7 @@ impl AssetRegistry {
 
     /// All assets of a kind, sorted by name.
     pub fn of_kind(&self, kind: AssetKind) -> Vec<&AssetRecord> {
-        self.assets
-            .iter()
-            .filter(|((k, _), _)| *k == kind)
-            .map(|(_, record)| record)
-            .collect()
+        self.assets.iter().filter(|((k, _), _)| *k == kind).map(|(_, record)| record).collect()
     }
 
     /// Assets whose title or tags contain `needle` (case-insensitive).
@@ -260,7 +256,8 @@ mod tests {
     fn kind_and_text_queries() {
         let mut r = AssetRegistry::new();
         r.register(AssetKind::Dataset, "rain", "Morland rainfall", ["hydrology"]).unwrap();
-        r.register(AssetKind::Dataset, "stage", "Morland stage", ["hydrology", "flooding"]).unwrap();
+        r.register(AssetKind::Dataset, "stage", "Morland stage", ["hydrology", "flooding"])
+            .unwrap();
         r.register(AssetKind::Model, "fuse", "FUSE ensemble", ["hydrology"]).unwrap();
         assert_eq!(r.of_kind(AssetKind::Dataset).len(), 2);
         assert_eq!(r.search("flooding").len(), 1);

@@ -458,11 +458,8 @@ mod tests {
     fn conjunctive_criteria() {
         let mut c = Catalog::new();
         c.add(sample()).unwrap();
-        let q = Query::new()
-            .text("stage")
-            .kind(SensorKind::RiverLevel)
-            .theme("flooding")
-            .live_only();
+        let q =
+            Query::new().text("stage").kind(SensorKind::RiverLevel).theme("flooding").live_only();
         assert_eq!(c.search(&q).len(), 1);
         // One failing criterion kills the match.
         let q2 = Query::new().text("stage").kind(SensorKind::RainGauge);
@@ -484,9 +481,7 @@ mod tests {
         let mut c = Catalog::new();
         c.add(sample()).unwrap();
         assert_eq!(c.search(&Query::new().at_time(Timestamp::from_ymd(2012, 6, 1))).len(), 1);
-        assert!(c
-            .search(&Query::new().at_time(Timestamp::from_ymd(2013, 1, 1)))
-            .is_empty());
+        assert!(c.search(&Query::new().at_time(Timestamp::from_ymd(2013, 1, 1))).is_empty());
     }
 
     #[test]

@@ -212,9 +212,8 @@ impl Catchment {
     /// (paper Fig. 4/5).
     pub fn default_sensors(&self) -> Vec<Sensor> {
         let id = |suffix: &str| SensorId::new(format!("{}-{suffix}", self.id));
-        let near = |dlat: f64, dlon: f64| {
-            LatLon::new(self.outlet.lat() + dlat, self.outlet.lon() + dlon)
-        };
+        let near =
+            |dlat: f64, dlon: f64| LatLon::new(self.outlet.lat() + dlat, self.outlet.lon() + dlon);
         vec![
             Sensor::new(
                 id("rain-1"),
@@ -384,9 +383,7 @@ mod tests {
         let wettest = Catchment::study_catchments()
             .into_iter()
             .max_by(|a, b| {
-                a.mean_annual_rainfall_mm()
-                    .partial_cmp(&b.mean_annual_rainfall_mm())
-                    .unwrap()
+                a.mean_annual_rainfall_mm().partial_cmp(&b.mean_annual_rainfall_mm()).unwrap()
             })
             .unwrap();
         assert_eq!(wettest.id().as_str(), "machynlleth");

@@ -56,7 +56,9 @@ impl fmt::Display for CsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CsvError::BadHeader(h) => write!(f, "expected header 'time,value', got {h:?}"),
-            CsvError::BadRow { line, content } => write!(f, "line {line}: malformed row {content:?}"),
+            CsvError::BadRow { line, content } => {
+                write!(f, "line {line}: malformed row {content:?}")
+            }
             CsvError::BadTimestamp { line, field } => {
                 write!(f, "line {line}: bad timestamp {field:?}")
             }
@@ -199,11 +201,7 @@ mod tests {
     use super::*;
 
     fn sample() -> TimeSeries {
-        TimeSeries::from_values(
-            Timestamp::from_ymd(2012, 6, 1),
-            900,
-            vec![0.1, 0.2, f64::NAN, 0.4],
-        )
+        TimeSeries::from_values(Timestamp::from_ymd(2012, 6, 1), 900, vec![0.1, 0.2, f64::NAN, 0.4])
     }
 
     #[test]

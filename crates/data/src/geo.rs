@@ -186,7 +186,12 @@ impl GridSpec {
     ///
     /// Panics if out of bounds.
     pub fn index(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.rows && col < self.cols, "({row},{col}) outside {}x{}", self.rows, self.cols);
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row},{col}) outside {}x{}",
+            self.rows,
+            self.cols
+        );
         row * self.cols + col
     }
 
@@ -242,9 +247,9 @@ impl Raster {
 
     /// Minimum and maximum values.
     pub fn min_max(&self) -> (f64, f64) {
-        self.values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-            (lo.min(v), hi.max(v))
-        })
+        self.values
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)))
     }
 }
 
@@ -393,7 +398,7 @@ impl Dem {
                     }
                     let (nr, nc) = (nr as usize, nc as usize);
                     let drop = (z - self.elevation.get(nr, nc)) / dist;
-                    if drop > 0.0 && best.map_or(true, |(_, d)| drop > d) {
+                    if drop > 0.0 && best.is_none_or(|(_, d)| drop > d) {
                         best = Some((spec.index(nr, nc), drop));
                     }
                 }
@@ -434,8 +439,8 @@ impl Dem {
                     if nr < 0 || nc < 0 || nr >= spec.rows as isize || nc >= spec.cols as isize {
                         continue;
                     }
-                    let gradient =
-                        (z - self.elevation.get(nr as usize, nc as usize)) / (dist * spec.cell_size_m);
+                    let gradient = (z - self.elevation.get(nr as usize, nc as usize))
+                        / (dist * spec.cell_size_m);
                     best = best.max(gradient);
                 }
                 slopes[spec.index(row, col)] = best.max(1e-4);

@@ -136,14 +136,7 @@ impl Sensor {
         sample_interval_secs: u32,
     ) -> Sensor {
         assert!(sample_interval_secs > 0, "sample interval must be positive");
-        Sensor {
-            id,
-            kind,
-            name: name.into(),
-            location,
-            catchment,
-            sample_interval_secs,
-        }
+        Sensor { id, kind, name: name.into(), location, catchment, sample_interval_secs }
     }
 
     /// The sensor's identifier.

@@ -99,21 +99,15 @@ impl WeatherGenerator {
             let season = (std::f64::consts::TAU * (t.year_fraction() - 0.02)).cos();
             let p_dry_to_wet = (0.065 + 0.025 * season) * step_hours.min(3.0);
             let p_wet_to_wet = 0.82 + 0.05 * season;
-            wet = if wet {
-                rng.gen::<f64>() < p_wet_to_wet
-            } else {
-                rng.gen::<f64>() < p_dry_to_wet
-            };
+            wet =
+                if wet { rng.gen::<f64>() < p_wet_to_wet } else { rng.gen::<f64>() < p_dry_to_wet };
             if !wet {
                 return 0.0;
             }
             let seasonal_intensity = mean_intensity_mm_h * (1.0 + 0.25 * season);
             // 5 % of wet steps are convective/frontal cores with a 6x mean.
-            let mean = if rng.gen::<f64>() < 0.05 {
-                seasonal_intensity * 6.0
-            } else {
-                seasonal_intensity
-            };
+            let mean =
+                if rng.gen::<f64>() < 0.05 { seasonal_intensity * 6.0 } else { seasonal_intensity };
             let u: f64 = 1.0 - rng.gen::<f64>();
             -mean * u.ln() * step_hours
         })
@@ -382,9 +376,7 @@ mod tests {
     fn winter_is_wetter_than_summer() {
         let generator = WeatherGenerator::for_catchment(&morland(), 3);
         let jan = generator.rainfall(year_start(), 3600, 24 * 31).sum();
-        let jul = generator
-            .rainfall(Timestamp::from_ymd(2012, 7, 1), 3600, 24 * 31)
-            .sum();
+        let jul = generator.rainfall(Timestamp::from_ymd(2012, 7, 1), 3600, 24 * 31).sum();
         assert!(jan > jul * 0.8, "jan={jan:.0} jul={jul:.0}");
     }
 

@@ -51,7 +51,14 @@ impl Timestamp {
     ///
     /// Panics if `month` is not in `1..=12`, `day` not in `1..=31`, `hour`
     /// not in `0..24`, or `minute`/`second` not in `0..60`.
-    pub fn from_ymd_hms(year: i32, month: u32, day: u32, hour: u32, minute: u32, second: u32) -> Timestamp {
+    pub fn from_ymd_hms(
+        year: i32,
+        month: u32,
+        day: u32,
+        hour: u32,
+        minute: u32,
+        second: u32,
+    ) -> Timestamp {
         assert!((1..=12).contains(&month), "month out of range: {month}");
         assert!((1..=31).contains(&day), "day out of range: {day}");
         assert!(hour < 24, "hour out of range: {hour}");
@@ -59,7 +66,10 @@ impl Timestamp {
         assert!(second < 60, "second out of range: {second}");
         let days = days_from_civil(year, month, day);
         Timestamp(
-            days * SECS_PER_DAY + i64::from(hour) * SECS_PER_HOUR + i64::from(minute) * 60 + i64::from(second),
+            days * SECS_PER_DAY
+                + i64::from(hour) * SECS_PER_HOUR
+                + i64::from(minute) * 60
+                + i64::from(second),
         )
     }
 

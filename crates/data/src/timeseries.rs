@@ -205,10 +205,7 @@ impl TimeSeries {
 
     /// Iterates over `(timestamp, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (Timestamp, f64)> + '_ {
-        self.values
-            .iter()
-            .enumerate()
-            .map(move |(i, &v)| (self.time_at(i), v))
+        self.values.iter().enumerate().map(move |(i, &v)| (self.time_at(i), v))
     }
 
     /// The sub-series covering `[from, to)`.
@@ -249,16 +246,12 @@ impl TimeSeries {
     /// step.
     pub fn resample(&self, new_step_secs: u32, agg: Aggregation) -> TimeSeries {
         assert!(
-            new_step_secs > 0 && new_step_secs % self.step_secs == 0,
+            new_step_secs > 0 && new_step_secs.is_multiple_of(self.step_secs),
             "new step {new_step_secs}s must be a positive multiple of {}s",
             self.step_secs
         );
         let factor = (new_step_secs / self.step_secs) as usize;
-        let values = self
-            .values
-            .chunks(factor)
-            .map(|chunk| agg.apply(chunk))
-            .collect();
+        let values = self.values.chunks(factor).map(|chunk| agg.apply(chunk)).collect();
         TimeSeries { start: self.start, step_secs: new_step_secs, values }
     }
 
@@ -467,8 +460,7 @@ impl IrregularSeries {
 
     /// The sample closest to `t` within `tolerance_secs`, or `None`.
     pub fn nearest_within(&self, t: Timestamp, tolerance_secs: i64) -> Option<(Timestamp, f64)> {
-        self.nearest(t)
-            .filter(|&(pt, _)| (t - pt).abs() <= tolerance_secs)
+        self.nearest(t).filter(|&(pt, _)| (t - pt).abs() <= tolerance_secs)
     }
 
     /// All points in `[from, to)`.
@@ -640,12 +632,8 @@ mod tests {
 
     #[test]
     fn irregular_nearest_and_tolerance() {
-        let s: IrregularSeries = vec![
-            (t0(), 1.0),
-            (t0().plus_secs(100), 2.0),
-        ]
-        .into_iter()
-        .collect();
+        let s: IrregularSeries =
+            vec![(t0(), 1.0), (t0().plus_secs(100), 2.0)].into_iter().collect();
         assert_eq!(s.nearest(t0().plus_secs(49)).unwrap().1, 1.0);
         assert_eq!(s.nearest(t0().plus_secs(50)).unwrap().1, 1.0); // tie → earlier
         assert_eq!(s.nearest(t0().plus_secs(51)).unwrap().1, 2.0);
@@ -655,13 +643,10 @@ mod tests {
 
     #[test]
     fn irregular_to_regular() {
-        let s: IrregularSeries = vec![
-            (t0().plus_secs(10), 1.0),
-            (t0().plus_secs(20), 3.0),
-            (t0().plus_secs(70), 5.0),
-        ]
-        .into_iter()
-        .collect();
+        let s: IrregularSeries =
+            vec![(t0().plus_secs(10), 1.0), (t0().plus_secs(20), 3.0), (t0().plus_secs(70), 5.0)]
+                .into_iter()
+                .collect();
         let r = s.to_regular(t0(), 60, 3, Aggregation::Mean);
         assert_eq!(r.value_at(0), 2.0);
         assert_eq!(r.value_at(1), 5.0);

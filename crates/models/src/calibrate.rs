@@ -44,9 +44,7 @@ impl ParamSpace {
         for (name, lo, hi) in ranges {
             assert!(lo < hi, "range for {name} is inverted: [{lo}, {hi}]");
         }
-        ParamSpace {
-            dims: ranges.iter().map(|(n, lo, hi)| ((*n).to_owned(), *lo, *hi)).collect(),
-        }
+        ParamSpace { dims: ranges.iter().map(|(n, lo, hi)| ((*n).to_owned(), *lo, *hi)).collect() }
     }
 
     /// Number of dimensions.
@@ -72,10 +70,7 @@ impl ParamSpace {
     /// `true` if `point` lies inside the box.
     pub fn contains(&self, point: &[f64]) -> bool {
         point.len() == self.dims.len()
-            && point
-                .iter()
-                .zip(&self.dims)
-                .all(|(x, (_, lo, hi))| x >= lo && x <= hi)
+            && point.iter().zip(&self.dims).all(|(x, (_, lo, hi))| x >= lo && x <= hi)
     }
 }
 
@@ -142,7 +137,7 @@ where
     for i in 0..n {
         let params = space.sample(&mut rng);
         let score = run(&params);
-        if !score.is_nan() && best.map_or(true, |b: usize| score > samples[b].score) {
+        if !score.is_nan() && best.is_none_or(|b: usize| score > samples[b].score) {
             best = Some(i);
         }
         samples.push(CalibrationSample { params, score });
@@ -192,10 +187,11 @@ where
     let mut best: Option<usize> = None;
     let mut current = space.clone();
     for round in 0..rounds {
-        let result = monte_carlo(&current, samples_per_round, seed ^ (round as u64) << 32, &mut run);
+        let result =
+            monte_carlo(&current, samples_per_round, seed ^ (round as u64) << 32, &mut run);
         for sample in result.samples {
             if !sample.score.is_nan()
-                && best.map_or(true, |b: usize| sample.score > all_samples[b].score)
+                && best.is_none_or(|b: usize| sample.score > all_samples[b].score)
             {
                 best = Some(all_samples.len());
             }
@@ -250,9 +246,8 @@ mod tests {
     fn monte_carlo_finds_known_optimum() {
         // Score = -(x-3)² - (y+1)²: optimum at (3, -1).
         let space = ParamSpace::from_ranges(&[("x", 0.0, 5.0), ("y", -3.0, 2.0)]);
-        let result = monte_carlo(&space, 4000, 42, |p| {
-            -(p[0] - 3.0).powi(2) - (p[1] + 1.0).powi(2)
-        });
+        let result =
+            monte_carlo(&space, 4000, 42, |p| -(p[0] - 3.0).powi(2) - (p[1] + 1.0).powi(2));
         let best = result.best();
         assert!((best.params[0] - 3.0).abs() < 0.2, "x = {}", best.params[0]);
         assert!((best.params[1] + 1.0).abs() < 0.2, "y = {}", best.params[1]);
@@ -272,13 +267,7 @@ mod tests {
     #[test]
     fn nan_scores_never_win() {
         let space = ParamSpace::from_ranges(&[("x", 0.0, 1.0)]);
-        let result = monte_carlo(&space, 200, 1, |p| {
-            if p[0] > 0.5 {
-                f64::NAN
-            } else {
-                p[0]
-            }
-        });
+        let result = monte_carlo(&space, 200, 1, |p| if p[0] > 0.5 { f64::NAN } else { p[0] });
         assert!(result.best().params[0] <= 0.5);
         assert!(!result.best_score().is_nan());
     }

@@ -39,12 +39,8 @@ impl FlowDurationCurve {
     ///
     /// Returns `None` when no finite samples exist.
     pub fn from_series(discharge: &TimeSeries) -> Option<FlowDurationCurve> {
-        let mut sorted: Vec<f64> = discharge
-            .values()
-            .iter()
-            .copied()
-            .filter(|v| v.is_finite())
-            .collect();
+        let mut sorted: Vec<f64> =
+            discharge.values().iter().copied().filter(|v| v.is_finite()).collect();
         if sorted.is_empty() {
             return None;
         }
@@ -129,11 +125,7 @@ impl GumbelFit {
         }
         let n = annual_maxima.len() as f64;
         let mean = annual_maxima.iter().map(|&(_, v)| v).sum::<f64>() / n;
-        let var = annual_maxima
-            .iter()
-            .map(|&(_, v)| (v - mean).powi(2))
-            .sum::<f64>()
-            / (n - 1.0);
+        let var = annual_maxima.iter().map(|&(_, v)| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
         if var <= 0.0 {
             return None;
         }
@@ -178,7 +170,11 @@ mod tests {
 
     #[test]
     fn fdc_is_monotone_decreasing() {
-        let q = TimeSeries::from_values(t0(), 3600, (0..500).map(|i| (i as f64 * 0.37).sin().abs() * 9.0 + 0.5).collect());
+        let q = TimeSeries::from_values(
+            t0(),
+            3600,
+            (0..500).map(|i| (i as f64 * 0.37).sin().abs() * 9.0 + 0.5).collect(),
+        );
         let fdc = FlowDurationCurve::from_series(&q).unwrap();
         let samples = fdc.sample(21);
         for pair in samples.windows(2) {
@@ -235,9 +231,8 @@ mod tests {
 
     #[test]
     fn gumbel_return_levels_are_ordered_and_bracket_the_data() {
-        let maxima: Vec<(i32, f64)> = (0..20)
-            .map(|i| (2000 + i, 8.0 + 3.0 * ((i as f64 * 0.7).sin() + 1.0)))
-            .collect();
+        let maxima: Vec<(i32, f64)> =
+            (0..20).map(|i| (2000 + i, 8.0 + 3.0 * ((i as f64 * 0.7).sin() + 1.0))).collect();
         let fit = GumbelFit::fit(&maxima).unwrap();
         let q2 = fit.return_level(2.0);
         let q10 = fit.return_level(10.0);

@@ -244,7 +244,7 @@ impl FuseParams {
     ///
     /// Returns a message describing the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.s1max > 0.0) {
+        if self.s1max.is_nan() || self.s1max <= 0.0 {
             return Err(format!("s1max must be positive, got {}", self.s1max));
         }
         for (name, v) in [
@@ -256,9 +256,14 @@ impl FuseParams {
                 return Err(format!("{name} must be in [0,1], got {v}"));
             }
         }
-        for (name, v) in [("ku", self.ku), ("b", self.b), ("ks", self.ks), ("n", self.n), ("route_tp_hours", self.route_tp_hours)]
-        {
-            if !(v > 0.0) {
+        for (name, v) in [
+            ("ku", self.ku),
+            ("b", self.b),
+            ("ks", self.ks),
+            ("n", self.n),
+            ("route_tp_hours", self.route_tp_hours),
+        ] {
+            if v.is_nan() || v <= 0.0 {
                 return Err(format!("{name} must be positive, got {v}"));
             }
         }
@@ -355,9 +360,7 @@ impl FuseModel {
                         0.0
                     }
                 }
-                PercolationArch::Saturation => {
-                    (params.ku * dt * rel1.powf(params.c)).min(s1)
-                }
+                PercolationArch::Saturation => (params.ku * dt * rel1.powf(params.c)).min(s1),
             };
             s1 -= q12;
             s2 += q12;
@@ -475,7 +478,11 @@ mod tests {
         let mut peaks = Vec::new();
         for config in FuseConfig::all_combinations() {
             let q = FuseModel::new(config, 12.5).run(&params, &forcing).unwrap();
-            assert!(q.values().iter().all(|v| v.is_finite() && *v >= 0.0), "{}", config.signature());
+            assert!(
+                q.values().iter().all(|v| v.is_finite() && *v >= 0.0),
+                "{}",
+                config.signature()
+            );
             peaks.push(q.peak().unwrap().1);
         }
         let min = peaks.iter().cloned().fold(f64::INFINITY, f64::min);

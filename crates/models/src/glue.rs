@@ -171,10 +171,8 @@ where
     let mut median = TimeSeries::new(start, step_secs);
     let mut upper = TimeSeries::new(start, step_secs);
     for t in 0..steps {
-        let mut pairs: Vec<(f64, f64)> = members
-            .iter()
-            .map(|m| (m.simulation.value_at(t), m.weight))
-            .collect();
+        let mut pairs: Vec<(f64, f64)> =
+            members.iter().map(|m| (m.simulation.value_at(t), m.weight)).collect();
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite simulations"));
         lower.push(weighted_quantile(&pairs, 0.05));
         median.push(weighted_quantile(&pairs, 0.50));
@@ -227,8 +225,8 @@ mod tests {
     #[test]
     fn bounds_bracket_truth() {
         let observed = toy_observed();
-        let result = glue(&toy_space(), 2000, 42, &observed, Objective::Nse, 0.5, toy_simulate)
-            .unwrap();
+        let result =
+            glue(&toy_space(), 2000, 42, &observed, Objective::Nse, 0.5, toy_simulate).unwrap();
         assert!(result.acceptance_rate() > 0.05, "rate {}", result.acceptance_rate());
         let coverage = result.coverage(&observed);
         assert!(coverage > 0.9, "coverage {coverage}");
@@ -241,8 +239,9 @@ mod tests {
 
     #[test]
     fn weights_sum_to_one() {
-        let result = glue(&toy_space(), 1000, 1, &toy_observed(), Objective::Nse, 0.3, toy_simulate)
-            .unwrap();
+        let result =
+            glue(&toy_space(), 1000, 1, &toy_observed(), Objective::Nse, 0.3, toy_simulate)
+                .unwrap();
         let total: f64 = result.members().iter().map(|m| m.weight).sum();
         assert!((total - 1.0).abs() < 1e-9);
         assert!(result.members().iter().all(|m| m.weight > 0.0));
@@ -251,13 +250,13 @@ mod tests {
     #[test]
     fn stricter_threshold_narrows_bounds() {
         let observed = toy_observed();
-        let loose = glue(&toy_space(), 3000, 9, &observed, Objective::Nse, 0.0, toy_simulate).unwrap();
-        let strict = glue(&toy_space(), 3000, 9, &observed, Objective::Nse, 0.9, toy_simulate).unwrap();
+        let loose =
+            glue(&toy_space(), 3000, 9, &observed, Objective::Nse, 0.0, toy_simulate).unwrap();
+        let strict =
+            glue(&toy_space(), 3000, 9, &observed, Objective::Nse, 0.9, toy_simulate).unwrap();
         assert!(strict.members().len() < loose.members().len());
         let width = |r: &GlueResult| {
-            (0..observed.len())
-                .map(|t| r.upper().value_at(t) - r.lower().value_at(t))
-                .sum::<f64>()
+            (0..observed.len()).map(|t| r.upper().value_at(t) - r.lower().value_at(t)).sum::<f64>()
         };
         assert!(width(&strict) < width(&loose), "strict bounds must be narrower");
     }

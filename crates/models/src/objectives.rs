@@ -120,18 +120,10 @@ pub struct FloodMetrics {
 /// Returns `None` for an empty or all-missing series.
 pub fn flood_metrics(discharge_m3s: &TimeSeries, threshold_m3s: f64) -> Option<FloodMetrics> {
     let (peak_step, peak) = discharge_m3s.peak()?;
-    let over = discharge_m3s
-        .values()
-        .iter()
-        .filter(|v| !v.is_nan() && **v >= threshold_m3s)
-        .count();
+    let over =
+        discharge_m3s.values().iter().filter(|v| !v.is_nan() && **v >= threshold_m3s).count();
     let volume = discharge_m3s.sum() * f64::from(discharge_m3s.step_secs());
-    Some(FloodMetrics {
-        peak_m3s: peak,
-        peak_step,
-        steps_over_threshold: over,
-        volume_m3: volume,
-    })
+    Some(FloodMetrics { peak_m3s: peak, peak_step, steps_over_threshold: over, volume_m3: volume })
 }
 
 #[cfg(test)]

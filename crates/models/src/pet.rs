@@ -112,11 +112,8 @@ pub fn hamon_series(temperature: &TimeSeries, lat_deg: f64) -> TimeSeries {
         let sunset = 12.0 + daylight / 2.0;
         let step_hours = f64::from(step) / 3600.0;
         let is_day = hour >= sunrise && hour < sunset;
-        let rate_per_hour = if is_day {
-            0.9 * daily / daylight
-        } else {
-            0.1 * daily / (24.0 - daylight).max(1.0)
-        };
+        let rate_per_hour =
+            if is_day { 0.9 * daily / daylight } else { 0.1 * daily / (24.0 - daylight).max(1.0) };
         (rate_per_hour * step_hours).min(daily / steps_per_day as f64 * 4.0)
     })
 }

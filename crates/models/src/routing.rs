@@ -87,7 +87,8 @@ mod tests {
         let kernel = triangular_kernel(3.0, 1.0);
         let runoff = vec![5.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
         let routed = convolve(&runoff, &kernel);
-        let peak = routed.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let peak =
+            routed.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert!(peak >= 2, "routed peak at {peak}");
     }
 

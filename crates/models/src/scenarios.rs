@@ -238,8 +238,12 @@ mod tests {
         let base = TopmodelParams::default();
         assert!(Scenario::Afforestation.apply_to_topmodel(&base).srmax > base.srmax);
         assert!(Scenario::CompactedSoils.apply_to_topmodel(&base).srmax < base.srmax);
-        assert!(Scenario::DrainedMoorland.apply_to_topmodel(&base).route_tp_hours < base.route_tp_hours);
-        assert!(Scenario::RestoredWetland.apply_to_topmodel(&base).route_tp_hours > base.route_tp_hours);
+        assert!(
+            Scenario::DrainedMoorland.apply_to_topmodel(&base).route_tp_hours < base.route_tp_hours
+        );
+        assert!(
+            Scenario::RestoredWetland.apply_to_topmodel(&base).route_tp_hours > base.route_tp_hours
+        );
     }
 
     #[test]

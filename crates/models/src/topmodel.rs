@@ -87,7 +87,15 @@ impl TopmodelParams {
     /// Flattens to a calibration vector ordered as
     /// [`TopmodelParams::ranges`].
     pub fn to_vector(self) -> Vec<f64> {
-        vec![self.m, self.ln_t0, self.srmax, self.sr0, self.td, self.route_tp_hours, self.q0_init_mm_h]
+        vec![
+            self.m,
+            self.ln_t0,
+            self.srmax,
+            self.sr0,
+            self.td,
+            self.route_tp_hours,
+            self.q0_init_mm_h,
+        ]
     }
 
     /// Validates physical consistency.
@@ -97,22 +105,22 @@ impl TopmodelParams {
     /// Returns a human-readable message for non-positive `m`/`srmax`/`td`,
     /// or `sr0` outside `[0, srmax]`.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.m > 0.0) {
+        if self.m.is_nan() || self.m <= 0.0 {
             return Err(format!("m must be positive, got {}", self.m));
         }
-        if !(self.srmax > 0.0) {
+        if self.srmax.is_nan() || self.srmax <= 0.0 {
             return Err(format!("srmax must be positive, got {}", self.srmax));
         }
-        if !(self.td > 0.0) {
+        if self.td.is_nan() || self.td <= 0.0 {
             return Err(format!("td must be positive, got {}", self.td));
         }
         if self.sr0 < 0.0 || self.sr0 > self.srmax {
             return Err(format!("sr0 {} outside [0, srmax={}]", self.sr0, self.srmax));
         }
-        if !(self.route_tp_hours > 0.0) {
+        if self.route_tp_hours.is_nan() || self.route_tp_hours <= 0.0 {
             return Err(format!("route_tp_hours must be positive, got {}", self.route_tp_hours));
         }
-        if !(self.q0_init_mm_h > 0.0) {
+        if self.q0_init_mm_h.is_nan() || self.q0_init_mm_h <= 0.0 {
             return Err(format!("q0_init_mm_h must be positive, got {}", self.q0_init_mm_h));
         }
         Ok(())
@@ -199,7 +207,11 @@ impl Topmodel {
     ///
     /// Returns a message when the parameters fail
     /// [`TopmodelParams::validate`].
-    pub fn run(&self, params: &TopmodelParams, forcing: &Forcing) -> Result<TopmodelOutput, String> {
+    pub fn run(
+        &self,
+        params: &TopmodelParams,
+        forcing: &Forcing,
+    ) -> Result<TopmodelOutput, String> {
         params.validate()?;
         let dt = forcing.step_hours();
         let n = forcing.len();
@@ -374,11 +386,7 @@ mod tests {
         let before = out.saturated_fraction.value_at(20);
         let after = out.saturated_fraction.value_at(80);
         assert!(after > before, "saturation {after} should exceed pre-storm {before}");
-        assert!(out
-            .saturated_fraction
-            .values()
-            .iter()
-            .all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(out.saturated_fraction.values().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]
@@ -405,7 +413,10 @@ mod tests {
         let thick = TopmodelParams { srmax: 0.18, sr0: 0.05, ..TopmodelParams::default() };
         let v_thin: f64 = m.run(&thin, &forcing).unwrap().discharge_m3s.sum();
         let v_thick: f64 = m.run(&thick, &forcing).unwrap().discharge_m3s.sum();
-        assert!(v_thin > v_thick, "thin root zone {v_thin} should yield more runoff than {v_thick}");
+        assert!(
+            v_thin > v_thick,
+            "thin root zone {v_thin} should yield more runoff than {v_thick}"
+        );
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Observability substrate for the EVOp reproduction.
+//!
+//! The paper's evaluation reasons about *causal timelines* — a user's
+//! request travelling portal → REST router → Resource Broker → cloud
+//! instance boot → model run → hydrograph push (§IV-C/§IV-D) — and about
+//! aggregate behaviour (placements, cloudbursts, migrations, billing).
+//! This crate provides both views without perturbing the simulation:
+//!
+//! * [`metrics`] — a process-wide registry of counters, gauges and
+//!   histograms keyed by name + label pairs, built on the
+//!   [`evop_sim::stats`] estimators, with a deterministic JSON snapshot;
+//! * [`trace`] — a span-based tracer stamped with **virtual**
+//!   [`SimTime`](evop_sim::SimTime) (never wall clock), recording
+//!   parent/child spans, events and attributes into a bounded
+//!   flight-recorder ring buffer. Span and trace ids are sequential, so
+//!   two runs with the same seed produce byte-identical exports;
+//! * [`timeline`] — renders one trace as an ASCII tree or a JSON
+//!   document, for the `trace_report` binary and the examples.
+//!
+//! Handles ([`MetricsRegistry`], [`Tracer`]) are cheap clones sharing one
+//! store, so the broker, the cloud simulator and the REST router can all
+//! report into the same collector.
+//!
+//! # Examples
+//!
+//! ```
+//! use evop_obs::{MetricsRegistry, Tracer};
+//! use evop_sim::SimTime;
+//!
+//! let tracer = Tracer::new();
+//! tracer.set_now(SimTime::from_secs(10));
+//! let root = tracer.start_trace("request");
+//! let child = tracer.start_span("model-run", &root.context());
+//! tracer.set_now(SimTime::from_secs(55));
+//! child.finish();
+//! root.finish();
+//! assert_eq!(tracer.finished().len(), 2);
+//!
+//! let metrics = MetricsRegistry::new();
+//! metrics.inc_counter("requests_total", &[("route", "/catchments")]);
+//! assert_eq!(metrics.counter("requests_total", &[("route", "/catchments")]), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod timeline;
+pub mod trace;
+
+pub use metrics::MetricsRegistry;
+pub use timeline::TimelineReport;
+pub use trace::{Span, SpanEvent, SpanId, SpanRecord, TraceContext, TraceId, Tracer};

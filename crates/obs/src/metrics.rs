@@ -1,0 +1,212 @@
+//! A metrics registry: counters, gauges and histograms with labels.
+//!
+//! Metrics are keyed by a metric name plus a set of `key=value` label
+//! pairs. Labels are sorted before keying, so the same logical series is
+//! always the same stored series regardless of argument order, and the
+//! JSON snapshot (backed by `BTreeMap`) renders with fully sorted keys —
+//! byte-identical across same-seed runs.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use evop_sim::stats::{Percentiles, Running};
+use parking_lot::RwLock;
+use serde_json::{json, Map, Value};
+
+/// A histogram series: streaming moments plus exact quantiles.
+#[derive(Debug, Default)]
+struct HistSeries {
+    running: Running,
+    percentiles: Percentiles,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistSeries>,
+}
+
+/// A shared, thread-safe registry of named metrics.
+///
+/// Cloning the registry clones a handle: all clones report into one store,
+/// which is how the router, broker and cloud simulator share a collector.
+///
+/// # Examples
+///
+/// ```
+/// use evop_obs::MetricsRegistry;
+///
+/// let m = MetricsRegistry::new();
+/// m.inc_counter("placements_total", &[("provider", "campus")]);
+/// m.add_counter("placements_total", &[("provider", "campus")], 2);
+/// m.set_gauge("cost_total", &[("provider", "aws")], 1.25);
+/// m.observe("activation_wait_seconds", &[], 30.0);
+///
+/// assert_eq!(m.counter("placements_total", &[("provider", "campus")]), 3);
+/// let snapshot = m.snapshot();
+/// assert_eq!(snapshot["counters"]["placements_total{provider=campus}"], 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RwLock<Inner>>,
+}
+
+/// Renders `name{k1=v1,k2=v2}` with labels sorted by key.
+fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_owned();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let rendered: Vec<String> = sorted.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{name}{{{}}}", rendered.join(","))
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Increments a counter series by one.
+    pub fn inc_counter(&self, name: &str, labels: &[(&str, &str)]) {
+        self.add_counter(name, labels, 1);
+    }
+
+    /// Increments a counter series by `delta`.
+    pub fn add_counter(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let key = series_key(name, labels);
+        *self.inner.write().counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// The current value of a counter series (zero when never incremented).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.inner.read().counters.get(&series_key(name, labels)).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge series to `value`.
+    pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let key = series_key(name, labels);
+        self.inner.write().gauges.insert(key, value);
+    }
+
+    /// Adds `delta` to a gauge series (starting from zero).
+    pub fn add_gauge(&self, name: &str, labels: &[(&str, &str)], delta: f64) {
+        let key = series_key(name, labels);
+        *self.inner.write().gauges.entry(key).or_insert(0.0) += delta;
+    }
+
+    /// The current value of a gauge series, if ever set.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.inner.read().gauges.get(&series_key(name, labels)).copied()
+    }
+
+    /// Records one observation into a histogram series.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let key = series_key(name, labels);
+        let mut inner = self.inner.write();
+        let series = inner.histograms.entry(key).or_default();
+        series.running.record(value);
+        series.percentiles.record(value);
+    }
+
+    /// Number of observations in a histogram series.
+    pub fn observations(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.inner
+            .read()
+            .histograms
+            .get(&series_key(name, labels))
+            .map(|h| h.running.count())
+            .unwrap_or(0)
+    }
+
+    /// A deterministic JSON snapshot of every series.
+    ///
+    /// Counters render as integers, gauges as numbers, histograms as
+    /// `{count, mean, min, max, p50, p95}` objects. All maps are sorted.
+    pub fn snapshot(&self) -> Value {
+        let mut inner = self.inner.write();
+        let counters: Map<String, Value> =
+            inner.counters.iter().map(|(k, &v)| (k.clone(), json!(v))).collect();
+        let gauges: Map<String, Value> =
+            inner.gauges.iter().map(|(k, &v)| (k.clone(), json!(v))).collect();
+        let histograms: Map<String, Value> = inner
+            .histograms
+            .iter_mut()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    json!({
+                        "count": h.running.count(),
+                        "mean": h.running.mean(),
+                        "min": h.running.min(),
+                        "max": h.running.max(),
+                        "p50": h.percentiles.median().unwrap_or(f64::NAN),
+                        "p95": h.percentiles.p95().unwrap_or(f64::NAN),
+                    }),
+                )
+            })
+            .collect();
+        json!({ "counters": counters, "gauges": gauges, "histograms": histograms })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("c", &[("a", "1"), ("b", "2")]);
+        m.inc_counter("c", &[("b", "2"), ("a", "1")]);
+        assert_eq!(m.counter("c", &[("a", "1"), ("b", "2")]), 2);
+        assert_eq!(series_key("c", &[("b", "2"), ("a", "1")]), "c{a=1,b=2}");
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let m = MetricsRegistry::new();
+        let handle = m.clone();
+        handle.inc_counter("shared", &[]);
+        assert_eq!(m.counter("shared", &[]), 1);
+    }
+
+    #[test]
+    fn gauges_set_and_accumulate() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.gauge("g", &[]), None);
+        m.set_gauge("g", &[], 2.5);
+        m.add_gauge("g", &[], 0.5);
+        assert_eq!(m.gauge("g", &[]), Some(3.0));
+    }
+
+    #[test]
+    fn histogram_snapshot_shape() {
+        let m = MetricsRegistry::new();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            m.observe("lat", &[("op", "boot")], x);
+        }
+        assert_eq!(m.observations("lat", &[("op", "boot")]), 5);
+        let snap = m.snapshot();
+        let h = &snap["histograms"]["lat{op=boot}"];
+        assert_eq!(h["count"], 5);
+        assert_eq!(h["min"], 1.0);
+        assert_eq!(h["max"], 5.0);
+        assert_eq!(h["p50"], 3.0);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_text() {
+        let build = || {
+            let m = MetricsRegistry::new();
+            m.inc_counter("b", &[]);
+            m.inc_counter("a", &[("z", "9"), ("a", "0")]);
+            m.set_gauge("g", &[], 1.5);
+            m.observe("h", &[], 2.0);
+            m.snapshot().to_string()
+        };
+        assert_eq!(build(), build());
+    }
+}

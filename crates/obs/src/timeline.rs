@@ -1,0 +1,232 @@
+//! Renders one trace as a human-readable timeline.
+//!
+//! The report arranges a trace's spans into their parent/child tree and
+//! renders it either as an ASCII tree (offsets relative to the trace
+//! start, durations, attributes, events) or as a deterministic JSON
+//! document. Both views come straight from the flight recorder — they
+//! never re-run the simulation.
+
+use std::collections::BTreeMap;
+
+use serde_json::{json, Value};
+
+use crate::trace::{SpanId, SpanRecord, TraceId, Tracer};
+
+/// A renderable view over the spans of one trace.
+///
+/// # Examples
+///
+/// ```
+/// use evop_obs::{TimelineReport, Tracer};
+/// use evop_sim::SimTime;
+///
+/// let tracer = Tracer::new();
+/// let root = tracer.start_trace("request");
+/// let child = tracer.start_span("model-run", &root.context());
+/// tracer.set_now(SimTime::from_secs(45));
+/// child.finish();
+/// root.finish();
+///
+/// let report = TimelineReport::for_trace(&tracer, tracer.trace_ids()[0]);
+/// let text = report.ascii();
+/// assert!(text.contains("request"));
+/// assert!(text.contains("model-run"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimelineReport {
+    trace_id: Option<TraceId>,
+    spans: Vec<SpanRecord>,
+}
+
+impl TimelineReport {
+    /// Builds a report from explicit spans (sorted by start, then span id).
+    pub fn from_spans(mut spans: Vec<SpanRecord>) -> TimelineReport {
+        spans.sort_by_key(|s| (s.start, s.span_id));
+        TimelineReport { trace_id: spans.first().map(|s| s.trace_id), spans }
+    }
+
+    /// Builds a report for one trace out of a tracer's flight recorder.
+    pub fn for_trace(tracer: &Tracer, trace: TraceId) -> TimelineReport {
+        TimelineReport { trace_id: Some(trace), spans: tracer.trace(trace) }
+    }
+
+    /// Number of spans in the report.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` when the report holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The spans, sorted by (start, span id).
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Root spans: no parent, or a parent outside the report (evicted).
+    fn roots(&self) -> Vec<&SpanRecord> {
+        self.spans
+            .iter()
+            .filter(|s| match s.parent {
+                None => true,
+                Some(p) => !self.spans.iter().any(|o| o.span_id == p),
+            })
+            .collect()
+    }
+
+    fn children(&self) -> BTreeMap<SpanId, Vec<&SpanRecord>> {
+        let mut map: BTreeMap<SpanId, Vec<&SpanRecord>> = BTreeMap::new();
+        for span in &self.spans {
+            if let Some(p) = span.parent {
+                if self.spans.iter().any(|o| o.span_id == p) {
+                    map.entry(p).or_default().push(span);
+                }
+            }
+        }
+        map
+    }
+
+    /// Renders the timeline as an ASCII tree.
+    ///
+    /// Offsets are seconds since the earliest span start; open spans show
+    /// `…` instead of a duration.
+    pub fn ascii(&self) -> String {
+        let Some(t0) = self.spans.iter().map(|s| s.start).min() else {
+            return "(empty trace)\n".to_owned();
+        };
+        let mut out = String::new();
+        if let Some(id) = self.trace_id {
+            out.push_str(&format!("trace {id} — {} span(s)\n", self.spans.len()));
+        }
+        let children = self.children();
+        for root in self.roots() {
+            self.render_span(root, &children, t0, 0, &mut out);
+        }
+        out
+    }
+
+    fn render_span(
+        &self,
+        span: &SpanRecord,
+        children: &BTreeMap<SpanId, Vec<&SpanRecord>>,
+        t0: evop_sim::SimTime,
+        depth: usize,
+        out: &mut String,
+    ) {
+        let indent = "  ".repeat(depth);
+        let offset = span.start.saturating_since(t0).as_secs_f64();
+        let duration = match span.end {
+            Some(_) => format!("{:.1}s", span.duration().as_secs_f64()),
+            None => "…".to_owned(),
+        };
+        let attrs = if span.attrs.is_empty() {
+            String::new()
+        } else {
+            let rendered: Vec<String> =
+                span.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("  [{}]", rendered.join(" "))
+        };
+        out.push_str(&format!(
+            "{indent}+{offset:9.1}s  {name}  ({duration}){attrs}\n",
+            name = span.name
+        ));
+        for event in &span.events {
+            let at = event.at.saturating_since(t0).as_secs_f64();
+            out.push_str(&format!("{indent}  ·{at:8.1}s  {}\n", event.message));
+        }
+        if let Some(kids) = children.get(&span.span_id) {
+            for kid in kids {
+                self.render_span(kid, children, t0, depth + 1, out);
+            }
+        }
+    }
+
+    /// Renders the timeline as a deterministic JSON tree.
+    pub fn json(&self) -> Value {
+        let children = self.children();
+        let roots: Vec<Value> = self.roots().iter().map(|r| self.span_json(r, &children)).collect();
+        json!({
+            "trace": self.trace_id.map(|t| t.to_string()),
+            "spans": self.spans.len(),
+            "tree": roots,
+        })
+    }
+
+    fn span_json(&self, span: &SpanRecord, children: &BTreeMap<SpanId, Vec<&SpanRecord>>) -> Value {
+        let mut value = span.to_json();
+        let kids: Vec<Value> = children
+            .get(&span.span_id)
+            .map(|kids| kids.iter().map(|k| self.span_json(k, children)).collect())
+            .unwrap_or_default();
+        if let Value::Object(map) = &mut value {
+            map.insert("children".to_owned(), Value::Array(kids));
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_sim::SimTime;
+
+    fn sample_tracer() -> Tracer {
+        let tracer = Tracer::new();
+        tracer.set_now(SimTime::from_secs(10));
+        let root = tracer.start_trace("e1.request");
+        root.attr("user", "stakeholder");
+        let connect = tracer.start_span("broker.connect", &root.context());
+        tracer.set_now(SimTime::from_secs(12));
+        connect.event("bound instance i-0");
+        connect.finish();
+        let job = tracer.start_span("job.run", &root.context());
+        tracer.set_now(SimTime::from_secs(70));
+        job.finish();
+        root.finish();
+        tracer
+    }
+
+    #[test]
+    fn ascii_tree_shape() {
+        let tracer = sample_tracer();
+        let report = TimelineReport::for_trace(&tracer, TraceId(0));
+        let text = report.ascii();
+        assert!(text.starts_with("trace 0000000000000000 — 3 span(s)\n"), "{text}");
+        assert!(text.contains("e1.request"), "{text}");
+        assert!(text.contains("  +"), "children are indented: {text}");
+        assert!(text.contains("bound instance i-0"), "{text}");
+        assert!(text.contains("user=stakeholder"), "{text}");
+    }
+
+    #[test]
+    fn json_tree_nests_children() {
+        let tracer = sample_tracer();
+        let report = TimelineReport::for_trace(&tracer, TraceId(0));
+        let v = report.json();
+        assert_eq!(v["spans"], 3);
+        assert_eq!(v["tree"][0]["name"], "e1.request");
+        assert_eq!(v["tree"][0]["children"][0]["name"], "broker.connect");
+        assert_eq!(v["tree"][0]["children"][1]["name"], "job.run");
+    }
+
+    #[test]
+    fn orphaned_spans_become_roots() {
+        let tracer = Tracer::with_capacity(1);
+        let root = tracer.start_trace("evicted-parent");
+        let child = tracer.start_span("survivor", &root.context());
+        root.finish(); // fills capacity…
+        child.finish(); // …and evicts the parent
+        let report = TimelineReport::from_spans(tracer.finished());
+        assert_eq!(report.len(), 1);
+        assert!(report.ascii().contains("survivor"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let report = TimelineReport::from_spans(Vec::new());
+        assert!(report.is_empty());
+        assert_eq!(report.ascii(), "(empty trace)\n");
+    }
+}

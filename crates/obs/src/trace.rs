@@ -1,0 +1,489 @@
+//! A span tracer stamped with virtual time.
+//!
+//! Spans are stamped with [`SimTime`] — the simulation's clock, never the
+//! wall clock — and identified by *sequential* trace/span ids drawn from a
+//! shared counter. Given the same seed, a simulation therefore produces
+//! byte-identical trace exports on every run, which is what the
+//! determinism guard in the workspace tests asserts.
+//!
+//! Finished spans land in a bounded flight-recorder ring buffer; when it
+//! fills, the oldest spans are evicted (and counted), so long simulations
+//! keep the most recent history without unbounded growth.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use evop_sim::SimTime;
+use parking_lot::Mutex;
+use serde_json::{json, Value};
+
+/// Identifies one causal timeline (one user request, one experiment run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Identifies one span within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:08x}", self.0)
+    }
+}
+
+/// The propagated context: which trace a piece of work belongs to, and
+/// which span caused it.
+///
+/// Contexts travel across service boundaries as the request headers
+/// [`TraceContext::TRACE_HEADER`] and [`TraceContext::SPAN_HEADER`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace this work belongs to.
+    pub trace_id: TraceId,
+    /// The span that caused this work (the parent of any span started
+    /// from this context).
+    pub span_id: SpanId,
+}
+
+impl TraceContext {
+    /// Header name carrying the trace id (lower-case, hex).
+    pub const TRACE_HEADER: &'static str = "x-trace-id";
+    /// Header name carrying the causing span id (lower-case, hex).
+    pub const SPAN_HEADER: &'static str = "x-span-id";
+
+    /// Parses a context from its two header values.
+    pub fn from_header_values(trace: &str, span: &str) -> Option<TraceContext> {
+        Some(TraceContext {
+            trace_id: TraceId(u64::from_str_radix(trace, 16).ok()?),
+            span_id: SpanId(u64::from_str_radix(span, 16).ok()?),
+        })
+    }
+}
+
+/// A timestamped annotation inside a span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// When (virtual time).
+    pub at: SimTime,
+    /// What happened.
+    pub message: String,
+}
+
+/// One completed (or still-open) span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The owning trace.
+    pub trace_id: TraceId,
+    /// This span's id.
+    pub span_id: SpanId,
+    /// The causing span, if not a root.
+    pub parent: Option<SpanId>,
+    /// Operation name, e.g. `"broker.connect"`.
+    pub name: String,
+    /// Start, in virtual time.
+    pub start: SimTime,
+    /// End, in virtual time; `None` while the span is open.
+    pub end: Option<SimTime>,
+    /// Key/value attributes (sorted).
+    pub attrs: BTreeMap<String, String>,
+    /// Timestamped annotations, in recording order.
+    pub events: Vec<SpanEvent>,
+}
+
+impl SpanRecord {
+    /// Span duration, zero while still open.
+    pub fn duration(&self) -> evop_sim::SimDuration {
+        self.end.unwrap_or(self.start).saturating_since(self.start)
+    }
+
+    /// This span's record as a deterministic JSON object.
+    pub fn to_json(&self) -> Value {
+        let attrs: serde_json::Map<String, Value> =
+            self.attrs.iter().map(|(k, v)| (k.clone(), json!(v))).collect();
+        let events: Vec<Value> = self
+            .events
+            .iter()
+            .map(|e| json!({ "at_ms": e.at.as_millis(), "message": e.message }))
+            .collect();
+        json!({
+            "trace": self.trace_id.to_string(),
+            "span": self.span_id.to_string(),
+            "parent": self.parent.map(|p| p.to_string()),
+            "name": self.name,
+            "start_ms": self.start.as_millis(),
+            "end_ms": self.end.map(|t| t.as_millis()),
+            "attrs": attrs,
+            "events": events,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    next_trace: u64,
+    next_span: u64,
+    open: BTreeMap<u64, SpanRecord>,
+    finished: VecDeque<SpanRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    now_millis: AtomicU64,
+    state: Mutex<State>,
+}
+
+/// The shared trace collector.
+///
+/// Cloning is cheap and shares the store. The tracer's clock is advanced
+/// by whichever component drives virtual time (the broker control loop,
+/// the cloud simulator's event loop) via [`Tracer::set_now`]; it never
+/// reads the wall clock.
+///
+/// # Examples
+///
+/// ```
+/// use evop_obs::Tracer;
+/// use evop_sim::SimTime;
+///
+/// let tracer = Tracer::new();
+/// let root = tracer.start_trace("e1.request");
+/// root.attr("user", "stakeholder");
+/// let child = tracer.start_span("broker.connect", &root.context());
+/// tracer.set_now(SimTime::from_secs(3));
+/// child.event("bound instance i-0");
+/// child.finish();
+/// root.finish();
+///
+/// let spans = tracer.trace(tracer.trace_ids()[0]);
+/// assert_eq!(spans.len(), 2);
+/// assert_eq!(spans[1].parent, Some(spans[0].span_id));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// Default flight-recorder capacity, in finished spans.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Creates a tracer with the default ring-buffer capacity.
+    pub fn new() -> Tracer {
+        Tracer::with_capacity(Tracer::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a tracer keeping at most `capacity` finished spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        assert!(capacity > 0, "flight recorder needs room for at least one span");
+        Tracer {
+            inner: Arc::new(Inner {
+                now_millis: AtomicU64::new(0),
+                state: Mutex::new(State {
+                    next_trace: 0,
+                    next_span: 0,
+                    open: BTreeMap::new(),
+                    finished: VecDeque::new(),
+                    capacity,
+                    dropped: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Advances the tracer's virtual clock (monotone: going backwards is
+    /// ignored, so multiple drivers can race without rewinding time).
+    pub fn set_now(&self, now: SimTime) {
+        self.inner.now_millis.fetch_max(now.as_millis(), Ordering::Relaxed);
+    }
+
+    /// The tracer's current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_millis(self.inner.now_millis.load(Ordering::Relaxed))
+    }
+
+    /// Starts a new trace with a root span named `name`.
+    pub fn start_trace(&self, name: impl Into<String>) -> Span {
+        let now = self.now();
+        let mut state = self.inner.state.lock();
+        let trace_id = TraceId(state.next_trace);
+        state.next_trace += 1;
+        self.open_span(&mut state, trace_id, None, name.into(), now)
+    }
+
+    /// Starts a child span of `parent` in the same trace.
+    pub fn start_span(&self, name: impl Into<String>, parent: &TraceContext) -> Span {
+        let now = self.now();
+        let mut state = self.inner.state.lock();
+        self.open_span(&mut state, parent.trace_id, Some(parent.span_id), name.into(), now)
+    }
+
+    /// Records an instantaneous (zero-duration) child span — used for
+    /// point happenings like a push update leaving the broker.
+    pub fn instant(&self, name: impl Into<String>, parent: &TraceContext) {
+        self.start_span(name, parent).finish();
+    }
+
+    fn open_span(
+        &self,
+        state: &mut State,
+        trace_id: TraceId,
+        parent: Option<SpanId>,
+        name: String,
+        now: SimTime,
+    ) -> Span {
+        let span_id = SpanId(state.next_span);
+        state.next_span += 1;
+        state.open.insert(
+            span_id.0,
+            SpanRecord {
+                trace_id,
+                span_id,
+                parent,
+                name,
+                start: now,
+                end: None,
+                attrs: BTreeMap::new(),
+                events: Vec::new(),
+            },
+        );
+        Span { tracer: self.clone(), ctx: TraceContext { trace_id, span_id }, finished: false }
+    }
+
+    fn with_open<R>(&self, span: SpanId, f: impl FnOnce(&mut SpanRecord) -> R) -> Option<R> {
+        self.inner.state.lock().open.get_mut(&span.0).map(f)
+    }
+
+    fn finish_span(&self, span: SpanId) {
+        let now = self.now();
+        let mut state = self.inner.state.lock();
+        if let Some(mut record) = state.open.remove(&span.0) {
+            record.end = Some(now.max(record.start));
+            if state.finished.len() == state.capacity {
+                state.finished.pop_front();
+                state.dropped += 1;
+            }
+            state.finished.push_back(record);
+        }
+    }
+
+    /// All finished spans still in the ring buffer, oldest first.
+    pub fn finished(&self) -> Vec<SpanRecord> {
+        self.inner.state.lock().finished.iter().cloned().collect()
+    }
+
+    /// Spans evicted from the ring buffer so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.state.lock().dropped
+    }
+
+    /// Distinct trace ids present in the ring buffer, ascending.
+    pub fn trace_ids(&self) -> Vec<TraceId> {
+        let state = self.inner.state.lock();
+        let mut ids: Vec<TraceId> = state.finished.iter().map(|s| s.trace_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Finished spans of one trace, sorted by (start, span id).
+    pub fn trace(&self, id: TraceId) -> Vec<SpanRecord> {
+        let mut spans: Vec<SpanRecord> =
+            self.inner.state.lock().finished.iter().filter(|s| s.trace_id == id).cloned().collect();
+        spans.sort_by_key(|s| (s.start, s.span_id));
+        spans
+    }
+
+    /// Every finished span as one deterministic JSON document.
+    pub fn export_json(&self) -> Value {
+        let state = self.inner.state.lock();
+        let mut spans: Vec<&SpanRecord> = state.finished.iter().collect();
+        spans.sort_by_key(|s| (s.trace_id, s.start, s.span_id));
+        json!({
+            "spans": spans.iter().map(|s| s.to_json()).collect::<Vec<Value>>(),
+            "dropped": state.dropped,
+        })
+    }
+}
+
+/// A handle to an open span. Dropping the handle finishes the span at the
+/// tracer's current virtual time; [`Span::finish`] does so explicitly.
+#[derive(Debug)]
+pub struct Span {
+    tracer: Tracer,
+    ctx: TraceContext,
+    finished: bool,
+}
+
+impl Span {
+    /// The context to propagate to work this span causes.
+    pub fn context(&self) -> TraceContext {
+        self.ctx
+    }
+
+    /// The owning trace.
+    pub fn trace_id(&self) -> TraceId {
+        self.ctx.trace_id
+    }
+
+    /// This span's id.
+    pub fn span_id(&self) -> SpanId {
+        self.ctx.span_id
+    }
+
+    /// Sets (or overwrites) an attribute.
+    pub fn attr(&self, key: impl Into<String>, value: impl Into<String>) {
+        let (key, value) = (key.into(), value.into());
+        self.tracer.with_open(self.ctx.span_id, |s| {
+            s.attrs.insert(key, value);
+        });
+    }
+
+    /// Records a timestamped annotation.
+    pub fn event(&self, message: impl Into<String>) {
+        let at = self.tracer.now();
+        let message = message.into();
+        self.tracer.with_open(self.ctx.span_id, |s| {
+            s.events.push(SpanEvent { at, message });
+        });
+    }
+
+    /// Finishes the span at the tracer's current virtual time.
+    pub fn finish(mut self) {
+        self.finish_once();
+    }
+
+    fn finish_once(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            self.tracer.finish_span(self.ctx.span_id);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish_once();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_sim::SimDuration;
+
+    #[test]
+    fn ids_are_sequential_and_deterministic() {
+        let run = || {
+            let tracer = Tracer::new();
+            let a = tracer.start_trace("a");
+            let b = tracer.start_span("b", &a.context());
+            b.finish();
+            a.finish();
+            let c = tracer.start_trace("c");
+            c.finish();
+            tracer.export_json().to_string()
+        };
+        assert_eq!(run(), run());
+        let tracer = Tracer::new();
+        let a = tracer.start_trace("a");
+        let b = tracer.start_trace("b");
+        assert_eq!(a.trace_id(), TraceId(0));
+        assert_eq!(b.trace_id(), TraceId(1));
+        assert_eq!(a.span_id(), SpanId(0));
+        assert_eq!(b.span_id(), SpanId(1));
+    }
+
+    #[test]
+    fn spans_carry_virtual_time() {
+        let tracer = Tracer::new();
+        tracer.set_now(SimTime::from_secs(100));
+        let root = tracer.start_trace("op");
+        tracer.set_now(SimTime::from_secs(160));
+        root.event("milestone");
+        tracer.set_now(SimTime::from_secs(220));
+        root.finish();
+
+        let span = &tracer.finished()[0];
+        assert_eq!(span.start, SimTime::from_secs(100));
+        assert_eq!(span.end, Some(SimTime::from_secs(220)));
+        assert_eq!(span.duration(), SimDuration::from_secs(120));
+        assert_eq!(span.events[0].at, SimTime::from_secs(160));
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let tracer = Tracer::new();
+        tracer.set_now(SimTime::from_secs(50));
+        tracer.set_now(SimTime::from_secs(10));
+        assert_eq!(tracer.now(), SimTime::from_secs(50));
+    }
+
+    #[test]
+    fn drop_finishes_open_spans() {
+        let tracer = Tracer::new();
+        {
+            let _span = tracer.start_trace("scoped");
+        }
+        assert_eq!(tracer.finished().len(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let tracer = Tracer::with_capacity(2);
+        for name in ["a", "b", "c"] {
+            tracer.start_trace(name).finish();
+        }
+        let names: Vec<String> = tracer.finished().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, ["b", "c"]);
+        assert_eq!(tracer.dropped(), 1);
+    }
+
+    #[test]
+    fn context_round_trips_through_headers() {
+        let ctx = TraceContext { trace_id: TraceId(0xabc), span_id: SpanId(7) };
+        let parsed =
+            TraceContext::from_header_values(&ctx.trace_id.to_string(), &ctx.span_id.to_string())
+                .unwrap();
+        assert_eq!(parsed, ctx);
+        assert!(TraceContext::from_header_values("xyz", "1").is_none());
+    }
+
+    #[test]
+    fn trace_filters_and_sorts() {
+        let tracer = Tracer::new();
+        let a = tracer.start_trace("root");
+        let ctx = a.context();
+        tracer.set_now(SimTime::from_secs(5));
+        let child = tracer.start_span("child", &ctx);
+        child.finish();
+        a.finish();
+        let other = tracer.start_trace("other");
+        other.finish();
+
+        let spans = tracer.trace(TraceId(0));
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "root");
+        assert_eq!(spans[1].parent, Some(spans[0].span_id));
+        assert_eq!(tracer.trace_ids(), vec![TraceId(0), TraceId(1)]);
+    }
+}

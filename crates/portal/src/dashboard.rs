@@ -81,15 +81,9 @@ pub fn catchment_status(sos: &SosServer, catchment: &Catchment, now: Timestamp) 
         })
         .unwrap_or_default();
     let latest_stage_m = stage_obs.last().map(|o| o.value());
-    let suspect = stage_obs
-        .iter()
-        .filter(|o| o.quality() == QualityFlag::Suspect)
-        .count();
-    let suspect_fraction = if stage_obs.is_empty() {
-        0.0
-    } else {
-        suspect as f64 / stage_obs.len() as f64
-    };
+    let suspect = stage_obs.iter().filter(|o| o.quality() == QualityFlag::Suspect).count();
+    let suspect_fraction =
+        if stage_obs.is_empty() { 0.0 } else { suspect as f64 / stage_obs.len() as f64 };
     let stage_series: evop_data::timeseries::IrregularSeries =
         stage_obs.iter().map(|o| (o.time(), o.value())).collect();
     let stage_regular = stage_series.to_regular(now.plus_hours(-48), 3600, 48, Aggregation::Mean);
@@ -163,8 +157,7 @@ mod tests {
         let temp = generator.temperature(start, 3600, n);
         let q = truth.discharge(&rain, &temp);
         let stage = truth.stage(&q);
-        sos.ingest_series(&SensorId::new(format!("{}-rain-1", catchment.id())), &rain)
-            .unwrap();
+        sos.ingest_series(&SensorId::new(format!("{}-rain-1", catchment.id())), &rain).unwrap();
         sos.ingest_series(&SensorId::new(format!("{}-stage-outlet", catchment.id())), &stage)
             .unwrap();
         (sos, start.plus_days(days as i64))
@@ -197,8 +190,7 @@ mod tests {
         assert_eq!(catchment_status(&sos, &catchment, now).alert, AlertLevel::Normal);
 
         // Rising river (> 60 % of the 1.2 m threshold).
-        sos.insert(evop_data::Observation::new(stage_id.clone(), now.plus_hours(-1), 0.9))
-            .unwrap();
+        sos.insert(evop_data::Observation::new(stage_id.clone(), now.plus_hours(-1), 0.9)).unwrap();
         assert_eq!(catchment_status(&sos, &catchment, now).alert, AlertLevel::Elevated);
 
         // Over the threshold.

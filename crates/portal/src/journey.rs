@@ -114,8 +114,8 @@ pub fn simulate_user(
 
     for step in storyboard.steps() {
         steps_attempted += 1;
-        let base =
-            (0.35 + 0.6 * expertise.skill() - 0.45 * step.difficulty() + help_bonus).clamp(0.05, 0.99);
+        let base = (0.35 + 0.6 * expertise.skill() - 0.45 * step.difficulty() + help_bonus)
+            .clamp(0.05, 0.99);
         let mut succeeded = false;
         for attempt in 0..=config.max_retries {
             // Users learn a little with each retry.
@@ -136,11 +136,7 @@ pub fn simulate_user(
     // goal; ease on how much friction (retries) was felt.
     let p_useful = if completed { 0.93 } else { 0.25 };
     let friction = f64::from(retries) / (storyboard.steps().len().max(1) as f64);
-    let p_easy = if completed {
-        (0.95 - 0.5 * friction).clamp(0.05, 0.99)
-    } else {
-        0.15
-    };
+    let p_easy = if completed { (0.95 - 0.5 * friction).clamp(0.05, 0.99) } else { 0.15 };
     JourneyOutcome {
         expertise,
         completed,

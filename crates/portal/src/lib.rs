@@ -33,5 +33,5 @@ pub mod storyboard;
 pub mod widgets;
 
 pub use map::{AssetMap, Marker, MarkerKind};
-pub use storyboard::{Requirement, RequirementStatus, Storyboard, StoryStep};
+pub use storyboard::{Requirement, RequirementStatus, StoryStep, Storyboard};
 pub use widgets::{ModellingWidget, MultimodalWidget, TimeSeriesWidget};

@@ -122,9 +122,7 @@ pub struct FuseProcess {
 
 impl std::fmt::Debug for FuseProcess {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FuseProcess")
-            .field("members", &self.configs.len())
-            .finish_non_exhaustive()
+        f.debug_struct("FuseProcess").field("members", &self.configs.len()).finish_non_exhaustive()
     }
 }
 
@@ -233,9 +231,7 @@ mod tests {
     fn scenario_input_changes_output() {
         let s = server();
         let baseline = s.execute("topmodel", json!({"scenario": "baseline"})).unwrap();
-        let compacted = s
-            .execute("topmodel", json!({"scenario": "compacted-soils"}))
-            .unwrap();
+        let compacted = s.execute("topmodel", json!({"scenario": "compacted-soils"})).unwrap();
         let pb = baseline["hydrograph"]["peak_m3s"].as_f64().unwrap();
         let pc = compacted["hydrograph"]["peak_m3s"].as_f64().unwrap();
         assert!(pc > pb, "compacted peak {pc} should exceed baseline {pb}");
@@ -258,11 +254,8 @@ mod tests {
         let upper = out["upper_m3s"].as_array().unwrap();
         assert_eq!(mean.len(), lower.len());
         for i in (0..mean.len()).step_by(37) {
-            let (m, lo, hi) = (
-                mean[i].as_f64().unwrap(),
-                lower[i].as_f64().unwrap(),
-                upper[i].as_f64().unwrap(),
-            );
+            let (m, lo, hi) =
+                (mean[i].as_f64().unwrap(), lower[i].as_f64().unwrap(), upper[i].as_f64().unwrap());
             assert!(lo <= m + 1e-12 && m <= hi + 1e-12, "spread must bracket mean");
         }
     }

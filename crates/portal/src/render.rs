@@ -32,7 +32,12 @@ use evop_data::TimeSeries;
 /// # Panics
 ///
 /// Panics if `width` or `height` is zero.
-pub fn line_chart(series: &TimeSeries, width: usize, height: usize, threshold: Option<f64>) -> String {
+pub fn line_chart(
+    series: &TimeSeries,
+    width: usize,
+    height: usize,
+    threshold: Option<f64>,
+) -> String {
     assert!(width > 0 && height > 0, "chart must have positive dimensions");
     if series.is_empty() {
         return "(empty series)".to_owned();
@@ -97,12 +102,7 @@ pub fn line_chart(series: &TimeSeries, width: usize, height: usize, threshold: O
     out.push('+');
     out.push_str(&"-".repeat(width));
     out.push('\n');
-    out.push_str(&format!(
-        "{:>10} {} .. {}\n",
-        "",
-        series.start(),
-        series.end()
-    ));
+    out.push_str(&format!("{:>10} {} .. {}\n", "", series.start(), series.end()));
     out
 }
 
@@ -194,11 +194,8 @@ fn resample_max(values: &[f64], width: usize) -> Vec<f64> {
             let lo = col * values.len() / width;
             let hi = ((col + 1) * values.len() / width).max(lo + 1);
             let window = &values[lo..hi.min(values.len())];
-            let max = window
-                .iter()
-                .copied()
-                .filter(|v| !v.is_nan())
-                .fold(f64::NEG_INFINITY, f64::max);
+            let max =
+                window.iter().copied().filter(|v| !v.is_nan()).fold(f64::NEG_INFINITY, f64::max);
             if max.is_finite() {
                 max
             } else {
@@ -238,10 +235,7 @@ mod tests {
     #[test]
     fn empty_and_all_missing_series() {
         assert_eq!(line_chart(&series(vec![]), 10, 5, None), "(empty series)");
-        assert_eq!(
-            line_chart(&series(vec![f64::NAN; 4]), 10, 5, None),
-            "(all samples missing)"
-        );
+        assert_eq!(line_chart(&series(vec![f64::NAN; 4]), 10, 5, None), "(all samples missing)");
     }
 
     #[test]

@@ -14,7 +14,9 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// Requirement lifecycle, in the order the paper's cycle moves them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub enum RequirementStatus {
     /// Captured from the storyboard, not yet checked.
     #[default]
@@ -285,9 +287,7 @@ impl Storyboard {
     /// The coverage report for the current requirement statuses.
     pub fn coverage(&self) -> CoverageReport {
         let at_least = |step: &StoryStep, status: RequirementStatus| {
-            step.requirements
-                .iter()
-                .all(|id| self.requirements[id].status >= status)
+            step.requirements.iter().all(|id| self.requirements[id].status >= status)
         };
         CoverageReport {
             steps: self.steps.len(),
@@ -407,10 +407,7 @@ mod tests {
             sb.add_step("s", ["R9"], 0.5).unwrap_err(),
             StoryboardError::UnknownRequirement("R9".into())
         );
-        assert_eq!(
-            sb.verify("R9").unwrap_err(),
-            StoryboardError::UnknownRequirement("R9".into())
-        );
+        assert_eq!(sb.verify("R9").unwrap_err(), StoryboardError::UnknownRequirement("R9".into()));
     }
 
     #[test]

@@ -57,7 +57,11 @@ pub struct SeriesView {
 
 impl TimeSeriesWidget {
     /// Creates a widget for one sensor.
-    pub fn new(title: impl Into<String>, unit: impl Into<String>, sensor: SensorId) -> TimeSeriesWidget {
+    pub fn new(
+        title: impl Into<String>,
+        unit: impl Into<String>,
+        sensor: SensorId,
+    ) -> TimeSeriesWidget {
         TimeSeriesWidget { title: title.into(), unit: unit.into(), sensor: sensor.clone() }
     }
 
@@ -90,13 +94,7 @@ impl TimeSeriesWidget {
         let series = irregular.to_regular(from, step, len, Aggregation::Mean);
         let latest = observations.last().map(|o| o.value());
         let max = series.peak().map(|(_, v)| v);
-        Ok(SeriesView {
-            title: self.title.clone(),
-            unit: self.unit.clone(),
-            series,
-            latest,
-            max,
-        })
+        Ok(SeriesView { title: self.title.clone(), unit: self.unit.clone(), series, latest, max })
     }
 }
 
@@ -160,9 +158,7 @@ impl MultimodalWidget {
                     max_results: None,
                 })
                 .ok()?;
-            obs.iter()
-                .min_by_key(|o| (t - o.time()).abs())
-                .map(|o| o.value())
+            obs.iter().min_by_key(|o| (t - o.time()).abs()).map(|o| o.value())
         };
         let frame = self
             .frames
@@ -328,9 +324,7 @@ impl ModellingWidget {
     pub fn run(&mut self, label: impl Into<String>) -> Result<&ModelRun, String> {
         let discharge = match self.model {
             ModelChoice::Topmodel => {
-                self.topmodel
-                    .run(&self.topmodel_params, &self.forcing)?
-                    .discharge_m3s
+                self.topmodel.run(&self.topmodel_params, &self.forcing)?.discharge_m3s
             }
             ModelChoice::FuseEnsemble => {
                 let configs: Vec<FuseConfig> =
@@ -409,8 +403,12 @@ mod tests {
         let stage = SensorId::new("morland-stage-outlet");
         let t = Timestamp::from_ymd(2012, 6, 1);
         for i in 0..8 {
-            sos.insert(Observation::new(stage.clone(), t.plus_secs(i * 900), 0.4 + 0.05 * i as f64))
-                .unwrap();
+            sos.insert(Observation::new(
+                stage.clone(),
+                t.plus_secs(i * 900),
+                0.4 + 0.05 * i as f64,
+            ))
+            .unwrap();
         }
         let widget = TimeSeriesWidget::new("Stage", "m", stage);
         let view = widget.view(&sos, t, t.plus_hours(2)).unwrap();

@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use bytes::Bytes;
+use evop_obs::TraceContext;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
@@ -198,6 +199,22 @@ impl Request {
         serde_json::from_slice(&self.body)
     }
 
+    /// Attaches a trace context as `x-trace-id` / `x-span-id` headers, the
+    /// same way a real HTTP client would propagate W3C trace context.
+    pub fn traced(self, ctx: &TraceContext) -> Request {
+        self.header(TraceContext::TRACE_HEADER, ctx.trace_id.to_string())
+            .header(TraceContext::SPAN_HEADER, ctx.span_id.to_string())
+    }
+
+    /// The trace context carried in the propagation headers, when both are
+    /// present and well-formed hex.
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        TraceContext::from_header_values(
+            self.header_value(TraceContext::TRACE_HEADER)?,
+            self.header_value(TraceContext::SPAN_HEADER)?,
+        )
+    }
+
     /// The approximate size of the request on the wire, in bytes. Used by
     /// the push-vs-poll experiment to compare traffic volumes.
     pub fn wire_size(&self) -> usize {
@@ -320,6 +337,22 @@ impl Response {
         serde_json::from_slice(&self.body)
     }
 
+    /// Attaches a trace context as `x-trace-id` / `x-span-id` headers, so a
+    /// caller can correlate the response with the server-side timeline.
+    pub fn traced(self, ctx: &TraceContext) -> Response {
+        self.header(TraceContext::TRACE_HEADER, ctx.trace_id.to_string())
+            .header(TraceContext::SPAN_HEADER, ctx.span_id.to_string())
+    }
+
+    /// The trace context carried in the propagation headers, when both are
+    /// present and well-formed hex.
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        TraceContext::from_header_values(
+            self.header_value(TraceContext::TRACE_HEADER)?,
+            self.header_value(TraceContext::SPAN_HEADER)?,
+        )
+    }
+
     /// The approximate size of the response on the wire, in bytes.
     pub fn wire_size(&self) -> usize {
         let mut size = 16;
@@ -369,6 +402,17 @@ mod tests {
         let small = Request::get("/a");
         let big = Request::get("/a").body(vec![0u8; 1000]);
         assert!(big.wire_size() > small.wire_size() + 900);
+    }
+
+    #[test]
+    fn trace_context_round_trips_through_headers() {
+        use evop_obs::{SpanId, TraceId};
+        let ctx = TraceContext { trace_id: TraceId(0xabc), span_id: SpanId(7) };
+        let req = Request::get("/catchments").traced(&ctx);
+        assert_eq!(req.trace_context(), Some(ctx));
+        let resp = Response::ok().traced(&ctx);
+        assert_eq!(resp.trace_context(), Some(ctx));
+        assert_eq!(Request::get("/").trace_context(), None);
     }
 
     #[test]

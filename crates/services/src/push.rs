@@ -13,7 +13,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use serde_json::Value;
 
 /// A message on a duplex channel: a topic plus a JSON payload.
@@ -105,10 +105,7 @@ impl Endpoint {
 
     /// Receives one pending message, if any.
     pub fn try_recv(&self) -> Option<Message> {
-        match self.rx.try_recv() {
-            Ok(m) => Some(m),
-            Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
-        }
+        self.rx.try_recv().ok()
     }
 
     /// Drains all pending messages.
@@ -158,12 +155,7 @@ pub fn duplex_pair() -> (Endpoint, Endpoint) {
         sent: Arc::new(Counters::default()),
         peer_open: Arc::clone(&open),
     };
-    let b = Endpoint {
-        tx: tx_b,
-        rx: rx_b,
-        sent: Arc::new(Counters::default()),
-        peer_open: open,
-    };
+    let b = Endpoint { tx: tx_b, rx: rx_b, sent: Arc::new(Counters::default()), peer_open: open };
     (a, b)
 }
 
@@ -236,9 +228,7 @@ pub fn simulate_polling(
 pub fn simulate_push(updates: &[(u64, Value)], _horizon_secs: u64) -> TrafficReport {
     let (server, client) = duplex_pair();
     for (_, payload) in updates {
-        server
-            .send(Message::new("session-update", payload.clone()))
-            .expect("channel open");
+        server.send(Message::new("session-update", payload.clone())).expect("channel open");
     }
     let received = client.drain();
     let stats = server.stats();

@@ -11,6 +11,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+use evop_obs::{MetricsRegistry, Tracer};
+
 use crate::http::{Method, Request, Response};
 
 /// Path parameters extracted from a matched route template.
@@ -40,6 +42,7 @@ pub type Handler = Arc<dyn Fn(&Request, &PathParams) -> Response + Send + Sync>;
 #[derive(Clone)]
 struct Route {
     method: Method,
+    template: String,
     segments: Vec<Segment>,
     handler: Handler,
 }
@@ -48,7 +51,7 @@ impl fmt::Debug for Route {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Route")
             .field("method", &self.method)
-            .field("segments", &self.segments)
+            .field("template", &self.template)
             .finish_non_exhaustive()
     }
 }
@@ -116,12 +119,29 @@ fn match_path(segments: &[Segment], path: &str) -> Option<PathParams> {
 #[derive(Debug, Clone, Default)]
 pub struct Router {
     routes: Vec<Route>,
+    tracer: Option<Tracer>,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl Router {
     /// Creates an empty router.
     pub fn new() -> Router {
         Router::default()
+    }
+
+    /// Attaches a tracer: every dispatch opens an `http {method} {template}`
+    /// span (joined to the request's propagated context, when present) and
+    /// re-injects the span's context into the request seen by the handler.
+    pub fn set_tracer(&mut self, tracer: Tracer) -> &mut Router {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Attaches a metrics registry: every dispatch increments
+    /// `router_requests_total{method,route,status}`.
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) -> &mut Router {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Registers a handler for `method` on the path `template`.
@@ -134,6 +154,7 @@ impl Router {
     {
         self.routes.push(Route {
             method,
+            template: template.to_owned(),
             segments: parse_template(template),
             handler: Arc::new(handler),
         });
@@ -149,16 +170,62 @@ impl Router {
         for route in &self.routes {
             if let Some(params) = match_path(&route.segments, request.path()) {
                 if route.method == request.method() {
-                    return (route.handler)(request, &params);
+                    return self.invoke(route, request, &params);
                 }
                 path_matched = true;
             }
         }
-        if path_matched {
+        let response = if path_matched {
             Response::new(crate::http::StatusCode::METHOD_NOT_ALLOWED)
                 .text(format!("method {} not allowed", request.method()))
         } else {
             Response::not_found(format!("no route for {}", request.path()))
+        };
+        self.observe(request.method(), "<unrouted>", &response);
+        response
+    }
+
+    /// Runs one matched route, wrapped in a span when a tracer is attached.
+    ///
+    /// The handler sees a request carrying the *router span's* context in
+    /// its propagation headers, so anything the handler calls (WPS, broker)
+    /// parents its spans under the HTTP span — one connected timeline.
+    fn invoke(&self, route: &Route, request: &Request, params: &PathParams) -> Response {
+        let span = self.tracer.as_ref().map(|tracer| {
+            let name = format!("http {} {}", route.method, route.template);
+            let span = match request.trace_context() {
+                Some(ctx) => tracer.start_span(name, &ctx),
+                None => tracer.start_trace(name),
+            };
+            span.attr("path", request.path());
+            span
+        });
+        let response = match &span {
+            Some(span) => (route.handler)(&request.clone().traced(&span.context()), params),
+            None => (route.handler)(request, params),
+        };
+        self.observe(route.method, &route.template, &response);
+        match span {
+            Some(span) => {
+                span.attr("status", response.status().to_string());
+                let ctx = span.context();
+                span.finish();
+                response.traced(&ctx)
+            }
+            None => response,
+        }
+    }
+
+    fn observe(&self, method: Method, route: &str, response: &Response) {
+        if let Some(metrics) = &self.metrics {
+            metrics.inc_counter(
+                "router_requests_total",
+                &[
+                    ("method", &method.to_string()),
+                    ("route", route),
+                    ("status", &response.status().to_string()),
+                ],
+            );
         }
     }
 
@@ -194,10 +261,7 @@ mod tests {
     fn literal_and_param_matching() {
         let r = sample_router();
         assert_eq!(r.dispatch(&Request::get("/datasets")).body_text(), Some("list"));
-        assert_eq!(
-            r.dispatch(&Request::get("/datasets/rain-1")).body_text(),
-            Some("get rain-1")
-        );
+        assert_eq!(r.dispatch(&Request::get("/datasets/rain-1")).body_text(), Some("get rain-1"));
         assert_eq!(
             r.dispatch(&Request::post("/datasets/rain-1/runs/42")).body_text(),
             Some("run rain-1/42")
@@ -244,6 +308,65 @@ mod tests {
         let replica = r.clone();
         let req = Request::get("/datasets/rain-1");
         assert_eq!(r.dispatch(&req), replica.dispatch(&req));
+    }
+
+    #[test]
+    fn dispatch_records_spans_and_metrics() {
+        let mut r = sample_router();
+        let tracer = Tracer::new();
+        let metrics = MetricsRegistry::new();
+        r.set_tracer(tracer.clone());
+        r.set_metrics(metrics.clone());
+
+        let resp = r.dispatch(&Request::get("/datasets/rain-1"));
+        assert!(resp.trace_context().is_some(), "response echoes the trace context");
+        let spans = tracer.finished();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "http GET /datasets/{id}");
+        assert_eq!(spans[0].attrs["status"], "200");
+        assert_eq!(
+            metrics.counter(
+                "router_requests_total",
+                &[("method", "GET"), ("route", "/datasets/{id}"), ("status", "200")],
+            ),
+            1
+        );
+
+        r.dispatch(&Request::get("/nope"));
+        assert_eq!(
+            metrics.counter(
+                "router_requests_total",
+                &[("method", "GET"), ("route", "<unrouted>"), ("status", "404")],
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn dispatch_joins_propagated_context_and_reinjects_it() {
+        use std::sync::Mutex;
+        let tracer = Tracer::new();
+        let seen = std::sync::Arc::new(Mutex::new(None));
+        let seen_in_handler = seen.clone();
+        let mut r = Router::new();
+        r.set_tracer(tracer.clone());
+        r.route(Method::Get, "/probe", move |req, _| {
+            *seen_in_handler.lock().unwrap() = req.trace_context();
+            Response::ok()
+        });
+
+        let caller = tracer.start_trace("client");
+        r.dispatch(&Request::get("/probe").traced(&caller.context()));
+        let caller_ctx = caller.context();
+        caller.finish();
+
+        let spans = tracer.finished();
+        let http = spans.iter().find(|s| s.name.starts_with("http")).unwrap();
+        assert_eq!(http.trace_id, caller_ctx.trace_id, "joined the caller's trace");
+        assert_eq!(http.parent, Some(caller_ctx.span_id));
+        let handler_ctx = seen.lock().unwrap().expect("handler saw a context");
+        assert_eq!(handler_ctx.trace_id, http.trace_id);
+        assert_eq!(handler_ctx.span_id, http.span_id, "handler parents under the http span");
     }
 
     #[test]

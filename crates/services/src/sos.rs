@@ -125,7 +125,11 @@ impl SosServer {
     ///
     /// Returns [`SosError::UnknownProcedure`] when the sensor is not
     /// registered.
-    pub fn ingest_series(&mut self, sensor: &SensorId, series: &TimeSeries) -> Result<usize, SosError> {
+    pub fn ingest_series(
+        &mut self,
+        sensor: &SensorId,
+        series: &TimeSeries,
+    ) -> Result<usize, SosError> {
         if !self.sensors.contains_key(sensor) {
             return Err(SosError::UnknownProcedure(sensor.clone()));
         }
@@ -372,11 +376,8 @@ mod tests {
     fn capabilities_lists_offerings() {
         let (sos, id) = server_with_data();
         let caps = sos.get_capabilities();
-        let names: Vec<String> = caps
-            .find_all("gml:name")
-            .iter()
-            .map(|e| e.text_content())
-            .collect();
+        let names: Vec<String> =
+            caps.find_all("gml:name").iter().map(|e| e.text_content()).collect();
         assert!(names.contains(&id.as_str().to_owned()));
     }
 
@@ -386,8 +387,7 @@ mod tests {
         let sensor = stage_sensor();
         let id = sensor.id().clone();
         sos.register_sensor(sensor);
-        sos.insert(Observation::with_quality(id.clone(), t0(), 9.0, QualityFlag::Suspect))
-            .unwrap();
+        sos.insert(Observation::with_quality(id.clone(), t0(), 9.0, QualityFlag::Suspect)).unwrap();
         let hits = sos
             .get_observation(&GetObservation {
                 procedure: id,
@@ -407,11 +407,8 @@ mod tests {
         let id = sensor.id().clone();
         sos.register_sensor(sensor);
         // A plausible stage trace with one physically impossible spike.
-        let series = TimeSeries::from_values(
-            t0(),
-            900,
-            vec![0.40, 0.42, 9.50, 0.43, f64::NAN, 0.44],
-        );
+        let series =
+            TimeSeries::from_values(t0(), 900, vec![0.40, 0.42, 9.50, 0.43, f64::NAN, 0.44]);
         let (inserted, flagged) = sos.ingest_series_with_qc(&id, &series).unwrap();
         assert_eq!(inserted, 5, "NaN is skipped");
         assert!(flagged >= 1, "the 9.5 m spike must be flagged");

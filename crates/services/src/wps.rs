@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use evop_obs::{MetricsRegistry, TraceContext, Tracer};
 use parking_lot::Mutex;
 use serde_json::{Map, Value};
 
@@ -55,7 +56,11 @@ pub struct ParamSpec {
 
 impl ParamSpec {
     /// A required parameter.
-    pub fn required(name: impl Into<String>, title: impl Into<String>, param_type: ParamType) -> ParamSpec {
+    pub fn required(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        param_type: ParamType,
+    ) -> ParamSpec {
         ParamSpec { name: name.into(), title: title.into(), param_type, default: None }
     }
 
@@ -187,6 +192,8 @@ pub struct WpsServer {
     /// can accept and progress async jobs — the portal API serves many
     /// simultaneous users over one server instance.
     jobs: Mutex<AsyncJobs>,
+    tracer: Option<Tracer>,
+    metrics: Option<MetricsRegistry>,
 }
 
 #[derive(Default)]
@@ -215,6 +222,18 @@ impl WpsServer {
     pub fn register<P: WpsProcess + 'static>(&mut self, process: P) {
         let id = process.descriptor().identifier;
         self.processes.insert(id, Box::new(process));
+    }
+
+    /// Attaches a tracer: [`WpsServer::execute_traced`] opens a
+    /// `wps.execute {id}` span under the caller's context.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Attaches a metrics registry: executions increment
+    /// `wps_executions_total{process,outcome}`.
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = Some(metrics);
     }
 
     /// Registered process identifiers, sorted.
@@ -246,7 +265,8 @@ impl WpsServer {
     ///
     /// Returns [`WpsError::UnknownProcess`] for an unregistered identifier.
     pub fn describe_process(&self, id: &str) -> Result<Element, WpsError> {
-        let process = self.processes.get(id).ok_or_else(|| WpsError::UnknownProcess(id.to_owned()))?;
+        let process =
+            self.processes.get(id).ok_or_else(|| WpsError::UnknownProcess(id.to_owned()))?;
         let d = process.descriptor();
         let inputs = d.inputs.iter().map(|p| {
             let mut e = Element::new("wps:Input")
@@ -288,7 +308,53 @@ impl WpsServer {
     /// Returns [`WpsError::UnknownProcess`], [`WpsError::InvalidParameter`]
     /// or [`WpsError::ExecutionFailed`].
     pub fn execute(&self, id: &str, inputs: Value) -> Result<Value, WpsError> {
-        let process = self.processes.get(id).ok_or_else(|| WpsError::UnknownProcess(id.to_owned()))?;
+        self.execute_traced(id, inputs, None)
+    }
+
+    /// [`WpsServer::execute`] joined to a caller's trace context.
+    ///
+    /// When a tracer is attached, the execution is recorded as a
+    /// `wps.execute {id}` span — a child of `ctx` when given, or a fresh
+    /// trace otherwise — so the model run shows up on the request timeline.
+    ///
+    /// # Errors
+    ///
+    /// As for [`WpsServer::execute`].
+    pub fn execute_traced(
+        &self,
+        id: &str,
+        inputs: Value,
+        ctx: Option<&TraceContext>,
+    ) -> Result<Value, WpsError> {
+        let span = self.tracer.as_ref().map(|tracer| {
+            let name = format!("wps.execute {id}");
+            match ctx {
+                Some(ctx) => tracer.start_span(name, ctx),
+                None => tracer.start_trace(name),
+            }
+        });
+        let result = self.execute_inner(id, inputs);
+        let outcome = match &result {
+            Ok(_) => "ok",
+            Err(_) => "error",
+        };
+        if let Some(span) = span {
+            span.attr("process", id);
+            span.attr("outcome", outcome);
+            if let Err(e) = &result {
+                span.event(format!("execution failed: {e}"));
+            }
+            span.finish();
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.inc_counter("wps_executions_total", &[("process", id), ("outcome", outcome)]);
+        }
+        result
+    }
+
+    fn execute_inner(&self, id: &str, inputs: Value) -> Result<Value, WpsError> {
+        let process =
+            self.processes.get(id).ok_or_else(|| WpsError::UnknownProcess(id.to_owned()))?;
         let validated = validate_inputs(&process.descriptor(), inputs)?;
         process.execute(&validated).map_err(WpsError::ExecutionFailed)
     }
@@ -301,7 +367,8 @@ impl WpsServer {
     ///
     /// Returns validation errors immediately, like [`WpsServer::execute`].
     pub fn execute_async(&self, id: &str, inputs: Value) -> Result<u64, WpsError> {
-        let process = self.processes.get(id).ok_or_else(|| WpsError::UnknownProcess(id.to_owned()))?;
+        let process =
+            self.processes.get(id).ok_or_else(|| WpsError::UnknownProcess(id.to_owned()))?;
         let validated = validate_inputs(&process.descriptor(), inputs)?;
         let mut jobs = self.jobs.lock();
         let job = jobs.next;
@@ -344,12 +411,7 @@ impl WpsServer {
     ///
     /// Returns [`WpsError::UnknownJob`] for an unknown id.
     pub fn status(&self, job: u64) -> Result<ExecStatus, WpsError> {
-        self.jobs
-            .lock()
-            .by_id
-            .get(&job)
-            .map(|(_, _, s)| s.clone())
-            .ok_or(WpsError::UnknownJob(job))
+        self.jobs.lock().by_id.get(&job).map(|(_, _, s)| s.clone()).ok_or(WpsError::UnknownJob(job))
     }
 
     /// Standards-compliant Execute over an XML request document.
@@ -374,10 +436,10 @@ impl WpsServer {
         let mut inputs = Map::new();
         if let Some(data_inputs) = request.find("wps:DataInputs") {
             for input in data_inputs.find_all("wps:Input") {
-                let name = input
-                    .find("ows:Identifier")
-                    .map(Element::text_content)
-                    .ok_or_else(|| WpsError::MalformedRequest("input missing identifier".to_owned()))?;
+                let name =
+                    input.find("ows:Identifier").map(Element::text_content).ok_or_else(|| {
+                        WpsError::MalformedRequest("input missing identifier".to_owned())
+                    })?;
                 let value = if let Some(lit) = input.find("wps:LiteralData") {
                     let text = lit.text_content();
                     match text.parse::<f64>() {
@@ -469,9 +531,7 @@ fn validate_inputs(
 }
 
 fn check_type(spec: &ParamSpec, value: &Value) -> Result<(), WpsError> {
-    let fail = |reason: String| {
-        Err(WpsError::InvalidParameter { name: spec.name.clone(), reason })
-    };
+    let fail = |reason: String| Err(WpsError::InvalidParameter { name: spec.name.clone(), reason });
     match &spec.param_type {
         ParamType::Float { min, max } => match value.as_f64() {
             Some(x) => {
@@ -536,8 +596,17 @@ mod tests {
                 title: "Power".into(),
                 abstract_text: "x^n".into(),
                 inputs: vec![
-                    ParamSpec::required("x", "Base", ParamType::Float { min: Some(0.0), max: Some(100.0) }),
-                    ParamSpec::optional("n", "Exponent", ParamType::Integer { min: Some(0), max: Some(8) }, json!(2)),
+                    ParamSpec::required(
+                        "x",
+                        "Base",
+                        ParamType::Float { min: Some(0.0), max: Some(100.0) },
+                    ),
+                    ParamSpec::optional(
+                        "n",
+                        "Exponent",
+                        ParamType::Integer { min: Some(0), max: Some(8) },
+                        json!(2),
+                    ),
                     ParamSpec::optional(
                         "mode",
                         "Mode",
@@ -566,6 +635,38 @@ mod tests {
     fn execute_with_defaults() {
         let out = server().execute("power", json!({"x": 3.0})).unwrap();
         assert_eq!(out["y"], 9.0);
+    }
+
+    #[test]
+    fn traced_execute_parents_under_caller_and_counts() {
+        let mut s = server();
+        let tracer = Tracer::new();
+        let metrics = MetricsRegistry::new();
+        s.set_tracer(tracer.clone());
+        s.set_metrics(metrics.clone());
+
+        let root = tracer.start_trace("request");
+        s.execute_traced("power", json!({"x": 3.0}), Some(&root.context())).unwrap();
+        s.execute_traced("missing", json!({}), Some(&root.context())).unwrap_err();
+        let root_ctx = root.context();
+        root.finish();
+
+        let spans = tracer.finished();
+        let ok = spans.iter().find(|sp| sp.name == "wps.execute power").unwrap();
+        assert_eq!(ok.trace_id, root_ctx.trace_id);
+        assert_eq!(ok.parent, Some(root_ctx.span_id));
+        assert_eq!(ok.attrs["outcome"], "ok");
+        let failed = spans.iter().find(|sp| sp.name == "wps.execute missing").unwrap();
+        assert_eq!(failed.attrs["outcome"], "error");
+        assert_eq!(
+            metrics.counter("wps_executions_total", &[("process", "power"), ("outcome", "ok")]),
+            1
+        );
+        assert_eq!(
+            metrics
+                .counter("wps_executions_total", &[("process", "missing"), ("outcome", "error")]),
+            1
+        );
     }
 
     #[test]
@@ -611,11 +712,8 @@ mod tests {
     fn capabilities_lists_processes() {
         let caps = server().get_capabilities();
         assert_eq!(caps.attribute("service"), Some("WPS"));
-        let ids: Vec<String> = caps
-            .find_all("ows:Identifier")
-            .iter()
-            .map(|e| e.text_content())
-            .collect();
+        let ids: Vec<String> =
+            caps.find_all("ows:Identifier").iter().map(|e| e.text_content()).collect();
         assert!(ids.contains(&"power".to_owned()));
     }
 
@@ -651,9 +749,8 @@ mod tests {
         use std::sync::Arc;
         let s = Arc::new(server());
         // Many clients enqueue through clones of the Arc…
-        let jobs: Vec<u64> = (0..8)
-            .map(|i| s.execute_async("power", json!({"x": f64::from(i)})).unwrap())
-            .collect();
+        let jobs: Vec<u64> =
+            (0..8).map(|i| s.execute_async("power", json!({"x": f64::from(i)})).unwrap()).collect();
         // …a worker drains the queue…
         assert_eq!(s.process_pending(), 8);
         assert_eq!(s.process_pending(), 0, "queue is empty afterwards");
@@ -671,16 +768,11 @@ mod tests {
         let request = Element::new("wps:Execute")
             .attr("service", "WPS")
             .child(Element::new("ows:Identifier").text("power"))
-            .child(
-                Element::new("wps:DataInputs").child(
-                    Element::new("wps:Input")
-                        .child(Element::new("ows:Identifier").text("x"))
-                        .child(
-                            Element::new("wps:Data")
-                                .child(Element::new("wps:LiteralData").text("3")),
-                        ),
+            .child(Element::new("wps:DataInputs").child(
+                Element::new("wps:Input").child(Element::new("ows:Identifier").text("x")).child(
+                    Element::new("wps:Data").child(Element::new("wps:LiteralData").text("3")),
                 ),
-            );
+            ));
         let response = server().execute_xml(&request).unwrap();
         assert!(response.find("wps:ProcessSucceeded").is_some());
         let payload = response.find("wps:ComplexData").unwrap().text_content();
@@ -691,10 +783,7 @@ mod tests {
     #[test]
     fn xml_execute_rejects_malformed() {
         let bad = Element::new("wps:Execute"); // no identifier
-        assert!(matches!(
-            server().execute_xml(&bad),
-            Err(WpsError::MalformedRequest(_))
-        ));
+        assert!(matches!(server().execute_xml(&bad), Err(WpsError::MalformedRequest(_))));
         let wrong_root = Element::new("something");
         assert!(server().execute_xml(&wrong_root).is_err());
     }

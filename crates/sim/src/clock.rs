@@ -48,12 +48,7 @@ impl Clock {
     /// Panics if `to` is earlier than the current time — virtual time is
     /// monotonic.
     pub fn advance_to(&mut self, to: SimTime) {
-        assert!(
-            to >= self.now,
-            "clock cannot move backwards: now={}, requested={}",
-            self.now,
-            to
-        );
+        assert!(to >= self.now, "clock cannot move backwards: now={}, requested={}", self.now, to);
         self.now = to;
     }
 }

@@ -61,10 +61,7 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> EventQueue<E> {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-        }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
     }
 
     /// Schedules `event` for delivery at instant `time`.
@@ -176,12 +173,8 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let q: EventQueue<&str> = vec![
-            (SimTime::from_secs(3), "c"),
-            (SimTime::from_secs(1), "a"),
-        ]
-        .into_iter()
-        .collect();
+        let q: EventQueue<&str> =
+            vec![(SimTime::from_secs(3), "c"), (SimTime::from_secs(1), "a")].into_iter().collect();
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
     }

@@ -40,10 +40,7 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> SimRng {
-        SimRng {
-            seed,
-            inner: ChaCha8Rng::seed_from_u64(seed),
-        }
+        SimRng { seed, inner: ChaCha8Rng::seed_from_u64(seed) }
     }
 
     /// The seed this generator was created with.

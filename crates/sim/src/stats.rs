@@ -23,7 +23,7 @@ use std::fmt;
 /// assert!((r.mean() - 5.0).abs() < 1e-12);
 /// assert!((r.population_std_dev() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Running {
     count: u64,
     mean: f64,
@@ -35,13 +35,7 @@ pub struct Running {
 impl Running {
     /// Creates an empty accumulator.
     pub fn new() -> Running {
-        Running {
-            count: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
+        Running { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
     /// Records one observation.
@@ -116,11 +110,21 @@ impl Running {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Running {
+    /// Same as [`Running::new`]. A derived `Default` would zero the
+    /// min/max sentinels, making `min()`/`max()` report `Some(0.0)` after
+    /// merging an empty accumulator; `new()` keeps them at ±infinity.
+    fn default() -> Running {
+        Running::new()
     }
 }
 
@@ -294,13 +298,7 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Histogram {
         assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
         assert!(buckets > 0, "at least one bucket is required");
-        Histogram {
-            lo,
-            hi,
-            buckets: vec![0; buckets],
-            underflow: 0,
-            overflow: 0,
-        }
+        Histogram { lo, hi, buckets: vec![0; buckets], underflow: 0, overflow: 0 }
     }
 
     /// Records one observation.
@@ -353,10 +351,7 @@ impl Histogram {
     /// Iterates over `(bucket_lower_bound, count)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
         let width = (self.hi - self.lo) / self.buckets.len() as f64;
-        self.buckets
-            .iter()
-            .enumerate()
-            .map(move |(i, &c)| (self.lo + width * i as f64, c))
+        self.buckets.iter().enumerate().map(move |(i, &c)| (self.lo + width * i as f64, c))
     }
 }
 
@@ -454,5 +449,72 @@ mod tests {
         let h = Histogram::new(0.0, 10.0, 2);
         let bounds: Vec<f64> = h.iter().map(|(b, _)| b).collect();
         assert_eq!(bounds, [0.0, 5.0]);
+    }
+
+    #[test]
+    fn running_default_equals_new() {
+        // Regression: the derived Default zeroed min/max, so merging a
+        // defaulted accumulator clamped extrema toward 0.0.
+        let d = Running::default();
+        assert_eq!(d, Running::new());
+        assert_eq!(d.min(), None);
+        assert_eq!(d.max(), None);
+
+        let mut merged = Running::default();
+        merged.merge(&[5.0, 7.0].into_iter().collect());
+        assert_eq!(merged.min(), Some(5.0));
+        assert_eq!(merged.max(), Some(7.0));
+
+        let mut sink: Running = [5.0, 7.0].into_iter().collect();
+        sink.merge(&Running::default());
+        assert_eq!(sink.min(), Some(5.0));
+        assert_eq!(sink.max(), Some(7.0));
+    }
+
+    #[test]
+    fn percentiles_single_element_all_quantiles() {
+        let mut p = Percentiles::new();
+        p.record(3.5);
+        assert_eq!(p.quantile(0.0), Some(3.5));
+        assert_eq!(p.median(), Some(3.5));
+        assert_eq!(p.p95(), Some(3.5));
+        assert_eq!(p.quantile(1.0), Some(3.5));
+        assert_eq!(p.count(), 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn percentiles_ignore_non_finite() {
+        let mut p = Percentiles::new();
+        p.record(f64::NAN);
+        p.record(f64::NEG_INFINITY);
+        assert!(p.is_empty());
+        assert_eq!(p.quantile(0.5), None);
+        p.record(2.0);
+        assert_eq!(p.quantile(0.5), Some(2.0));
+    }
+
+    #[test]
+    fn histogram_boundary_and_out_of_range() {
+        let mut h = Histogram::new(-5.0, 5.0, 10);
+        h.record(-5.0); // lower bound is inclusive
+        h.record(5.0); // upper bound is exclusive -> overflow
+        h.record(-5.000001);
+        h.record(f64::NAN); // non-finite counts as underflow
+        h.record(f64::INFINITY);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 3);
+        assert_eq!(h.total(), 5);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn histogram_empty_has_zero_everything() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!(h.is_empty());
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.len(), 4);
+        assert!(h.iter().all(|(_, c)| c == 0));
     }
 }

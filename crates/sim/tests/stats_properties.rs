@@ -1,0 +1,67 @@
+//! Property tests for `evop_sim::stats`: the estimators must agree with
+//! their batch equivalents regardless of how observations are split or
+//! ordered.
+
+use evop_sim::stats::{Histogram, Percentiles, Running};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn running_merge_equals_sequential(
+        values in prop::collection::vec(-1e6f64..1e6, 0..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(values.len());
+        let whole: Running = values.iter().copied().collect();
+
+        let mut left: Running = values[..split].iter().copied().collect();
+        let right: Running = values[split..].iter().copied().collect();
+        left.merge(&right);
+
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!(
+            (left.population_variance() - whole.population_variance()).abs()
+                < 1e-4 * (1.0 + whole.population_variance())
+        );
+        prop_assert_eq!(left.min(), whole.min());
+        prop_assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn running_default_merge_is_identity(
+        values in prop::collection::vec(-1e3f64..1e3, 1..50),
+    ) {
+        let direct: Running = values.iter().copied().collect();
+        let mut through_default = Running::default();
+        through_default.merge(&direct);
+        prop_assert_eq!(through_default.min(), direct.min());
+        prop_assert_eq!(through_default.max(), direct.max());
+        prop_assert_eq!(through_default.count(), direct.count());
+    }
+
+    #[test]
+    fn percentiles_quantiles_are_monotone(
+        values in prop::collection::vec(-1e6f64..1e6, 1..100),
+    ) {
+        let mut p: Percentiles = values.iter().copied().collect();
+        let q25 = p.quantile(0.25).unwrap();
+        let q50 = p.median().unwrap();
+        let q95 = p.p95().unwrap();
+        prop_assert!(q25 <= q50 && q50 <= q95);
+        prop_assert!(values.contains(&q50));
+    }
+
+    #[test]
+    fn histogram_conserves_observations(
+        values in prop::collection::vec(-10.0f64..110.0, 0..100),
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, 7);
+        for &x in &values {
+            h.record(x);
+        }
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let in_range: u64 = (0..h.len()).map(|i| h.bucket_count(i)).sum();
+        prop_assert_eq!(in_range + h.underflow() + h.overflow(), h.total());
+    }
+}

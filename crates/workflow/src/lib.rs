@@ -214,7 +214,9 @@ impl Workflow {
             let inputs: Vec<Value> = node
                 .inputs
                 .iter()
-                .map(|name| outputs.get(name).cloned().expect("topological order guarantees inputs"))
+                .map(|name| {
+                    outputs.get(name).cloned().expect("topological order guarantees inputs")
+                })
                 .collect();
             let output = (node.task)(&inputs).map_err(|message| WorkflowError::NodeFailed {
                 node: node.name.clone(),
@@ -266,16 +268,9 @@ impl Workflow {
 
     /// Node names nothing consumes — the workflow's results.
     pub fn sink_nodes(&self) -> Vec<&str> {
-        let consumed: BTreeSet<&str> = self
-            .nodes
-            .iter()
-            .flat_map(|n| n.inputs.iter().map(String::as_str))
-            .collect();
-        self.nodes
-            .iter()
-            .map(|n| n.name.as_str())
-            .filter(|n| !consumed.contains(n))
-            .collect()
+        let consumed: BTreeSet<&str> =
+            self.nodes.iter().flat_map(|n| n.inputs.iter().map(String::as_str)).collect();
+        self.nodes.iter().map(|n| n.name.as_str()).filter(|n| !consumed.contains(n)).collect()
     }
 }
 
@@ -340,12 +335,8 @@ impl WorkflowBuilder {
                 return Err(WorkflowError::DuplicateNode(node.name.clone()));
             }
         }
-        let index: BTreeMap<&str, usize> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.name.as_str(), i))
-            .collect();
+        let index: BTreeMap<&str, usize> =
+            self.nodes.iter().enumerate().map(|(i, n)| (n.name.as_str(), i)).collect();
         for node in &self.nodes {
             for input in &node.inputs {
                 if !index.contains_key(input.as_str()) {
@@ -445,9 +436,7 @@ mod tests {
         let counter = Arc::new(AtomicI64::new(0));
         let c2 = Arc::clone(&counter);
         let wf = Workflow::builder("drifting")
-            .task("tick", [] as [&str; 0], move |_| {
-                Ok(json!(c2.fetch_add(1, Ordering::SeqCst)))
-            })
+            .task("tick", [] as [&str; 0], move |_| Ok(json!(c2.fetch_add(1, Ordering::SeqCst))))
             .build()
             .unwrap();
         let run = wf.execute().unwrap();
@@ -459,10 +448,7 @@ mod tests {
     #[test]
     fn replay_rejects_foreign_record() {
         let wf = diamond();
-        let other = Workflow::builder("other")
-            .constant("x", json!(1))
-            .build()
-            .unwrap();
+        let other = Workflow::builder("other").constant("x", json!(1)).build().unwrap();
         let record = other.execute().unwrap();
         assert!(matches!(wf.replay(&record), Err(WorkflowError::RecordMismatch(_))));
     }
@@ -479,10 +465,8 @@ mod tests {
 
     #[test]
     fn self_loop_is_rejected() {
-        let err = Workflow::builder("selfie")
-            .task("a", ["a"], |_| Ok(json!(1)))
-            .build()
-            .unwrap_err();
+        let err =
+            Workflow::builder("selfie").task("a", ["a"], |_| Ok(json!(1))).build().unwrap_err();
         assert!(matches!(err, WorkflowError::Cycle(_)));
     }
 

@@ -188,11 +188,7 @@ impl BlobStore {
 
     /// Total bytes stored across all containers.
     pub fn total_bytes(&self) -> usize {
-        self.containers
-            .values()
-            .flat_map(|c| c.values())
-            .map(Blob::len)
-            .sum()
+        self.containers.values().flat_map(|c| c.values()).map(Blob::len).sum()
     }
 }
 
@@ -208,10 +204,7 @@ mod tests {
         assert_eq!(store.get("data", "k").unwrap().data().as_ref(), b"hello");
         let removed = store.delete("data", "k").unwrap();
         assert_eq!(removed.len(), 5);
-        assert!(matches!(
-            store.get("data", "k"),
-            Err(BlobStoreError::NoSuchKey { .. })
-        ));
+        assert!(matches!(store.get("data", "k"), Err(BlobStoreError::NoSuchKey { .. })));
     }
 
     #[test]

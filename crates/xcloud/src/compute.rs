@@ -54,11 +54,7 @@ pub struct NodeTemplate {
 impl NodeTemplate {
     /// Creates a template for one node of the given flavour and image.
     pub fn new(instance_type: impl Into<String>, image: ImageId) -> NodeTemplate {
-        NodeTemplate {
-            instance_type: instance_type.into(),
-            image,
-            streamlined_hint: None,
-        }
+        NodeTemplate { instance_type: instance_type.into(), image, streamlined_hint: None }
     }
 
     /// The requested flavour name.
@@ -89,10 +85,8 @@ impl NodeTemplate {
         if self.streamlined_hint.is_some() {
             return self.clone();
         }
-        let streamlined = sim
-            .image(&self.image)
-            .map(|img| img.kind().is_streamlined())
-            .unwrap_or(false);
+        let streamlined =
+            sim.image(&self.image).map(|img| img.kind().is_streamlined()).unwrap_or(false);
         self.clone().with_streamlined_hint(streamlined)
     }
 }
@@ -239,12 +233,9 @@ mod tests {
         compute.set_policy(SplitByImageKind);
         assert_eq!(compute.policy_name(), "split-by-image-kind");
 
-        let baked_node = compute
-            .provision(&mut sim, &NodeTemplate::new("m1.small", baked))
-            .unwrap();
-        let inc_node = compute
-            .provision(&mut sim, &NodeTemplate::new("m1.small", inc))
-            .unwrap();
+        let baked_node =
+            compute.provision(&mut sim, &NodeTemplate::new("m1.small", baked)).unwrap();
+        let inc_node = compute.provision(&mut sim, &NodeTemplate::new("m1.small", inc)).unwrap();
         assert_eq!(sim.instance(baked_node).unwrap().provider(), "aws");
         assert_eq!(sim.instance(inc_node).unwrap().provider(), "campus");
     }

@@ -69,7 +69,7 @@ pub struct PrivateFirst;
 impl PlacementPolicy for PrivateFirst {
     fn rank(&self, _template: &NodeTemplate, providers: &[ProviderView]) -> Vec<String> {
         let (mut privates, mut publics) = privates_then_publics(providers);
-        privates.sort_by(|a, b| b.free_vcpus.cmp(&a.free_vcpus));
+        privates.sort_by_key(|p| std::cmp::Reverse(p.free_vcpus));
         publics.sort_by(|a, b| a.price_factor.partial_cmp(&b.price_factor).expect("finite"));
         privates.into_iter().chain(publics).map(|p| p.name.clone()).collect()
     }
@@ -87,7 +87,7 @@ pub struct PrivateOnly;
 impl PlacementPolicy for PrivateOnly {
     fn rank(&self, _template: &NodeTemplate, providers: &[ProviderView]) -> Vec<String> {
         let (mut privates, _) = privates_then_publics(providers);
-        privates.sort_by(|a, b| b.free_vcpus.cmp(&a.free_vcpus));
+        privates.sort_by_key(|p| std::cmp::Reverse(p.free_vcpus));
         privates.into_iter().map(|p| p.name.clone()).collect()
     }
 
@@ -125,14 +125,10 @@ pub struct SplitByImageKind;
 impl PlacementPolicy for SplitByImageKind {
     fn rank(&self, template: &NodeTemplate, providers: &[ProviderView]) -> Vec<String> {
         let (mut privates, mut publics) = privates_then_publics(providers);
-        privates.sort_by(|a, b| b.free_vcpus.cmp(&a.free_vcpus));
+        privates.sort_by_key(|p| std::cmp::Reverse(p.free_vcpus));
         publics.sort_by(|a, b| a.price_factor.partial_cmp(&b.price_factor).expect("finite"));
         let (first, second): (Vec<&ProviderView>, Vec<&ProviderView>) =
-            if template.image_is_streamlined() {
-                (publics, privates)
-            } else {
-                (privates, publics)
-            };
+            if template.image_is_streamlined() { (publics, privates) } else { (privates, publics) };
         first.into_iter().chain(second).map(|p| p.name.clone()).collect()
     }
 

@@ -14,11 +14,8 @@ fn main() {
     let now = evop.start().plus_days(evop.days() as i64);
 
     println!("=== EVOp catchment status board — {now} ===\n");
-    let statuses: Vec<_> = evop
-        .catchments()
-        .iter()
-        .map(|c| catchment_status(evop.sos(), c, now))
-        .collect();
+    let statuses: Vec<_> =
+        evop.catchments().iter().map(|c| catchment_status(evop.sos(), c, now)).collect();
     println!("{}", render_status_board(&statuses));
 
     for status in &statuses {

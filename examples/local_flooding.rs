@@ -84,9 +84,7 @@ fn main() {
     let rows: Vec<Vec<String>> = widget
         .compare()
         .into_iter()
-        .map(|(label, m)| {
-            vec![label, format!("{:.2}", m.peak_m3s), format!("{:.0}", m.volume_m3)]
-        })
+        .map(|(label, m)| vec![label, format!("{:.2}", m.peak_m3s), format!("{:.0}", m.volume_m3)])
         .collect();
     println!("{}", table(&["scenario", "peak m³/s", "volume m³"], &rows));
 

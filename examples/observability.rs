@@ -1,0 +1,88 @@
+//! Observability: follow one portal request through the whole stack.
+//!
+//! The observatory keeps a single tracer and metrics registry shared by
+//! the REST router, the WPS endpoints, the Resource Broker and the cloud
+//! simulator. This example opens a session, runs a model through the
+//! portal API with the trace context in the request headers, and then
+//! prints the resulting causal timeline and the metrics the run produced.
+//!
+//! ```sh
+//! cargo run --example observability
+//! ```
+
+use std::sync::Arc;
+
+use evop::api::portal_api;
+use evop::obs::TimelineReport;
+use evop::services::Request;
+use evop::sim::SimDuration;
+use evop::Evop;
+use serde_json::json;
+
+fn main() {
+    let mut evop = Evop::builder().seed(42).days(10).build();
+    let id = evop.catchments()[0].id().clone();
+
+    // A root span stands for the user's browser request; everything the
+    // stack does on its behalf parents under it.
+    let root = evop.tracer().start_trace("portal.request");
+    root.attr("user", "stakeholder");
+    let ctx = root.context();
+
+    // 1. Open a modelling session: the broker places (or boots) an
+    //    instance and pushes the assignment over the session channel.
+    let session = evop
+        .broker_mut()
+        .connect_with_context("stakeholder", "topmodel", Some(&ctx))
+        .expect("library serves topmodel");
+    evop.broker_mut().advance(SimDuration::from_secs(180));
+
+    // 2. Submit a model run to the session's instance.
+    evop.broker_mut()
+        .run_model_with_context(session, SimDuration::from_secs(45), Some(&ctx))
+        .expect("session active after boot");
+    evop.broker_mut().advance(SimDuration::from_secs(300));
+
+    // 3. Fetch the hydrograph through the REST API. The `traced` headers
+    //    carry the root context, so the router and WPS spans join the
+    //    same trace instead of opening their own.
+    let evop = Arc::new(evop);
+    let router = portal_api(Arc::clone(&evop));
+    let resp = router.dispatch(
+        &Request::post(format!("/catchments/{id}/processes/topmodel/execute"))
+            .json(&json!({}))
+            .traced(&ctx),
+    );
+    assert!(resp.status().is_success());
+    root.finish();
+
+    // The flight recorder now holds the whole story.
+    println!("=== one request, one timeline ===\n");
+    let report = TimelineReport::for_trace(evop.tracer(), ctx.trace_id);
+    print!("{}", report.ascii());
+
+    println!("\n=== metrics the run produced ===\n");
+    let snapshot = evop.metrics().snapshot();
+    for section in ["counters", "gauges"] {
+        if let Some(map) = snapshot[section].as_object() {
+            for (series, value) in map {
+                println!("  {series} = {value}");
+            }
+        }
+    }
+
+    // The push update the browser widget received carries the trace id,
+    // closing the loop between server-side spans and client-side events.
+    let update = evop
+        .broker()
+        .session(session)
+        .expect("session exists")
+        .client_channel()
+        .try_recv()
+        .expect("assignment pushed");
+    println!(
+        "\npush update correlates to trace {} (span {})",
+        update.payload()["trace_id"],
+        update.payload()["span_id"]
+    );
+}

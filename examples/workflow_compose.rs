@@ -42,21 +42,17 @@ fn main() {
         .constant("rainfall_mm", json!(rain_total))
         .task("baseline-run", [] as [&str; 0], run_scenario(Scenario::Baseline))
         .task("compacted-run", [] as [&str; 0], run_scenario(Scenario::CompactedSoils))
-        .task(
-            "report",
-            ["rainfall_mm", "baseline-run", "compacted-run"],
-            move |inputs| {
-                let base = inputs[1]["peak_m3s"].as_f64().ok_or("missing baseline peak")?;
-                let compacted = inputs[2]["peak_m3s"].as_f64().ok_or("missing compacted peak")?;
-                Ok(json!({
-                    "rainfall_mm": inputs[0],
-                    "baseline_peak_m3s": base,
-                    "compacted_peak_m3s": compacted,
-                    "peak_increase_percent": 100.0 * (compacted - base) / base,
-                    "exceeds_flood_threshold": compacted >= threshold,
-                }))
-            },
-        )
+        .task("report", ["rainfall_mm", "baseline-run", "compacted-run"], move |inputs| {
+            let base = inputs[1]["peak_m3s"].as_f64().ok_or("missing baseline peak")?;
+            let compacted = inputs[2]["peak_m3s"].as_f64().ok_or("missing compacted peak")?;
+            Ok(json!({
+                "rainfall_mm": inputs[0],
+                "baseline_peak_m3s": base,
+                "compacted_peak_m3s": compacted,
+                "peak_increase_percent": 100.0 * (compacted - base) / base,
+                "exceeds_flood_threshold": compacted >= threshold,
+            }))
+        })
         .build()
         .expect("acyclic by construction");
 

@@ -16,13 +16,15 @@
 #![warn(missing_docs)]
 
 pub use evop_core::{
-    ablations, api, compose, experiments, registry, AssetKind, AssetRecord, AssetRegistry, Evop, EvopBuilder,
+    ablations, api, compose, experiments, registry, AssetKind, AssetRecord, AssetRegistry, Evop,
+    EvopBuilder,
 };
 
 pub use evop_broker as broker;
 pub use evop_cloud as cloud;
 pub use evop_data as data;
 pub use evop_models as models;
+pub use evop_obs as obs;
 pub use evop_portal as portal;
 pub use evop_services as services;
 pub use evop_sim as sim;

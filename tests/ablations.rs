@@ -6,11 +6,8 @@ use evop::sim::SimDuration;
 
 #[test]
 fn a1_detection_delay_follows_cadence_with_zero_false_positives() {
-    let rows = ablate_health_check(
-        &[SimDuration::from_secs(5), SimDuration::from_secs(60)],
-        &[2, 5],
-        42,
-    );
+    let rows =
+        ablate_health_check(&[SimDuration::from_secs(5), SimDuration::from_secs(60)], &[2, 5], 42);
     for row in &rows {
         let delay = row.detection_delay.expect("hang detected");
         let expected = expected_detection_delay(row.check_interval, row.consecutive);

@@ -23,7 +23,7 @@ struct Setup {
 }
 
 impl Setup {
-    fn trimmed<'a>(&self, series: &'a evop::data::TimeSeries) -> evop::data::TimeSeries {
+    fn trimmed(&self, series: &evop::data::TimeSeries) -> evop::data::TimeSeries {
         series.window(self.eval.0, self.eval.1).expect("window inside archive")
     }
 }
@@ -87,17 +87,13 @@ fn fuse_structures_rank_differently_on_the_same_data() {
     let mut scores: Vec<(String, f64)> = FuseConfig::named_parents()
         .into_iter()
         .map(|(name, config)| {
-            let q = FuseModel::new(config, s.area_km2)
-                .run(&FuseParams::default(), &s.forcing)
-                .unwrap();
+            let q =
+                FuseModel::new(config, s.area_km2).run(&FuseParams::default(), &s.forcing).unwrap();
             (name.to_owned(), nse(&q, &s.observed))
         })
         .collect();
     scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    assert!(
-        scores[0].1 > scores[3].1 + 0.01,
-        "structural choices must matter: {scores:?}"
-    );
+    assert!(scores[0].1 > scores[3].1 + 0.01, "structural choices must matter: {scores:?}");
 }
 
 #[test]
@@ -153,10 +149,8 @@ fn calibration_transfers_across_weather_but_not_perfectly() {
     // constants).
     let validation = setup(45, 99);
     let out = validation.model.run(&best, &validation.forcing).unwrap();
-    let validation_nse = nse(
-        &validation.trimmed(&out.discharge_m3s),
-        &validation.trimmed(&validation.observed),
-    );
+    let validation_nse =
+        nse(&validation.trimmed(&out.discharge_m3s), &validation.trimmed(&validation.observed));
     assert!(
         validation_nse > 0.1,
         "calibration should transfer to unseen weather, NSE {validation_nse:.3}"
@@ -175,35 +169,15 @@ fn scenario_effects_exceed_parameter_noise() {
     use evop::models::scenarios::Scenario;
     let s = setup(30, 21);
     let base = TopmodelParams::default();
-    let baseline_peak = s
-        .model
-        .run(&base, &s.forcing)
-        .unwrap()
-        .discharge_m3s
-        .peak()
-        .unwrap()
-        .1;
+    let baseline_peak = s.model.run(&base, &s.forcing).unwrap().discharge_m3s.peak().unwrap().1;
 
     let compacted_params = Scenario::CompactedSoils.apply_to_topmodel(&base);
-    let compacted_peak = s
-        .model
-        .run(&compacted_params, &s.forcing)
-        .unwrap()
-        .discharge_m3s
-        .peak()
-        .unwrap()
-        .1;
+    let compacted_peak =
+        s.model.run(&compacted_params, &s.forcing).unwrap().discharge_m3s.peak().unwrap().1;
     let scenario_effect = (compacted_peak - baseline_peak).abs();
 
     let jittered = TopmodelParams { m: base.m * 1.01, ..base };
-    let jitter_peak = s
-        .model
-        .run(&jittered, &s.forcing)
-        .unwrap()
-        .discharge_m3s
-        .peak()
-        .unwrap()
-        .1;
+    let jitter_peak = s.model.run(&jittered, &s.forcing).unwrap().discharge_m3s.peak().unwrap().1;
     let jitter_effect = (jitter_peak - baseline_peak).abs();
 
     assert!(

@@ -33,16 +33,10 @@ fn broker_survives_four_hours_of_random_failures() {
         broker.advance(SimDuration::from_secs(300));
     }
 
-    let detections = broker
-        .events()
-        .iter()
-        .filter(|e| matches!(e, BrokerEvent::FailureDetected { .. }))
-        .count();
-    let migrations = broker
-        .events()
-        .iter()
-        .filter(|e| matches!(e, BrokerEvent::SessionMigrated { .. }))
-        .count();
+    let detections =
+        broker.events().iter().filter(|e| matches!(e, BrokerEvent::FailureDetected { .. })).count();
+    let migrations =
+        broker.events().iter().filter(|e| matches!(e, BrokerEvent::SessionMigrated { .. })).count();
     assert!(
         detections >= 3,
         "30-minute MTBF over 4 hours must produce several failures, saw {detections}"
@@ -87,10 +81,7 @@ fn broker_survives_four_hours_of_random_failures() {
             .count();
         (c + done, l + gone)
     });
-    assert!(
-        completed > lost * 3,
-        "service must dominate: {completed} completed vs {lost} lost"
-    );
+    assert!(completed > lost * 3, "service must dominate: {completed} completed vs {lost} lost");
 }
 
 #[test]

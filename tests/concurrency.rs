@@ -20,10 +20,8 @@ fn sixteen_threads_hammer_the_portal_api() {
     let evop = Arc::new(Evop::builder().seed(11).days(10).build());
     let router = portal_api(Arc::clone(&evop));
 
-    let reference: Value = router
-        .dispatch(&Request::get("/catchments/morland/sensors"))
-        .json_body()
-        .unwrap();
+    let reference: Value =
+        router.dispatch(&Request::get("/catchments/morland/sensors")).json_body().unwrap();
 
     let handles: Vec<_> = (0..16)
         .map(|t| {
@@ -39,8 +37,8 @@ fn sixteen_threads_hammer_the_portal_api() {
                         .expect("json");
                     assert_eq!(sensors, expected, "thread {t} iteration {i} diverged");
 
-                    let latest = replica
-                        .dispatch(&Request::get("/sensors/morland-stage-outlet/latest"));
+                    let latest =
+                        replica.dispatch(&Request::get("/sensors/morland-stage-outlet/latest"));
                     assert!(latest.status().is_success());
                 }
             })
@@ -99,9 +97,7 @@ fn duplex_channels_work_across_threads() {
 
     let producer = thread::spawn(move || {
         for i in 0..500 {
-            server
-                .send(Message::new("session-update", json!({ "seq": i })))
-                .expect("client alive");
+            server.send(Message::new("session-update", json!({ "seq": i }))).expect("client alive");
         }
         server.stats().sent_messages
     });

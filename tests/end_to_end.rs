@@ -3,17 +3,17 @@
 //! tests to examine full features that span several components" of the
 //! paper's verification cycle (§V-A).
 
+use evop::broker::SessionState;
 use evop::data::catalog::Query;
 use evop::data::sensors::SensorKind;
-use evop::data::{Catchment, SensorId, Timestamp};
+use evop::data::{Catchment, SensorId};
 use evop::models::scenarios::Scenario;
-use evop::portal::widgets::{ModelChoice, MultimodalWidget, TimeSeriesWidget};
 use evop::portal::render::{line_chart, sparkline};
+use evop::portal::widgets::{ModelChoice, MultimodalWidget, TimeSeriesWidget};
 use evop::services::sos::GetObservation;
 use evop::services::wps::ExecStatus;
 use evop::services::xml::Element;
 use evop::sim::SimDuration;
-use evop::broker::SessionState;
 use evop::Evop;
 
 fn observatory() -> Evop {
@@ -49,12 +49,8 @@ fn villager_checks_flood_risk_end_to_end() {
     assert_eq!(comparison.len(), 1);
 
     // 5. The hydrograph renders with the threshold line for interpretation.
-    let chart = line_chart(
-        &modelling.runs()[0].discharge,
-        70,
-        12,
-        Some(modelling.flood_threshold_m3s()),
-    );
+    let chart =
+        line_chart(&modelling.runs()[0].discharge, 70, 12, Some(modelling.flood_threshold_m3s()));
     assert!(chart.contains('*') && chart.contains('-'));
 }
 
@@ -67,11 +63,8 @@ fn scientist_uses_standards_compliant_wps_xml() {
     let wps = evop.wps(&id).unwrap();
 
     let caps = wps.get_capabilities();
-    let offered: Vec<String> = caps
-        .find_all("ows:Identifier")
-        .iter()
-        .map(|e| e.text_content())
-        .collect();
+    let offered: Vec<String> =
+        caps.find_all("ows:Identifier").iter().map(|e| e.text_content()).collect();
     assert!(offered.contains(&"topmodel".to_owned()));
     assert!(offered.contains(&"fuse".to_owned()));
 
@@ -107,9 +100,7 @@ fn async_wps_execution_with_status_polling() {
     let mut evop = observatory();
     let id = evop.catchments()[0].id().clone();
     let wps = evop.wps_mut(&id).unwrap();
-    let job = wps
-        .execute_async("topmodel", serde_json::json!({"scenario": "baseline"}))
-        .unwrap();
+    let job = wps.execute_async("topmodel", serde_json::json!({"scenario": "baseline"})).unwrap();
     assert_eq!(wps.status(job).unwrap(), ExecStatus::Accepted);
     assert_eq!(wps.process_pending(), 1);
     match wps.status(job).unwrap() {
@@ -138,18 +129,9 @@ fn consultant_explores_multimodal_history() {
     let (peak_idx, _) = q.peak().unwrap();
     let (low_idx, _) = q.trough().unwrap();
     let murk_at = |idx: usize| {
-        widget
-            .at(evop.sos(), q.time_at(idx))
-            .frame
-            .expect("frame within tolerance")
-            .murkiness()
+        widget.at(evop.sos(), q.time_at(idx)).frame.expect("frame within tolerance").murkiness()
     };
-    assert!(
-        murk_at(peak_idx) > murk_at(low_idx),
-        "{} vs {}",
-        murk_at(peak_idx),
-        murk_at(low_idx)
-    );
+    assert!(murk_at(peak_idx) > murk_at(low_idx), "{} vs {}", murk_at(peak_idx), murk_at(low_idx));
 }
 
 #[test]
@@ -164,13 +146,8 @@ fn policy_maker_compares_scenarios_through_the_widget() {
     }
     let table = widget.compare();
     assert_eq!(table.len(), 5);
-    let peak = |label: &str| {
-        table
-            .iter()
-            .find(|(l, _)| l == label)
-            .map(|(_, m)| m.peak_m3s)
-            .unwrap()
-    };
+    let peak =
+        |label: &str| table.iter().find(|(l, _)| l == label).map(|(_, m)| m.peak_m3s).unwrap();
     assert!(peak("compacted-soils") > peak("baseline"));
     assert!(peak("afforestation") < peak("baseline"));
 
@@ -196,10 +173,7 @@ fn catalogue_discovery_feeds_sos_queries() {
     // Use a hit's time range to drive a real SOS query.
     let meta = hits[0];
     let (begin, end) = meta.time_range().unwrap();
-    let sensor = SensorId::new(format!(
-        "{}-turb-1",
-        meta.id().trim_end_matches("-turbidity")
-    ));
+    let sensor = SensorId::new(format!("{}-turb-1", meta.id().trim_end_matches("-turbidity")));
     let observations = evop
         .sos()
         .get_observation(&GetObservation { procedure: sensor, begin, end, max_results: Some(10) })
@@ -239,12 +213,7 @@ fn broker_serves_portal_sessions_against_real_models() {
         .broker()
         .cloud()
         .instances()
-        .map(|i| {
-            i.jobs()
-                .iter()
-                .filter(|j| j.latency().is_some())
-                .count()
-        })
+        .map(|i| i.jobs().iter().filter(|j| j.latency().is_some()).count())
         .sum();
     assert!(total_completed >= 12, "completed {total_completed}");
 }

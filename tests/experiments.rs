@@ -2,10 +2,10 @@
 //! asserting the *shape* of each result — who wins, in which direction,
 //! and where the crossovers fall (absolute numbers live in the benches).
 
-use evop::experiments::*;
-use evop::sim::SimDuration;
 use evop::cloud::FailureMode;
 use evop::data::Catchment;
+use evop::experiments::*;
+use evop::sim::SimDuration;
 
 #[test]
 fn e1_fig1_end_to_end_dataflow() {
@@ -77,10 +77,7 @@ fn e4_signatures_match_paper_wording() {
     let hang = e4_failure_recovery(FailureMode::Hang, 3, 5);
     assert_eq!(hang.signature.as_deref(), Some("sustained CPU saturation"));
     let blackhole = e4_failure_recovery(FailureMode::NetworkBlackhole, 3, 5);
-    assert_eq!(
-        blackhole.signature.as_deref(),
-        Some("inbound traffic with zero outbound")
-    );
+    assert_eq!(blackhole.signature.as_deref(), Some("inbound traffic with zero outbound"));
 }
 
 #[test]

@@ -1,0 +1,99 @@
+//! Observability integration: one portal request yields one connected
+//! trace, the metrics surface covers every layer, and the whole telemetry
+//! output is deterministic — two same-seed runs export byte-identical
+//! trace JSON. Attaching the instruments never changes a measured result.
+
+use evop::cloud::FailureMode;
+use evop::experiments::{
+    e1_dataflow_traced, e3_cloudburst, e3_cloudburst_traced, e4_failure_recovery,
+    e4_failure_recovery_traced,
+};
+
+#[test]
+fn same_seed_runs_export_byte_identical_telemetry() {
+    let (r1, c1) = e1_dataflow_traced(42);
+    let (r2, c2) = e1_dataflow_traced(42);
+    assert_eq!(r1, r2, "measured results are seed-deterministic");
+    assert_eq!(c1.trace_id, c2.trace_id);
+    assert_eq!(c1.trace_json, c2.trace_json, "trace JSON must be byte-identical");
+    assert_eq!(
+        c1.metrics.to_string(),
+        c2.metrics.to_string(),
+        "metrics snapshots must be byte-identical"
+    );
+    assert_eq!(c1.ascii(), c2.ascii());
+}
+
+#[test]
+fn e1_request_is_one_connected_trace() {
+    let (_, capture) = e1_dataflow_traced(42);
+
+    // Every span sits on the root's trace, and every parent pointer
+    // resolves inside the capture: a single tree, no orphans.
+    assert!(capture.spans.iter().all(|s| s.trace_id == capture.trace_id));
+    let roots: Vec<_> = capture.spans.iter().filter(|s| s.parent.is_none()).collect();
+    assert_eq!(roots.len(), 1, "exactly one root:\n{}", capture.ascii());
+    assert_eq!(roots[0].name, "e1.request");
+    for span in &capture.spans {
+        if let Some(parent) = span.parent {
+            assert!(
+                capture.spans.iter().any(|s| s.span_id == parent),
+                "span {} dangles off an unknown parent:\n{}",
+                span.name,
+                capture.ascii()
+            );
+        }
+    }
+
+    // The timeline covers every layer of the Fig. 1 pipeline.
+    let names: Vec<&str> = capture.spans.iter().map(|s| s.name.as_str()).collect();
+    assert!(names.contains(&"broker.connect"), "{names:?}");
+    assert!(names.contains(&"session.bind"), "{names:?}");
+    assert!(names.iter().any(|n| n.starts_with("instance.boot")), "{names:?}");
+    assert!(names.contains(&"model.run topmodel"), "{names:?}");
+    assert!(names.contains(&"http POST /catchments/{id}/processes/{process}/execute"), "{names:?}");
+    assert!(names.contains(&"wps.execute topmodel"), "{names:?}");
+
+    // Timestamps are SimTime, so children start within their parent's
+    // window (the boot span starts at the placement, not wall-clock now).
+    let root_start = roots[0].start;
+    assert!(capture.spans.iter().all(|s| s.start >= root_start));
+}
+
+#[test]
+fn metrics_snapshot_covers_every_layer() {
+    let (_, capture) = e1_dataflow_traced(42);
+    let counters = capture.metrics["counters"].as_object().expect("counters section");
+    for family in [
+        "router_requests_total",
+        "wps_executions_total",
+        "broker_placements_total",
+        "broker_binds_total",
+        "cloud_launches_total",
+        "cloud_state_transitions_total",
+        "cloud_jobs_completed_total",
+    ] {
+        assert!(
+            counters.keys().any(|k| k.starts_with(family)),
+            "missing {family} in {:?}",
+            counters.keys().collect::<Vec<_>>()
+        );
+    }
+    let gauges = capture.metrics["gauges"].as_object().expect("gauges section");
+    assert!(
+        gauges.keys().any(|k| k.starts_with("cloud_cost_total")),
+        "per-provider billing gauges missing"
+    );
+    let histograms = capture.metrics["histograms"].as_object().expect("histograms section");
+    assert!(histograms.keys().any(|k| k.starts_with("broker_activation_wait_seconds")));
+    assert!(histograms.keys().any(|k| k.starts_with("cloud_job_latency_seconds")));
+}
+
+#[test]
+fn tracing_does_not_change_e3_or_e4_results() {
+    assert_eq!(e3_cloudburst(40, 7), e3_cloudburst_traced(40, 7).0);
+    assert_eq!(
+        e4_failure_recovery(FailureMode::Hang, 6, 3),
+        e4_failure_recovery_traced(FailureMode::Hang, 6, 3).0
+    );
+}

@@ -197,7 +197,7 @@ proptest! {
         let kernel = triangular_kernel(tp, 1.0);
         // Pad so the kernel tail stays inside the output.
         let mut padded = runoff.clone();
-        padded.extend(std::iter::repeat(0.0).take(kernel.len()));
+        padded.extend(std::iter::repeat_n(0.0, kernel.len()));
         let routed = convolve(&padded, &kernel);
         let in_mass: f64 = runoff.iter().sum();
         let out_mass: f64 = routed.iter().sum();

@@ -1,0 +1,204 @@
+//! Vendored minimal substitute for `criterion`.
+//!
+//! Keeps the macro and builder surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, and
+//! `Bencher::iter`) but runs each benchmark for a small fixed number of
+//! iterations and prints a single timing line. Good enough to keep
+//! `cargo bench` compiling and producing comparable smoke numbers
+//! without the statistics engine.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `function/parameter`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    /// Builds an id from just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> BenchmarkId {
+        BenchmarkId { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(id: &String) -> BenchmarkId {
+        BenchmarkId { id: id.clone() }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` for a fixed number of iterations, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call, then the timed batch.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        let per_iter = elapsed / u32::try_from(self.iterations).unwrap_or(u32::MAX);
+        println!("    {} iterations in {elapsed:?} ({per_iter:?}/iter)", self.iterations);
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { _criterion: self, name, iterations: 3 }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<ID, F>(&mut self, id: ID, mut f: F) -> &mut Criterion
+    where
+        ID: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        println!("bench {id}");
+        let mut bencher = Bencher { iterations: 3 };
+        f(&mut bencher);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    iterations: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; scales the fixed iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iterations = (n as u64 / 3).max(1).min(10);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<ID, F>(&mut self, id: ID, mut f: F) -> &mut Self
+    where
+        ID: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        println!("  bench {}/{}", self.name, id);
+        let mut bencher = Bencher { iterations: self.iterations };
+        f(&mut bencher);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        println!("  bench {}/{}", self.name, id);
+        let mut bencher = Bencher { iterations: self.iterations };
+        f(&mut bencher, input);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates the bench `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(7u64) * 6));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn macros_and_groups_run() {
+        benches();
+    }
+}

@@ -1,0 +1,419 @@
+//! Vendored minimal subset of the `rand` crate: the `RngCore`,
+//! `SeedableRng` and `Rng` traits plus uniform sampling for the primitive
+//! types the workspace draws.
+//!
+//! Only the API surface the workspace actually uses is provided; the
+//! statistical quality comes from the backing generator (ChaCha8 in this
+//! workspace), which implements [`RngCore`].
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Error type for fallible generator operations.
+///
+/// The workspace's generators are infallible; this exists to satisfy the
+/// `try_fill_bytes` signature.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Error {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+
+    /// Fills `dest` with random bytes, fallibly.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the generators in this workspace.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with a PCG32
+    /// sequence exactly as upstream `rand_core` 0.6 does, so seeds
+    /// produce the same key material as the real crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let bytes = x.to_le_bytes();
+            for (dst, src) in chunk.iter_mut().zip(bytes) {
+                *dst = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable uniformly over their "standard" domain (`[0, 1)` for
+/// floats, the full range for integers, fair coin for `bool`).
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits, uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($ty:ty => $src:ident),+ $(,)?) => {
+        $(impl StandardSample for $ty {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $ty {
+                rng.$src() as $ty
+            }
+        })+
+    };
+}
+
+standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32, i64 => next_u64, isize => next_u64,
+);
+
+/// Ranges that can produce one uniform sample.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// Integer range sampling replicates upstream rand 0.8's
+// `UniformInt::sample_single`: widening multiply with zone rejection,
+// drawing one value of the width class's "large" unsigned type per
+// attempt ($u32 for 8/16/32-bit targets, u64 for 64-bit) so the
+// generator stream position matches the real crate draw for draw.
+macro_rules! range_int_32 {
+    ($($ty:ty => $uty:ty),+ $(,)?) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let range = (self.end as $uty).wrapping_sub(self.start as $uty) as u32;
+                    sample_lemire_32(rng, range, <$uty>::MAX as u32 <= u16::MAX as u32).map_or_else(
+                        || <$ty as StandardSample>::sample_standard(rng),
+                        |offset| (self.start as $uty).wrapping_add(offset as $uty) as $ty,
+                    )
+                }
+            }
+
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (start, end) = self.into_inner();
+                    assert!(start <= end, "cannot sample empty range");
+                    let range = ((end as $uty).wrapping_sub(start as $uty) as u32).wrapping_add(1);
+                    sample_lemire_32(rng, range, <$uty>::MAX as u32 <= u16::MAX as u32).map_or_else(
+                        || <$ty as StandardSample>::sample_standard(rng),
+                        |offset| (start as $uty).wrapping_add(offset as $uty) as $ty,
+                    )
+                }
+            }
+        )+
+    };
+}
+
+macro_rules! range_int_64 {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let range = (self.end as u64).wrapping_sub(self.start as u64);
+                    sample_lemire_64(rng, range).map_or_else(
+                        || <$ty as StandardSample>::sample_standard(rng),
+                        |offset| (self.start as u64).wrapping_add(offset) as $ty,
+                    )
+                }
+            }
+
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (start, end) = self.into_inner();
+                    assert!(start <= end, "cannot sample empty range");
+                    let range = ((end as u64).wrapping_sub(start as u64)).wrapping_add(1);
+                    sample_lemire_64(rng, range).map_or_else(
+                        || <$ty as StandardSample>::sample_standard(rng),
+                        |offset| (start as u64).wrapping_add(offset) as $ty,
+                    )
+                }
+            }
+        )+
+    };
+}
+
+range_int_32!(u8 => u8, u16 => u16, u32 => u32, i8 => u8, i16 => u16, i32 => u32);
+range_int_64!(u64, usize, i64, isize);
+
+/// Widening-multiply rejection sampling over a 32-bit draw; `None`
+/// signals a zero `range` (full-width inclusive range). `narrow_type`
+/// selects upstream's modulo-derived zone used for sub-u32 targets.
+fn sample_lemire_32<R: RngCore + ?Sized>(
+    rng: &mut R,
+    range: u32,
+    narrow_type: bool,
+) -> Option<u32> {
+    if range == 0 {
+        return None;
+    }
+    let zone = if narrow_type {
+        let ints_to_reject = (u32::MAX - range + 1) % range;
+        u32::MAX - ints_to_reject
+    } else {
+        (range << range.leading_zeros()).wrapping_sub(1)
+    };
+    loop {
+        let v = rng.next_u32();
+        let m = u64::from(v) * u64::from(range);
+        let (hi, lo) = ((m >> 32) as u32, m as u32);
+        if lo <= zone {
+            return Some(hi);
+        }
+    }
+}
+
+/// Widening-multiply rejection sampling over a 64-bit draw; `None`
+/// signals a zero `range` (full-width inclusive range).
+fn sample_lemire_64<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> Option<u64> {
+    if range == 0 {
+        return None;
+    }
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = u128::from(v) * u128::from(range);
+        let (hi, lo) = ((m >> 64) as u64, m as u64);
+        if lo <= zone {
+            return Some(hi);
+        }
+    }
+}
+
+// Float range sampling replicates upstream rand 0.8's
+// `UniformFloat::sample_single`: a value in [1, 2) built from mantissa
+// bits, shifted to [0, 1), then scaled — FMA-compatible ordering.
+impl SampleRange<f64> for Range<f64> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let scale = self.end - self.start;
+        loop {
+            let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+        let value0_1 = value1_2 - 1.0;
+        value0_1 * (end - start) + start
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let scale = self.end - self.start;
+        loop {
+            let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f32> for RangeInclusive<f32> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+        let value0_1 = value1_2 - 1.0;
+        value0_1 * (end - start) + start
+    }
+}
+
+/// Convenience extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the type's standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+
+    /// Bernoulli draw with probability `p` (upstream's fixed-point
+    /// comparison against one 64-bit draw).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        if p >= 1.0 {
+            return true;
+        }
+        let p_int = (p * (2.0 * (1u64 << 63) as f64)) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                for (dst, src) in chunk.iter_mut().zip(bytes) {
+                    *dst = src;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Counter(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+            let f = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+}

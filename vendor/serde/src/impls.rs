@@ -1,0 +1,297 @@
+//! `Serialize`/`Deserialize` implementations for primitives and the
+//! standard containers the workspace serializes.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::de::Error;
+use crate::json::{Map, Number, Value};
+use crate::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for Number {
+    fn to_value(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! serialize_int {
+    ($($ty:ty),+ $(,)?) => {
+        $(impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from(*self))
+            }
+        })+
+    };
+}
+
+serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::from(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::from(f64::from(*self))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (key, value) in self {
+            map.insert(key.clone(), value.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (key, value) in self {
+            map.insert(key.clone(), value.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<V: Serialize> Serialize for Map<String, V> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (key, value) in self.iter() {
+            map.insert(key.clone(), value.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Value, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<bool, Error> {
+        value.as_bool().ok_or_else(|| Error::custom("expected a boolean"))
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($ty:ty),+ $(,)?) => {
+        $(impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<$ty, Error> {
+                let n = value
+                    .as_i64()
+                    .map(i128::from)
+                    .or_else(|| value.as_u64().map(i128::from))
+                    .ok_or_else(|| Error::custom(concat!("expected an integer for ", stringify!($ty))))?;
+                <$ty>::try_from(n)
+                    .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($ty))))
+            }
+        })+
+    };
+}
+
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<f64, Error> {
+        if value.is_null() {
+            // Non-finite floats serialize as null; accept the round trip.
+            return Ok(f64::NAN);
+        }
+        value.as_f64().ok_or_else(|| Error::custom("expected a number"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<f32, Error> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<String, Error> {
+        value.as_str().map(str::to_owned).ok_or_else(|| Error::custom("expected a string"))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<char, Error> {
+        let s = value.as_str().ok_or_else(|| Error::custom("expected a string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single character")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Box<T>, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Option<T>, Error> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(value).map(Some)
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Vec<T>, Error> {
+        let items = value.as_array().ok_or_else(|| Error::custom("expected an array"))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<BTreeSet<T>, Error> {
+        let items = value.as_array().ok_or_else(|| Error::custom("expected an array"))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<(A, B), Error> {
+        let items = value.as_array().ok_or_else(|| Error::custom("expected an array"))?;
+        if items.len() != 2 {
+            return Err(Error::custom("expected an array of length 2"));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<(A, B, C), Error> {
+        let items = value.as_array().ok_or_else(|| Error::custom("expected an array"))?;
+        if items.len() != 3 {
+            return Err(Error::custom("expected an array of length 3"));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?, C::from_value(&items[2])?))
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<BTreeMap<String, V>, Error> {
+        let object = value.as_object().ok_or_else(|| Error::custom("expected an object"))?;
+        object.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<HashMap<String, V>, Error> {
+        let object = value.as_object().ok_or_else(|| Error::custom("expected an object"))?;
+        object.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for Map<String, V> {
+    fn from_value(value: &Value) -> Result<Map<String, V>, Error> {
+        let object = value.as_object().ok_or_else(|| Error::custom("expected an object"))?;
+        object.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+    }
+}

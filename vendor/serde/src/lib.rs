@@ -1,0 +1,74 @@
+//! Vendored minimal substitute for `serde`, built around a JSON value tree.
+//!
+//! The real serde is a zero-copy serialization *framework*; this vendored
+//! stand-in collapses it to the one concrete use the workspace has: moving
+//! plain Rust data structures to and from JSON [`json::Value`] trees. The
+//! `Serialize`/`Deserialize` traits therefore convert directly to/from
+//! [`json::Value`], and the companion `serde_json` crate supplies text
+//! encoding on top. Derive macros come from the vendored `serde_derive`
+//! when the `derive` feature is enabled.
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+
+mod impls;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be converted into a JSON value tree.
+pub trait Serialize {
+    /// Converts `self` to a [`json::Value`].
+    fn to_value(&self) -> json::Value;
+}
+
+/// A type that can be reconstructed from a JSON value tree.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a [`json::Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`de::Error`] when the value's shape does not match.
+    fn from_value(value: &json::Value) -> Result<Self, de::Error>;
+}
+
+/// Deserialization support types.
+pub mod de {
+    use std::fmt;
+
+    pub use crate::Deserialize;
+
+    /// A deserialization (or JSON parse) error.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// Creates an error from any displayable message.
+        pub fn custom(msg: impl fmt::Display) -> Error {
+            Error { msg: msg.to_string() }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Marker for types deserializable without borrowing from the input.
+    ///
+    /// The vendored `Deserialize` never borrows, so this is a blanket alias.
+    pub trait DeserializeOwned: Deserialize {}
+
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Serialization support types.
+pub mod ser {
+    pub use crate::Serialize;
+}

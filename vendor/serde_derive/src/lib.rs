@@ -1,0 +1,446 @@
+//! Vendored minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! macros for the vendored value-based serde.
+//!
+//! Written without `syn`/`quote`: the input item is parsed directly from
+//! the token stream and the generated impl is assembled as source text.
+//! Supports exactly the shapes this workspace derives on: non-generic
+//! structs with named fields, tuple/newtype structs (including
+//! `#[serde(transparent)]`), and enums whose variants are units, named
+//! structs, or tuples. Enums use serde's externally-tagged representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct { fields: Vec<String>, transparent: bool },
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum { variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives the vendored value-based `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_serialize(&parsed).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored value-based `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    generate_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Consumes leading `#[...]` attributes, reporting whether any was
+/// `#[serde(transparent)]`.
+fn skip_attributes(tokens: &[TokenTree], mut pos: usize) -> (usize, bool) {
+    let mut transparent = false;
+    while pos + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[pos] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(group) = &tokens[pos + 1] else { break };
+        if group.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(name)) = inner.first() {
+            if name.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    let has_transparent = args.stream().into_iter().any(
+                        |t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "transparent"),
+                    );
+                    transparent = transparent || has_transparent;
+                }
+            }
+        }
+        pos += 2;
+    }
+    (pos, transparent)
+}
+
+/// Consumes an optional `pub` / `pub(crate)` / `pub(in ...)` prefix.
+fn skip_visibility(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(pos) {
+        if ident.to_string() == "pub" {
+            pos += 1;
+            if let Some(TokenTree::Group(group)) = tokens.get(pos) {
+                if group.delimiter() == Delimiter::Parenthesis {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    pos
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (pos, transparent) = skip_attributes(&tokens, 0);
+    let pos = skip_visibility(&tokens, pos);
+
+    let TokenTree::Ident(keyword) = &tokens[pos] else {
+        panic!("expected `struct` or `enum`, got {:?}", tokens[pos]);
+    };
+    let keyword = keyword.to_string();
+    let TokenTree::Ident(name) = &tokens[pos + 1] else {
+        panic!("expected the type name after `{keyword}`");
+    };
+    let name = name.to_string();
+    let body = tokens.get(pos + 2);
+
+    let kind = match (keyword.as_str(), body) {
+        ("struct", Some(TokenTree::Group(group))) if group.delimiter() == Delimiter::Brace => {
+            Kind::NamedStruct { fields: parse_named_fields(group.stream()), transparent }
+        }
+        ("struct", Some(TokenTree::Group(group)))
+            if group.delimiter() == Delimiter::Parenthesis =>
+        {
+            Kind::TupleStruct { arity: count_tuple_fields(group.stream()) }
+        }
+        ("struct", _) => Kind::UnitStruct,
+        ("enum", Some(TokenTree::Group(group))) if group.delimiter() == Delimiter::Brace => {
+            Kind::Enum { variants: parse_variants(group.stream()) }
+        }
+        _ => panic!("derive only supports plain structs and enums (type `{name}`)"),
+    };
+    Input { name, kind }
+}
+
+/// Parses `field: Type, ...` lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (next, _) = skip_attributes(&tokens, pos);
+        let next = skip_visibility(&tokens, next);
+        if next >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(field) = &tokens[next] else {
+            panic!("expected a field name, got {:?}", tokens[next]);
+        };
+        fields.push(field.to_string());
+        // Skip past `:` and the type, to the next top-level comma. Type
+        // tokens may contain commas inside `<...>` generic argument lists,
+        // which appear as plain punctuation, so track angle depth.
+        let mut angle_depth = 0i32;
+        pos = next + 1;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated entries in a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = true;
+    for token in &tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+            }
+            _ => saw_tokens_since_comma = true,
+        }
+    }
+    if !saw_tokens_since_comma {
+        // Trailing comma.
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let (next, _) = skip_attributes(&tokens, pos);
+        if next >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[next] else {
+            panic!("expected a variant name, got {:?}", tokens[next]);
+        };
+        let name = name.to_string();
+        pos = next + 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Named(parse_named_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantShape::Tuple(count_tuple_fields(group.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip to past the separating comma (tolerates explicit
+        // discriminants, which the workspace does not use).
+        while pos < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[pos] {
+                if p.as_char() == ',' {
+                    pos += 1;
+                    break;
+                }
+            }
+            pos += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn generate_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct { fields, transparent: true } => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+        }
+        Kind::NamedStruct { fields, transparent: false } => {
+            let mut code = String::from("let mut __map = ::serde::json::Map::new();\n");
+            for field in fields {
+                code.push_str(&format!(
+                    "__map.insert(::std::string::String::from(\"{field}\"), \
+                     ::serde::Serialize::to_value(&self.{field}));\n"
+                ));
+            }
+            code.push_str("::serde::json::Value::Object(__map)");
+            code
+        }
+        Kind::TupleStruct { arity: 1 } => String::from("::serde::Serialize::to_value(&self.0)"),
+        Kind::TupleStruct { arity } => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::json::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => String::from("::serde::json::Value::Null"),
+        Kind::Enum { variants } => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::json::Value::String(\
+                         ::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantShape::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        let mut inner =
+                            String::from("let mut __inner = ::serde::json::Map::new();\n");
+                        for field in fields {
+                            inner.push_str(&format!(
+                                "__inner.insert(::std::string::String::from(\"{field}\"), \
+                                 ::serde::Serialize::to_value({field}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {bindings} }} => {{\n{inner}\
+                             let mut __map = ::serde::json::Map::new();\n\
+                             __map.insert(::std::string::String::from(\"{vname}\"), \
+                             ::serde::json::Value::Object(__inner));\n\
+                             ::serde::json::Value::Object(__map)\n}},\n"
+                        ));
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let bindings: Vec<String> =
+                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            String::from("::serde::Serialize::to_value(__f0)")
+                        } else {
+                            let items: Vec<String> = bindings
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "::serde::json::Value::Array(::std::vec![{}])",
+                                items.join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut __map = ::serde::json::Map::new();\n\
+                             __map.insert(::std::string::String::from(\"{vname}\"), {payload});\n\
+                             ::serde::json::Value::Object(__map)\n}},\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::json::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct { fields, transparent: true } => {
+            format!(
+                "::std::result::Result::Ok({name} {{ {}: ::serde::Deserialize::from_value(__value)? }})",
+                fields[0]
+            )
+        }
+        Kind::NamedStruct { fields, transparent: false } => {
+            let mut inits = String::new();
+            for field in fields {
+                inits.push_str(&format!(
+                    "{field}: ::serde::Deserialize::from_value(\
+                     __object.get(\"{field}\").unwrap_or(&::serde::json::Value::Null))?,\n"
+                ));
+            }
+            format!(
+                "let __object = __value.as_object().ok_or_else(|| \
+                 ::serde::de::Error::custom(\"{name}: expected an object\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Kind::TupleStruct { arity: 1 } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Kind::TupleStruct { arity } => {
+            let mut items = String::new();
+            for i in 0..*arity {
+                items.push_str(&format!("::serde::Deserialize::from_value(&__items[{i}])?,\n"));
+            }
+            format!(
+                "let __items = __value.as_array().ok_or_else(|| \
+                 ::serde::de::Error::custom(\"{name}: expected an array\"))?;\n\
+                 if __items.len() != {arity} {{\n\
+                 return ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"{name}: expected an array of length {arity}\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum { variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantShape::Named(fields) => {
+                        let mut inits = String::new();
+                        for field in fields {
+                            inits.push_str(&format!(
+                                "{field}: ::serde::Deserialize::from_value(\
+                                 __inner.get(\"{field}\")\
+                                 .unwrap_or(&::serde::json::Value::Null))?,\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __inner = __payload.as_object().ok_or_else(|| \
+                             ::serde::de::Error::custom(\"{name}::{vname}: expected an object\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n{inits}}})\n}},\n"
+                        ));
+                    }
+                    VariantShape::Tuple(arity) => {
+                        if *arity == 1 {
+                            data_arms.push_str(&format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(__payload)?)),\n"
+                            ));
+                        } else {
+                            let mut items = String::new();
+                            for i in 0..*arity {
+                                items.push_str(&format!(
+                                    "::serde::Deserialize::from_value(&__items[{i}])?,\n"
+                                ));
+                            }
+                            data_arms.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                 let __items = __payload.as_array().ok_or_else(|| \
+                                 ::serde::de::Error::custom(\"{name}::{vname}: expected an array\"))?;\n\
+                                 if __items.len() != {arity} {{\n\
+                                 return ::std::result::Result::Err(::serde::de::Error::custom(\
+                                 \"{name}::{vname}: wrong tuple length\"));\n}}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({items}))\n}},\n"
+                            ));
+                        }
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::json::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"{name}: unknown variant {{__other}}\"))),\n}},\n\
+                 ::serde::json::Value::Object(__map) => {{\n\
+                 let (__tag, __payload) = __map.iter().next().ok_or_else(|| \
+                 ::serde::de::Error::custom(\"{name}: expected a variant object\"))?;\n\
+                 let __payload: &::serde::json::Value = __payload;\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"{name}: unknown variant {{__other}}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"{name}: expected a string or object\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::json::Value) \
+         -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,286 @@
+//! Vendored minimal substitute for `serde_json`.
+//!
+//! Re-exports the JSON value model that lives in the vendored `serde`
+//! crate and adds the familiar function surface (`to_string`,
+//! `from_str`, `to_value`, `from_value`, ...) plus the `json!` macro.
+//! Object keys are stored in a `BTreeMap`, so all rendered output has
+//! deterministically sorted keys.
+
+#![forbid(unsafe_code)]
+
+pub use serde::de::Error;
+pub use serde::json::{Map, Number, Value};
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Never fails in this vendored implementation; the `Result` mirrors the
+/// upstream signature.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the value's shape does not match `T`.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, Error> {
+    T::from_value(&value)
+}
+
+/// Renders a serializable value as compact JSON text.
+///
+/// # Errors
+///
+/// Never fails in this vendored implementation.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_string(&value.to_value()))
+}
+
+/// Renders a serializable value as pretty-printed JSON text.
+///
+/// # Errors
+///
+/// Never fails in this vendored implementation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_string_pretty(&value.to_value()))
+}
+
+/// Renders a serializable value as compact JSON bytes.
+///
+/// # Errors
+///
+/// Never fails in this vendored implementation.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses JSON text into a typed value.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T, Error> {
+    let value = serde::json::parse(text)?;
+    T::from_value(&value)
+}
+
+/// Parses JSON bytes into a typed value.
+///
+/// # Errors
+///
+/// Returns [`Error`] on invalid UTF-8, malformed JSON, or a shape mismatch.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|_| Error::custom("invalid UTF-8 in JSON"))?;
+    from_str(text)
+}
+
+#[doc(hidden)]
+pub fn to_value_macro_helper<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Constructs a [`Value`] from a JSON literal.
+///
+/// ```
+/// let v = serde_json::json!({ "name": "eden", "sensors": [1, 2, 3] });
+/// assert_eq!(v["sensors"][1], 2);
+/// ```
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => {
+        $crate::json_internal!($($json)+)
+    };
+    () => {
+        compile_error!("json! requires a JSON value")
+    };
+}
+
+// The tt-muncher below follows the structure of upstream serde_json's
+// `json_internal!`: array elements and object entries are munched token
+// by token because nested `{...}` / `[...]` literals are not valid Rust
+// expressions and cannot be captured as `$value:expr`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ----- arrays: accumulate elements into [$($elems:expr,)*] -----
+    (@array [$($elems:expr,)*]) => {
+        $crate::json_internal_vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        $crate::json_internal_vec![$($elems),*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+    (@array [$($elems:expr),*] $unexpected:tt $($rest:tt)*) => {
+        $crate::json_unexpected!($unexpected)
+    };
+
+    // ----- objects: munch a key, then its value, inserting into $object -----
+    (@object $object:ident () () ()) => {};
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr) $unexpected:tt $($rest:tt)*) => {
+        $crate::json_unexpected!($unexpected);
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    (@object $object:ident ($($key:tt)+) (:) $copy:tt) => {
+        // Missing value for the last entry.
+        $crate::json_internal!();
+    };
+    (@object $object:ident ($($key:tt)+) () $copy:tt) => {
+        // Missing colon.
+        $crate::json_internal!();
+    };
+    (@object $object:ident () (: $($rest:tt)*) ($colon:tt $($copy:tt)*)) => {
+        // Missing key.
+        $crate::json_unexpected!($colon);
+    };
+    (@object $object:ident ($($key:tt)*) (, $($rest:tt)*) ($comma:tt $($copy:tt)*)) => {
+        // Comma inside a key.
+        $crate::json_unexpected!($comma);
+    };
+    (@object $object:ident () (($key:expr) : $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($key) (: $($rest)*) (: $($rest)*));
+    };
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    // ----- primary entry points -----
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array($crate::json_internal_vec![])
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => {
+        $crate::to_value_macro_helper(&$other)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_vec {
+    ($($content:tt)*) => {
+        vec![$($content)*]
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_unexpected {
+    () => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let name = "eden";
+        let value = json!({
+            "catchment": name,
+            "sensors": [1, 2, 3],
+            "nested": { "ok": true, "ratio": 0.5 },
+            "none": null,
+        });
+        assert_eq!(value["catchment"], "eden");
+        assert_eq!(value["sensors"][2], 3);
+        assert_eq!(value["nested"]["ok"], true);
+        assert_eq!(value["nested"]["ratio"], 0.5);
+        assert!(value["none"].is_null());
+        assert_eq!(
+            to_string(&value).unwrap(),
+            r#"{"catchment":"eden","nested":{"ok":true,"ratio":0.5},"none":null,"sensors":[1,2,3]}"#
+        );
+    }
+
+    #[test]
+    fn round_trip_via_text() {
+        let value = json!({"a": [1, 2.5, "x"], "b": {"c": false}});
+        let text = to_string(&value).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(value, back);
+    }
+
+    #[test]
+    fn expression_values_embed() {
+        let xs = vec![1u32, 2, 3];
+        let value = json!({ "xs": xs, "sum": 1 + 2 });
+        assert_eq!(value["sum"], 3);
+        assert_eq!(value["xs"][0], 1);
+    }
+}
