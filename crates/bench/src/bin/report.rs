@@ -273,6 +273,7 @@ fn e12() {
     heading("E12 (Fig 4)", "asset discovery over the map's grid index");
     for extra in [100usize, 1000, 10_000] {
         let (map, queries) = e12_setup(extra, SEED);
+        // evop-lint: allow(det-wallclock) -- measures real elapsed time of a deterministic workload; the timing is reported, never fed back into results
         let start = std::time::Instant::now();
         let mut hits = 0;
         let reps = 100;

@@ -207,8 +207,34 @@ impl Broker {
         tracer: Tracer,
         metrics: MetricsRegistry,
     ) -> Broker {
-        config.validate().expect("broker config must be valid");
-        assert!(!library.is_empty(), "model library must not be empty");
+        match Broker::try_with_observability(config, library, seed, tracer, metrics) {
+            Ok(broker) => broker,
+            // evop-lint: allow(rob-panic) -- documented infallible wrapper
+            Err(e) => panic!("broker construction failed: {e}"),
+        }
+    }
+
+    /// The fallible form of [`Broker::with_observability`]: invalid
+    /// configuration or an empty library come back as
+    /// [`BrokerError::InvalidConfig`] instead of panicking, so services
+    /// assembling a broker from user-supplied configuration can surface
+    /// the problem as a response rather than a crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError::InvalidConfig`] when `config` fails
+    /// validation or `library` is empty.
+    pub fn try_with_observability(
+        config: BrokerConfig,
+        library: ModelLibrary,
+        seed: u64,
+        tracer: Tracer,
+        metrics: MetricsRegistry,
+    ) -> Result<Broker, BrokerError> {
+        config.validate().map_err(BrokerError::InvalidConfig)?;
+        if library.is_empty() {
+            return Err(BrokerError::InvalidConfig("model library must not be empty".to_owned()));
+        }
 
         let mut cloud = CloudSim::new(seed);
         let mut private =
@@ -233,7 +259,9 @@ impl Broker {
             .find(|e| e.image().kind().is_streamlined())
             .or_else(|| library.entries().next())
             .map(|e| e.image().id().clone())
-            .expect("library checked non-empty");
+            .ok_or_else(|| {
+                BrokerError::InvalidConfig("model library must not be empty".to_owned())
+            })?;
 
         let mut broker = Broker {
             cloud,
@@ -249,7 +277,7 @@ impl Broker {
             metrics,
         };
         broker.replenish_warm_pool();
-        broker
+        Ok(broker)
     }
 
     /// The tracer this broker (and its cloud) reports spans into.
@@ -526,7 +554,7 @@ impl Broker {
             serving.iter().map(|&id| (id, self.sessions.load(id))).collect();
         loads.sort_by_key(|&(_, load)| load);
         let (emptiest, min_load) = loads[0];
-        let (fullest, max_load) = *loads.last().expect("len >= 2");
+        let Some(&(fullest, max_load)) = loads.last() else { return };
         if max_load <= min_load + 2 {
             return;
         }
@@ -555,12 +583,16 @@ impl Broker {
         for id in monitored {
             let Ok(m) = self.cloud.metrics(id) else { continue };
             // A busy-but-healthy instance also shows 100 % CPU; what marks a
-            // failure is saturation *without any responses leaving*.
-            let signature = if m.net_in_kbps == 0.0 && m.net_out_kbps == 0.0 {
+            // failure is saturation *without any responses leaving*. The
+            // flatline test is NaN-safe: a corrupted (NaN) gauge never
+            // reads as "traffic flowing".
+            let flat_in = flatlined(m.net_in_kbps);
+            let flat_out = flatlined(m.net_out_kbps);
+            let signature = if flat_in && flat_out {
                 Some("no network response")
-            } else if m.cpu >= 0.999 && m.net_out_kbps == 0.0 {
+            } else if m.cpu >= 0.999 && flat_out {
                 Some("sustained CPU saturation")
-            } else if m.net_in_kbps > 0.0 && m.net_out_kbps == 0.0 {
+            } else if m.net_in_kbps > 0.0 && flat_out {
                 Some("inbound traffic with zero outbound")
             } else {
                 None
@@ -858,6 +890,14 @@ impl Broker {
             .map(|&id| slots.saturating_sub(self.sessions.load(id)))
             .sum()
     }
+}
+
+/// NaN-safe zero test for a simulated traffic gauge: exact zeros (what the
+/// simulator emits) and NaN (a corrupted gauge) both read as "no traffic",
+/// so the health check never mistakes a poisoned metric for a healthy,
+/// responding instance.
+fn flatlined(kbps: f64) -> bool {
+    kbps.is_nan() || kbps.abs() < f64::EPSILON
 }
 
 #[cfg(test)]

@@ -55,14 +55,12 @@ impl Default for BrokerConfig {
 impl BrokerConfig {
     /// Session slots per instance for the configured flavour.
     ///
-    /// # Panics
-    ///
-    /// Panics if the configured flavour is unknown (checked again at broker
-    /// construction).
+    /// An unknown flavour (rejected by [`BrokerConfig::validate`], so
+    /// unreachable through a constructed broker) is conservatively sized
+    /// at one vCPU rather than panicking.
     pub fn slots_per_instance(&self) -> u32 {
-        let itype = evop_cloud::InstanceType::lookup(&self.instance_type)
-            .expect("configured instance type must exist");
-        itype.vcpus() * self.sessions_per_vcpu
+        let vcpus = evop_cloud::InstanceType::lookup(&self.instance_type).map_or(1, |t| t.vcpus());
+        vcpus * self.sessions_per_vcpu
     }
 
     /// Validates the configuration.

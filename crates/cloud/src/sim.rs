@@ -400,19 +400,16 @@ impl CloudSim {
         model: &str,
         work: SimDuration,
     ) -> Result<JobId, CloudError> {
-        let needs_install = {
+        let (needs_install, install_time) = {
             let inst = self.instances.get(&id).ok_or(CloudError::UnknownInstance(id))?;
-            !inst.has_model(model)
+            let needs = !inst.has_model(model)
                 && !inst
                     .jobs()
                     .iter()
-                    .any(|j| matches!(j.kind(), JobKind::Install { model: m } if m == model))
+                    .any(|j| matches!(j.kind(), JobKind::Install { model: m } if m == model));
+            (needs, inst.image().install_time())
         };
         if needs_install {
-            let install_time = {
-                let inst = self.instances.get(&id).expect("checked above");
-                inst.image().install_time()
-            };
             self.submit(id, JobKind::Install { model: model.to_owned() }, install_time)?;
         }
         self.submit(id, JobKind::Run, work)

@@ -108,7 +108,10 @@ pub fn portal_api(evop: Arc<Evop>) -> Router {
     // --- Observations (SOS) ---------------------------------------------
     let shared = Arc::clone(&evop);
     router.route(evop_services::Method::Get, "/sensors/{id}/observations", move |req, params| {
-        let sensor = SensorId::new(params.get("id").expect("route has {id}"));
+        let Some(id) = params.get("id") else {
+            return Response::internal_error("route is missing its {id} parameter");
+        };
+        let sensor = SensorId::new(id);
         let parse_time = |key: &str| -> Option<Timestamp> {
             req.query_param(key).and_then(|v| v.parse::<i64>().ok()).map(Timestamp::from_unix)
         };
@@ -141,7 +144,10 @@ pub fn portal_api(evop: Arc<Evop>) -> Router {
 
     let shared = Arc::clone(&evop);
     router.route(evop_services::Method::Get, "/sensors/{id}/latest", move |_, params| {
-        let sensor = SensorId::new(params.get("id").expect("route has {id}"));
+        let Some(id) = params.get("id") else {
+            return Response::internal_error("route is missing its {id} parameter");
+        };
+        let sensor = SensorId::new(id);
         match shared.sos().latest(&sensor) {
             Some(o) => Response::ok().json(&json!({
                 "time": o.time().as_unix(),
@@ -217,7 +223,9 @@ pub fn portal_api(evop: Arc<Evop>) -> Router {
     // --- Dataset download (access-policy enforced) ------------------------
     let shared = Arc::clone(&evop);
     router.route(evop_services::Method::Get, "/datasets/{id}/download", move |req, params| {
-        let dataset = params.get("id").expect("route has {id}");
+        let Some(dataset) = params.get("id") else {
+            return Response::internal_error("route is missing its {id} parameter");
+        };
         let registered = req.query_param("registered") == Some("true");
         match shared.download_dataset(dataset, registered) {
             Ok(csv) => Response::ok().header("content-type", "text/csv").text(csv),
@@ -231,7 +239,10 @@ pub fn portal_api(evop: Arc<Evop>) -> Router {
     // --- Model execution (WPS) -------------------------------------------
     let shared = Arc::clone(&evop);
     router.route(evop_services::Method::Get, "/catchments/{id}/processes", move |_, params| {
-        let id = CatchmentId::new(params.get("id").expect("route has {id}"));
+        let Some(id) = params.get("id") else {
+            return Response::internal_error("route is missing its {id} parameter");
+        };
+        let id = CatchmentId::new(id);
         match shared.wps(&id) {
             Some(wps) => Response::ok().json(&wps.process_ids()),
             None => Response::not_found(format!("no WPS endpoint for {id}")),
@@ -243,8 +254,13 @@ pub fn portal_api(evop: Arc<Evop>) -> Router {
         evop_services::Method::Post,
         "/catchments/{id}/processes/{process}/execute",
         move |req, params| {
-            let id = CatchmentId::new(params.get("id").expect("route has {id}"));
-            let process = params.get("process").expect("route has {process}");
+            let Some(id) = params.get("id") else {
+                return Response::internal_error("route is missing its {id} parameter");
+            };
+            let id = CatchmentId::new(id);
+            let Some(process) = params.get("process") else {
+                return Response::internal_error("route is missing its {process} parameter");
+            };
             let Some(wps) = shared.wps(&id) else {
                 return Response::not_found(format!("no WPS endpoint for {id}"));
             };
@@ -278,8 +294,13 @@ pub fn portal_api(evop: Arc<Evop>) -> Router {
         evop_services::Method::Post,
         "/catchments/{id}/processes/{process}/execute-async",
         move |req, params| {
-            let id = CatchmentId::new(params.get("id").expect("route has {id}"));
-            let process = params.get("process").expect("route has {process}");
+            let Some(id) = params.get("id") else {
+                return Response::internal_error("route is missing its {id} parameter");
+            };
+            let id = CatchmentId::new(id);
+            let Some(process) = params.get("process") else {
+                return Response::internal_error("route is missing its {process} parameter");
+            };
             let Some(wps) = shared.wps(&id) else {
                 return Response::not_found(format!("no WPS endpoint for {id}"));
             };
@@ -307,7 +328,10 @@ pub fn portal_api(evop: Arc<Evop>) -> Router {
 
     let shared = Arc::clone(&evop);
     router.route(evop_services::Method::Get, "/catchments/{id}/jobs/{job}", move |_, params| {
-        let id = CatchmentId::new(params.get("id").expect("route has {id}"));
+        let Some(id) = params.get("id") else {
+            return Response::internal_error("route is missing its {id} parameter");
+        };
+        let id = CatchmentId::new(id);
         let Some(wps) = shared.wps(&id) else {
             return Response::not_found(format!("no WPS endpoint for {id}"));
         };
@@ -334,7 +358,9 @@ pub fn portal_api(evop: Arc<Evop>) -> Router {
     // --- XaaS registry ----------------------------------------------------
     let shared = Arc::clone(&evop);
     router.route(evop_services::Method::Get, "/registry/{kind}", move |_, params| {
-        let kind_str = params.get("kind").expect("route has {kind}");
+        let Some(kind_str) = params.get("kind") else {
+            return Response::internal_error("route is missing its {kind} parameter");
+        };
         let Some(kind) = [
             AssetKind::Dataset,
             AssetKind::Sensor,
@@ -376,7 +402,10 @@ fn lookup_catchment<'a>(
     evop: &'a Evop,
     params: &PathParams,
 ) -> Result<&'a evop_data::Catchment, Response> {
-    let id = CatchmentId::new(params.get("id").expect("route has {id}"));
+    let id = params
+        .get("id")
+        .map(CatchmentId::new)
+        .ok_or_else(|| Response::internal_error("route is missing its {id} parameter"))?;
     evop.catchment(&id).ok_or_else(|| Response::not_found(format!("unknown catchment: {id}")))
 }
 

@@ -112,7 +112,8 @@ pub fn scenario_comparison_workflow(
             rows.push(json!({ "scenario": label, "peak_m3s": peak }));
         }
         rows.sort_by(|a, b| {
-            b["peak_m3s"].as_f64().partial_cmp(&a["peak_m3s"].as_f64()).expect("finite peaks")
+            let peak = |row: &Value| row["peak_m3s"].as_f64().unwrap_or(f64::NEG_INFINITY);
+            peak(b).total_cmp(&peak(a))
         });
         Ok(json!({ "ranked_by_peak": rows }))
     });

@@ -109,8 +109,11 @@ pub fn e1_dataflow(seed: u64) -> E1Result {
     evop.broker_mut().advance(SimDuration::from_secs(300));
 
     // 3. Meanwhile the actual model produces the hydrograph via WPS.
-    let out =
-        evop.wps(&id).unwrap().execute("topmodel", json!({})).expect("default inputs are valid");
+    let out = evop
+        .wps(&id)
+        .expect("every built catchment has a WPS endpoint")
+        .execute("topmodel", json!({}))
+        .expect("default inputs are valid");
 
     let broker = evop.broker();
     let session_ref = broker.session(session).expect("session exists");
@@ -957,7 +960,9 @@ fn pearson(pairs: &[(f64, f64)]) -> f64 {
     let cov: f64 = pairs.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
     let var_x: f64 = pairs.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
     let var_y: f64 = pairs.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
-    if var_x == 0.0 || var_y == 0.0 {
+    // Constant series have no correlation; the epsilon guard also turns a
+    // NaN variance (NaN inputs) into the NaN result rather than ±huge.
+    if var_x.abs() < f64::EPSILON || var_y.abs() < f64::EPSILON {
         return f64::NAN;
     }
     cov / (var_x.sqrt() * var_y.sqrt())

@@ -415,7 +415,7 @@ impl Dem {
         let dirs = self.flow_directions();
         let mut order: Vec<usize> = (0..self.spec().len()).collect();
         let values = self.elevation.values();
-        order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).expect("finite elevations"));
+        order.sort_by(|&a, &b| values[b].total_cmp(&values[a]));
         let mut acc = vec![1.0; self.spec().len()];
         for &cell in &order {
             if let Some(target) = dirs[cell] {

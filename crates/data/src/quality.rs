@@ -195,8 +195,7 @@ impl QualityCheck for FlatlineCheck {
                 && values[index] == values[run_start];
             if !continues {
                 let run_len = index - run_start;
-                if run_len > self.max_run && values[run_start] != 0.0 && !values[run_start].is_nan()
-                {
+                if run_len > self.max_run && values[run_start].abs() > f64::EPSILON {
                     for i in run_start..index {
                         issues.push(QcIssue { index: i, kind: IssueKind::Flatline });
                     }

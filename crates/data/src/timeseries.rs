@@ -42,7 +42,7 @@ impl Aggregation {
             Aggregation::Sum => present.sum(),
             Aggregation::Min => present.fold(f64::INFINITY, f64::min),
             Aggregation::Max => present.fold(f64::NEG_INFINITY, f64::max),
-            Aggregation::Last => present.last().expect("checked non-empty"),
+            Aggregation::Last => present.last().unwrap_or(f64::NAN),
         }
     }
 }
@@ -367,7 +367,7 @@ impl TimeSeries {
             .iter()
             .enumerate()
             .filter(|(_, v)| !v.is_nan())
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, &v)| (i, v))
     }
 
@@ -378,7 +378,7 @@ impl TimeSeries {
             .iter()
             .enumerate()
             .filter(|(_, v)| !v.is_nan())
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, &v)| (i, v))
     }
 }

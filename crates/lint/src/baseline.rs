@@ -1,0 +1,153 @@
+//! The ratchet baseline: committed debt that may only shrink.
+//!
+//! `lint-baseline.json` maps `rule id → file → count`. The gate compares
+//! the current tree against it:
+//!
+//! * a finding in a (rule, file) pair absent from the baseline is a
+//!   **new violation** → fail;
+//! * a count above the baselined count for its (rule, file) pair is a
+//!   **regression** → fail;
+//! * a count below the baseline is an **improvement** → pass, with a
+//!   nudge to run `--update-baseline` so the ratchet tightens.
+//!
+//! Counts are keyed per file (not per line) so unrelated edits that shift
+//! line numbers don't produce false "new" violations, while any real
+//! growth in a file's debt is caught.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Report;
+
+/// The committed ratchet file.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Format version, for future migrations.
+    pub version: u32,
+    /// `rule id → workspace-relative path → allowed count`.
+    /// `BTreeMap` keeps the committed JSON byte-stable.
+    pub counts: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+/// The gate's verdict for one (rule, file) pair that differs from the
+/// baseline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Delta {
+    /// Rule id.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Findings in the current tree.
+    pub current: u64,
+    /// Findings allowed by the baseline (0 when the pair is new).
+    pub allowed: u64,
+}
+
+/// Outcome of comparing current findings against a baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct Verdict {
+    /// (rule, file) pairs that grew or are new — these fail the gate.
+    pub regressions: Vec<Delta>,
+    /// (rule, file) pairs that shrank or disappeared — the ratchet can
+    /// tighten; `--update-baseline` records the win.
+    pub improvements: Vec<Delta>,
+}
+
+impl Verdict {
+    /// `true` when the gate passes.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Builds a baseline recording exactly the given findings.
+    pub fn from_reports(reports: &[Report]) -> Baseline {
+        let mut counts: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        for r in reports {
+            *counts.entry(r.rule.clone()).or_default().entry(r.path.clone()).or_insert(0) += 1;
+        }
+        Baseline { version: 1, counts }
+    }
+
+    /// Reads a baseline from disk. A missing file is an empty baseline
+    /// (every finding is then a new violation — the bootstrap state).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unreadable files or invalid JSON.
+    pub fn load(path: &Path) -> io::Result<Baseline> {
+        match fs::read_to_string(path) {
+            Ok(text) => serde_json::from_str(&text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Writes the baseline as stable, pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any serialisation or file-write error.
+    pub fn store(&self, path: &Path) -> io::Result<()> {
+        let mut text = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        text.push('\n');
+        fs::write(path, text)
+    }
+
+    /// Compares the current tree's findings against this baseline.
+    pub fn compare(&self, reports: &[Report]) -> Verdict {
+        let current = Baseline::from_reports(reports);
+        let mut verdict = Verdict::default();
+
+        for (rule, files) in &current.counts {
+            for (path, &n) in files {
+                let allowed = self.count(rule, path);
+                if n > allowed {
+                    verdict.regressions.push(Delta {
+                        rule: rule.clone(),
+                        path: path.clone(),
+                        current: n,
+                        allowed,
+                    });
+                } else if n < allowed {
+                    verdict.improvements.push(Delta {
+                        rule: rule.clone(),
+                        path: path.clone(),
+                        current: n,
+                        allowed,
+                    });
+                }
+            }
+        }
+        // Pairs fully burned down (in baseline, absent from the tree).
+        for (rule, files) in &self.counts {
+            for (path, &allowed) in files {
+                if allowed > 0 && current.count(rule, path) == 0 {
+                    verdict.improvements.push(Delta {
+                        rule: rule.clone(),
+                        path: path.clone(),
+                        current: 0,
+                        allowed,
+                    });
+                }
+            }
+        }
+        verdict
+    }
+
+    fn count(&self, rule: &str, path: &str) -> u64 {
+        self.counts.get(rule).and_then(|files| files.get(path)).copied().unwrap_or(0)
+    }
+
+    /// Total allowed findings per rule, for the summary table.
+    pub fn totals(&self) -> BTreeMap<String, u64> {
+        self.counts.iter().map(|(rule, files)| (rule.clone(), files.values().sum())).collect()
+    }
+}

@@ -1,0 +1,183 @@
+//! Workspace walking, file classification and directive application.
+//!
+//! The engine turns a repository root into a deterministic, sorted list of
+//! [`Report`] findings: it walks every `.rs` file (skipping `target/`,
+//! `vendor/` and dot-directories), classifies each file into a
+//! [`FileScope`], lexes it, runs the rules, and then applies in-source
+//! `evop-lint: allow(...)` directives — turning malformed or unused
+//! directives into findings of their own.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer;
+use crate::rules::{self, is_known_rule};
+
+/// Crates held to library standards: robustness rules apply to their
+/// non-test, non-bin code, and their `src/lib.rs` must carry
+/// `#![forbid(unsafe_code)]`. `bench` is a measurement harness (its bins
+/// print and time); `lint` is this tool. Both still get determinism rules.
+pub const LIBRARY_CRATES: &[&str] = &[
+    "sim", "obs", "data", "cloud", "xcloud", "services", "models", "broker", "workflow", "portal",
+    "core", "lint",
+];
+
+/// How one file is classified, which decides rule applicability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileScope {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// `true` when the file belongs to a crate in [`LIBRARY_CRATES`] or
+    /// to the root `evop` crate's `src/`.
+    pub is_library: bool,
+    /// Path-level test code: under `tests/`, `benches/` or `examples/`.
+    /// (`#[cfg(test)]` blocks are masked separately, per token.)
+    pub is_test: bool,
+    /// Binary code: under `src/bin/` or a `src/main.rs`.
+    pub is_bin: bool,
+    /// The crate root that must carry `#![forbid(unsafe_code)]`.
+    pub is_lib_root: bool,
+}
+
+/// Classifies a workspace-relative path.
+pub fn classify(rel: &str) -> FileScope {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (crate_name, in_crate): (Option<&str>, &[&str]) = match parts.as_slice() {
+        ["crates", name, rest @ ..] => (Some(name), rest),
+        rest => (None, rest),
+    };
+    let is_library = match crate_name {
+        Some(name) => LIBRARY_CRATES.contains(&name),
+        // Root package: its `src/` is library code; `tests/`, `examples/`
+        // are test code and not held to library robustness rules.
+        None => in_crate.first() == Some(&"src"),
+    };
+    let is_test = matches!(in_crate.first(), Some(&"tests") | Some(&"benches") | Some(&"examples"));
+    let is_bin = in_crate.len() >= 2 && in_crate[0] == "src" && in_crate[1] == "bin"
+        || in_crate == ["src", "main.rs"];
+    let is_lib_root = in_crate == ["src", "lib.rs"]
+        && match crate_name {
+            Some(name) => LIBRARY_CRATES.contains(&name),
+            None => true,
+        };
+    FileScope { rel: rel.to_owned(), is_library, is_test, is_bin, is_lib_root }
+}
+
+/// One reportable finding, located and excerpted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Stable rule id.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Why this is a hazard.
+    pub message: String,
+    /// The trimmed source line.
+    pub excerpt: String,
+}
+
+/// Analyzes every `.rs` file under `root`. Findings are sorted by
+/// (path, line, rule) so output and baselines are deterministic.
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered while walking or reading.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Report>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut reports = Vec::new();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        reports.extend(analyze_source(&rel, &src));
+    }
+    reports.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    Ok(reports)
+}
+
+/// Analyzes one file's source text (the unit the fixture tests drive).
+pub fn analyze_source(rel: &str, src: &str) -> Vec<Report> {
+    let scope = classify(rel);
+    let lexed = lexer::lex(src);
+    let findings = rules::check_file(&scope, &lexed);
+    let lines: Vec<&str> = src.lines().collect();
+    let excerpt_at = |line: u32| -> String {
+        lines.get(line as usize - 1).map(|l| l.trim().to_owned()).unwrap_or_default()
+    };
+
+    // Apply directives: a directive covers its own line and the next.
+    let mut used = vec![false; lexed.directives.len()];
+    let mut reports = Vec::new();
+    'finding: for f in findings {
+        for (di, d) in lexed.directives.iter().enumerate() {
+            if d.rule == f.rule
+                && !d.reason.is_empty()
+                && (d.line == f.line || d.line + 1 == f.line)
+            {
+                used[di] = true;
+                continue 'finding;
+            }
+        }
+        reports.push(Report {
+            rule: f.rule.to_owned(),
+            path: rel.to_owned(),
+            line: f.line,
+            message: f.message,
+            excerpt: excerpt_at(f.line),
+        });
+    }
+
+    // Directive hygiene: unknown rule, missing reason, or nothing matched.
+    for (d, used) in lexed.directives.iter().zip(used) {
+        let problem = if !is_known_rule(&d.rule) {
+            Some(format!("allow directive names unknown rule `{}`", d.rule))
+        } else if d.reason.is_empty() {
+            Some(format!("allow({}) directive is missing a `-- reason`", d.rule))
+        } else if !used {
+            Some(format!("allow({}) directive suppresses nothing; remove it", d.rule))
+        } else {
+            None
+        };
+        if let Some(message) = problem {
+            reports.push(Report {
+                rule: "hyg-directive".to_owned(),
+                path: rel.to_owned(),
+                line: d.line,
+                message,
+                excerpt: excerpt_at(d.line),
+            });
+        }
+    }
+    reports
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || matches!(&*name, "target" | "vendor" | "node_modules") {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel_path(root, &path));
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    // Normalise to `/` so baselines are portable across platforms.
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,41 @@
+//! `evop-lint` — a workspace-wide determinism & robustness analyzer with
+//! a ratchet baseline.
+//!
+//! Every behavioural claim this reproduction makes (cloudbursting
+//! crossovers, fault-recovery timelines, byte-identical same-seed traces)
+//! rests on the discrete-event simulator being *deterministic*, and on
+//! the service layer not panicking on untrusted input. Those properties
+//! used to be enforced by convention; this crate enforces them by
+//! tooling, in the spirit of KheOps' argument that repeatability must be
+//! machine-checked, not promised.
+//!
+//! The pipeline is: a hand-rolled Rust [`lexer`] (no external parser —
+//! the workspace builds offline and `syn` is not vendored) feeds a
+//! [`rules`] engine scoped per crate and per path by [`engine::classify`];
+//! findings are diffed against a committed [`baseline`]
+//! (`lint-baseline.json`) so that CI fails on any *new* violation while
+//! existing debt is burned down incrementally.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p evop-lint              # gate: compare against the baseline
+//! cargo run -p evop-lint -- --json    # machine-readable findings
+//! cargo run -p evop-lint -- --update-baseline   # record an intentional ratchet move
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::{Baseline, Delta, Verdict};
+pub use engine::{analyze_source, analyze_workspace, classify, FileScope, Report};
+pub use lexer::{lex, Directive, Lexed, Token, TokenKind};
+pub use rules::{Finding, RuleInfo, RULES};
+
+/// The committed ratchet file name, resolved against the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";

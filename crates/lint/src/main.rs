@@ -1,0 +1,205 @@
+//! The `evop-lint` command-line gate.
+//!
+//! ```text
+//! cargo run -p evop-lint                      # gate against lint-baseline.json
+//! cargo run -p evop-lint -- --update-baseline # record an intentional ratchet move
+//! cargo run -p evop-lint -- --no-baseline     # report every finding, ignore the ratchet
+//! cargo run -p evop-lint -- --json            # machine-readable output
+//! cargo run -p evop-lint -- --list-rules      # rule catalogue
+//! cargo run -p evop-lint -- --root <dir>      # analyze another tree
+//! ```
+//!
+//! Exit codes: `0` clean (no new violations), `1` gate failure, `2`
+//! usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use evop_lint::{analyze_workspace, Baseline, Report, BASELINE_FILE, RULES};
+
+struct Options {
+    root: PathBuf,
+    update_baseline: bool,
+    no_baseline: bool,
+    json: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    // The binary lives two levels below the workspace root.
+    let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut opts = Options {
+        root: default_root,
+        update_baseline: false,
+        no_baseline: false,
+        json: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--update-baseline" => opts.update_baseline = true,
+            "--no-baseline" => opts.no_baseline = true,
+            "--json" => opts.json = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                opts.root = PathBuf::from(
+                    args.next().ok_or_else(|| "--root requires a directory".to_owned())?,
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "evop-lint: determinism & robustness analyzer\n\n\
+                     options:\n  \
+                     --update-baseline  record current findings as the new ratchet\n  \
+                     --no-baseline      report all findings, ignore the ratchet\n  \
+                     --json             machine-readable output\n  \
+                     --list-rules       print the rule catalogue\n  \
+                     --root <dir>       analyze another tree"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("evop-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_args()?;
+
+    if opts.list_rules {
+        for r in RULES {
+            println!("{:<18} {:<12} {}", r.id, r.family, r.summary);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = opts.root.canonicalize().map_err(|e| format!("bad root: {e}"))?;
+    let reports = analyze_workspace(&root).map_err(|e| e.to_string())?;
+    let baseline_path = root.join(BASELINE_FILE);
+
+    if opts.update_baseline {
+        let baseline = Baseline::from_reports(&reports);
+        baseline.store(&baseline_path).map_err(|e| e.to_string())?;
+        println!(
+            "evop-lint: baseline updated: {} findings across {} rules -> {}",
+            reports.len(),
+            baseline.counts.len(),
+            baseline_path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if opts.no_baseline {
+        if opts.json {
+            print_json(&reports, None);
+        } else {
+            for r in &reports {
+                print_finding(r);
+            }
+            print_summary(&reports, None);
+        }
+        return Ok(if reports.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE });
+    }
+
+    let baseline = Baseline::load(&baseline_path).map_err(|e| e.to_string())?;
+    let verdict = baseline.compare(&reports);
+
+    if opts.json {
+        print_json(&reports, Some(&verdict));
+        return Ok(if verdict.is_clean() { ExitCode::SUCCESS } else { ExitCode::FAILURE });
+    }
+
+    // Print the findings behind each regressed (rule, file) pair —
+    // per-file counts can't say *which* line is new, so show them all.
+    for delta in &verdict.regressions {
+        eprintln!(
+            "gate: {} in {}: {} finding(s), baseline allows {}",
+            delta.rule, delta.path, delta.current, delta.allowed
+        );
+        for r in reports.iter().filter(|r| r.rule == delta.rule && r.path == delta.path) {
+            print_finding(r);
+        }
+    }
+    print_summary(&reports, Some(&verdict));
+
+    if !verdict.is_clean() {
+        eprintln!(
+            "\nevop-lint: FAIL — {} (rule, file) pair(s) grew beyond the baseline.\n\
+             Fix the findings above, or (for intentional debt) run\n\
+             `cargo run -p evop-lint -- --update-baseline` and commit {}.",
+            verdict.regressions.len(),
+            BASELINE_FILE
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    if !verdict.improvements.is_empty() {
+        println!(
+            "evop-lint: {} (rule, file) pair(s) improved on the baseline — run \
+             `cargo run -p evop-lint -- --update-baseline` to lock the gains in.",
+            verdict.improvements.len()
+        );
+    }
+    println!("evop-lint: OK — no new violations ({} baselined findings).", reports.len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn print_finding(r: &Report) {
+    println!("{}:{}: [{}] {}: `{}`", r.path, r.line, r.rule, r.message, r.excerpt);
+}
+
+fn print_summary(reports: &[Report], verdict: Option<&evop_lint::Verdict>) {
+    let mut by_rule: BTreeMap<&str, u64> = BTreeMap::new();
+    for r in reports {
+        *by_rule.entry(&r.rule).or_insert(0) += 1;
+    }
+    println!("\nrule                 findings");
+    for (rule, n) in &by_rule {
+        println!("{rule:<20} {n}");
+    }
+    if let Some(v) = verdict {
+        println!("regressions: {}  improvements: {}", v.regressions.len(), v.improvements.len());
+    }
+}
+
+fn print_json(reports: &[Report], verdict: Option<&evop_lint::Verdict>) {
+    let findings: Vec<serde_json::Value> = reports
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "rule": r.rule,
+                "path": r.path,
+                "line": r.line,
+                "message": r.message,
+                "excerpt": r.excerpt,
+            })
+        })
+        .collect();
+    let out = match verdict {
+        Some(v) => serde_json::json!({
+            "findings": findings,
+            "regressions": v.regressions,
+            "improvements": v.improvements,
+            "clean": v.is_clean(),
+        }),
+        None => serde_json::json!({ "findings": findings }),
+    };
+    match serde_json::to_string_pretty(&out) {
+        Ok(text) => println!("{text}"),
+        Err(e) => eprintln!("evop-lint: json encoding failed: {e}"),
+    }
+}

@@ -1,0 +1,367 @@
+//! The rule engine: determinism, robustness and hygiene rules evaluated
+//! over the token stream of one file.
+//!
+//! Every rule has a stable kebab-case id (used in baselines and in
+//! `evop-lint: allow(...)` directives) and a scope. Scoping is central:
+//! a `.unwrap()` in a `#[cfg(test)]` module, an integration test, an
+//! example or a binary is *not* a robustness hazard, while a `HashMap`
+//! is a determinism hazard anywhere in the workspace. See
+//! [`crate::engine::FileScope`] for how files are classified.
+
+use crate::engine::FileScope;
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule id, e.g. `rob-unwrap`.
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human explanation of the hazard.
+    pub message: String,
+}
+
+impl Finding {
+    fn new(rule: &'static str, line: u32, message: impl Into<String>) -> Finding {
+        Finding { rule, line, message: message.into() }
+    }
+}
+
+/// Static description of a rule, for `--list-rules` and the docs.
+pub struct RuleInfo {
+    /// Stable id.
+    pub id: &'static str,
+    /// Rule family: `determinism`, `robustness` or `hygiene`.
+    pub family: &'static str,
+    /// What it catches and where it applies.
+    pub summary: &'static str,
+}
+
+/// Every rule the engine knows, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "det-hashmap",
+        family: "determinism",
+        summary: "std HashMap/HashSet (randomized iteration order) anywhere in the workspace; \
+                  use BTreeMap/BTreeSet or a seeded hasher",
+    },
+    RuleInfo {
+        id: "det-wallclock",
+        family: "determinism",
+        summary: "Instant::now()/SystemTime::now() (wall-clock reads) anywhere; simulated code \
+                  must use SimTime. Bench wall-clock timing is allowed per-site via a directive",
+    },
+    RuleInfo {
+        id: "det-rng",
+        family: "determinism",
+        summary: "ambient/unseeded randomness (thread_rng, from_entropy, OsRng, rand::random) \
+                  anywhere; every RNG must derive from an explicit seed",
+    },
+    RuleInfo {
+        id: "rob-unwrap",
+        family: "robustness",
+        summary: ".unwrap() in library (non-test, non-bin) code; return a typed error instead",
+    },
+    RuleInfo {
+        id: "rob-expect",
+        family: "robustness",
+        summary: ".expect(...) in library (non-test, non-bin) code; return a typed error instead",
+    },
+    RuleInfo {
+        id: "rob-panic",
+        family: "robustness",
+        summary: "panic!/todo!/unimplemented! in library (non-test, non-bin) code",
+    },
+    RuleInfo {
+        id: "rob-float-eq",
+        family: "robustness",
+        summary: "==/!= against a floating-point literal in library (non-test) code; \
+                  NaN-unsafe — compare against an epsilon",
+    },
+    RuleInfo {
+        id: "hyg-forbid-unsafe",
+        family: "hygiene",
+        summary: "library crate root missing #![forbid(unsafe_code)]",
+    },
+    RuleInfo {
+        id: "hyg-debug-print",
+        family: "hygiene",
+        summary: "println!/eprintln!/print!/dbg! in library (non-test, non-bin) code",
+    },
+    RuleInfo {
+        id: "hyg-directive",
+        family: "hygiene",
+        summary: "an evop-lint allow directive that is malformed (unknown rule / missing \
+                  `-- reason`) or suppresses nothing",
+    },
+];
+
+/// `true` if `id` names a known rule.
+pub fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// Runs every applicable rule over one lexed file.
+///
+/// `scope` decides applicability; the returned findings are in source
+/// order. Directive handling (suppression + directive hygiene) happens in
+/// the engine, not here.
+pub fn check_file(scope: &FileScope, lexed: &Lexed) -> Vec<Finding> {
+    let tokens = &lexed.tokens;
+    let in_test = cfg_test_mask(tokens);
+    let mut findings = Vec::new();
+
+    // Robustness/hygiene rules skip test code (path-level and
+    // `#[cfg(test)]` blocks) and binaries; determinism rules apply
+    // everywhere, because even test-only nondeterminism undermines the
+    // repo's byte-identical-trace guarantees.
+    let lib_code = scope.is_library && !scope.is_test && !scope.is_bin;
+
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::Ident => {
+                determinism_at(tokens, i, &mut findings);
+                if lib_code && !in_test[i] {
+                    robustness_at(tokens, i, &mut findings);
+                    hygiene_print_at(tokens, i, &mut findings);
+                }
+            }
+            TokenKind::Punct if lib_code && !in_test[i] => {
+                float_eq_at(tokens, i, &mut findings);
+            }
+            _ => {}
+        }
+    }
+
+    if scope.is_lib_root && !has_forbid_unsafe(tokens) {
+        findings.push(Finding::new(
+            "hyg-forbid-unsafe",
+            1,
+            "library crate root is missing `#![forbid(unsafe_code)]`",
+        ));
+    }
+
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Determinism rules fire on single identifiers / short ident paths.
+fn determinism_at(tokens: &[Token], i: usize, out: &mut Vec<Finding>) {
+    let t = &tokens[i];
+    match t.text.as_str() {
+        "HashMap" | "HashSet" => {
+            // `ahash::HashMap` would be just as order-randomized; any
+            // ident spelled HashMap/HashSet is a hazard in this workspace.
+            out.push(Finding::new(
+                "det-hashmap",
+                t.line,
+                format!("`{}` has a randomized iteration order; use BTreeMap/BTreeSet", t.text),
+            ));
+        }
+        "Instant" | "SystemTime" if method_called(tokens, i, "now") => {
+            out.push(Finding::new(
+                "det-wallclock",
+                t.line,
+                format!(
+                    "`{}::now()` reads the wall clock; simulated code must use SimTime",
+                    t.text
+                ),
+            ));
+        }
+        "thread_rng" | "from_entropy" | "OsRng" => {
+            out.push(Finding::new(
+                "det-rng",
+                t.line,
+                format!("`{}` draws ambient entropy; seed every RNG explicitly", t.text),
+            ));
+        }
+        // `rand::random()` — only flag the path form to avoid firing on
+        // ordinary identifiers named `random`.
+        "random"
+            if i >= 3
+                && tokens[i - 1].is_punct(":")
+                && tokens[i - 2].is_punct(":")
+                && tokens[i - 3].is_ident("rand") =>
+        {
+            out.push(Finding::new(
+                "det-rng",
+                t.line,
+                "`rand::random()` draws ambient entropy; seed every RNG explicitly",
+            ));
+        }
+        _ => {}
+    }
+}
+
+/// `tokens[i]` is an ident; does `<ident>::name(` follow?
+fn method_called(tokens: &[Token], i: usize, name: &str) -> bool {
+    tokens.get(i + 1).map(|t| t.is_punct(":")).unwrap_or(false)
+        && tokens.get(i + 2).map(|t| t.is_punct(":")).unwrap_or(false)
+        && tokens.get(i + 3).map(|t| t.is_ident(name)).unwrap_or(false)
+        && tokens.get(i + 4).map(|t| t.is_punct("(")).unwrap_or(false)
+}
+
+fn robustness_at(tokens: &[Token], i: usize, out: &mut Vec<Finding>) {
+    let t = &tokens[i];
+    match t.text.as_str() {
+        // `.unwrap()` / `.expect(` — require the leading dot so that
+        // locally-defined functions named `unwrap` don't fire.
+        "unwrap" | "expect"
+            if i > 0
+                && tokens[i - 1].is_punct(".")
+                && tokens.get(i + 1).map(|n| n.is_punct("(")).unwrap_or(false) =>
+        {
+            let (rule, msg) = if t.text == "unwrap" {
+                ("rob-unwrap", "`.unwrap()` panics on None/Err; return a typed error")
+            } else {
+                ("rob-expect", "`.expect(..)` panics on None/Err; return a typed error")
+            };
+            out.push(Finding::new(rule, t.line, msg));
+        }
+        "panic" | "todo" | "unimplemented"
+            if tokens.get(i + 1).map(|n| n.is_punct("!")).unwrap_or(false) =>
+        {
+            out.push(Finding::new(
+                "rob-panic",
+                t.line,
+                format!("`{}!` aborts the caller; return a typed error", t.text),
+            ));
+        }
+        _ => {}
+    }
+}
+
+fn hygiene_print_at(tokens: &[Token], i: usize, out: &mut Vec<Finding>) {
+    let t = &tokens[i];
+    if matches!(t.text.as_str(), "println" | "eprintln" | "print" | "dbg")
+        && tokens.get(i + 1).map(|n| n.is_punct("!")).unwrap_or(false)
+    {
+        out.push(Finding::new(
+            "hyg-debug-print",
+            t.line,
+            format!("`{}!` in library code writes to the process streams; use evop-obs", t.text),
+        ));
+    }
+}
+
+/// `==`/`!=` with a float literal on either side.
+fn float_eq_at(tokens: &[Token], i: usize, out: &mut Vec<Finding>) {
+    let t = &tokens[i];
+    if !(t.is_punct("==") || t.is_punct("!=")) {
+        return;
+    }
+    let float_beside = tokens.get(i + 1).map(|n| n.kind == TokenKind::Float).unwrap_or(false)
+        || i > 0 && tokens[i - 1].kind == TokenKind::Float;
+    if float_beside {
+        out.push(Finding::new(
+            "rob-float-eq",
+            t.line,
+            format!(
+                "`{}` against a float literal is NaN-unsafe; compare within an epsilon",
+                t.text
+            ),
+        ));
+    }
+}
+
+/// Scans for the inner attribute `#![forbid(unsafe_code)]`.
+fn has_forbid_unsafe(tokens: &[Token]) -> bool {
+    tokens.windows(8).any(|w| {
+        w[0].is_punct("#")
+            && w[1].is_punct("!")
+            && w[2].is_punct("[")
+            && w[3].is_ident("forbid")
+            && w[4].is_punct("(")
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(")")
+            && w[7].is_punct("]")
+    })
+}
+
+/// Marks tokens that belong to a `#[cfg(test)]`-gated item.
+///
+/// On seeing the attribute `#[cfg(test)]` (or any `cfg(...)` whose
+/// argument list mentions `test`, covering `cfg(all(test, ...))`), the
+/// following item — after any further attributes — is masked: either up
+/// to the matching `}` of its first brace block, or to the first `;`
+/// outside brackets (e.g. `#[cfg(test)] use …;`).
+pub fn cfg_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some((end, is_test)) = parse_attr(tokens, i) {
+            if is_test {
+                let mut j = end;
+                // Skip any further attributes on the same item.
+                while let Some((next_end, _)) = parse_attr(tokens, j) {
+                    j = next_end;
+                }
+                let item_end = skip_item(tokens, j);
+                for m in &mut mask[i..item_end] {
+                    *m = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// If an outer attribute `#[...]` starts at `i`, returns (index one past
+/// its closing `]`, whether it is a `cfg` mentioning `test`).
+fn parse_attr(tokens: &[Token], i: usize) -> Option<(usize, bool)> {
+    if !(tokens.get(i)?.is_punct("#") && tokens.get(i + 1)?.is_punct("[")) {
+        return None;
+    }
+    let mut depth = 1usize;
+    let mut j = i + 2;
+    let is_cfg = tokens.get(j).map(|t| t.is_ident("cfg")).unwrap_or(false);
+    let mut mentions_test = false;
+    let mut negated = false;
+    while j < tokens.len() && depth > 0 {
+        let t = &tokens[j];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+        } else if t.is_ident("test") {
+            mentions_test = true;
+        } else if t.is_ident("not") {
+            // `cfg(not(test))` is production code: when in doubt, keep the
+            // rules applied (a false positive is safer than a missed one).
+            negated = true;
+        }
+        j += 1;
+    }
+    Some((j, is_cfg && mentions_test && !negated))
+}
+
+/// Returns the index one past the end of the item starting at `i`: the
+/// matching `}` of its first top-level brace block, or the first `;`
+/// reached outside all brackets — whichever comes first.
+fn skip_item(tokens: &[Token], i: usize) -> usize {
+    let mut j = i;
+    let mut brace = 0usize;
+    let mut entered = false;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct("{") {
+            brace += 1;
+            entered = true;
+        } else if t.is_punct("}") {
+            brace = brace.saturating_sub(1);
+            if entered && brace == 0 {
+                return j + 1;
+            }
+        } else if t.is_punct(";") && !entered {
+            return j + 1;
+        }
+        j += 1;
+    }
+    j
+}

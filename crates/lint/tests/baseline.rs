@@ -1,0 +1,107 @@
+//! Ratchet-baseline tests: compare semantics (new / grown / shrunk /
+//! burned-down pairs) and the JSON round-trip.
+
+use std::path::PathBuf;
+
+use evop_lint::baseline::Baseline;
+use evop_lint::engine::Report;
+
+fn report(rule: &str, path: &str, line: u32) -> Report {
+    Report {
+        rule: rule.to_owned(),
+        path: path.to_owned(),
+        line,
+        message: String::from("m"),
+        excerpt: String::from("e"),
+    }
+}
+
+#[test]
+fn identical_trees_are_clean() {
+    let reports = vec![report("rob-unwrap", "a.rs", 3), report("rob-unwrap", "a.rs", 9)];
+    let base = Baseline::from_reports(&reports);
+    let verdict = base.compare(&reports);
+    assert!(verdict.is_clean());
+    assert!(verdict.improvements.is_empty());
+}
+
+#[test]
+fn line_drift_within_a_file_is_not_a_regression() {
+    let base = Baseline::from_reports(&[report("rob-unwrap", "a.rs", 3)]);
+    // Same debt, different line: unrelated edits moved the code.
+    assert!(base.compare(&[report("rob-unwrap", "a.rs", 300)]).is_clean());
+}
+
+#[test]
+fn a_new_rule_file_pair_is_a_regression() {
+    let base = Baseline::from_reports(&[report("rob-unwrap", "a.rs", 3)]);
+    let verdict =
+        base.compare(&[report("rob-unwrap", "a.rs", 3), report("det-hashmap", "b.rs", 1)]);
+    assert!(!verdict.is_clean());
+    assert_eq!(verdict.regressions.len(), 1);
+    let d = &verdict.regressions[0];
+    assert_eq!(
+        (d.rule.as_str(), d.path.as_str(), d.current, d.allowed),
+        ("det-hashmap", "b.rs", 1, 0)
+    );
+}
+
+#[test]
+fn a_grown_count_is_a_regression() {
+    let base = Baseline::from_reports(&[report("rob-expect", "a.rs", 3)]);
+    let current = vec![report("rob-expect", "a.rs", 3), report("rob-expect", "a.rs", 7)];
+    let verdict = base.compare(&current);
+    assert_eq!(verdict.regressions.len(), 1);
+    assert_eq!((verdict.regressions[0].current, verdict.regressions[0].allowed), (2, 1));
+}
+
+#[test]
+fn shrunk_and_burned_down_pairs_are_improvements() {
+    let base = Baseline::from_reports(&[
+        report("rob-expect", "a.rs", 1),
+        report("rob-expect", "a.rs", 2),
+        report("rob-unwrap", "b.rs", 5),
+    ]);
+    // a.rs fixed one expect; b.rs fixed its only unwrap.
+    let verdict = base.compare(&[report("rob-expect", "a.rs", 1)]);
+    assert!(verdict.is_clean());
+    let mut improved: Vec<(String, u64, u64)> =
+        verdict.improvements.iter().map(|d| (d.rule.clone(), d.current, d.allowed)).collect();
+    improved.sort();
+    assert_eq!(improved, [("rob-expect".to_owned(), 1, 2), ("rob-unwrap".to_owned(), 0, 1)]);
+}
+
+#[test]
+fn missing_file_loads_as_the_empty_baseline() {
+    let base = Baseline::load(&PathBuf::from("/nonexistent/lint-baseline.json")).unwrap();
+    assert!(base.counts.is_empty());
+    // Against an empty baseline every finding is new.
+    assert!(!base.compare(&[report("rob-unwrap", "a.rs", 1)]).is_clean());
+}
+
+#[test]
+fn store_then_load_round_trips() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let path = dir.join("baseline-roundtrip.json");
+    let base = Baseline::from_reports(&[
+        report("rob-unwrap", "a.rs", 1),
+        report("rob-unwrap", "a.rs", 2),
+        report("det-rng", "z.rs", 9),
+    ]);
+    base.store(&path).unwrap();
+    assert_eq!(Baseline::load(&path).unwrap(), base);
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.ends_with('\n'), "committed JSON should end with a newline");
+}
+
+#[test]
+fn totals_sum_per_rule_across_files() {
+    let base = Baseline::from_reports(&[
+        report("rob-expect", "a.rs", 1),
+        report("rob-expect", "b.rs", 2),
+        report("det-hashmap", "c.rs", 3),
+    ]);
+    let totals = base.totals();
+    assert_eq!(totals.get("rob-expect"), Some(&2));
+    assert_eq!(totals.get("det-hashmap"), Some(&1));
+}

@@ -1,0 +1,141 @@
+//! Lexer soundness tests: the rule engine is only as good as the lexer's
+//! ability to keep rule patterns from firing inside comments and strings.
+
+use evop_lint::lexer::{lex, TokenKind};
+
+/// Idents in the token stream, in order.
+fn idents(src: &str) -> Vec<String> {
+    lex(src).tokens.into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
+}
+
+#[test]
+fn nested_block_comments_are_skipped_entirely() {
+    let src = "/* outer /* inner */ still a comment */ fn after() {}";
+    assert_eq!(idents(src), ["fn", "after"]);
+}
+
+#[test]
+fn unterminated_block_comment_consumes_to_eof() {
+    let src = "fn before() {} /* never closed\nfn hidden() {}";
+    assert_eq!(idents(src), ["fn", "before"]);
+}
+
+#[test]
+fn raw_string_bodies_are_not_code() {
+    // The raw string contains `.unwrap()` and a `//` — neither may leak
+    // into the token stream or eat the rest of the line.
+    let src = r##"let s = r#"x.unwrap() // still string"#; let tail = 1;"##;
+    assert_eq!(idents(src), ["let", "s", "let", "tail"]);
+}
+
+#[test]
+fn raw_strings_with_deeper_hash_fences() {
+    let src = r###"let s = r##"contains "# inside"##; let tail = 1;"###;
+    assert_eq!(idents(src), ["let", "s", "let", "tail"]);
+}
+
+#[test]
+fn byte_and_raw_byte_strings_are_literals() {
+    let src = r##"let a = b"unwrap()"; let b = br#"panic!()"#; let tail = 1;"##;
+    assert_eq!(idents(src), ["let", "a", "let", "b", "let", "tail"]);
+}
+
+#[test]
+fn string_embedded_slashes_do_not_start_a_comment() {
+    let src = "let url = \"http://example.com\"; let tail = 1;";
+    assert_eq!(idents(src), ["let", "url", "let", "tail"]);
+}
+
+#[test]
+fn string_escapes_do_not_end_the_string_early() {
+    let src = "let s = \"quote \\\" then unwrap()\"; let tail = 1;";
+    assert_eq!(idents(src), ["let", "s", "let", "tail"]);
+}
+
+#[test]
+fn char_literals_versus_lifetimes() {
+    let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+    let lexed = lex(src);
+    let lifetimes: Vec<_> =
+        lexed.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).map(|t| &t.text).collect();
+    assert_eq!(lifetimes, ["a", "a"]);
+    assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokenKind::Char).count(), 1);
+}
+
+#[test]
+fn escaped_char_literals_lex_as_one_token() {
+    let src = r"let nl = '\n'; let q = '\''; let u = '\u{1F600}'; let tail = 1;";
+    let lexed = lex(src);
+    assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokenKind::Char).count(), 3);
+    assert_eq!(idents(src), ["let", "nl", "let", "q", "let", "u", "let", "tail"]);
+}
+
+#[test]
+fn doc_comments_hide_their_examples() {
+    // Doc-test examples routinely use `.unwrap()`; they are prose here.
+    let src = "/// let v = parse(input).unwrap();\n//! also.unwrap()\nfn real() {}";
+    assert_eq!(idents(src), ["fn", "real"]);
+}
+
+#[test]
+fn raw_identifiers_lex_without_the_sigil() {
+    let src = "let r#type = 1;";
+    assert_eq!(idents(src), ["let", "type"]);
+}
+
+#[test]
+fn floats_are_single_tokens_and_eq_operators_join() {
+    let lexed = lex("if x == 1.5 { y != 2e3 }");
+    let floats: Vec<_> =
+        lexed.tokens.iter().filter(|t| t.kind == TokenKind::Float).map(|t| &t.text).collect();
+    assert_eq!(floats, ["1.5", "2e3"]);
+    assert!(lexed.tokens.iter().any(|t| t.is_punct("==")));
+    assert!(lexed.tokens.iter().any(|t| t.is_punct("!=")));
+}
+
+#[test]
+fn method_call_on_int_is_not_a_float() {
+    let lexed = lex("let y = 1.max(2);");
+    assert!(lexed.tokens.iter().all(|t| t.kind != TokenKind::Float));
+    assert!(lexed.tokens.iter().any(|t| t.is_ident("max")));
+}
+
+#[test]
+fn token_lines_are_one_based_and_track_newlines() {
+    let lexed = lex("fn a() {}\n\nfn b() {}");
+    let b = lexed.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+    assert_eq!(b.line, 3);
+}
+
+#[test]
+fn directives_parse_rule_and_reason() {
+    let src = "// evop-lint: allow(det-wallclock) -- bench wants wall time\nlet t = 0;";
+    let lexed = lex(src);
+    assert_eq!(lexed.directives.len(), 1);
+    let d = &lexed.directives[0];
+    assert_eq!(d.line, 1);
+    assert_eq!(d.rule, "det-wallclock");
+    assert_eq!(d.reason, "bench wants wall time");
+}
+
+#[test]
+fn directive_without_reason_still_parses_with_empty_reason() {
+    let lexed = lex("// evop-lint: allow(rob-unwrap)\nx.unwrap();");
+    assert_eq!(lexed.directives.len(), 1);
+    assert_eq!(lexed.directives[0].reason, "");
+}
+
+#[test]
+fn directive_must_lead_the_comment() {
+    // Prose that merely *mentions* the syntax (as the linter's own docs
+    // do) must not parse as a directive.
+    let src = "// use `evop-lint: allow(rob-unwrap) -- why` to suppress\nfn f() {}";
+    assert!(lex(src).directives.is_empty());
+}
+
+#[test]
+fn directives_parse_inside_block_and_doc_comments() {
+    let src = "/* evop-lint: allow(det-rng) -- fixture seeds */\n/// evop-lint: allow(rob-panic) -- documented\nfn f() {}";
+    let rules: Vec<_> = lex(src).directives.into_iter().map(|d| d.rule).collect();
+    assert_eq!(rules, ["det-rng", "rob-panic"]);
+}

@@ -1,0 +1,219 @@
+//! Rule-engine fixture tests: one positive and one negative fixture per
+//! rule, driven through [`evop_lint::engine::analyze_source`] with
+//! synthetic workspace paths so scoping is exercised too.
+
+use evop_lint::engine::{analyze_source, classify, Report};
+
+/// A library-crate file: robustness + hygiene + determinism rules apply.
+const LIB: &str = "crates/sim/src/thing.rs";
+/// An integration test: only determinism rules apply.
+const TEST: &str = "crates/sim/tests/t.rs";
+/// A binary: only determinism rules apply.
+const BIN: &str = "crates/sim/src/bin/tool.rs";
+
+fn rules_of(reports: &[Report]) -> Vec<String> {
+    reports.iter().map(|r| r.rule.clone()).collect()
+}
+
+#[test]
+fn classification_of_workspace_paths() {
+    let lib = classify(LIB);
+    assert!(lib.is_library && !lib.is_test && !lib.is_bin && !lib.is_lib_root);
+    let test = classify(TEST);
+    assert!(test.is_test && !test.is_bin);
+    let bin = classify(BIN);
+    assert!(bin.is_bin);
+    assert!(classify("crates/sim/src/lib.rs").is_lib_root);
+    // The bench crate is a measurement harness, not a library.
+    assert!(!classify("crates/bench/src/bin/report.rs").is_library);
+    // The root package's own src/ is library code; its tests are not.
+    assert!(classify("src/lib.rs").is_lib_root);
+    assert!(classify("tests/integration.rs").is_test);
+}
+
+#[test]
+fn det_hashmap_fires_everywhere() {
+    let src = "use std::collections::HashMap;\nfn f() { let s: HashSet<u8> = HashSet::new(); }";
+    assert_eq!(rules_of(&analyze_source(LIB, src)), ["det-hashmap"; 3]);
+    // Determinism rules apply even to tests and bins.
+    assert_eq!(rules_of(&analyze_source(TEST, src)), ["det-hashmap"; 3]);
+    assert_eq!(rules_of(&analyze_source(BIN, src)), ["det-hashmap"; 3]);
+}
+
+#[test]
+fn det_hashmap_ignores_btree_collections() {
+    let src = "use std::collections::{BTreeMap, BTreeSet};\nfn f(m: &BTreeMap<u8, u8>) {}";
+    assert!(analyze_source(LIB, src).is_empty());
+}
+
+#[test]
+fn det_wallclock_fires_on_now_calls_only() {
+    let positive = "fn f() { let t = std::time::Instant::now(); }";
+    assert_eq!(rules_of(&analyze_source(LIB, positive)), ["det-wallclock"]);
+    let positive = "fn f() { let t = SystemTime::now(); }";
+    assert_eq!(rules_of(&analyze_source(BIN, positive)), ["det-wallclock"]);
+    // Mentioning the types without reading the clock is fine.
+    let negative = "fn f(t: Instant) -> SystemTime { t.into() }";
+    assert!(analyze_source(LIB, negative).is_empty());
+}
+
+#[test]
+fn det_rng_fires_on_ambient_entropy() {
+    let src = "fn f() { let mut r = rand::thread_rng(); }";
+    assert_eq!(rules_of(&analyze_source(LIB, src)), ["det-rng"]);
+    let src = "fn f() -> f64 { rand::random() }";
+    assert_eq!(rules_of(&analyze_source(TEST, src)), ["det-rng"]);
+    let src = "fn f() { let r = SmallRng::from_entropy(); }";
+    assert_eq!(rules_of(&analyze_source(LIB, src)), ["det-rng"]);
+}
+
+#[test]
+fn det_rng_ignores_seeded_rngs_and_plain_random_idents() {
+    let src = "fn f(seed: u64) { let r = SmallRng::seed_from_u64(seed); let random = 3; }";
+    assert!(analyze_source(LIB, src).is_empty());
+}
+
+#[test]
+fn rob_unwrap_fires_only_in_library_code() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+    assert_eq!(rules_of(&analyze_source(LIB, src)), ["rob-unwrap"]);
+    assert!(analyze_source(TEST, src).is_empty());
+    assert!(analyze_source(BIN, src).is_empty());
+    assert!(analyze_source("crates/bench/src/lib.rs", src).iter().all(|r| r.rule != "rob-unwrap"));
+}
+
+#[test]
+fn rob_unwrap_requires_a_method_call_shape() {
+    // `unwrap` as a free identifier (a local, a field) is not the method.
+    let src = "fn f() { let unwrap = 1; let y = unwrap + 1; }";
+    assert!(analyze_source(LIB, src).is_empty());
+}
+
+#[test]
+fn rob_unwrap_skips_cfg_test_blocks() {
+    let src = "fn prod(x: Option<u8>) -> u8 { x.unwrap() }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   fn t(x: Option<u8>) -> u8 { x.unwrap() }\n\
+               }\n";
+    let reports = analyze_source(LIB, src);
+    assert_eq!(rules_of(&reports), ["rob-unwrap"]);
+    assert_eq!(reports[0].line, 1);
+}
+
+#[test]
+fn rob_unwrap_does_not_exempt_cfg_not_test() {
+    let src = "#[cfg(not(test))]\nfn prod(x: Option<u8>) -> u8 { x.unwrap() }";
+    assert_eq!(rules_of(&analyze_source(LIB, src)), ["rob-unwrap"]);
+}
+
+#[test]
+fn rob_expect_fires_only_in_library_code() {
+    let src = "fn f(x: Option<u8>) -> u8 { x.expect(\"present\") }";
+    assert_eq!(rules_of(&analyze_source(LIB, src)), ["rob-expect"]);
+    assert!(analyze_source(TEST, src).is_empty());
+}
+
+#[test]
+fn rob_panic_covers_the_panic_family() {
+    let src = "fn a() { panic!(\"boom\") }\nfn b() { todo!() }\nfn c() { unimplemented!() }";
+    assert_eq!(rules_of(&analyze_source(LIB, src)), ["rob-panic"; 3]);
+    assert!(analyze_source(BIN, src).is_empty());
+}
+
+#[test]
+fn rob_panic_ignores_assert_and_unreachable() {
+    // assert!/unreachable! state invariants; they are deliberately not
+    // flagged.
+    let src = "fn f(x: u8) { assert!(x > 0); if x == 255 { unreachable!() } }";
+    assert!(analyze_source(LIB, src).is_empty());
+}
+
+#[test]
+fn rob_float_eq_fires_on_float_literal_comparisons() {
+    let src = "fn f(x: f64) -> bool { x == 0.0 }";
+    assert_eq!(rules_of(&analyze_source(LIB, src)), ["rob-float-eq"]);
+    let src = "fn f(x: f64) -> bool { 1.5 != x }";
+    assert_eq!(rules_of(&analyze_source(LIB, src)), ["rob-float-eq"]);
+}
+
+#[test]
+fn rob_float_eq_ignores_integers_and_orderings() {
+    let src = "fn f(x: u8, y: f64) -> bool { x == 1 && y < 2.0 && y >= 0.5 }";
+    assert!(analyze_source(LIB, src).is_empty());
+}
+
+#[test]
+fn hyg_forbid_unsafe_checks_library_crate_roots() {
+    let missing = "pub fn f() {}";
+    assert_eq!(rules_of(&analyze_source("crates/sim/src/lib.rs", missing)), ["hyg-forbid-unsafe"]);
+    let present = "#![forbid(unsafe_code)]\npub fn f() {}";
+    assert!(analyze_source("crates/sim/src/lib.rs", present).is_empty());
+    // Non-root files and non-library crates are not checked.
+    assert!(analyze_source(LIB, missing).is_empty());
+    assert!(analyze_source("crates/bench/src/lib.rs", missing).is_empty());
+}
+
+#[test]
+fn hyg_debug_print_fires_in_library_code_only() {
+    let src = "fn f(x: u8) { println!(\"{x}\"); dbg!(x); }";
+    assert_eq!(rules_of(&analyze_source(LIB, src)), ["hyg-debug-print"; 2]);
+    // Binaries print to talk to their user; tests print to debug.
+    assert!(analyze_source(BIN, src).is_empty());
+    assert!(analyze_source(TEST, src).is_empty());
+}
+
+#[test]
+fn allow_directive_suppresses_on_own_and_next_line() {
+    let src = "// evop-lint: allow(rob-unwrap) -- fixture checks suppression\n\
+               fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+    assert!(analyze_source(LIB, src).is_empty());
+    let trailing =
+        "fn f(x: Option<u8>) -> u8 { x.unwrap() } // evop-lint: allow(rob-unwrap) -- same line";
+    assert!(analyze_source(LIB, trailing).is_empty());
+}
+
+#[test]
+fn allow_directive_does_not_reach_past_the_next_line() {
+    let src = "// evop-lint: allow(rob-unwrap) -- too far away\n\n\
+               fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+    let mut rules = rules_of(&analyze_source(LIB, src));
+    rules.sort_unstable();
+    // The unwrap still fires, and the now-unused directive is flagged.
+    assert_eq!(rules, ["hyg-directive", "rob-unwrap"]);
+}
+
+#[test]
+fn allow_directive_only_suppresses_its_named_rule() {
+    let src = "// evop-lint: allow(rob-expect) -- wrong rule on purpose\n\
+               fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+    let mut rules = rules_of(&analyze_source(LIB, src));
+    rules.sort_unstable();
+    assert_eq!(rules, ["hyg-directive", "rob-unwrap"]);
+}
+
+#[test]
+fn hyg_directive_flags_unknown_rules_and_missing_reasons() {
+    let unknown = "// evop-lint: allow(no-such-rule) -- whatever\nfn f() {}";
+    let reports = analyze_source(LIB, unknown);
+    assert_eq!(rules_of(&reports), ["hyg-directive"]);
+    assert!(reports[0].message.contains("unknown rule"));
+
+    let reasonless = "// evop-lint: allow(rob-unwrap)\nfn f(x: Option<u8>) -> u8 { x.unwrap() }";
+    let mut rules = rules_of(&analyze_source(LIB, reasonless));
+    rules.sort_unstable();
+    // Without a reason the directive suppresses nothing and is itself
+    // reported.
+    assert_eq!(rules, ["hyg-directive", "rob-unwrap"]);
+}
+
+#[test]
+fn reports_carry_location_and_excerpt() {
+    let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}";
+    let reports = analyze_source(LIB, src);
+    assert_eq!(reports.len(), 1);
+    let r = &reports[0];
+    assert_eq!((r.path.as_str(), r.line), (LIB, 2));
+    assert_eq!(r.excerpt, "x.unwrap()");
+    assert!(!r.message.is_empty());
+}

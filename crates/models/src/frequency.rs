@@ -44,7 +44,7 @@ impl FlowDurationCurve {
         if sorted.is_empty() {
             return None;
         }
-        sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        sorted.sort_by(|a, b| b.total_cmp(a));
         Some(FlowDurationCurve { sorted })
     }
 

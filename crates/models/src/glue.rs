@@ -173,7 +173,7 @@ where
     for t in 0..steps {
         let mut pairs: Vec<(f64, f64)> =
             members.iter().map(|m| (m.simulation.value_at(t), m.weight)).collect();
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite simulations"));
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         lower.push(weighted_quantile(&pairs, 0.05));
         median.push(weighted_quantile(&pairs, 0.50));
         upper.push(weighted_quantile(&pairs, 0.95));

@@ -69,7 +69,9 @@ pub fn nse(simulated: &TimeSeries, observed: &TimeSeries) -> f64 {
     let mean_obs = pairs.iter().map(|(_, o)| o).sum::<f64>() / pairs.len() as f64;
     let ss_err: f64 = pairs.iter().map(|(s, o)| (o - s).powi(2)).sum();
     let ss_tot: f64 = pairs.iter().map(|(_, o)| (o - mean_obs).powi(2)).sum();
-    if ss_tot == 0.0 {
+    // Degenerate (constant) observations: no variance to explain. The
+    // epsilon guard is NaN-safe and also catches the numerically-zero case.
+    if ss_tot.is_nan() || ss_tot.abs() < f64::EPSILON {
         return f64::NAN;
     }
     1.0 - ss_err / ss_tot
@@ -95,7 +97,7 @@ pub fn rmse(simulated: &TimeSeries, observed: &TimeSeries) -> f64 {
 pub fn pbias(simulated: &TimeSeries, observed: &TimeSeries) -> f64 {
     let pairs = paired(simulated, observed);
     let sum_obs: f64 = pairs.iter().map(|(_, o)| o).sum();
-    if pairs.is_empty() || sum_obs == 0.0 {
+    if pairs.is_empty() || sum_obs.is_nan() || sum_obs.abs() < f64::EPSILON {
         return f64::NAN;
     }
     100.0 * pairs.iter().map(|(s, o)| s - o).sum::<f64>() / sum_obs

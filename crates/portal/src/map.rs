@@ -205,7 +205,7 @@ impl AssetMap {
     pub fn nearest(&self, point: LatLon, n: usize) -> Vec<&Marker> {
         let mut by_distance: Vec<(&Marker, f64)> =
             self.markers.iter().map(|m| (m, point.haversine_km(m.location()))).collect();
-        by_distance.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        by_distance.sort_by(|a, b| a.1.total_cmp(&b.1));
         by_distance.into_iter().take(n).map(|(m, _)| m).collect()
     }
 

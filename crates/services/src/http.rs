@@ -150,12 +150,11 @@ impl Request {
 
     /// Sets a JSON body and content type.
     ///
-    /// # Panics
-    ///
-    /// Panics if `value` cannot be serialised (programmer error for the
-    /// types used in this workspace).
+    /// A value that cannot be serialised (a programmer error for the types
+    /// used in this workspace) produces an empty JSON object body rather
+    /// than panicking mid-request; the receiving handler rejects it.
     pub fn json<T: Serialize>(self, value: &T) -> Request {
-        let bytes = serde_json::to_vec(value).expect("serialisable value");
+        let bytes = serde_json::to_vec(value).unwrap_or_else(|_| b"{}".to_vec());
         self.header("content-type", "application/json").body(bytes)
     }
 
@@ -288,12 +287,15 @@ impl Response {
 
     /// Sets a JSON body and content type.
     ///
-    /// # Panics
-    ///
-    /// Panics if `value` cannot be serialised.
+    /// A value that cannot be serialised (a programmer error for the types
+    /// used in this workspace) degrades to a 500 response rather than
+    /// panicking mid-request — one bad handler must not take down the
+    /// process serving every other session.
     pub fn json<T: Serialize>(self, value: &T) -> Response {
-        let bytes = serde_json::to_vec(value).expect("serialisable value");
-        self.header("content-type", "application/json").body_from(bytes)
+        match serde_json::to_vec(value) {
+            Ok(bytes) => self.header("content-type", "application/json").body_from(bytes),
+            Err(e) => Response::internal_error(format!("response serialisation failed: {e}")),
+        }
     }
 
     /// Sets an XML body and content type.

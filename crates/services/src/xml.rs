@@ -303,11 +303,10 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                     self.skip_ws();
-                    let quote = self.peek();
-                    if quote != Some(b'"') && quote != Some(b'\'') {
-                        return Err(self.error("expected quoted attribute value"));
-                    }
-                    let quote = quote.expect("checked");
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.error("expected quoted attribute value")),
+                    };
                     self.pos += 1;
                     let start = self.pos;
                     while self.peek().is_some() && self.peek() != Some(quote) {

@@ -214,7 +214,7 @@ impl Percentiles {
             return None;
         }
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         let n = self.samples.len();

@@ -70,7 +70,7 @@ impl PlacementPolicy for PrivateFirst {
     fn rank(&self, _template: &NodeTemplate, providers: &[ProviderView]) -> Vec<String> {
         let (mut privates, mut publics) = privates_then_publics(providers);
         privates.sort_by_key(|p| std::cmp::Reverse(p.free_vcpus));
-        publics.sort_by(|a, b| a.price_factor.partial_cmp(&b.price_factor).expect("finite"));
+        publics.sort_by(|a, b| a.price_factor.total_cmp(&b.price_factor));
         privates.into_iter().chain(publics).map(|p| p.name.clone()).collect()
     }
 
@@ -103,7 +103,7 @@ pub struct PublicOnly;
 impl PlacementPolicy for PublicOnly {
     fn rank(&self, _template: &NodeTemplate, providers: &[ProviderView]) -> Vec<String> {
         let (_, mut publics) = privates_then_publics(providers);
-        publics.sort_by(|a, b| a.price_factor.partial_cmp(&b.price_factor).expect("finite"));
+        publics.sort_by(|a, b| a.price_factor.total_cmp(&b.price_factor));
         publics.into_iter().map(|p| p.name.clone()).collect()
     }
 
@@ -126,7 +126,7 @@ impl PlacementPolicy for SplitByImageKind {
     fn rank(&self, template: &NodeTemplate, providers: &[ProviderView]) -> Vec<String> {
         let (mut privates, mut publics) = privates_then_publics(providers);
         privates.sort_by_key(|p| std::cmp::Reverse(p.free_vcpus));
-        publics.sort_by(|a, b| a.price_factor.partial_cmp(&b.price_factor).expect("finite"));
+        publics.sort_by(|a, b| a.price_factor.total_cmp(&b.price_factor));
         let (first, second): (Vec<&ProviderView>, Vec<&ProviderView>) =
             if template.image_is_streamlined() { (publics, privates) } else { (privates, publics) };
         first.into_iter().chain(second).map(|p| p.name.clone()).collect()
@@ -144,7 +144,7 @@ pub struct CheapestFirst;
 impl PlacementPolicy for CheapestFirst {
     fn rank(&self, _template: &NodeTemplate, providers: &[ProviderView]) -> Vec<String> {
         let mut all: Vec<&ProviderView> = providers.iter().collect();
-        all.sort_by(|a, b| a.price_factor.partial_cmp(&b.price_factor).expect("finite"));
+        all.sort_by(|a, b| a.price_factor.total_cmp(&b.price_factor));
         all.into_iter().map(|p| p.name.clone()).collect()
     }
 
