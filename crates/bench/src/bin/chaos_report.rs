@@ -1,0 +1,114 @@
+//! Regenerates the chaos-plane numbers recorded in EXPERIMENTS.md (the
+//! fault-injection halves of E4 and E6): the MTBF soak matrix and the
+//! provider-storm scenario, both fully seeded and reproducible.
+//!
+//! ```sh
+//! cargo run -p evop-bench --release --bin chaos_report
+//! ```
+
+use evop_broker::BrokerConfig;
+use evop_chaos::{ChaosRunReport, ChaosScenario, FaultSchedule};
+use evop_portal::render::table;
+use evop_sim::SimDuration;
+
+/// Same axes as `tests/chaos.rs` — this binary prints what the matrix
+/// asserts.
+const SEEDS: [u64; 8] = [1, 7, 42, 1234, 4242, 9001, 0xDEAD_BEEF, 0xC0FF_EE00];
+const MTBFS_SECS: [u64; 3] = [900, 1800, 3600];
+const STORM_SEED: u64 = 42;
+
+fn main() {
+    println!("======================================================================");
+    println!(" EVOp reproduction — chaos report (fault injection, E4/E6)");
+    println!("======================================================================");
+    matrix();
+    storm();
+}
+
+fn soak(seed: u64, mtbf_secs: u64) -> ChaosRunReport {
+    let config = BrokerConfig {
+        private_capacity_vcpus: 16,
+        instance_mtbf: Some(SimDuration::from_secs(mtbf_secs)),
+        ..BrokerConfig::default()
+    };
+    ChaosScenario::new(FaultSchedule::named("mtbf-soak"), seed)
+        .config(config)
+        .sessions(20)
+        .duration(SimDuration::from_secs(4 * 3600))
+        .run()
+}
+
+fn matrix() {
+    println!("\n--- E4: MTBF soak matrix (8 seeds × 3 MTBFs, 20 users, 4 h each)");
+    let mut rows = Vec::new();
+    for mtbf in MTBFS_SECS {
+        let reports: Vec<ChaosRunReport> = SEEDS.iter().map(|&s| soak(s, mtbf)).collect();
+        let detections: usize = reports.iter().map(|r| r.detections).sum();
+        let migrations: usize = reports.iter().map(|r| r.migrations).sum();
+        let unserved: usize = reports.iter().map(|r| r.sessions_unserved).sum();
+        let lost: usize = reports.iter().map(|r| r.jobs_lost).sum();
+        let completed: usize = reports.iter().map(|r| r.jobs_completed).sum();
+        let lats: Vec<f64> =
+            reports.iter().flat_map(|r| r.detection_latencies_secs.iter().copied()).collect();
+        let mean_lat = lats.iter().sum::<f64>() / lats.len().max(1) as f64;
+        let max_lat = lats.iter().copied().fold(0.0f64, f64::max);
+        let refused: u64 = reports.iter().map(|r| r.submits.transient_refusals).sum();
+        let recovered: u64 = reports.iter().map(|r| r.submits.recovered).sum();
+        rows.push(vec![
+            format!("{} min", mtbf / 60),
+            detections.to_string(),
+            migrations.to_string(),
+            format!("{mean_lat:.0} s / {max_lat:.0} s"),
+            format!("{recovered}/{refused}"),
+            format!("{completed}/{lost}"),
+            unserved.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "MTBF",
+                "detections",
+                "migrations",
+                "detect lat (mean/max)",
+                "retry ok/refused",
+                "jobs done/lost",
+                "unserved",
+            ],
+            &rows,
+        )
+    );
+}
+
+fn storm() {
+    println!("\n--- E6: provider storm (declarative schedule, seed {STORM_SEED})");
+    let config = BrokerConfig {
+        private_capacity_vcpus: 4,
+        instance_mtbf: Some(SimDuration::from_secs(1800)),
+        ..BrokerConfig::default()
+    };
+    let report = ChaosScenario::new(FaultSchedule::provider_storm(), STORM_SEED)
+        .config(config)
+        .sessions(20)
+        .duration(SimDuration::from_secs(2 * 3600))
+        .run();
+    println!("  chaos faults fired        : {}", report.chaos_faults_fired);
+    println!("  failures detected         : {}", report.detections);
+    println!("  sessions migrated         : {}", report.migrations);
+    println!("  sessions requeued         : {}", report.requeues);
+    println!("  provisioning faults       : {}", report.provision_faults);
+    println!("  backoff skips             : {}", report.backoff_skips);
+    println!("  provisioning retries ok   : {}", report.retry_successes);
+    println!(
+        "  submits ok/transient/hard : {}/{}/{}",
+        report.submits.accepted, report.submits.transient_refusals, report.submits.hard_failures
+    );
+    match report.retry_success_rate() {
+        Some(rate) => println!("  user retry success rate   : {:.0} %", rate * 100.0),
+        None => println!("  user retry success rate   : n/a (no refusals)"),
+    }
+    println!("  jobs completed/lost       : {}/{}", report.jobs_completed, report.jobs_lost);
+    println!("  sessions unserved at end  : {}", report.sessions_unserved);
+    println!("  canonical log             : {} bytes", report.canonical_log().len());
+}

@@ -24,8 +24,20 @@ pub const PUBLIC_PROVIDER: &str = "aws";
 pub enum BrokerError {
     /// The session id is unknown.
     UnknownSession(SessionId),
-    /// The session has no serving instance (waiting or closed).
+    /// The session has no serving instance and is not waiting for one
+    /// (closed, or never bound).
     SessionNotServing(SessionId),
+    /// The session is between instances — its old instance was lost and
+    /// the control loop is re-binding it. Transient by construction:
+    /// retrying after `retry_after` (one control tick) will usually find
+    /// the session serving again.
+    TransientlyUnavailable {
+        /// The affected session.
+        session: SessionId,
+        /// How long the caller should wait before retrying — the broker's
+        /// control-loop interval, the soonest a re-bind can happen.
+        retry_after: SimDuration,
+    },
     /// No library image can serve the requested model.
     NoImageForModel(String),
     /// The configuration failed validation.
@@ -41,6 +53,12 @@ impl fmt::Display for BrokerError {
         match self {
             BrokerError::UnknownSession(s) => write!(f, "unknown session: {s}"),
             BrokerError::SessionNotServing(s) => write!(f, "session not serving: {s}"),
+            BrokerError::TransientlyUnavailable { session, retry_after } => {
+                write!(
+                    f,
+                    "{session} transiently unavailable (re-binding); retry after {retry_after}"
+                )
+            }
             BrokerError::NoImageForModel(m) => write!(f, "no library image provides model: {m}"),
             BrokerError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
             BrokerError::Cloud(e) => write!(f, "cloud error: {e}"),
@@ -122,6 +140,27 @@ pub enum BrokerEvent {
         /// The session served.
         session: SessionId,
     },
+    /// A session lost its instance and no replacement was available on the
+    /// spot: it went back to the waiting queue for a later control tick
+    /// (graceful degradation instead of a stranded binding).
+    SessionRequeued {
+        /// When.
+        at: SimTime,
+        /// The session put back in the queue.
+        session: SessionId,
+        /// The instance it lost.
+        from: InstanceId,
+    },
+    /// Provisioning hit a transient provider fault; the broker backed off
+    /// instead of retrying immediately.
+    ProvisionFault {
+        /// When.
+        at: SimTime,
+        /// What the providers reported.
+        reason: String,
+        /// How long the broker will wait before the next attempt.
+        retry_after: SimDuration,
+    },
 }
 
 impl BrokerEvent {
@@ -132,7 +171,9 @@ impl BrokerEvent {
             | BrokerEvent::ScaledDown { at, .. }
             | BrokerEvent::FailureDetected { at, .. }
             | BrokerEvent::SessionMigrated { at, .. }
-            | BrokerEvent::WarmPoolHit { at, .. } => *at,
+            | BrokerEvent::WarmPoolHit { at, .. }
+            | BrokerEvent::SessionRequeued { at, .. }
+            | BrokerEvent::ProvisionFault { at, .. } => *at,
         }
     }
 }
@@ -166,6 +207,24 @@ pub struct Broker {
     /// RNG or the event order, so experiment results are unchanged.
     tracer: Tracer,
     metrics: MetricsRegistry,
+    /// Pacing state while provisioning is backing off from a transient
+    /// provider fault; `None` when the last attempt succeeded (or failed
+    /// for capacity, which is not transient).
+    provision_backoff: Option<ProvisionBackoff>,
+    /// Seed for the deterministic backoff jitter (derived from the
+    /// construction seed, varied per fault burst).
+    retry_seed: u64,
+    /// How many distinct fault bursts provisioning has backed off from.
+    fault_bursts: u64,
+}
+
+/// Where the broker is in the current backoff schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ProvisionBackoff {
+    /// 0-based retry index into the jittered schedule.
+    attempt: u32,
+    /// No provisioning attempt before this instant.
+    next_try_at: SimTime,
 }
 
 impl Broker {
@@ -275,6 +334,9 @@ impl Broker {
             default_image,
             tracer,
             metrics,
+            provision_backoff: None,
+            retry_seed: seed ^ 0x9e37_79b9_7f4a_7c15,
+            fault_bursts: 0,
         };
         broker.replenish_warm_pool();
         Ok(broker)
@@ -426,8 +488,12 @@ impl Broker {
     ///
     /// # Errors
     ///
-    /// Returns [`BrokerError::SessionNotServing`] when the session has no
-    /// instance, or a [`BrokerError::Cloud`] error from job submission.
+    /// Returns [`BrokerError::TransientlyUnavailable`] (with a retry-after
+    /// hint) when the session is between instances awaiting re-bind, when a
+    /// provider API fault refuses the submission, or when the serving
+    /// instance has failed but has not yet been condemned by the health
+    /// checks. Returns [`BrokerError::SessionNotServing`] when the session
+    /// is closed, or a [`BrokerError::Cloud`] error otherwise.
     pub fn run_model(&mut self, id: SessionId, work: SimDuration) -> Result<JobId, BrokerError> {
         self.run_model_with_context(id, work, None)
     }
@@ -448,11 +514,48 @@ impl Broker {
     ) -> Result<JobId, BrokerError> {
         let (instance, model, session_ctx) = {
             let session = self.sessions.get(id).ok_or(BrokerError::UnknownSession(id))?;
-            let instance = session.instance().ok_or(BrokerError::SessionNotServing(id))?;
+            let instance = match session.instance() {
+                Some(instance) => instance,
+                // A requeued session is *between* instances: that window is
+                // transient (the next control tick re-binds it), unlike a
+                // closed session which will never serve again.
+                None if session.state() == SessionState::Waiting => {
+                    return Err(BrokerError::TransientlyUnavailable {
+                        session: id,
+                        retry_after: self.config.check_interval,
+                    });
+                }
+                None => return Err(BrokerError::SessionNotServing(id)),
+            };
             (instance, session.model().to_owned(), session.trace_context())
         };
         let ctx = ctx.copied().or(session_ctx);
-        Ok(self.cloud.run_model_traced(instance, &model, work, ctx.as_ref())?)
+        match self.cloud.run_model_traced(instance, &model, work, ctx.as_ref()) {
+            Ok(job) => Ok(job),
+            // A provider API fault on submission is transient by
+            // definition; surface it as such with the fault's own hint.
+            Err(CloudError::ApiUnavailable { retry_after, .. }) => {
+                Err(BrokerError::TransientlyUnavailable { session: id, retry_after })
+            }
+            // The instance has failed but the health checks haven't
+            // condemned it yet: detection plus re-bind takes roughly one
+            // full detection window, after which the session serves again.
+            Err(CloudError::NotRunning(_)) => Err(BrokerError::TransientlyUnavailable {
+                session: id,
+                retry_after: SimDuration::from_millis(
+                    self.config.check_interval.as_millis()
+                        * u64::from(self.config.consecutive_bad_samples),
+                ),
+            }),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Attaches (or clears) a fault injector on the underlying cloud — how
+    /// the chaos plane plugs into a fully assembled broker. Passing a
+    /// benign injector leaves every simulation outcome unchanged.
+    pub fn set_fault_injector(&mut self, injector: Option<Box<dyn evop_cloud::FaultInjector>>) {
+        self.cloud.set_fault_injector(injector);
     }
 
     /// Injects an instance failure into the underlying cloud — the fault
@@ -636,12 +739,35 @@ impl Broker {
             .or_else(|| self.provision(&image).ok());
 
         let now = self.cloud.now();
-        if let Some(to) = replacement {
-            for session in affected {
-                if let Some(s) = self.sessions.get_mut(session) {
-                    s.assign(to, now, true);
+        match replacement {
+            Some(to) => {
+                for session in affected {
+                    if let Some(s) = self.sessions.get_mut(session) {
+                        s.assign(to, now, true);
+                    }
+                    self.note_migration(session, bad, to, "failure-recovery");
                 }
-                self.note_migration(session, bad, to, "failure-recovery");
+            }
+            // No room anywhere and provisioning failed (saturation or a
+            // fault burst): requeue the orphans instead of leaving them
+            // bound to a corpse. The next control tick — or the end of the
+            // backoff — re-binds them.
+            None => {
+                for session in affected {
+                    if let Some(s) = self.sessions.get_mut(session) {
+                        s.unbind(now);
+                    }
+                    self.events.push(BrokerEvent::SessionRequeued { at: now, session, from: bad });
+                    self.metrics.inc_counter("broker_requeues_total", &[]);
+                    if let Some(ctx) =
+                        self.sessions.get(session).and_then(UserSession::trace_context)
+                    {
+                        let span = self.tracer.start_span("session.requeue", &ctx);
+                        span.attr("from", bad.to_string());
+                        span.event("push session-update");
+                        span.finish();
+                    }
+                }
             }
         }
         let _ = self.cloud.terminate(bad);
@@ -678,9 +804,12 @@ impl Broker {
         };
         let Some(instance) = instance else { return };
         if let Some(s) = self.sessions.get_mut(session) {
+            let first_activation = s.activated_at().is_none();
             s.assign(instance, now, false);
-            if let Some(wait) = s.activation_wait() {
-                self.metrics.observe("broker_activation_wait_seconds", &[], wait.as_secs_f64());
+            if first_activation {
+                if let Some(wait) = s.activation_wait() {
+                    self.metrics.observe("broker_activation_wait_seconds", &[], wait.as_secs_f64());
+                }
             }
         }
         if how == "warm-pool" {
@@ -739,11 +868,92 @@ impl Broker {
         image: &ImageId,
         ctx: Option<&TraceContext>,
     ) -> Result<InstanceId, BrokerError> {
+        let now = self.cloud.now();
+        // Still waiting out a fault burst? Don't touch the providers at
+        // all — degrade to whatever capacity is already running.
+        if let Some(backoff) = self.provision_backoff {
+            if now < backoff.next_try_at {
+                let retry_after = backoff.next_try_at.saturating_since(now);
+                self.metrics.inc_counter("broker_provision_backoff_skips_total", &[]);
+                return Err(BrokerError::Provision(XcloudError::Transient {
+                    attempts: vec![(
+                        "broker".to_owned(),
+                        format!("backing off from provider fault; retry after {retry_after}"),
+                    )],
+                    retry_after,
+                }));
+            }
+        }
+
         let template = NodeTemplate::new(self.config.instance_type.clone(), image.clone());
         self.cloud.set_launch_context(ctx.copied());
         let result = self.compute.provision(&mut self.cloud, &template);
         self.cloud.set_launch_context(None);
-        let id = result?;
+        let id = match result {
+            Ok(id) => {
+                if self.provision_backoff.take().is_some() {
+                    // The burst is over and the retry paid off.
+                    self.metrics
+                        .inc_counter("broker_provision_retries_total", &[("outcome", "success")]);
+                }
+                id
+            }
+            Err(XcloudError::Transient { attempts, retry_after }) => {
+                let attempt = match self.provision_backoff {
+                    Some(b) => {
+                        self.metrics.inc_counter(
+                            "broker_provision_retries_total",
+                            &[("outcome", "faulted")],
+                        );
+                        b.attempt.saturating_add(1)
+                    }
+                    None => {
+                        self.fault_bursts += 1;
+                        0
+                    }
+                };
+                // Pace the next attempt by the jittered schedule (varied
+                // per burst), never sooner than the providers asked for;
+                // once the schedule is exhausted keep trying at its last,
+                // capped interval — the broker never gives up on demand.
+                let seed = self.retry_seed.wrapping_add(self.fault_bursts);
+                let delays = self.config.provision_retry.jittered_delays(seed);
+                let planned =
+                    delays.get(attempt as usize).or(delays.last()).copied().unwrap_or(retry_after);
+                let delay = planned.max(retry_after);
+                self.provision_backoff =
+                    Some(ProvisionBackoff { attempt, next_try_at: now + delay });
+                let reason = attempts
+                    .last()
+                    .map(|(provider, why)| format!("{provider}: {why}"))
+                    .unwrap_or_else(|| "no provider reachable".to_owned());
+                self.metrics.inc_counter("broker_provision_faults_total", &[]);
+                self.events.push(BrokerEvent::ProvisionFault {
+                    at: now,
+                    reason: reason.clone(),
+                    retry_after: delay,
+                });
+                if let Some(ctx) = ctx {
+                    let span = self.tracer.start_span("provision.fault", ctx);
+                    span.attr("reason", reason);
+                    span.attr("retry_after", delay.to_string());
+                    span.finish();
+                }
+                return Err(BrokerError::Provision(XcloudError::Transient {
+                    attempts,
+                    retry_after: delay,
+                }));
+            }
+            Err(other) => {
+                // Saturation is not a fault: clear any stale backoff so
+                // the next real fault starts a fresh schedule.
+                if self.provision_backoff.take().is_some() {
+                    self.metrics
+                        .inc_counter("broker_provision_retries_total", &[("outcome", "capacity")]);
+                }
+                return Err(BrokerError::Provision(other));
+            }
+        };
         let provider = self.cloud.instance(id).map(|i| i.provider().to_owned()).unwrap_or_default();
         let cloudburst =
             self.cloud.provider(&provider).map(Provider::kind) == Some(ProviderKind::Public);
@@ -1186,6 +1396,90 @@ mod tests {
         );
         assert!(
             broker.metrics().counter("broker_migrations_total", &[("reason", "failure-recovery")])
+                >= 1
+        );
+    }
+
+    /// Refuses every launch with a transient API fault; job submission and
+    /// everything else stay healthy.
+    #[derive(Debug)]
+    struct AllLaunchesFail;
+
+    impl evop_cloud::FaultInjector for AllLaunchesFail {
+        fn api_fault(
+            &mut self,
+            _: SimTime,
+            _: &str,
+            op: evop_cloud::CloudOp,
+        ) -> Option<evop_cloud::ApiFault> {
+            (op == evop_cloud::CloudOp::Launch).then(|| evop_cloud::ApiFault {
+                reason: "api-error-burst".to_owned(),
+                retry_after: SimDuration::from_secs(30),
+            })
+        }
+    }
+
+    #[test]
+    fn lost_instance_requeues_sessions_with_typed_transient_error() {
+        // 2 private vCPUs of m1.medium = exactly one private instance.
+        let config = BrokerConfig { private_capacity_vcpus: 2, ..BrokerConfig::default() };
+        let mut broker = Broker::new(config, 11);
+        let s = broker.connect("alice", "topmodel").unwrap();
+        let bad = broker.session(s).unwrap().instance().unwrap();
+        broker.advance(SimDuration::from_secs(200));
+
+        // Kill the only instance while every replacement launch faults.
+        broker.set_fault_injector(Some(Box::new(AllLaunchesFail)));
+        broker.cloud.inject_failure(bad, FailureMode::NetworkBlackhole).unwrap();
+        broker.advance(SimDuration::from_secs(120));
+
+        assert!(
+            broker.events().iter().any(
+                |e| matches!(e, BrokerEvent::SessionRequeued { session, .. } if *session == s)
+            ),
+            "session must be requeued, got {:?}",
+            broker.events()
+        );
+        assert!(broker.metrics().counter("broker_requeues_total", &[]) >= 1);
+        match broker.run_model(s, SimDuration::from_secs(10)) {
+            Err(BrokerError::TransientlyUnavailable { session, retry_after }) => {
+                assert_eq!(session, s);
+                assert_eq!(retry_after, broker.config().check_interval);
+            }
+            other => panic!("expected transiently-unavailable, got {other:?}"),
+        }
+
+        // The burst ends: the waiting session is re-bound and serves again.
+        broker.set_fault_injector(None);
+        broker.advance(SimDuration::from_secs(900));
+        assert_eq!(broker.session(s).unwrap().state(), SessionState::Active);
+        assert!(broker.run_model(s, SimDuration::from_secs(10)).is_ok());
+    }
+
+    #[test]
+    fn provisioning_backs_off_during_fault_bursts() {
+        let mut broker = small_broker();
+        broker.set_fault_injector(Some(Box::new(AllLaunchesFail)));
+        let s = broker.connect("bob", "topmodel").unwrap();
+        assert_eq!(broker.session(s).unwrap().state(), SessionState::Waiting);
+
+        broker.advance(SimDuration::from_secs(300)); // 20 control ticks
+        let faults = broker.metrics().counter("broker_provision_faults_total", &[]);
+        let skips = broker.metrics().counter("broker_provision_backoff_skips_total", &[]);
+        assert!(faults >= 2, "need repeated paced attempts, got {faults}");
+        assert!(skips >= 1, "backoff must skip provider calls between attempts");
+        assert!(faults < 20, "attempts must be paced by the backoff, got {faults}");
+        assert!(broker.events().iter().any(|e| matches!(e, BrokerEvent::ProvisionFault { .. })));
+
+        broker.set_fault_injector(None);
+        broker.advance(SimDuration::from_secs(900));
+        assert_eq!(
+            broker.session(s).unwrap().state(),
+            SessionState::Active,
+            "demand is served once the burst ends"
+        );
+        assert!(
+            broker.metrics().counter("broker_provision_retries_total", &[("outcome", "success")])
                 >= 1
         );
     }

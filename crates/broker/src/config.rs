@@ -1,6 +1,7 @@
 //! Broker configuration.
 
 use evop_sim::SimDuration;
+use evop_xcloud::RetryPolicy;
 
 /// Tunables for the Infrastructure Manager.
 ///
@@ -33,6 +34,11 @@ pub struct BrokerConfig {
     /// When set, instances fail spontaneously with this mean time between
     /// failures (chaos testing); `None` disables spontaneous failures.
     pub instance_mtbf: Option<SimDuration>,
+    /// Backoff schedule the broker follows when provisioning fails
+    /// *transiently* (provider API fault or open circuit breaker). Retries
+    /// are paced across control-loop ticks, so a fault burst is waited out
+    /// instead of hammered.
+    pub provision_retry: RetryPolicy,
 }
 
 impl Default for BrokerConfig {
@@ -48,6 +54,7 @@ impl Default for BrokerConfig {
             warm_pool_size: 0,
             allow_incubator_fallback: true,
             instance_mtbf: None,
+            provision_retry: RetryPolicy::default(),
         }
     }
 }
@@ -88,6 +95,7 @@ impl BrokerConfig {
         if self.instance_mtbf.is_some_and(SimDuration::is_zero) {
             return Err("instance MTBF must be positive when set".to_owned());
         }
+        self.provision_retry.validate()?;
         Ok(())
     }
 }

@@ -132,7 +132,11 @@ impl UserSession {
         let previous = self.instance.replace(instance);
         if self.state == SessionState::Waiting {
             self.state = SessionState::Active;
-            self.activated_at = Some(now);
+            // First activation only: a rebind after a requeue keeps the
+            // original time-to-first-service.
+            if self.activated_at.is_none() {
+                self.activated_at = Some(now);
+            }
         }
         if is_migration {
             self.migrations += 1;
@@ -146,6 +150,32 @@ impl UserSession {
         });
         // Carry the trace context on the push, so the browser-side widget
         // can correlate the update with the server-side timeline.
+        if let Some(ctx) = &self.trace {
+            if let Some(map) = payload.as_object_mut() {
+                map.insert("trace_id".to_owned(), json!(ctx.trace_id.to_string()));
+                map.insert("span_id".to_owned(), json!(ctx.span_id.to_string()));
+            }
+        }
+        let _ = self.server_end.send(Message::new("session-update", payload));
+    }
+
+    /// Detaches the session from a lost instance and requeues it for
+    /// binding: routing state goes back to `Waiting`, and the client is
+    /// told its instance is gone so the widget can show a reconnecting
+    /// state instead of talking to a dead address.
+    pub(crate) fn unbind(&mut self, now: SimTime) {
+        if self.state != SessionState::Active {
+            return;
+        }
+        let previous = self.instance.take();
+        self.state = SessionState::Waiting;
+        let mut payload = json!({
+            "session": self.id.to_string(),
+            "instance": serde_json::Value::Null,
+            "previous": previous.map(|p| p.to_string()),
+            "requeued": true,
+            "at": now.as_millis(),
+        });
         if let Some(ctx) = &self.trace {
             if let Some(map) = payload.as_object_mut() {
                 map.insert("trace_id".to_owned(), json!(ctx.trace_id.to_string()));
@@ -287,6 +317,27 @@ mod tests {
         assert_eq!(reg.load(InstanceId::from_raw(2)), 1);
         reg.get_mut(a).unwrap().close();
         assert_eq!(reg.load(inst), 1);
+    }
+
+    #[test]
+    fn unbind_requeues_and_notifies_client() {
+        let mut reg = SessionRegistry::new();
+        let id = reg.open("dave", "topmodel", SimTime::ZERO);
+        reg.get_mut(id).unwrap().assign(InstanceId::from_raw(4), SimTime::from_secs(2), false);
+        reg.get_mut(id).unwrap().unbind(SimTime::from_secs(9));
+        let s = reg.get(id).unwrap();
+        assert_eq!(s.state(), SessionState::Waiting);
+        assert_eq!(s.instance(), None);
+        let updates = s.client_channel().drain();
+        assert_eq!(updates.len(), 2);
+        assert_eq!(updates[1].payload()["requeued"], true);
+        assert!(updates[1].payload()["instance"].is_null());
+
+        // Rebinding after a requeue keeps the original activation time.
+        reg.get_mut(id).unwrap().assign(InstanceId::from_raw(5), SimTime::from_secs(20), false);
+        let s = reg.get(id).unwrap();
+        assert_eq!(s.state(), SessionState::Active);
+        assert_eq!(s.activation_wait(), Some(evop_sim::SimDuration::from_secs(2)));
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Chaos-wrapped blob storage.
+
+use evop_sim::SimTime;
+use evop_xcloud::{Blob, BlobStore, BlobStoreError};
+
+use crate::engine::ChaosEngine;
+
+/// A [`BlobStore`] fronted by the chaos engine: reads and writes are
+/// refused during a blob-outage window and reads may come back corrupt
+/// during a corruption window — exactly the failure surface the
+/// [`RetryPolicy`](evop_xcloud::RetryPolicy) is built to absorb.
+///
+/// Operations take the caller's virtual `now` because storage has no
+/// clock of its own; the schedule decides what is broken *when*.
+///
+/// # Examples
+///
+/// ```
+/// use evop_chaos::{ChaosBlobStore, ChaosEngine, FaultKind, FaultSchedule};
+/// use evop_sim::SimTime;
+/// use evop_xcloud::{Blob, BlobStore, BlobStoreError};
+///
+/// let mut store = BlobStore::new();
+/// store.create_container("model-library");
+/// store.put("model-library", "eden.img", Blob::from("bytes")).unwrap();
+///
+/// let schedule = FaultSchedule::named("outage")
+///     .window(0, 60, FaultKind::BlobOutage { container: "model-library".to_owned() });
+/// let chaos = ChaosBlobStore::new(store, ChaosEngine::new(schedule, 1));
+///
+/// let during = chaos.get_at(SimTime::from_secs(10), "model-library", "eden.img");
+/// assert!(matches!(during, Err(BlobStoreError::TransientlyUnavailable { .. })));
+/// let after = chaos.get_at(SimTime::from_secs(70), "model-library", "eden.img");
+/// assert!(after.is_ok());
+/// ```
+#[derive(Debug)]
+pub struct ChaosBlobStore {
+    store: BlobStore,
+    engine: ChaosEngine,
+}
+
+impl ChaosBlobStore {
+    /// Wraps a store with an engine.
+    pub fn new(store: BlobStore, engine: ChaosEngine) -> ChaosBlobStore {
+        ChaosBlobStore { store, engine }
+    }
+
+    /// The unwrapped store (faults bypassed) — for assertions and setup.
+    pub fn inner(&self) -> &BlobStore {
+        &self.store
+    }
+
+    /// Mutable access to the unwrapped store.
+    pub fn inner_mut(&mut self) -> &mut BlobStore {
+        &mut self.store
+    }
+
+    /// Fetches a blob at virtual time `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`BlobStoreError::TransientlyUnavailable`] during an outage window
+    /// (with the time-to-recovery as the retry hint),
+    /// [`BlobStoreError::Corrupted`] when a corruption window fires, or
+    /// the underlying store's own errors.
+    pub fn get_at(
+        &self,
+        now: SimTime,
+        container: &str,
+        key: &str,
+    ) -> Result<&Blob, BlobStoreError> {
+        if let Some(retry_after) = self.engine.blob_outage(now, container) {
+            return Err(BlobStoreError::TransientlyUnavailable {
+                container: container.to_owned(),
+                retry_after,
+            });
+        }
+        let blob = self.store.get(container, key)?;
+        if self.engine.blob_corrupts(now, container) {
+            return Err(BlobStoreError::Corrupted {
+                container: container.to_owned(),
+                key: key.to_owned(),
+            });
+        }
+        Ok(blob)
+    }
+
+    /// Stores a blob at virtual time `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`BlobStoreError::TransientlyUnavailable`] during an outage window,
+    /// or the underlying store's own errors.
+    pub fn put_at(
+        &mut self,
+        now: SimTime,
+        container: &str,
+        key: impl Into<String>,
+        blob: Blob,
+    ) -> Result<Option<Blob>, BlobStoreError> {
+        if let Some(retry_after) = self.engine.blob_outage(now, container) {
+            return Err(BlobStoreError::TransientlyUnavailable {
+                container: container.to_owned(),
+                retry_after,
+            });
+        }
+        self.store.put(container, key, blob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{FaultKind, FaultSchedule};
+    use evop_sim::SimDuration;
+    use evop_xcloud::{retry_with, RetryPolicy};
+
+    fn store_with(container: &str, key: &str) -> BlobStore {
+        let mut store = BlobStore::new();
+        store.create_container(container);
+        store.put(container, key, Blob::from("payload")).unwrap();
+        store
+    }
+
+    #[test]
+    fn outage_refuses_reads_and_writes_with_recovery_hint() {
+        let schedule = FaultSchedule::named("outage").window(
+            10,
+            50,
+            FaultKind::BlobOutage { container: "lib".to_owned() },
+        );
+        let mut chaos = ChaosBlobStore::new(store_with("lib", "k"), ChaosEngine::new(schedule, 1));
+
+        assert!(chaos.get_at(SimTime::from_secs(5), "lib", "k").is_ok());
+        match chaos.get_at(SimTime::from_secs(20), "lib", "k") {
+            Err(BlobStoreError::TransientlyUnavailable { container, retry_after }) => {
+                assert_eq!(container, "lib");
+                assert_eq!(retry_after, SimDuration::from_secs(40));
+            }
+            other => panic!("expected outage, got {other:?}"),
+        }
+        assert!(matches!(
+            chaos.put_at(SimTime::from_secs(20), "lib", "k2", Blob::from("x")),
+            Err(BlobStoreError::TransientlyUnavailable { .. })
+        ));
+        assert!(chaos.get_at(SimTime::from_secs(60), "lib", "k").is_ok());
+    }
+
+    #[test]
+    fn corruption_fires_per_schedule_probability() {
+        let schedule = FaultSchedule::named("bitrot").window(
+            0,
+            60,
+            FaultKind::BlobCorruption { container: "lib".to_owned(), probability: 1.0 },
+        );
+        let chaos = ChaosBlobStore::new(store_with("lib", "k"), ChaosEngine::new(schedule, 2));
+        assert!(matches!(
+            chaos.get_at(SimTime::from_secs(1), "lib", "k"),
+            Err(BlobStoreError::Corrupted { .. })
+        ));
+        // Missing keys still report as missing, not corrupt.
+        assert!(matches!(
+            chaos.get_at(SimTime::from_secs(1), "lib", "ghost"),
+            Err(BlobStoreError::NoSuchKey { .. })
+        ));
+    }
+
+    #[test]
+    fn retry_policy_rides_out_an_outage() {
+        // A 40 s outage against a policy whose jittered waits pass the
+        // window's end: the retried read eventually succeeds, in virtual
+        // time, without any real sleeping.
+        let schedule = FaultSchedule::named("outage").window(
+            0,
+            40,
+            FaultKind::BlobOutage { container: "lib".to_owned() },
+        );
+        let chaos = ChaosBlobStore::new(store_with("lib", "k"), ChaosEngine::new(schedule, 3));
+        let policy = RetryPolicy::default();
+        let outcome = retry_with(&policy, 9, SimTime::ZERO, |at, _| {
+            chaos.get_at(at, "lib", "k").map(|b| b.len())
+        });
+        assert_eq!(outcome.result, Ok(7));
+        assert!(outcome.recovered(), "success must have required retries");
+        assert!(outcome.waited >= SimDuration::from_secs(40));
+    }
+}

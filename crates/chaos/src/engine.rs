@@ -1,0 +1,325 @@
+//! The seeded fault-injection engine.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use evop_cloud::{ApiFault, CloudOp, FailureMode, FaultInjector};
+use evop_sim::{SimDuration, SimRng, SimTime};
+
+use crate::schedule::{FaultKind, FaultSchedule};
+
+/// How long an API-error-burst refusal tells the caller to wait.
+const BURST_RETRY_AFTER: SimDuration = SimDuration::from_secs(30);
+
+/// One fault the engine actually fired (as opposed to a window merely
+/// being open). The canonical chaos log is the ordered list of these.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct ChaosEvent {
+    /// When the fault fired, in virtual milliseconds.
+    pub at_ms: u64,
+    /// The fault label (matches [`FaultKind::label`]).
+    pub kind: String,
+    /// The provider or container hit.
+    pub target: String,
+    /// What exactly happened (operation refused, slowdown applied, …).
+    pub detail: String,
+}
+
+#[derive(Debug)]
+struct Inner {
+    schedule: FaultSchedule,
+    seed: u64,
+    /// Independent per-purpose streams, so an extra API-fault draw never
+    /// shifts which boot straggles.
+    api_rng: SimRng,
+    boot_rng: SimRng,
+    straggle_rng: SimRng,
+    blob_rng: SimRng,
+    events: Vec<ChaosEvent>,
+}
+
+/// A seeded, schedule-driven [`FaultInjector`].
+///
+/// The engine is a cheap-clone shared handle (like the observability
+/// plane's `Tracer`): one clone goes into the simulator as the injector,
+/// while the original stays with the harness to read the fault log
+/// afterwards. Everything it does is a pure function of
+/// `(schedule, seed, consultation order)`, and the consultation order is
+/// fixed by the deterministic simulation — so a chaos run replays
+/// byte-identically.
+///
+/// # Examples
+///
+/// ```
+/// use evop_chaos::{ChaosEngine, FaultSchedule};
+///
+/// let engine = ChaosEngine::new(FaultSchedule::provider_storm(), 42);
+/// let again = ChaosEngine::new(FaultSchedule::provider_storm(), 42);
+/// assert_eq!(engine.canonical_json(), again.canonical_json());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaosEngine {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl ChaosEngine {
+    /// Creates an engine for one `(schedule, seed)` pair.
+    pub fn new(schedule: FaultSchedule, seed: u64) -> ChaosEngine {
+        let root = SimRng::new(seed).fork("chaos");
+        ChaosEngine {
+            inner: Arc::new(Mutex::new(Inner {
+                schedule,
+                seed,
+                api_rng: root.fork("api"),
+                boot_rng: root.fork("boot"),
+                straggle_rng: root.fork("straggle"),
+                blob_rng: root.fork("blob"),
+                events: Vec::new(),
+            })),
+        }
+    }
+
+    /// The seed the engine was built with.
+    pub fn seed(&self) -> u64 {
+        self.inner.lock().seed
+    }
+
+    /// The schedule the engine follows.
+    pub fn schedule(&self) -> FaultSchedule {
+        self.inner.lock().schedule.clone()
+    }
+
+    /// Every fault fired so far, oldest first.
+    pub fn events(&self) -> Vec<ChaosEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// The fired-fault log as canonical JSON (one stable-ordered array).
+    pub fn canonical_json(&self) -> String {
+        let inner = self.inner.lock();
+        serde_json::to_string_pretty(&inner.events).unwrap_or_else(|_| String::from("[]"))
+    }
+
+    /// Whether `container` is inside a blob-outage window at `now`;
+    /// returns the time until the outage lifts.
+    pub fn blob_outage(&self, now: SimTime, container: &str) -> Option<SimDuration> {
+        let mut inner = self.inner.lock();
+        let remaining = inner.schedule.active_at(now).find_map(|w| match &w.kind {
+            FaultKind::BlobOutage { container: c } if c == container => {
+                Some(SimDuration::from_millis(w.remaining_millis(now)))
+            }
+            _ => None,
+        })?;
+        inner.record(now, "blob-outage", container, "request refused");
+        Some(remaining)
+    }
+
+    /// Whether a read from `container` at `now` returns a corrupt object.
+    pub fn blob_corrupts(&self, now: SimTime, container: &str) -> bool {
+        let mut inner = self.inner.lock();
+        let probability = inner.schedule.active_at(now).find_map(|w| match &w.kind {
+            FaultKind::BlobCorruption { container: c, probability } if c == container => {
+                Some(*probability)
+            }
+            _ => None,
+        });
+        let Some(probability) = probability else { return false };
+        if inner.blob_rng.chance(probability) {
+            inner.record(now, "blob-corruption", container, "read returned corrupt object");
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Inner {
+    fn record(&mut self, now: SimTime, kind: &str, target: &str, detail: impl Into<String>) {
+        self.events.push(ChaosEvent {
+            at_ms: now.as_millis(),
+            kind: kind.to_owned(),
+            target: target.to_owned(),
+            detail: detail.into(),
+        });
+    }
+}
+
+impl FaultInjector for ChaosEngine {
+    fn api_fault(&mut self, now: SimTime, provider: &str, op: CloudOp) -> Option<ApiFault> {
+        let mut inner = self.inner.lock();
+        // Partitions dominate bursts: check them first, and report the
+        // remaining partition length as the retry hint.
+        let mut burst_rate: Option<f64> = None;
+        let mut partition_remaining: Option<u64> = None;
+        for w in inner.schedule.active_at(now) {
+            match &w.kind {
+                FaultKind::Partition { provider: p } if p == provider => {
+                    let r = w.remaining_millis(now);
+                    partition_remaining =
+                        Some(partition_remaining.map_or(r, |prev: u64| prev.max(r)));
+                }
+                FaultKind::ApiErrorBurst { provider: p, error_rate } if p == provider => {
+                    burst_rate = Some(burst_rate.map_or(*error_rate, |prev| prev.max(*error_rate)));
+                }
+                _ => {}
+            }
+        }
+        if let Some(remaining) = partition_remaining {
+            inner.record(now, "partition", provider, format!("{op} refused"));
+            return Some(ApiFault {
+                reason: "network-partition".to_owned(),
+                retry_after: SimDuration::from_millis(remaining),
+            });
+        }
+        let rate = burst_rate?;
+        if inner.api_rng.chance(rate) {
+            inner.record(now, "api-error-burst", provider, format!("{op} refused"));
+            Some(ApiFault { reason: "api-error-burst".to_owned(), retry_after: BURST_RETRY_AFTER })
+        } else {
+            None
+        }
+    }
+
+    fn boot_factor(&mut self, now: SimTime, provider: &str) -> f64 {
+        let mut inner = self.inner.lock();
+        let slowdown = inner.schedule.active_at(now).find_map(|w| match &w.kind {
+            FaultKind::Straggler { provider: p, slowdown, probability } if p == provider => {
+                Some((*slowdown, *probability))
+            }
+            _ => None,
+        });
+        let Some((slowdown, probability)) = slowdown else { return 1.0 };
+        if inner.straggle_rng.chance(probability) {
+            inner.record(now, "straggler", provider, format!("boot slowed {slowdown}x"));
+            slowdown.max(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    fn boot_failure(&mut self, now: SimTime, provider: &str) -> Option<FailureMode> {
+        let mut inner = self.inner.lock();
+        let probability = inner.schedule.active_at(now).find_map(|w| match &w.kind {
+            FaultKind::BootFailure { provider: p, probability } if p == provider => {
+                Some(*probability)
+            }
+            _ => None,
+        })?;
+        if inner.boot_rng.chance(probability) {
+            inner.record(now, "boot-failure", provider, "instance doomed at boot");
+            Some(FailureMode::Crash)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn burst_schedule() -> FaultSchedule {
+        FaultSchedule::named("burst").window(
+            0,
+            60,
+            FaultKind::ApiErrorBurst { provider: "aws".to_owned(), error_rate: 1.0 },
+        )
+    }
+
+    #[test]
+    fn bursts_fire_only_inside_the_window_and_for_the_target() {
+        let mut engine = ChaosEngine::new(burst_schedule(), 1);
+        let fault = engine.api_fault(SimTime::from_secs(10), "aws", CloudOp::Launch).unwrap();
+        assert_eq!(fault.reason, "api-error-burst");
+        assert_eq!(fault.retry_after, BURST_RETRY_AFTER);
+        assert!(engine.api_fault(SimTime::from_secs(10), "campus", CloudOp::Launch).is_none());
+        assert!(engine.api_fault(SimTime::from_secs(90), "aws", CloudOp::Launch).is_none());
+        assert_eq!(engine.events().len(), 1);
+    }
+
+    #[test]
+    fn partitions_refuse_everything_with_window_sized_hint() {
+        let schedule = FaultSchedule::named("cut").window(
+            0,
+            100,
+            FaultKind::Partition { provider: "aws".to_owned() },
+        );
+        let mut engine = ChaosEngine::new(schedule, 1);
+        let fault = engine.api_fault(SimTime::from_secs(40), "aws", CloudOp::SubmitJob).unwrap();
+        assert_eq!(fault.reason, "network-partition");
+        assert_eq!(fault.retry_after, SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn boot_hooks_follow_their_windows() {
+        let schedule = FaultSchedule::named("boots")
+            .window(
+                0,
+                60,
+                FaultKind::BootFailure { provider: "campus".to_owned(), probability: 1.0 },
+            )
+            .window(
+                0,
+                60,
+                FaultKind::Straggler {
+                    provider: "aws".to_owned(),
+                    slowdown: 3.0,
+                    probability: 1.0,
+                },
+            );
+        let mut engine = ChaosEngine::new(schedule, 2);
+        assert_eq!(engine.boot_failure(SimTime::from_secs(1), "campus"), Some(FailureMode::Crash));
+        assert_eq!(engine.boot_failure(SimTime::from_secs(1), "aws"), None);
+        assert!((engine.boot_factor(SimTime::from_secs(1), "aws") - 3.0).abs() < f64::EPSILON);
+        assert!((engine.boot_factor(SimTime::from_secs(1), "campus") - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn blob_hooks_follow_their_windows() {
+        let schedule = FaultSchedule::named("blobs")
+            .window(0, 30, FaultKind::BlobOutage { container: "lib".to_owned() })
+            .window(
+                40,
+                30,
+                FaultKind::BlobCorruption { container: "lib".to_owned(), probability: 1.0 },
+            );
+        let engine = ChaosEngine::new(schedule, 3);
+        assert_eq!(
+            engine.blob_outage(SimTime::from_secs(10), "lib"),
+            Some(SimDuration::from_secs(20))
+        );
+        assert_eq!(engine.blob_outage(SimTime::from_secs(10), "other"), None);
+        assert_eq!(engine.blob_outage(SimTime::from_secs(35), "lib"), None);
+        assert!(engine.blob_corrupts(SimTime::from_secs(50), "lib"));
+        assert!(!engine.blob_corrupts(SimTime::from_secs(50), "other"));
+    }
+
+    #[test]
+    fn equal_seeds_replay_identical_fault_logs() {
+        let schedule = FaultSchedule::named("half").window(
+            0,
+            600,
+            FaultKind::ApiErrorBurst { provider: "aws".to_owned(), error_rate: 0.5 },
+        );
+        let drive = |seed: u64| {
+            let mut engine = ChaosEngine::new(schedule.clone(), seed);
+            for s in 0..600 {
+                let _ = engine.api_fault(SimTime::from_secs(s), "aws", CloudOp::Launch);
+            }
+            engine.canonical_json()
+        };
+        assert_eq!(drive(7), drive(7));
+        assert_ne!(drive(7), drive(8), "different seeds fire different faults");
+    }
+
+    #[test]
+    fn clones_share_one_log() {
+        let mut engine = ChaosEngine::new(burst_schedule(), 4);
+        let handle = engine.clone();
+        let _ = engine.api_fault(SimTime::from_secs(1), "aws", CloudOp::Launch);
+        assert_eq!(handle.events().len(), 1);
+        assert_eq!(handle.seed(), 4);
+        assert_eq!(handle.schedule().name(), "burst");
+    }
+}

@@ -1,0 +1,42 @@
+//! Deterministic fault-injection plane for the EVOp simulator.
+//!
+//! Chaos testing is only useful when a failing run can be replayed
+//! exactly. This crate makes every chaos experiment a pure function of a
+//! `(schedule, seed)` pair:
+//!
+//! - [`FaultSchedule`] — a declarative, JSON-round-trippable plan of
+//!   fault windows (API error bursts, boot failures, stragglers,
+//!   partitions, blob outages and corruption);
+//! - [`ChaosEngine`] — a seeded [`FaultInjector`](evop_cloud::FaultInjector)
+//!   that fires the scheduled faults through the cloud simulator's
+//!   injection hooks and records every fault it fires;
+//! - [`ChaosBlobStore`] — the same treatment for blob storage;
+//! - [`ChaosScenario`] — an end-to-end harness that drives a full broker
+//!   through a schedule and returns a measured [`ChaosRunReport`] with a
+//!   canonical event log for golden-trace regression.
+//!
+//! # Examples
+//!
+//! ```
+//! use evop_chaos::{ChaosScenario, FaultSchedule};
+//! use evop_sim::SimDuration;
+//!
+//! let report = ChaosScenario::new(FaultSchedule::provider_storm(), 42)
+//!     .sessions(6)
+//!     .duration(SimDuration::from_secs(3600))
+//!     .run();
+//! assert_eq!(report.sessions_unserved, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blob;
+mod engine;
+mod scenario;
+mod schedule;
+
+pub use blob::ChaosBlobStore;
+pub use engine::{ChaosEngine, ChaosEvent};
+pub use scenario::{ChaosRunReport, ChaosScenario, SubmitStats};
+pub use schedule::{FaultKind, FaultSchedule, FaultWindow};

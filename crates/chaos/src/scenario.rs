@@ -1,0 +1,439 @@
+//! The chaos scenario harness: one `(schedule, seed)` run against a real
+//! broker, with a canonical, replayable event log and measured
+//! reliability numbers.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde_json::{json, Value};
+
+use evop_broker::{Broker, BrokerConfig, BrokerError, BrokerEvent, SessionId, SessionState};
+use evop_cloud::{InstanceId, InstanceState, JobState};
+use evop_sim::{SimDuration, SimTime};
+
+use crate::engine::ChaosEngine;
+use crate::schedule::FaultSchedule;
+
+/// A declarative chaos experiment: a fault schedule, a seed, a broker
+/// configuration and a synthetic user population.
+///
+/// Running the scenario is deterministic end to end — the broker, the
+/// cloud and the fault engine all derive from the same seed — so a run is
+/// identified by `(schedule, seed)` and replays byte-identically.
+///
+/// # Examples
+///
+/// ```
+/// use evop_chaos::{ChaosScenario, FaultSchedule};
+///
+/// let scenario = ChaosScenario::new(FaultSchedule::provider_storm(), 42).sessions(6);
+/// let a = scenario.run();
+/// let b = scenario.run();
+/// assert_eq!(a.canonical_log(), b.canonical_log());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaosScenario {
+    schedule: FaultSchedule,
+    seed: u64,
+    config: BrokerConfig,
+    sessions: usize,
+    duration: SimDuration,
+    submit_every: SimDuration,
+    work: SimDuration,
+}
+
+impl ChaosScenario {
+    /// Creates a scenario with the default population (20 sessions
+    /// soaking for four virtual hours, one model run each per five
+    /// minutes) and the default broker configuration.
+    pub fn new(schedule: FaultSchedule, seed: u64) -> ChaosScenario {
+        ChaosScenario {
+            schedule,
+            seed,
+            config: BrokerConfig::default(),
+            sessions: 20,
+            duration: SimDuration::from_secs(4 * 3600),
+            submit_every: SimDuration::from_secs(300),
+            work: SimDuration::from_secs(30),
+        }
+    }
+
+    /// Overrides the broker configuration.
+    pub fn config(mut self, config: BrokerConfig) -> ChaosScenario {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the number of concurrent user sessions.
+    pub fn sessions(mut self, sessions: usize) -> ChaosScenario {
+        self.sessions = sessions;
+        self
+    }
+
+    /// Overrides the soak length.
+    pub fn duration(mut self, duration: SimDuration) -> ChaosScenario {
+        self.duration = duration;
+        self
+    }
+
+    /// Overrides how often each session fires a model run.
+    pub fn submit_every(mut self, submit_every: SimDuration) -> ChaosScenario {
+        self.submit_every = submit_every;
+        self
+    }
+
+    /// Runs the scenario to completion and measures it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the broker configuration fails validation — scenario
+    /// construction is programmer input.
+    pub fn run(&self) -> ChaosRunReport {
+        let engine = ChaosEngine::new(self.schedule.clone(), self.seed);
+        let mut broker = Broker::new(self.config.clone(), self.seed);
+        broker.set_fault_injector(Some(Box::new(engine.clone())));
+
+        let sessions: Vec<SessionId> = (0..self.sessions)
+            .map(|i| {
+                broker
+                    .connect(&format!("user-{i}"), "topmodel")
+                    // evop-lint: allow(rob-expect) -- default library always serves topmodel
+                    .expect("default library serves topmodel")
+            })
+            .collect();
+
+        let step = self.config.check_interval;
+        let mut failed_at: BTreeMap<InstanceId, SimTime> = BTreeMap::new();
+        let mut next_submit = SimTime::ZERO + self.submit_every;
+        let mut stats = SubmitStats::default();
+        let mut awaiting_rebind: BTreeSet<SessionId> = BTreeSet::new();
+
+        while broker.now() < SimTime::ZERO + self.duration {
+            broker.advance(step);
+            // Record first sightings of failed instances *before* the
+            // broker terminates them, so detection latency is measurable.
+            for inst in broker.cloud().instances() {
+                if let InstanceState::Failed { at, .. } = inst.state() {
+                    failed_at.entry(inst.id()).or_insert(at);
+                }
+            }
+            if broker.now() >= next_submit {
+                next_submit = broker.now() + self.submit_every;
+                for &s in &sessions {
+                    stats.attempts += 1;
+                    match broker.run_model(s, self.work) {
+                        Ok(_) => {
+                            if awaiting_rebind.remove(&s) {
+                                stats.recovered += 1;
+                            }
+                            stats.accepted += 1;
+                        }
+                        Err(BrokerError::TransientlyUnavailable { .. }) => {
+                            awaiting_rebind.insert(s);
+                            stats.transient_refusals += 1;
+                        }
+                        Err(_) => stats.hard_failures += 1,
+                    }
+                }
+            }
+        }
+
+        let mut detection_latencies_secs = Vec::new();
+        let mut detections = 0usize;
+        let mut migrations = 0usize;
+        let mut requeues = 0usize;
+        let mut provision_faults = 0usize;
+        for event in broker.events() {
+            match event {
+                BrokerEvent::FailureDetected { at, instance, .. } => {
+                    detections += 1;
+                    if let Some(&failed) = failed_at.get(instance) {
+                        detection_latencies_secs.push(at.saturating_since(failed).as_secs_f64());
+                    }
+                }
+                BrokerEvent::SessionMigrated { .. } => migrations += 1,
+                BrokerEvent::SessionRequeued { .. } => requeues += 1,
+                BrokerEvent::ProvisionFault { .. } => provision_faults += 1,
+                _ => {}
+            }
+        }
+
+        let unserved = sessions
+            .iter()
+            .filter(|&&s| {
+                let Some(session) = broker.session(s) else { return true };
+                if session.state() != SessionState::Active {
+                    return true;
+                }
+                let Some(inst) = session.instance() else { return true };
+                !broker
+                    .cloud()
+                    .instance(inst)
+                    .is_some_and(|i| !matches!(i.state(), InstanceState::Terminated { .. }))
+            })
+            .count();
+
+        let (jobs_completed, jobs_lost) =
+            broker.cloud().instances().fold((0usize, 0usize), |(c, l), i| {
+                let done = i.jobs().iter().filter(|j| j.latency().is_some()).count();
+                let gone =
+                    i.jobs().iter().filter(|j| matches!(j.state(), JobState::Lost { .. })).count();
+                (c + done, l + gone)
+            });
+
+        let canonical_log = canonical_log(&self.schedule, self.seed, &engine, broker.events());
+        ChaosRunReport {
+            schedule_name: self.schedule.name().to_owned(),
+            seed: self.seed,
+            detections,
+            migrations,
+            requeues,
+            provision_faults,
+            retry_successes: broker
+                .metrics()
+                .counter("broker_provision_retries_total", &[("outcome", "success")]),
+            backoff_skips: broker.metrics().counter("broker_provision_backoff_skips_total", &[]),
+            detection_latencies_secs,
+            chaos_faults_fired: engine.events().len(),
+            submits: stats,
+            sessions_total: sessions.len(),
+            sessions_unserved: unserved,
+            jobs_completed,
+            jobs_lost,
+            total_cost: broker.total_cost(),
+            canonical_log,
+        }
+    }
+}
+
+/// Model-run submission outcomes over a whole scenario.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitStats {
+    /// Model runs attempted.
+    pub attempts: u64,
+    /// Accepted on the first try of that cycle.
+    pub accepted: u64,
+    /// Refused with the typed transient error (session between instances).
+    pub transient_refusals: u64,
+    /// Refused with a non-transient error.
+    pub hard_failures: u64,
+    /// Sessions that were transiently refused and then served on a later
+    /// cycle — the end-to-end retry-success signal.
+    pub recovered: u64,
+}
+
+/// Everything one chaos run measured.
+#[derive(Debug, Clone)]
+pub struct ChaosRunReport {
+    /// The schedule that drove the run.
+    pub schedule_name: String,
+    /// The seed that drove the run.
+    pub seed: u64,
+    /// Instance failures the broker detected.
+    pub detections: usize,
+    /// Sessions moved between instances.
+    pub migrations: usize,
+    /// Sessions sent back to the waiting queue for lack of a replacement.
+    pub requeues: usize,
+    /// Provisioning attempts that hit a transient provider fault.
+    pub provision_faults: usize,
+    /// Backed-off provisioning retries that eventually succeeded.
+    pub retry_successes: u64,
+    /// Provider calls skipped outright while waiting out a backoff.
+    pub backoff_skips: u64,
+    /// Failure-to-detection latency per detected failure, in seconds.
+    pub detection_latencies_secs: Vec<f64>,
+    /// Faults the chaos engine actually fired.
+    pub chaos_faults_fired: usize,
+    /// Model-run submission outcomes.
+    pub submits: SubmitStats,
+    /// Sessions in the scenario.
+    pub sessions_total: usize,
+    /// Sessions not actively served by a live instance at the end.
+    pub sessions_unserved: usize,
+    /// Model runs that completed.
+    pub jobs_completed: usize,
+    /// Model runs lost to failures.
+    pub jobs_lost: usize,
+    /// Total accumulated cost.
+    pub total_cost: f64,
+    canonical_log: String,
+}
+
+impl ChaosRunReport {
+    /// Mean failure-to-detection latency, when any was measured.
+    pub fn mean_detection_latency_secs(&self) -> Option<f64> {
+        if self.detection_latencies_secs.is_empty() {
+            return None;
+        }
+        Some(
+            self.detection_latencies_secs.iter().sum::<f64>()
+                / self.detection_latencies_secs.len() as f64,
+        )
+    }
+
+    /// Worst failure-to-detection latency, when any was measured.
+    pub fn max_detection_latency_secs(&self) -> Option<f64> {
+        self.detection_latencies_secs
+            .iter()
+            .copied()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Fraction of transiently refused cycles that later recovered.
+    pub fn retry_success_rate(&self) -> Option<f64> {
+        if self.submits.transient_refusals == 0 {
+            return None;
+        }
+        Some(self.submits.recovered as f64 / self.submits.transient_refusals as f64)
+    }
+
+    /// The combined chaos + broker event log as canonical JSON: the byte
+    /// string that defines "the same run" for golden-trace regression.
+    pub fn canonical_log(&self) -> &str {
+        &self.canonical_log
+    }
+}
+
+/// Serializes the run into one stable JSON document: schedule identity,
+/// seed, the chaos engine's fired-fault log and the broker's operational
+/// event log, all in their deterministic order.
+fn canonical_log(
+    schedule: &FaultSchedule,
+    seed: u64,
+    engine: &ChaosEngine,
+    broker_events: &[BrokerEvent],
+) -> String {
+    let broker: Vec<Value> = broker_events.iter().map(broker_event_json).collect();
+    let chaos: Vec<Value> = engine
+        .events()
+        .iter()
+        .map(|e| {
+            json!({
+                "at_ms": e.at_ms,
+                "kind": e.kind,
+                "target": e.target,
+                "detail": e.detail,
+            })
+        })
+        .collect();
+    let doc = json!({
+        "schedule": schedule.name(),
+        "seed": seed,
+        "chaos": chaos,
+        "broker": broker,
+    });
+    serde_json::to_string_pretty(&doc).unwrap_or_else(|_| String::from("{}"))
+}
+
+fn broker_event_json(event: &BrokerEvent) -> Value {
+    match event {
+        BrokerEvent::ScaledUp { at, instance, provider, cloudburst } => json!({
+            "at_ms": at.as_millis(),
+            "event": "scaled-up",
+            "instance": instance.to_string(),
+            "provider": provider,
+            "cloudburst": cloudburst,
+        }),
+        BrokerEvent::ScaledDown { at, instance, provider } => json!({
+            "at_ms": at.as_millis(),
+            "event": "scaled-down",
+            "instance": instance.to_string(),
+            "provider": provider,
+        }),
+        BrokerEvent::FailureDetected { at, instance, signature } => json!({
+            "at_ms": at.as_millis(),
+            "event": "failure-detected",
+            "instance": instance.to_string(),
+            "signature": signature,
+        }),
+        BrokerEvent::SessionMigrated { at, session, from, to } => json!({
+            "at_ms": at.as_millis(),
+            "event": "session-migrated",
+            "session": session.to_string(),
+            "from": from.to_string(),
+            "to": to.to_string(),
+        }),
+        BrokerEvent::WarmPoolHit { at, session } => json!({
+            "at_ms": at.as_millis(),
+            "event": "warm-pool-hit",
+            "session": session.to_string(),
+        }),
+        BrokerEvent::SessionRequeued { at, session, from } => json!({
+            "at_ms": at.as_millis(),
+            "event": "session-requeued",
+            "session": session.to_string(),
+            "from": from.to_string(),
+        }),
+        BrokerEvent::ProvisionFault { at, reason, retry_after } => json!({
+            "at_ms": at.as_millis(),
+            "event": "provision-fault",
+            "reason": reason,
+            "retry_after_ms": retry_after.as_millis(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::FaultKind;
+
+    fn short_storm() -> ChaosScenario {
+        // Tight private capacity forces cloudbursting into the AWS fault
+        // windows, and background MTBF churn forces boots during the
+        // campus boot-failure spell — so the storm has something to hit.
+        let config = BrokerConfig {
+            private_capacity_vcpus: 4,
+            instance_mtbf: Some(SimDuration::from_secs(900)),
+            ..BrokerConfig::default()
+        };
+        ChaosScenario::new(FaultSchedule::provider_storm(), 42)
+            .config(config)
+            .sessions(20)
+            .duration(SimDuration::from_secs(3600))
+    }
+
+    #[test]
+    fn runs_are_reproducible_from_schedule_and_seed() {
+        let a = short_storm().run();
+        let b = short_storm().run();
+        assert_eq!(a.canonical_log(), b.canonical_log());
+        assert_eq!(a.detections, b.detections);
+        assert_eq!(a.submits, b.submits);
+
+        let other = ChaosScenario::new(FaultSchedule::provider_storm(), 43)
+            .sessions(8)
+            .duration(SimDuration::from_secs(3600))
+            .run();
+        assert_ne!(a.canonical_log(), other.canonical_log(), "different seeds differ (a.s.)");
+    }
+
+    #[test]
+    fn storm_is_survived_with_everyone_served() {
+        let report = short_storm().run();
+        assert!(report.chaos_faults_fired > 0, "the storm must actually fire faults");
+        assert_eq!(report.sessions_unserved, 0, "no one may be left behind");
+        assert!(report.jobs_completed > 0);
+        assert!(report.submits.hard_failures == 0, "faults must surface as typed transients");
+    }
+
+    #[test]
+    fn boot_failure_spell_forces_detections() {
+        // A run where every campus boot during the spell is doomed: the
+        // broker must detect the corpses and keep serving.
+        let schedule = FaultSchedule::named("doomed-boots").window(
+            0,
+            1200,
+            FaultKind::BootFailure { provider: "campus".to_owned(), probability: 1.0 },
+        );
+        let report = ChaosScenario::new(schedule, 9)
+            .sessions(6)
+            .duration(SimDuration::from_secs(2400))
+            .run();
+        assert!(report.detections >= 1, "doomed boots must be detected: {report:?}");
+        assert_eq!(report.sessions_unserved, 0);
+        for &lat in &report.detection_latencies_secs {
+            assert!(lat <= 120.0, "detection must be prompt, saw {lat}s");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Fault-injection hooks: where a chaos plane plugs into the simulator.
+//!
+//! The simulator owns the *mechanics* of failure (instances crashing,
+//! hanging, blackholing; API calls erroring) while the policy of *when*
+//! faults happen lives outside — either in the provider MTBF model
+//! ([`CloudSim::enable_random_failures`](crate::CloudSim)) or, for
+//! experiment-grade chaos, in a [`FaultInjector`] attached via
+//! [`CloudSim::set_fault_injector`](crate::CloudSim). The `evop-chaos`
+//! crate implements this trait with a seeded, schedule-driven engine so a
+//! whole chaos run replays byte-identically from `(schedule, seed)`.
+//!
+//! Attaching an injector never touches the simulator's own RNG stream:
+//! a run with a no-op injector is event-for-event identical to a run with
+//! none at all.
+
+use std::fmt;
+
+use evop_sim::{SimDuration, SimTime};
+
+use crate::instance::FailureMode;
+
+/// The control-plane operation a fault check guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloudOp {
+    /// A request for a new instance (`launch`).
+    Launch,
+    /// A job submission to a running or booting instance.
+    SubmitJob,
+}
+
+impl fmt::Display for CloudOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudOp::Launch => write!(f, "launch"),
+            CloudOp::SubmitJob => write!(f, "submit-job"),
+        }
+    }
+}
+
+/// A transient provider-API refusal, produced by a [`FaultInjector`].
+///
+/// The simulator converts this into
+/// [`CloudError::ApiUnavailable`](crate::CloudError), carrying the
+/// `retry_after` hint through to whatever retry policy sits above.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiFault {
+    /// Human-readable cause (e.g. `"api-error-burst"`, `"partition"`).
+    pub reason: String,
+    /// How long the caller should wait before retrying.
+    pub retry_after: SimDuration,
+}
+
+/// A pluggable source of injected faults.
+///
+/// [`CloudSim`](crate::CloudSim) consults the attached injector at three
+/// points:
+///
+/// * before every guarded API call ([`FaultInjector::api_fault`]) — a
+///   `Some` return makes the call fail with
+///   [`CloudError::ApiUnavailable`](crate::CloudError);
+/// * when computing a new instance's boot time
+///   ([`FaultInjector::boot_factor`]) — stragglers boot slower;
+/// * when a launch is accepted ([`FaultInjector::boot_failure`]) — a
+///   `Some` return schedules the instance to die with the given mode at
+///   the moment its boot would have completed.
+///
+/// Implementations must be deterministic given their own construction
+/// seed: the simulator calls the hooks in a fixed order for a fixed
+/// driver program, so seeded implementations replay exactly.
+pub trait FaultInjector: fmt::Debug + Send + Sync {
+    /// Decides whether a control-plane call fails transiently right now.
+    fn api_fault(&mut self, now: SimTime, provider: &str, op: CloudOp) -> Option<ApiFault>;
+
+    /// Multiplier applied to a new instance's boot duration. `1.0` means
+    /// a nominal boot; values above `1.0` model slow-boot stragglers.
+    fn boot_factor(&mut self, now: SimTime, provider: &str) -> f64 {
+        let _ = (now, provider);
+        1.0
+    }
+
+    /// Decides whether a just-accepted launch is doomed: the instance
+    /// will fail with the returned mode exactly when its boot completes.
+    fn boot_failure(&mut self, now: SimTime, provider: &str) -> Option<FailureMode> {
+        let _ = (now, provider);
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Nop;
+
+    impl FaultInjector for Nop {
+        fn api_fault(&mut self, _: SimTime, _: &str, _: CloudOp) -> Option<ApiFault> {
+            None
+        }
+    }
+
+    #[test]
+    fn default_hooks_are_benign() {
+        let mut nop = Nop;
+        assert!(nop.api_fault(SimTime::ZERO, "campus", CloudOp::Launch).is_none());
+        assert!((nop.boot_factor(SimTime::ZERO, "campus") - 1.0).abs() < f64::EPSILON);
+        assert!(nop.boot_failure(SimTime::ZERO, "campus").is_none());
+    }
+
+    #[test]
+    fn ops_display_kebab_case() {
+        assert_eq!(CloudOp::Launch.to_string(), "launch");
+        assert_eq!(CloudOp::SubmitJob.to_string(), "submit-job");
+    }
+}

@@ -30,12 +30,14 @@
 #![warn(missing_docs)]
 
 mod billing;
+mod faults;
 mod instance;
 mod provider;
 mod sim;
 mod types;
 
 pub use billing::CostMeter;
+pub use faults::{ApiFault, CloudOp, FaultInjector};
 pub use instance::{FailureMode, Instance, InstanceState, Job, JobId, JobState};
 pub use provider::{Provider, ProviderKind};
 pub use sim::{CloudError, CloudSim, InstanceMetrics};

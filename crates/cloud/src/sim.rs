@@ -7,6 +7,7 @@ use evop_obs::{MetricsRegistry, Span, TraceContext, Tracer};
 use evop_sim::{Clock, EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::billing::CostMeter;
+use crate::faults::{CloudOp, FaultInjector};
 use crate::instance::{FailureMode, Instance, InstanceState, JobId, JobKind};
 use crate::provider::Provider;
 use crate::types::{ImageId, InstanceId, InstanceType, MachineImage};
@@ -33,6 +34,19 @@ pub enum CloudError {
     },
     /// The instance is not in a state that allows the operation.
     NotRunning(InstanceId),
+    /// The provider's control-plane API refused the call transiently — a
+    /// chaos-injected error burst or partition. Unlike the other variants
+    /// this is not the caller's fault: retrying after `retry_after` is the
+    /// correct response, and the cross-cloud layer's `RetryPolicy` does
+    /// exactly that.
+    ApiUnavailable {
+        /// The unreachable provider.
+        provider: String,
+        /// The injected cause (e.g. `"api-error-burst"`).
+        reason: String,
+        /// How long to wait before retrying.
+        retry_after: SimDuration,
+    },
 }
 
 impl fmt::Display for CloudError {
@@ -49,6 +63,12 @@ impl fmt::Display for CloudError {
                 )
             }
             CloudError::NotRunning(i) => write!(f, "instance not running: {i}"),
+            CloudError::ApiUnavailable { provider, reason, retry_after } => {
+                write!(
+                    f,
+                    "provider API unavailable on {provider} ({reason}); retry after {retry_after}"
+                )
+            }
         }
     }
 }
@@ -75,6 +95,9 @@ enum Event {
     BootComplete(InstanceId),
     JobDone(InstanceId, JobId),
     SpontaneousFailure(InstanceId),
+    /// A chaos-scheduled failure with a mode chosen by the injector (the
+    /// mode travels with the event so delivery never touches the sim RNG).
+    InjectedFailure(InstanceId, FailureMode),
 }
 
 /// The deterministic hybrid-cloud simulator.
@@ -95,6 +118,10 @@ pub struct CloudSim {
     next_job: u64,
     meter: CostMeter,
     random_failures: bool,
+    /// The chaos plane, when attached. Consulted before guarded API calls
+    /// and at launch time; a `None` (or benign) injector leaves the
+    /// simulation byte-identical to an uninstrumented run.
+    faults: Option<Box<dyn FaultInjector>>,
     /// Observability hooks. Pure observation: attaching them never touches
     /// the RNG or the event queue, so simulation results are unchanged.
     tracer: Option<Tracer>,
@@ -118,6 +145,7 @@ impl CloudSim {
             next_job: 0,
             meter: CostMeter::new(),
             random_failures: false,
+            faults: None,
             tracer: None,
             registry: None,
             boot_spans: BTreeMap::new(),
@@ -160,6 +188,28 @@ impl CloudSim {
     /// Enables spontaneous failures drawn from each provider's MTBF.
     pub fn enable_random_failures(&mut self, on: bool) {
         self.random_failures = on;
+    }
+
+    /// Attaches a fault-injection plane (see [`FaultInjector`]). Replaces
+    /// any previously attached injector; `set_fault_injector(None)` turns
+    /// chaos off again.
+    pub fn set_fault_injector(&mut self, injector: Option<Box<dyn FaultInjector>>) {
+        self.faults = injector;
+    }
+
+    /// Consults the attached fault plane before a guarded API call.
+    fn check_api_fault(&mut self, provider: &str, op: CloudOp) -> Result<(), CloudError> {
+        let now = self.clock.now();
+        if let Some(faults) = &mut self.faults {
+            if let Some(fault) = faults.api_fault(now, provider, op) {
+                return Err(CloudError::ApiUnavailable {
+                    provider: provider.to_owned(),
+                    reason: fault.reason,
+                    retry_after: fault.retry_after,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The current virtual time.
@@ -266,6 +316,7 @@ impl CloudSim {
             .ok_or_else(|| CloudError::UnknownInstanceType(instance_type.to_owned()))?;
         let img =
             self.images.get(image).ok_or_else(|| CloudError::UnknownImage(image.clone()))?.clone();
+        self.check_api_fault(provider, CloudOp::Launch)?;
 
         if let Some(cap) = prov.capacity_vcpus() {
             let free = cap.saturating_sub(self.used_vcpus(provider));
@@ -282,14 +333,26 @@ impl CloudSim {
         self.next_instance += 1;
         let now = self.clock.now();
         let jitter = self.rng.uniform_in(0.85, 1.15);
+        // Straggler injection stretches the boot; doomed boots fail at the
+        // instant the boot would have completed. Both come from the chaos
+        // plane's own RNG stream, so the sim's stream is untouched.
+        let (straggle, doomed) = match &mut self.faults {
+            Some(faults) => (faults.boot_factor(now, provider), faults.boot_failure(now, provider)),
+            None => (1.0, None),
+        };
         let boot = SimDuration::from_secs_f64(
-            (prov.boot_latency() + img.boot_overhead()).as_secs_f64() * jitter,
+            (prov.boot_latency() + img.boot_overhead()).as_secs_f64() * jitter * straggle.max(0.0),
         );
         let ready_at = now + boot;
         let hourly = itype.hourly_cost() * prov.price_factor();
         self.meter.open(id.0, provider, hourly, now);
         self.instances
             .insert(id, Instance::new(id, provider.to_owned(), itype, img, now, ready_at));
+        if let Some(mode) = doomed {
+            // Pushed before BootComplete at the same instant: the instance
+            // dies still Pending, so its boot never completes.
+            self.events.push(ready_at, Event::InjectedFailure(id, mode));
+        }
         self.events.push(ready_at, Event::BootComplete(id));
         if self.random_failures {
             let ttf = SimDuration::from_secs_f64(self.rng.exponential(prov.mtbf().as_secs_f64()));
@@ -421,6 +484,9 @@ impl CloudSim {
         kind: JobKind,
         work: SimDuration,
     ) -> Result<JobId, CloudError> {
+        let provider =
+            self.instances.get(&id).ok_or(CloudError::UnknownInstance(id))?.provider().to_owned();
+        self.check_api_fault(&provider, CloudOp::SubmitJob)?;
         let now = self.clock.now();
         let inst = self.instances.get_mut(&id).ok_or(CloudError::UnknownInstance(id))?;
         match inst.state() {
@@ -523,6 +589,18 @@ impl CloudSim {
                             1 => FailureMode::Hang,
                             _ => FailureMode::NetworkBlackhole,
                         };
+                        inst.fail(mode, now);
+                        if let Some(span) = self.boot_spans.remove(&id) {
+                            span.event("failed before boot completed");
+                            span.finish();
+                        }
+                        self.count_transition("failed");
+                    }
+                }
+            }
+            Event::InjectedFailure(id, mode) => {
+                if let Some(inst) = self.instances.get_mut(&id) {
+                    if inst.is_running() || matches!(inst.state(), InstanceState::Pending { .. }) {
                         inst.fail(mode, now);
                         if let Some(span) = self.boot_spans.remove(&id) {
                             span.event("failed before boot completed");
@@ -846,6 +924,125 @@ mod tests {
             let job = sim.run_model(id, "topmodel", SimDuration::from_secs(60)).unwrap();
             sim.advance(SimDuration::from_secs(600));
             let latency = sim.instance(id).unwrap().job(job).unwrap().latency().unwrap();
+            (latency, sim.total_cost())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// A scripted injector: fails the first `fail_launches` launches, slows
+    /// every boot by `straggle`, and dooms boots when `doom` is set.
+    #[derive(Debug, Default)]
+    struct Scripted {
+        fail_launches: u32,
+        straggle: f64,
+        doom: Option<FailureMode>,
+    }
+
+    impl crate::faults::FaultInjector for Scripted {
+        fn api_fault(
+            &mut self,
+            _now: evop_sim::SimTime,
+            _provider: &str,
+            op: CloudOp,
+        ) -> Option<crate::faults::ApiFault> {
+            if op == CloudOp::Launch && self.fail_launches > 0 {
+                self.fail_launches -= 1;
+                return Some(crate::faults::ApiFault {
+                    reason: "scripted".to_owned(),
+                    retry_after: SimDuration::from_secs(30),
+                });
+            }
+            None
+        }
+
+        fn boot_factor(&mut self, _now: evop_sim::SimTime, _provider: &str) -> f64 {
+            if self.straggle > 0.0 {
+                self.straggle
+            } else {
+                1.0
+            }
+        }
+
+        fn boot_failure(
+            &mut self,
+            _now: evop_sim::SimTime,
+            _provider: &str,
+        ) -> Option<FailureMode> {
+            self.doom
+        }
+    }
+
+    use crate::faults::CloudOp;
+
+    #[test]
+    fn injected_api_fault_fails_launch_with_retry_hint() {
+        let (mut sim, img) = sim_with_defaults();
+        sim.set_fault_injector(Some(Box::new(Scripted {
+            fail_launches: 1,
+            ..Scripted::default()
+        })));
+        let err = sim.launch("campus", "m1.small", &img).unwrap_err();
+        match err {
+            CloudError::ApiUnavailable { provider, reason, retry_after } => {
+                assert_eq!(provider, "campus");
+                assert_eq!(reason, "scripted");
+                assert_eq!(retry_after, SimDuration::from_secs(30));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        // The burst is over: the next launch goes through and no capacity
+        // was consumed by the failed call.
+        assert!(sim.launch("campus", "m1.small", &img).is_ok());
+        assert_eq!(sim.instances().count(), 1);
+    }
+
+    #[test]
+    fn straggler_factor_stretches_boot() {
+        // Boot duration is observable through the latency of a job queued
+        // behind the boot: a 4× straggler's job waits 4× the boot.
+        let latency = |factor: f64| {
+            let (mut sim, img) = sim_with_defaults();
+            sim.set_fault_injector(Some(Box::new(Scripted {
+                straggle: factor,
+                ..Scripted::default()
+            })));
+            let id = sim.launch("campus", "m1.small", &img).unwrap();
+            let job = sim.submit_job(id, SimDuration::from_secs(10)).unwrap();
+            sim.advance(SimDuration::from_secs(8000));
+            sim.instance(id).unwrap().job(job).unwrap().latency().unwrap()
+        };
+        assert!(latency(4.0) > latency(1.0) * 2);
+    }
+
+    #[test]
+    fn doomed_boot_fails_while_pending() {
+        let (mut sim, img) = sim_with_defaults();
+        sim.set_fault_injector(Some(Box::new(Scripted {
+            doom: Some(FailureMode::Crash),
+            ..Scripted::default()
+        })));
+        let id = sim.launch("campus", "m1.small", &img).unwrap();
+        sim.advance(SimDuration::from_secs(400));
+        let inst = sim.instance(id).unwrap();
+        assert!(
+            matches!(inst.state(), InstanceState::Failed { .. }),
+            "doomed boot must fail, got {:?}",
+            inst.state()
+        );
+        assert!(inst.occupies_capacity(), "failed instance holds capacity until terminated");
+    }
+
+    #[test]
+    fn benign_injector_leaves_simulation_unchanged() {
+        let run = |inject: bool| {
+            let (mut sim, img) = sim_with_defaults();
+            if inject {
+                sim.set_fault_injector(Some(Box::new(Scripted::default())));
+            }
+            let id = sim.launch("campus", "m1.small", &img).unwrap();
+            let job = sim.submit_job(id, SimDuration::from_secs(60)).unwrap();
+            sim.advance(SimDuration::from_secs(1000));
+            let latency = sim.instance(id).unwrap().job(job).unwrap().latency();
             (latency, sim.total_cost())
         };
         assert_eq!(run(false), run(true));

@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use bytes::Bytes;
+use evop_sim::SimDuration;
 
 /// A stored object plus minimal metadata.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +69,22 @@ pub enum BlobStoreError {
         /// The missing key.
         key: String,
     },
+    /// The backing object store is transiently refusing requests — the
+    /// S3/Swift outage case. Retrying after `retry_after` may succeed.
+    TransientlyUnavailable {
+        /// The container whose backing store is down.
+        container: String,
+        /// How long the caller should wait before retrying.
+        retry_after: SimDuration,
+    },
+    /// The fetched object failed its integrity check; a re-read may return
+    /// a clean replica.
+    Corrupted {
+        /// The container holding the corrupt object.
+        container: String,
+        /// The corrupt key.
+        key: String,
+    },
 }
 
 impl fmt::Display for BlobStoreError {
@@ -76,6 +93,15 @@ impl fmt::Display for BlobStoreError {
             BlobStoreError::NoSuchContainer(c) => write!(f, "no such container: {c}"),
             BlobStoreError::NoSuchKey { container, key } => {
                 write!(f, "no such key: {container}/{key}")
+            }
+            BlobStoreError::TransientlyUnavailable { container, retry_after } => {
+                write!(
+                    f,
+                    "blob store for {container} transiently unavailable; retry after {retry_after}"
+                )
+            }
+            BlobStoreError::Corrupted { container, key } => {
+                write!(f, "corrupt object: {container}/{key}")
             }
         }
     }

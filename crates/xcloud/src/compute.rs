@@ -1,10 +1,13 @@
 //! The provider-agnostic compute service.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use evop_cloud::{CloudError, CloudSim, ImageId, InstanceId};
+use evop_sim::SimDuration;
 
 use crate::policy::{provider_views, PlacementPolicy};
+use crate::retry::CircuitBreaker;
 
 /// Errors from cross-cloud provisioning.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +20,15 @@ pub enum XcloudError {
     },
     /// The template referenced an unregistered image.
     UnknownImage(ImageId),
+    /// Every viable provider failed *transiently* (API error burst, open
+    /// circuit breaker): unlike [`XcloudError::NoCapacity`], retrying after
+    /// `retry_after` may well succeed.
+    Transient {
+        /// Providers that were tried or skipped, in order, with the reason.
+        attempts: Vec<(String, String)>,
+        /// The shortest wait any failing provider suggested.
+        retry_after: SimDuration,
+    },
 }
 
 impl fmt::Display for XcloudError {
@@ -26,6 +38,13 @@ impl fmt::Display for XcloudError {
                 write!(f, "no provider could place the node ({} tried)", attempts.len())
             }
             XcloudError::UnknownImage(id) => write!(f, "unknown image: {id}"),
+            XcloudError::Transient { attempts, retry_after } => {
+                write!(
+                    f,
+                    "all providers transiently unavailable ({} tried); retry after {retry_after}",
+                    attempts.len()
+                )
+            }
         }
     }
 }
@@ -101,12 +120,40 @@ impl NodeTemplate {
 pub struct ComputeService {
     policy: Box<dyn PlacementPolicy>,
     known_providers: Vec<String>,
+    breakers: BTreeMap<String, CircuitBreaker>,
+    breaker_threshold: u32,
+    breaker_cooldown: SimDuration,
 }
+
+/// Consecutive transient failures before a provider's breaker opens.
+const DEFAULT_BREAKER_THRESHOLD: u32 = 3;
+/// How long an open breaker sheds traffic from a misbehaving provider.
+const DEFAULT_BREAKER_COOLDOWN: SimDuration = SimDuration::from_secs(120);
 
 impl ComputeService {
     /// Creates the service with an initial placement policy.
     pub fn new<P: PlacementPolicy + 'static>(policy: P) -> ComputeService {
-        ComputeService { policy: Box::new(policy), known_providers: Vec::new() }
+        ComputeService {
+            policy: Box::new(policy),
+            known_providers: Vec::new(),
+            breakers: BTreeMap::new(),
+            breaker_threshold: DEFAULT_BREAKER_THRESHOLD,
+            breaker_cooldown: DEFAULT_BREAKER_COOLDOWN,
+        }
+    }
+
+    /// Overrides the per-provider circuit-breaker knobs (threshold of
+    /// consecutive transient failures, and open-state cooldown).
+    pub fn with_breaker(mut self, threshold: u32, cooldown: SimDuration) -> ComputeService {
+        self.breaker_threshold = threshold.max(1);
+        self.breaker_cooldown = cooldown;
+        self.breakers.clear();
+        self
+    }
+
+    /// Read-only view of a provider's breaker, if any call has tripped one.
+    pub fn breaker(&self, provider: &str) -> Option<&CircuitBreaker> {
+        self.breakers.get(provider)
     }
 
     /// The active policy's name.
@@ -135,10 +182,18 @@ impl ComputeService {
 
     /// Provisions one node matching `template`.
     ///
+    /// Providers whose circuit breaker is open are skipped outright
+    /// (partial-capacity operation); a provider that fails with
+    /// [`CloudError::ApiUnavailable`] trips its breaker one notch, and any
+    /// success resets it.
+    ///
     /// # Errors
     ///
     /// Returns [`XcloudError::NoCapacity`] when every ranked provider
-    /// refused the launch, with per-provider failure reasons.
+    /// refused the launch for good (saturation), or
+    /// [`XcloudError::Transient`] when at least one refusal was a transient
+    /// API fault or an open breaker — the latter carries the shortest
+    /// suggested wait, so callers can back off instead of hammering.
     pub fn provision(
         &mut self,
         sim: &mut CloudSim,
@@ -147,17 +202,48 @@ impl ComputeService {
         let resolved = template.resolved(sim);
         let views = provider_views(sim, &self.known_providers);
         let order = self.policy.rank(&resolved, &views);
+        let now = sim.now();
         let mut attempts = Vec::new();
+        let mut shortest_wait: Option<SimDuration> = None;
+        let note_wait = |shortest: &mut Option<SimDuration>, wait: SimDuration| {
+            *shortest = Some(shortest.map_or(wait, |w| w.min(wait)));
+        };
         for provider in order {
+            if let Some(wait) = self.breakers.get(&provider).and_then(|b| b.retry_after(now)) {
+                attempts.push((provider, format!("circuit open; retry after {wait}")));
+                note_wait(&mut shortest_wait, wait);
+                continue;
+            }
             match sim.launch(&provider, resolved.instance_type(), resolved.image()) {
-                Ok(id) => return Ok(id),
+                Ok(id) => {
+                    self.breakers
+                        .entry(provider)
+                        .or_insert_with(|| {
+                            CircuitBreaker::new(self.breaker_threshold, self.breaker_cooldown)
+                        })
+                        .record_success();
+                    return Ok(id);
+                }
                 Err(CloudError::UnknownImage(_)) => {
                     return Err(XcloudError::UnknownImage(resolved.image().clone()));
+                }
+                Err(err @ CloudError::ApiUnavailable { retry_after, .. }) => {
+                    note_wait(&mut shortest_wait, retry_after);
+                    self.breakers
+                        .entry(provider.clone())
+                        .or_insert_with(|| {
+                            CircuitBreaker::new(self.breaker_threshold, self.breaker_cooldown)
+                        })
+                        .record_failure(now);
+                    attempts.push((provider, err.to_string()));
                 }
                 Err(err) => attempts.push((provider, err.to_string())),
             }
         }
-        Err(XcloudError::NoCapacity { attempts })
+        match shortest_wait {
+            Some(retry_after) => Err(XcloudError::Transient { attempts, retry_after }),
+            None => Err(XcloudError::NoCapacity { attempts }),
+        }
     }
 
     /// Provisions up to `count` nodes, returning the ones that succeeded.
@@ -264,6 +350,57 @@ mod tests {
             .provision(&mut sim, &NodeTemplate::new("m1.small", ImageId::new("ghost")))
             .unwrap_err();
         assert!(matches!(err, XcloudError::UnknownImage(_)));
+    }
+
+    #[test]
+    fn api_faults_surface_as_transient_and_trip_the_breaker() {
+        use evop_cloud::{ApiFault, CloudOp, FaultInjector};
+        use evop_sim::{SimDuration, SimTime};
+
+        /// Fails every guarded call on every provider.
+        #[derive(Debug)]
+        struct AlwaysDown;
+
+        impl FaultInjector for AlwaysDown {
+            fn api_fault(&mut self, _: SimTime, _: &str, _: CloudOp) -> Option<ApiFault> {
+                Some(ApiFault {
+                    reason: "burst".to_owned(),
+                    retry_after: SimDuration::from_secs(30),
+                })
+            }
+        }
+
+        let (mut sim, mut compute, baked, _) = setup();
+        sim.set_fault_injector(Some(Box::new(AlwaysDown)));
+        let template = NodeTemplate::new("m1.small", baked);
+
+        for _ in 0..3 {
+            let err = compute.provision(&mut sim, &template).unwrap_err();
+            match err {
+                XcloudError::Transient { retry_after, .. } => {
+                    assert_eq!(retry_after, SimDuration::from_secs(30));
+                }
+                other => panic!("expected transient error, got {other}"),
+            }
+        }
+        // Three consecutive transient failures per provider: breakers open.
+        assert!(compute.breaker("campus").is_some_and(|b| b.is_open(sim.now())));
+        let err = compute.provision(&mut sim, &template).unwrap_err();
+        match err {
+            XcloudError::Transient { attempts, .. } => {
+                assert!(
+                    attempts.iter().all(|(_, why)| why.starts_with("circuit open")),
+                    "open breakers shed load without touching the provider: {attempts:?}"
+                );
+            }
+            other => panic!("expected transient error, got {other}"),
+        }
+
+        // Once the fault clears and cooldown passes, service recovers.
+        sim.set_fault_injector(None);
+        sim.advance(SimDuration::from_secs(121));
+        assert!(compute.provision(&mut sim, &template).is_ok());
+        assert!(!compute.breaker("campus").is_some_and(|b| b.is_open(sim.now())));
     }
 
     #[test]

@@ -48,6 +48,7 @@
 mod blobstore;
 mod compute;
 mod policy;
+mod retry;
 
 pub use blobstore::{Blob, BlobStore, BlobStoreError};
 pub use compute::{ComputeService, NodeTemplate, XcloudError};
@@ -55,3 +56,4 @@ pub use policy::{
     CheapestFirst, PlacementPolicy, PrivateFirst, PrivateOnly, ProviderView, PublicOnly,
     SplitByImageKind,
 };
+pub use retry::{retry_with, CircuitBreaker, RetryOutcome, RetryPolicy, Retryable};

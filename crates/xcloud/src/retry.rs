@@ -1,0 +1,474 @@
+//! Retry, backoff and circuit-breaking for transient provider faults.
+//!
+//! Elkhatib & Blair's hybrid-cloud EVO experiences name transient provider
+//! API errors as the dominant operational pain; the original EVOp stack had
+//! no systematic answer to them. This module is that answer for the
+//! reproduction: a [`RetryPolicy`] (capped exponential backoff with
+//! deterministic per-seed jitter and a hard deadline), a [`CircuitBreaker`]
+//! per provider, and a [`retry_with`] driver that executes a fallible
+//! operation under the policy in *virtual* time.
+//!
+//! Everything here is deterministic: the jittered backoff sequence is a
+//! pure function of `(policy, seed)`, so a chaos run that exercises the
+//! retry path replays byte-identically.
+
+use std::fmt;
+
+use evop_cloud::CloudError;
+use evop_sim::{SimDuration, SimRng, SimTime};
+
+use crate::blobstore::BlobStoreError;
+use crate::compute::XcloudError;
+
+/// Capped exponential backoff with deterministic jitter and a deadline.
+///
+/// The raw backoff for attempt `n` is `base × factor^n`, capped at `cap`
+/// and monotone non-decreasing. The *jittered* delay actually waited is
+/// drawn uniformly from `[backoff/2, backoff)` using a stream derived only
+/// from the caller's seed, so equal seeds produce byte-identical delay
+/// sequences. The cumulative jittered wait never exceeds `deadline`.
+///
+/// # Examples
+///
+/// ```
+/// use evop_sim::SimDuration;
+/// use evop_xcloud::RetryPolicy;
+///
+/// let policy = RetryPolicy::default();
+/// assert!(policy.backoff(3) >= policy.backoff(2));
+/// assert_eq!(policy.jittered_delays(7), policy.jittered_delays(7));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    base: SimDuration,
+    factor: f64,
+    cap: SimDuration,
+    max_attempts: u32,
+    deadline: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    /// A provisioning-grade default: 15 s base, doubling, capped at 4 min,
+    /// at most 8 retries, all within a 30-minute deadline.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: SimDuration::from_secs(15),
+            factor: 2.0,
+            cap: SimDuration::from_secs(240),
+            max_attempts: 8,
+            deadline: SimDuration::from_secs(1800),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Creates a policy from explicit knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the knobs fail [`RetryPolicy::validate`] — policy
+    /// construction is programmer input.
+    pub fn new(
+        base: SimDuration,
+        factor: f64,
+        cap: SimDuration,
+        max_attempts: u32,
+        deadline: SimDuration,
+    ) -> RetryPolicy {
+        let policy = RetryPolicy { base, factor, cap, max_attempts, deadline };
+        match policy.validate() {
+            Ok(()) => policy,
+            // evop-lint: allow(rob-panic) -- documented constructor contract
+            Err(msg) => panic!("invalid retry policy: {msg}"),
+        }
+    }
+
+    /// Validates the policy knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for a zero base, a growth factor below 1, a cap
+    /// below the base, or a zero deadline.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.base.is_zero() {
+            return Err("backoff base must be positive".to_owned());
+        }
+        if !self.factor.is_finite() || self.factor < 1.0 {
+            return Err(format!("backoff factor must be >= 1, got {}", self.factor));
+        }
+        if self.cap < self.base {
+            return Err("backoff cap must be at least the base".to_owned());
+        }
+        if self.deadline.is_zero() {
+            return Err("retry deadline must be positive".to_owned());
+        }
+        Ok(())
+    }
+
+    /// The maximum number of *retries* after the initial attempt.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The hard ceiling on cumulative backoff wait.
+    pub fn deadline(&self) -> SimDuration {
+        self.deadline
+    }
+
+    /// The raw (un-jittered) backoff before retry `attempt` (0-based):
+    /// `base × factor^attempt`, capped at `cap`. Monotone non-decreasing.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let cap = self.cap.as_secs_f64();
+        let grown = self.base.as_secs_f64() * self.factor.powi(attempt.min(64) as i32);
+        // powi can overflow to infinity for large attempts; min() is
+        // NaN-free here because both operands are finite-or-inf positives.
+        SimDuration::from_secs_f64(grown.min(cap))
+    }
+
+    /// The full jittered delay schedule for one seed: one delay per
+    /// permitted retry, truncated so the cumulative wait stays within the
+    /// deadline. A pure function of `(self, seed)` — equal seeds give
+    /// byte-identical sequences.
+    pub fn jittered_delays(&self, seed: u64) -> Vec<SimDuration> {
+        let mut rng = SimRng::new(seed).fork("retry-jitter");
+        let mut out = Vec::with_capacity(self.max_attempts as usize);
+        let mut total = SimDuration::ZERO;
+        for attempt in 0..self.max_attempts {
+            let raw = self.backoff(attempt).as_secs_f64();
+            let jittered = SimDuration::from_secs_f64(raw * rng.uniform_in(0.5, 1.0));
+            if total + jittered > self.deadline {
+                break;
+            }
+            total += jittered;
+            out.push(jittered);
+        }
+        out
+    }
+
+    /// The jittered delay to wait before retry `attempt` (0-based), or
+    /// `None` once the policy is exhausted (attempts or deadline).
+    pub fn delay_before(&self, attempt: u32, seed: u64) -> Option<SimDuration> {
+        self.jittered_delays(seed).get(attempt as usize).copied()
+    }
+}
+
+/// A per-dependency circuit breaker, driven by virtual time.
+///
+/// After `threshold` consecutive transient failures the breaker opens for
+/// `cooldown`; while open, callers should skip the dependency entirely
+/// (partial-capacity operation) instead of burning attempts on it. Any
+/// success closes the breaker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: SimDuration,
+    consecutive_failures: u32,
+    open_until: Option<SimTime>,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker that opens after `threshold` consecutive
+    /// failures and stays open for `cooldown`.
+    pub fn new(threshold: u32, cooldown: SimDuration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            consecutive_failures: 0,
+            open_until: None,
+        }
+    }
+
+    /// Records a transient failure, opening the breaker when the threshold
+    /// is reached.
+    pub fn record_failure(&mut self, now: SimTime) {
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.threshold {
+            self.open_until = Some(now + self.cooldown);
+        }
+    }
+
+    /// Records a success, closing the breaker and resetting the count.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.open_until = None;
+    }
+
+    /// `true` while the breaker refuses traffic.
+    pub fn is_open(&self, now: SimTime) -> bool {
+        self.open_until.is_some_and(|until| now < until)
+    }
+
+    /// Time remaining until the breaker half-opens, when open.
+    pub fn retry_after(&self, now: SimTime) -> Option<SimDuration> {
+        self.open_until.filter(|&until| now < until).map(|until| until.saturating_since(now))
+    }
+
+    /// Consecutive transient failures recorded since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+}
+
+/// An error that may be worth retrying.
+///
+/// Implemented for the workspace's fault-bearing error types so one retry
+/// driver serves the compute facade, the blob store and the broker.
+pub trait Retryable {
+    /// `true` when retrying after a wait could plausibly succeed.
+    fn is_transient(&self) -> bool;
+
+    /// The server-suggested wait, when the error carries one. [`retry_with`]
+    /// waits at least this long regardless of the backoff schedule.
+    fn retry_after_hint(&self) -> Option<SimDuration> {
+        None
+    }
+}
+
+impl Retryable for CloudError {
+    fn is_transient(&self) -> bool {
+        matches!(self, CloudError::ApiUnavailable { .. })
+    }
+
+    fn retry_after_hint(&self) -> Option<SimDuration> {
+        match self {
+            CloudError::ApiUnavailable { retry_after, .. } => Some(*retry_after),
+            _ => None,
+        }
+    }
+}
+
+impl Retryable for BlobStoreError {
+    fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            BlobStoreError::TransientlyUnavailable { .. } | BlobStoreError::Corrupted { .. }
+        )
+    }
+
+    fn retry_after_hint(&self) -> Option<SimDuration> {
+        match self {
+            BlobStoreError::TransientlyUnavailable { retry_after, .. } => Some(*retry_after),
+            _ => None,
+        }
+    }
+}
+
+impl Retryable for XcloudError {
+    fn is_transient(&self) -> bool {
+        matches!(self, XcloudError::Transient { .. })
+    }
+
+    fn retry_after_hint(&self) -> Option<SimDuration> {
+        match self {
+            XcloudError::Transient { retry_after, .. } => Some(*retry_after),
+            _ => None,
+        }
+    }
+}
+
+/// What one [`retry_with`] run did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryOutcome<T, E> {
+    /// The final result: the first success or the last error.
+    pub result: Result<T, E>,
+    /// Operations attempted, including the first (so `1` = no retries).
+    pub attempts: u32,
+    /// Cumulative virtual time spent waiting between attempts.
+    pub waited: SimDuration,
+}
+
+impl<T, E> RetryOutcome<T, E> {
+    /// `true` when the operation eventually succeeded.
+    pub fn succeeded(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// `true` when the success needed at least one retry — the signal the
+    /// chaos reports aggregate into a retry-success rate.
+    pub fn recovered(&self) -> bool {
+        self.result.is_ok() && self.attempts > 1
+    }
+}
+
+/// Runs `op` under `policy`, pacing retries in virtual time.
+///
+/// `op` receives the virtual instant of the attempt (start plus cumulative
+/// backoff) and the 0-based attempt index. Retries happen only for errors
+/// whose [`Retryable::is_transient`] is `true`; each waits the jittered
+/// backoff for that attempt or the error's own retry-after hint, whichever
+/// is longer, and the whole run never waits past the policy deadline.
+///
+/// The caller owns the clock: the returned [`RetryOutcome::waited`] is how
+/// much virtual time the retries consumed, for the caller to account
+/// against its own timeline.
+pub fn retry_with<T, E: Retryable>(
+    policy: &RetryPolicy,
+    seed: u64,
+    start: SimTime,
+    mut op: impl FnMut(SimTime, u32) -> Result<T, E>,
+) -> RetryOutcome<T, E> {
+    let mut waited = SimDuration::ZERO;
+    let mut attempt: u32 = 0;
+    loop {
+        let at = start + waited;
+        match op(at, attempt) {
+            Ok(value) => {
+                return RetryOutcome { result: Ok(value), attempts: attempt + 1, waited };
+            }
+            Err(err) => {
+                if !err.is_transient() {
+                    return RetryOutcome { result: Err(err), attempts: attempt + 1, waited };
+                }
+                let Some(backoff) = policy.delay_before(attempt, seed) else {
+                    return RetryOutcome { result: Err(err), attempts: attempt + 1, waited };
+                };
+                let delay = match err.retry_after_hint() {
+                    Some(hint) if hint > backoff => hint,
+                    _ => backoff,
+                };
+                if waited + delay > policy.deadline() {
+                    return RetryOutcome { result: Err(err), attempts: attempt + 1, waited };
+                }
+                waited += delay;
+                attempt += 1;
+            }
+        }
+    }
+}
+
+impl fmt::Display for RetryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retry(base={}, factor={}, cap={}, max={}, deadline={})",
+            self.base, self.factor, self.cap, self.max_attempts, self.deadline
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(0), SimDuration::from_secs(15));
+        assert_eq!(p.backoff(1), SimDuration::from_secs(30));
+        assert_eq!(p.backoff(4), SimDuration::from_secs(240));
+        assert_eq!(p.backoff(10), SimDuration::from_secs(240), "cap holds");
+        assert_eq!(p.backoff(64), p.backoff(63), "no overflow at large attempts");
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        let a = p.jittered_delays(42);
+        let b = p.jittered_delays(42);
+        assert_eq!(a, b);
+        assert_ne!(a, p.jittered_delays(43), "different seeds differ (a.s.)");
+        for (i, d) in a.iter().enumerate() {
+            let raw = p.backoff(i as u32);
+            assert!(*d <= raw, "jitter never exceeds the raw backoff");
+            assert!(d.as_secs_f64() >= raw.as_secs_f64() * 0.5 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn retry_recovers_after_transient_failures() {
+        let p = RetryPolicy::default();
+        let mut remaining_failures = 3;
+        let outcome = retry_with(&p, 1, SimTime::ZERO, |_, _| {
+            if remaining_failures > 0 {
+                remaining_failures -= 1;
+                Err(CloudError::ApiUnavailable {
+                    provider: "aws".to_owned(),
+                    reason: "burst".to_owned(),
+                    retry_after: SimDuration::from_secs(5),
+                })
+            } else {
+                Ok("served")
+            }
+        });
+        assert_eq!(outcome.result, Ok("served"));
+        assert_eq!(outcome.attempts, 4);
+        assert!(outcome.recovered());
+        assert!(outcome.waited > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn retry_respects_hint_when_longer_than_backoff() {
+        let p = RetryPolicy::default();
+        let hint = SimDuration::from_secs(600);
+        let mut failed_once = false;
+        let outcome = retry_with(&p, 1, SimTime::ZERO, |_, _| {
+            if failed_once {
+                Ok(())
+            } else {
+                failed_once = true;
+                Err(CloudError::ApiUnavailable {
+                    provider: "aws".to_owned(),
+                    reason: "burst".to_owned(),
+                    retry_after: hint,
+                })
+            }
+        });
+        assert!(outcome.succeeded());
+        assert!(outcome.waited >= hint, "hint dominates the first backoff");
+    }
+
+    #[test]
+    fn non_transient_errors_fail_fast() {
+        let p = RetryPolicy::default();
+        let outcome: RetryOutcome<(), CloudError> = retry_with(&p, 1, SimTime::ZERO, |_, _| {
+            Err(CloudError::UnknownProvider("nope".to_owned()))
+        });
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(outcome.waited, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn exhaustion_stops_within_deadline() {
+        let p = RetryPolicy::default();
+        let outcome: RetryOutcome<(), CloudError> = retry_with(&p, 9, SimTime::ZERO, |_, _| {
+            Err(CloudError::ApiUnavailable {
+                provider: "aws".to_owned(),
+                reason: "burst".to_owned(),
+                retry_after: SimDuration::from_secs(1),
+            })
+        });
+        assert!(!outcome.succeeded());
+        assert!(outcome.waited <= p.deadline());
+        assert!(outcome.attempts <= p.max_attempts() + 1);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_recovers() {
+        let mut b = CircuitBreaker::new(3, SimDuration::from_secs(120));
+        let t0 = SimTime::from_secs(100);
+        assert!(!b.is_open(t0));
+        b.record_failure(t0);
+        b.record_failure(t0);
+        assert!(!b.is_open(t0), "below threshold stays closed");
+        b.record_failure(t0);
+        assert!(b.is_open(t0));
+        assert_eq!(b.retry_after(t0), Some(SimDuration::from_secs(120)));
+        let later = t0 + SimDuration::from_secs(121);
+        assert!(!b.is_open(later), "cooldown elapses");
+        b.record_success();
+        assert_eq!(b.consecutive_failures(), 0);
+        assert!(b.retry_after(later).is_none());
+    }
+
+    #[test]
+    fn invalid_policies_are_rejected() {
+        let ok = RetryPolicy::default();
+        assert!(ok.validate().is_ok());
+        let bad = RetryPolicy { factor: 0.5, ..RetryPolicy::default() };
+        assert!(bad.validate().is_err());
+        let bad = RetryPolicy { base: SimDuration::ZERO, ..RetryPolicy::default() };
+        assert!(bad.validate().is_err());
+        let bad = RetryPolicy { cap: SimDuration::from_millis(1), ..RetryPolicy::default() };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -87,6 +87,12 @@ fn main() {
             BrokerEvent::WarmPoolHit { at, session } => {
                 println!("t+{:>6}: warm hit   {session}", at.as_secs());
             }
+            BrokerEvent::SessionRequeued { at, session, from } => {
+                println!("t+{:>6}: requeue    {session} (lost {from})", at.as_secs());
+            }
+            BrokerEvent::ProvisionFault { at, reason, retry_after } => {
+                println!("t+{:>6}: fault      {reason}; backing off {retry_after}", at.as_secs());
+            }
         }
     }
 

@@ -1,0 +1,151 @@
+//! Property-based tests for the retry/backoff plane (proptest).
+//!
+//! The [`RetryPolicy`](evop::xcloud::RetryPolicy) underpins both the
+//! broker's provisioning backoff and the chaos harness's blob-read
+//! retries, so its contract is pinned down by properties rather than
+//! examples: backoff grows monotonically up to the cap, the cumulative
+//! jittered wait never exceeds the deadline, and equal seeds replay
+//! byte-identical delay sequences.
+
+use evop::cloud::CloudError;
+use evop::sim::{SimDuration, SimTime};
+use evop::xcloud::{retry_with, RetryOutcome, RetryPolicy};
+use proptest::prelude::*;
+
+/// Builds a valid policy from raw generated knobs: the factor is
+/// `1.0 + factor_tenths/10` and the cap sits `cap_extra_ms` above the
+/// base, so every combination satisfies `RetryPolicy::validate`.
+fn policy_from(
+    base_ms: u64,
+    factor_tenths: u32,
+    cap_extra_ms: u64,
+    max_attempts: u32,
+    deadline_ms: u64,
+) -> RetryPolicy {
+    RetryPolicy::new(
+        SimDuration::from_millis(base_ms),
+        1.0 + f64::from(factor_tenths) / 10.0,
+        SimDuration::from_millis(base_ms + cap_extra_ms),
+        max_attempts,
+        SimDuration::from_millis(deadline_ms),
+    )
+}
+
+proptest! {
+    // ----------------------------------------------------------------
+    // Raw backoff shape
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn backoff_is_monotone_up_to_the_cap(
+        base_ms in 1u64..60_000,
+        factor_tenths in 1u32..40,
+        cap_extra_ms in 0u64..600_000,
+        upto in 1u32..80,
+    ) {
+        let policy = policy_from(base_ms, factor_tenths, cap_extra_ms, 8, 3_600_000);
+        let mut prev = SimDuration::ZERO;
+        for attempt in 0..upto {
+            let b = policy.backoff(attempt);
+            prop_assert!(b >= prev, "backoff({attempt}) = {b} shrank below {prev}");
+            prev = b;
+        }
+        // The cap is a true ceiling: far-out attempts saturate at it.
+        prop_assert!(policy.backoff(200) <= SimDuration::from_millis(base_ms + cap_extra_ms));
+        prop_assert_eq!(policy.backoff(500), policy.backoff(1000));
+    }
+
+    // ----------------------------------------------------------------
+    // Deadline ceiling
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn cumulative_jittered_wait_never_exceeds_the_deadline(
+        base_ms in 1u64..60_000,
+        factor_tenths in 1u32..40,
+        cap_extra_ms in 0u64..600_000,
+        max_attempts in 0u32..12,
+        deadline_ms in 1u64..3_600_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let policy = policy_from(base_ms, factor_tenths, cap_extra_ms, max_attempts, deadline_ms);
+        let delays = policy.jittered_delays(seed);
+        prop_assert!(delays.len() <= policy.max_attempts() as usize);
+        let mut total = SimDuration::ZERO;
+        for d in &delays {
+            total += *d;
+        }
+        prop_assert!(
+            total <= policy.deadline(),
+            "schedule waits {total} past deadline {}",
+            policy.deadline()
+        );
+    }
+
+    #[test]
+    fn retry_driver_never_waits_past_the_deadline(
+        base_ms in 1u64..60_000,
+        max_attempts in 0u32..12,
+        deadline_ms in 1u64..3_600_000,
+        seed in 0u64..u64::MAX,
+        hint_ms in 0u64..120_000,
+    ) {
+        // An op that always fails transiently (with a server hint) makes
+        // the driver walk its entire schedule; even with hints stretching
+        // individual waits, the total stays within the deadline.
+        let policy = policy_from(base_ms, 10, 300_000, max_attempts, deadline_ms);
+        let outcome: RetryOutcome<(), CloudError> =
+            retry_with(&policy, seed, SimTime::ZERO, |_, _| {
+                Err(CloudError::ApiUnavailable {
+                    provider: "aws".to_owned(),
+                    reason: "burst".to_owned(),
+                    retry_after: SimDuration::from_millis(hint_ms),
+                })
+            });
+        prop_assert!(!outcome.succeeded());
+        prop_assert!(outcome.waited <= policy.deadline());
+        prop_assert!(outcome.attempts <= policy.max_attempts() + 1);
+    }
+
+    // ----------------------------------------------------------------
+    // Seeded determinism
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn equal_seeds_give_byte_identical_jitter_sequences(
+        base_ms in 1u64..60_000,
+        factor_tenths in 1u32..40,
+        cap_extra_ms in 0u64..600_000,
+        max_attempts in 0u32..12,
+        deadline_ms in 1u64..3_600_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let policy = policy_from(base_ms, factor_tenths, cap_extra_ms, max_attempts, deadline_ms);
+        let a = policy.jittered_delays(seed);
+        let b = policy.jittered_delays(seed);
+        prop_assert_eq!(&a, &b);
+        // And per-attempt lookups agree with the full schedule.
+        for (i, d) in a.iter().enumerate() {
+            prop_assert_eq!(policy.delay_before(i as u32, seed), Some(*d));
+        }
+        prop_assert_eq!(policy.delay_before(a.len() as u32, seed), None);
+    }
+
+    #[test]
+    fn jitter_stays_within_its_halved_band(
+        base_ms in 1u64..60_000,
+        factor_tenths in 1u32..40,
+        cap_extra_ms in 0u64..600_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let policy = policy_from(base_ms, factor_tenths, cap_extra_ms, 12, 3_600_000);
+        for (i, d) in policy.jittered_delays(seed).iter().enumerate() {
+            let raw = policy.backoff(i as u32);
+            prop_assert!(*d <= raw, "jitter above raw backoff at attempt {i}");
+            prop_assert!(
+                d.as_secs_f64() >= raw.as_secs_f64() * 0.5 - 1e-9,
+                "jitter below half the raw backoff at attempt {i}"
+            );
+        }
+    }
+}
