@@ -3,9 +3,13 @@
 //! provider-storm scenario, both fully seeded and reproducible.
 //!
 //! ```sh
-//! cargo run -p evop-bench --release --bin chaos_report
+//! cargo run -p evop-bench --release --bin chaos_report [-- --seed N]
 //! ```
+//!
+//! `--seed` overrides the storm seed; the soak matrix axes stay fixed so
+//! the table remains comparable to the one in EXPERIMENTS.md.
 
+use evop_bench::cli::CliSpec;
 use evop_broker::BrokerConfig;
 use evop_chaos::{ChaosRunReport, ChaosScenario, FaultSchedule};
 use evop_portal::render::table;
@@ -15,14 +19,16 @@ use evop_sim::SimDuration;
 /// asserts.
 const SEEDS: [u64; 8] = [1, 7, 42, 1234, 4242, 9001, 0xDEAD_BEEF, 0xC0FF_EE00];
 const MTBFS_SECS: [u64; 3] = [900, 1800, 3600];
-const STORM_SEED: u64 = 42;
 
 fn main() {
+    let spec = CliSpec::new("chaos_report", 42);
+    let opts = spec.parse_or_exit();
+    let storm_seed = opts.seed.unwrap_or_else(|| spec.default_seed());
     println!("======================================================================");
     println!(" EVOp reproduction — chaos report (fault injection, E4/E6)");
     println!("======================================================================");
     matrix();
-    storm();
+    storm(storm_seed);
 }
 
 fn soak(seed: u64, mtbf_secs: u64) -> ChaosRunReport {
@@ -81,14 +87,14 @@ fn matrix() {
     );
 }
 
-fn storm() {
-    println!("\n--- E6: provider storm (declarative schedule, seed {STORM_SEED})");
+fn storm(seed: u64) {
+    println!("\n--- E6: provider storm (declarative schedule, seed {seed})");
     let config = BrokerConfig {
         private_capacity_vcpus: 4,
         instance_mtbf: Some(SimDuration::from_secs(1800)),
         ..BrokerConfig::default()
     };
-    let report = ChaosScenario::new(FaultSchedule::provider_storm(), STORM_SEED)
+    let report = ChaosScenario::new(FaultSchedule::provider_storm(), seed)
         .config(config)
         .sessions(20)
         .duration(SimDuration::from_secs(2 * 3600))

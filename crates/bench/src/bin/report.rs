@@ -3,7 +3,7 @@
 //! output of this binary is what EXPERIMENTS.md records.
 //!
 //! ```sh
-//! cargo run -p evop-bench --release --bin report
+//! cargo run -p evop-bench --release --bin report [-- --seed N]
 //! ```
 
 use evop_cloud::FailureMode;
@@ -12,46 +12,49 @@ use evop_data::Catchment;
 use evop_portal::render::table;
 use evop_sim::SimDuration;
 
-const SEED: u64 = 42;
+use evop_bench::cli::CliSpec;
 
 fn main() {
+    let spec = CliSpec::new("report", 42);
+    let opts = spec.parse_or_exit();
+    let seed = opts.seed.unwrap_or_else(|| spec.default_seed());
     println!("======================================================================");
-    println!(" EVOp reproduction — experiment report (seed {SEED})");
+    println!(" EVOp reproduction — experiment report (seed {seed})");
     println!("======================================================================");
 
-    e1();
-    e2();
-    e3();
-    e4();
-    e5();
-    e6();
-    e7();
-    e8();
-    e9();
-    e10();
-    e11();
-    e12();
-    e13();
-    e14();
-    e15();
+    e1(seed);
+    e2(seed);
+    e3(seed);
+    e4(seed);
+    e5(seed);
+    e6(seed);
+    e7(seed);
+    e8(seed);
+    e9(seed);
+    e10(seed);
+    e11(seed);
+    e12(seed);
+    e13(seed);
+    e14(seed);
+    e15(seed);
 }
 
 fn heading(id: &str, claim: &str) {
     println!("\n--- {id}: {claim}");
 }
 
-fn e1() {
+fn e1(seed: u64) {
     heading("E1 (Fig 1)", "user request flows portal → broker → cloud → model → hydrograph");
-    let r = e1_dataflow(SEED);
+    let r = e1_dataflow(seed);
     println!("  session activation wait : {}", r.activation_wait);
     println!("  model-run latency       : {}", r.job_latency);
     println!("  push updates to browser : {}", r.push_updates);
     println!("  hydrograph peak         : {:.2} m³/s", r.peak_m3s);
 }
 
-fn e2() {
+fn e2(seed: u64) {
     heading("E2 (§IV-B)", "stateless REST survives replica failure; stateful SOAP does not");
-    let r = e2_rest_vs_soap(500, 4, SEED);
+    let r = e2_rest_vs_soap(500, 4, seed);
     println!(
         "{}",
         table(
@@ -74,12 +77,12 @@ fn e2() {
     );
 }
 
-fn e3() {
+fn e3(seed: u64) {
     heading(
         "E3 (§IV-D/§VI)",
         "cloudburst on private saturation, retreat on underuse, cheaper than all-public",
     );
-    let r = e3_cloudburst(120, SEED);
+    let r = e3_cloudburst(120, seed);
     println!(
         "  burst at                : {}",
         r.burst_at.map(|t| t.to_string()).unwrap_or_default()
@@ -105,13 +108,13 @@ fn e3() {
     }
 }
 
-fn e4() {
+fn e4(seed: u64) {
     heading("E4 (§IV-D)", "failure signatures detected; users migrated; zero sessions lost");
     let rows: Vec<Vec<String>> =
         [FailureMode::Hang, FailureMode::NetworkBlackhole, FailureMode::Crash]
             .into_iter()
             .map(|mode| {
-                let r = e4_failure_recovery(mode, 6, SEED);
+                let r = e4_failure_recovery(mode, 6, seed);
                 vec![
                     mode.to_string(),
                     r.signature.clone().unwrap_or_default(),
@@ -124,12 +127,12 @@ fn e4() {
     println!("{}", table(&["mode", "signature", "detection", "migrated", "lost"], &rows));
 }
 
-fn e5() {
+fn e5(seed: u64) {
     heading("E5 (§VI)", "elastic IaaS vs fixed quota for Monte Carlo uncertainty analysis");
     let rows: Vec<Vec<String>> = [4usize, 16, 64, 200]
         .into_iter()
         .map(|runs| {
-            let r = e5_elastic_monte_carlo(runs, SimDuration::from_secs(300), 4, SEED);
+            let r = e5_elastic_monte_carlo(runs, SimDuration::from_secs(300), 4, seed);
             vec![
                 runs.to_string(),
                 r.quota_makespan.to_string(),
@@ -142,9 +145,9 @@ fn e5() {
     println!("{}", table(&["runs", "quota (4 vCPU)", "elastic", "instances", "speedup"], &rows));
 }
 
-fn e6() {
+fn e6(seed: u64) {
     heading("E6 (§VI)", "flash crowd: pre-bootstrapping cuts time-to-first-result at bounded cost");
-    let r = e6_flash_crowd(40, 4, SEED);
+    let r = e6_flash_crowd(40, 4, seed);
     println!(
         "{}",
         table(
@@ -167,9 +170,9 @@ fn e6() {
     );
 }
 
-fn e7() {
+fn e7(seed: u64) {
     heading("E7 (§IV-D)", "streamlined bundles beat incubator images on time-to-serve");
-    let r = e7_image_kinds(5, SimDuration::from_secs(120), SEED);
+    let r = e7_image_kinds(5, SimDuration::from_secs(120), seed);
     println!(
         "{}",
         table(
@@ -190,9 +193,9 @@ fn e7() {
     );
 }
 
-fn e8() {
+fn e8(seed: u64) {
     heading("E8 (§VI)", "placement-policy swap through the cross-cloud API (no caller changes)");
-    let r = e8_policy_swap(6, SEED);
+    let r = e8_policy_swap(6, seed);
     let fmt = |c: &PlacementCounts| {
         c.iter().map(|(p, n)| format!("{p}:{n}")).collect::<Vec<_>>().join(" ")
     };
@@ -212,9 +215,9 @@ fn e8() {
     );
 }
 
-fn e9() {
+fn e9(seed: u64) {
     heading("E9 (Fig 6/§V-B)", "land-use scenarios order flood peaks as stakeholders expect");
-    let r = e9_scenarios(&Catchment::morland(), 30, SEED);
+    let r = e9_scenarios(&Catchment::morland(), 30, seed);
     let rows: Vec<Vec<String>> = r
         .rows
         .iter()
@@ -235,18 +238,18 @@ fn e9() {
     println!("  expected ordering holds under both models: {}", r.ordering_holds);
 }
 
-fn e10() {
+fn e10(seed: u64) {
     heading("E10 (Fig 5)", "multimodal widget aligns sensors and webcam frames");
-    let r = e10_multimodal(SEED);
+    let r = e10_multimodal(seed);
     println!("  probes                   : {}", r.probes);
     println!("  frame hit rate           : {:.1} %", r.frame_hit_rate * 100.0);
     println!("  mean frame lag           : {:.0} s", r.mean_frame_lag_secs);
     println!("  murk–turbidity correlation: {:.2}", r.murk_turbidity_correlation);
 }
 
-fn e11() {
+fn e11(seed: u64) {
     heading("E11 (§VI)", "simulated workshops reproduce '>75 % found it useful and easy'");
-    let r = e11_journeys(50, SEED);
+    let r = e11_journeys(50, seed);
     let fmt = |s: &evop_portal::journey::CohortStats| {
         vec![
             format!("{}", s.users),
@@ -269,10 +272,10 @@ fn e11() {
     );
 }
 
-fn e12() {
+fn e12(seed: u64) {
     heading("E12 (Fig 4)", "asset discovery over the map's grid index");
     for extra in [100usize, 1000, 10_000] {
-        let (map, queries) = e12_setup(extra, SEED);
+        let (map, queries) = e12_setup(extra, seed);
         // evop-lint: allow(det-wallclock) -- measures real elapsed time of a deterministic workload; the timing is reported, never fed back into results
         let start = std::time::Instant::now();
         let mut hits = 0;
@@ -291,17 +294,17 @@ fn e12() {
     }
 }
 
-fn e13() {
+fn e13(seed: u64) {
     heading("E13 (§VIII)", "workflow composition with provenance and deterministic replay");
-    let r = e13_workflow(SEED);
+    let r = e13_workflow(seed);
     println!("  nodes                : {}", r.nodes);
     println!("  verdict              : {}", r.verdict);
     println!("  replay reproduces all: {}", r.replay_matches);
 }
 
-fn e14() {
+fn e14(seed: u64) {
     heading("E14 (Figs 2-3)", "storyboard steps verified against live features");
-    let (storyboard, coverage) = e14_verify_left(SEED);
+    let (storyboard, coverage) = e14_verify_left(seed);
     println!(
         "  {} steps, {} verified ({:.0} %)",
         coverage.steps,
@@ -313,9 +316,9 @@ fn e14() {
     }
 }
 
-fn e15() {
+fn e15(seed: u64) {
     heading("E15 (§IV-D)", "WebSocket push vs periodic polling for session updates");
-    let r = e15_push_vs_poll(30, SEED);
+    let r = e15_push_vs_poll(30, seed);
     let fmt = |name: &str, t: &evop_services::push::TrafficReport| {
         vec![
             name.to_string(),

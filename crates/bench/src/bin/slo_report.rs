@@ -1,0 +1,146 @@
+//! E4 alerting-matrix report: alert detection latency per fault burst.
+//!
+//! Runs every cell of the SLO alerting matrix (or one cell with `--cell`)
+//! across the matrix seeds (or one seed with `--seed`) and reports, for
+//! every injected fault burst, which SLO alert detected it and how many
+//! virtual seconds after the burst opened. `--json` prints the canonical
+//! machine-readable document the golden test pins; `--out DIR` also
+//! writes each run's metrics snapshot and Prometheus exposition.
+
+use std::fs;
+use std::path::Path;
+use std::process::exit;
+
+use serde_json::{json, Value};
+
+use evop_bench::cli::CliSpec;
+use evop_bench::slo::{e4_alerting_matrix, run_cell, CellOutcome, MATRIX_SEEDS};
+
+fn main() {
+    let spec = CliSpec::new("slo_report", 42).with_json().with_cell().with_out();
+    let opts = spec.parse_or_exit();
+
+    let cells = match &opts.cell {
+        Some(name) => {
+            let all = e4_alerting_matrix();
+            let found: Vec<_> = all.into_iter().filter(|c| c.name == *name).collect();
+            if found.is_empty() {
+                eprintln!("unknown cell {name:?}; cells:");
+                for cell in e4_alerting_matrix() {
+                    eprintln!("  {}", cell.name);
+                }
+                exit(2);
+            }
+            found
+        }
+        None => e4_alerting_matrix(),
+    };
+    let seeds: Vec<u64> = match opts.seed {
+        Some(seed) => vec![seed],
+        None => MATRIX_SEEDS.to_vec(),
+    };
+
+    let mut outcomes: Vec<CellOutcome> = Vec::new();
+    for cell in &cells {
+        for &seed in &seeds {
+            outcomes.push(run_cell(cell, seed));
+        }
+    }
+
+    if let Some(dir) = &opts.out {
+        write_artifacts(Path::new(dir), &outcomes);
+    }
+
+    if opts.json {
+        let doc = json!({
+            "report": "slo-alerting-matrix",
+            "cells": outcomes.iter().map(CellOutcome::to_json).collect::<Vec<Value>>(),
+        });
+        match serde_json::to_string_pretty(&doc) {
+            Ok(text) => println!("{text}"),
+            Err(err) => {
+                eprintln!("serialization failed: {err}");
+                exit(1);
+            }
+        }
+        return;
+    }
+
+    print_tables(&outcomes);
+}
+
+/// Writes `<cell>-<seed>.snapshot.json` and `<cell>-<seed>.prom` per run —
+/// the artifacts the CI smoke step uploads.
+fn write_artifacts(dir: &Path, outcomes: &[CellOutcome]) {
+    if let Err(err) = fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {err}", dir.display());
+        exit(1);
+    }
+    for outcome in outcomes {
+        let stem = format!("{}-{}", outcome.cell, outcome.seed);
+        let snapshot = serde_json::to_string_pretty(&outcome.report.metrics_snapshot)
+            .unwrap_or_else(|_| String::from("{}"));
+        for (name, body) in [
+            (format!("{stem}.snapshot.json"), snapshot),
+            (format!("{stem}.prom"), outcome.report.prometheus.clone()),
+        ] {
+            let path = dir.join(name);
+            if let Err(err) = fs::write(&path, body) {
+                eprintln!("cannot write {}: {err}", path.display());
+                exit(1);
+            }
+        }
+    }
+}
+
+fn print_tables(outcomes: &[CellOutcome]) {
+    println!("E4 SLO alerting matrix — alert detection latency in virtual time");
+    println!();
+    println!(
+        "{:<14} {:>6} {:<16} {:<8} {:>9} {:>6} {:<26} {:>11}",
+        "cell", "seed", "burst", "target", "start_s", "dur_s", "detected by", "latency_s"
+    );
+    let mut detected = 0usize;
+    let mut total = 0usize;
+    for outcome in outcomes {
+        for burst in &outcome.bursts {
+            total += 1;
+            let (slo, latency) = match (&burst.slo, burst.detection_latency_secs) {
+                (Some(slo), Some(lat)) => {
+                    detected += 1;
+                    (slo.clone(), format!("{lat:.0}"))
+                }
+                _ => (String::from("— MISSED —"), String::from("-")),
+            };
+            println!(
+                "{:<14} {:>6} {:<16} {:<8} {:>9} {:>6} {:<26} {:>11}",
+                outcome.cell,
+                outcome.seed,
+                burst.kind,
+                burst.target,
+                burst.start_secs,
+                burst.duration_secs,
+                slo,
+                latency
+            );
+        }
+    }
+    println!();
+    for outcome in outcomes {
+        let mean =
+            outcome.mean_detection_secs().map_or_else(|| String::from("-"), |v| format!("{v:.0}"));
+        let max =
+            outcome.max_detection_secs().map_or_else(|| String::from("-"), |v| format!("{v:.0}"));
+        println!(
+            "cell {:<14} seed {:<6} alerts {:>3}  mean detection {mean:>5}s  max {max:>5}s",
+            outcome.cell,
+            outcome.seed,
+            outcome.report.alerts.len(),
+        );
+    }
+    println!();
+    println!("bursts detected: {detected}/{total}");
+    if detected < total {
+        println!("WARNING: some bursts fired no alert — the health plane missed them");
+    }
+}

@@ -5,7 +5,7 @@
 //! measured result (the harnesses are the same `e{1,3,4}_*` functions).
 //!
 //! ```sh
-//! cargo run -p evop-bench --release --bin trace_report
+//! cargo run -p evop-bench --release --bin trace_report [-- --seed N]
 //! ```
 
 use evop_cloud::FailureMode;
@@ -13,14 +13,17 @@ use evop_core::experiments::{
     e1_dataflow_traced, e3_cloudburst_traced, e4_failure_recovery_traced, TraceCapture,
 };
 
-const SEED: u64 = 42;
+use evop_bench::cli::CliSpec;
 
 fn main() {
+    let spec = CliSpec::new("trace_report", 42);
+    let opts = spec.parse_or_exit();
+    let seed = opts.seed.unwrap_or_else(|| spec.default_seed());
     println!("======================================================================");
-    println!(" EVOp reproduction — trace report (seed {SEED})");
+    println!(" EVOp reproduction — trace report (seed {seed})");
     println!("======================================================================");
 
-    let (r1, c1) = e1_dataflow_traced(SEED);
+    let (r1, c1) = e1_dataflow_traced(seed);
     heading("E1 (Fig 1)", "one request, one causal timeline");
     println!("{}", c1.ascii());
     println!(
@@ -29,7 +32,7 @@ fn main() {
     );
     counters(&c1, &["router_requests_total", "wps_executions_total", "broker_placements_total"]);
 
-    let (r3, c3) = e3_cloudburst_traced(120, SEED);
+    let (r3, c3) = e3_cloudburst_traced(120, seed);
     heading("E3 (§IV-D/§VI)", "first session's timeline across the cloudburst ramp");
     println!("{}", c3.ascii());
     println!(
@@ -48,7 +51,7 @@ fn main() {
         ],
     );
 
-    let (r4, c4) = e4_failure_recovery_traced(FailureMode::Crash, 8, SEED);
+    let (r4, c4) = e4_failure_recovery_traced(FailureMode::Crash, 8, seed);
     heading("E4 (§IV-D)", "victim session's timeline through failure recovery");
     println!("{}", c4.ascii());
     println!(

@@ -1,0 +1,176 @@
+//! Tiny shared argument parser for the report binaries.
+//!
+//! Every report bin (`report`, `trace_report`, `chaos_report`,
+//! `slo_report`) takes the same handful of flags; this module parses them
+//! once so the binaries stay declarative. No external dependency — the
+//! grammar is four flags.
+
+use std::process::exit;
+
+/// Parsed common options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CliOptions {
+    /// `--seed N`, when given.
+    pub seed: Option<u64>,
+    /// `--json`: emit machine-readable canonical JSON instead of tables.
+    pub json: bool,
+    /// `--cell NAME`: restrict a matrix run to one named cell.
+    pub cell: Option<String>,
+    /// `--out DIR`: also write exporter artifacts into this directory.
+    pub out: Option<String>,
+}
+
+/// Which flags a binary accepts. `--seed` and `--help` always work.
+#[derive(Debug, Clone)]
+pub struct CliSpec {
+    bin: &'static str,
+    default_seed: u64,
+    json: bool,
+    cell: bool,
+    out: bool,
+}
+
+impl CliSpec {
+    /// A spec accepting `--seed N` (defaulting to `default_seed`).
+    pub fn new(bin: &'static str, default_seed: u64) -> CliSpec {
+        CliSpec { bin, default_seed, json: false, cell: false, out: false }
+    }
+
+    /// Also accept `--json`.
+    pub fn with_json(mut self) -> CliSpec {
+        self.json = true;
+        self
+    }
+
+    /// Also accept `--cell NAME`.
+    pub fn with_cell(mut self) -> CliSpec {
+        self.cell = true;
+        self
+    }
+
+    /// Also accept `--out DIR`.
+    pub fn with_out(mut self) -> CliSpec {
+        self.out = true;
+        self
+    }
+
+    fn usage(&self) -> String {
+        let mut flags = format!("  --seed N     simulation seed (default {})\n", self.default_seed);
+        if self.json {
+            flags.push_str("  --json       print canonical JSON instead of tables\n");
+        }
+        if self.cell {
+            flags.push_str("  --cell NAME  run only the named matrix cell\n");
+        }
+        if self.out {
+            flags.push_str("  --out DIR    also write exporter artifacts into DIR\n");
+        }
+        format!(
+            "usage: cargo run -p evop-bench --release --bin {} [--] [flags]\n{}  --help       this message",
+            self.bin, flags
+        )
+    }
+
+    /// Parses `args` (without the program name). Unknown or malformed
+    /// flags produce an `Err` with the usage text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the usage string (prefixed with the complaint) on any flag
+    /// the spec does not accept, a missing value, or an unparsable seed.
+    pub fn parse(&self, args: &[String]) -> Result<CliOptions, String> {
+        let mut opts = CliOptions::default();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--seed" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("--seed needs a value\n{}", self.usage()))?;
+                    opts.seed = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad seed {value:?}\n{}", self.usage()))?,
+                    );
+                }
+                "--json" if self.json => opts.json = true,
+                "--cell" if self.cell => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("--cell needs a value\n{}", self.usage()))?;
+                    opts.cell = Some(value.clone());
+                }
+                "--out" if self.out => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("--out needs a value\n{}", self.usage()))?;
+                    opts.out = Some(value.clone());
+                }
+                "--help" | "-h" => return Err(self.usage()),
+                other => return Err(format!("unknown flag {other:?}\n{}", self.usage())),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses the process arguments, printing usage and exiting on error —
+    /// the one-liner the binaries call.
+    pub fn parse_or_exit(&self) -> CliOptions {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match self.parse(&args) {
+            Ok(opts) => opts,
+            Err(message) => {
+                eprintln!("{message}");
+                exit(2);
+            }
+        }
+    }
+
+    /// The spec's default seed — what callers use when `--seed` is absent.
+    pub fn default_seed(&self) -> u64 {
+        self.default_seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn empty_args_yield_defaults() {
+        let opts = CliSpec::new("report", 42).parse(&[]).unwrap();
+        assert_eq!(opts, CliOptions::default());
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let spec = CliSpec::new("slo_report", 42).with_json().with_cell().with_out();
+        let opts = spec
+            .parse(&strings(&["--seed", "7", "--json", "--cell", "api-burst", "--out", "/tmp/x"]))
+            .unwrap();
+        assert_eq!(opts.seed, Some(7));
+        assert!(opts.json);
+        assert_eq!(opts.cell.as_deref(), Some("api-burst"));
+        assert_eq!(opts.out.as_deref(), Some("/tmp/x"));
+    }
+
+    #[test]
+    fn unaccepted_flags_are_rejected() {
+        let spec = CliSpec::new("report", 42);
+        assert!(spec.parse(&strings(&["--json"])).is_err());
+        assert!(spec.parse(&strings(&["--frobnicate"])).is_err());
+        assert!(spec.parse(&strings(&["--seed"])).is_err());
+        assert!(spec.parse(&strings(&["--seed", "not-a-number"])).is_err());
+    }
+
+    #[test]
+    fn help_surfaces_usage() {
+        let err = CliSpec::new("report", 42).parse(&strings(&["--help"])).unwrap_err();
+        assert!(err.contains("usage:"));
+        assert!(err.contains("--seed"));
+    }
+}

@@ -3,6 +3,14 @@
 //! * `cargo bench` runs the Criterion benches (one group per experiment
 //!   family — see `benches/`);
 //! * `cargo run -p evop-bench --release --bin report` regenerates the
-//!   numbers behind every figure/claim in EXPERIMENTS.md in one pass.
+//!   numbers behind every figure/claim in EXPERIMENTS.md in one pass;
+//! * `cargo run -p evop-bench --release --bin slo_report` runs the E4
+//!   alerting matrix and reports alert detection latency per fault burst.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod slo;
+
+pub use cli::{CliOptions, CliSpec};

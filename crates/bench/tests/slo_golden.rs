@@ -1,0 +1,44 @@
+//! Golden-output regression for the E4 alerting matrix.
+//!
+//! The committed golden is exactly what
+//! `slo_report --cell api-burst --seed 42 --json` prints. If a change
+//! shifts any alert transition, burn rate or detection latency, this test
+//! shows the diff — regenerate with:
+//!
+//! ```text
+//! cargo run -p evop-bench --release --bin slo_report -- \
+//!     --cell api-burst --seed 42 --json \
+//!     > crates/bench/golden/slo_api_burst_seed42.json
+//! ```
+
+use serde_json::{json, Value};
+
+use evop_bench::slo::{cell_by_name, run_cell, CellOutcome};
+
+const GOLDEN: &str = include_str!("../golden/slo_api_burst_seed42.json");
+
+#[test]
+fn api_burst_cell_matches_committed_golden() {
+    let cell = cell_by_name("api-burst").expect("api-burst cell exists");
+    let outcome = run_cell(&cell, 42);
+    let cells: Vec<Value> = vec![outcome.to_json()];
+    let doc = json!({
+        "report": "slo-alerting-matrix",
+        "cells": cells,
+    });
+    let rendered = serde_json::to_string_pretty(&doc).expect("serializable");
+    assert_eq!(
+        format!("{rendered}\n"),
+        GOLDEN,
+        "slo_report --cell api-burst --seed 42 --json drifted from the golden; \
+         regenerate it if the change is intended (see module docs)"
+    );
+}
+
+#[test]
+fn golden_cell_detects_every_burst() {
+    let cell = cell_by_name("api-burst").expect("api-burst cell exists");
+    let outcome = run_cell(&cell, 42);
+    assert!(outcome.all_detected(), "bursts: {:?}", outcome.bursts);
+    assert!(CellOutcome::mean_detection_secs(&outcome).is_some());
+}

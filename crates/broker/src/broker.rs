@@ -4,7 +4,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use evop_cloud::{
-    CloudError, CloudSim, ImageId, InstanceId, InstanceState, JobId, Provider, ProviderKind,
+    CloudError, CloudSim, ImageId, Instance, InstanceId, InstanceState, JobId, Provider,
+    ProviderKind,
 };
 use evop_obs::{MetricsRegistry, TraceContext, Tracer};
 use evop_sim::{SimDuration, SimTime};
@@ -512,6 +513,25 @@ impl Broker {
         work: SimDuration,
         ctx: Option<&TraceContext>,
     ) -> Result<JobId, BrokerError> {
+        let result = self.run_model_inner(id, work, ctx);
+        // The availability SLO reads these: "ok" and "transient" both mean
+        // the platform answered (a retry hint is an answer), "hard" means
+        // it did not.
+        let outcome = match &result {
+            Ok(_) => "ok",
+            Err(BrokerError::TransientlyUnavailable { .. }) => "transient",
+            Err(_) => "hard",
+        };
+        self.metrics.inc_counter("broker_submit_total", &[("outcome", outcome)]);
+        result
+    }
+
+    fn run_model_inner(
+        &mut self,
+        id: SessionId,
+        work: SimDuration,
+        ctx: Option<&TraceContext>,
+    ) -> Result<JobId, BrokerError> {
         let (instance, model, session_ctx) = {
             let session = self.sessions.get(id).ok_or(BrokerError::UnknownSession(id))?;
             let instance = match session.instance() {
@@ -718,6 +738,18 @@ impl Broker {
             self.bad_samples.remove(&bad);
             self.metrics
                 .inc_counter("broker_failures_detected_total", &[("signature", &signature)]);
+            // How long the instance was dead before the monitors condemned
+            // it — the paper's §IV-D detection window, now a histogram the
+            // SLO plane can query.
+            if let Some(InstanceState::Failed { at, .. }) =
+                self.cloud.instance(bad).map(Instance::state)
+            {
+                self.metrics.observe(
+                    "broker_detection_latency_seconds",
+                    &[],
+                    now.saturating_since(at).as_secs_f64(),
+                );
+            }
             self.events.push(BrokerEvent::FailureDetected { at: now, instance: bad, signature });
             self.replace_instance(bad);
         }
@@ -731,6 +763,10 @@ impl Broker {
             .instance(bad)
             .map(|i| i.image().id().clone())
             .unwrap_or_else(|| self.default_image.clone());
+        let failed_at = match self.cloud.instance(bad).map(Instance::state) {
+            Some(InstanceState::Failed { at, .. }) => Some(at),
+            _ => None,
+        };
         let affected = self.sessions.on_instance(bad);
 
         // Prefer an existing instance with room; otherwise provision.
@@ -741,6 +777,15 @@ impl Broker {
         let now = self.cloud.now();
         match replacement {
             Some(to) => {
+                // Failure-to-recovery outage: from the instant the instance
+                // died to the instant its sessions are serving again.
+                if let Some(at) = failed_at {
+                    self.metrics.observe(
+                        "broker_migration_outage_seconds",
+                        &[],
+                        now.saturating_since(at).as_secs_f64(),
+                    );
+                }
                 for session in affected {
                     if let Some(s) = self.sessions.get_mut(session) {
                         s.assign(to, now, true);

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use evop_cloud::{ApiFault, CloudOp, FailureMode, FaultInjector};
+use evop_obs::Tracer;
 use evop_sim::{SimDuration, SimRng, SimTime};
 
 use crate::schedule::{FaultKind, FaultSchedule};
@@ -24,6 +25,10 @@ pub struct ChaosEvent {
     pub target: String,
     /// What exactly happened (operation refused, slowdown applied, …).
     pub detail: String,
+    /// The `x-trace-id` of the `chaos.fault` span stamped into the
+    /// flight recorder, when a tracer is attached — how a fired alert
+    /// joins back to the fault that caused it.
+    pub trace: Option<String>,
 }
 
 #[derive(Debug)]
@@ -37,6 +42,7 @@ struct Inner {
     straggle_rng: SimRng,
     blob_rng: SimRng,
     events: Vec<ChaosEvent>,
+    tracer: Option<Tracer>,
 }
 
 /// A seeded, schedule-driven [`FaultInjector`].
@@ -76,8 +82,16 @@ impl ChaosEngine {
                 straggle_rng: root.fork("straggle"),
                 blob_rng: root.fork("blob"),
                 events: Vec::new(),
+                tracer: None,
             })),
         }
+    }
+
+    /// Attaches a tracer: every fault the engine fires from now on is also
+    /// stamped into the flight recorder as an instant `chaos.fault` span,
+    /// and the event log carries the span's `x-trace-id`.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.inner.lock().tracer = Some(tracer);
     }
 
     /// The seed the engine was built with.
@@ -136,11 +150,23 @@ impl ChaosEngine {
 
 impl Inner {
     fn record(&mut self, now: SimTime, kind: &str, target: &str, detail: impl Into<String>) {
+        let detail = detail.into();
+        let trace = self.tracer.as_ref().map(|tracer| {
+            tracer.set_now(now);
+            let span = tracer.start_trace("chaos.fault");
+            span.attr("kind", kind);
+            span.attr("target", target);
+            span.attr("detail", detail.clone());
+            let id = span.trace_id().to_string();
+            span.finish();
+            id
+        });
         self.events.push(ChaosEvent {
             at_ms: now.as_millis(),
             kind: kind.to_owned(),
             target: target.to_owned(),
-            detail: detail.into(),
+            detail,
+            trace,
         });
     }
 }

@@ -8,6 +8,7 @@ use serde_json::{json, Value};
 
 use evop_broker::{Broker, BrokerConfig, BrokerError, BrokerEvent, SessionId, SessionState};
 use evop_cloud::{InstanceId, InstanceState, JobState};
+use evop_obs::{AlertEngine, AlertRecord, AlertSeverity, SloSpec};
 use evop_sim::{SimDuration, SimTime};
 
 use crate::engine::ChaosEngine;
@@ -39,6 +40,7 @@ pub struct ChaosScenario {
     duration: SimDuration,
     submit_every: SimDuration,
     work: SimDuration,
+    slos: Vec<SloSpec>,
 }
 
 impl ChaosScenario {
@@ -54,7 +56,45 @@ impl ChaosScenario {
             duration: SimDuration::from_secs(4 * 3600),
             submit_every: SimDuration::from_secs(300),
             work: SimDuration::from_secs(30),
+            slos: Vec::new(),
         }
+    }
+
+    /// Registers an SLO to be judged after every control tick.
+    ///
+    /// The alert engine only *reads* the broker's metrics registry, so
+    /// adding SLOs never perturbs the simulation: the chaos/broker event
+    /// log is byte-identical with or without them.
+    pub fn slo(mut self, spec: SloSpec) -> ChaosScenario {
+        self.slos.push(spec);
+        self
+    }
+
+    /// The reference SLO set the E4 alert-latency experiments judge:
+    /// broker availability (submissions answered `ok` against a 90 %
+    /// target) and boot latency (instances ready within 180 s against a
+    /// 90 % target), each with a fast page window and a slower ticket
+    /// window.
+    pub fn default_slos() -> Vec<SloSpec> {
+        vec![
+            SloSpec::availability(
+                "broker-availability",
+                0.9,
+                "broker_submit_total",
+                &[("outcome", "ok")],
+                "broker_submit_total",
+            )
+            .window(1800, 300, 2.0, AlertSeverity::Page)
+            .window(7200, 1800, 1.0, AlertSeverity::Ticket),
+            SloSpec::latency(
+                "boot-latency",
+                0.9,
+                "cloud_boot_seconds",
+                &[("provider", "aws")],
+                180.0,
+            )
+            .window(1800, 300, 2.0, AlertSeverity::Page),
+        ]
     }
 
     /// Overrides the broker configuration.
@@ -90,7 +130,12 @@ impl ChaosScenario {
     pub fn run(&self) -> ChaosRunReport {
         let engine = ChaosEngine::new(self.schedule.clone(), self.seed);
         let mut broker = Broker::new(self.config.clone(), self.seed);
+        engine.set_tracer(broker.tracer().clone());
         broker.set_fault_injector(Some(Box::new(engine.clone())));
+        let mut alert_engine = AlertEngine::new(broker.metrics().clone());
+        for spec in &self.slos {
+            alert_engine.add_slo(spec.clone());
+        }
 
         let sessions: Vec<SessionId> = (0..self.sessions)
             .map(|i| {
@@ -109,6 +154,7 @@ impl ChaosScenario {
 
         while broker.now() < SimTime::ZERO + self.duration {
             broker.advance(step);
+            alert_engine.tick(broker.now());
             // Record first sightings of failed instances *before* the
             // broker terminates them, so detection latency is measurable.
             for inst in broker.cloud().instances() {
@@ -180,7 +226,11 @@ impl ChaosScenario {
                 (c + done, l + gone)
             });
 
-        let canonical_log = canonical_log(&self.schedule, self.seed, &engine, broker.events());
+        let alerts = alert_engine.alerts().to_vec();
+        let canonical_log =
+            canonical_log(&self.schedule, self.seed, &engine, broker.events(), &alerts);
+        let metrics_snapshot = broker.metrics().snapshot();
+        let prometheus = evop_obs::prometheus_text(broker.metrics());
         ChaosRunReport {
             schedule_name: self.schedule.name().to_owned(),
             seed: self.seed,
@@ -200,6 +250,9 @@ impl ChaosScenario {
             jobs_completed,
             jobs_lost,
             total_cost: broker.total_cost(),
+            alerts,
+            metrics_snapshot,
+            prometheus,
             canonical_log,
         }
     }
@@ -256,6 +309,14 @@ pub struct ChaosRunReport {
     pub jobs_lost: usize,
     /// Total accumulated cost.
     pub total_cost: f64,
+    /// SLO alert transitions, in firing order (empty when the scenario
+    /// registered no SLOs).
+    pub alerts: Vec<AlertRecord>,
+    /// The broker's full metrics registry at the end of the run, as the
+    /// registry's deterministic JSON snapshot.
+    pub metrics_snapshot: Value,
+    /// The same registry rendered in the Prometheus text format.
+    pub prometheus: String,
     canonical_log: String,
 }
 
@@ -302,6 +363,7 @@ fn canonical_log(
     seed: u64,
     engine: &ChaosEngine,
     broker_events: &[BrokerEvent],
+    alerts: &[AlertRecord],
 ) -> String {
     let broker: Vec<Value> = broker_events.iter().map(broker_event_json).collect();
     let chaos: Vec<Value> = engine
@@ -313,14 +375,17 @@ fn canonical_log(
                 "kind": e.kind,
                 "target": e.target,
                 "detail": e.detail,
+                "trace": e.trace,
             })
         })
         .collect();
+    let alerts: Vec<Value> = alerts.iter().map(AlertRecord::to_json).collect();
     let doc = json!({
         "schedule": schedule.name(),
         "seed": seed,
         "chaos": chaos,
         "broker": broker,
+        "alerts": alerts,
     });
     serde_json::to_string_pretty(&doc).unwrap_or_else(|_| String::from("{}"))
 }
@@ -415,6 +480,54 @@ mod tests {
         assert_eq!(report.sessions_unserved, 0, "no one may be left behind");
         assert!(report.jobs_completed > 0);
         assert!(report.submits.hard_failures == 0, "faults must surface as typed transients");
+    }
+
+    #[test]
+    fn slos_alert_on_a_partition_and_join_back_to_faults() {
+        let scenario = || {
+            let schedule = FaultSchedule::named("total-partition")
+                .window(600, 1200, FaultKind::Partition { provider: "aws".to_owned() })
+                .window(600, 1200, FaultKind::Partition { provider: "campus".to_owned() });
+            ChaosScenario::new(schedule, 11).sessions(8).duration(SimDuration::from_secs(3600)).slo(
+                SloSpec::availability(
+                    "broker-availability",
+                    0.9,
+                    "broker_submit_total",
+                    &[("outcome", "ok")],
+                    "broker_submit_total",
+                )
+                .window(600, 300, 2.0, AlertSeverity::Page),
+            )
+        };
+        let report = scenario().run();
+        assert!(!report.alerts.is_empty(), "a total partition must page");
+        let first = &report.alerts[0];
+        assert!(first.at_ms >= 600_000, "no alert before the fault starts");
+        assert!(
+            first.at_ms <= 1_800_000,
+            "detection must land inside the window, got {}ms",
+            first.at_ms
+        );
+        // Every fired fault is stamped with the trace id of its
+        // `chaos.fault` span, so the alert joins back to evidence.
+        assert!(report.chaos_faults_fired > 0);
+        assert!(report.canonical_log().contains("\"trace\": \""));
+        // Judged runs replay byte-identically, alerts included.
+        assert_eq!(report.canonical_log(), scenario().run().canonical_log());
+    }
+
+    #[test]
+    fn slos_read_only_never_perturb_the_simulation() {
+        let plain = short_storm().run();
+        let mut judged_scenario = short_storm();
+        for slo in ChaosScenario::default_slos() {
+            judged_scenario = judged_scenario.slo(slo);
+        }
+        let judged = judged_scenario.run();
+        assert_eq!(plain.submits, judged.submits);
+        assert_eq!(plain.detections, judged.detections);
+        assert_eq!(plain.chaos_faults_fired, judged.chaos_faults_fired);
+        assert_eq!(plain.total_cost, judged.total_cost);
     }
 
     #[test]

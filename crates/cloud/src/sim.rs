@@ -554,11 +554,20 @@ impl CloudSim {
                 if let Some(inst) = self.instances.get_mut(&id) {
                     if matches!(inst.state(), InstanceState::Pending { .. }) {
                         inst.mark_running();
+                        let provider = inst.provider().to_owned();
+                        let boot = now.saturating_since(inst.launched_at());
                         for (jid, finish) in inst.start_queued(now) {
                             self.events.push(finish, Event::JobDone(id, jid));
                         }
                         if let Some(span) = self.boot_spans.remove(&id) {
                             span.finish();
+                        }
+                        if let Some(reg) = &self.registry {
+                            reg.observe(
+                                "cloud_boot_seconds",
+                                &[("provider", &provider)],
+                                boot.as_secs_f64(),
+                            );
                         }
                         self.count_transition("running");
                     }

@@ -8,10 +8,32 @@
 //! sample is an independent model run, which is exactly what the elasticity
 //! experiments fan out across instances.
 
+use std::fmt;
+
 use evop_data::TimeSeries;
 use evop_sim::SimRng;
 
 use crate::objectives::Objective;
+
+/// Why a calibration could not produce a best sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationError {
+    /// Every evaluated sample scored `NaN` — the model failed over the
+    /// whole sampled space.
+    AllSamplesNan,
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrationError::AllSamplesNan => {
+                write!(f, "every sample scored NaN — model is broken over the whole space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
 
 /// A named box-constrained parameter space.
 ///
@@ -125,8 +147,36 @@ impl CalibrationResult {
 ///
 /// # Panics
 ///
-/// Panics if `n` is zero or every sample scored `NaN`.
-pub fn monte_carlo<F>(space: &ParamSpace, n: usize, seed: u64, mut run: F) -> CalibrationResult
+/// Panics if `n` is zero or every sample scored `NaN`. Use
+/// [`try_monte_carlo`] to handle the all-`NaN` case as a typed error.
+pub fn monte_carlo<F>(space: &ParamSpace, n: usize, seed: u64, run: F) -> CalibrationResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    match try_monte_carlo(space, n, seed, run) {
+        Ok(result) => result,
+        // evop-lint: allow(rob-panic) -- documented panicking wrapper; try_monte_carlo is the typed-error path
+        Err(err) => panic!("{err}"),
+    }
+}
+
+/// Fallible [`monte_carlo`]: returns the typed error instead of panicking
+/// when every sample scores `NaN`.
+///
+/// # Errors
+///
+/// [`CalibrationError::AllSamplesNan`] when no sample produced a finite
+/// score.
+///
+/// # Panics
+///
+/// Panics if `n` is zero — that is programmer input, not model behaviour.
+pub fn try_monte_carlo<F>(
+    space: &ParamSpace,
+    n: usize,
+    seed: u64,
+    mut run: F,
+) -> Result<CalibrationResult, CalibrationError>
 where
     F: FnMut(&[f64]) -> f64,
 {
@@ -142,8 +192,10 @@ where
         }
         samples.push(CalibrationSample { params, score });
     }
-    let best = best.expect("every sample scored NaN — model is broken over the whole space");
-    CalibrationResult { samples, best }
+    match best {
+        Some(best) => Ok(CalibrationResult { samples, best }),
+        None => Err(CalibrationError::AllSamplesNan),
+    }
 }
 
 /// Multi-round Monte Carlo with box refinement: each round samples
@@ -175,8 +227,38 @@ pub fn monte_carlo_refined<F>(
     samples_per_round: usize,
     shrink: f64,
     seed: u64,
-    mut run: F,
+    run: F,
 ) -> CalibrationResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    match try_monte_carlo_refined(space, rounds, samples_per_round, shrink, seed, run) {
+        Ok(result) => result,
+        // evop-lint: allow(rob-panic) -- documented panicking wrapper; try_monte_carlo_refined is the typed-error path
+        Err(err) => panic!("{err}"),
+    }
+}
+
+/// Fallible [`monte_carlo_refined`]: returns the typed error instead of
+/// panicking when every sample scores `NaN`.
+///
+/// # Errors
+///
+/// [`CalibrationError::AllSamplesNan`] when no round produced a finite
+/// score.
+///
+/// # Panics
+///
+/// Panics if `rounds` or `samples_per_round` is zero or `shrink` is not
+/// in `(0, 1)` — programmer input, not model behaviour.
+pub fn try_monte_carlo_refined<F>(
+    space: &ParamSpace,
+    rounds: usize,
+    samples_per_round: usize,
+    shrink: f64,
+    seed: u64,
+    mut run: F,
+) -> Result<CalibrationResult, CalibrationError>
 where
     F: FnMut(&[f64]) -> f64,
 {
@@ -188,7 +270,7 @@ where
     let mut current = space.clone();
     for round in 0..rounds {
         let result =
-            monte_carlo(&current, samples_per_round, seed ^ (round as u64) << 32, &mut run);
+            try_monte_carlo(&current, samples_per_round, seed ^ (round as u64) << 32, &mut run)?;
         for sample in result.samples {
             if !sample.score.is_nan()
                 && best.is_none_or(|b: usize| sample.score > all_samples[b].score)
@@ -197,8 +279,11 @@ where
             }
             all_samples.push(sample);
         }
+        // The first round either returned `AllSamplesNan` above or
+        // produced a finite-scoring best.
+        let Some(best) = best else { return Err(CalibrationError::AllSamplesNan) };
         // Shrink around the incumbent, clamped to the original bounds.
-        let incumbent = &all_samples[best.expect("monte_carlo guarantees a best")].params;
+        let incumbent = &all_samples[best].params;
         current = ParamSpace {
             dims: space
                 .dims
@@ -212,7 +297,10 @@ where
                 .collect(),
         };
     }
-    CalibrationResult { samples: all_samples, best: best.expect("non-empty") }
+    match best {
+        Some(best) => Ok(CalibrationResult { samples: all_samples, best }),
+        None => Err(CalibrationError::AllSamplesNan),
+    }
 }
 
 /// Convenience: calibrates a simulation closure against observations with a

@@ -1,0 +1,289 @@
+//! Trace analytics over the flight recorder.
+//!
+//! Two read-only views of finished spans:
+//!
+//! * [`CriticalPath`] — the chain of spans that determined a trace's
+//!   end-to-end latency: from the root, repeatedly descend into the
+//!   child that finished last (ties break to the smallest span id, so
+//!   the path is deterministic);
+//! * [`OperationBreakdown`] — per-operation latency distributions fed
+//!   into [`StreamingHistogram`]s, with both wall duration and *self*
+//!   time (duration minus time covered by child spans).
+
+use std::collections::BTreeMap;
+
+use evop_sim::{SimDuration, SimTime};
+use serde_json::{json, Value};
+
+use crate::histo::StreamingHistogram;
+use crate::trace::{SpanId, SpanRecord, TraceId, Tracer};
+
+/// One hop on a critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathStep {
+    /// Operation name.
+    pub name: String,
+    /// The span.
+    pub span_id: SpanId,
+    /// Span start, virtual time.
+    pub start: SimTime,
+    /// Span end, virtual time.
+    pub end: SimTime,
+}
+
+/// The latency-determining chain of one trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// The trace analysed.
+    pub trace_id: TraceId,
+    /// Root-to-leaf steps.
+    pub steps: Vec<PathStep>,
+    /// End-to-end duration of the root span.
+    pub total: SimDuration,
+}
+
+impl CriticalPath {
+    /// Extracts the critical path from one trace's spans. Returns `None`
+    /// when the trace has no finished root span.
+    pub fn extract(spans: &[SpanRecord]) -> Option<CriticalPath> {
+        let by_id: BTreeMap<u64, &SpanRecord> = spans.iter().map(|s| (s.span_id.0, s)).collect();
+        // The root: no parent, or a parent evicted from the ring buffer.
+        // Earliest start (then smallest id) wins when several qualify.
+        let root = spans
+            .iter()
+            .filter(|s| s.parent.is_none_or(|p| !by_id.contains_key(&p.0)))
+            .min_by_key(|s| (s.start, s.span_id))?;
+
+        let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+        for s in spans {
+            if let Some(p) = s.parent {
+                children.entry(p.0).or_default().push(s);
+            }
+        }
+
+        let mut steps = Vec::new();
+        let mut cursor = root;
+        loop {
+            steps.push(PathStep {
+                name: cursor.name.clone(),
+                span_id: cursor.span_id,
+                start: cursor.start,
+                end: cursor.end.unwrap_or(cursor.start),
+            });
+            // Descend into the child that finished last; ties break to
+            // the smallest span id for determinism.
+            let next = children.get(&cursor.span_id.0).and_then(|kids| {
+                kids.iter()
+                    .max_by(|a, b| {
+                        let ea = a.end.unwrap_or(a.start);
+                        let eb = b.end.unwrap_or(b.start);
+                        ea.cmp(&eb).then(b.span_id.cmp(&a.span_id))
+                    })
+                    .copied()
+            });
+            match next {
+                Some(child) => cursor = child,
+                None => break,
+            }
+        }
+        Some(CriticalPath {
+            trace_id: root.trace_id,
+            steps,
+            total: root.end.unwrap_or(root.start).saturating_since(root.start),
+        })
+    }
+
+    /// Deterministic JSON rendering.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "trace": self.trace_id.to_string(),
+            "total_ms": self.total.as_millis(),
+            "steps": self.steps.iter().map(|s| json!({
+                "name": s.name,
+                "span": s.span_id.to_string(),
+                "start_ms": s.start.as_millis(),
+                "end_ms": s.end.as_millis(),
+            })).collect::<Vec<Value>>(),
+        })
+    }
+}
+
+/// Per-operation latency distributions.
+#[derive(Debug, Default)]
+pub struct OperationBreakdown {
+    /// Wall durations per operation name, in seconds.
+    durations: BTreeMap<String, StreamingHistogram>,
+    /// Self time (duration minus child cover) per operation, in seconds.
+    self_times: BTreeMap<String, StreamingHistogram>,
+}
+
+impl OperationBreakdown {
+    /// Builds a breakdown from finished spans.
+    pub fn from_spans(spans: &[SpanRecord]) -> OperationBreakdown {
+        let mut child_cover: BTreeMap<u64, u64> = BTreeMap::new();
+        for s in spans {
+            if let Some(p) = s.parent {
+                *child_cover.entry(p.0).or_insert(0) += s.duration().as_millis();
+            }
+        }
+        let mut breakdown = OperationBreakdown::default();
+        for s in spans {
+            let duration_ms = s.duration().as_millis();
+            let cover = child_cover.get(&s.span_id.0).copied().unwrap_or(0);
+            let self_ms = duration_ms.saturating_sub(cover);
+            breakdown
+                .durations
+                .entry(s.name.clone())
+                .or_default()
+                .record(duration_ms as f64 / 1000.0);
+            breakdown.self_times.entry(s.name.clone()).or_default().record(self_ms as f64 / 1000.0);
+        }
+        breakdown
+    }
+
+    /// Operation names seen, sorted.
+    pub fn operations(&self) -> Vec<&str> {
+        self.durations.keys().map(String::as_str).collect()
+    }
+
+    /// The wall-duration histogram of one operation.
+    pub fn durations(&self, operation: &str) -> Option<&StreamingHistogram> {
+        self.durations.get(operation)
+    }
+
+    /// The self-time histogram of one operation.
+    pub fn self_times(&self, operation: &str) -> Option<&StreamingHistogram> {
+        self.self_times.get(operation)
+    }
+
+    /// Deterministic JSON: per operation `{count, p50, p99, self_p50}`.
+    pub fn to_json(&self) -> Value {
+        let ops: serde_json::Map<String, Value> = self
+            .durations
+            .iter()
+            .map(|(name, hist)| {
+                let self_hist = self.self_times.get(name);
+                (
+                    name.clone(),
+                    json!({
+                        "count": hist.count(),
+                        "p50_s": hist.p50().unwrap_or(0.0),
+                        "p99_s": hist.p99().unwrap_or(0.0),
+                        "self_p50_s": self_hist.and_then(|h| h.p50()).unwrap_or(0.0),
+                    }),
+                )
+            })
+            .collect();
+        json!(ops)
+    }
+}
+
+/// Combined analytics over everything in the flight recorder.
+#[derive(Debug)]
+pub struct TraceAnalysis {
+    /// One critical path per trace, ascending trace id.
+    pub critical_paths: Vec<CriticalPath>,
+    /// Latency breakdown across all finished spans.
+    pub breakdown: OperationBreakdown,
+}
+
+impl TraceAnalysis {
+    /// Analyses every trace in the tracer's flight recorder.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use evop_obs::{TraceAnalysis, Tracer};
+    /// use evop_sim::SimTime;
+    ///
+    /// let tracer = Tracer::new();
+    /// let root = tracer.start_trace("request");
+    /// let child = tracer.start_span("model.run", &root.context());
+    /// tracer.set_now(SimTime::from_secs(42));
+    /// child.finish();
+    /// root.finish();
+    ///
+    /// let analysis = TraceAnalysis::from_tracer(&tracer);
+    /// assert_eq!(analysis.critical_paths.len(), 1);
+    /// assert_eq!(analysis.critical_paths[0].steps.len(), 2);
+    /// ```
+    pub fn from_tracer(tracer: &Tracer) -> TraceAnalysis {
+        let critical_paths = tracer
+            .trace_ids()
+            .into_iter()
+            .filter_map(|id| CriticalPath::extract(&tracer.trace(id)))
+            .collect();
+        let breakdown = OperationBreakdown::from_spans(&tracer.finished());
+        TraceAnalysis { critical_paths, breakdown }
+    }
+
+    /// Deterministic JSON document of both views.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "critical_paths": self.critical_paths.iter().map(CriticalPath::to_json).collect::<Vec<Value>>(),
+            "operations": self.breakdown.to_json(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// root(0..100) with fast(0..10) and slow(5..95) children; slow has a
+    /// nested leaf(10..90).
+    fn diamond_tracer() -> Tracer {
+        let tracer = Tracer::new();
+        let root = tracer.start_trace("request");
+        let fast = tracer.start_span("cache.lookup", &root.context());
+        tracer.set_now(SimTime::from_secs(5));
+        let slow = tracer.start_span("model.run", &root.context());
+        tracer.set_now(SimTime::from_secs(10));
+        fast.finish();
+        let leaf = tracer.start_span("cloud.boot", &slow.context());
+        tracer.set_now(SimTime::from_secs(90));
+        leaf.finish();
+        tracer.set_now(SimTime::from_secs(95));
+        slow.finish();
+        tracer.set_now(SimTime::from_secs(100));
+        root.finish();
+        tracer
+    }
+
+    #[test]
+    fn critical_path_follows_the_latest_finisher() {
+        let tracer = diamond_tracer();
+        let analysis = TraceAnalysis::from_tracer(&tracer);
+        let path = &analysis.critical_paths[0];
+        let names: Vec<&str> = path.steps.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["request", "model.run", "cloud.boot"]);
+        assert_eq!(path.total, SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn breakdown_computes_self_time() {
+        let tracer = diamond_tracer();
+        let breakdown = OperationBreakdown::from_spans(&tracer.finished());
+        assert_eq!(breakdown.operations(), ["cache.lookup", "cloud.boot", "model.run", "request"]);
+        // model.run runs 90s but 80s of that is the cloud.boot child.
+        let self_p50 = breakdown.self_times("model.run").unwrap().p50().unwrap();
+        assert!((self_p50 / 10.0 - 1.0).abs() < 0.05, "self time ≈ 10s, got {self_p50}");
+        let wall_p50 = breakdown.durations("model.run").unwrap().p50().unwrap();
+        assert!((wall_p50 / 90.0 - 1.0).abs() < 0.05, "wall ≈ 90s, got {wall_p50}");
+    }
+
+    #[test]
+    fn empty_trace_yields_no_path() {
+        assert!(CriticalPath::extract(&[]).is_none());
+        let tracer = Tracer::new();
+        let analysis = TraceAnalysis::from_tracer(&tracer);
+        assert!(analysis.critical_paths.is_empty());
+    }
+
+    #[test]
+    fn analysis_json_is_deterministic() {
+        let build = || TraceAnalysis::from_tracer(&diamond_tracer()).to_json().to_string();
+        assert_eq!(build(), build());
+        assert!(build().contains("critical_paths"));
+    }
+}

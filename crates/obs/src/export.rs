@@ -1,0 +1,264 @@
+//! Exporters: Prometheus text format and OTLP-like JSON.
+//!
+//! Both exporters are deterministic renderings of deterministic state —
+//! same-seed runs export byte-identical documents, which the workspace
+//! golden tests pin. Floats render through Rust's shortest-round-trip
+//! `Display`, never locale- or libm-dependent formatting.
+
+use std::fmt::Write as _;
+
+use serde_json::{json, Value};
+
+use crate::histo::StreamingHistogram;
+use crate::metrics::MetricsRegistry;
+use crate::trace::Tracer;
+
+/// Renders a registry in the Prometheus text exposition format.
+///
+/// Counters and gauges become one sample line per series; histograms
+/// expand to cumulative `_bucket{le="…"}` lines (the non-empty buckets of
+/// the shared log ladder plus `+Inf`), `_sum` and `_count`. Series of one
+/// family stay contiguous under a single `# TYPE` header — guaranteed by
+/// the registry's typed key ordering.
+///
+/// # Examples
+///
+/// ```
+/// use evop_obs::{prometheus_text, MetricsRegistry};
+///
+/// let m = MetricsRegistry::new();
+/// m.inc_counter("requests_total", &[("route", "/catchments")]);
+/// let text = prometheus_text(&m);
+/// assert!(text.contains("# TYPE requests_total counter"));
+/// assert!(text.contains("requests_total{route=\"/catchments\"} 1"));
+/// ```
+pub fn prometheus_text(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<String> = None;
+
+    for (key, value) in registry.counter_series() {
+        type_header(&mut out, &mut last_family, key.name(), "counter");
+        let _ = writeln!(out, "{} {}", sample_name(key.name(), key.labels(), &[]), value);
+    }
+    last_family = None;
+    for (key, value) in registry.gauge_series() {
+        type_header(&mut out, &mut last_family, key.name(), "gauge");
+        let _ = writeln!(out, "{} {}", sample_name(key.name(), key.labels(), &[]), value);
+    }
+    last_family = None;
+    for (key, hist) in registry.histogram_series() {
+        type_header(&mut out, &mut last_family, key.name(), "histogram");
+        let mut cumulative = 0u64;
+        for (bucket, count) in hist.nonzero_buckets() {
+            cumulative += count;
+            let (_, hi) = StreamingHistogram::bucket_range(bucket);
+            let le = if hi.is_infinite() { "+Inf".to_owned() } else { format!("{hi}") };
+            let _ = writeln!(
+                out,
+                "{} {}",
+                sample_name(&format!("{}_bucket", key.name()), key.labels(), &[("le", &le)]),
+                cumulative
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} {}",
+            sample_name(&format!("{}_bucket", key.name()), key.labels(), &[("le", "+Inf")]),
+            hist.count()
+        );
+        let _ = writeln!(
+            out,
+            "{} {}",
+            sample_name(&format!("{}_sum", key.name()), key.labels(), &[]),
+            hist.sum()
+        );
+        let _ = writeln!(
+            out,
+            "{} {}",
+            sample_name(&format!("{}_count", key.name()), key.labels(), &[]),
+            hist.count()
+        );
+    }
+    out
+}
+
+/// Emits a `# TYPE` header when the family changes.
+fn type_header(out: &mut String, last: &mut Option<String>, family: &str, kind: &str) {
+    if last.as_deref() != Some(family) {
+        let _ = writeln!(out, "# TYPE {family} {kind}");
+        *last = Some(family.to_owned());
+    }
+}
+
+/// Renders `name{k="v",…}` with extra label pairs appended (for `le`).
+fn sample_name(name: &str, labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return name.to_owned();
+    }
+    let mut rendered: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    rendered.extend(extra.iter().map(|&(k, v)| format!("{k}=\"{}\"", escape_label(v))));
+    format!("{name}{{{}}}", rendered.join(","))
+}
+
+/// Prometheus label-value escaping: backslash, quote and newline.
+fn escape_label(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Exports the tracer's finished spans as an OTLP-like JSON document
+/// (`resourceSpans` → `scopeSpans` → `spans`, ids hex-padded, timestamps
+/// in nanoseconds derived from virtual milliseconds).
+///
+/// # Examples
+///
+/// ```
+/// use evop_obs::{otlp_json, Tracer};
+/// use evop_sim::SimTime;
+///
+/// let tracer = Tracer::new();
+/// tracer.set_now(SimTime::from_secs(1));
+/// tracer.start_trace("request").finish();
+/// let doc = otlp_json(&tracer);
+/// assert_eq!(doc["resourceSpans"][0]["scopeSpans"][0]["spans"][0]["name"], "request");
+/// ```
+pub fn otlp_json(tracer: &Tracer) -> Value {
+    let mut spans = tracer.finished();
+    spans.sort_by_key(|s| (s.trace_id, s.start, s.span_id));
+    let rendered: Vec<Value> = spans
+        .iter()
+        .map(|s| {
+            let attributes: Vec<Value> = s
+                .attrs
+                .iter()
+                .map(|(k, v)| json!({ "key": k, "value": { "stringValue": v } }))
+                .collect();
+            let events: Vec<Value> = s
+                .events
+                .iter()
+                .map(|e| {
+                    json!({
+                        "timeUnixNano": millis_to_nanos(e.at.as_millis()),
+                        "name": e.message,
+                    })
+                })
+                .collect();
+            json!({
+                "traceId": format!("{:032x}", s.trace_id.0),
+                "spanId": format!("{:016x}", s.span_id.0),
+                "parentSpanId": s.parent.map(|p| format!("{:016x}", p.0)).unwrap_or_default(),
+                "name": s.name,
+                "startTimeUnixNano": millis_to_nanos(s.start.as_millis()),
+                "endTimeUnixNano": s.end.map(|t| millis_to_nanos(t.as_millis())).unwrap_or_default(),
+                "attributes": attributes,
+                "events": events,
+            })
+        })
+        .collect();
+    json!({
+        "resourceSpans": [{
+            "resource": {
+                "attributes": [
+                    { "key": "service.name", "value": { "stringValue": "evop-sim" } },
+                ],
+            },
+            "scopeSpans": [{
+                "scope": { "name": "evop-obs" },
+                "spans": rendered,
+            }],
+        }],
+        "droppedSpans": tracer.dropped(),
+    })
+}
+
+/// Virtual milliseconds → "unix" nanoseconds (the simulation epoch is 0).
+fn millis_to_nanos(ms: u64) -> String {
+    // OTLP carries nanos as strings to dodge 53-bit JSON precision.
+    format!("{}", (ms as u128) * 1_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_sim::SimTime;
+
+    #[test]
+    fn prometheus_counters_and_gauges_render() {
+        let m = MetricsRegistry::new();
+        m.add_counter("req_total", &[("outcome", "ok")], 3);
+        m.add_counter("req_total", &[("outcome", "err")], 1);
+        m.set_gauge("pool_size", &[], 4.5);
+        let text = prometheus_text(&m);
+        assert!(text.contains("# TYPE req_total counter"));
+        assert_eq!(text.matches("# TYPE req_total").count(), 1, "one header per family");
+        assert!(text.contains("req_total{outcome=\"err\"} 1"));
+        assert!(text.contains("req_total{outcome=\"ok\"} 3"));
+        assert!(text.contains("# TYPE pool_size gauge"));
+        assert!(text.contains("pool_size 4.5"));
+    }
+
+    #[test]
+    fn prometheus_histograms_are_cumulative() {
+        let m = MetricsRegistry::new();
+        for v in [0.5, 1.5, 120.0] {
+            m.observe("lat_seconds", &[], v);
+        }
+        let text = prometheus_text(&m);
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_seconds_count 3"));
+        assert!(text.contains("lat_seconds_sum 122"));
+        // Cumulative counts never decrease down the page.
+        let buckets: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_seconds_bucket"))
+            .filter_map(|l| l.rsplit(' ').next()?.parse().ok())
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn prometheus_text_is_byte_stable() {
+        let build = || {
+            let m = MetricsRegistry::new();
+            m.inc_counter("b_total", &[("z", "1"), ("a", "2")]);
+            m.observe("h_seconds", &[], 2.25);
+            prometheus_text(&m)
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn otlp_document_shape_and_stability() {
+        let build = || {
+            let tracer = Tracer::new();
+            tracer.set_now(SimTime::from_secs(5));
+            let root = tracer.start_trace("request");
+            root.attr("user", "stakeholder");
+            let child = tracer.start_span("model.run", &root.context());
+            tracer.set_now(SimTime::from_secs(9));
+            child.event("bound");
+            child.finish();
+            root.finish();
+            otlp_json(&tracer)
+        };
+        let doc = build();
+        assert_eq!(
+            doc["resourceSpans"][0]["scopeSpans"][0]["spans"].as_array().map(Vec::len),
+            Some(2)
+        );
+        let root = &doc["resourceSpans"][0]["scopeSpans"][0]["spans"][0];
+        assert_eq!(root["traceId"], "00000000000000000000000000000000");
+        assert_eq!(root["parentSpanId"], "");
+        assert_eq!(root["startTimeUnixNano"], "5000000000");
+        let child = &doc["resourceSpans"][0]["scopeSpans"][0]["spans"][1];
+        assert_eq!(child["parentSpanId"], root["spanId"]);
+        assert_eq!(child["events"][0]["name"], "bound");
+        assert_eq!(build().to_string(), build().to_string());
+    }
+}

@@ -1,0 +1,399 @@
+//! Deterministic log-bucketed streaming histograms.
+//!
+//! [`StreamingHistogram`] is the HDR-style estimator behind the health
+//! plane: constant memory, mergeable, and *deterministic by construction*.
+//! Bucket boundaries form one fixed geometric ladder shared by every
+//! histogram in the process — precomputed once by repeated multiplication
+//! (never `ln`/`log`, whose libm implementations vary across platforms) —
+//! so two same-seed runs, or a merge of per-shard histograms, always
+//! produce byte-identical snapshots.
+//!
+//! Quantile queries return the *geometric midpoint* of the bucket holding
+//! the requested rank. With growth factor [`GROWTH`] the midpoint is
+//! within `sqrt(GROWTH) - 1` (< 5 %) relative error of the exact order
+//! statistic, a bound the workspace proptests assert.
+
+use serde_json::{json, Value};
+use std::sync::OnceLock;
+
+/// Ratio between consecutive bucket boundaries (≈ 4.9 % relative error at
+/// the geometric midpoint).
+pub const GROWTH: f64 = 1.1;
+/// Smallest value tracked with full resolution; everything in
+/// `[0, MIN_TRACKABLE)` lands in the underflow bucket.
+pub const MIN_TRACKABLE: f64 = 1e-6;
+/// Values at or above the last boundary land in the overflow bucket.
+pub const MAX_TRACKABLE: f64 = 1e9;
+
+/// The shared bucket ladder: `boundaries[0] == MIN_TRACKABLE`, each entry
+/// `GROWTH` times the previous, ending at the first value `>=
+/// MAX_TRACKABLE`.
+fn boundaries() -> &'static [f64] {
+    static BOUNDARIES: OnceLock<Vec<f64>> = OnceLock::new();
+    BOUNDARIES.get_or_init(|| {
+        let mut bounds = vec![MIN_TRACKABLE];
+        loop {
+            // evop-lint: allow(rob-expect) -- ladder is non-empty by construction
+            let last = *bounds.last().expect("ladder starts non-empty");
+            if last >= MAX_TRACKABLE {
+                break;
+            }
+            bounds.push(last * GROWTH);
+        }
+        bounds
+    })
+}
+
+/// Number of finite buckets (between underflow and overflow).
+fn ladder_len() -> usize {
+    boundaries().len() - 1
+}
+
+/// A streaming histogram over non-negative samples.
+///
+/// Buckets: index `0` is the underflow bucket `[0, MIN_TRACKABLE)`;
+/// indices `1..=ladder` cover `[b[i-1], b[i])`; the last index is the
+/// overflow bucket `[MAX_TRACKABLE, ∞)`. Exact `count`/`sum`/`min`/`max`
+/// ride alongside the bucket counts, so means are exact even though
+/// quantiles are approximate.
+///
+/// # Examples
+///
+/// ```
+/// use evop_obs::histo::StreamingHistogram;
+///
+/// let mut h = StreamingHistogram::new();
+/// for i in 1..=1000 {
+///     h.record(i as f64);
+/// }
+/// let p50 = h.quantile(0.5).unwrap();
+/// assert!((p50 / 500.0 - 1.0).abs() < 0.05, "p50 ≈ 500, got {p50}");
+/// assert_eq!(h.count(), 1000);
+///
+/// let mut other = StreamingHistogram::new();
+/// other.record(2000.0);
+/// h.merge(&other);
+/// assert_eq!(h.count(), 1001);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingHistogram {
+    /// Sparse bucket counts as (bucket index, count), sorted by index.
+    counts: Vec<(u32, u64)>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> StreamingHistogram {
+        StreamingHistogram::new()
+    }
+}
+
+impl StreamingHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> StreamingHistogram {
+        StreamingHistogram {
+            counts: Vec::new(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket index for a value: `0` for the underflow range,
+    /// `ladder + 1` for overflow, and the geometric bucket in between.
+    /// Negative inputs clamp to the underflow bucket.
+    pub fn bucket_index(value: f64) -> u32 {
+        let bounds = boundaries();
+        if value < MIN_TRACKABLE {
+            return 0;
+        }
+        if value >= MAX_TRACKABLE {
+            return (ladder_len() + 1) as u32;
+        }
+        // First boundary strictly greater than `value`; the bucket is the
+        // half-open interval ending there.
+        let idx = bounds.partition_point(|&b| b <= value);
+        idx as u32
+    }
+
+    /// The `[lo, hi)` range of a bucket index. The underflow bucket starts
+    /// at zero; the overflow bucket ends at infinity.
+    pub fn bucket_range(index: u32) -> (f64, f64) {
+        let bounds = boundaries();
+        let i = index as usize;
+        if i == 0 {
+            return (0.0, MIN_TRACKABLE);
+        }
+        if i >= bounds.len() {
+            // The ladder's last rung overshoots MAX_TRACKABLE, but values
+            // are routed to overflow from MAX_TRACKABLE up.
+            return (MAX_TRACKABLE, f64::INFINITY);
+        }
+        (bounds[i - 1], bounds[i])
+    }
+
+    /// The deterministic representative value of a bucket: zero for the
+    /// underflow bucket, the last finite boundary for overflow, and the
+    /// geometric midpoint otherwise.
+    pub fn bucket_representative(index: u32) -> f64 {
+        let (lo, hi) = StreamingHistogram::bucket_range(index);
+        if index == 0 {
+            return 0.0;
+        }
+        if hi.is_infinite() {
+            return lo;
+        }
+        (lo * hi).sqrt()
+    }
+
+    /// Records one observation. Non-finite values are ignored; negative
+    /// values clamp into the underflow bucket (latencies are never
+    /// negative, but a corrupted gauge must not poison the ladder).
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let clamped = value.max(0.0);
+        let idx = StreamingHistogram::bucket_index(clamped);
+        match self.counts.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(pos) => self.counts[pos].1 += 1,
+            Err(pos) => self.counts.insert(pos, (idx, 1)),
+        }
+        self.count += 1;
+        self.sum += clamped;
+        self.min = self.min.min(clamped);
+        self.max = self.max.max(clamped);
+    }
+
+    /// Merges another histogram into this one. Because every histogram
+    /// shares the fixed ladder, merging is exact on bucket counts.
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        for &(idx, n) in &other.counts {
+            match self.counts.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(pos) => self.counts[pos].1 += n,
+                Err(pos) => self.counts.insert(pos, (idx, n)),
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded observations (after underflow clamping).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean, or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Non-empty buckets as `(index, count)`, ascending by index.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts.iter().copied()
+    }
+
+    /// Observations at or below `value` — the cumulative count used by the
+    /// Prometheus exporter's `le` buckets and the latency SLOs. Counts
+    /// every bucket whose upper bound is `<= value` plus, conservatively,
+    /// the bucket containing `value` itself.
+    pub fn count_at_most(&self, value: f64) -> u64 {
+        if value < 0.0 {
+            return 0;
+        }
+        let cutoff = StreamingHistogram::bucket_index(value);
+        self.counts.iter().filter(|&&(i, _)| i <= cutoff).map(|&(_, n)| n).sum()
+    }
+
+    /// The approximate `q`-quantile (`q` in `[0, 1]`), `None` when empty.
+    ///
+    /// Returns the representative of the bucket containing the rank-`q`
+    /// observation: for tracked values the relative error is bounded by
+    /// `sqrt(GROWTH) - 1`, except that quantiles resolving to the min or
+    /// max bucket are clamped to the exact extrema.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // Rank of the order statistic, 1-based ceil like `Percentiles`.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The first and last order statistics are tracked exactly.
+        if rank == 1 {
+            return Some(self.min);
+        }
+        if rank == self.count {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for &(idx, n) in &self.counts {
+            seen += n;
+            if seen >= rank {
+                let rep = StreamingHistogram::bucket_representative(idx);
+                // The true order statistic lies inside this bucket, so
+                // clamping to the exact extrema can only improve accuracy.
+                return Some(rep.clamp(self.min, self.max));
+            }
+        }
+        self.max()
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// 90th percentile shorthand.
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.9)
+    }
+
+    /// 99th percentile shorthand.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// A byte-stable JSON snapshot: exact aggregates plus the sparse
+    /// non-zero buckets, every field in fixed order.
+    pub fn to_json(&self) -> Value {
+        let buckets: Vec<Value> = self.counts.iter().map(|&(i, n)| json!([i, n])).collect();
+        json!({
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min().unwrap_or(0.0),
+            "max": self.max().unwrap_or(0.0),
+            "p50": self.p50().unwrap_or(0.0),
+            "p90": self.p90().unwrap_or(0.0),
+            "p99": self.p99().unwrap_or(0.0),
+            "buckets": buckets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_are_strictly_increasing_and_cover_the_range() {
+        let b = boundaries();
+        assert!(b.windows(2).all(|w| w[0] < w[1]), "ladder must be strictly increasing");
+        assert_eq!(b[0], MIN_TRACKABLE);
+        assert!(*b.last().unwrap() >= MAX_TRACKABLE);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_ranges_tile() {
+        let values = [0.0, 1e-7, 1e-6, 0.005, 0.3, 1.0, 17.4, 1e3, 1e8, 1e9, 1e12];
+        let mut last = 0;
+        for v in values {
+            let idx = StreamingHistogram::bucket_index(v);
+            assert!(idx >= last, "index must not decrease at {v}");
+            let (lo, hi) = StreamingHistogram::bucket_range(idx);
+            assert!(v >= lo && v < hi, "{v} must fall inside its bucket [{lo}, {hi})");
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_percentiles() {
+        let mut h = StreamingHistogram::new();
+        for i in 1..=10_000 {
+            h.record(i as f64 / 10.0); // 0.1 .. 1000.0
+        }
+        for (q, exact) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let got = h.quantile(q).unwrap();
+            assert!((got / exact - 1.0).abs() < 0.05, "q={q}: got {got}, exact {exact}");
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut h = StreamingHistogram::new();
+        for v in [3.0, 8.5, 12.25] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), Some(3.0));
+        assert_eq!(h.max(), Some(12.25));
+        assert_eq!(h.quantile(0.0), Some(3.0));
+        assert_eq!(h.quantile(1.0), Some(12.25));
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let xs = [0.2, 5.0, 5.1, 80.0, 1e7];
+        let mut whole = StreamingHistogram::new();
+        let mut a = StreamingHistogram::new();
+        let mut b = StreamingHistogram::new();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.record(x);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.to_json().to_string(), whole.to_json().to_string());
+    }
+
+    #[test]
+    fn non_finite_ignored_and_negatives_clamp() {
+        let mut h = StreamingHistogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+        h.record(-3.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), Some(0.0));
+        assert_eq!(h.quantile(0.5), Some(0.0));
+    }
+
+    #[test]
+    fn snapshot_is_byte_stable() {
+        let build = || {
+            let mut h = StreamingHistogram::new();
+            for v in [0.01, 2.0, 2.0, 30.0, 4e9] {
+                h.record(v);
+            }
+            h.to_json().to_string()
+        };
+        assert_eq!(build(), build());
+        assert!(build().contains("\"count\":5"));
+    }
+
+    #[test]
+    fn count_at_most_is_cumulative() {
+        let mut h = StreamingHistogram::new();
+        for v in [0.1, 0.2, 5.0, 50.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count_at_most(0.0), 0);
+        assert_eq!(h.count_at_most(1.0), 2);
+        assert_eq!(h.count_at_most(1e9), 4);
+    }
+}

@@ -17,6 +17,17 @@
 //! * [`timeline`] — renders one trace as an ASCII tree or a JSON
 //!   document, for the `trace_report` binary and the examples.
 //!
+//! On top of that substrate sits the *health plane* (PR 4):
+//!
+//! * [`histo`] — deterministic log-bucketed streaming histograms
+//!   (mergeable, fixed bucket ladder, byte-stable snapshots);
+//! * [`slo`] — declarative [`SloSpec`]s judged by a multi-window
+//!   burn-rate [`AlertEngine`] ticking on virtual time;
+//! * [`export`] — Prometheus text-format and OTLP-like JSON exporters
+//!   over registry snapshots and finished spans;
+//! * [`analyze`] — trace analytics: critical-path extraction and
+//!   per-operation latency breakdowns feeding the histograms.
+//!
 //! Handles ([`MetricsRegistry`], [`Tracer`]) are cheap clones sharing one
 //! store, so the broker, the cloud simulator and the REST router can all
 //! report into the same collector.
@@ -44,10 +55,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
+pub mod export;
+pub mod histo;
 pub mod metrics;
+pub mod slo;
 pub mod timeline;
 pub mod trace;
 
-pub use metrics::MetricsRegistry;
+pub use analyze::{CriticalPath, OperationBreakdown, TraceAnalysis};
+pub use export::{otlp_json, prometheus_text};
+pub use histo::StreamingHistogram;
+pub use metrics::{MetricsRegistry, SeriesKey};
+pub use slo::{
+    AlertEngine, AlertKind, AlertRecord, AlertSeverity, BurnRateWindow, Selector, SloObjective,
+    SloSpec,
+};
 pub use timeline::TimelineReport;
 pub use trace::{Span, SpanEvent, SpanId, SpanRecord, TraceContext, TraceId, Tracer};

@@ -1,10 +1,14 @@
 //! A metrics registry: counters, gauges and histograms with labels.
 //!
-//! Metrics are keyed by a metric name plus a set of `key=value` label
-//! pairs. Labels are sorted before keying, so the same logical series is
-//! always the same stored series regardless of argument order, and the
-//! JSON snapshot (backed by `BTreeMap`) renders with fully sorted keys —
-//! byte-identical across same-seed runs.
+//! Metrics are keyed by a typed [`SeriesKey`] — metric name plus sorted
+//! `key=value` label pairs. Sorting happens at the *pair* level (key,
+//! then value) when a series is touched, and the registry's maps order
+//! by name first and labels second, so series of one metric family are
+//! always contiguous and the JSON snapshot is byte-identical regardless
+//! of registration order. The Prometheus exporter relies on that family
+//! grouping; a plain rendered-string key would interleave families (the
+//! `{` byte sorts above every alphanumeric, so `m2` would land between
+//! `m{a=1}` and `m{z=1}`).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -13,18 +17,73 @@ use evop_sim::stats::{Percentiles, Running};
 use parking_lot::RwLock;
 use serde_json::{json, Map, Value};
 
-/// A histogram series: streaming moments plus exact quantiles.
+use crate::histo::StreamingHistogram;
+
+/// A fully resolved series identity: metric name plus sorted label pairs.
+///
+/// Ordering is derived, so `BTreeMap<SeriesKey, _>` groups all series of
+/// one metric name together — what the exporters need for valid
+/// Prometheus family grouping.
+///
+/// # Examples
+///
+/// ```
+/// use evop_obs::SeriesKey;
+///
+/// let key = SeriesKey::new("placements_total", &[("provider", "aws"), ("class", "m")]);
+/// assert_eq!(key.render(), "placements_total{class=m,provider=aws}");
+/// assert_eq!(key.name(), "placements_total");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeriesKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    /// Builds a key, sorting the label pairs (by key, then value).
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+        let mut owned: Vec<(String, String)> =
+            labels.iter().map(|&(k, v)| (k.to_owned(), v.to_owned())).collect();
+        owned.sort_unstable();
+        SeriesKey { name: name.to_owned(), labels: owned }
+    }
+
+    /// The metric (family) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sorted label pairs.
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+
+    /// Renders `name{k1=v1,k2=v2}` (just `name` when unlabelled) — the
+    /// form used by the JSON snapshot and the ASCII reports.
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let rendered: Vec<String> = self.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("{}{{{}}}", self.name, rendered.join(","))
+    }
+}
+
+/// A histogram series: streaming moments, exact quantiles, and the
+/// log-bucketed estimator the exporters and SLOs read.
 #[derive(Debug, Default)]
 struct HistSeries {
     running: Running,
     percentiles: Percentiles,
+    streaming: StreamingHistogram,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, HistSeries>,
+    counters: BTreeMap<SeriesKey, u64>,
+    gauges: BTreeMap<SeriesKey, f64>,
+    histograms: BTreeMap<SeriesKey, HistSeries>,
 }
 
 /// A shared, thread-safe registry of named metrics.
@@ -52,17 +111,6 @@ pub struct MetricsRegistry {
     inner: Arc<RwLock<Inner>>,
 }
 
-/// Renders `name{k1=v1,k2=v2}` with labels sorted by key.
-fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
-    if labels.is_empty() {
-        return name.to_owned();
-    }
-    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
-    sorted.sort_unstable();
-    let rendered: Vec<String> = sorted.iter().map(|(k, v)| format!("{k}={v}")).collect();
-    format!("{name}{{{}}}", rendered.join(","))
-}
-
 impl MetricsRegistry {
     /// Creates an empty registry.
     pub fn new() -> MetricsRegistry {
@@ -76,39 +124,46 @@ impl MetricsRegistry {
 
     /// Increments a counter series by `delta`.
     pub fn add_counter(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
-        let key = series_key(name, labels);
+        let key = SeriesKey::new(name, labels);
         *self.inner.write().counters.entry(key).or_insert(0) += delta;
     }
 
     /// The current value of a counter series (zero when never incremented).
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
-        self.inner.read().counters.get(&series_key(name, labels)).copied().unwrap_or(0)
+        self.inner.read().counters.get(&SeriesKey::new(name, labels)).copied().unwrap_or(0)
+    }
+
+    /// Sums every counter series of one metric family — e.g. total
+    /// submissions across all `outcome` labels.
+    pub fn counter_family_total(&self, name: &str) -> u64 {
+        self.inner.read().counters.iter().filter(|(k, _)| k.name() == name).map(|(_, &v)| v).sum()
     }
 
     /// Sets a gauge series to `value`.
     pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
-        let key = series_key(name, labels);
+        let key = SeriesKey::new(name, labels);
         self.inner.write().gauges.insert(key, value);
     }
 
     /// Adds `delta` to a gauge series (starting from zero).
     pub fn add_gauge(&self, name: &str, labels: &[(&str, &str)], delta: f64) {
-        let key = series_key(name, labels);
+        let key = SeriesKey::new(name, labels);
         *self.inner.write().gauges.entry(key).or_insert(0.0) += delta;
     }
 
     /// The current value of a gauge series, if ever set.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
-        self.inner.read().gauges.get(&series_key(name, labels)).copied()
+        self.inner.read().gauges.get(&SeriesKey::new(name, labels)).copied()
     }
 
     /// Records one observation into a histogram series.
     pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: f64) {
-        let key = series_key(name, labels);
+        let key = SeriesKey::new(name, labels);
         let mut inner = self.inner.write();
         let series = inner.histograms.entry(key).or_default();
         series.running.record(value);
         series.percentiles.record(value);
+        series.streaming.record(value);
     }
 
     /// Number of observations in a histogram series.
@@ -116,34 +171,71 @@ impl MetricsRegistry {
         self.inner
             .read()
             .histograms
-            .get(&series_key(name, labels))
+            .get(&SeriesKey::new(name, labels))
             .map(|h| h.running.count())
             .unwrap_or(0)
+    }
+
+    /// The streaming histogram behind a series, cloned — `None` when the
+    /// series was never observed. This is what the SLO engine and the
+    /// trace analytics read.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<StreamingHistogram> {
+        self.inner.read().histograms.get(&SeriesKey::new(name, labels)).map(|h| h.streaming.clone())
+    }
+
+    /// Approximate `q`-quantile of a histogram series (`None` when the
+    /// series is empty). `p50`/`p90`/`p99` in one call.
+    pub fn histogram_quantile(&self, name: &str, labels: &[(&str, &str)], q: f64) -> Option<f64> {
+        self.inner
+            .read()
+            .histograms
+            .get(&SeriesKey::new(name, labels))
+            .and_then(|h| h.streaming.quantile(q))
+    }
+
+    /// All counter series in key order — for the exporters.
+    pub fn counter_series(&self) -> Vec<(SeriesKey, u64)> {
+        self.inner.read().counters.iter().map(|(k, &v)| (k.clone(), v)).collect()
+    }
+
+    /// All gauge series in key order — for the exporters.
+    pub fn gauge_series(&self) -> Vec<(SeriesKey, f64)> {
+        self.inner.read().gauges.iter().map(|(k, &v)| (k.clone(), v)).collect()
+    }
+
+    /// All histogram series (streaming estimators, cloned) in key order —
+    /// for the exporters.
+    pub fn histogram_series(&self) -> Vec<(SeriesKey, StreamingHistogram)> {
+        self.inner.read().histograms.iter().map(|(k, h)| (k.clone(), h.streaming.clone())).collect()
     }
 
     /// A deterministic JSON snapshot of every series.
     ///
     /// Counters render as integers, gauges as numbers, histograms as
-    /// `{count, mean, min, max, p50, p95}` objects. All maps are sorted.
+    /// `{count, mean, min, max, p50, p90, p95, p99}` objects — p50/p95
+    /// from the exact order statistics, p90/p99 from the streaming
+    /// estimator. All maps are sorted by (name, label pairs).
     pub fn snapshot(&self) -> Value {
         let mut inner = self.inner.write();
         let counters: Map<String, Value> =
-            inner.counters.iter().map(|(k, &v)| (k.clone(), json!(v))).collect();
+            inner.counters.iter().map(|(k, &v)| (k.render(), json!(v))).collect();
         let gauges: Map<String, Value> =
-            inner.gauges.iter().map(|(k, &v)| (k.clone(), json!(v))).collect();
+            inner.gauges.iter().map(|(k, &v)| (k.render(), json!(v))).collect();
         let histograms: Map<String, Value> = inner
             .histograms
             .iter_mut()
             .map(|(k, h)| {
                 (
-                    k.clone(),
+                    k.render(),
                     json!({
                         "count": h.running.count(),
                         "mean": h.running.mean(),
                         "min": h.running.min(),
                         "max": h.running.max(),
                         "p50": h.percentiles.median().unwrap_or(f64::NAN),
+                        "p90": h.streaming.p90().unwrap_or(f64::NAN),
                         "p95": h.percentiles.p95().unwrap_or(f64::NAN),
+                        "p99": h.streaming.p99().unwrap_or(f64::NAN),
                     }),
                 )
             })
@@ -162,7 +254,35 @@ mod tests {
         m.inc_counter("c", &[("a", "1"), ("b", "2")]);
         m.inc_counter("c", &[("b", "2"), ("a", "1")]);
         assert_eq!(m.counter("c", &[("a", "1"), ("b", "2")]), 2);
-        assert_eq!(series_key("c", &[("b", "2"), ("a", "1")]), "c{a=1,b=2}");
+        assert_eq!(SeriesKey::new("c", &[("b", "2"), ("a", "1")]).render(), "c{a=1,b=2}");
+    }
+
+    #[test]
+    fn snapshot_is_identical_regardless_of_registration_order() {
+        let populate = |pairs: &[(&str, &[(&str, &str)])]| {
+            let m = MetricsRegistry::new();
+            for &(name, labels) in pairs {
+                m.inc_counter(name, labels);
+                m.observe("latency", labels, 1.5);
+            }
+            m.snapshot().to_string()
+        };
+        let forward: &[(&str, &[(&str, &str)])] =
+            &[("m", &[("a", "1")]), ("m2", &[]), ("m", &[("z", "9"), ("a", "1")])];
+        let reverse: &[(&str, &[(&str, &str)])] =
+            &[("m", &[("a", "1"), ("z", "9")]), ("m2", &[]), ("m", &[("a", "1")])];
+        assert_eq!(populate(forward), populate(reverse));
+    }
+
+    #[test]
+    fn series_of_one_family_are_contiguous() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("m", &[("z", "1")]);
+        m.inc_counter("m2", &[]);
+        m.inc_counter("m", &[("a", "1")]);
+        let names: Vec<String> =
+            m.counter_series().iter().map(|(k, _)| k.name().to_owned()).collect();
+        assert_eq!(names, ["m", "m", "m2"], "families must not interleave");
     }
 
     #[test]
@@ -195,6 +315,30 @@ mod tests {
         assert_eq!(h["min"], 1.0);
         assert_eq!(h["max"], 5.0);
         assert_eq!(h["p50"], 3.0);
+        let p99 = h["p99"].as_f64().unwrap_or(0.0);
+        assert!((p99 / 5.0 - 1.0).abs() < 0.05, "p99 ≈ 5.0, got {p99}");
+    }
+
+    #[test]
+    fn histogram_accessors_reach_the_streaming_estimator() {
+        let m = MetricsRegistry::new();
+        for i in 1..=100 {
+            m.observe("lat", &[], i as f64);
+        }
+        let h = m.histogram("lat", &[]).unwrap();
+        assert_eq!(h.count(), 100);
+        let p50 = m.histogram_quantile("lat", &[], 0.5).unwrap_or(0.0);
+        assert!((p50 / 50.0 - 1.0).abs() < 0.06, "p50 ≈ 50, got {p50}");
+        assert!(m.histogram("missing", &[]).is_none());
+    }
+
+    #[test]
+    fn counter_family_total_sums_across_labels() {
+        let m = MetricsRegistry::new();
+        m.add_counter("submit_total", &[("outcome", "ok")], 7);
+        m.add_counter("submit_total", &[("outcome", "transient")], 2);
+        m.add_counter("other_total", &[], 100);
+        assert_eq!(m.counter_family_total("submit_total"), 9);
     }
 
     #[test]

@@ -1,0 +1,563 @@
+//! Declarative SLOs judged by multi-window burn-rate alerts.
+//!
+//! An [`SloSpec`] names an objective — availability (good/total counters)
+//! or latency (a histogram plus a threshold) — and a target like 99 %.
+//! The [`AlertEngine`] samples the metrics registry on virtual-time ticks
+//! and evaluates Google-SRE-style *multi-window burn rates*: an alert
+//! fires only when both a long and a short window burn error budget
+//! faster than the window's threshold, which keeps detection fast (the
+//! short window reacts quickly) without flapping (the long window
+//! confirms the burn is sustained). Everything is a pure function of the
+//! registry contents at each tick, so same-seed runs emit byte-identical
+//! alert logs.
+
+use evop_sim::SimTime;
+use serde_json::{json, Value};
+
+use crate::metrics::MetricsRegistry;
+
+/// Selects one metric series: a name plus label pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selector {
+    /// Metric (family) name.
+    pub name: String,
+    /// Label pairs that pin the series.
+    pub labels: Vec<(String, String)>,
+}
+
+impl Selector {
+    /// Builds a selector.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Selector {
+        Selector {
+            name: name.to_owned(),
+            labels: labels.iter().map(|&(k, v)| (k.to_owned(), v.to_owned())).collect(),
+        }
+    }
+
+    fn label_refs(&self) -> Vec<(&str, &str)> {
+        self.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect()
+    }
+}
+
+/// What an SLO measures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloObjective {
+    /// Fraction of good events: `good / total`, where `good` is one
+    /// counter series and `total` is the sum of every series in a
+    /// counter family (so `outcome` labels need no enumeration).
+    Availability {
+        /// The series counting good events.
+        good: Selector,
+        /// The counter family whose sum is the total.
+        total_family: String,
+    },
+    /// Fraction of observations at or below a latency threshold, read
+    /// from a streaming histogram's cumulative buckets.
+    Latency {
+        /// The histogram series to read.
+        histogram: Selector,
+        /// Upper bound, in seconds, for an observation to count as good.
+        threshold_seconds: f64,
+    },
+}
+
+/// One burn-rate evaluation window pair.
+///
+/// `burn = error_rate / (1 - target)`: burn 1.0 spends budget exactly at
+/// the rate that exhausts it over the SLO period; the thresholds here say
+/// how much faster than that counts as an incident.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnRateWindow {
+    /// Long (confirming) window, virtual seconds.
+    pub long_secs: u64,
+    /// Short (fast-reacting) window, virtual seconds.
+    pub short_secs: u64,
+    /// Minimum burn rate, in both windows, for the alert to fire.
+    pub burn_threshold: f64,
+    /// Severity of alerts from this window pair.
+    pub severity: AlertSeverity,
+}
+
+/// How urgent an alert is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertSeverity {
+    /// Wake a human.
+    Page,
+    /// File a ticket.
+    Ticket,
+}
+
+impl AlertSeverity {
+    /// Lower-case label used in logs and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlertSeverity::Page => "page",
+            AlertSeverity::Ticket => "ticket",
+        }
+    }
+}
+
+/// Fired or resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Burn crossed the threshold in both windows.
+    Fired,
+    /// The short window recovered below the threshold.
+    Resolved,
+}
+
+impl AlertKind {
+    /// Lower-case label used in logs and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlertKind::Fired => "fired",
+            AlertKind::Resolved => "resolved",
+        }
+    }
+}
+
+/// A declarative service-level objective.
+///
+/// # Examples
+///
+/// ```
+/// use evop_obs::{AlertSeverity, SloSpec};
+///
+/// let slo = SloSpec::availability(
+///     "broker-availability",
+///     0.9,
+///     "broker_submit_total",
+///     &[("outcome", "ok")],
+///     "broker_submit_total",
+/// )
+/// .window(300, 60, 2.0, AlertSeverity::Page);
+/// assert_eq!(slo.name(), "broker-availability");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    name: String,
+    target: f64,
+    objective: SloObjective,
+    windows: Vec<BurnRateWindow>,
+}
+
+impl SloSpec {
+    /// An availability SLO: `good_series / sum(total_family)`.
+    pub fn availability(
+        name: &str,
+        target: f64,
+        good_name: &str,
+        good_labels: &[(&str, &str)],
+        total_family: &str,
+    ) -> SloSpec {
+        SloSpec {
+            name: name.to_owned(),
+            target,
+            objective: SloObjective::Availability {
+                good: Selector::new(good_name, good_labels),
+                total_family: total_family.to_owned(),
+            },
+            windows: Vec::new(),
+        }
+    }
+
+    /// A latency SLO: fraction of `histogram` observations at or below
+    /// `threshold_seconds`.
+    pub fn latency(
+        name: &str,
+        target: f64,
+        histogram: &str,
+        labels: &[(&str, &str)],
+        threshold_seconds: f64,
+    ) -> SloSpec {
+        SloSpec {
+            name: name.to_owned(),
+            target,
+            objective: SloObjective::Latency {
+                histogram: Selector::new(histogram, labels),
+                threshold_seconds,
+            },
+            windows: Vec::new(),
+        }
+    }
+
+    /// Adds a burn-rate window pair (builder style).
+    pub fn window(
+        mut self,
+        long_secs: u64,
+        short_secs: u64,
+        burn_threshold: f64,
+        severity: AlertSeverity,
+    ) -> SloSpec {
+        self.windows.push(BurnRateWindow { long_secs, short_secs, burn_threshold, severity });
+        self
+    }
+
+    /// The SLO's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The objective target (e.g. `0.99`).
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// The configured window pairs.
+    pub fn windows(&self) -> &[BurnRateWindow] {
+        &self.windows
+    }
+
+    /// Reads the cumulative `(good, total)` pair from the registry.
+    fn sample(&self, registry: &MetricsRegistry) -> (u64, u64) {
+        match &self.objective {
+            SloObjective::Availability { good, total_family } => {
+                let good_count = registry.counter(&good.name, &good.label_refs());
+                let total = registry.counter_family_total(total_family);
+                (good_count, total)
+            }
+            SloObjective::Latency { histogram, threshold_seconds } => registry
+                .histogram(&histogram.name, &histogram.label_refs())
+                .map(|h| (h.count_at_most(*threshold_seconds), h.count()))
+                .unwrap_or((0, 0)),
+        }
+    }
+}
+
+/// One alert transition, with the metric evidence that justified it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRecord {
+    /// When, in virtual milliseconds.
+    pub at_ms: u64,
+    /// The SLO that transitioned.
+    pub slo: String,
+    /// Severity of the window pair that transitioned.
+    pub severity: AlertSeverity,
+    /// Fired or resolved.
+    pub kind: AlertKind,
+    /// The window pair (long, short) in virtual seconds.
+    pub window_secs: (u64, u64),
+    /// Burn rate over the long window at transition time.
+    pub burn_long: f64,
+    /// Burn rate over the short window at transition time.
+    pub burn_short: f64,
+    /// Human-readable evidence: the good/total deltas per window.
+    pub evidence: String,
+}
+
+impl AlertRecord {
+    /// Deterministic JSON, burns rounded to 10⁻⁴ for tidy diffs.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "at_ms": self.at_ms,
+            "slo": self.slo,
+            "severity": self.severity.label(),
+            "kind": self.kind.label(),
+            "window_secs": [self.window_secs.0, self.window_secs.1],
+            "burn_long": round4(self.burn_long),
+            "burn_short": round4(self.burn_short),
+            "evidence": self.evidence,
+        })
+    }
+}
+
+fn round4(x: f64) -> f64 {
+    (x * 10_000.0).round() / 10_000.0
+}
+
+/// Cumulative (time, good, total) observations for one SLO.
+#[derive(Debug)]
+struct SampleRing {
+    samples: Vec<(u64, u64, u64)>,
+}
+
+impl SampleRing {
+    /// The cumulative sample at or just before `at_ms` — falling back to
+    /// an implicit zero sample at the epoch, so early windows are judged
+    /// over the partial history available.
+    fn at_or_before(&self, at_ms: u64) -> (u64, u64) {
+        let idx = self.samples.partition_point(|&(t, _, _)| t <= at_ms);
+        if idx == 0 {
+            (0, 0)
+        } else {
+            let (_, good, total) = self.samples[idx - 1];
+            (good, total)
+        }
+    }
+}
+
+/// Burn rates and deltas for one window at one tick.
+#[derive(Debug, Clone, Copy)]
+struct WindowEval {
+    burn: f64,
+    bad: u64,
+    total: u64,
+}
+
+/// Per-(SLO, window-pair) alert state plus the sample history.
+#[derive(Debug)]
+struct SloState {
+    spec: SloSpec,
+    ring: SampleRing,
+    /// One active flag per window pair.
+    active: Vec<bool>,
+}
+
+/// Evaluates [`SloSpec`]s against a [`MetricsRegistry`] on virtual-time
+/// ticks, recording [`AlertRecord`] transitions.
+///
+/// # Examples
+///
+/// ```
+/// use evop_obs::{AlertEngine, AlertSeverity, MetricsRegistry, SloSpec};
+/// use evop_sim::SimTime;
+///
+/// let metrics = MetricsRegistry::new();
+/// let mut engine = AlertEngine::new(metrics.clone());
+/// engine.add_slo(
+///     SloSpec::availability("api", 0.9, "req_total", &[("outcome", "ok")], "req_total")
+///         .window(120, 30, 1.5, AlertSeverity::Page),
+/// );
+///
+/// for s in 0..300 {
+///     // Every request fails: the budget burns at 10x.
+///     metrics.inc_counter("req_total", &[("outcome", "error")]);
+///     engine.tick(SimTime::from_secs(s));
+/// }
+/// assert!(!engine.alerts().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct AlertEngine {
+    registry: MetricsRegistry,
+    slos: Vec<SloState>,
+    alerts: Vec<AlertRecord>,
+}
+
+impl AlertEngine {
+    /// Creates an engine reading from `registry`.
+    pub fn new(registry: MetricsRegistry) -> AlertEngine {
+        AlertEngine { registry, slos: Vec::new(), alerts: Vec::new() }
+    }
+
+    /// Registers an SLO. Specs without windows never alert.
+    pub fn add_slo(&mut self, spec: SloSpec) {
+        let windows = spec.windows.len();
+        self.slos.push(SloState {
+            spec,
+            ring: SampleRing { samples: Vec::new() },
+            active: vec![false; windows],
+        });
+    }
+
+    /// Names of registered SLOs, in registration order.
+    pub fn slo_names(&self) -> Vec<&str> {
+        self.slos.iter().map(|s| s.spec.name()).collect()
+    }
+
+    /// Samples every SLO at `now` and evaluates all window pairs.
+    /// Ticks must be called with non-decreasing `now`.
+    pub fn tick(&mut self, now: SimTime) {
+        let now_ms = now.as_millis();
+        for state in &mut self.slos {
+            let (good, total) = state.spec.sample(&self.registry);
+            // Keep the ring strictly ordered even if a driver ticks twice
+            // at one timestamp: the later sample wins.
+            if let Some(last) = state.ring.samples.last_mut() {
+                if last.0 == now_ms {
+                    *last = (now_ms, good, total);
+                } else {
+                    state.ring.samples.push((now_ms, good, total));
+                }
+            } else {
+                state.ring.samples.push((now_ms, good, total));
+            }
+
+            let budget = (1.0 - state.spec.target).max(f64::EPSILON);
+            for (idx, window) in state.spec.windows.iter().enumerate() {
+                let long = eval_window(&state.ring, now_ms, window.long_secs, good, total, budget);
+                let short =
+                    eval_window(&state.ring, now_ms, window.short_secs, good, total, budget);
+                let firing =
+                    long.burn >= window.burn_threshold && short.burn >= window.burn_threshold;
+                let resolving = state.active[idx] && short.burn < window.burn_threshold;
+                if firing && !state.active[idx] {
+                    state.active[idx] = true;
+                    self.alerts.push(AlertRecord {
+                        at_ms: now_ms,
+                        slo: state.spec.name.clone(),
+                        severity: window.severity,
+                        kind: AlertKind::Fired,
+                        window_secs: (window.long_secs, window.short_secs),
+                        burn_long: long.burn,
+                        burn_short: short.burn,
+                        evidence: format!(
+                            "long {}s: {}/{} bad, short {}s: {}/{} bad",
+                            window.long_secs,
+                            long.bad,
+                            long.total,
+                            window.short_secs,
+                            short.bad,
+                            short.total
+                        ),
+                    });
+                } else if resolving {
+                    state.active[idx] = false;
+                    self.alerts.push(AlertRecord {
+                        at_ms: now_ms,
+                        slo: state.spec.name.clone(),
+                        severity: window.severity,
+                        kind: AlertKind::Resolved,
+                        window_secs: (window.long_secs, window.short_secs),
+                        burn_long: long.burn,
+                        burn_short: short.burn,
+                        evidence: format!(
+                            "short {}s recovered: {}/{} bad",
+                            window.short_secs, short.bad, short.total
+                        ),
+                    });
+                }
+            }
+
+            // Prune history older than the longest window (plus one tick
+            // of slack) — the ring stays bounded on long runs.
+            let horizon_ms =
+                state.spec.windows.iter().map(|w| w.long_secs).max().unwrap_or(0) * 1000;
+            let cutoff = now_ms.saturating_sub(horizon_ms.saturating_mul(2));
+            let keep_from = state.ring.samples.partition_point(|&(t, _, _)| t < cutoff);
+            if keep_from > 0 {
+                state.ring.samples.drain(..keep_from);
+            }
+        }
+    }
+
+    /// Every alert transition so far, oldest first.
+    pub fn alerts(&self) -> &[AlertRecord] {
+        &self.alerts
+    }
+
+    /// Alert transitions as one canonical JSON array.
+    pub fn canonical_json(&self) -> String {
+        let arr: Vec<Value> = self.alerts.iter().map(AlertRecord::to_json).collect();
+        serde_json::to_string_pretty(&arr).unwrap_or_else(|_| String::from("[]"))
+    }
+}
+
+/// Burn rate over the trailing `window_secs` ending at `now_ms`.
+fn eval_window(
+    ring: &SampleRing,
+    now_ms: u64,
+    window_secs: u64,
+    good_now: u64,
+    total_now: u64,
+    budget: f64,
+) -> WindowEval {
+    let (good_then, total_then) = ring.at_or_before(now_ms.saturating_sub(window_secs * 1000));
+    let total = total_now.saturating_sub(total_then);
+    let good = good_now.saturating_sub(good_then);
+    let bad = total.saturating_sub(good);
+    if total == 0 {
+        return WindowEval { burn: 0.0, bad: 0, total: 0 };
+    }
+    let error_rate = bad as f64 / total as f64;
+    WindowEval { burn: error_rate / budget, bad, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_with_availability(target: f64) -> (MetricsRegistry, AlertEngine) {
+        let metrics = MetricsRegistry::new();
+        let mut engine = AlertEngine::new(metrics.clone());
+        engine.add_slo(
+            SloSpec::availability("api", target, "req_total", &[("outcome", "ok")], "req_total")
+                .window(120, 30, 1.5, AlertSeverity::Page),
+        );
+        (metrics, engine)
+    }
+
+    #[test]
+    fn healthy_traffic_never_alerts() {
+        let (metrics, mut engine) = engine_with_availability(0.9);
+        for s in 0..600 {
+            metrics.inc_counter("req_total", &[("outcome", "ok")]);
+            engine.tick(SimTime::from_secs(s));
+        }
+        assert!(engine.alerts().is_empty());
+    }
+
+    #[test]
+    fn sustained_errors_fire_then_recovery_resolves() {
+        let (metrics, mut engine) = engine_with_availability(0.9);
+        // 200s of pure failure, then pure success.
+        for s in 0..600u64 {
+            let outcome = if s < 200 { "error" } else { "ok" };
+            metrics.inc_counter("req_total", &[("outcome", outcome)]);
+            engine.tick(SimTime::from_secs(s));
+        }
+        let kinds: Vec<AlertKind> = engine.alerts().iter().map(|a| a.kind).collect();
+        assert!(kinds.contains(&AlertKind::Fired), "burst must fire");
+        assert!(kinds.contains(&AlertKind::Resolved), "recovery must resolve");
+        let fired = &engine.alerts()[0];
+        assert_eq!(fired.kind, AlertKind::Fired);
+        assert!(fired.at_ms <= 40_000, "detection should be fast, got {}ms", fired.at_ms);
+        assert!(fired.burn_short >= 1.5);
+        assert!(fired.evidence.contains("bad"));
+    }
+
+    #[test]
+    fn short_blips_below_threshold_do_not_flap() {
+        let (metrics, mut engine) = engine_with_availability(0.5);
+        // 10% errors against a 50% budget: burn 0.2, well under 1.5.
+        for s in 0..600u64 {
+            let outcome = if s % 10 == 0 { "error" } else { "ok" };
+            metrics.inc_counter("req_total", &[("outcome", outcome)]);
+            engine.tick(SimTime::from_secs(s));
+        }
+        assert!(engine.alerts().is_empty());
+    }
+
+    #[test]
+    fn latency_objective_reads_histogram_buckets() {
+        let metrics = MetricsRegistry::new();
+        let mut engine = AlertEngine::new(metrics.clone());
+        engine.add_slo(SloSpec::latency("boot-latency", 0.9, "boot_seconds", &[], 10.0).window(
+            120,
+            30,
+            1.5,
+            AlertSeverity::Ticket,
+        ));
+        for s in 0..300u64 {
+            // Every boot takes 100s — far over the 10s threshold.
+            metrics.observe("boot_seconds", &[], 100.0);
+            engine.tick(SimTime::from_secs(s));
+        }
+        assert!(!engine.alerts().is_empty());
+        assert_eq!(engine.alerts()[0].severity, AlertSeverity::Ticket);
+        assert_eq!(engine.slo_names(), ["boot-latency"]);
+    }
+
+    #[test]
+    fn alert_log_is_deterministic_json() {
+        let run = || {
+            let (metrics, mut engine) = engine_with_availability(0.9);
+            for s in 0..400u64 {
+                let outcome = if (100..200).contains(&s) { "error" } else { "ok" };
+                metrics.inc_counter("req_total", &[("outcome", outcome)]);
+                engine.tick(SimTime::from_secs(s));
+            }
+            engine.canonical_json()
+        };
+        assert_eq!(run(), run());
+        assert!(run().contains("\"kind\": \"fired\""));
+    }
+
+    #[test]
+    fn idle_metrics_do_not_alert() {
+        let (_metrics, mut engine) = engine_with_availability(0.99);
+        for s in 0..300 {
+            engine.tick(SimTime::from_secs(s));
+        }
+        assert!(engine.alerts().is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests for the streaming histogram: the bucket ladder tiles
+//! the trackable range, merging is associative and equivalent to
+//! recording everything into one histogram, and quantile estimates stay
+//! within one bucket's relative error of the exact order statistic.
+
+use proptest::prelude::*;
+
+use evop_obs::StreamingHistogram;
+
+/// One ladder step: estimates may be off by at most the bucket width,
+/// which is a factor of `GROWTH = 1.1` (representatives sit at the
+/// geometric midpoint, so the true error is ≤ √1.1, but the looser bound
+/// keeps the property robust to boundary rounding).
+const RELATIVE_ERROR: f64 = 1.1;
+
+// Values are generated as log-uniform exponents spanning the whole
+// trackable range (1e-6 .. 1e9), so every rung of the ladder gets
+// exercised; `lift` maps exponents to values.
+fn lift(exps: &[f64]) -> Vec<f64> {
+    exps.iter().map(|&e| 10f64.powf(e)).collect()
+}
+
+const EXP: std::ops::Range<f64> = -6.0f64..9.0f64;
+
+fn from_values(values: &[f64]) -> StreamingHistogram {
+    let mut h = StreamingHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Snapshot with the `sum` field dropped: float addition is not
+/// associative, so `sum` is only byte-stable for one recording *order*
+/// (the replay invariant) — across reorderings it agrees to relative
+/// epsilon, which [`sums_agree`] checks separately.
+fn structural_json(h: &StreamingHistogram) -> String {
+    let mut v = h.to_json();
+    if let Some(obj) = v.as_object_mut() {
+        obj.remove("sum");
+    }
+    v.to_string()
+}
+
+fn sums_agree(a: &StreamingHistogram, b: &StreamingHistogram) -> bool {
+    let (sa, sb) = (a.sum(), b.sum());
+    (sa - sb).abs() <= 1e-9 * sa.abs().max(sb.abs()).max(1.0)
+}
+
+/// Exact order statistic matching the histogram's rank rule:
+/// `rank = ceil(q * n)` clamped to `[1, n]`, 1-indexed into sorted order.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn bucket_ranges_tile_and_contain_their_values(e in EXP) {
+        let v = 10f64.powf(e);
+        let index = StreamingHistogram::bucket_index(v);
+        let (lo, hi) = StreamingHistogram::bucket_range(index);
+        prop_assert!(lo <= v && v < hi, "{v} outside bucket {index} = [{lo}, {hi})");
+        let rep = StreamingHistogram::bucket_representative(index);
+        prop_assert!(lo <= rep && rep <= hi, "representative {rep} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn bucket_index_is_monotone(ea in EXP, eb in EXP) {
+        let (a, b) = (10f64.powf(ea), 10f64.powf(eb));
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            StreamingHistogram::bucket_index(lo) <= StreamingHistogram::bucket_index(hi),
+            "bucket_index must be monotone: {lo} vs {hi}"
+        );
+    }
+
+    #[test]
+    fn merge_is_associative_and_equals_bulk_recording(
+        xs_e in prop::collection::vec(EXP, 0..40),
+        ys_e in prop::collection::vec(EXP, 0..40),
+        zs_e in prop::collection::vec(EXP, 0..40),
+    ) {
+        let (xs, ys, zs) = (lift(&xs_e), lift(&ys_e), lift(&zs_e));
+        let (a, b, c) = (from_values(&xs), from_values(&ys), from_values(&zs));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = b.clone();
+        right_tail.merge(&c);
+        let mut right = a.clone();
+        right.merge(&right_tail);
+
+        // everything recorded into one histogram
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        all.extend_from_slice(&zs);
+        let bulk = from_values(&all);
+
+        prop_assert_eq!(structural_json(&left), structural_json(&right));
+        prop_assert_eq!(structural_json(&left), structural_json(&bulk));
+        prop_assert!(sums_agree(&left, &right) && sums_agree(&left, &bulk));
+    }
+
+    #[test]
+    fn quantiles_stay_within_one_bucket_of_exact(
+        exps in prop::collection::vec(EXP, 1..80),
+        q in 0.0f64..1.0f64,
+    ) {
+        let mut values = lift(&exps);
+        let h = from_values(&values);
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let exact = exact_quantile(&values, q);
+        let est = h.quantile(q).expect("non-empty histogram");
+        prop_assert!(
+            est >= exact / RELATIVE_ERROR && est <= exact * RELATIVE_ERROR,
+            "quantile({q}) = {est} strays beyond one bucket of exact {exact}"
+        );
+        // And always inside the observed range.
+        prop_assert!(est >= values[0] && est <= values[values.len() - 1]);
+    }
+
+    #[test]
+    fn count_at_most_matches_a_direct_count_at_boundaries(
+        exps in prop::collection::vec(EXP, 0..60),
+        cutoff_exp in EXP,
+    ) {
+        let values = lift(&exps);
+        let cutoff = 10f64.powf(cutoff_exp);
+        let h = from_values(&values);
+        // The histogram can only answer at bucket granularity: the result
+        // must bracket the true count between "everything strictly below
+        // the cutoff's bucket" and "everything at or below its bucket".
+        let cutoff_bucket = StreamingHistogram::bucket_index(cutoff);
+        let (lower, upper) = values.iter().fold((0u64, 0u64), |(lo, up), &v| {
+            let b = StreamingHistogram::bucket_index(v);
+            (lo + u64::from(b < cutoff_bucket), up + u64::from(b <= cutoff_bucket))
+        });
+        let got = h.count_at_most(cutoff);
+        prop_assert!(
+            got >= lower && got <= upper,
+            "count_at_most({cutoff}) = {got} outside [{lower}, {upper}]"
+        );
+    }
+
+    #[test]
+    fn snapshots_are_insertion_order_independent(
+        exps in prop::collection::vec(EXP, 1..40),
+        swaps in prop::collection::vec((0usize..40, 0usize..40), 0..20),
+    ) {
+        let values = lift(&exps);
+        let mut shuffled = values.clone();
+        for (i, j) in swaps {
+            let (i, j) = (i % shuffled.len(), j % shuffled.len());
+            shuffled.swap(i, j);
+        }
+        let a = from_values(&values);
+        let b = from_values(&shuffled);
+        prop_assert_eq!(structural_json(&a), structural_json(&b));
+        prop_assert!(sums_agree(&a, &b));
+        // Identical order replays to identical bytes, `sum` included.
+        prop_assert_eq!(a.to_json().to_string(), from_values(&values).to_json().to_string());
+    }
+}

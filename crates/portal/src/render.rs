@@ -88,8 +88,8 @@ pub fn line_chart(
             format!("{hi:>9.2} ")
         } else if y == height - 1 {
             format!("{lo:>9.2} ")
-        } else if Some(y) == threshold_row {
-            format!("{:>9.2} ", threshold.expect("row implies threshold"))
+        } else if let Some(t) = threshold.filter(|_| Some(y) == threshold_row) {
+            format!("{t:>9.2} ")
         } else {
             " ".repeat(10)
         };

@@ -323,7 +323,8 @@ impl Storyboard {
             ("R9", "Help text explains the model and each scenario"),
         ];
         for (id, text) in reqs {
-            sb.add_requirement(id, text).expect("unique ids");
+            let added = sb.add_requirement(id, text);
+            debug_assert!(added.is_ok(), "fixture requirement ids are unique");
         }
         let steps: [(&str, &[&str], f64); 7] = [
             ("Open the portal and find my catchment on the map", &["R1"], 0.15),
@@ -335,7 +336,8 @@ impl Storyboard {
             ("Fine-tune parameters and compare runs against the flood line", &["R7", "R8"], 0.6),
         ];
         for (text, reqs, difficulty) in steps {
-            sb.add_step(text, reqs.iter().copied(), difficulty).expect("known reqs");
+            let added = sb.add_step(text, reqs.iter().copied(), difficulty);
+            debug_assert!(added.is_ok(), "fixture steps only cite requirements added above");
         }
         sb
     }

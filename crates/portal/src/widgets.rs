@@ -338,13 +338,14 @@ impl ModellingWidget {
                 .mean
             }
         };
+        let index = self.runs.len();
         self.runs.push(ModelRun {
             label: label.into(),
             scenario: self.scenario,
             model: self.model,
             discharge,
         });
-        Ok(self.runs.last().expect("just pushed"))
+        Ok(&self.runs[index])
     }
 
     /// All stored runs, oldest first.

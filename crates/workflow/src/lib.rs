@@ -211,13 +211,19 @@ impl Workflow {
         let mut trace = Vec::with_capacity(self.nodes.len());
         for (order, &idx) in self.order.iter().enumerate() {
             let node = &self.nodes[idx];
+            // Construction already validated every input edge, and the
+            // topological order runs producers first — but surface any
+            // breach as the typed error rather than a panic.
             let inputs: Vec<Value> = node
                 .inputs
                 .iter()
                 .map(|name| {
-                    outputs.get(name).cloned().expect("topological order guarantees inputs")
+                    outputs.get(name).cloned().ok_or_else(|| WorkflowError::UnknownInput {
+                        node: node.name.clone(),
+                        input: name.clone(),
+                    })
                 })
-                .collect();
+                .collect::<Result<_, _>>()?;
             let output = (node.task)(&inputs).map_err(|message| WorkflowError::NodeFailed {
                 node: node.name.clone(),
                 message,

@@ -97,3 +97,60 @@ fn tracing_does_not_change_e3_or_e4_results() {
         e4_failure_recovery_traced(FailureMode::Hang, 6, 3).0
     );
 }
+
+#[test]
+fn same_seed_chaos_runs_export_byte_identical_prometheus_and_snapshots() {
+    use evop::chaos::{ChaosScenario, FaultSchedule};
+    use evop::sim::SimDuration;
+
+    let run = || {
+        ChaosScenario::new(FaultSchedule::provider_storm(), 42)
+            .sessions(8)
+            .duration(SimDuration::from_secs(3600))
+            .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.prometheus, b.prometheus, "Prometheus exposition must be byte-identical");
+    assert_eq!(
+        a.metrics_snapshot.to_string(),
+        b.metrics_snapshot.to_string(),
+        "metrics snapshots must be byte-identical"
+    );
+    // The exposition is well-formed enough to scrape: typed families,
+    // histogram series with a closing +Inf bucket and a count.
+    assert!(a.prometheus.contains("# TYPE broker_submit_total counter"), "{}", a.prometheus);
+    assert!(a.prometheus.contains("le=\"+Inf\""), "{}", a.prometheus);
+
+    let other = ChaosScenario::new(FaultSchedule::provider_storm(), 43)
+        .sessions(8)
+        .duration(SimDuration::from_secs(3600))
+        .run();
+    assert_ne!(a.prometheus, other.prometheus, "different seeds measure differently (a.s.)");
+}
+
+#[test]
+fn same_seed_runs_export_byte_identical_otlp_json() {
+    use evop::obs::{otlp_json, Tracer};
+    use evop::sim::SimTime;
+
+    let build = || {
+        let tracer = Tracer::new();
+        tracer.set_now(SimTime::from_millis(1_000));
+        let root = tracer.start_trace("request");
+        root.attr("session", "user-0");
+        let child = tracer.start_span("model.run", &root.context());
+        tracer.set_now(SimTime::from_millis(4_000));
+        child.event("first-result");
+        child.finish();
+        tracer.set_now(SimTime::from_millis(5_000));
+        root.finish();
+        tracer
+    };
+    let a = otlp_json(&build());
+    let b = otlp_json(&build());
+    assert_eq!(a.to_string(), b.to_string(), "OTLP export must be byte-identical");
+    let text = a.to_string();
+    assert!(text.contains("resourceSpans"), "{text}");
+    assert!(text.contains("evop-sim"), "{text}");
+}
