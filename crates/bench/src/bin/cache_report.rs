@@ -1,0 +1,108 @@
+//! E6 flash-crowd cache report: cold vs warm vs coalesced.
+//!
+//! Runs the 40-user single-burst flash crowd three ways — no warm pool,
+//! a warm pool of 4, and a warm pool of 1 behind the `evop-cache`
+//! coalescing plane — and reports time-to-first-result and cost for
+//! each. `--json` prints the canonical machine-readable document the
+//! golden test pins (regenerate with
+//! `cargo run -p evop-bench --release --bin cache_report -- --json >
+//! crates/bench/golden/cache_flash_crowd_seed42.json`); `--out DIR` also
+//! writes the metrics snapshot artifact CI uploads.
+
+use std::fs;
+use std::path::Path;
+use std::process::exit;
+
+use evop_bench::cache::{flash_crowd_report, CacheReport};
+use evop_bench::cli::CliSpec;
+
+/// Crowd size of the pinned scenario.
+const CROWD: usize = 40;
+
+fn main() {
+    let spec = CliSpec::new("cache_report", 42).with_json().with_out();
+    let opts = spec.parse_or_exit();
+    let seed = opts.seed.unwrap_or(spec.default_seed());
+
+    let report = flash_crowd_report(CROWD, seed);
+
+    if let Some(dir) = &opts.out {
+        write_artifacts(Path::new(dir), &report);
+    }
+
+    if opts.json {
+        println!("{}", report.render());
+        return;
+    }
+
+    print_tables(&report);
+}
+
+/// Writes `cache-<seed>.report.json` — the artifact the CI job uploads.
+fn write_artifacts(dir: &Path, report: &CacheReport) {
+    if let Err(err) = fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {err}", dir.display());
+        exit(1);
+    }
+    let path = dir.join(format!("cache-{}.report.json", report.seed));
+    if let Err(err) = fs::write(&path, format!("{}\n", report.render())) {
+        eprintln!("cannot write {}: {err}", path.display());
+        exit(1);
+    }
+}
+
+fn print_tables(report: &CacheReport) {
+    let co = &report.coalesced;
+    println!(
+        "E6 flash crowd ({} users, seed {}) — cache plane comparison",
+        report.crowd, report.seed
+    );
+    println!();
+    println!(
+        "{:<12} {:>9} {:>13} {:>11} {:>9}",
+        "config", "warm_pool", "median_ttfr_s", "p95_ttfr_s", "cost_usd"
+    );
+    for (name, pool, median, p95, cost) in [
+        (
+            "cold",
+            report.cold.warm_pool,
+            report.cold.median_first_result.as_secs_f64(),
+            report.cold.p95_first_result.as_secs_f64(),
+            report.cold.cost,
+        ),
+        (
+            "warm",
+            report.warm.warm_pool,
+            report.warm.median_first_result.as_secs_f64(),
+            report.warm.p95_first_result.as_secs_f64(),
+            report.warm.cost,
+        ),
+        (
+            "coalesced",
+            co.warm_pool,
+            co.follower_median_ttfr_secs,
+            co.follower_p95_ttfr_secs,
+            co.cost,
+        ),
+    ] {
+        println!("{name:<12} {pool:>9} {median:>13.0} {p95:>11.0} {cost:>9.4}");
+    }
+    println!();
+    println!(
+        "coalesced: {} requests = {} miss + {} followers + {} L1 hits ({:.1}% served without a model run)",
+        co.requests,
+        co.misses,
+        co.followers,
+        co.hits,
+        100.0 * co.served_without_run_ratio(),
+    );
+    println!(
+        "leader TTFR {:.0}s; repeat wave served at age {:.0}s; {} coalesce events in the broker log",
+        co.leader_ttfr_secs, co.hit_age_secs, co.coalesced_events,
+    );
+    println!(
+        "crossover: follower median beats warm baseline by {:.0}s; cost saving vs warm ${:.4}",
+        report.warm.median_first_result.as_secs_f64() - co.follower_median_ttfr_secs,
+        report.warm.cost - co.cost,
+    );
+}

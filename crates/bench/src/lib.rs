@@ -5,11 +5,14 @@
 //! * `cargo run -p evop-bench --release --bin report` regenerates the
 //!   numbers behind every figure/claim in EXPERIMENTS.md in one pass;
 //! * `cargo run -p evop-bench --release --bin slo_report` runs the E4
-//!   alerting matrix and reports alert detection latency per fault burst.
+//!   alerting matrix and reports alert detection latency per fault burst;
+//! * `cargo run -p evop-bench --release --bin cache_report` reruns the E6
+//!   flash crowd cold vs warm vs coalesced against the cache plane.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cli;
 pub mod slo;
 

@@ -1,0 +1,66 @@
+//! Golden-output regression for the E6 flash-crowd cache report.
+//!
+//! The committed golden is exactly what `cache_report --json` prints at
+//! the default seed. If a change shifts any TTFR, cost, counter or the
+//! coalescing behaviour, this test shows the diff — regenerate with:
+//!
+//! ```text
+//! cargo run -p evop-bench --release --bin cache_report -- --json \
+//!     > crates/bench/golden/cache_flash_crowd_seed42.json
+//! ```
+
+use evop_bench::cache::flash_crowd_report;
+
+const GOLDEN: &str = include_str!("../golden/cache_flash_crowd_seed42.json");
+
+#[test]
+fn flash_crowd_report_matches_committed_golden() {
+    let report = flash_crowd_report(40, 42);
+    assert_eq!(
+        format!("{}\n", report.render()),
+        GOLDEN,
+        "cache_report --json drifted from the golden; \
+         regenerate it if the change is intended (see module docs)"
+    );
+}
+
+#[test]
+fn golden_scenario_meets_the_headline_claims() {
+    let report = flash_crowd_report(40, 42);
+    let co = &report.coalesced;
+
+    // ≥ 90 % of classified requests served without a model run.
+    assert!(
+        co.served_without_run_ratio() >= 0.9,
+        "only {:.1}% of requests avoided a model run",
+        100.0 * co.served_without_run_ratio()
+    );
+    // Exactly one model run led the whole burst.
+    assert_eq!(co.misses, 1);
+    assert_eq!(co.followers as usize, report.crowd - 1);
+    assert_eq!(co.hits as usize, report.crowd, "the repeat wave is all L1 hits");
+    assert_eq!(co.coalesced_events, co.followers);
+
+    // Followers beat the warm baseline's median TTFR, strictly.
+    let warm_median = report.warm.median_first_result.as_secs_f64();
+    assert!(
+        co.follower_median_ttfr_secs < warm_median,
+        "follower median {}s must beat warm {warm_median}s",
+        co.follower_median_ttfr_secs
+    );
+
+    // And the run costs less than keeping the warm pool.
+    assert!(
+        co.cost < report.warm.cost,
+        "coalesced cost {} must undercut warm {}",
+        co.cost,
+        report.warm.cost
+    );
+}
+
+#[test]
+fn same_seed_reruns_are_byte_identical() {
+    let a = flash_crowd_report(40, 42);
+    let b = flash_crowd_report(40, 42);
+    assert_eq!(a.render(), b.render());
+}

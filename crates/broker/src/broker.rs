@@ -162,6 +162,21 @@ pub enum BrokerEvent {
         /// How long the broker will wait before the next attempt.
         retry_after: SimDuration,
     },
+    /// A request identical to an in-flight one attached as a singleflight
+    /// follower instead of submitting a duplicate model run — the cache
+    /// plane's coalescer reporting through the broker's event log.
+    RequestCoalesced {
+        /// When.
+        at: SimTime,
+        /// Canonical cache-key label the requests collided on.
+        key: String,
+        /// The session whose job everyone is riding.
+        leader: SessionId,
+        /// The session that just attached.
+        follower: SessionId,
+        /// Followers now attached to this key (including this one).
+        followers: u64,
+    },
 }
 
 impl BrokerEvent {
@@ -174,7 +189,8 @@ impl BrokerEvent {
             | BrokerEvent::SessionMigrated { at, .. }
             | BrokerEvent::WarmPoolHit { at, .. }
             | BrokerEvent::SessionRequeued { at, .. }
-            | BrokerEvent::ProvisionFault { at, .. } => *at,
+            | BrokerEvent::ProvisionFault { at, .. }
+            | BrokerEvent::RequestCoalesced { at, .. } => *at,
         }
     }
 }
@@ -569,6 +585,30 @@ impl Broker {
             }),
             Err(e) => Err(e.into()),
         }
+    }
+
+    /// Records that `follower` attached to `leader`'s in-flight run for
+    /// cache key `key` instead of submitting a duplicate — the singleflight
+    /// coalescer's reporting hook. Pushes a
+    /// [`BrokerEvent::RequestCoalesced`] and counts
+    /// `broker_coalesced_total`, so flash-crowd dedup shows up in the same
+    /// event log and metrics as scaling decisions.
+    pub fn note_coalesced(
+        &mut self,
+        key: &str,
+        leader: SessionId,
+        follower: SessionId,
+        followers: u64,
+    ) {
+        let at = self.cloud.now();
+        self.events.push(BrokerEvent::RequestCoalesced {
+            at,
+            key: key.to_owned(),
+            leader,
+            follower,
+            followers,
+        });
+        self.metrics.inc_counter("broker_coalesced_total", &[]);
     }
 
     /// Attaches (or clears) a fault injector on the underlying cloud — how

@@ -1,0 +1,216 @@
+//! Singleflight request coalescing in front of the broker.
+//!
+//! When forty stakeholders ask the identical catchment question within
+//! seconds of each other, the first one ("the leader") submits a real
+//! model run through [`Broker::run_model_with_context`]; everyone else
+//! attaches to that in-flight job as a follower and completes when it
+//! does. The broker's event log records every attachment (with the
+//! running per-key follower count) via [`Broker::note_coalesced`], so
+//! flash-crowd dedup is as observable as scaling decisions. State is a
+//! `BTreeMap` keyed by the cache-key fingerprint: deterministic, and a
+//! pure function of the submission order.
+
+use std::collections::BTreeMap;
+
+use evop_broker::{Broker, BrokerError, SessionId};
+use evop_cloud::JobId;
+use evop_obs::{MetricsRegistry, TraceContext};
+use evop_sim::SimDuration;
+
+use crate::key::CacheKey;
+
+/// One in-flight model run and its attached followers.
+#[derive(Debug, Clone)]
+pub struct Flight {
+    /// Canonical key label (what the broker event log shows).
+    pub key: String,
+    /// The session whose submission everyone rides.
+    pub leader: SessionId,
+    /// The leader's job.
+    pub job: JobId,
+    /// Sessions attached after the leader, in attachment order.
+    pub followers: Vec<SessionId>,
+}
+
+/// How one submission was handled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Submission {
+    /// This request started the model run.
+    Leader {
+        /// The submitted job.
+        job: JobId,
+    },
+    /// This request attached to an existing run.
+    Follower {
+        /// The leading session.
+        leader: SessionId,
+        /// The job being ridden.
+        job: JobId,
+        /// This follower's 1-based position on the flight.
+        position: u64,
+    },
+}
+
+/// The singleflight coalescer.
+#[derive(Debug, Default)]
+pub struct Coalescer {
+    inflight: BTreeMap<u64, Flight>,
+    metrics: Option<MetricsRegistry>,
+}
+
+impl Coalescer {
+    /// An empty coalescer.
+    pub fn new() -> Coalescer {
+        Coalescer::default()
+    }
+
+    /// Attaches a metrics registry: follower attachments count
+    /// `cache_requests_total{outcome="follower"}` and leader submissions
+    /// count `cache_requests_total{outcome="miss"}`, so the hit-ratio SLO
+    /// sees exactly one outcome per coalesced request.
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Submits `session`'s request for `key`: the first submission per
+    /// key runs the model, subsequent ones attach as followers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BrokerError`] from the leader submission; a failed
+    /// leader leaves nothing in flight, so the next identical request
+    /// tries again (and a transiently refused crowd retries as a crowd).
+    pub fn submit(
+        &mut self,
+        broker: &mut Broker,
+        key: &CacheKey,
+        session: SessionId,
+        work: SimDuration,
+        ctx: Option<&TraceContext>,
+    ) -> Result<Submission, BrokerError> {
+        let fingerprint = key.fingerprint();
+        if let Some(flight) = self.inflight.get_mut(&fingerprint) {
+            flight.followers.push(session);
+            let position = flight.followers.len() as u64;
+            broker.note_coalesced(&flight.key, flight.leader, session, position);
+            if let Some(metrics) = &self.metrics {
+                metrics.inc_counter("cache_requests_total", &[("outcome", "follower")]);
+            }
+            return Ok(Submission::Follower { leader: flight.leader, job: flight.job, position });
+        }
+        let job = broker.run_model_with_context(session, work, ctx)?;
+        self.inflight.insert(
+            fingerprint,
+            Flight { key: key.render(), leader: session, job, followers: Vec::new() },
+        );
+        if let Some(metrics) = &self.metrics {
+            metrics.inc_counter("cache_requests_total", &[("outcome", "miss")]);
+        }
+        Ok(Submission::Leader { job })
+    }
+
+    /// Keys currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// The flight for `key`, if one is running.
+    pub fn flight(&self, key: &CacheKey) -> Option<&Flight> {
+        self.inflight.get(&key.fingerprint())
+    }
+
+    /// Marks `key`'s run complete, detaching and returning the flight.
+    /// The caller fans the one result out to the leader and every
+    /// follower, then inserts it into the cache.
+    pub fn complete(&mut self, key: &CacheKey) -> Option<Flight> {
+        self.inflight.remove(&key.fingerprint())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evop_broker::{BrokerConfig, BrokerEvent};
+    use serde_json::json;
+
+    fn broker() -> Broker {
+        let config = BrokerConfig { warm_pool_size: 2, ..BrokerConfig::default() };
+        let mut broker = Broker::new(config, 42);
+        broker.advance(SimDuration::from_secs(300));
+        broker
+    }
+
+    fn the_key() -> CacheKey {
+        CacheKey::new("topmodel", "eden", 1, &json!({"hours": 24}))
+    }
+
+    #[test]
+    fn identical_requests_coalesce_onto_one_job() {
+        let mut broker = broker();
+        let mut coalescer = Coalescer::new();
+        let key = the_key();
+        let a = broker.connect("alice", "topmodel").expect("served");
+        let b = broker.connect("bob", "topmodel").expect("served");
+        let c = broker.connect("carol", "topmodel").expect("served");
+
+        let lead = coalescer
+            .submit(&mut broker, &key, a, SimDuration::from_secs(60), None)
+            .expect("leader submits");
+        let Submission::Leader { job } = lead else { panic!("first submission must lead") };
+        for (i, s) in [b, c].into_iter().enumerate() {
+            let sub = coalescer
+                .submit(&mut broker, &key, s, SimDuration::from_secs(60), None)
+                .expect("follower attaches");
+            assert_eq!(
+                sub,
+                Submission::Follower { leader: a, job, position: i as u64 + 1 },
+                "followers ride the leader's job"
+            );
+        }
+        assert_eq!(coalescer.in_flight(), 1);
+        let coalesced: Vec<_> = broker
+            .events()
+            .iter()
+            .filter(|e| matches!(e, BrokerEvent::RequestCoalesced { .. }))
+            .collect();
+        assert_eq!(coalesced.len(), 2);
+        if let BrokerEvent::RequestCoalesced { followers, key: k, .. } = coalesced[1] {
+            assert_eq!(*followers, 2, "event carries the running per-key follower count");
+            assert_eq!(k, &key.render());
+        }
+        let flight = coalescer.complete(&key).expect("flight completes");
+        assert_eq!(flight.followers, vec![b, c]);
+        assert_eq!(coalescer.in_flight(), 0);
+    }
+
+    #[test]
+    fn different_keys_do_not_coalesce() {
+        let mut broker = broker();
+        let mut coalescer = Coalescer::new();
+        let a = broker.connect("alice", "topmodel").expect("served");
+        let b = broker.connect("bob", "topmodel").expect("served");
+        let k1 = CacheKey::new("topmodel", "eden", 1, &json!({"hours": 24}));
+        let k2 = CacheKey::new("topmodel", "eden", 1, &json!({"hours": 48}));
+        let s1 = coalescer.submit(&mut broker, &k1, a, SimDuration::from_secs(60), None);
+        let s2 = coalescer.submit(&mut broker, &k2, b, SimDuration::from_secs(60), None);
+        assert!(matches!(s1, Ok(Submission::Leader { .. })));
+        assert!(matches!(s2, Ok(Submission::Leader { .. })));
+        assert_eq!(coalescer.in_flight(), 2);
+    }
+
+    #[test]
+    fn failed_leader_leaves_nothing_in_flight() {
+        let mut broker = broker();
+        let mut coalescer = Coalescer::new();
+        let key = the_key();
+        // A session that was never connected cannot submit.
+        let ghost = {
+            let s = broker.connect("ghost", "topmodel").expect("served");
+            broker.disconnect(s).expect("disconnects");
+            s
+        };
+        let result = coalescer.submit(&mut broker, &key, ghost, SimDuration::from_secs(60), None);
+        assert!(result.is_err());
+        assert_eq!(coalescer.in_flight(), 0, "a failed leader must not strand followers");
+    }
+}

@@ -1,0 +1,157 @@
+//! TinyLFU-style frequency sketch: the L1 admission gate's memory.
+//!
+//! A flash crowd is exactly the workload where naive LRU fails: forty
+//! users ask the hot question, then a handful of one-off queries march
+//! through and evict it. The sketch remembers approximate access
+//! frequencies in a few KB — a count-min sketch of saturating 4-bit-style
+//! counters with periodic halving (aging) — so admission can ask "is the
+//! newcomer provably more popular than the entry it would evict?" and
+//! reject the drive-by. All hashing is seeded splitmix64: same seed, same
+//! touch sequence, byte-identical decisions.
+
+/// Rows in the count-min sketch; the estimate is the minimum across rows.
+const ROWS: usize = 4;
+
+/// Counters saturate here (TinyLFU's nibble limit) — popularity beyond 15
+/// accesses per aging period carries no extra admission weight.
+const COUNTER_CAP: u8 = 15;
+
+/// Approximate per-key access counts with bounded memory and aging.
+#[derive(Debug, Clone)]
+pub struct FrequencySketch {
+    width_mask: u64,
+    counters: Vec<u8>,
+    seeds: [u64; ROWS],
+    samples: u64,
+    sample_limit: u64,
+}
+
+impl FrequencySketch {
+    /// A sketch sized for roughly `capacity` distinct hot keys, with all
+    /// row hashes derived from `seed`.
+    pub fn new(capacity: usize, seed: u64) -> FrequencySketch {
+        let width = capacity.saturating_mul(4).next_power_of_two().max(64);
+        let mut state = seed;
+        let mut seeds = [0u64; ROWS];
+        for slot in &mut seeds {
+            state = splitmix64(state);
+            *slot = state;
+        }
+        FrequencySketch {
+            width_mask: (width as u64) - 1,
+            counters: vec![0; width * ROWS],
+            seeds,
+            samples: 0,
+            sample_limit: (capacity as u64).saturating_mul(10).max(100),
+        }
+    }
+
+    /// Records one access to `fingerprint`, aging all counters when the
+    /// sample budget is spent.
+    pub fn touch(&mut self, fingerprint: u64) {
+        for row in 0..ROWS {
+            let idx = self.slot(row, fingerprint);
+            if self.counters[idx] < COUNTER_CAP {
+                self.counters[idx] += 1;
+            }
+        }
+        self.samples += 1;
+        if self.samples >= self.sample_limit {
+            self.age();
+        }
+    }
+
+    /// The approximate access count for `fingerprint` (never an
+    /// undercount before saturation, by count-min construction).
+    pub fn estimate(&self, fingerprint: u64) -> u8 {
+        (0..ROWS).map(|row| self.counters[self.slot(row, fingerprint)]).min().unwrap_or(0)
+    }
+
+    /// Total touches recorded since the last aging pass.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    fn slot(&self, row: usize, fingerprint: u64) -> usize {
+        let width = self.width_mask as usize + 1;
+        let hashed = splitmix64(fingerprint ^ self.seeds[row]);
+        row * width + (hashed & self.width_mask) as usize
+    }
+
+    /// Halves every counter — recent popularity outweighs ancient history.
+    fn age(&mut self) {
+        for counter in &mut self.counters {
+            *counter >>= 1;
+        }
+        self.samples >>= 1;
+    }
+}
+
+/// The splitmix64 mixer: a tiny, well-distributed, dependency-free hash.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_keys_estimate_higher_than_cold() {
+        let mut sketch = FrequencySketch::new(64, 42);
+        for _ in 0..10 {
+            sketch.touch(1111);
+        }
+        sketch.touch(2222);
+        assert!(sketch.estimate(1111) > sketch.estimate(2222));
+        assert_eq!(sketch.estimate(3333), 0);
+    }
+
+    #[test]
+    fn counters_saturate_at_cap() {
+        let mut sketch = FrequencySketch::new(8, 7);
+        for _ in 0..100 {
+            sketch.touch(5);
+        }
+        assert!(sketch.estimate(5) <= COUNTER_CAP);
+    }
+
+    #[test]
+    fn aging_halves_estimates() {
+        let mut sketch = FrequencySketch::new(8, 7);
+        // sample_limit = max(80, 100) = 100; 14 touches stay pre-aging.
+        for _ in 0..14 {
+            sketch.touch(5);
+        }
+        let before = sketch.estimate(5);
+        for i in 0..200u64 {
+            sketch.touch(1_000 + i);
+        }
+        assert!(sketch.estimate(5) < before, "aging must decay stale popularity");
+    }
+
+    #[test]
+    fn same_seed_same_estimates() {
+        let mut a = FrequencySketch::new(32, 99);
+        let mut b = FrequencySketch::new(32, 99);
+        for i in 0..500u64 {
+            let fp = splitmix64(i) % 40;
+            a.touch(fp);
+            b.touch(fp);
+        }
+        for fp in 0..40 {
+            assert_eq!(a.estimate(fp), b.estimate(fp));
+        }
+    }
+
+    #[test]
+    fn different_seeds_place_keys_differently() {
+        let a = FrequencySketch::new(32, 1);
+        let b = FrequencySketch::new(32, 2);
+        // Not a strict guarantee per key, but the seed streams must differ.
+        assert_ne!(a.seeds, b.seeds);
+    }
+}

@@ -108,6 +108,29 @@ impl ChaosBlobStore {
     }
 }
 
+/// The cache plane's L2 seam, with faults injected: an outage or a
+/// corruption window hits the cache exactly as it would hit any other
+/// consumer, and the cache must (and does) degrade to a miss.
+impl evop_cache::BlobBackend for ChaosBlobStore {
+    fn ensure_container(&mut self, container: &str) {
+        self.store.create_container(container);
+    }
+
+    fn put(
+        &mut self,
+        now: SimTime,
+        container: &str,
+        key: &str,
+        blob: Blob,
+    ) -> Result<(), BlobStoreError> {
+        self.put_at(now, container, key, blob).map(|_| ())
+    }
+
+    fn get(&mut self, now: SimTime, container: &str, key: &str) -> Result<Blob, BlobStoreError> {
+        self.get_at(now, container, key).cloned()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

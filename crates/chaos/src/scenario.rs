@@ -435,6 +435,14 @@ fn broker_event_json(event: &BrokerEvent) -> Value {
             "reason": reason,
             "retry_after_ms": retry_after.as_millis(),
         }),
+        BrokerEvent::RequestCoalesced { at, key, leader, follower, followers } => json!({
+            "at_ms": at.as_millis(),
+            "event": "request-coalesced",
+            "key": key,
+            "leader": leader.to_string(),
+            "follower": follower.to_string(),
+            "followers": followers,
+        }),
     }
 }
 

@@ -2,8 +2,12 @@
 //! stack.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use evop_broker::{Broker, BrokerConfig};
+use evop_cache::{
+    CacheConfig, CachePolicy, DataVersion, ResultCache, VirtualClock, WpsResultCache,
+};
 use evop_data::catalog::{AccessPolicy, Catalog, DataSource, DatasetMeta};
 use evop_data::catchment::CatchmentId;
 use evop_data::sensors::{SensorKind, WebcamFrame};
@@ -16,6 +20,8 @@ use evop_portal::widgets::ModellingWidget;
 use evop_portal::AssetMap;
 use evop_services::sos::SosServer;
 use evop_services::wps::WpsServer;
+use evop_xcloud::BlobStore;
+use parking_lot::Mutex;
 
 use crate::registry::{AssetKind, AssetRegistry};
 
@@ -30,6 +36,7 @@ pub struct EvopBuilder {
     days: usize,
     catchments: Vec<Catchment>,
     broker_config: BrokerConfig,
+    cache_config: CacheConfig,
 }
 
 impl Default for EvopBuilder {
@@ -40,6 +47,9 @@ impl Default for EvopBuilder {
             days: 30,
             catchments: vec![Catchment::morland()],
             broker_config: BrokerConfig::default(),
+            // Caching is opt-in: existing callers see identical behaviour
+            // until they ask for a policy.
+            cache_config: CacheConfig { policy: CachePolicy::Off, ..CacheConfig::default() },
         }
     }
 }
@@ -90,6 +100,19 @@ impl EvopBuilder {
         self
     }
 
+    /// Turns result caching on (or off) for every WPS endpoint.
+    pub fn cache_policy(mut self, policy: CachePolicy) -> EvopBuilder {
+        self.cache_config.policy = policy;
+        self
+    }
+
+    /// Overrides the full cache configuration (policy, capacity, TTL,
+    /// spill threshold).
+    pub fn cache_config(mut self, config: CacheConfig) -> EvopBuilder {
+        self.cache_config = config;
+        self
+    }
+
     /// Builds the observatory: generates every catchment's synthetic
     /// archive, loads the SOS and WPS services, the asset map, the dataset
     /// catalogue, the XaaS registry and the cloud broker.
@@ -100,6 +123,21 @@ impl EvopBuilder {
         // into the same tracer and metrics registry, which is what lets
         // one portal request become one connected trace.
         let broker = Broker::new(self.broker_config.clone(), self.seed);
+        // The shared result-cache plane (one per observatory, keyed per
+        // catchment): under `Off` no plane exists and executes are
+        // untouched; under `L1L2` large results spill to a blob tier.
+        let cache = if self.cache_config.policy == CachePolicy::Off {
+            None
+        } else {
+            let mut plane = ResultCache::new(self.cache_config.clone());
+            if self.cache_config.policy == CachePolicy::L1L2 {
+                plane = plane.with_l2(Box::new(BlobStore::new()));
+            }
+            plane.set_metrics(broker.metrics().clone());
+            Some(Arc::new(Mutex::new(plane)))
+        };
+        let cache_clock = VirtualClock::new();
+        let cache_version = DataVersion::new();
         let mut sos = SosServer::new();
         let mut map = AssetMap::new();
         let mut catalog = Catalog::new();
@@ -190,6 +228,14 @@ impl EvopBuilder {
             server.set_tracer(broker.tracer().clone());
             server.set_metrics(broker.metrics().clone());
             register_standard_processes(&mut server, catchment, &forcing, self.seed);
+            if let Some(plane) = &cache {
+                server.set_cache(Arc::new(WpsResultCache::new(
+                    plane.clone(),
+                    cache_clock.clone(),
+                    cache_version.clone(),
+                    id.to_string(),
+                )));
+            }
             registry
                 .register(
                     AssetKind::Service,
@@ -211,6 +257,10 @@ impl EvopBuilder {
                 .expect("unique");
         }
 
+        // Start the cache generation at the freshly-built catalogue's
+        // version, so build-time registrations don't read as "updates".
+        cache_version.set(catalog.data_version());
+
         Evop {
             seed: self.seed,
             start: self.start,
@@ -226,6 +276,9 @@ impl EvopBuilder {
             catalog,
             registry,
             broker,
+            cache,
+            cache_clock,
+            cache_version,
         }
     }
 }
@@ -276,6 +329,9 @@ pub struct Evop {
     catalog: Catalog,
     registry: AssetRegistry,
     broker: Broker,
+    cache: Option<Arc<Mutex<ResultCache>>>,
+    cache_clock: VirtualClock,
+    cache_version: DataVersion,
 }
 
 impl Evop {
@@ -347,6 +403,42 @@ impl Evop {
     /// The infrastructure manager, mutably (connect users, advance time).
     pub fn broker_mut(&mut self) -> &mut Broker {
         &mut self.broker
+    }
+
+    /// The dataset catalogue, mutably (register datasets, record updates).
+    /// Call [`Evop::sync_cache`] afterwards so cached results keyed to the
+    /// old data version stop being served.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The shared result-cache plane, when a policy other than `Off` was
+    /// configured. All catchments' WPS endpoints consult this one plane.
+    pub fn cache_plane(&self) -> Option<&Arc<Mutex<ResultCache>>> {
+        self.cache.as_ref()
+    }
+
+    /// A snapshot of the cache plane's running totals.
+    pub fn cache_stats(&self) -> Option<evop_cache::CacheStats> {
+        self.cache.as_ref().map(|plane| plane.lock().stats())
+    }
+
+    /// Reconciles the cache plane with the rest of the stack: advances the
+    /// cache's virtual clock to the broker's `now` (so TTLs expire in step
+    /// with simulated time) and, when the catalogue's data version has
+    /// moved, bumps the cache generation and sweeps entries keyed to older
+    /// versions. Call after advancing the broker or mutating the
+    /// catalogue. A no-op when caching is off.
+    pub fn sync_cache(&mut self) {
+        self.cache_clock.advance_to(self.broker.now());
+        let catalog_version = self.catalog.data_version();
+        if let Some(plane) = &self.cache {
+            if catalog_version > self.cache_version.current() {
+                self.cache_version.set(catalog_version);
+                plane.lock().invalidate_stale_versions(catalog_version);
+            }
+            plane.lock().purge_expired(self.cache_clock.now());
+        }
     }
 
     /// The observatory-wide span tracer (shared by router, WPS, broker
@@ -548,6 +640,35 @@ mod tests {
                 .counter("wps_executions_total", &[("outcome", "ok"), ("process", "topmodel")]),
             1
         );
+    }
+
+    #[test]
+    fn cache_policy_serves_repeat_executions_from_l1() {
+        let mut evop = Evop::builder().seed(7).days(10).cache_policy(CachePolicy::L1).build();
+        let id = evop.catchments()[0].id().clone();
+        let first = evop.wps(&id).unwrap().execute("topmodel", serde_json::json!({})).unwrap();
+        let second = evop.wps(&id).unwrap().execute("topmodel", serde_json::json!({})).unwrap();
+        assert_eq!(first, second);
+        let stats = evop.cache_stats().expect("cache is on");
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.l1_hits, 1);
+        // The plane reports into the observatory-wide metrics registry.
+        assert_eq!(evop.metrics().counter("cache_requests_total", &[("outcome", "hit")]), 1);
+        assert_eq!(evop.metrics().counter("cache_requests_total", &[("outcome", "miss")]), 1);
+        // New data lands in the catalogue: the cached generation dies.
+        evop.catalog_mut().touch_data();
+        evop.sync_cache();
+        evop.wps(&id).unwrap().execute("topmodel", serde_json::json!({})).unwrap();
+        let stats = evop.cache_stats().expect("cache is on");
+        assert_eq!(stats.misses, 2, "post-update execute must recompute");
+        assert_eq!(stats.stale_invalidated, 1);
+    }
+
+    #[test]
+    fn cache_off_leaves_the_facade_untouched() {
+        let evop = small();
+        assert!(evop.cache_plane().is_none());
+        assert!(evop.cache_stats().is_none());
     }
 
     #[test]

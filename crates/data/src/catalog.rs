@@ -362,6 +362,7 @@ impl std::error::Error for CatalogError {}
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     datasets: Vec<DatasetMeta>,
+    version: u64,
 }
 
 impl Catalog {
@@ -370,7 +371,16 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Registers a dataset.
+    /// The data-version stamp: starts at 0 and bumps on every successful
+    /// mutation. Result caches fold this into their keys so any catalogue
+    /// change (new sensor data registered, dataset replaced) makes every
+    /// previously cached model result unreachable — stale answers can't
+    /// outlive the data they were computed from.
+    pub fn data_version(&self) -> u64 {
+        self.version
+    }
+
+    /// Registers a dataset, bumping the data version.
     ///
     /// # Errors
     ///
@@ -380,7 +390,15 @@ impl Catalog {
             return Err(CatalogError::DuplicateId(meta.id().to_owned()));
         }
         self.datasets.push(meta);
+        self.version += 1;
         Ok(())
+    }
+
+    /// Marks the underlying data as updated without changing the metadata
+    /// set — the "new readings arrived for an existing dataset" case. Bumps
+    /// the data version so caches keyed on it invalidate.
+    pub fn touch_data(&mut self) {
+        self.version += 1;
     }
 
     /// Looks a dataset up by id.
@@ -433,6 +451,22 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert!(c.get("stage-morland").is_some());
         assert!(c.get("nope").is_none());
+    }
+
+    #[test]
+    fn data_version_bumps_on_mutation_only() {
+        let mut c = Catalog::new();
+        assert_eq!(c.data_version(), 0);
+        c.add(sample()).unwrap();
+        assert_eq!(c.data_version(), 1);
+        // A rejected duplicate is not a mutation.
+        assert!(c.add(sample()).is_err());
+        assert_eq!(c.data_version(), 1);
+        c.touch_data();
+        assert_eq!(c.data_version(), 2);
+        // Reads never bump.
+        let _ = c.search(&Query::new());
+        assert_eq!(c.data_version(), 2);
     }
 
     #[test]

@@ -19,8 +19,8 @@ use crate::rules::{self, is_known_rule};
 /// `#![forbid(unsafe_code)]`. `bench` is a measurement harness (its bins
 /// print and time); `lint` is this tool. Both still get determinism rules.
 pub const LIBRARY_CRATES: &[&str] = &[
-    "sim", "obs", "data", "cloud", "xcloud", "services", "models", "broker", "chaos", "workflow",
-    "portal", "core", "lint",
+    "sim", "obs", "data", "cloud", "xcloud", "services", "models", "broker", "cache", "chaos",
+    "workflow", "portal", "core", "lint",
 ];
 
 /// How one file is classified, which decides rule applicability.

@@ -42,12 +42,14 @@ impl Selector {
 /// What an SLO measures.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SloObjective {
-    /// Fraction of good events: `good / total`, where `good` is one
-    /// counter series and `total` is the sum of every series in a
-    /// counter family (so `outcome` labels need no enumeration).
+    /// Fraction of good events: `sum(goods) / total`, where `goods` are
+    /// one or more counter series and `total` is the sum of every series
+    /// in a counter family (so `outcome` labels need no enumeration).
+    /// Several good series let one SLO count distinct success modes —
+    /// e.g. a cache hit *and* a coalesced follower both count as served.
     Availability {
-        /// The series counting good events.
-        good: Selector,
+        /// The series counting good events (summed).
+        goods: Vec<Selector>,
         /// The counter family whose sum is the total.
         total_family: String,
     },
@@ -154,7 +156,29 @@ impl SloSpec {
             name: name.to_owned(),
             target,
             objective: SloObjective::Availability {
-                good: Selector::new(good_name, good_labels),
+                goods: vec![Selector::new(good_name, good_labels)],
+                total_family: total_family.to_owned(),
+            },
+            windows: Vec::new(),
+        }
+    }
+
+    /// An availability SLO whose good count is the sum of several series:
+    /// `sum(goods) / sum(total_family)`. Use when more than one outcome
+    /// label counts as success — e.g. a cache hit-ratio SLO where both
+    /// `outcome=hit` and `outcome=follower` mean the user was served
+    /// without a fresh model run.
+    pub fn availability_any(
+        name: &str,
+        target: f64,
+        goods: &[Selector],
+        total_family: &str,
+    ) -> SloSpec {
+        SloSpec {
+            name: name.to_owned(),
+            target,
+            objective: SloObjective::Availability {
+                goods: goods.to_vec(),
                 total_family: total_family.to_owned(),
             },
             windows: Vec::new(),
@@ -211,8 +235,9 @@ impl SloSpec {
     /// Reads the cumulative `(good, total)` pair from the registry.
     fn sample(&self, registry: &MetricsRegistry) -> (u64, u64) {
         match &self.objective {
-            SloObjective::Availability { good, total_family } => {
-                let good_count = registry.counter(&good.name, &good.label_refs());
+            SloObjective::Availability { goods, total_family } => {
+                let good_count =
+                    goods.iter().map(|g| registry.counter(&g.name, &g.label_refs())).sum();
                 let total = registry.counter_family_total(total_family);
                 (good_count, total)
             }

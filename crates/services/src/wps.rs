@@ -9,12 +9,30 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use evop_obs::{MetricsRegistry, TraceContext, Tracer};
 use parking_lot::Mutex;
 use serde_json::{Map, Value};
 
 use crate::xml::Element;
+
+/// A pluggable result cache consulted by [`WpsServer::execute`] after input
+/// validation and fed on successful execution.
+///
+/// The server itself knows nothing about keys, tiers, TTLs or admission —
+/// it hands the cache the validated inputs (canonical: defaults filled in,
+/// ranges checked) and either serves the returned value or stores the fresh
+/// one. `evop-cache` supplies the real two-tier implementation; tests can
+/// plug in anything. Implementations count their own hit/miss metrics.
+pub trait WpsCache: Send + Sync {
+    /// A cached result for `process` run with `inputs`, if one is fresh.
+    fn lookup(&self, process: &str, inputs: &Map<String, Value>) -> Option<Value>;
+
+    /// Offers a freshly computed `result` for caching. Implementations are
+    /// free to reject it (admission control).
+    fn store(&self, process: &str, inputs: &Map<String, Value>, result: &Value);
+}
 
 /// The type and constraints of one process parameter.
 #[derive(Debug, Clone, PartialEq)]
@@ -194,6 +212,7 @@ pub struct WpsServer {
     jobs: Mutex<AsyncJobs>,
     tracer: Option<Tracer>,
     metrics: Option<MetricsRegistry>,
+    cache: Option<Arc<dyn WpsCache>>,
 }
 
 #[derive(Default)]
@@ -234,6 +253,18 @@ impl WpsServer {
     /// `wps_executions_total{process,outcome}`.
     pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
         self.metrics = Some(metrics);
+    }
+
+    /// Attaches a result cache: [`WpsServer::execute`] consults it after
+    /// validation and feeds it on success. Callers of `execute` are
+    /// untouched — a hit simply returns faster.
+    pub fn set_cache(&mut self, cache: Arc<dyn WpsCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// Detaches the result cache, if any.
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
     }
 
     /// Registered process identifiers, sorted.
@@ -356,7 +387,18 @@ impl WpsServer {
         let process =
             self.processes.get(id).ok_or_else(|| WpsError::UnknownProcess(id.to_owned()))?;
         let validated = validate_inputs(&process.descriptor(), inputs)?;
-        process.execute(&validated).map_err(WpsError::ExecutionFailed)
+        // Cache lookup happens on *validated* inputs so `{}` and an
+        // explicit spelling of every default hit the same entry.
+        if let Some(cache) = &self.cache {
+            if let Some(value) = cache.lookup(id, &validated) {
+                return Ok(value);
+            }
+        }
+        let result = process.execute(&validated).map_err(WpsError::ExecutionFailed)?;
+        if let Some(cache) = &self.cache {
+            cache.store(id, &validated, &result);
+        }
+        Ok(result)
     }
 
     /// Asynchronous Execute: validates and enqueues, returning a status id

@@ -43,6 +43,22 @@ impl Blob {
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
+
+    /// FNV-1a hash of the payload bytes — a cheap, dependency-free content
+    /// fingerprint. Callers that remember the hash at `put` time can detect
+    /// a silently altered object at `get` time (the cache plane's L2 uses
+    /// exactly this to refuse corrupt results). The content type is *not*
+    /// hashed: integrity is about the bytes.
+    pub fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for &byte in self.data.iter() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
 }
 
 impl From<Vec<u8>> for Blob {
@@ -270,5 +286,22 @@ mod tests {
         store.put("x", "k", Blob::from("v")).unwrap();
         store.create_container("x");
         assert!(store.get("x", "k").is_ok(), "recreating must not wipe contents");
+    }
+
+    #[test]
+    fn content_hash_matches_reference_fnv1a() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(Blob::from("").content_hash(), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Blob::from("a").content_hash(), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Blob::from("foobar").content_hash(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn content_hash_ignores_content_type_but_not_bytes() {
+        let a = Blob::new(b"payload".to_vec(), "application/json");
+        let b = Blob::new(b"payload".to_vec(), "text/plain");
+        let c = Blob::new(b"payloae".to_vec(), "application/json");
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_ne!(a.content_hash(), c.content_hash());
     }
 }

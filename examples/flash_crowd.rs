@@ -93,6 +93,9 @@ fn main() {
             BrokerEvent::ProvisionFault { at, reason, retry_after } => {
                 println!("t+{:>6}: fault      {reason}; backing off {retry_after}", at.as_secs());
             }
+            BrokerEvent::RequestCoalesced { at, leader, follower, .. } => {
+                println!("t+{:>6}: coalesce   {follower} follows {leader}", at.as_secs());
+            }
         }
     }
 

@@ -21,6 +21,7 @@ pub use evop_core::{
 };
 
 pub use evop_broker as broker;
+pub use evop_cache as cache;
 pub use evop_chaos as chaos;
 pub use evop_cloud as cloud;
 pub use evop_data as data;
