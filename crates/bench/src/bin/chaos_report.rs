@@ -7,7 +7,16 @@
 //! ```
 //!
 //! `--seed` overrides the storm seed; the soak matrix axes stay fixed so
-//! the table remains comparable to the one in EXPERIMENTS.md.
+//! the table remains comparable to the one in EXPERIMENTS.md. `--json`
+//! prints one canonical document with the matrix rows and storm outcome;
+//! `--out DIR` also writes the storm's canonical chaos+broker event log
+//! (`storm-<seed>.log.json`) and metrics artifacts.
+
+use std::fs;
+use std::path::Path;
+use std::process::exit;
+
+use serde_json::{json, Value};
 
 use evop_bench::cli::CliSpec;
 use evop_broker::BrokerConfig;
@@ -21,14 +30,70 @@ const SEEDS: [u64; 8] = [1, 7, 42, 1234, 4242, 9001, 0xDEAD_BEEF, 0xC0FF_EE00];
 const MTBFS_SECS: [u64; 3] = [900, 1800, 3600];
 
 fn main() {
-    let spec = CliSpec::new("chaos_report", 42);
+    let spec = CliSpec::new("chaos_report", 42).with_json().with_out();
     let opts = spec.parse_or_exit();
     let storm_seed = opts.seed.unwrap_or_else(|| spec.default_seed());
+
+    let matrix_rows = matrix_rows();
+    let storm_report = storm_run(storm_seed);
+
+    if let Some(dir) = &opts.out {
+        write_artifacts(Path::new(dir), storm_seed, &storm_report);
+    }
+
+    if opts.json {
+        let doc = json!({
+            "report": "chaos-report",
+            "storm_seed": storm_seed,
+            "matrix": matrix_rows.iter().map(MatrixRow::to_json).collect::<Vec<Value>>(),
+            "storm": storm_json(&storm_report),
+        });
+        match serde_json::to_string_pretty(&doc) {
+            Ok(text) => println!("{text}"),
+            Err(err) => {
+                eprintln!("serialization failed: {err}");
+                exit(1);
+            }
+        }
+        return;
+    }
+
     println!("======================================================================");
     println!(" EVOp reproduction — chaos report (fault injection, E4/E6)");
     println!("======================================================================");
-    matrix();
-    storm(storm_seed);
+    print_matrix(&matrix_rows);
+    print_storm(storm_seed, &storm_report);
+}
+
+/// One aggregated soak-matrix row (all seeds at one MTBF).
+struct MatrixRow {
+    mtbf_secs: u64,
+    detections: usize,
+    migrations: usize,
+    mean_detect_secs: f64,
+    max_detect_secs: f64,
+    retries_recovered: u64,
+    retries_refused: u64,
+    jobs_completed: usize,
+    jobs_lost: usize,
+    unserved: usize,
+}
+
+impl MatrixRow {
+    fn to_json(&self) -> Value {
+        json!({
+            "mtbf_secs": self.mtbf_secs,
+            "detections": self.detections,
+            "migrations": self.migrations,
+            "mean_detect_secs": self.mean_detect_secs,
+            "max_detect_secs": self.max_detect_secs,
+            "retries_recovered": self.retries_recovered,
+            "retries_refused": self.retries_refused,
+            "jobs_completed": self.jobs_completed,
+            "jobs_lost": self.jobs_lost,
+            "unserved": self.unserved,
+        })
+    }
 }
 
 fn soak(seed: u64, mtbf_secs: u64) -> ChaosRunReport {
@@ -44,32 +109,45 @@ fn soak(seed: u64, mtbf_secs: u64) -> ChaosRunReport {
         .run()
 }
 
-fn matrix() {
+fn matrix_rows() -> Vec<MatrixRow> {
+    MTBFS_SECS
+        .iter()
+        .map(|&mtbf| {
+            let reports: Vec<ChaosRunReport> = SEEDS.iter().map(|&s| soak(s, mtbf)).collect();
+            let lats: Vec<f64> =
+                reports.iter().flat_map(|r| r.detection_latencies_secs.iter().copied()).collect();
+            MatrixRow {
+                mtbf_secs: mtbf,
+                detections: reports.iter().map(|r| r.detections).sum(),
+                migrations: reports.iter().map(|r| r.migrations).sum(),
+                mean_detect_secs: lats.iter().sum::<f64>() / lats.len().max(1) as f64,
+                max_detect_secs: lats.iter().copied().fold(0.0f64, f64::max),
+                retries_recovered: reports.iter().map(|r| r.submits.recovered).sum(),
+                retries_refused: reports.iter().map(|r| r.submits.transient_refusals).sum(),
+                jobs_completed: reports.iter().map(|r| r.jobs_completed).sum(),
+                jobs_lost: reports.iter().map(|r| r.jobs_lost).sum(),
+                unserved: reports.iter().map(|r| r.sessions_unserved).sum(),
+            }
+        })
+        .collect()
+}
+
+fn print_matrix(rows: &[MatrixRow]) {
     println!("\n--- E4: MTBF soak matrix (8 seeds × 3 MTBFs, 20 users, 4 h each)");
-    let mut rows = Vec::new();
-    for mtbf in MTBFS_SECS {
-        let reports: Vec<ChaosRunReport> = SEEDS.iter().map(|&s| soak(s, mtbf)).collect();
-        let detections: usize = reports.iter().map(|r| r.detections).sum();
-        let migrations: usize = reports.iter().map(|r| r.migrations).sum();
-        let unserved: usize = reports.iter().map(|r| r.sessions_unserved).sum();
-        let lost: usize = reports.iter().map(|r| r.jobs_lost).sum();
-        let completed: usize = reports.iter().map(|r| r.jobs_completed).sum();
-        let lats: Vec<f64> =
-            reports.iter().flat_map(|r| r.detection_latencies_secs.iter().copied()).collect();
-        let mean_lat = lats.iter().sum::<f64>() / lats.len().max(1) as f64;
-        let max_lat = lats.iter().copied().fold(0.0f64, f64::max);
-        let refused: u64 = reports.iter().map(|r| r.submits.transient_refusals).sum();
-        let recovered: u64 = reports.iter().map(|r| r.submits.recovered).sum();
-        rows.push(vec![
-            format!("{} min", mtbf / 60),
-            detections.to_string(),
-            migrations.to_string(),
-            format!("{mean_lat:.0} s / {max_lat:.0} s"),
-            format!("{recovered}/{refused}"),
-            format!("{completed}/{lost}"),
-            unserved.to_string(),
-        ]);
-    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                format!("{} min", row.mtbf_secs / 60),
+                row.detections.to_string(),
+                row.migrations.to_string(),
+                format!("{:.0} s / {:.0} s", row.mean_detect_secs, row.max_detect_secs),
+                format!("{}/{}", row.retries_recovered, row.retries_refused),
+                format!("{}/{}", row.jobs_completed, row.jobs_lost),
+                row.unserved.to_string(),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         table(
@@ -82,23 +160,48 @@ fn matrix() {
                 "jobs done/lost",
                 "unserved",
             ],
-            &rows,
+            &cells,
         )
     );
 }
 
-fn storm(seed: u64) {
-    println!("\n--- E6: provider storm (declarative schedule, seed {seed})");
+fn storm_run(seed: u64) -> ChaosRunReport {
     let config = BrokerConfig {
         private_capacity_vcpus: 4,
         instance_mtbf: Some(SimDuration::from_secs(1800)),
         ..BrokerConfig::default()
     };
-    let report = ChaosScenario::new(FaultSchedule::provider_storm(), seed)
+    ChaosScenario::new(FaultSchedule::provider_storm(), seed)
         .config(config)
         .sessions(20)
         .duration(SimDuration::from_secs(2 * 3600))
-        .run();
+        .run()
+}
+
+fn storm_json(report: &ChaosRunReport) -> Value {
+    json!({
+        "chaos_faults_fired": report.chaos_faults_fired,
+        "detections": report.detections,
+        "migrations": report.migrations,
+        "requeues": report.requeues,
+        "provision_faults": report.provision_faults,
+        "backoff_skips": report.backoff_skips,
+        "retry_successes": report.retry_successes,
+        "submits": {
+            "accepted": report.submits.accepted,
+            "transient_refusals": report.submits.transient_refusals,
+            "hard_failures": report.submits.hard_failures,
+        },
+        "retry_success_rate": report.retry_success_rate(),
+        "jobs_completed": report.jobs_completed,
+        "jobs_lost": report.jobs_lost,
+        "sessions_unserved": report.sessions_unserved,
+        "canonical_log_bytes": report.canonical_log().len(),
+    })
+}
+
+fn print_storm(seed: u64, report: &ChaosRunReport) {
+    println!("\n--- E6: provider storm (declarative schedule, seed {seed})");
     println!("  chaos faults fired        : {}", report.chaos_faults_fired);
     println!("  failures detected         : {}", report.detections);
     println!("  sessions migrated         : {}", report.migrations);
@@ -117,4 +220,26 @@ fn storm(seed: u64) {
     println!("  jobs completed/lost       : {}/{}", report.jobs_completed, report.jobs_lost);
     println!("  sessions unserved at end  : {}", report.sessions_unserved);
     println!("  canonical log             : {} bytes", report.canonical_log().len());
+}
+
+/// Writes the storm's canonical event log and metrics artifacts — the
+/// byte string that defines "the same run" for golden-trace regression.
+fn write_artifacts(dir: &Path, seed: u64, report: &ChaosRunReport) {
+    if let Err(err) = fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {err}", dir.display());
+        exit(1);
+    }
+    let snapshot = serde_json::to_string_pretty(&report.metrics_snapshot)
+        .unwrap_or_else(|_| String::from("{}"));
+    for (name, body) in [
+        (format!("storm-{seed}.log.json"), report.canonical_log().to_owned()),
+        (format!("storm-{seed}.snapshot.json"), snapshot),
+        (format!("storm-{seed}.prom"), report.prometheus.clone()),
+    ] {
+        let path = dir.join(name);
+        if let Err(err) = fs::write(&path, body) {
+            eprintln!("cannot write {}: {err}", path.display());
+            exit(1);
+        }
+    }
 }

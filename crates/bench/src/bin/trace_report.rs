@@ -7,6 +7,16 @@
 //! ```sh
 //! cargo run -p evop-bench --release --bin trace_report [-- --seed N]
 //! ```
+//!
+//! `--json` prints one canonical document with every experiment's trace
+//! tree, filtered counters and headline results; `--out DIR` also writes
+//! each experiment's deterministic trace JSON (`e{1,3,4}.trace.json`).
+
+use std::fs;
+use std::path::Path;
+use std::process::exit;
+
+use serde_json::{json, Value};
 
 use evop_cloud::FailureMode;
 use evop_core::experiments::{
@@ -16,23 +26,90 @@ use evop_core::experiments::{
 use evop_bench::cli::CliSpec;
 
 fn main() {
-    let spec = CliSpec::new("trace_report", 42);
+    let spec = CliSpec::new("trace_report", 42).with_json().with_out();
     let opts = spec.parse_or_exit();
     let seed = opts.seed.unwrap_or_else(|| spec.default_seed());
+
+    let (r1, c1) = e1_dataflow_traced(seed);
+    let (r3, c3) = e3_cloudburst_traced(120, seed);
+    let (r4, c4) = e4_failure_recovery_traced(FailureMode::Crash, 8, seed);
+
+    const E1_COUNTERS: &[&str] =
+        &["router_requests_total", "wps_executions_total", "broker_placements_total"];
+    const E3_COUNTERS: &[&str] = &[
+        "broker_placements_total",
+        "broker_cloudbursts_total",
+        "broker_scale_downs_total",
+        "broker_migrations_total",
+    ];
+    const E4_COUNTERS: &[&str] = &[
+        "broker_failures_detected_total",
+        "broker_migrations_total",
+        "cloud_state_transitions_total",
+    ];
+
+    if let Some(dir) = &opts.out {
+        write_artifacts(Path::new(dir), &[("e1", &c1), ("e3", &c3), ("e4", &c4)]);
+    }
+
+    if opts.json {
+        let doc = json!({
+            "report": "trace-report",
+            "seed": seed,
+            "experiments": {
+                "e1": {
+                    "trace": parsed_trace(&c1),
+                    "counters": filtered_counters(&c1, E1_COUNTERS),
+                    "result": {
+                        "activation_wait_secs": r1.activation_wait.as_secs_f64(),
+                        "job_latency_secs": r1.job_latency.as_secs_f64(),
+                        "push_updates": r1.push_updates,
+                        "peak_m3s": r1.peak_m3s,
+                    },
+                },
+                "e3": {
+                    "trace": parsed_trace(&c3),
+                    "counters": filtered_counters(&c3, E3_COUNTERS),
+                    "result": {
+                        "burst_at": r3.burst_at.map(|t| t.to_string()),
+                        "retreat_at": r3.retreat_at.map(|t| t.to_string()),
+                        "hybrid_cost": r3.hybrid_cost,
+                    },
+                },
+                "e4": {
+                    "trace": parsed_trace(&c4),
+                    "counters": filtered_counters(&c4, E4_COUNTERS),
+                    "result": {
+                        "signature": r4.signature,
+                        "detection_delay_secs": r4.detection_delay.map(|d| d.as_secs_f64()),
+                        "sessions_migrated": r4.sessions_migrated,
+                        "sessions_lost": r4.sessions_lost,
+                    },
+                },
+            },
+        });
+        match serde_json::to_string_pretty(&doc) {
+            Ok(text) => println!("{text}"),
+            Err(err) => {
+                eprintln!("serialization failed: {err}");
+                exit(1);
+            }
+        }
+        return;
+    }
+
     println!("======================================================================");
     println!(" EVOp reproduction — trace report (seed {seed})");
     println!("======================================================================");
 
-    let (r1, c1) = e1_dataflow_traced(seed);
     heading("E1 (Fig 1)", "one request, one causal timeline");
     println!("{}", c1.ascii());
     println!(
         "  result: activation {} · job {} · {} push update(s) · peak {:.2} m³/s",
         r1.activation_wait, r1.job_latency, r1.push_updates, r1.peak_m3s
     );
-    counters(&c1, &["router_requests_total", "wps_executions_total", "broker_placements_total"]);
+    counters(&c1, E1_COUNTERS);
 
-    let (r3, c3) = e3_cloudburst_traced(120, seed);
     heading("E3 (§IV-D/§VI)", "first session's timeline across the cloudburst ramp");
     println!("{}", c3.ascii());
     println!(
@@ -41,35 +118,53 @@ fn main() {
         r3.retreat_at.map(|t| t.to_string()).unwrap_or_default(),
         r3.hybrid_cost
     );
-    counters(
-        &c3,
-        &[
-            "broker_placements_total",
-            "broker_cloudbursts_total",
-            "broker_scale_downs_total",
-            "broker_migrations_total",
-        ],
-    );
+    counters(&c3, E3_COUNTERS);
 
-    let (r4, c4) = e4_failure_recovery_traced(FailureMode::Crash, 8, seed);
     heading("E4 (§IV-D)", "victim session's timeline through failure recovery");
     println!("{}", c4.ascii());
     println!(
         "  result: detected as {:?} after {:?} · {} migrated · {} lost",
         r4.signature, r4.detection_delay, r4.sessions_migrated, r4.sessions_lost
     );
-    counters(
-        &c4,
-        &[
-            "broker_failures_detected_total",
-            "broker_migrations_total",
-            "cloud_state_transitions_total",
-        ],
-    );
+    counters(&c4, E4_COUNTERS);
 }
 
 fn heading(id: &str, claim: &str) {
     println!("\n--- {id}: {claim}");
+}
+
+/// The capture's deterministic trace JSON, parsed for embedding.
+fn parsed_trace(capture: &TraceCapture) -> Value {
+    serde_json::from_str(&capture.trace_json).unwrap_or(Value::Null)
+}
+
+/// The counter series whose names start with one of `prefixes`.
+fn filtered_counters(capture: &TraceCapture, prefixes: &[&str]) -> Value {
+    let Some(counters) = capture.metrics["counters"].as_object() else {
+        return json!({});
+    };
+    let filtered: serde_json::Map<String, Value> = counters
+        .iter()
+        .filter(|(series, _)| prefixes.iter().any(|p| series.starts_with(p)))
+        .map(|(series, value)| (series.clone(), value.clone()))
+        .collect();
+    Value::Object(filtered)
+}
+
+/// Writes `<name>.trace.json` per experiment — the deterministic trace
+/// documents the CI smoke step uploads.
+fn write_artifacts(dir: &Path, captures: &[(&str, &TraceCapture)]) {
+    if let Err(err) = fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {err}", dir.display());
+        exit(1);
+    }
+    for (name, capture) in captures {
+        let path = dir.join(format!("{name}.trace.json"));
+        if let Err(err) = fs::write(&path, &capture.trace_json) {
+            eprintln!("cannot write {}: {err}", path.display());
+            exit(1);
+        }
+    }
 }
 
 /// Prints every counter series whose name starts with one of `prefixes`.

@@ -1,10 +1,13 @@
 //! Tiny shared argument parser for the report binaries.
 //!
 //! Every report bin (`report`, `trace_report`, `chaos_report`,
-//! `slo_report`) takes the same handful of flags; this module parses them
-//! once so the binaries stay declarative. No external dependency — the
-//! grammar is four flags.
+//! `slo_report`, `cache_report`, `perf_report`) takes the same handful of
+//! flags; this module parses them once so the binaries stay declarative.
+//! No external dependency — the grammar is a few flags plus per-binary
+//! switches ([`CliSpec::with_switch`]) and valued options
+//! ([`CliSpec::with_value`]).
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::process::exit;
 
 /// Parsed common options.
@@ -18,6 +21,22 @@ pub struct CliOptions {
     pub cell: Option<String>,
     /// `--out DIR`: also write exporter artifacts into this directory.
     pub out: Option<String>,
+    /// Binary-specific boolean flags that were present.
+    switches: BTreeSet<String>,
+    /// Binary-specific valued flags.
+    values: BTreeMap<String, String>,
+}
+
+impl CliOptions {
+    /// `true` if the binary-specific switch `--<name>` was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.contains(name)
+    }
+
+    /// The value of the binary-specific flag `--<name> VALUE`, if given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
 }
 
 /// Which flags a binary accepts. `--seed` and `--help` always work.
@@ -28,12 +47,24 @@ pub struct CliSpec {
     json: bool,
     cell: bool,
     out: bool,
+    /// Extra boolean flags: (name, help).
+    switches: Vec<(&'static str, &'static str)>,
+    /// Extra valued flags: (name, placeholder, help).
+    values: Vec<(&'static str, &'static str, &'static str)>,
 }
 
 impl CliSpec {
     /// A spec accepting `--seed N` (defaulting to `default_seed`).
     pub fn new(bin: &'static str, default_seed: u64) -> CliSpec {
-        CliSpec { bin, default_seed, json: false, cell: false, out: false }
+        CliSpec {
+            bin,
+            default_seed,
+            json: false,
+            cell: false,
+            out: false,
+            switches: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Also accept `--json`.
@@ -54,6 +85,25 @@ impl CliSpec {
         self
     }
 
+    /// Also accept the boolean flag `--<name>` (read back with
+    /// [`CliOptions::switch`]).
+    pub fn with_switch(mut self, name: &'static str, help: &'static str) -> CliSpec {
+        self.switches.push((name, help));
+        self
+    }
+
+    /// Also accept the valued flag `--<name> <placeholder>` (read back
+    /// with [`CliOptions::value`]).
+    pub fn with_value(
+        mut self,
+        name: &'static str,
+        placeholder: &'static str,
+        help: &'static str,
+    ) -> CliSpec {
+        self.values.push((name, placeholder, help));
+        self
+    }
+
     fn usage(&self) -> String {
         let mut flags = format!("  --seed N     simulation seed (default {})\n", self.default_seed);
         if self.json {
@@ -64,6 +114,12 @@ impl CliSpec {
         }
         if self.out {
             flags.push_str("  --out DIR    also write exporter artifacts into DIR\n");
+        }
+        for (name, help) in &self.switches {
+            flags.push_str(&format!("  {:<12} {help}\n", format!("--{name}")));
+        }
+        for (name, placeholder, help) in &self.values {
+            flags.push_str(&format!("  {:<12} {help}\n", format!("--{name} {placeholder}")));
         }
         format!(
             "usage: cargo run -p evop-bench --release --bin {} [--] [flags]\n{}  --help       this message",
@@ -107,7 +163,19 @@ impl CliSpec {
                     opts.out = Some(value.clone());
                 }
                 "--help" | "-h" => return Err(self.usage()),
-                other => return Err(format!("unknown flag {other:?}\n{}", self.usage())),
+                other => {
+                    let name = other.strip_prefix("--").unwrap_or(other);
+                    if self.switches.iter().any(|(s, _)| *s == name) {
+                        opts.switches.insert(name.to_owned());
+                    } else if self.values.iter().any(|(v, _, _)| *v == name) {
+                        let value = iter
+                            .next()
+                            .ok_or_else(|| format!("--{name} needs a value\n{}", self.usage()))?;
+                        opts.values.insert(name.to_owned(), value.clone());
+                    } else {
+                        return Err(format!("unknown flag {other:?}\n{}", self.usage()));
+                    }
+                }
             }
         }
         Ok(opts)
@@ -172,5 +240,23 @@ mod tests {
         let err = CliSpec::new("report", 42).parse(&strings(&["--help"])).unwrap_err();
         assert!(err.contains("usage:"));
         assert!(err.contains("--seed"));
+    }
+
+    #[test]
+    fn binary_specific_switches_and_values_parse() {
+        let spec = CliSpec::new("perf_report", 42)
+            .with_switch("check", "compare against committed baselines")
+            .with_value("reps", "N", "repetitions per benchmark");
+        let opts = spec.parse(&strings(&["--check", "--reps", "9"])).unwrap();
+        assert!(opts.switch("check"));
+        assert_eq!(opts.value("reps"), Some("9"));
+        assert!(!opts.switch("update-baseline"));
+        assert!(opts.value("tolerance").is_none());
+        // Declared flags show up in usage; undeclared ones are rejected.
+        let usage = spec.parse(&strings(&["--help"])).unwrap_err();
+        assert!(usage.contains("--check"));
+        assert!(usage.contains("--reps N"));
+        assert!(spec.parse(&strings(&["--tolerance", "0.5"])).is_err());
+        assert!(spec.parse(&strings(&["--reps"])).is_err(), "valued flag needs a value");
     }
 }

@@ -7,13 +7,18 @@
 //! * `cargo run -p evop-bench --release --bin slo_report` runs the E4
 //!   alerting matrix and reports alert detection latency per fault burst;
 //! * `cargo run -p evop-bench --release --bin cache_report` reruns the E6
-//!   flash crowd cold vs warm vs coalesced against the cache plane.
+//!   flash crowd cold vs warm vs coalesced against the cache plane;
+//! * `cargo run -p evop-bench --release --bin perf_report` runs the fixed
+//!   perf suite and maintains the machine-readable perf trajectory
+//!   (`BENCH_sim.json` / `BENCH_e2e.json`), with `--check` as the CI
+//!   regression gate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod cli;
+pub mod perf;
 pub mod slo;
 
 pub use cli::{CliOptions, CliSpec};

@@ -11,16 +11,18 @@
 
 use evop_bench::cache::flash_crowd_report;
 
+mod common;
+
 const GOLDEN: &str = include_str!("../golden/cache_flash_crowd_seed42.json");
 
 #[test]
 fn flash_crowd_report_matches_committed_golden() {
     let report = flash_crowd_report(40, 42);
-    assert_eq!(
-        format!("{}\n", report.render()),
+    common::assert_matches_golden(
+        &report.render(),
         GOLDEN,
-        "cache_report --json drifted from the golden; \
-         regenerate it if the change is intended (see module docs)"
+        "cargo run -p evop-bench --release --bin cache_report -- --json \
+         > crates/bench/golden/cache_flash_crowd_seed42.json",
     );
 }
 

@@ -1,0 +1,17 @@
+//! Shared helpers for the bench crate's golden-output regression tests.
+
+/// Asserts that `rendered` (without its trailing newline) matches the
+/// committed golden byte-for-byte, failing with the regeneration command
+/// when it drifted.
+///
+/// Every golden file ends with a newline because it is captured from a
+/// binary's stdout; `rendered` is the in-process rendering, so the
+/// newline is appended here.
+pub fn assert_matches_golden(rendered: &str, golden: &str, regen_command: &str) {
+    assert_eq!(
+        format!("{rendered}\n"),
+        golden,
+        "output drifted from the committed golden; if the change is intended, \
+         regenerate it with:\n    {regen_command}"
+    );
+}

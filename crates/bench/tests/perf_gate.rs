@@ -1,0 +1,94 @@
+//! Integration gate over the *committed* perf baselines: the exact
+//! `BENCH_sim.json` / `BENCH_e2e.json` documents at the repo root must
+//! pass the regression gate against themselves, and an artificial
+//! slowdown beyond the tolerance on any gated metric must fail it.
+//! This is the contract the CI `perf` job relies on — the gate's unit
+//! tests use synthetic documents, this test uses the real ones.
+
+use serde_json::{json, Value};
+
+use evop_bench::perf::{check_doc, DEFAULT_TOLERANCE};
+
+const BASELINES: [(&str, &str); 2] = [
+    ("BENCH_sim.json", include_str!("../../../BENCH_sim.json")),
+    ("BENCH_e2e.json", include_str!("../../../BENCH_e2e.json")),
+];
+
+fn parse(name: &str, text: &str) -> Value {
+    serde_json::from_str(text).unwrap_or_else(|err| panic!("{name} parses as JSON: {err}"))
+}
+
+/// Scales every gated metric in the document by `factor` in the
+/// *regressing* direction (divides higher-is-better values, multiplies
+/// lower-is-better ones) and returns how many metrics were degraded.
+fn degrade_gated_metrics(doc: &mut Value, factor: f64) -> usize {
+    let mut degraded = 0;
+    let benches = doc
+        .as_object_mut()
+        .and_then(|m| m.get_mut("benchmarks"))
+        .and_then(Value::as_object_mut)
+        .expect("baseline has a benchmarks object");
+    for (_, bench) in benches.iter_mut() {
+        let Some(metrics) =
+            bench.as_object_mut().and_then(|m| m.get_mut("metrics")).and_then(Value::as_object_mut)
+        else {
+            continue;
+        };
+        for (_, metric) in metrics.iter_mut() {
+            let Some(map) = metric.as_object_mut() else { continue };
+            if map.get("gated").and_then(Value::as_bool) != Some(true) {
+                continue;
+            }
+            let value = map.get("value").and_then(Value::as_f64).expect("gated metric has value");
+            let worse = match map.get("direction").and_then(Value::as_str) {
+                Some("higher_is_better") => value / factor,
+                Some("lower_is_better") => value * factor,
+                other => panic!("gated metric has a direction, got {other:?}"),
+            };
+            map.insert("value".to_owned(), json!(worse));
+            degraded += 1;
+        }
+    }
+    degraded
+}
+
+#[test]
+fn committed_baselines_gate_cleanly_against_themselves() {
+    for (name, text) in BASELINES {
+        let doc = parse(name, text);
+        let report = check_doc(&doc, &doc, DEFAULT_TOLERANCE)
+            .unwrap_or_else(|err| panic!("{name} gates: {err}"));
+        assert!(report.passed(), "{name} vs itself must pass:\n{}", report.render());
+        assert!(report.gated_checked > 0, "{name} must carry at least one gated metric");
+        assert!(report.work_checked > 0, "{name} must carry at least one work counter");
+    }
+}
+
+#[test]
+fn artificial_slowdown_beyond_tolerance_fails_the_gate() {
+    for (name, text) in BASELINES {
+        let baseline = parse(name, text);
+        let mut slowed = baseline.clone();
+        // 30 % regression on every gated metric, past the 20 % tolerance.
+        let degraded = degrade_gated_metrics(&mut slowed, 1.3);
+        assert!(degraded > 0, "{name} must have gated metrics to degrade");
+        let report = check_doc(&baseline, &slowed, DEFAULT_TOLERANCE)
+            .unwrap_or_else(|err| panic!("{name} gates: {err}"));
+        assert!(!report.passed(), "{name}: a 30% slowdown must fail the gate");
+        assert_eq!(report.failures.len(), degraded, "every degraded metric is reported");
+    }
+}
+
+#[test]
+fn slowdown_within_tolerance_still_passes() {
+    for (name, text) in BASELINES {
+        let baseline = parse(name, text);
+        let mut slowed = baseline.clone();
+        // 10 % regression sits inside the 20 % tolerance band.
+        let degraded = degrade_gated_metrics(&mut slowed, 1.1);
+        assert!(degraded > 0);
+        let report = check_doc(&baseline, &slowed, DEFAULT_TOLERANCE)
+            .unwrap_or_else(|err| panic!("{name} gates: {err}"));
+        assert!(report.passed(), "{name}: a 10% drift must pass:\n{}", report.render());
+    }
+}

@@ -15,6 +15,8 @@ use serde_json::{json, Value};
 
 use evop_bench::slo::{cell_by_name, run_cell, CellOutcome};
 
+mod common;
+
 const GOLDEN: &str = include_str!("../golden/slo_api_burst_seed42.json");
 
 #[test]
@@ -27,11 +29,11 @@ fn api_burst_cell_matches_committed_golden() {
         "cells": cells,
     });
     let rendered = serde_json::to_string_pretty(&doc).expect("serializable");
-    assert_eq!(
-        format!("{rendered}\n"),
+    common::assert_matches_golden(
+        &rendered,
         GOLDEN,
-        "slo_report --cell api-burst --seed 42 --json drifted from the golden; \
-         regenerate it if the change is intended (see module docs)"
+        "cargo run -p evop-bench --release --bin slo_report -- --cell api-burst --seed 42 --json \
+         > crates/bench/golden/slo_api_burst_seed42.json",
     );
 }
 

@@ -379,6 +379,14 @@ impl Broker {
         &self.cloud
     }
 
+    /// The simulation kernel's hot-path counters (events scheduled /
+    /// delivered / cancelled, queue depth high-water mark, largest
+    /// same-tick batch) — the denominator side of the perf plane's
+    /// events/sec figures.
+    pub fn kernel_counters(&self) -> evop_sim::KernelCounters {
+        self.cloud.kernel_counters()
+    }
+
     /// The model library.
     pub fn library(&self) -> &ModelLibrary {
         &self.library

@@ -538,7 +538,21 @@ impl CloudSim {
             for (provider, cost) in self.meter.cost_by_provider(now) {
                 reg.set_gauge("cloud_cost_total", &[("provider", &provider)], cost);
             }
+            // Kernel hot-path gauges: what the perf plane reads to turn
+            // wall time into events/sec and batching statistics.
+            let c = self.events.counters();
+            reg.set_gauge("sim_events_scheduled_total", &[], c.scheduled as f64);
+            reg.set_gauge("sim_events_delivered_total", &[], c.delivered as f64);
+            reg.set_gauge("sim_events_cancelled_total", &[], c.cancelled as f64);
+            reg.set_gauge("sim_queue_depth_high_water", &[], c.depth_high_water as f64);
+            reg.set_gauge("sim_max_same_tick_batch", &[], c.max_same_tick_batch as f64);
         }
+    }
+
+    /// The event queue's hot-path counters (events scheduled / delivered /
+    /// cancelled, depth high-water mark, largest same-tick batch).
+    pub fn kernel_counters(&self) -> evop_sim::KernelCounters {
+        self.events.counters()
     }
 
     /// The time of the next pending event, if any — for drivers that want to

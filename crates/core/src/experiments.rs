@@ -16,7 +16,7 @@ use evop_data::geo::BoundingBox;
 use evop_data::{Catchment, SensorId};
 use evop_models::objectives::FloodMetrics;
 use evop_models::scenarios::Scenario;
-use evop_obs::{MetricsRegistry, SpanRecord, TimelineReport, TraceId, Tracer};
+use evop_obs::{MetricsRegistry, Profiler, SpanRecord, TimelineReport, TraceId, Tracer};
 use evop_portal::journey::{simulate_cohort, workshop_cohort, CohortStats, JourneyConfig};
 use evop_portal::map::{AssetMap, Marker, MarkerKind};
 use evop_portal::storyboard::{CoverageReport, Storyboard};
@@ -93,28 +93,53 @@ pub struct E1Result {
 /// Runs experiment E1: portal → Resource Broker → cloud instance → model →
 /// hydrograph, with push updates on the session channel.
 pub fn e1_dataflow(seed: u64) -> E1Result {
-    let mut evop = Evop::builder().seed(seed).days(10).build();
+    e1_dataflow_profiled(seed, &Profiler::disabled())
+}
+
+/// [`e1_dataflow`] with wall-clock profiling: each pipeline stage runs
+/// inside a [`Profiler`] span so `perf_report` can attribute real CPU
+/// time to build, broker, WPS and collection phases. Profiling is
+/// observation only — the measured result is identical to the
+/// unprofiled run (`tests/observability.rs` pins that).
+pub fn e1_dataflow_profiled(seed: u64, prof: &Profiler) -> E1Result {
+    let _span = prof.enter("e1.request");
+    let mut evop = {
+        let _build = prof.enter("e1.build_observatory");
+        Evop::builder().seed(seed).days(10).build()
+    };
     let id = evop.catchments()[0].id().clone();
 
     // 1. The user opens the modelling widget: the broker binds a session.
-    let session =
-        evop.broker_mut().connect("stakeholder", "topmodel").expect("library serves topmodel");
-    evop.broker_mut().advance(SimDuration::from_secs(180));
+    let session = {
+        let _connect = prof.enter("e1.broker_connect");
+        evop.broker_mut().connect("stakeholder", "topmodel").expect("library serves topmodel")
+    };
+    {
+        let _boot = prof.enter("e1.instance_boot");
+        evop.broker_mut().advance(SimDuration::from_secs(180));
+    }
 
     // 2. The widget submits a model run to the session's instance.
-    let job = evop
-        .broker_mut()
-        .run_model(session, SimDuration::from_secs(45))
-        .expect("session active after boot");
-    evop.broker_mut().advance(SimDuration::from_secs(300));
+    let job = {
+        let _run = prof.enter("e1.run_model");
+        let job = evop
+            .broker_mut()
+            .run_model(session, SimDuration::from_secs(45))
+            .expect("session active after boot");
+        evop.broker_mut().advance(SimDuration::from_secs(300));
+        job
+    };
 
     // 3. Meanwhile the actual model produces the hydrograph via WPS.
-    let out = evop
-        .wps(&id)
-        .expect("every built catchment has a WPS endpoint")
-        .execute("topmodel", json!({}))
-        .expect("default inputs are valid");
+    let out = {
+        let _wps = prof.enter("e1.wps_execute");
+        evop.wps(&id)
+            .expect("every built catchment has a WPS endpoint")
+            .execute("topmodel", json!({}))
+            .expect("default inputs are valid")
+    };
 
+    let _collect = prof.enter("e1.collect");
     let broker = evop.broker();
     let session_ref = broker.session(session).expect("session exists");
     let instance = session_ref.instance().expect("active session");
@@ -637,7 +662,21 @@ pub struct E6Result {
 /// Runs experiment E6: `crowd` users arrive in one burst; each immediately
 /// requests a model run; measured with and without a warm pool.
 pub fn e6_flash_crowd(crowd: usize, warm_pool: u32, seed: u64) -> E6Result {
-    let run = |pool: u32| -> E6Config {
+    e6_flash_crowd_profiled(crowd, warm_pool, seed, &Profiler::disabled())
+}
+
+/// [`e6_flash_crowd`] with wall-clock profiling: the cold and warm
+/// configurations and their submit/drain phases each run inside a
+/// [`Profiler`] span. Observation only — measured results are identical
+/// to the unprofiled run.
+pub fn e6_flash_crowd_profiled(
+    crowd: usize,
+    warm_pool: u32,
+    seed: u64,
+    prof: &Profiler,
+) -> E6Result {
+    let run = |label: &str, pool: u32| -> E6Config {
+        let _config_span = prof.enter(label);
         let config = BrokerConfig {
             private_capacity_vcpus: 16,
             warm_pool_size: pool,
@@ -650,25 +689,32 @@ pub fn e6_flash_crowd(crowd: usize, warm_pool: u32, seed: u64) -> E6Result {
 
         let mut jobs = Vec::new();
         let mut pending: Vec<SessionId> = Vec::new();
-        for i in 0..crowd {
-            let s = broker.connect(&format!("flash-{i}"), "topmodel").expect("served");
-            match broker.run_model(s, SimDuration::from_secs(60)) {
-                Ok(job) => jobs.push((s, job)),
-                Err(_) => pending.push(s),
+        {
+            let _submit = prof.enter("e6.submit_wave");
+            for i in 0..crowd {
+                let s = broker.connect(&format!("flash-{i}"), "topmodel").expect("served");
+                match broker.run_model(s, SimDuration::from_secs(60)) {
+                    Ok(job) => jobs.push((s, job)),
+                    Err(_) => pending.push(s),
+                }
             }
         }
         // Waiting sessions submit as soon as they are bound.
-        for _ in 0..240 {
-            broker.advance(SimDuration::from_secs(15));
-            pending.retain(|&s| match broker.run_model(s, SimDuration::from_secs(60)) {
-                Ok(job) => {
-                    jobs.push((s, job));
-                    false
-                }
-                Err(_) => true,
-            });
+        {
+            let _drain = prof.enter("e6.drain");
+            for _ in 0..240 {
+                broker.advance(SimDuration::from_secs(15));
+                pending.retain(|&s| match broker.run_model(s, SimDuration::from_secs(60)) {
+                    Ok(job) => {
+                        jobs.push((s, job));
+                        false
+                    }
+                    Err(_) => true,
+                });
+            }
         }
 
+        let _collect = prof.enter("e6.collect");
         let mut first_results = Percentiles::new();
         for &(s, job) in &jobs {
             let Some(instance) = broker.session(s).and_then(|x| x.instance()) else { continue };
@@ -695,7 +741,7 @@ pub fn e6_flash_crowd(crowd: usize, warm_pool: u32, seed: u64) -> E6Result {
         }
     };
 
-    E6Result { crowd, cold: run(0), warm: run(warm_pool) }
+    E6Result { crowd, cold: run("e6.cold", 0), warm: run("e6.warm", warm_pool) }
 }
 
 // ====================================================================

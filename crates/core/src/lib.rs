@@ -48,5 +48,5 @@ pub mod registry;
 
 mod observatory;
 
-pub use observatory::{DownloadError, Evop, EvopBuilder};
+pub use observatory::{BuildError, DownloadError, Evop, EvopBuilder};
 pub use registry::{AssetKind, AssetRecord, AssetRegistry};

@@ -8,22 +8,23 @@ use evop_broker::{Broker, BrokerConfig};
 use evop_cache::{
     CacheConfig, CachePolicy, DataVersion, ResultCache, VirtualClock, WpsResultCache,
 };
+use evop_data::catalog::CatalogError;
 use evop_data::catalog::{AccessPolicy, Catalog, DataSource, DatasetMeta};
 use evop_data::catchment::CatchmentId;
 use evop_data::sensors::{SensorKind, WebcamFrame};
 use evop_data::synthetic::{RatingCurve, TruthModel, WeatherGenerator};
-use evop_data::{Catchment, TimeSeries, Timestamp};
+use evop_data::{Catchment, SensorId, TimeSeries, Timestamp};
 use evop_models::pet::hamon_series;
 use evop_models::Forcing;
 use evop_portal::processes::register_standard_processes;
 use evop_portal::widgets::ModellingWidget;
 use evop_portal::AssetMap;
-use evop_services::sos::SosServer;
+use evop_services::sos::{SosError, SosServer};
 use evop_services::wps::WpsServer;
 use evop_xcloud::BlobStore;
 use parking_lot::Mutex;
 
-use crate::registry::{AssetKind, AssetRegistry};
+use crate::registry::{AssetKind, AssetRegistry, RegistryError};
 
 /// Builder for [`Evop`].
 ///
@@ -116,7 +117,33 @@ impl EvopBuilder {
     /// Builds the observatory: generates every catchment's synthetic
     /// archive, loads the SOS and WPS services, the asset map, the dataset
     /// catalogue, the XaaS registry and the cloud broker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if assembly fails — duplicate asset/dataset ids or an
+    /// incomplete default sensor network, which only happens with
+    /// conflicting builder input. Use [`EvopBuilder::try_build`] for the
+    /// typed-error path.
     pub fn build(self) -> Evop {
+        match self.try_build() {
+            Ok(evop) => evop,
+            // evop-lint: allow(rob-panic) -- documented panicking wrapper; try_build is the typed-error path
+            Err(err) => panic!("observatory assembly failed: {err}"),
+        }
+    }
+
+    /// Fallible [`EvopBuilder::build`]: returns a [`BuildError`] instead
+    /// of panicking when the catalogue, registry or sensor network reject
+    /// the builder's input.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::DuplicateAsset`] / [`BuildError::DuplicateDataset`]
+    /// on id collisions, [`BuildError::MissingSensorKind`] when a
+    /// catchment's default network lacks a kind the archives need, and
+    /// [`BuildError::Ingest`] when a generated archive is rejected by the
+    /// SOS QC pipeline.
+    pub fn try_build(self) -> Result<Evop, BuildError> {
         let n_steps = self.days * 24;
         // The broker owns the stack's shared observability handles; every
         // WPS endpoint (and, via `portal_api`, the REST router) reports
@@ -165,28 +192,26 @@ impl EvopBuilder {
             let sensors = catchment.default_sensors();
             for sensor in &sensors {
                 sos.register_sensor(sensor.clone());
-                registry
-                    .register(AssetKind::Sensor, sensor.id().as_str(), sensor.name(), ["in-situ"])
-                    .expect("sensor ids are unique");
+                registry.register(
+                    AssetKind::Sensor,
+                    sensor.id().as_str(),
+                    sensor.name(),
+                    ["in-situ"],
+                )?;
             }
-            let by_kind = |kind: SensorKind| {
-                sensors
-                    .iter()
-                    .find(|s| s.kind() == kind)
-                    .expect("default network has every kind")
-                    .id()
-                    .clone()
-            };
+            let by_kind =
+                |kind: SensorKind| -> Result<SensorId, BuildError> {
+                    sensors.iter().find(|s| s.kind() == kind).map(|s| s.id().clone()).ok_or_else(
+                        || BuildError::MissingSensorKind { catchment: id.clone(), kind },
+                    )
+                };
             // Live feeds pass through the standard QC pipeline on ingestion
             // (suspect samples are archived flagged, not dropped).
-            sos.ingest_series_with_qc(&by_kind(SensorKind::RainGauge), &rain).expect("registered");
-            sos.ingest_series_with_qc(&by_kind(SensorKind::RiverLevel), &stage)
-                .expect("registered");
-            sos.ingest_series_with_qc(&by_kind(SensorKind::Temperature), &water_temp)
-                .expect("registered");
-            sos.ingest_series_with_qc(&by_kind(SensorKind::Turbidity), &turbidity)
-                .expect("registered");
-            let camera = by_kind(SensorKind::Webcam);
+            sos.ingest_series_with_qc(&by_kind(SensorKind::RainGauge)?, &rain)?;
+            sos.ingest_series_with_qc(&by_kind(SensorKind::RiverLevel)?, &stage)?;
+            sos.ingest_series_with_qc(&by_kind(SensorKind::Temperature)?, &water_temp)?;
+            sos.ingest_series_with_qc(&by_kind(SensorKind::Turbidity)?, &turbidity)?;
+            let camera = by_kind(SensorKind::Webcam)?;
             frames.insert(id.clone(), truth.webcam_frames(&camera, &turbidity, 1800));
 
             // Map and catalogue.
@@ -200,26 +225,24 @@ impl EvopBuilder {
                 ("stage", "river stage", SensorKind::RiverLevel, AccessPolicy::Open),
                 ("turbidity", "turbidity", SensorKind::Turbidity, AccessPolicy::Registered),
             ] {
-                catalog
-                    .add(
-                        DatasetMeta::builder(
-                            format!("{id}-{suffix}"),
-                            format!("{} {title}", catchment.name()),
-                        )
-                        .description(format!(
-                            "Hourly {title} archive for {} ({})",
-                            catchment.name(),
-                            catchment.region()
-                        ))
-                        .source(DataSource::InSitu)
-                        .access(access)
-                        .kind(kind)
-                        .theme("hydrology")
-                        .extent(catchment.bounding_box())
-                        .time_range(self.start, end)
-                        .build(),
+                catalog.add(
+                    DatasetMeta::builder(
+                        format!("{id}-{suffix}"),
+                        format!("{} {title}", catchment.name()),
                     )
-                    .expect("dataset ids are unique");
+                    .description(format!(
+                        "Hourly {title} archive for {} ({})",
+                        catchment.name(),
+                        catchment.region()
+                    ))
+                    .source(DataSource::InSitu)
+                    .access(access)
+                    .kind(kind)
+                    .theme("hydrology")
+                    .extent(catchment.bounding_box())
+                    .time_range(self.start, end)
+                    .build(),
+                )?;
             }
 
             // Model services.
@@ -236,14 +259,12 @@ impl EvopBuilder {
                     id.to_string(),
                 )));
             }
-            registry
-                .register(
-                    AssetKind::Service,
-                    format!("wps-{id}"),
-                    format!("{} WPS endpoint", catchment.name()),
-                    ["ogc", "wps"],
-                )
-                .expect("unique");
+            registry.register(
+                AssetKind::Service,
+                format!("wps-{id}"),
+                format!("{} WPS endpoint", catchment.name()),
+                ["ogc", "wps"],
+            )?;
             wps.insert(id.clone(), server);
 
             forcings.insert(id.clone(), forcing);
@@ -252,16 +273,14 @@ impl EvopBuilder {
         }
 
         for model in ["topmodel", "fuse"] {
-            registry
-                .register(AssetKind::Model, model, model.to_uppercase(), ["hydrology"])
-                .expect("unique");
+            registry.register(AssetKind::Model, model, model.to_uppercase(), ["hydrology"])?;
         }
 
         // Start the cache generation at the freshly-built catalogue's
         // version, so build-time registrations don't read as "updates".
         cache_version.set(catalog.data_version());
 
-        Evop {
+        Ok(Evop {
             seed: self.seed,
             start: self.start,
             days: self.days,
@@ -279,7 +298,62 @@ impl EvopBuilder {
             cache,
             cache_clock,
             cache_version,
+        })
+    }
+}
+
+/// Errors assembling an observatory — conflicting builder input, never
+/// model behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The XaaS registry rejected a duplicate asset registration.
+    DuplicateAsset(String),
+    /// The dataset catalogue rejected a duplicate dataset id.
+    DuplicateDataset(String),
+    /// A catchment's default sensor network is missing a kind the
+    /// generated archives need.
+    MissingSensorKind {
+        /// The catchment whose network is incomplete.
+        catchment: CatchmentId,
+        /// The absent sensor kind.
+        kind: SensorKind,
+    },
+    /// A generated archive was rejected by the SOS QC ingestion pipeline.
+    Ingest(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::DuplicateAsset(what) => write!(f, "duplicate asset: {what}"),
+            BuildError::DuplicateDataset(id) => write!(f, "duplicate dataset id: {id}"),
+            BuildError::MissingSensorKind { catchment, kind } => {
+                write!(f, "catchment {catchment} has no {kind:?} sensor in its default network")
+            }
+            BuildError::Ingest(reason) => write!(f, "archive ingestion failed: {reason}"),
         }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<RegistryError> for BuildError {
+    fn from(err: RegistryError) -> BuildError {
+        BuildError::DuplicateAsset(err.to_string())
+    }
+}
+
+impl From<CatalogError> for BuildError {
+    fn from(err: CatalogError) -> BuildError {
+        match err {
+            CatalogError::DuplicateId(id) => BuildError::DuplicateDataset(id),
+        }
+    }
+}
+
+impl From<SosError> for BuildError {
+    fn from(err: SosError) -> BuildError {
+        BuildError::Ingest(err.to_string())
     }
 }
 
@@ -292,6 +366,8 @@ pub enum DownloadError {
     RegistrationRequired(String),
     /// The dataset may only feed models, never be downloaded raw.
     ComputeOnly(String),
+    /// The dataset has no catalogued time range to export.
+    Unbounded(String),
 }
 
 impl std::fmt::Display for DownloadError {
@@ -303,6 +379,9 @@ impl std::fmt::Display for DownloadError {
             }
             DownloadError::ComputeOnly(d) => {
                 write!(f, "dataset {d} is compute-only and cannot be downloaded")
+            }
+            DownloadError::Unbounded(d) => {
+                write!(f, "dataset {d} has no catalogued time range")
             }
         }
     }
@@ -519,7 +598,8 @@ impl Evop {
             _ => return Err(DownloadError::UnknownDataset(dataset.to_owned())),
         };
         let sensor = evop_data::SensorId::new(format!("{catchment}-{sensor_suffix}"));
-        let (begin, end) = meta.time_range().expect("catalogued archives are time-bound");
+        let (begin, end) =
+            meta.time_range().ok_or_else(|| DownloadError::Unbounded(dataset.to_owned()))?;
         let observations = self
             .sos
             .get_observation(&evop_services::sos::GetObservation {
@@ -541,11 +621,22 @@ impl Evop {
     ///
     /// # Panics
     ///
-    /// Panics if the catchment is not loaded.
+    /// Panics if the catchment is not loaded. Use
+    /// [`Evop::try_modelling_widget`] for the `Option` path.
     pub fn modelling_widget(&self, id: &CatchmentId) -> ModellingWidget {
-        let catchment = self.catchment(id).expect("catchment loaded").clone();
-        let forcing = self.forcings.get(id).expect("catchment loaded").clone();
-        ModellingWidget::new(catchment, forcing, self.seed)
+        match self.try_modelling_widget(id) {
+            Some(widget) => widget,
+            // evop-lint: allow(rob-panic) -- documented panicking wrapper; try_modelling_widget is the fallible path
+            None => panic!("catchment {id} is not loaded"),
+        }
+    }
+
+    /// Fallible [`Evop::modelling_widget`]: `None` when the catchment is
+    /// not loaded.
+    pub fn try_modelling_widget(&self, id: &CatchmentId) -> Option<ModellingWidget> {
+        let catchment = self.catchment(id)?.clone();
+        let forcing = self.forcings.get(id)?.clone();
+        Some(ModellingWidget::new(catchment, forcing, self.seed))
     }
 }
 
@@ -553,7 +644,6 @@ impl Evop {
 mod tests {
     use super::*;
     use evop_data::catalog::Query;
-    use evop_data::SensorId;
     use evop_services::sos::GetObservation;
 
     fn small() -> Evop {
@@ -576,6 +666,19 @@ mod tests {
         assert_eq!(evop.catalog().search(&Query::new().text("rainfall")).len(), 1);
         assert!(evop.registry().len() >= 8);
         assert!(evop.registry().resolve("evop://model/topmodel").is_some());
+    }
+
+    #[test]
+    fn try_build_returns_the_observatory() {
+        let evop = Evop::builder().seed(7).days(10).try_build().expect("default input is valid");
+        assert_eq!(evop.catalog().len(), 3);
+    }
+
+    #[test]
+    fn try_modelling_widget_is_none_for_unknown_catchment() {
+        let evop = small();
+        assert!(evop.try_modelling_widget(&CatchmentId::new("nowhere")).is_none());
+        assert!(evop.try_modelling_widget(&evop.catchments()[0].id().clone()).is_some());
     }
 
     #[test]

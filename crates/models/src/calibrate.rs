@@ -111,12 +111,29 @@ pub struct CalibrationSample {
 pub struct CalibrationResult {
     samples: Vec<CalibrationSample>,
     best: usize,
+    evaluations: u64,
+    allocations: u64,
 }
 
 impl CalibrationResult {
     /// All evaluated samples, in draw order.
     pub fn samples(&self) -> &[CalibrationSample] {
         &self.samples
+    }
+
+    /// Model evaluations performed — the "runs" in the perf plane's
+    /// Monte Carlo runs/sec. Deterministic: a pure function of the
+    /// calibration arguments, never of wall time.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Logical heap allocations performed per calibration (parameter
+    /// vectors drawn plus sample/workspace buffers) — the allocation
+    /// pressure figure `perf_report` tracks so an accidental clone in the
+    /// hot loop shows up as a counted regression, not a vibe.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
     }
 
     /// The best sample.
@@ -192,8 +209,10 @@ where
         }
         samples.push(CalibrationSample { params, score });
     }
+    // One parameter vector per draw plus the sample buffer itself.
+    let allocations = n as u64 + 1;
     match best {
-        Some(best) => Ok(CalibrationResult { samples, best }),
+        Some(best) => Ok(CalibrationResult { samples, best, evaluations: n as u64, allocations }),
         None => Err(CalibrationError::AllSamplesNan),
     }
 }
@@ -268,9 +287,14 @@ where
     let mut all_samples: Vec<CalibrationSample> = Vec::new();
     let mut best: Option<usize> = None;
     let mut current = space.clone();
+    let mut evaluations = 0u64;
+    // The accumulator buffer, plus one shrunken ParamSpace per round.
+    let mut allocations = 1u64 + rounds as u64;
     for round in 0..rounds {
         let result =
             try_monte_carlo(&current, samples_per_round, seed ^ (round as u64) << 32, &mut run)?;
+        evaluations += result.evaluations;
+        allocations += result.allocations;
         for sample in result.samples {
             if !sample.score.is_nan()
                 && best.is_none_or(|b: usize| sample.score > all_samples[b].score)
@@ -298,7 +322,9 @@ where
         };
     }
     match best {
-        Some(best) => Ok(CalibrationResult { samples: all_samples, best }),
+        Some(best) => {
+            Ok(CalibrationResult { samples: all_samples, best, evaluations, allocations })
+        }
         None => Err(CalibrationError::AllSamplesNan),
     }
 }
@@ -365,6 +391,18 @@ mod tests {
     fn all_nan_panics() {
         let space = ParamSpace::from_ranges(&[("x", 0.0, 1.0)]);
         let _ = monte_carlo(&space, 10, 1, |_| f64::NAN);
+    }
+
+    #[test]
+    fn perf_counters_are_deterministic_functions_of_arguments() {
+        let space = ParamSpace::from_ranges(&[("x", 0.0, 1.0)]);
+        let result = monte_carlo(&space, 250, 9, |p| p[0]);
+        assert_eq!(result.evaluations(), 250);
+        assert_eq!(result.allocations(), 251, "one params vec per draw + the sample buffer");
+        let refined = monte_carlo_refined(&space, 3, 100, 0.5, 9, |p| p[0]);
+        assert_eq!(refined.evaluations(), 300);
+        // 3 rounds × (100 + 1) + accumulator + 3 shrunken spaces.
+        assert_eq!(refined.allocations(), 3 * 101 + 1 + 3);
     }
 
     #[test]

@@ -28,6 +28,14 @@
 //! * [`analyze`] — trace analytics: critical-path extraction and
 //!   per-operation latency breakdowns feeding the histograms.
 //!
+//! And beside it the *perf-observability plane* (PR 6), the one part of
+//! this crate that deliberately reads the wall clock:
+//!
+//! * [`profile`] — a low-overhead scoped profiler ([`ProfGuard`] spans
+//!   nesting into a call tree) with per-operation self/total time, JSON
+//!   and folded-stack flamegraph export. Its output is never part of a
+//!   golden virtual-time document.
+//!
 //! Handles ([`MetricsRegistry`], [`Tracer`]) are cheap clones sharing one
 //! store, so the broker, the cloud simulator and the REST router can all
 //! report into the same collector.
@@ -59,6 +67,7 @@ pub mod analyze;
 pub mod export;
 pub mod histo;
 pub mod metrics;
+pub mod profile;
 pub mod slo;
 pub mod timeline;
 pub mod trace;
@@ -67,6 +76,7 @@ pub use analyze::{CriticalPath, OperationBreakdown, TraceAnalysis};
 pub use export::{otlp_json, prometheus_text};
 pub use histo::StreamingHistogram;
 pub use metrics::{MetricsRegistry, SeriesKey};
+pub use profile::{ProfGuard, ProfileReport, Profiler};
 pub use slo::{
     AlertEngine, AlertKind, AlertRecord, AlertSeverity, BurnRateWindow, Selector, SloObjective,
     SloSpec,

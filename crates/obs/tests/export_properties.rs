@@ -1,0 +1,151 @@
+//! Property tests for the exporter and trace-analytics invariants:
+//!
+//! * Prometheus histogram exposition — `_bucket{le="…"}` lines are
+//!   cumulative and monotone, the upper bounds ascend strictly, and the
+//!   terminal `le="+Inf"` bucket equals `_count` exactly;
+//! * operation breakdown self-times — over a properly nested span tree,
+//!   the self-times of every operation sum to the root span's duration
+//!   (self time is where wall time actually went, so it must partition
+//!   the total, never double-count a child).
+
+use proptest::prelude::*;
+
+use evop_obs::{prometheus_text, MetricsRegistry, OperationBreakdown, TraceContext, Tracer};
+use evop_sim::SimTime;
+
+// ====================================================================
+// Prometheus bucket cumulativity
+// ====================================================================
+
+/// Parses the `lat_seconds_bucket{le="…"} N` lines, in emission order.
+fn bucket_lines(text: &str) -> Vec<(f64, u64)> {
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("lat_seconds_bucket{le=\"")?;
+            let (le, count) = rest.split_once("\"} ")?;
+            let le = if le == "+Inf" { f64::INFINITY } else { le.parse().ok()? };
+            Some((le, count.parse().ok()?))
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative_and_monotone(
+        // Log-uniform over the histogram's comfortable range so many
+        // distinct buckets fill up.
+        exps in prop::collection::vec(-5.0f64..8.0, 1..200),
+    ) {
+        let registry = MetricsRegistry::new();
+        for &e in &exps {
+            registry.observe("lat_seconds", &[], 10f64.powf(e));
+        }
+        let text = prometheus_text(&registry);
+        let buckets = bucket_lines(&text);
+
+        // The exposition always ends with the +Inf bucket == _count.
+        prop_assert!(!buckets.is_empty());
+        let (last_le, last_count) = buckets[buckets.len() - 1];
+        prop_assert!(last_le.is_infinite());
+        // le="+Inf" must equal _count.
+        prop_assert_eq!(last_count, exps.len() as u64);
+        prop_assert!(
+            text.contains(&format!("lat_seconds_count {}", exps.len())),
+            "_count line must record every observation"
+        );
+
+        // Upper bounds ascend strictly; cumulative counts never decrease.
+        for pair in buckets.windows(2) {
+            let ((le_a, count_a), (le_b, count_b)) = (pair[0], pair[1]);
+            prop_assert!(
+                le_a < le_b || (le_a.is_infinite() && le_b.is_infinite()),
+                "bucket bounds must ascend: {le_a} then {le_b}"
+            );
+            prop_assert!(
+                count_a <= count_b,
+                "cumulative counts must be monotone: {count_a} then {count_b}"
+            );
+        }
+    }
+}
+
+// ====================================================================
+// Self-times partition the root duration
+// ====================================================================
+
+/// A properly nested span tree: at each node the span does `pre_gap`
+/// milliseconds of own work before each child and `post_work` after the
+/// last one, so children never overlap and always nest inside the parent.
+#[derive(Debug, Clone)]
+struct Node {
+    pre_gap: u64,
+    children: Vec<Node>,
+    post_work: u64,
+}
+
+/// Builds a bounded-depth tree from flat random vectors. The vendored
+/// proptest has no recursive-strategy combinators, so the randomness
+/// lives in the three flat inputs and the shape is derived from them
+/// deterministically (a cursor walks each vector cyclically).
+fn build_node(gaps: &[u64], works: &[u64], kids: &[usize], idx: &mut usize, depth: usize) -> Node {
+    let i = *idx;
+    *idx += 1;
+    let n_children = if depth >= 3 { 0 } else { kids[i % kids.len()] };
+    Node {
+        pre_gap: gaps[i % gaps.len()],
+        children: (0..n_children).map(|_| build_node(gaps, works, kids, idx, depth + 1)).collect(),
+        post_work: works[i % works.len()],
+    }
+}
+
+/// Replays `node` as a span under `parent`, advancing the tracer's
+/// virtual clock.
+fn emit(tracer: &Tracer, parent: &TraceContext, node: &Node, now: &mut u64, depth: usize) {
+    let span = tracer.start_span(format!("op.depth{depth}"), parent);
+    let ctx = span.context();
+    for child in &node.children {
+        *now += node.pre_gap;
+        tracer.set_now(SimTime::from_millis(*now));
+        emit(tracer, &ctx, child, now, depth + 1);
+    }
+    *now += node.post_work;
+    tracer.set_now(SimTime::from_millis(*now));
+    span.finish();
+}
+
+proptest! {
+    #[test]
+    fn self_times_sum_to_the_root_duration(
+        gaps in prop::collection::vec(0u64..200, 1..32),
+        works in prop::collection::vec(1u64..200, 1..32),
+        kids in prop::collection::vec(0usize..4, 1..32),
+    ) {
+        let mut idx = 0usize;
+        let root = build_node(&gaps, &works, &kids, &mut idx, 0);
+        let tracer = Tracer::new();
+        let root_span = tracer.start_trace("root");
+        let ctx = root_span.context();
+        let mut now = 0u64;
+        for child in &root.children {
+            now += root.pre_gap;
+            tracer.set_now(SimTime::from_millis(now));
+            emit(&tracer, &ctx, child, &mut now, 1);
+        }
+        now += root.post_work;
+        tracer.set_now(SimTime::from_millis(now));
+        root_span.finish();
+
+        let breakdown = OperationBreakdown::from_spans(&tracer.finished());
+        let total_self_secs: f64 = breakdown
+            .operations()
+            .iter()
+            .filter_map(|op| breakdown.self_times(op))
+            .map(|hist| hist.sum())
+            .sum();
+        let root_secs = now as f64 / 1000.0;
+        prop_assert!(
+            (total_self_secs - root_secs).abs() < 1e-6,
+            "self-times must partition the root duration: Σself {total_self_secs}s vs root {root_secs}s"
+        );
+    }
+}

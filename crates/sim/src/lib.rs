@@ -38,6 +38,6 @@ mod rng;
 mod time;
 
 pub use clock::Clock;
-pub use queue::EventQueue;
+pub use queue::{EventQueue, KernelCounters};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

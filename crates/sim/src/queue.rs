@@ -1,9 +1,37 @@
-//! A time-ordered, FIFO-stable event queue.
+//! A time-ordered, FIFO-stable event queue with hot-path counters.
 
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 use crate::SimTime;
+
+/// Hot-path counters maintained by [`EventQueue`] — the raw numbers the
+/// perf-observability plane (`obs::profile` + the `perf_report` bench
+/// bin) turns into events/sec and batching statistics. Counting is pure
+/// integer bookkeeping on operations the queue already performs, so the
+/// overhead is a handful of adds per event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Events ever pushed.
+    pub scheduled: u64,
+    /// Events delivered through `pop` / `pop_due`.
+    pub delivered: u64,
+    /// Events removed without delivery (`cancel_where`, `clear`).
+    pub cancelled: u64,
+    /// High-water mark of pending events.
+    pub depth_high_water: usize,
+    /// Longest run of consecutively-delivered events sharing one
+    /// timestamp — the same-tick batch size the delivery loop sees.
+    pub max_same_tick_batch: u64,
+}
+
+impl KernelCounters {
+    /// Events currently accounted as in flight
+    /// (`scheduled − delivered − cancelled`).
+    pub fn in_flight(&self) -> u64 {
+        self.scheduled.saturating_sub(self.delivered).saturating_sub(self.cancelled)
+    }
+}
 
 /// An entry in the heap: ordered by time, then by insertion sequence so that
 /// events scheduled for the same instant pop in insertion order.
@@ -56,12 +84,20 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     next_seq: u64,
+    counters: KernelCounters,
+    /// Timestamp and length of the current same-tick delivery run.
+    batch: Option<(SimTime, u64)>,
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> EventQueue<E> {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            counters: KernelCounters::default(),
+            batch: None,
+        }
     }
 
     /// Schedules `event` for delivery at instant `time`.
@@ -69,12 +105,22 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { time, seq, event }));
+        self.counters.scheduled += 1;
+        self.counters.depth_high_water = self.counters.depth_high_water.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, or `None` if the queue is
     /// empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+        let (time, event) = self.heap.pop().map(|Reverse(e)| (e.time, e.event))?;
+        self.counters.delivered += 1;
+        let run = match self.batch {
+            Some((t, n)) if t == time => n + 1,
+            _ => 1,
+        };
+        self.batch = Some((time, run));
+        self.counters.max_same_tick_batch = self.counters.max_same_tick_batch.max(run);
+        Some((time, event))
     }
 
     /// The delivery time of the earliest event without removing it.
@@ -109,9 +155,38 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Discards all pending events.
+    /// Discards all pending events (counted as cancelled).
     pub fn clear(&mut self) {
+        self.counters.cancelled += self.heap.len() as u64;
         self.heap.clear();
+    }
+
+    /// Removes every pending event matching `pred` without delivering it,
+    /// returning how many were cancelled. Relative order of the survivors
+    /// is preserved (the insertion sequence is kept), so cancellation
+    /// never perturbs FIFO determinism.
+    ///
+    /// ```
+    /// use evop_sim::{EventQueue, SimTime};
+    /// let mut queue = EventQueue::new();
+    /// queue.push(SimTime::from_secs(1), "keep");
+    /// queue.push(SimTime::from_secs(2), "drop");
+    /// assert_eq!(queue.cancel_where(|e| *e == "drop"), 1);
+    /// assert_eq!(queue.len(), 1);
+    /// assert_eq!(queue.counters().cancelled, 1);
+    /// ```
+    pub fn cancel_where<F: FnMut(&E) -> bool>(&mut self, mut pred: F) -> usize {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let before = entries.len();
+        self.heap = entries.into_iter().filter(|Reverse(e)| !pred(&e.event)).collect();
+        let cancelled = before - self.heap.len();
+        self.counters.cancelled += cancelled as u64;
+        cancelled
+    }
+
+    /// A copy of the queue's hot-path counters.
+    pub fn counters(&self) -> KernelCounters {
+        self.counters
     }
 }
 
@@ -186,5 +261,47 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn counters_track_schedule_deliver_cancel() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(SimTime::from_secs(i), i);
+        }
+        assert_eq!(q.counters().scheduled, 5);
+        assert_eq!(q.counters().depth_high_water, 5);
+        let _ = q.pop();
+        let _ = q.pop();
+        assert_eq!(q.counters().delivered, 2);
+        assert_eq!(q.cancel_where(|&e| e == 3), 1);
+        q.clear();
+        let c = q.counters();
+        assert_eq!(c.cancelled, 1 + 2, "one targeted + two cleared");
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn counters_track_same_tick_batches() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..4 {
+            q.push(t, i);
+        }
+        q.push(SimTime::from_secs(2), 99);
+        while q.pop().is_some() {}
+        assert_eq!(q.counters().max_same_tick_batch, 4);
+    }
+
+    #[test]
+    fn cancel_where_preserves_fifo_of_survivors() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        q.cancel_where(|&e| e % 2 == 0);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, [1, 3, 5, 7, 9]);
     }
 }

@@ -154,3 +154,26 @@ fn same_seed_runs_export_byte_identical_otlp_json() {
     assert!(text.contains("resourceSpans"), "{text}");
     assert!(text.contains("evop-sim"), "{text}");
 }
+
+#[test]
+fn profiling_never_changes_a_measured_result() {
+    use evop::experiments::{
+        e1_dataflow, e1_dataflow_profiled, e6_flash_crowd, e6_flash_crowd_profiled,
+    };
+    use evop::obs::Profiler;
+
+    // The profiler measures wall time around the virtual-time experiment;
+    // it must be observation only. Same seed, profiled vs unprofiled,
+    // every measured field identical.
+    let prof = Profiler::new();
+    assert_eq!(e1_dataflow(42), e1_dataflow_profiled(42, &prof));
+    assert_eq!(e6_flash_crowd(40, 4, 42), e6_flash_crowd_profiled(40, 4, 42, &prof));
+
+    // And the profiler did actually observe the runs: both experiment
+    // roots show up as profile tree roots with recorded calls.
+    let report = prof.report();
+    for root in ["e1.request", "e6.cold", "e6.warm"] {
+        let stats = report.op(root).unwrap_or_else(|| panic!("{root} profiled"));
+        assert!(stats.calls >= 1, "{root} recorded {} calls", stats.calls);
+    }
+}
