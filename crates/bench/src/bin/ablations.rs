@@ -29,7 +29,8 @@ fn a1() {
         &[SimDuration::from_secs(5), SimDuration::from_secs(15), SimDuration::from_secs(60)],
         &[2, 3, 5],
         SEED,
-    );
+    )
+    .expect("a1 runs");
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -49,7 +50,7 @@ fn a1() {
 
 fn a2() {
     println!("\n--- A2: warm-pool size vs time-to-first-result (40-user flash crowd)");
-    let rows = ablate_warm_pool(40, &[0, 2, 4, 8], SEED);
+    let rows = ablate_warm_pool(40, &[0, 2, 4, 8], SEED).expect("a2 runs");
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -66,7 +67,7 @@ fn a2() {
 
 fn a3() {
     println!("\n--- A3: private-cloud size vs burst depth (80-user ramp)");
-    let rows = ablate_private_capacity(&[4, 8, 16, 32], SEED);
+    let rows = ablate_private_capacity(&[4, 8, 16, 32], SEED).expect("a3 runs");
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -82,7 +83,7 @@ fn a3() {
 
 fn a4() {
     println!("\n--- A4: topographic-index discretisation (vs 64-class reference)");
-    let rows = ablate_ti_bins(&[2, 4, 8, 16, 32], SEED);
+    let rows = ablate_ti_bins(&[2, 4, 8, 16, 32], SEED).expect("a4 runs");
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -98,7 +99,7 @@ fn a4() {
 
 fn a5() {
     println!("\n--- A5: replica count vs stateful session loss (one replica killed)");
-    let rows = ablate_replicas(&[2, 3, 4, 8, 16], 1000, SEED);
+    let rows = ablate_replicas(&[2, 3, 4, 8, 16], 1000, SEED).expect("a5 runs");
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -45,7 +45,7 @@ fn heading(id: &str, claim: &str) {
 
 fn e1(seed: u64) {
     heading("E1 (Fig 1)", "user request flows portal → broker → cloud → model → hydrograph");
-    let r = e1_dataflow(seed);
+    let r = e1_dataflow(seed).expect("e1 runs");
     println!("  session activation wait : {}", r.activation_wait);
     println!("  model-run latency       : {}", r.job_latency);
     println!("  push updates to browser : {}", r.push_updates);
@@ -54,7 +54,7 @@ fn e1(seed: u64) {
 
 fn e2(seed: u64) {
     heading("E2 (§IV-B)", "stateless REST survives replica failure; stateful SOAP does not");
-    let r = e2_rest_vs_soap(500, 4, seed);
+    let r = e2_rest_vs_soap(500, 4, seed).expect("e2 runs");
     println!(
         "{}",
         table(
@@ -82,7 +82,7 @@ fn e3(seed: u64) {
         "E3 (§IV-D/§VI)",
         "cloudburst on private saturation, retreat on underuse, cheaper than all-public",
     );
-    let r = e3_cloudburst(120, seed);
+    let r = e3_cloudburst(120, seed).expect("e3 runs");
     println!(
         "  burst at                : {}",
         r.burst_at.map(|t| t.to_string()).unwrap_or_default()
@@ -114,7 +114,7 @@ fn e4(seed: u64) {
         [FailureMode::Hang, FailureMode::NetworkBlackhole, FailureMode::Crash]
             .into_iter()
             .map(|mode| {
-                let r = e4_failure_recovery(mode, 6, seed);
+                let r = e4_failure_recovery(mode, 6, seed).expect("e4 runs");
                 vec![
                     mode.to_string(),
                     r.signature.clone().unwrap_or_default(),
@@ -132,7 +132,8 @@ fn e5(seed: u64) {
     let rows: Vec<Vec<String>> = [4usize, 16, 64, 200]
         .into_iter()
         .map(|runs| {
-            let r = e5_elastic_monte_carlo(runs, SimDuration::from_secs(300), 4, seed);
+            let r = e5_elastic_monte_carlo(runs, SimDuration::from_secs(300), 4, seed)
+                .expect("e5 runs");
             vec![
                 runs.to_string(),
                 r.quota_makespan.to_string(),
@@ -147,7 +148,7 @@ fn e5(seed: u64) {
 
 fn e6(seed: u64) {
     heading("E6 (§VI)", "flash crowd: pre-bootstrapping cuts time-to-first-result at bounded cost");
-    let r = e6_flash_crowd(40, 4, seed);
+    let r = e6_flash_crowd(40, 4, seed).expect("e6 runs");
     println!(
         "{}",
         table(
@@ -172,7 +173,7 @@ fn e6(seed: u64) {
 
 fn e7(seed: u64) {
     heading("E7 (§IV-D)", "streamlined bundles beat incubator images on time-to-serve");
-    let r = e7_image_kinds(5, SimDuration::from_secs(120), seed);
+    let r = e7_image_kinds(5, SimDuration::from_secs(120), seed).expect("e7 runs");
     println!(
         "{}",
         table(
@@ -195,7 +196,7 @@ fn e7(seed: u64) {
 
 fn e8(seed: u64) {
     heading("E8 (§VI)", "placement-policy swap through the cross-cloud API (no caller changes)");
-    let r = e8_policy_swap(6, seed);
+    let r = e8_policy_swap(6, seed).expect("e8 runs");
     let fmt = |c: &PlacementCounts| {
         c.iter().map(|(p, n)| format!("{p}:{n}")).collect::<Vec<_>>().join(" ")
     };
@@ -217,7 +218,7 @@ fn e8(seed: u64) {
 
 fn e9(seed: u64) {
     heading("E9 (Fig 6/§V-B)", "land-use scenarios order flood peaks as stakeholders expect");
-    let r = e9_scenarios(&Catchment::morland(), 30, seed);
+    let r = e9_scenarios(&Catchment::morland(), 30, seed).expect("e9 runs");
     let rows: Vec<Vec<String>> = r
         .rows
         .iter()
@@ -240,7 +241,7 @@ fn e9(seed: u64) {
 
 fn e10(seed: u64) {
     heading("E10 (Fig 5)", "multimodal widget aligns sensors and webcam frames");
-    let r = e10_multimodal(seed);
+    let r = e10_multimodal(seed).expect("e10 runs");
     println!("  probes                   : {}", r.probes);
     println!("  frame hit rate           : {:.1} %", r.frame_hit_rate * 100.0);
     println!("  mean frame lag           : {:.0} s", r.mean_frame_lag_secs);
@@ -296,7 +297,7 @@ fn e12(seed: u64) {
 
 fn e13(seed: u64) {
     heading("E13 (§VIII)", "workflow composition with provenance and deterministic replay");
-    let r = e13_workflow(seed);
+    let r = e13_workflow(seed).expect("e13 runs");
     println!("  nodes                : {}", r.nodes);
     println!("  verdict              : {}", r.verdict);
     println!("  replay reproduces all: {}", r.replay_matches);
@@ -304,7 +305,7 @@ fn e13(seed: u64) {
 
 fn e14(seed: u64) {
     heading("E14 (Figs 2-3)", "storyboard steps verified against live features");
-    let (storyboard, coverage) = e14_verify_left(seed);
+    let (storyboard, coverage) = e14_verify_left(seed).expect("e14 runs");
     println!(
         "  {} steps, {} verified ({:.0} %)",
         coverage.steps,

@@ -30,9 +30,9 @@ fn main() {
     let opts = spec.parse_or_exit();
     let seed = opts.seed.unwrap_or_else(|| spec.default_seed());
 
-    let (r1, c1) = e1_dataflow_traced(seed);
-    let (r3, c3) = e3_cloudburst_traced(120, seed);
-    let (r4, c4) = e4_failure_recovery_traced(FailureMode::Crash, 8, seed);
+    let (r1, c1) = e1_dataflow_traced(seed).expect("e1 runs");
+    let (r3, c3) = e3_cloudburst_traced(120, seed).expect("e3 runs");
+    let (r4, c4) = e4_failure_recovery_traced(FailureMode::Crash, 8, seed).expect("e4 runs");
 
     const E1_COUNTERS: &[&str] =
         &["router_requests_total", "wps_executions_total", "broker_placements_total"];

@@ -138,7 +138,7 @@ impl CacheReport {
 /// Runs the full comparison: the two E6 baselines, then the coalesced
 /// configuration over the same virtual horizon.
 pub fn flash_crowd_report(crowd: usize, seed: u64) -> CacheReport {
-    let E6Result { cold, warm, .. } = e6_flash_crowd(crowd, 4, seed);
+    let E6Result { cold, warm, .. } = e6_flash_crowd(crowd, 4, seed).expect("e6 runs");
     let coalesced = run_coalesced(crowd, seed);
     CacheReport { seed, crowd, cold, warm, coalesced }
 }

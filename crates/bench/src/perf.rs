@@ -303,7 +303,7 @@ pub fn bench_e1(seed: u64, reps: usize) -> BenchRun {
         }
         last = Some(result);
     }
-    let result = last.expect("at least one rep");
+    let result = last.expect("at least one rep").expect("e1 runs");
     let report = prof.report();
 
     let mut metrics = BTreeMap::new();
@@ -345,7 +345,7 @@ pub fn bench_e6(seed: u64, reps: usize) -> BenchRun {
         }
         last = Some(result);
     }
-    let result = last.expect("at least one rep");
+    let result = last.expect("at least one rep").expect("e6 runs");
     let report = prof.report();
 
     let mut metrics = BTreeMap::new();

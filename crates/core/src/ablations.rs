@@ -15,7 +15,7 @@ use evop_models::{Forcing, Topmodel, TopmodelParams};
 use evop_sim::stats::Percentiles;
 use evop_sim::SimDuration;
 
-use crate::experiments::e2_rest_vs_soap;
+use crate::experiments::{e2_rest_vs_soap, invariant, ExperimentError};
 
 // ====================================================================
 // A1 — health-check cadence vs detection delay and false positives
@@ -38,11 +38,16 @@ pub struct HealthCheckRow {
 /// Sweeps the health-check cadence. For each `(interval, consecutive)`
 /// combination: one instance is saturated with legitimate work (the
 /// false-positive control), a second is hung (the detection probe).
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when the broker refuses a connect or
+/// the probe instance the sweep relies on cannot be established.
 pub fn ablate_health_check(
     intervals: &[SimDuration],
     consecutives: &[u32],
     seed: u64,
-) -> Vec<HealthCheckRow> {
+) -> Result<Vec<HealthCheckRow>, ExperimentError> {
     let mut rows = Vec::new();
     for &check_interval in intervals {
         for &consecutive in consecutives {
@@ -55,7 +60,7 @@ pub fn ablate_health_check(
             let mut broker = Broker::new(config, seed);
 
             // Control: a busy, healthy instance (all vCPUs saturated).
-            let busy = broker.connect("busy-user", "topmodel").expect("served");
+            let busy = broker.connect("busy-user", "topmodel")?;
             broker.advance(SimDuration::from_secs(200));
             for _ in 0..16 {
                 let _ = broker.run_model(busy, SimDuration::from_secs(3600));
@@ -66,19 +71,24 @@ pub fn ablate_health_check(
             // serving instance other than the busy control (the balancer may
             // shuffle individual sessions in between).
             for i in 0..broker.config().slots_per_instance() {
-                broker.connect(&format!("probe-{i}"), "topmodel").expect("served");
+                broker.connect(&format!("probe-{i}"), "topmodel")?;
             }
             broker.advance(SimDuration::from_secs(200));
-            let busy_instance = broker.session(busy).and_then(|s| s.instance()).expect("bound");
+            let busy_instance = broker
+                .session(busy)
+                .and_then(|s| s.instance())
+                .ok_or_else(|| invariant("control session bound"))?;
             let probe_instance = broker
                 .cloud()
                 .instances()
                 .find(|i| i.is_running() && i.id() != busy_instance)
                 .map(|i| i.id())
-                .expect("a second instance must exist");
+                .ok_or_else(|| invariant("a second instance must exist"))?;
 
             let injected_at = broker.now();
-            broker.inject_failure(probe_instance, FailureMode::Hang).expect("instance exists");
+            broker
+                .inject_failure(probe_instance, FailureMode::Hang)
+                .map_err(|_| invariant("probe instance exists"))?;
             broker.advance(check_interval.saturating_mul(u64::from(consecutive) * 4));
 
             let detection_delay = broker.events().iter().find_map(|e| match e {
@@ -104,7 +114,7 @@ pub fn ablate_health_check(
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 // ====================================================================
@@ -125,7 +135,15 @@ pub struct WarmPoolRow {
 }
 
 /// Sweeps the warm-pool size against a fixed flash crowd.
-pub fn ablate_warm_pool(crowd: usize, sizes: &[u32], seed: u64) -> Vec<WarmPoolRow> {
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when the broker refuses a connect.
+pub fn ablate_warm_pool(
+    crowd: usize,
+    sizes: &[u32],
+    seed: u64,
+) -> Result<Vec<WarmPoolRow>, ExperimentError> {
     sizes
         .iter()
         .map(|&pool| {
@@ -141,7 +159,7 @@ pub fn ablate_warm_pool(crowd: usize, sizes: &[u32], seed: u64) -> Vec<WarmPoolR
             let mut jobs = Vec::new();
             let mut pending: Vec<SessionId> = Vec::new();
             for i in 0..crowd {
-                let s = broker.connect(&format!("flash-{i}"), "topmodel").expect("served");
+                let s = broker.connect(&format!("flash-{i}"), "topmodel")?;
                 match broker.run_model(s, SimDuration::from_secs(60)) {
                     Ok(job) => jobs.push((s, job)),
                     Err(_) => pending.push(s),
@@ -177,7 +195,7 @@ pub fn ablate_warm_pool(crowd: usize, sizes: &[u32], seed: u64) -> Vec<WarmPoolR
                     first_results.record(finished.saturating_since(arrival).as_secs_f64());
                 }
             }
-            WarmPoolRow {
+            Ok(WarmPoolRow {
                 warm_pool: pool,
                 median_first_result: SimDuration::from_secs_f64(
                     first_results.median().unwrap_or(f64::INFINITY.min(1e9)),
@@ -186,7 +204,7 @@ pub fn ablate_warm_pool(crowd: usize, sizes: &[u32], seed: u64) -> Vec<WarmPoolR
                     first_results.p95().unwrap_or(f64::INFINITY.min(1e9)),
                 ),
                 cost: broker.total_cost(),
-            }
+            })
         })
         .collect()
 }
@@ -208,7 +226,14 @@ pub struct CapacityRow {
 
 /// Sweeps the private-cloud size under a fixed 80-user ramp: smaller
 /// private clouds burst deeper and pay more.
-pub fn ablate_private_capacity(capacities: &[u32], seed: u64) -> Vec<CapacityRow> {
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when the broker refuses a connect.
+pub fn ablate_private_capacity(
+    capacities: &[u32],
+    seed: u64,
+) -> Result<Vec<CapacityRow>, ExperimentError> {
     capacities
         .iter()
         .map(|&private_vcpus| {
@@ -223,20 +248,16 @@ pub fn ablate_private_capacity(capacities: &[u32], seed: u64) -> Vec<CapacityRow
             for minute in 0..60u64 {
                 let target = (80 * (minute as usize + 1)) / 60;
                 while sessions.len() < target {
-                    sessions.push(
-                        broker
-                            .connect(&format!("u{}", sessions.len()), "topmodel")
-                            .expect("served"),
-                    );
+                    sessions.push(broker.connect(&format!("u{}", sessions.len()), "topmodel")?);
                 }
                 broker.advance(SimDuration::from_secs(60));
                 peak_public = peak_public.max(broker.provider_mix().public_instances);
             }
-            CapacityRow {
+            Ok(CapacityRow {
                 private_vcpus,
                 peak_public_instances: peak_public,
                 cost: broker.total_cost(),
-            }
+            })
         })
         .collect()
 }
@@ -258,7 +279,12 @@ pub struct TiBinsRow {
 
 /// Sweeps the number of topographic-index classes: the coarse-grained
 /// model must converge to the fine-grained reference.
-pub fn ablate_ti_bins(bins: &[usize], seed: u64) -> Vec<TiBinsRow> {
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when the reference Topmodel run rejects
+/// its parameters.
+pub fn ablate_ti_bins(bins: &[usize], seed: u64) -> Result<Vec<TiBinsRow>, ExperimentError> {
     use rand::SeedableRng;
     let catchment = Catchment::morland();
     let generator = evop_data::synthetic::WeatherGenerator::for_catchment(&catchment, seed);
@@ -274,19 +300,19 @@ pub fn ablate_ti_bins(bins: &[usize], seed: u64) -> Vec<TiBinsRow> {
     let run = |classes: usize| {
         Topmodel::new(dem.ti_distribution(classes), catchment.area_km2())
             .run(&TopmodelParams::default(), &forcing)
-            .expect("default params valid")
-            .discharge_m3s
+            .map(|out| out.discharge_m3s)
+            .map_err(ExperimentError::Model)
     };
-    let reference = run(64);
+    let reference = run(64)?;
 
     bins.iter()
         .map(|&classes| {
-            let q = run(classes);
-            TiBinsRow {
+            let q = run(classes)?;
+            Ok(TiBinsRow {
                 bins: classes,
                 peak_m3s: q.peak().map(|(_, v)| v).unwrap_or(f64::NAN),
                 nse_vs_reference: nse(&q, &reference),
-            }
+            })
         })
         .collect()
 }
@@ -309,16 +335,24 @@ pub struct ReplicaRow {
 /// Sweeps the replica count in the E2 failover workload: more replicas
 /// dilute — but never remove — the stateful loss; statelessness is flat at
 /// zero.
-pub fn ablate_replicas(replica_counts: &[usize], workflows: usize, seed: u64) -> Vec<ReplicaRow> {
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when the underlying E2 run fails.
+pub fn ablate_replicas(
+    replica_counts: &[usize],
+    workflows: usize,
+    seed: u64,
+) -> Result<Vec<ReplicaRow>, ExperimentError> {
     replica_counts
         .iter()
         .map(|&replicas| {
-            let r = e2_rest_vs_soap(workflows, replicas, seed);
-            ReplicaRow {
+            let r = e2_rest_vs_soap(workflows, replicas, seed)?;
+            Ok(ReplicaRow {
                 replicas,
                 soap_loss_rate: r.soap_lost_sessions as f64 / r.workflows as f64,
                 rest_loss_rate: (r.workflows - r.rest_completed) as f64 / r.workflows as f64,
-            }
+            })
         })
         .collect()
 }
@@ -339,7 +373,8 @@ mod tests {
             &[SimDuration::from_secs(10), SimDuration::from_secs(30)],
             &[2, 4],
             7,
-        );
+        )
+        .expect("a1 runs");
         assert_eq!(rows.len(), 4);
         for row in &rows {
             let delay = row.detection_delay.expect("hang must be detected");
@@ -358,7 +393,7 @@ mod tests {
 
     #[test]
     fn a4_coarse_ti_converges_to_reference() {
-        let rows = ablate_ti_bins(&[2, 8, 32], 42);
+        let rows = ablate_ti_bins(&[2, 8, 32], 42).expect("a4 runs");
         assert!(rows[0].nse_vs_reference < rows[2].nse_vs_reference + 1e-9);
         assert!(rows[2].nse_vs_reference > 0.99, "32 classes ≈ 64 classes");
         assert!(rows.iter().all(|r| r.peak_m3s.is_finite()));
@@ -366,7 +401,7 @@ mod tests {
 
     #[test]
     fn a5_loss_dilutes_with_replicas_but_never_reaches_zero() {
-        let rows = ablate_replicas(&[2, 4, 8], 400, 11);
+        let rows = ablate_replicas(&[2, 4, 8], 400, 11).expect("a5 runs");
         assert!(rows[0].soap_loss_rate > rows[2].soap_loss_rate);
         assert!(rows[2].soap_loss_rate > 0.0);
         assert!(rows.iter().all(|r| r.rest_loss_rate == 0.0));

@@ -10,8 +10,8 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use evop_broker::{Broker, BrokerConfig, BrokerEvent, SessionId, SessionState};
-use evop_cloud::{CloudSim, FailureMode, JobState, MachineImage, Provider};
+use evop_broker::{Broker, BrokerConfig, BrokerError, BrokerEvent, SessionId, SessionState};
+use evop_cloud::{CloudError, CloudSim, FailureMode, JobState, MachineImage, Provider};
 use evop_data::geo::BoundingBox;
 use evop_data::{Catchment, SensorId};
 use evop_models::objectives::FloodMetrics;
@@ -19,11 +19,12 @@ use evop_models::scenarios::Scenario;
 use evop_obs::{MetricsRegistry, Profiler, SpanRecord, TimelineReport, TraceId, Tracer};
 use evop_portal::journey::{simulate_cohort, workshop_cohort, CohortStats, JourneyConfig};
 use evop_portal::map::{AssetMap, Marker, MarkerKind};
-use evop_portal::storyboard::{CoverageReport, Storyboard};
+use evop_portal::storyboard::{CoverageReport, Storyboard, StoryboardError};
 use evop_portal::widgets::{ModelChoice, MultimodalWidget};
 use evop_services::push::{simulate_polling, simulate_push, TrafficReport};
 use evop_services::rest::Router;
 use evop_services::soap::SoapEndpoint;
+use evop_services::wps::WpsError;
 use evop_services::{Method, Request, Response};
 use evop_sim::stats::{Percentiles, Running};
 use evop_sim::{SimDuration, SimRng, SimTime};
@@ -33,6 +34,92 @@ use serde_json::{json, Value};
 
 use crate::api;
 use crate::observatory::Evop;
+
+// ====================================================================
+// Typed harness failures
+// ====================================================================
+
+/// A typed failure from an experiment or ablation harness.
+///
+/// The harnesses used to `.expect()` their way along the happy path;
+/// every one of those panic sites is now a variant here, so callers
+/// (integration tests, bench bins, the REST API) decide how a failed
+/// run surfaces. [`ExperimentError::Invariant`] covers reads of state
+/// the harness itself just established — a `None` there is a harness
+/// bug, not bad input, but it still must not abort a library caller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// The resource broker refused a session operation.
+    Broker(BrokerError),
+    /// The cloud simulator refused a launch or job submission.
+    Cloud(CloudError),
+    /// A WPS process execution failed.
+    Wps(WpsError),
+    /// Workflow composition, execution or replay failed.
+    Workflow(evop_workflow::WorkflowError),
+    /// A storyboard requirement id was unknown.
+    Storyboard(StoryboardError),
+    /// A hydrological model rejected its parameters.
+    Model(String),
+    /// The modelling widget rejected a run.
+    Widget(String),
+    /// State the harness established was missing when read back.
+    Invariant(&'static str),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Broker(e) => write!(f, "broker: {e}"),
+            ExperimentError::Cloud(e) => write!(f, "cloud: {e}"),
+            ExperimentError::Wps(e) => write!(f, "wps: {e}"),
+            ExperimentError::Workflow(e) => write!(f, "workflow: {e}"),
+            ExperimentError::Storyboard(e) => write!(f, "storyboard: {e}"),
+            ExperimentError::Model(e) => write!(f, "model: {e}"),
+            ExperimentError::Widget(e) => write!(f, "widget: {e}"),
+            ExperimentError::Invariant(what) => {
+                write!(f, "harness invariant violated: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<BrokerError> for ExperimentError {
+    fn from(e: BrokerError) -> ExperimentError {
+        ExperimentError::Broker(e)
+    }
+}
+
+impl From<CloudError> for ExperimentError {
+    fn from(e: CloudError) -> ExperimentError {
+        ExperimentError::Cloud(e)
+    }
+}
+
+impl From<WpsError> for ExperimentError {
+    fn from(e: WpsError) -> ExperimentError {
+        ExperimentError::Wps(e)
+    }
+}
+
+impl From<evop_workflow::WorkflowError> for ExperimentError {
+    fn from(e: evop_workflow::WorkflowError) -> ExperimentError {
+        ExperimentError::Workflow(e)
+    }
+}
+
+impl From<StoryboardError> for ExperimentError {
+    fn from(e: StoryboardError) -> ExperimentError {
+        ExperimentError::Storyboard(e)
+    }
+}
+
+/// Shorthand for the `Option -> Result` conversions the harnesses do.
+pub(crate) fn invariant(what: &'static str) -> ExperimentError {
+    ExperimentError::Invariant(what)
+}
 
 // ====================================================================
 // Trace capture: the observability side-car of an experiment run
@@ -92,7 +179,13 @@ pub struct E1Result {
 
 /// Runs experiment E1: portal → Resource Broker → cloud instance → model →
 /// hydrograph, with push updates on the session channel.
-pub fn e1_dataflow(seed: u64) -> E1Result {
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when any pipeline stage refuses — the
+/// broker cannot serve the model, the WPS rejects the run, or the job
+/// state the harness just created cannot be read back.
+pub fn e1_dataflow(seed: u64) -> Result<E1Result, ExperimentError> {
     e1_dataflow_profiled(seed, &Profiler::disabled())
 }
 
@@ -101,7 +194,7 @@ pub fn e1_dataflow(seed: u64) -> E1Result {
 /// time to build, broker, WPS and collection phases. Profiling is
 /// observation only — the measured result is identical to the
 /// unprofiled run (`tests/observability.rs` pins that).
-pub fn e1_dataflow_profiled(seed: u64, prof: &Profiler) -> E1Result {
+pub fn e1_dataflow_profiled(seed: u64, prof: &Profiler) -> Result<E1Result, ExperimentError> {
     let _span = prof.enter("e1.request");
     let mut evop = {
         let _build = prof.enter("e1.build_observatory");
@@ -112,7 +205,7 @@ pub fn e1_dataflow_profiled(seed: u64, prof: &Profiler) -> E1Result {
     // 1. The user opens the modelling widget: the broker binds a session.
     let session = {
         let _connect = prof.enter("e1.broker_connect");
-        evop.broker_mut().connect("stakeholder", "topmodel").expect("library serves topmodel")
+        evop.broker_mut().connect("stakeholder", "topmodel")?
     };
     {
         let _boot = prof.enter("e1.instance_boot");
@@ -122,10 +215,7 @@ pub fn e1_dataflow_profiled(seed: u64, prof: &Profiler) -> E1Result {
     // 2. The widget submits a model run to the session's instance.
     let job = {
         let _run = prof.enter("e1.run_model");
-        let job = evop
-            .broker_mut()
-            .run_model(session, SimDuration::from_secs(45))
-            .expect("session active after boot");
+        let job = evop.broker_mut().run_model(session, SimDuration::from_secs(45))?;
         evop.broker_mut().advance(SimDuration::from_secs(300));
         job
     };
@@ -134,35 +224,38 @@ pub fn e1_dataflow_profiled(seed: u64, prof: &Profiler) -> E1Result {
     let out = {
         let _wps = prof.enter("e1.wps_execute");
         evop.wps(&id)
-            .expect("every built catchment has a WPS endpoint")
-            .execute("topmodel", json!({}))
-            .expect("default inputs are valid")
+            .ok_or_else(|| invariant("every built catchment has a WPS endpoint"))?
+            .execute("topmodel", json!({}))?
     };
 
     let _collect = prof.enter("e1.collect");
     let broker = evop.broker();
-    let session_ref = broker.session(session).expect("session exists");
-    let instance = session_ref.instance().expect("active session");
+    let session_ref = broker.session(session).ok_or_else(|| invariant("session exists"))?;
+    let instance = session_ref.instance().ok_or_else(|| invariant("active session"))?;
     let job_latency = broker
         .cloud()
         .instance(instance)
         .and_then(|i| i.job(job))
         .and_then(|j| j.latency())
-        .expect("job completed");
+        .ok_or_else(|| invariant("job completed"))?;
 
-    E1Result {
-        activation_wait: session_ref.activation_wait().expect("activated"),
+    Ok(E1Result {
+        activation_wait: session_ref
+            .activation_wait()
+            .ok_or_else(|| invariant("session activated"))?,
         job_latency,
         push_updates: session_ref.client_channel().drain().len(),
-        peak_m3s: out["hydrograph"]["peak_m3s"].as_f64().expect("peak present"),
-    }
+        peak_m3s: out["hydrograph"]["peak_m3s"]
+            .as_f64()
+            .ok_or_else(|| invariant("hydrograph carries a peak"))?,
+    })
 }
 
 /// Runs E1 with the full request on one trace: a root `e1.request` span
 /// covers the broker connect, instance boot, model run and the WPS
 /// execution dispatched through the portal's REST router (the Fig. 1
 /// pipeline as a single causal timeline).
-pub fn e1_dataflow_traced(seed: u64) -> (E1Result, TraceCapture) {
+pub fn e1_dataflow_traced(seed: u64) -> Result<(E1Result, TraceCapture), ExperimentError> {
     let mut evop = Evop::builder().seed(seed).days(10).build();
     let id = evop.catchments()[0].id().clone();
 
@@ -171,17 +264,15 @@ pub fn e1_dataflow_traced(seed: u64) -> (E1Result, TraceCapture) {
     let ctx = root.context();
 
     // 1. The user opens the modelling widget: the broker binds a session.
-    let session = evop
-        .broker_mut()
-        .connect_with_context("stakeholder", "topmodel", Some(&ctx))
-        .expect("library serves topmodel");
+    let session = evop.broker_mut().connect_with_context("stakeholder", "topmodel", Some(&ctx))?;
     evop.broker_mut().advance(SimDuration::from_secs(180));
 
     // 2. The widget submits a model run to the session's instance.
-    let job = evop
-        .broker_mut()
-        .run_model_with_context(session, SimDuration::from_secs(45), Some(&ctx))
-        .expect("session active after boot");
+    let job = evop.broker_mut().run_model_with_context(
+        session,
+        SimDuration::from_secs(45),
+        Some(&ctx),
+    )?;
     evop.broker_mut().advance(SimDuration::from_secs(300));
 
     // 3. The hydrograph request goes through the portal API with the
@@ -194,28 +285,34 @@ pub fn e1_dataflow_traced(seed: u64) -> (E1Result, TraceCapture) {
             .json(&json!({}))
             .traced(&ctx),
     );
-    assert!(resp.status().is_success(), "execute failed: {:?}", resp.status());
-    let out: Value = resp.json_body().expect("json response");
+    if !resp.status().is_success() {
+        return Err(invariant("traced execute request must succeed"));
+    }
+    let out: Value = resp.json_body().map_err(|_| invariant("execute response is JSON"))?;
     root.finish();
 
     let broker = evop.broker();
-    let session_ref = broker.session(session).expect("session exists");
-    let instance = session_ref.instance().expect("active session");
+    let session_ref = broker.session(session).ok_or_else(|| invariant("session exists"))?;
+    let instance = session_ref.instance().ok_or_else(|| invariant("active session"))?;
     let job_latency = broker
         .cloud()
         .instance(instance)
         .and_then(|i| i.job(job))
         .and_then(|j| j.latency())
-        .expect("job completed");
+        .ok_or_else(|| invariant("job completed"))?;
 
     let result = E1Result {
-        activation_wait: session_ref.activation_wait().expect("activated"),
+        activation_wait: session_ref
+            .activation_wait()
+            .ok_or_else(|| invariant("session activated"))?,
         job_latency,
         push_updates: session_ref.client_channel().drain().len(),
-        peak_m3s: out["hydrograph"]["peak_m3s"].as_f64().expect("peak present"),
+        peak_m3s: out["hydrograph"]["peak_m3s"]
+            .as_f64()
+            .ok_or_else(|| invariant("hydrograph carries a peak"))?,
     };
     let capture = TraceCapture::of(evop.tracer(), evop.metrics(), ctx.trace_id);
-    (result, capture)
+    Ok((result, capture))
 }
 
 // ====================================================================
@@ -241,11 +338,19 @@ pub struct E2Result {
 /// `replicas` service replicas; one replica is killed halfway through
 /// every workflow.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `replicas < 2` (failover needs a survivor).
-pub fn e2_rest_vs_soap(workflows: usize, replicas: usize, seed: u64) -> E2Result {
-    assert!(replicas >= 2, "failover needs at least two replicas");
+/// Returns [`ExperimentError::Invariant`] if `replicas < 2` (failover
+/// needs a survivor) or a replica's response violates the protocol the
+/// harness itself set up.
+pub fn e2_rest_vs_soap(
+    workflows: usize,
+    replicas: usize,
+    seed: u64,
+) -> Result<E2Result, ExperimentError> {
+    if replicas < 2 {
+        return Err(invariant("failover needs at least two replicas"));
+    }
     let mut rng = SimRng::new(seed).fork("e2");
     const STEPS: usize = 4;
 
@@ -277,15 +382,17 @@ pub fn e2_rest_vs_soap(workflows: usize, replicas: usize, seed: u64) -> E2Result
                 rest_replicas[victim] = Some(router.clone());
             }
             // Round-robin over live replicas.
-            let replica =
-                rest_replicas[(w + step) % replicas].as_ref().expect("replaced synchronously");
+            let replica = rest_replicas[(w + step) % replicas]
+                .as_ref()
+                .ok_or_else(|| invariant("replica replaced synchronously"))?;
             let resp = replica.dispatch(
                 &Request::post("/experiment/step")
                     .json(&json!({ "acc": acc, "step": step as u64 + 1 })),
             );
             if resp.status().is_success() {
-                let body: Value = resp.json_body().expect("json response");
-                acc = body["acc"].as_u64().expect("acc");
+                let body: Value =
+                    resp.json_body().map_err(|_| invariant("step response is JSON"))?;
+                acc = body["acc"].as_u64().ok_or_else(|| invariant("step response has acc"))?;
             } else {
                 rest_lost_steps += 1;
                 done = false;
@@ -322,13 +429,13 @@ pub fn e2_rest_vs_soap(workflows: usize, replicas: usize, seed: u64) -> E2Result
         }
     }
 
-    E2Result {
+    Ok(E2Result {
         workflows,
         rest_completed,
         rest_lost_steps,
         soap_completed,
         soap_lost_sessions: soap_lost,
-    }
+    })
 }
 
 // ====================================================================
@@ -365,7 +472,12 @@ pub struct E3Result {
 
 /// Runs experiment E3: ramps `peak_users` up over an hour, holds, then
 /// ramps down, sampling the provider mix each minute.
-pub fn e3_cloudburst(peak_users: usize, seed: u64) -> E3Result {
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when the broker refuses a connect or
+/// disconnect during the ramp.
+pub fn e3_cloudburst(peak_users: usize, seed: u64) -> Result<E3Result, ExperimentError> {
     let mut broker = e3_broker(seed);
     run_e3(&mut broker, peak_users)
 }
@@ -373,12 +485,24 @@ pub fn e3_cloudburst(peak_users: usize, seed: u64) -> E3Result {
 /// Runs E3 and captures the first user's session trace — connect, bind,
 /// cloudburst placements and eventual scale-down migration all on one
 /// timeline — plus the broker/cloud metrics for the whole ramp.
-pub fn e3_cloudburst_traced(peak_users: usize, seed: u64) -> (E3Result, TraceCapture) {
+///
+/// # Errors
+///
+/// As [`e3_cloudburst`], plus when no trace was recorded at all.
+pub fn e3_cloudburst_traced(
+    peak_users: usize,
+    seed: u64,
+) -> Result<(E3Result, TraceCapture), ExperimentError> {
     let mut broker = e3_broker(seed);
-    let result = run_e3(&mut broker, peak_users);
-    let trace = broker.tracer().trace_ids().first().copied().expect("connects recorded");
+    let result = run_e3(&mut broker, peak_users)?;
+    let trace = broker
+        .tracer()
+        .trace_ids()
+        .first()
+        .copied()
+        .ok_or_else(|| invariant("connects recorded a trace"))?;
     let capture = TraceCapture::of(broker.tracer(), broker.metrics(), trace);
-    (result, capture)
+    Ok((result, capture))
 }
 
 fn e3_broker(seed: u64) -> Broker {
@@ -390,7 +514,7 @@ fn e3_broker(seed: u64) -> Broker {
     Broker::new(config, seed)
 }
 
-fn run_e3(broker: &mut Broker, peak_users: usize) -> E3Result {
+fn run_e3(broker: &mut Broker, peak_users: usize) -> Result<E3Result, ExperimentError> {
     let mut timeline = Vec::new();
     let mut sessions: Vec<SessionId> = Vec::new();
     let minute = SimDuration::from_secs(60);
@@ -410,7 +534,7 @@ fn run_e3(broker: &mut Broker, peak_users: usize) -> E3Result {
         let target = peak_users * (minute_idx + 1) / 60;
         while sessions.len() < target {
             let user = format!("user-{}", sessions.len());
-            sessions.push(broker.connect(&user, "topmodel").expect("topmodel served"));
+            sessions.push(broker.connect(&user, "topmodel")?);
         }
         broker.advance(minute);
         timeline.push(sample(broker, &sessions));
@@ -426,7 +550,7 @@ fn run_e3(broker: &mut Broker, peak_users: usize) -> E3Result {
     for _ in 0..30 {
         for _ in 0..leaving_per_minute {
             if let Some(s) = remaining.pop() {
-                broker.disconnect(s).expect("session exists");
+                broker.disconnect(s)?;
             }
         }
         broker.advance(minute);
@@ -450,13 +574,13 @@ fn run_e3(broker: &mut Broker, peak_users: usize) -> E3Result {
     // full list for the same hours.
     let all_public_equivalent_cost = private_cost / 0.2 + public_cost;
 
-    E3Result {
+    Ok(E3Result {
         timeline,
         burst_at,
         retreat_at,
         hybrid_cost: private_cost + public_cost,
         all_public_equivalent_cost,
-    }
+    })
 }
 
 // ====================================================================
@@ -482,7 +606,16 @@ pub struct E4Result {
 
 /// Runs experiment E4 for one failure mode: binds `users` sessions to one
 /// instance, injects the failure, and watches the Load Balancer recover.
-pub fn e4_failure_recovery(mode: FailureMode, users: usize, seed: u64) -> E4Result {
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when the broker refuses a connect or
+/// the victim instance cannot be identified after binding.
+pub fn e4_failure_recovery(
+    mode: FailureMode,
+    users: usize,
+    seed: u64,
+) -> Result<E4Result, ExperimentError> {
     let mut broker = Broker::new(BrokerConfig::default(), seed);
     run_e4(&mut broker, mode, users)
 }
@@ -494,29 +627,41 @@ pub fn e4_failure_recovery_traced(
     mode: FailureMode,
     users: usize,
     seed: u64,
-) -> (E4Result, TraceCapture) {
+) -> Result<(E4Result, TraceCapture), ExperimentError> {
     let mut broker = Broker::new(BrokerConfig::default(), seed);
-    let result = run_e4(&mut broker, mode, users);
-    let trace = broker.tracer().trace_ids().first().copied().expect("connects recorded");
+    let result = run_e4(&mut broker, mode, users)?;
+    let trace = broker
+        .tracer()
+        .trace_ids()
+        .first()
+        .copied()
+        .ok_or_else(|| invariant("connects recorded a trace"))?;
     let capture = TraceCapture::of(broker.tracer(), broker.metrics(), trace);
-    (result, capture)
+    Ok((result, capture))
 }
 
-fn run_e4(broker: &mut Broker, mode: FailureMode, users: usize) -> E4Result {
+fn run_e4(
+    broker: &mut Broker,
+    mode: FailureMode,
+    users: usize,
+) -> Result<E4Result, ExperimentError> {
     let mut sessions = Vec::new();
     for i in 0..users {
-        sessions.push(broker.connect(&format!("user-{i}"), "topmodel").expect("served"));
+        sessions.push(broker.connect(&format!("user-{i}"), "topmodel")?);
     }
     broker.advance(SimDuration::from_secs(200)); // boot
 
-    let victim = broker.session(sessions[0]).and_then(|s| s.instance()).expect("bound");
+    let victim = broker
+        .session(*sessions.first().ok_or_else(|| invariant("at least one session"))?)
+        .and_then(|s| s.instance())
+        .ok_or_else(|| invariant("first session bound"))?;
     // Give the instance observable traffic so blackholes are detectable.
     for &s in &sessions {
         let _ = broker.run_model(s, SimDuration::from_secs(1800));
     }
 
     let injected_at = broker.now();
-    broker.inject_failure(victim, mode).expect("instance exists");
+    broker.inject_failure(victim, mode).map_err(|_| invariant("victim instance exists"))?;
     broker.advance(SimDuration::from_secs(600));
 
     let detection = broker.events().iter().find_map(|e| match e {
@@ -533,19 +678,22 @@ fn run_e4(broker: &mut Broker, mode: FailureMode, users: usize) -> E4Result {
     let lost = sessions
         .iter()
         .filter(|&&s| {
-            let session = broker.session(s).expect("exists");
-            session.state() != SessionState::Active || session.instance() == Some(victim)
+            // A vanished session counts as lost, as does one stuck on the
+            // dead instance or out of the Active state.
+            broker.session(s).is_none_or(|session| {
+                session.state() != SessionState::Active || session.instance() == Some(victim)
+            })
         })
         .count();
 
-    E4Result {
+    Ok(E4Result {
         mode,
         detection_delay: detection.as_ref().map(|(at, _)| at.saturating_since(injected_at)),
         signature: detection.map(|(_, sig)| sig),
         sessions_at_failure: users,
         sessions_migrated: migrated,
         sessions_lost: lost,
-    }
+    })
 }
 
 // ====================================================================
@@ -569,13 +717,18 @@ pub struct E5Result {
 
 /// Runs experiment E5: `runs` independent Monte Carlo model executions of
 /// `work` each, elastically vs under a `quota_vcpus` private-only quota.
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when provisioning yields no nodes, a
+/// job submission is refused, or a job never completes.
 pub fn e5_elastic_monte_carlo(
     runs: usize,
     work: SimDuration,
     quota_vcpus: u32,
     seed: u64,
-) -> E5Result {
-    let run_fleet = |elastic: bool| -> (SimDuration, usize) {
+) -> Result<E5Result, ExperimentError> {
+    let run_fleet = |elastic: bool| -> Result<(SimDuration, usize), ExperimentError> {
         let mut sim = CloudSim::new(seed);
         sim.register_provider(Provider::private_openstack("campus", quota_vcpus));
         sim.register_provider(Provider::public_aws("aws"));
@@ -595,12 +748,14 @@ pub fn e5_elastic_monte_carlo(
         let wanted = runs.min(64);
         let template = NodeTemplate::new("m1.small", image_id);
         let nodes = compute.provision_group(&mut sim, &template, wanted);
-        assert!(!nodes.is_empty(), "at least the quota must provision");
+        if nodes.is_empty() {
+            return Err(invariant("at least the quota must provision"));
+        }
 
         let mut jobs = Vec::with_capacity(runs);
         for i in 0..runs {
             let node = nodes[i % nodes.len()];
-            jobs.push((node, sim.run_model(node, "montecarlo", work).expect("instance live")));
+            jobs.push((node, sim.run_model(node, "montecarlo", work)?));
         }
         // Drive to completion.
         while let Some(t) = sim.next_event_time() {
@@ -616,19 +771,19 @@ pub fn e5_elastic_monte_carlo(
             })
             .max()
             .map(|t| t.saturating_since(SimTime::ZERO))
-            .expect("all jobs complete");
-        (makespan, nodes.len())
+            .ok_or_else(|| invariant("all jobs complete"))?;
+        Ok((makespan, nodes.len()))
     };
 
-    let (elastic_makespan, elastic_instances) = run_fleet(true);
-    let (quota_makespan, _) = run_fleet(false);
-    E5Result {
+    let (elastic_makespan, elastic_instances) = run_fleet(true)?;
+    let (quota_makespan, _) = run_fleet(false)?;
+    Ok(E5Result {
         runs,
         elastic_makespan,
         quota_makespan,
         elastic_instances,
         speedup: quota_makespan.as_secs_f64() / elastic_makespan.as_secs_f64().max(1e-9),
-    }
+    })
 }
 
 // ====================================================================
@@ -661,7 +816,15 @@ pub struct E6Result {
 
 /// Runs experiment E6: `crowd` users arrive in one burst; each immediately
 /// requests a model run; measured with and without a warm pool.
-pub fn e6_flash_crowd(crowd: usize, warm_pool: u32, seed: u64) -> E6Result {
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when the broker refuses a connect.
+pub fn e6_flash_crowd(
+    crowd: usize,
+    warm_pool: u32,
+    seed: u64,
+) -> Result<E6Result, ExperimentError> {
     e6_flash_crowd_profiled(crowd, warm_pool, seed, &Profiler::disabled())
 }
 
@@ -674,8 +837,8 @@ pub fn e6_flash_crowd_profiled(
     warm_pool: u32,
     seed: u64,
     prof: &Profiler,
-) -> E6Result {
-    let run = |label: &str, pool: u32| -> E6Config {
+) -> Result<E6Result, ExperimentError> {
+    let run = |label: &str, pool: u32| -> Result<E6Config, ExperimentError> {
         let _config_span = prof.enter(label);
         let config = BrokerConfig {
             private_capacity_vcpus: 16,
@@ -692,7 +855,7 @@ pub fn e6_flash_crowd_profiled(
         {
             let _submit = prof.enter("e6.submit_wave");
             for i in 0..crowd {
-                let s = broker.connect(&format!("flash-{i}"), "topmodel").expect("served");
+                let s = broker.connect(&format!("flash-{i}"), "topmodel")?;
                 match broker.run_model(s, SimDuration::from_secs(60)) {
                     Ok(job) => jobs.push((s, job)),
                     Err(_) => pending.push(s),
@@ -729,7 +892,7 @@ pub fn e6_flash_crowd_profiled(
                 first_results.record(finished.saturating_since(crowd_arrival).as_secs_f64());
             }
         }
-        E6Config {
+        Ok(E6Config {
             warm_pool: pool,
             median_first_result: SimDuration::from_secs_f64(
                 first_results.median().unwrap_or(f64::MAX.min(1e9)),
@@ -738,10 +901,10 @@ pub fn e6_flash_crowd_profiled(
                 first_results.p95().unwrap_or(f64::MAX.min(1e9)),
             ),
             cost: broker.total_cost(),
-        }
+        })
     };
 
-    E6Result { crowd, cold: run("e6.cold", 0), warm: run("e6.warm", warm_pool) }
+    Ok(E6Result { crowd, cold: run("e6.cold", 0)?, warm: run("e6.warm", warm_pool)? })
 }
 
 // ====================================================================
@@ -763,8 +926,17 @@ pub struct E7Result {
 
 /// Runs experiment E7: boots one instance from each image kind and runs
 /// `runs` sequential model executions of `work` each.
-pub fn e7_image_kinds(runs: usize, work: SimDuration, seed: u64) -> E7Result {
-    let measure = |streamlined: bool| -> (SimDuration, SimDuration) {
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when the launch or a job submission is
+/// refused, or a job never completes.
+pub fn e7_image_kinds(
+    runs: usize,
+    work: SimDuration,
+    seed: u64,
+) -> Result<E7Result, ExperimentError> {
+    let measure = |streamlined: bool| -> Result<(SimDuration, SimDuration), ExperimentError> {
         let mut sim = CloudSim::new(seed);
         sim.register_provider(Provider::private_openstack("campus", 8));
         let image = if streamlined {
@@ -774,10 +946,10 @@ pub fn e7_image_kinds(runs: usize, work: SimDuration, seed: u64) -> E7Result {
         };
         let image_id = image.id().clone();
         sim.register_image(image);
-        let node = sim.launch("campus", "m1.small", &image_id).expect("capacity");
+        let node = sim.launch("campus", "m1.small", &image_id)?;
         let mut jobs = Vec::new();
         for _ in 0..runs {
-            jobs.push(sim.run_model(node, "topmodel", work).expect("live"));
+            jobs.push(sim.run_model(node, "topmodel", work)?);
         }
         while let Some(t) = sim.next_event_time() {
             sim.advance_to(t);
@@ -789,26 +961,25 @@ pub fn e7_image_kinds(runs: usize, work: SimDuration, seed: u64) -> E7Result {
                     JobState::Completed { finished } => Some(finished),
                     _ => None,
                 })
-                .expect("completed")
+                .ok_or_else(|| invariant("job completed"))
         };
-        let first = finish(jobs[0]).saturating_since(SimTime::ZERO);
-        let total = jobs
-            .iter()
-            .map(|&j| finish(j))
-            .max()
-            .expect("jobs exist")
+        let first = finish(*jobs.first().ok_or_else(|| invariant("at least one run"))?)?
             .saturating_since(SimTime::ZERO);
-        (first, total)
+        let mut total = SimTime::ZERO;
+        for &j in &jobs {
+            total = total.max(finish(j)?);
+        }
+        Ok((first, total.saturating_since(SimTime::ZERO)))
     };
 
-    let (streamlined_first_result, streamlined_total) = measure(true);
-    let (incubator_first_result, incubator_total) = measure(false);
-    E7Result {
+    let (streamlined_first_result, streamlined_total) = measure(true)?;
+    let (incubator_first_result, incubator_total) = measure(false)?;
+    Ok(E7Result {
         streamlined_first_result,
         incubator_first_result,
         streamlined_total,
         incubator_total,
-    }
+    })
 }
 
 // ====================================================================
@@ -834,7 +1005,12 @@ pub struct E8Result {
 /// Runs experiment E8: provisions node groups under the default policy,
 /// hot-swaps to the paper's alternative, and provisions again — no caller
 /// changes.
-pub fn e8_policy_swap(nodes_per_kind: usize, seed: u64) -> E8Result {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Invariant`] when a provisioned node
+/// cannot be read back from the simulator.
+pub fn e8_policy_swap(nodes_per_kind: usize, seed: u64) -> Result<E8Result, ExperimentError> {
     let build = || {
         let mut sim = CloudSim::new(seed);
         sim.register_provider(Provider::private_openstack("campus", 64));
@@ -853,26 +1029,31 @@ pub fn e8_policy_swap(nodes_per_kind: usize, seed: u64) -> E8Result {
     let place = |sim: &mut CloudSim,
                  compute: &mut ComputeService,
                  image: &evop_cloud::ImageId,
-                 n: usize| {
+                 n: usize|
+     -> Result<PlacementCounts, ExperimentError> {
         let template = NodeTemplate::new("m1.small", image.clone());
         let mut counts = PlacementCounts::new();
         for node in compute.provision_group(sim, &template, n) {
-            let provider = sim.instance(node).expect("exists").provider().to_owned();
+            let provider = sim
+                .instance(node)
+                .ok_or_else(|| invariant("provisioned node exists"))?
+                .provider()
+                .to_owned();
             *counts.entry(provider).or_insert(0) += 1;
         }
-        counts
+        Ok(counts)
     };
 
     let (mut sim, mut compute, baked, inc) = build();
-    let before_streamlined = place(&mut sim, &mut compute, &baked, nodes_per_kind);
-    let before_incubator = place(&mut sim, &mut compute, &inc, nodes_per_kind);
+    let before_streamlined = place(&mut sim, &mut compute, &baked, nodes_per_kind)?;
+    let before_incubator = place(&mut sim, &mut compute, &inc, nodes_per_kind)?;
 
     let (mut sim, mut compute, baked, inc) = build();
     compute.set_policy(SplitByImageKind);
-    let after_streamlined = place(&mut sim, &mut compute, &baked, nodes_per_kind);
-    let after_incubator = place(&mut sim, &mut compute, &inc, nodes_per_kind);
+    let after_streamlined = place(&mut sim, &mut compute, &baked, nodes_per_kind)?;
+    let after_incubator = place(&mut sim, &mut compute, &inc, nodes_per_kind)?;
 
-    E8Result { before_streamlined, before_incubator, after_streamlined, after_incubator }
+    Ok(E8Result { before_streamlined, before_incubator, after_streamlined, after_incubator })
 }
 
 // ====================================================================
@@ -902,7 +1083,17 @@ pub struct E9Result {
 
 /// Runs experiment E9: all five scenarios under TOPMODEL and the FUSE
 /// ensemble on the given catchment.
-pub fn e9_scenarios(catchment: &Catchment, days: usize, seed: u64) -> E9Result {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Widget`] when the modelling widget rejects
+/// a scenario run, or [`ExperimentError::Invariant`] when a produced row
+/// goes missing.
+pub fn e9_scenarios(
+    catchment: &Catchment,
+    days: usize,
+    seed: u64,
+) -> Result<E9Result, ExperimentError> {
     let evop = Evop::builder().seed(seed).days(days).catchments(vec![catchment.clone()]).build();
     let id = catchment.id().clone();
     let mut widget = evop.modelling_widget(&id);
@@ -912,7 +1103,7 @@ pub fn e9_scenarios(catchment: &Catchment, days: usize, seed: u64) -> E9Result {
         widget.select_model(model);
         for scenario in Scenario::all() {
             widget.select_scenario(scenario);
-            widget.run(format!("{scenario}/{model:?}")).expect("valid params");
+            widget.run(format!("{scenario}/{model:?}")).map_err(ExperimentError::Widget)?;
         }
     }
     let comparisons = widget.compare();
@@ -924,22 +1115,26 @@ pub fn e9_scenarios(catchment: &Catchment, days: usize, seed: u64) -> E9Result {
         }
     }
 
-    let ordering_holds = [ModelChoice::Topmodel, ModelChoice::FuseEnsemble].iter().all(|&model| {
-        let peak_of = |s: Scenario| {
+    let mut ordering_holds = true;
+    for model in [ModelChoice::Topmodel, ModelChoice::FuseEnsemble] {
+        let peak_of = |s: Scenario| -> Result<f64, ExperimentError> {
             rows.iter()
                 .find(|r| r.scenario == s && r.model == model)
                 .map(|r| r.metrics.peak_m3s)
-                .expect("row exists")
+                .ok_or_else(|| invariant("every scenario × model row was produced"))
         };
-        let baseline = peak_of(Scenario::Baseline);
-        Scenario::change_scenarios().iter().all(|&s| match s.expected_peak_increase() {
-            Some(true) => peak_of(s) > baseline,
-            Some(false) => peak_of(s) < baseline,
-            None => true,
-        })
-    });
+        let baseline = peak_of(Scenario::Baseline)?;
+        for s in Scenario::change_scenarios() {
+            let holds = match s.expected_peak_increase() {
+                Some(true) => peak_of(s)? > baseline,
+                Some(false) => peak_of(s)? < baseline,
+                None => true,
+            };
+            ordering_holds &= holds;
+        }
+    }
 
-    E9Result { rows, ordering_holds }
+    Ok(E9Result { rows, ordering_holds })
 }
 
 // ====================================================================
@@ -961,10 +1156,16 @@ pub struct E10Result {
 
 /// Runs experiment E10: probes the multimodal widget across the archive
 /// and checks sensor/webcam alignment.
-pub fn e10_multimodal(seed: u64) -> E10Result {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Invariant`] when the built observatory has
+/// no webcam archive for its first catchment.
+pub fn e10_multimodal(seed: u64) -> Result<E10Result, ExperimentError> {
     let evop = Evop::builder().seed(seed).days(20).build();
     let id = evop.catchments()[0].id().clone();
-    let frames = evop.webcam_frames(&id).expect("frames generated").to_vec();
+    let frames =
+        evop.webcam_frames(&id).ok_or_else(|| invariant("webcam frames generated"))?.to_vec();
     let widget = MultimodalWidget::new(
         SensorId::new(format!("{id}-temp-1")),
         SensorId::new(format!("{id}-turb-1")),
@@ -988,12 +1189,12 @@ pub fn e10_multimodal(seed: u64) -> E10Result {
         }
     }
 
-    E10Result {
+    Ok(E10Result {
         probes,
         frame_hit_rate: hits as f64 / probes as f64,
         mean_frame_lag_secs: lag.mean(),
         murk_turbidity_correlation: pearson(&pairs),
-    }
+    })
 }
 
 fn pearson(pairs: &[(f64, f64)]) -> f64 {
@@ -1097,11 +1298,17 @@ pub struct E13Result {
 /// Runs experiment E13: composes the paper's example shape — data →
 /// model → statistics → report — over real model code, executes it, and
 /// replays it for reproducibility.
-pub fn e13_workflow(seed: u64) -> E13Result {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Workflow`] when composition, execution or
+/// replay fails, and [`ExperimentError::Invariant`] when the observatory
+/// is missing the catchment data the workflow was built from.
+pub fn e13_workflow(seed: u64) -> Result<E13Result, ExperimentError> {
     let evop = Evop::builder().seed(seed).days(10).build();
     let id = evop.catchments()[0].id().clone();
-    let catchment = evop.catchment(&id).expect("loaded").clone();
-    let forcing = evop.forcing(&id).expect("loaded").clone();
+    let catchment = evop.catchment(&id).ok_or_else(|| invariant("catchment loaded"))?.clone();
+    let forcing = evop.forcing(&id).ok_or_else(|| invariant("forcing loaded"))?.clone();
     let threshold = 0.5 * catchment.area_km2();
 
     let rain_total = forcing.rainfall().sum();
@@ -1137,16 +1344,15 @@ pub fn e13_workflow(seed: u64) -> E13Result {
                 "flood_risk": if at_risk { "threshold exceeded" } else { "below threshold" },
             }))
         })
-        .build()
-        .expect("acyclic by construction");
+        .build()?;
 
-    let run = workflow.execute().expect("all nodes succeed");
-    let replay = workflow.replay(&run).expect("same workflow");
-    E13Result {
+    let run = workflow.execute()?;
+    let replay = workflow.replay(&run)?;
+    Ok(E13Result {
         nodes: workflow.len(),
-        verdict: run.output("report").expect("sink executed").clone(),
+        verdict: run.output("report").ok_or_else(|| invariant("report sink executed"))?.clone(),
         replay_matches: replay.matches(),
-    }
+    })
 }
 
 // ====================================================================
@@ -1156,18 +1362,24 @@ pub fn e13_workflow(seed: u64) -> E13Result {
 /// Runs experiment E14: exercises every LEFT requirement against the live
 /// observatory, marking each verified only when its feature actually
 /// works, then reports storyboard coverage.
-pub fn e14_verify_left(seed: u64) -> (Storyboard, CoverageReport) {
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Storyboard`] when a requirement id the
+/// harness verifies is unknown to the LEFT storyboard, and
+/// [`ExperimentError::Invariant`] when the webcam archive is missing.
+pub fn e14_verify_left(seed: u64) -> Result<(Storyboard, CoverageReport), ExperimentError> {
     let evop = Evop::builder().seed(seed).days(10).build();
     let id = evop.catchments()[0].id().clone();
     let mut storyboard = Storyboard::left();
 
     // R1: map markers for the catchment.
     if !evop.map().in_catchment(&id).is_empty() {
-        storyboard.verify("R1").expect("known");
+        storyboard.verify("R1")?;
     }
     // R2: live data present.
     if evop.sos().latest(&SensorId::new(format!("{id}-stage-outlet"))).is_some() {
-        storyboard.verify("R2").expect("known");
+        storyboard.verify("R2")?;
     }
     // R3: historical window query.
     let window = evop.sos().get_observation(&evop_services::sos::GetObservation {
@@ -1177,39 +1389,39 @@ pub fn e14_verify_left(seed: u64) -> (Storyboard, CoverageReport) {
         max_results: None,
     });
     if window.map(|w| w.len()).unwrap_or(0) > 0 {
-        storyboard.verify("R3").expect("known");
+        storyboard.verify("R3")?;
     }
     // R4: multimodal alignment.
     let widget = MultimodalWidget::new(
         SensorId::new(format!("{id}-temp-1")),
         SensorId::new(format!("{id}-turb-1")),
-        evop.webcam_frames(&id).expect("frames").to_vec(),
+        evop.webcam_frames(&id).ok_or_else(|| invariant("webcam frames generated"))?.to_vec(),
     );
     let view = widget.at(evop.sos(), evop.start().plus_days(5));
     if view.frame.is_some() && view.turbidity_ntu.is_some() {
-        storyboard.verify("R4").expect("known");
+        storyboard.verify("R4")?;
     }
     // R5–R9: the modelling widget.
     let mut modelling = evop.modelling_widget(&id);
     if modelling.run("baseline").is_ok() {
-        storyboard.verify("R5").expect("known");
+        storyboard.verify("R5")?;
     }
     modelling.select_scenario(Scenario::Afforestation);
     if modelling.scenario() == Scenario::Afforestation {
-        storyboard.verify("R6").expect("known");
+        storyboard.verify("R6")?;
     }
     if modelling.set_slider("m", 0.03).is_ok() && modelling.set_slider("m", 99.0).is_err() {
-        storyboard.verify("R7").expect("known");
+        storyboard.verify("R7")?;
     }
     if modelling.run("afforestation").is_ok() && modelling.compare().len() == 2 {
-        storyboard.verify("R8").expect("known");
+        storyboard.verify("R8")?;
     }
     if modelling.help_text().contains("Afforestation") {
-        storyboard.verify("R9").expect("known");
+        storyboard.verify("R9")?;
     }
 
     let coverage = storyboard.coverage();
-    (storyboard, coverage)
+    Ok((storyboard, coverage))
 }
 
 // ====================================================================
@@ -1268,7 +1480,7 @@ mod tests {
 
     #[test]
     fn e2_shapes() {
-        let r = e2_rest_vs_soap(60, 4, 1);
+        let r = e2_rest_vs_soap(60, 4, 1).expect("e2 runs");
         assert_eq!(r.workflows, 60);
         assert_eq!(r.rest_completed, 60, "statelessness must lose nothing");
         assert_eq!(r.rest_lost_steps, 0);
@@ -1278,8 +1490,8 @@ mod tests {
 
     #[test]
     fn e1_traced_matches_untraced() {
-        let plain = e1_dataflow(11);
-        let (traced, capture) = e1_dataflow_traced(11);
+        let plain = e1_dataflow(11).expect("e1 runs");
+        let (traced, capture) = e1_dataflow_traced(11).expect("traced e1 runs");
         assert_eq!(traced, plain, "observation must not perturb the experiment");
 
         // One trace, one connected tree: no span dangles off an unknown
@@ -1311,7 +1523,7 @@ mod tests {
 
     #[test]
     fn e3_and_e4_traced_capture_session_timelines() {
-        let (_, c3) = e3_cloudburst_traced(8, 7);
+        let (_, c3) = e3_cloudburst_traced(8, 7).expect("e3 runs");
         assert!(c3.spans.iter().any(|s| s.name == "broker.connect"), "{}", c3.ascii());
         let binds: u64 = ["existing", "provisioned", "warm-pool"]
             .iter()
@@ -1323,7 +1535,7 @@ mod tests {
             .sum();
         assert!(binds > 0, "ramp must bind sessions: {}", c3.metrics);
 
-        let (r4, c4) = e4_failure_recovery_traced(FailureMode::Crash, 4, 9);
+        let (r4, c4) = e4_failure_recovery_traced(FailureMode::Crash, 4, 9).expect("e4 runs");
         assert_eq!(r4.sessions_lost, 0);
         assert!(
             c4.spans.iter().any(|s| s.name == "session.migrate"),
@@ -1334,22 +1546,22 @@ mod tests {
 
     #[test]
     fn e5_speedup_grows_with_runs() {
-        let small = e5_elastic_monte_carlo(8, SimDuration::from_secs(120), 4, 1);
-        let large = e5_elastic_monte_carlo(48, SimDuration::from_secs(120), 4, 1);
+        let small = e5_elastic_monte_carlo(8, SimDuration::from_secs(120), 4, 1).expect("runs");
+        let large = e5_elastic_monte_carlo(48, SimDuration::from_secs(120), 4, 1).expect("runs");
         assert!(large.speedup > small.speedup, "{} vs {}", large.speedup, small.speedup);
         assert!(large.speedup > 2.0);
     }
 
     #[test]
     fn e7_streamlined_wins_first_result() {
-        let r = e7_image_kinds(3, SimDuration::from_secs(60), 2);
+        let r = e7_image_kinds(3, SimDuration::from_secs(60), 2).expect("e7 runs");
         assert!(r.incubator_first_result > r.streamlined_first_result);
         assert!(r.incubator_total > r.streamlined_total);
     }
 
     #[test]
     fn e8_policy_actually_flips_placement() {
-        let r = e8_policy_swap(4, 3);
+        let r = e8_policy_swap(4, 3).expect("e8 runs");
         // Default: both kinds fill the private cloud first.
         assert_eq!(r.before_streamlined.get("campus"), Some(&4));
         // After the swap: streamlined to AWS, incubator to campus.

@@ -1,7 +1,7 @@
 //! The ratchet baseline: committed debt that may only shrink.
 //!
-//! `lint-baseline.json` maps `rule id → file → count`. The gate compares
-//! the current tree against it:
+//! `lint-baseline.json` v2 maps `rule id → { severity, file → count }`.
+//! The gate compares the current tree against it:
 //!
 //! * a finding in a (rule, file) pair absent from the baseline is a
 //!   **new violation** → fail;
@@ -13,6 +13,12 @@
 //! Counts are keyed per file (not per line) so unrelated edits that shift
 //! line numbers don't produce false "new" violations, while any real
 //! growth in a file's debt is caught.
+//!
+//! v1 files (`{"version": 1, "counts": {rule: {file: count}}}`) are
+//! migrated automatically on load: counts carry over unchanged — the
+//! ratchet never loosens across the format change — and each rule gets
+//! its current default severity. The next `--update-baseline` rewrites
+//! the file in v2 form.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -22,15 +28,37 @@ use std::path::Path;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::Report;
+use crate::rules::severity_of;
+
+/// Current on-disk format version.
+pub const BASELINE_VERSION: u32 = 2;
+
+/// One rule's recorded debt: its severity and per-file counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleEntry {
+    /// SARIF-style severity (`error` / `warning` / `note`), recorded so
+    /// exporters don't need the binary's rule table to agree.
+    pub severity: String,
+    /// `workspace-relative path → allowed count`. `BTreeMap` keeps the
+    /// committed JSON byte-stable.
+    pub files: BTreeMap<String, u64>,
+}
 
 /// The committed ratchet file.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Baseline {
-    /// Format version, for future migrations.
+    /// Format version, for migrations.
     pub version: u32,
-    /// `rule id → workspace-relative path → allowed count`.
-    /// `BTreeMap` keeps the committed JSON byte-stable.
-    pub counts: BTreeMap<String, BTreeMap<String, u64>>,
+    /// `rule id → recorded debt`.
+    pub rules: BTreeMap<String, RuleEntry>,
+}
+
+/// The v1 on-disk shape, kept only for migration.
+#[derive(Debug, Deserialize)]
+struct BaselineV1 {
+    #[allow(dead_code)]
+    version: u32,
+    counts: BTreeMap<String, BTreeMap<String, u64>>,
 }
 
 /// The gate's verdict for one (rule, file) pair that differs from the
@@ -65,31 +93,65 @@ impl Verdict {
 }
 
 impl Baseline {
-    /// Builds a baseline recording exactly the given findings.
+    /// Builds a baseline recording exactly the given findings, with each
+    /// rule's current default severity.
     pub fn from_reports(reports: &[Report]) -> Baseline {
-        let mut counts: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+        let mut rules: BTreeMap<String, RuleEntry> = BTreeMap::new();
         for r in reports {
-            *counts.entry(r.rule.clone()).or_default().entry(r.path.clone()).or_insert(0) += 1;
+            let entry = rules.entry(r.rule.clone()).or_insert_with(|| RuleEntry {
+                severity: severity_of(&r.rule).to_owned(),
+                files: BTreeMap::new(),
+            });
+            *entry.files.entry(r.path.clone()).or_insert(0) += 1;
         }
-        Baseline { version: 1, counts }
+        Baseline { version: BASELINE_VERSION, rules }
     }
 
-    /// Reads a baseline from disk. A missing file is an empty baseline
-    /// (every finding is then a new violation — the bootstrap state).
+    /// Migrates a v1 baseline: identical counts (the ratchet carries
+    /// over), severities filled in from the current rule table.
+    fn from_v1(v1: BaselineV1) -> Baseline {
+        let rules = v1
+            .counts
+            .into_iter()
+            .map(|(rule, files)| {
+                let severity = severity_of(&rule).to_owned();
+                (rule, RuleEntry { severity, files })
+            })
+            .collect();
+        Baseline { version: BASELINE_VERSION, rules }
+    }
+
+    /// Reads a baseline from disk, migrating v1 files transparently. A
+    /// missing file is an empty baseline (every finding is then a new
+    /// violation — the bootstrap state).
     ///
     /// # Errors
     ///
-    /// Returns an error for unreadable files or invalid JSON.
+    /// Returns an error for unreadable files, invalid JSON, or an
+    /// unknown format version.
     pub fn load(path: &Path) -> io::Result<Baseline> {
-        match fs::read_to_string(path) {
-            Ok(text) => serde_json::from_str(&text)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Baseline::default()),
-            Err(e) => Err(e),
+        let text = match fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Baseline::default()),
+            Err(e) => return Err(e),
+        };
+        let invalid =
+            |e: serde_json::Error| io::Error::new(io::ErrorKind::InvalidData, e.to_string());
+        let probe: serde_json::Value = serde_json::from_str(&text).map_err(invalid)?;
+        match probe.get("version").and_then(serde_json::Value::as_u64) {
+            Some(1) => {
+                let v1: BaselineV1 = serde_json::from_str(&text).map_err(invalid)?;
+                Ok(Baseline::from_v1(v1))
+            }
+            Some(2) => serde_json::from_str(&text).map_err(invalid),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported baseline version {other:?} (this binary knows 1 and 2)"),
+            )),
         }
     }
 
-    /// Writes the baseline as stable, pretty-printed JSON.
+    /// Writes the baseline as stable, pretty-printed JSON (always v2).
     ///
     /// # Errors
     ///
@@ -106,8 +168,8 @@ impl Baseline {
         let current = Baseline::from_reports(reports);
         let mut verdict = Verdict::default();
 
-        for (rule, files) in &current.counts {
-            for (path, &n) in files {
+        for (rule, entry) in &current.rules {
+            for (path, &n) in &entry.files {
                 let allowed = self.count(rule, path);
                 if n > allowed {
                     verdict.regressions.push(Delta {
@@ -127,8 +189,8 @@ impl Baseline {
             }
         }
         // Pairs fully burned down (in baseline, absent from the tree).
-        for (rule, files) in &self.counts {
-            for (path, &allowed) in files {
+        for (rule, entry) in &self.rules {
+            for (path, &allowed) in &entry.files {
                 if allowed > 0 && current.count(rule, path) == 0 {
                     verdict.improvements.push(Delta {
                         rule: rule.clone(),
@@ -143,11 +205,16 @@ impl Baseline {
     }
 
     fn count(&self, rule: &str, path: &str) -> u64 {
-        self.counts.get(rule).and_then(|files| files.get(path)).copied().unwrap_or(0)
+        self.rules.get(rule).and_then(|entry| entry.files.get(path)).copied().unwrap_or(0)
     }
 
     /// Total allowed findings per rule, for the summary table.
     pub fn totals(&self) -> BTreeMap<String, u64> {
-        self.counts.iter().map(|(rule, files)| (rule.clone(), files.values().sum())).collect()
+        self.rules.iter().map(|(rule, entry)| (rule.clone(), entry.files.values().sum())).collect()
+    }
+
+    /// `true` when no debt is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
     }
 }

@@ -86,73 +86,134 @@ pub struct Report {
 ///
 /// Returns the first I/O error encountered while walking or reading.
 pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Report>> {
+    Ok(analyze_files(&workspace_sources(root)?))
+}
+
+/// Collects every `.rs` file under `root` (skipping `target/`, `vendor/`
+/// and dot-directories) as sorted `(workspace-relative path, source)`
+/// pairs — the input shape of [`analyze_files`] and
+/// [`crate::graph::build`].
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered while walking or reading.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
 
-    let mut reports = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for rel in files {
         let src = fs::read_to_string(root.join(&rel))?;
-        reports.extend(analyze_source(&rel, &src));
+        sources.push((rel, src));
     }
-    reports.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
-    Ok(reports)
+    Ok(sources)
+}
+
+/// Analyzes a set of `(workspace-relative path, source)` files as one
+/// workspace: per-file token rules, then the call graph and the three
+/// interprocedural analyses (panic-reachability, determinism taint,
+/// parallel readiness), then per-file `allow` directives over the
+/// combined findings — a directive next to a `reach-panic` entry or a
+/// `par-ready` hazard suppresses it like any local finding.
+///
+/// Findings are sorted by (path, line, rule) so output and baselines
+/// are deterministic.
+pub fn analyze_files(files: &[(String, String)]) -> Vec<Report> {
+    let mut lexed_files = Vec::with_capacity(files.len());
+    let mut reports = Vec::new();
+
+    for (rel, src) in files {
+        let scope = classify(rel);
+        let lexed = lexer::lex(src);
+        let lines: Vec<String> = src.lines().map(|l| l.trim().to_owned()).collect();
+        for f in rules::check_file(&scope, &lexed) {
+            reports.push(Report {
+                rule: f.rule.to_owned(),
+                path: rel.clone(),
+                line: f.line,
+                message: f.message,
+                excerpt: lines.get(f.line as usize - 1).cloned().unwrap_or_default(),
+            });
+        }
+        lexed_files.push((rel.clone(), lexed, lines));
+    }
+
+    // The semantic passes see the whole workspace at once.
+    let graph = crate::graph::build(files);
+    let excerpt = |path: &str, line: u32| -> String {
+        lexed_files
+            .iter()
+            .find(|(rel, _, _)| rel == path)
+            .and_then(|(_, _, lines)| lines.get(line as usize - 1).cloned())
+            .unwrap_or_default()
+    };
+    reports.extend(crate::reach::panic_reachability(&graph, excerpt));
+    reports.extend(crate::taint::determinism_taint(&graph, excerpt));
+    reports.extend(crate::reach::parallel_readiness(&graph, excerpt));
+
+    // Apply directives per file over the combined findings: a directive
+    // covers its own line and the next.
+    let mut out = Vec::new();
+    for (rel, lexed, lines) in &lexed_files {
+        let mut used = vec![false; lexed.directives.len()];
+        'finding: for report in reports.iter().filter(|r| &r.path == rel) {
+            for (di, d) in lexed.directives.iter().enumerate() {
+                if d.rule == report.rule
+                    && !d.reason.is_empty()
+                    && (d.line == report.line || d.line + 1 == report.line)
+                {
+                    used[di] = true;
+                    continue 'finding;
+                }
+            }
+            out.push(report.clone());
+        }
+
+        // Directive hygiene: unknown rule, missing reason, or nothing
+        // matched. Determinism-source directives consumed by the parser
+        // (see `crate::parse`) count as used even when no token-level
+        // finding remains.
+        for (d, used) in lexed.directives.iter().zip(used) {
+            let problem = if !is_known_rule(&d.rule) {
+                Some(format!("allow directive names unknown rule `{}`", d.rule))
+            } else if d.reason.is_empty() {
+                Some(format!("allow({}) directive is missing a `-- reason`", d.rule))
+            } else if !used && !suppresses_token_finding(&d.rule) {
+                None
+            } else if !used {
+                Some(format!("allow({}) directive suppresses nothing; remove it", d.rule))
+            } else {
+                None
+            };
+            if let Some(message) = problem {
+                out.push(Report {
+                    rule: "hyg-directive".to_owned(),
+                    path: rel.clone(),
+                    line: d.line,
+                    message,
+                    excerpt: lines.get(d.line as usize - 1).cloned().unwrap_or_default(),
+                });
+            }
+        }
+    }
+
+    out.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    out
+}
+
+/// Whether an unused `allow(rule)` directive is certainly dead. The
+/// interprocedural rules report at one representative site, so a
+/// directive placed on any other implicated line legitimately matches
+/// nothing in some runs — don't flag those as dead.
+fn suppresses_token_finding(rule: &str) -> bool {
+    !matches!(rule, "reach-panic" | "det-taint" | "par-ready")
 }
 
 /// Analyzes one file's source text (the unit the fixture tests drive).
+/// Interprocedural analyses still run, confined to this file's graph.
 pub fn analyze_source(rel: &str, src: &str) -> Vec<Report> {
-    let scope = classify(rel);
-    let lexed = lexer::lex(src);
-    let findings = rules::check_file(&scope, &lexed);
-    let lines: Vec<&str> = src.lines().collect();
-    let excerpt_at = |line: u32| -> String {
-        lines.get(line as usize - 1).map(|l| l.trim().to_owned()).unwrap_or_default()
-    };
-
-    // Apply directives: a directive covers its own line and the next.
-    let mut used = vec![false; lexed.directives.len()];
-    let mut reports = Vec::new();
-    'finding: for f in findings {
-        for (di, d) in lexed.directives.iter().enumerate() {
-            if d.rule == f.rule
-                && !d.reason.is_empty()
-                && (d.line == f.line || d.line + 1 == f.line)
-            {
-                used[di] = true;
-                continue 'finding;
-            }
-        }
-        reports.push(Report {
-            rule: f.rule.to_owned(),
-            path: rel.to_owned(),
-            line: f.line,
-            message: f.message,
-            excerpt: excerpt_at(f.line),
-        });
-    }
-
-    // Directive hygiene: unknown rule, missing reason, or nothing matched.
-    for (d, used) in lexed.directives.iter().zip(used) {
-        let problem = if !is_known_rule(&d.rule) {
-            Some(format!("allow directive names unknown rule `{}`", d.rule))
-        } else if d.reason.is_empty() {
-            Some(format!("allow({}) directive is missing a `-- reason`", d.rule))
-        } else if !used {
-            Some(format!("allow({}) directive suppresses nothing; remove it", d.rule))
-        } else {
-            None
-        };
-        if let Some(message) = problem {
-            reports.push(Report {
-                rule: "hyg-directive".to_owned(),
-                path: rel.to_owned(),
-                line: d.line,
-                message,
-                excerpt: excerpt_at(d.line),
-            });
-        }
-    }
-    reports
+    analyze_files(&[(rel.to_owned(), src.to_owned())])
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {

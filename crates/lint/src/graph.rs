@@ -1,0 +1,488 @@
+//! The conservative whole-workspace call graph.
+//!
+//! Nodes are the functions parsed by [`crate::parse`]; edges are call
+//! sites resolved by name and path:
+//!
+//! * **path calls** resolve through the file's `use` imports, `crate::`
+//!   paths and `evop_*` crate names — `Broker::new(...)` after
+//!   `use evop_broker::Broker;` lands on `broker::Broker::new`;
+//! * **method calls** resolve by name across every `impl` block in the
+//!   workspace, except the std-ubiquitous names the parser skips
+//!   (`.clone()`, `.len()`, …) — linking those would collapse the graph;
+//! * anything unresolvable (std, vendored deps, macros) drops out, so
+//!   every edge in the graph is a workspace-internal call that could
+//!   really happen. Over-approximation is confined to same-name methods
+//!   on different types, which is the price of no type checking.
+//!
+//! The graph serialises to JSON (golden-pinned in tests) and Graphviz
+//! DOT via the `evop-lint graph` subcommand.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parse::{parse_file, ParsedFile, Site};
+
+/// One function node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Function name.
+    pub name: String,
+    /// `impl`/`trait` type the function is defined on, if any.
+    pub impl_type: Option<String>,
+    /// Crate short name (`broker`, `core`, … or `evop` for the root).
+    pub crate_name: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the definition.
+    pub line: u32,
+    /// `pub` in any form.
+    pub is_pub: bool,
+    /// Test code: path-level test file or `#[cfg(test)]` item.
+    pub is_test: bool,
+    /// Library (non-test, non-bin) code per the rule engine's scoping.
+    pub is_lib: bool,
+    /// Panic hazard sites in the body.
+    pub panic_sites: Vec<Site>,
+    /// Determinism sources in the body (directive-sanctioned excluded).
+    pub det_sources: Vec<Site>,
+    /// Parallel-readiness hazards in the body.
+    pub par_sites: Vec<Site>,
+}
+
+impl Node {
+    /// `Type::name` or `name`, for display.
+    pub fn label(&self) -> String {
+        match &self.impl_type {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// `crate::Type::name`, unique enough for graph output.
+    pub fn qualified(&self) -> String {
+        format!("{}::{}", self.crate_name, self.label())
+    }
+}
+
+/// The resolved call graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// All function nodes, in (file, line) order.
+    pub nodes: Vec<Node>,
+    /// Caller → sorted, deduplicated callees.
+    pub succ: Vec<Vec<usize>>,
+    /// Module-level `static mut` declarations: (file, name, line).
+    pub static_muts: Vec<(String, String, u32)>,
+}
+
+/// The crate short name a workspace-relative path belongs to.
+pub fn crate_of(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        ["crates", name, ..] => (*name).to_owned(),
+        _ => "evop".to_owned(),
+    }
+}
+
+/// Builds the call graph over the given `(path, source)` files.
+pub fn build(files: &[(String, String)]) -> Graph {
+    let parsed: Vec<ParsedFile> = files.iter().map(|(rel, src)| parse_file(rel, src)).collect();
+
+    let mut graph = Graph::default();
+    // (file index, fn index) per node, for call resolution context.
+    let mut origins: Vec<(usize, usize)> = Vec::new();
+    for (fi, pf) in parsed.iter().enumerate() {
+        let crate_name = crate_of(&pf.rel);
+        let scope = pf.scope.clone().unwrap_or_else(|| crate::engine::classify(&pf.rel));
+        for (ni, f) in pf.fns.iter().enumerate() {
+            graph.nodes.push(Node {
+                name: f.name.clone(),
+                impl_type: f.impl_type.clone(),
+                crate_name: crate_name.clone(),
+                file: pf.rel.clone(),
+                line: f.line,
+                is_pub: f.is_pub,
+                is_test: f.is_test || scope.is_test,
+                is_lib: scope.is_library && !scope.is_test && !scope.is_bin && !f.is_test,
+                panic_sites: f.panic_sites.clone(),
+                det_sources: f.det_sources.clone(),
+                par_sites: f.par_sites.clone(),
+            });
+            origins.push((fi, ni));
+        }
+        for (name, line) in &pf.static_muts {
+            graph.static_muts.push((pf.rel.clone(), name.clone(), *line));
+        }
+    }
+
+    // Sort nodes by (file, line) so ids — and therefore all output — are
+    // stable regardless of input order.
+    let mut order: Vec<usize> = (0..graph.nodes.len()).collect();
+    order.sort_by(|&a, &b| {
+        (&graph.nodes[a].file, graph.nodes[a].line)
+            .cmp(&(&graph.nodes[b].file, graph.nodes[b].line))
+    });
+    let mut remap = vec![0usize; order.len()];
+    for (new_id, &old_id) in order.iter().enumerate() {
+        remap[old_id] = new_id;
+    }
+    let mut nodes = vec![None; order.len()];
+    let mut origs = vec![(0usize, 0usize); order.len()];
+    for (old_id, node) in graph.nodes.into_iter().enumerate() {
+        nodes[remap[old_id]] = Some(node);
+        origs[remap[old_id]] = origins[old_id];
+    }
+    graph.nodes = nodes.into_iter().flatten().collect();
+
+    // Per-file visible crates: the file's own crate plus every workspace
+    // crate it imports. Cross-crate *method* edges are restricted to
+    // visible crates — a `.render()` call cannot land on a crate the
+    // caller does not even depend on. (Path calls name their crate
+    // explicitly and need no such fence.)
+    let visible: Vec<BTreeSet<String>> = parsed
+        .iter()
+        .map(|pf| {
+            let mut set = BTreeSet::new();
+            set.insert(crate_of(&pf.rel));
+            for target in pf.imports.values() {
+                if let Some(head) = target.first() {
+                    if let Some(rest) = head.strip_prefix("evop_") {
+                        set.insert(rest.to_owned());
+                    } else if head == "evop" {
+                        set.insert("evop".to_owned());
+                    }
+                }
+            }
+            set
+        })
+        .collect();
+
+    // Indexes for resolution.
+    let mut by_method: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_type_method: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut by_crate_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    let mut by_file_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (id, n) in graph.nodes.iter().enumerate() {
+        if let Some(ty) = &n.impl_type {
+            by_method.entry(&n.name).or_default().push(id);
+            by_type_method.entry((ty, &n.name)).or_default().push(id);
+        }
+        by_crate_name.entry((&n.crate_name, &n.name)).or_default().push(id);
+        by_file_name.entry((&n.file, &n.name)).or_default().push(id);
+    }
+
+    graph.succ = vec![Vec::new(); graph.nodes.len()];
+    for (id, &(fi, ni)) in origs.iter().enumerate() {
+        let pf = &parsed[fi];
+        let f = &pf.fns[ni];
+        let node_crate = graph.nodes[id].crate_name.clone();
+        let mut callees = BTreeSet::new();
+        for call in &f.calls {
+            let targets = if call.method {
+                let mut t = resolve_method(&call.path[0], &by_method);
+                t.retain(|&target| visible[fi].contains(&graph.nodes[target].crate_name));
+                t
+            } else {
+                resolve_path(
+                    &call.path,
+                    pf,
+                    &node_crate,
+                    graph.nodes[id].impl_type.as_deref(),
+                    &by_type_method,
+                    &by_crate_name,
+                    &by_file_name,
+                )
+            };
+            for t in targets {
+                if t != id {
+                    callees.insert(t);
+                }
+            }
+        }
+        graph.succ[id] = callees.into_iter().collect();
+    }
+    graph
+}
+
+fn resolve_method(name: &str, by_method: &BTreeMap<&str, Vec<usize>>) -> Vec<usize> {
+    by_method.get(name).cloned().unwrap_or_default()
+}
+
+/// External path heads that can never be workspace functions.
+const EXTERNAL_HEADS: &[&str] = &[
+    "std",
+    "core",
+    "alloc",
+    "rand",
+    "rand_chacha",
+    "serde",
+    "serde_json",
+    "proptest",
+    "f32",
+    "f64",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "u128",
+    "usize",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "i128",
+    "isize",
+    "str",
+    "String",
+    "Vec",
+    "Box",
+    "Option",
+    "Some",
+    "None",
+    "Result",
+    "Ok",
+    "Err",
+    "Iterator",
+    "Default",
+    "Clone",
+    "Copy",
+    "Drop",
+    "From",
+    "Into",
+    "TryFrom",
+    "PathBuf",
+    "Path",
+    "BTreeMap",
+    "BTreeSet",
+    "VecDeque",
+    "Duration",
+    "Ordering",
+    "char",
+    "bool",
+];
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_path(
+    path: &[String],
+    pf: &ParsedFile,
+    node_crate: &str,
+    self_type: Option<&str>,
+    by_type_method: &BTreeMap<(&str, &str), Vec<usize>>,
+    by_crate_name: &BTreeMap<(&str, &str), Vec<usize>>,
+    by_file_name: &BTreeMap<(&str, &str), Vec<usize>>,
+) -> Vec<usize> {
+    if path.is_empty() {
+        return Vec::new();
+    }
+    // Expand the head through this file's imports, then strip
+    // `crate`/`self`/`super` qualifiers.
+    let mut full: Vec<String> = match pf.imports.get(&path[0]) {
+        Some(target) => target.iter().cloned().chain(path.iter().skip(1).cloned()).collect(),
+        None => path.to_vec(),
+    };
+    while matches!(full[0].as_str(), "crate" | "self" | "super") {
+        full.remove(0);
+        if full.is_empty() {
+            return Vec::new();
+        }
+    }
+
+    // `Self::helper()` inside an impl block.
+    if full[0] == "Self" {
+        if let (Some(ty), Some(name)) = (self_type, full.last()) {
+            if let Some(ids) = by_type_method.get(&(ty, name.as_str())) {
+                return ids.clone();
+            }
+        }
+        return Vec::new();
+    }
+
+    // Which crate does the path land in?
+    let target_crate: String = match full[0].strip_prefix("evop_") {
+        Some(rest) => {
+            let c = rest.to_owned();
+            full.remove(0);
+            if full.is_empty() {
+                return Vec::new();
+            }
+            c
+        }
+        None if full[0] == "evop" => {
+            full.remove(0);
+            if full.is_empty() {
+                return Vec::new();
+            }
+            "evop".to_owned()
+        }
+        None if EXTERNAL_HEADS.contains(&full[0].as_str()) => return Vec::new(),
+        None => node_crate.to_owned(),
+    };
+
+    let name = full.last().cloned().unwrap_or_default();
+    // `Type::method` when the second-to-last segment looks like a type.
+    if full.len() >= 2 {
+        let qual = &full[full.len() - 2];
+        if qual.chars().next().map(char::is_uppercase).unwrap_or(false) {
+            return by_type_method
+                .get(&(qual.as_str(), name.as_str()))
+                .map(|ids| {
+                    // Prefer the target crate's impl when several crates
+                    // define `Type::method` with the same names.
+                    let in_crate: Vec<usize> = ids
+                        .iter()
+                        .copied()
+                        .filter(|&i| node_for(by_crate_name, i, &target_crate))
+                        .collect();
+                    if in_crate.is_empty() {
+                        ids.clone()
+                    } else {
+                        in_crate
+                    }
+                })
+                .unwrap_or_default();
+        }
+    }
+
+    // Free function: same file first (tightest scope), then the crate.
+    if path.len() == 1 && !pf.imports.contains_key(&path[0]) {
+        if let Some(ids) = by_file_name.get(&(pf.rel.as_str(), name.as_str())) {
+            let free: Vec<usize> = ids.to_vec();
+            if !free.is_empty() {
+                return free;
+            }
+        }
+    }
+    by_crate_name.get(&(target_crate.as_str(), name.as_str())).cloned().unwrap_or_default()
+}
+
+/// `true` when node `id` belongs to `crate_name` (via the index keys).
+fn node_for(
+    by_crate_name: &BTreeMap<(&str, &str), Vec<usize>>,
+    id: usize,
+    crate_name: &str,
+) -> bool {
+    by_crate_name.iter().any(|((c, _), ids)| *c == crate_name && ids.contains(&id))
+}
+
+impl Graph {
+    /// Edge list as (caller, callee) id pairs, sorted.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (from, tos) in self.succ.iter().enumerate() {
+            for &to in tos {
+                out.push((from, to));
+            }
+        }
+        out
+    }
+
+    /// JSON form: sorted nodes with ids, edge id pairs, static muts.
+    pub fn to_json(&self) -> serde_json::Value {
+        let nodes: Vec<serde_json::Value> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(id, n)| {
+                serde_json::json!({
+                    "id": id,
+                    "name": n.qualified(),
+                    "file": n.file,
+                    "line": n.line,
+                    "pub": n.is_pub,
+                    "test": n.is_test,
+                    "panic_sites": n.panic_sites.len(),
+                    "det_sources": n.det_sources.len(),
+                    "par_sites": n.par_sites.len(),
+                })
+            })
+            .collect();
+        let edges: Vec<serde_json::Value> =
+            self.edges().iter().map(|(a, b)| serde_json::json!([a, b])).collect();
+        serde_json::json!({
+            "version": 1,
+            "nodes": nodes,
+            "edges": edges,
+            "static_muts": self.static_muts.iter().map(|(f, n, l)| {
+                serde_json::json!({"file": f, "name": n, "line": l})
+            }).collect::<Vec<_>>(),
+        })
+    }
+
+    /// Graphviz DOT form, one subgraph per crate.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph evop {\n  rankdir=LR;\n  node [shape=box];\n");
+        let mut by_crate: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (id, n) in self.nodes.iter().enumerate() {
+            by_crate.entry(&n.crate_name).or_default().push(id);
+        }
+        for (crate_name, ids) in &by_crate {
+            out.push_str(&format!(
+                "  subgraph \"cluster_{crate_name}\" {{\n    label=\"{crate_name}\";\n"
+            ));
+            for &id in ids {
+                let n = &self.nodes[id];
+                let color = if !n.panic_sites.is_empty() {
+                    " color=red"
+                } else if !n.det_sources.is_empty() {
+                    " color=orange"
+                } else if !n.par_sites.is_empty() {
+                    " color=blue"
+                } else {
+                    ""
+                };
+                out.push_str(&format!("    n{id} [label=\"{}\"{color}];\n", n.label()));
+            }
+            out.push_str("  }\n");
+        }
+        for (a, b) in self.edges() {
+            out.push_str(&format!("  n{a} -> n{b};\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Breadth-first reachability from `entries`, returning for each node
+    /// the BFS predecessor (towards an entry) or `usize::MAX` when
+    /// unreachable; entries are their own predecessors.
+    pub fn bfs(&self, entries: &[usize]) -> Vec<usize> {
+        self.bfs_where(entries, |_| true)
+    }
+
+    /// [`Graph::bfs`] visiting only library (non-test, non-bin) nodes —
+    /// the traversal the semantic analyses use: production entry points
+    /// cannot execute test or harness code, so chains through it are
+    /// resolver over-approximation, not reachability.
+    pub fn bfs_lib(&self, entries: &[usize]) -> Vec<usize> {
+        self.bfs_where(entries, |n| self.nodes[n].is_lib)
+    }
+
+    fn bfs_where(&self, entries: &[usize], keep: impl Fn(usize) -> bool) -> Vec<usize> {
+        let mut pred = vec![usize::MAX; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &e in entries {
+            if pred[e] == usize::MAX && keep(e) {
+                pred[e] = e;
+                queue.push_back(e);
+            }
+        }
+        while let Some(at) = queue.pop_front() {
+            for &next in &self.succ[at] {
+                if pred[next] == usize::MAX && keep(next) {
+                    pred[next] = at;
+                    queue.push_back(next);
+                }
+            }
+        }
+        pred
+    }
+
+    /// The entry → node call path implied by a [`Graph::bfs`] result.
+    pub fn path_to(&self, pred: &[usize], mut node: usize) -> Vec<usize> {
+        let mut path = vec![node];
+        while pred[node] != node && pred[node] != usize::MAX {
+            node = pred[node];
+            path.push(node);
+        }
+        path.reverse();
+        path
+    }
+}

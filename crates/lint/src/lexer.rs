@@ -149,6 +149,17 @@ impl<'a> Lexer<'a> {
     }
 
     fn run(mut self) -> Lexed {
+        // A shebang (`#!...` at the very start of the file, as cargo-script
+        // files carry) is not Rust tokens; skip its line. `#![attr]` inner
+        // attributes are real code and must still lex.
+        if self.src.starts_with("#!") && self.peek_at(2) != Some(b'[') {
+            while let Some(b) = self.peek() {
+                if b == b'\n' {
+                    break;
+                }
+                self.bump();
+            }
+        }
         while let Some(b) = self.peek() {
             let line = self.line;
             match b {

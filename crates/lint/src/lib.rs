@@ -11,17 +11,25 @@
 //!
 //! The pipeline is: a hand-rolled Rust [`lexer`] (no external parser —
 //! the workspace builds offline and `syn` is not vendored) feeds a
-//! [`rules`] engine scoped per crate and per path by [`engine::classify`];
-//! findings are diffed against a committed [`baseline`]
-//! (`lint-baseline.json`) so that CI fails on any *new* violation while
-//! existing debt is burned down incrementally.
+//! [`rules`] engine scoped per crate and per path by [`engine::classify`].
+//! In parallel, a lightweight item [`parse`]r builds per-crate symbol
+//! tables that [`graph`] resolves into a conservative whole-workspace
+//! call graph, over which three interprocedural analyses run:
+//! panic-[`reach`]ability for the serving crates, determinism [`taint`]
+//! from nondeterminism sources into the report harnesses, and the
+//! parallel-readiness audit of the sim/models hot paths. All findings
+//! are diffed against a committed [`baseline`] (`lint-baseline.json`,
+//! format v2: per-rule severity + per-file counts) so that CI fails on
+//! any *new* violation while existing debt is burned down incrementally.
 //!
 //! Run it from the workspace root:
 //!
 //! ```text
 //! cargo run -p evop-lint              # gate: compare against the baseline
 //! cargo run -p evop-lint -- --json    # machine-readable findings
+//! cargo run -p evop-lint -- --sarif out.sarif   # SARIF 2.1.0 export
 //! cargo run -p evop-lint -- --update-baseline   # record an intentional ratchet move
+//! cargo run -p evop-lint -- graph     # the call graph itself (JSON; --dot for Graphviz)
 //! ```
 
 #![forbid(unsafe_code)]
@@ -29,13 +37,22 @@
 
 pub mod baseline;
 pub mod engine;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
+pub mod reach;
 pub mod rules;
+pub mod taint;
 
-pub use baseline::{Baseline, Delta, Verdict};
-pub use engine::{analyze_source, analyze_workspace, classify, FileScope, Report};
+pub use baseline::{Baseline, Delta, RuleEntry, Verdict};
+pub use engine::{
+    analyze_files, analyze_source, analyze_workspace, classify, workspace_sources, FileScope,
+    Report,
+};
+pub use graph::{Graph, Node};
 pub use lexer::{lex, Directive, Lexed, Token, TokenKind};
-pub use rules::{Finding, RuleInfo, RULES};
+pub use parse::{parse_file, ParsedFile};
+pub use rules::{severity_of, Finding, RuleInfo, RULES};
 
 /// The committed ratchet file name, resolved against the workspace root.
 pub const BASELINE_FILE: &str = "lint-baseline.json";

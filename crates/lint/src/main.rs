@@ -5,8 +5,11 @@
 //! cargo run -p evop-lint -- --update-baseline # record an intentional ratchet move
 //! cargo run -p evop-lint -- --no-baseline     # report every finding, ignore the ratchet
 //! cargo run -p evop-lint -- --json            # machine-readable output
+//! cargo run -p evop-lint -- --sarif out.sarif # also write a SARIF 2.1.0 log
 //! cargo run -p evop-lint -- --list-rules      # rule catalogue
 //! cargo run -p evop-lint -- --root <dir>      # analyze another tree
+//! cargo run -p evop-lint -- graph             # call graph as JSON
+//! cargo run -p evop-lint -- graph --dot       # call graph as Graphviz DOT
 //! ```
 //!
 //! Exit codes: `0` clean (no new violations), `1` gate failure, `2`
@@ -18,7 +21,9 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use evop_lint::{analyze_workspace, Baseline, Report, BASELINE_FILE, RULES};
+use evop_lint::{
+    analyze_files, graph, severity_of, workspace_sources, Baseline, Report, BASELINE_FILE, RULES,
+};
 
 struct Options {
     root: PathBuf,
@@ -26,6 +31,10 @@ struct Options {
     no_baseline: bool,
     json: bool,
     list_rules: bool,
+    sarif: Option<PathBuf>,
+    /// `evop-lint graph [--dot|--json]`: emit the call graph and exit.
+    graph: bool,
+    dot: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -37,14 +46,24 @@ fn parse_args() -> Result<Options, String> {
         no_baseline: false,
         json: false,
         list_rules: false,
+        sarif: None,
+        graph: false,
+        dot: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "graph" => opts.graph = true,
+            "--dot" => opts.dot = true,
             "--update-baseline" => opts.update_baseline = true,
             "--no-baseline" => opts.no_baseline = true,
             "--json" => opts.json = true,
             "--list-rules" => opts.list_rules = true,
+            "--sarif" => {
+                opts.sarif = Some(PathBuf::from(
+                    args.next().ok_or_else(|| "--sarif requires a file path".to_owned())?,
+                ));
+            }
             "--root" => {
                 opts.root = PathBuf::from(
                     args.next().ok_or_else(|| "--root requires a directory".to_owned())?,
@@ -53,10 +72,14 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!(
                     "evop-lint: determinism & robustness analyzer\n\n\
+                     usage:\n  \
+                     evop-lint [options]         gate the tree against the baseline\n  \
+                     evop-lint graph [--dot]     emit the workspace call graph (JSON default)\n\n\
                      options:\n  \
                      --update-baseline  record current findings as the new ratchet\n  \
                      --no-baseline      report all findings, ignore the ratchet\n  \
                      --json             machine-readable output\n  \
+                     --sarif <file>     also write findings as SARIF 2.1.0\n  \
                      --list-rules       print the rule catalogue\n  \
                      --root <dir>       analyze another tree"
                 );
@@ -64,6 +87,9 @@ fn parse_args() -> Result<Options, String> {
             }
             other => return Err(format!("unknown argument: {other}")),
         }
+    }
+    if opts.dot && !opts.graph {
+        return Err("--dot only applies to the `graph` subcommand".to_owned());
     }
     Ok(opts)
 }
@@ -83,14 +109,34 @@ fn run() -> Result<ExitCode, String> {
 
     if opts.list_rules {
         for r in RULES {
-            println!("{:<18} {:<12} {}", r.id, r.family, r.summary);
+            println!("{:<18} {:<12} {:<8} {}", r.id, r.family, r.severity, r.summary);
         }
         return Ok(ExitCode::SUCCESS);
     }
 
     let root = opts.root.canonicalize().map_err(|e| format!("bad root: {e}"))?;
-    let reports = analyze_workspace(&root).map_err(|e| e.to_string())?;
+    let sources = workspace_sources(&root).map_err(|e| e.to_string())?;
+
+    if opts.graph {
+        let g = graph::build(&sources);
+        if opts.dot {
+            print!("{}", g.to_dot());
+        } else {
+            let text = serde_json::to_string_pretty(&g.to_json())
+                .map_err(|e| format!("json encoding failed: {e}"))?;
+            println!("{text}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let reports = analyze_files(&sources);
     let baseline_path = root.join(BASELINE_FILE);
+
+    if let Some(sarif_path) = &opts.sarif {
+        let text = serde_json::to_string_pretty(&sarif(&reports))
+            .map_err(|e| format!("sarif encoding failed: {e}"))?;
+        std::fs::write(sarif_path, text + "\n").map_err(|e| format!("writing sarif: {e}"))?;
+    }
 
     if opts.update_baseline {
         let baseline = Baseline::from_reports(&reports);
@@ -98,7 +144,7 @@ fn run() -> Result<ExitCode, String> {
         println!(
             "evop-lint: baseline updated: {} findings across {} rules -> {}",
             reports.len(),
-            baseline.counts.len(),
+            baseline.rules.len(),
             baseline_path.display()
         );
         return Ok(ExitCode::SUCCESS);
@@ -182,6 +228,7 @@ fn print_json(reports: &[Report], verdict: Option<&evop_lint::Verdict>) {
         .map(|r| {
             serde_json::json!({
                 "rule": r.rule,
+                "severity": severity_of(&r.rule),
                 "path": r.path,
                 "line": r.line,
                 "message": r.message,
@@ -202,4 +249,50 @@ fn print_json(reports: &[Report], verdict: Option<&evop_lint::Verdict>) {
         Ok(text) => println!("{text}"),
         Err(e) => eprintln!("evop-lint: json encoding failed: {e}"),
     }
+}
+
+/// Findings as a SARIF 2.1.0 log — one run, one result per finding —
+/// for CI artifact upload and code-scanning UIs.
+fn sarif(reports: &[Report]) -> serde_json::Value {
+    let rules: Vec<serde_json::Value> = RULES
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "id": r.id,
+                "shortDescription": { "text": r.summary },
+                "defaultConfiguration": { "level": r.severity },
+                "properties": { "family": r.family },
+            })
+        })
+        .collect();
+    let results: Vec<serde_json::Value> = reports
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "ruleId": r.rule,
+                "level": severity_of(&r.rule),
+                "message": { "text": r.message },
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": { "uri": r.path },
+                        "region": { "startLine": r.line },
+                    }
+                }],
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "evop-lint",
+                    "informationUri": "https://example.invalid/evop-lint",
+                    "rules": rules,
+                }
+            },
+            "results": results,
+        }],
+    })
 }

@@ -1,0 +1,700 @@
+//! A lightweight item parser over the token stream.
+//!
+//! `evop-lint` builds offline with no external parser, so this module
+//! recovers just enough structure from [`crate::lexer`] tokens to build a
+//! conservative whole-workspace call graph: function items (with
+//! visibility, enclosing module path and `impl` type), the call sites
+//! inside each body, `use` imports for cross-crate resolution, and the
+//! hazard sites the interprocedural analyses care about — panic sites
+//! (`unwrap`/`expect`/`panic!`/indexing), determinism sources (wall
+//! clock, ambient RNG, `HashMap` iteration) and parallel-readiness
+//! hazards (`Rc`/`RefCell`/`Cell`/`UnsafeCell`/`static mut`).
+//!
+//! The parser is *approximate by design*: it never needs to type-check,
+//! only to stay deterministic and conservative. Anything it cannot
+//! resolve it drops (for calls) or attributes to the innermost enclosing
+//! function (for sites), which keeps the downstream analyses free of
+//! false paths through text that is not code.
+
+use std::collections::BTreeMap;
+
+use crate::engine::{classify, FileScope};
+use crate::lexer::{lex, Directive, Token, TokenKind};
+use crate::rules::cfg_test_mask;
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// The call path: `["f"]`, `["Broker", "new"]`, or for method calls
+    /// a single segment (`["connect"]` for `broker.connect(...)`).
+    pub path: Vec<String>,
+    /// `true` for `receiver.name(...)` method syntax (resolved by name
+    /// across `impl` blocks), `false` for path calls.
+    pub method: bool,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// A hazard site inside a function body, tagged with what it is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    /// 1-based line.
+    pub line: u32,
+    /// Short description, e.g. `.unwrap()` or `Instant::now()`.
+    pub what: String,
+}
+
+/// One parsed function item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// The `impl` (or `trait`) type it is defined on, if any.
+    pub impl_type: Option<String>,
+    /// Enclosing in-file module path (`mod` nesting), outermost first.
+    pub module: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// `pub` in any form (`pub`, `pub(crate)`, …).
+    pub is_pub: bool,
+    /// Defined under `#[cfg(test)]` (hazards inside are not collected,
+    /// and the function is never an analysis entry point).
+    pub is_test: bool,
+    /// Call sites in body order.
+    pub calls: Vec<Call>,
+    /// Panic hazards: `.unwrap()`, `.expect(`, `panic!`-family, indexing.
+    pub panic_sites: Vec<Site>,
+    /// Determinism sources (wall clock, ambient RNG, hash iteration),
+    /// excluding directive-sanctioned sites.
+    pub det_sources: Vec<Site>,
+    /// Parallel-readiness hazards (`Rc`, `RefCell`, `Cell`,
+    /// `UnsafeCell`, `static mut`).
+    pub par_sites: Vec<Site>,
+}
+
+/// The parse result for one file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// The file's scope classification (shared with the rule engine).
+    pub scope: Option<FileScope>,
+    /// `use` imports: local name → full path segments.
+    pub imports: BTreeMap<String, Vec<String>>,
+    /// Every function item in the file.
+    pub fns: Vec<FnDef>,
+    /// Module-level `static mut` declarations (name, line).
+    pub static_muts: Vec<(String, u32)>,
+    /// All lint directives in the file (for semantic-finding suppression).
+    pub directives: Vec<Directive>,
+}
+
+/// Parses one file into items. Never fails; unparseable stretches are
+/// skipped token by token.
+pub fn parse_file(rel: &str, src: &str) -> ParsedFile {
+    let lexed = lex(src);
+    let mask = cfg_test_mask(&lexed.tokens);
+    let mut out = ParsedFile {
+        rel: rel.to_owned(),
+        scope: Some(classify(rel)),
+        directives: lexed.directives.clone(),
+        ..ParsedFile::default()
+    };
+    let mut p = Parser { tokens: &lexed.tokens, mask: &mask, i: 0, out: &mut out };
+    p.items(&[], None, usize::MAX);
+
+    // Directive-sanctioned determinism sites are not taint sources: the
+    // one lint-approved wall-clock read (the bench profiler) must not
+    // paint every harness above it.
+    let dirs = out.directives.clone();
+    for f in &mut out.fns {
+        f.det_sources.retain(|s| {
+            !dirs.iter().any(|d| {
+                d.rule.starts_with("det-")
+                    && !d.reason.is_empty()
+                    && (d.line == s.line || d.line + 1 == s.line)
+            })
+        });
+    }
+    out
+}
+
+/// Method names resolved by name alone would link `.clone()`/`.len()` to
+/// every same-named workspace function and melt the graph into one blob;
+/// these std-ubiquitous names are never resolved as workspace calls.
+const AMBIENT_METHODS: &[&str] = &[
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "append",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "ceil",
+    "chain",
+    "chars",
+    "chunks",
+    "clamp",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "entry",
+    "enumerate",
+    "eq",
+    "expect",
+    "extend",
+    "fill",
+    "filter",
+    "filter_map",
+    "find",
+    "find_map",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "fold",
+    "for_each",
+    "fract",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_finite",
+    "is_nan",
+    "is_none",
+    "is_none_or",
+    "is_some",
+    "is_some_and",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "ln",
+    "map",
+    "map_err",
+    "map_or",
+    "max",
+    "max_by",
+    "min",
+    "min_by",
+    "ne",
+    "next",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_else",
+    "or_insert",
+    "or_insert_with",
+    "parse",
+    "partial_cmp",
+    "peek",
+    "pop",
+    "position",
+    "powf",
+    "powi",
+    "push",
+    "push_str",
+    "remove",
+    "resize",
+    "retain",
+    "rev",
+    "round",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "split",
+    "sqrt",
+    "starts_with",
+    "ends_with",
+    "step_by",
+    "sum",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "truncate",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "windows",
+    "write",
+    "zip",
+];
+
+/// Keywords that can directly precede a `[` without it being indexing.
+const KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "Self", "static", "struct", "super", "trait", "type", "unsafe", "use",
+    "where", "while", "yield", "await", "async", "union",
+];
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    mask: &'a [bool],
+    i: usize,
+    out: &'a mut ParsedFile,
+}
+
+impl Parser<'_> {
+    fn t(&self, at: usize) -> Option<&Token> {
+        self.tokens.get(at)
+    }
+
+    fn is_kw(&self, at: usize, kw: &str) -> bool {
+        self.t(at).map(|t| t.is_ident(kw)).unwrap_or(false)
+    }
+
+    /// Parses items until `end` (exclusive) or a closing `}` at this
+    /// nesting level.
+    fn items(&mut self, module: &[String], impl_type: Option<&str>, end: usize) {
+        while self.i < self.tokens.len().min(end) {
+            let t = &self.tokens[self.i];
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Ident, "use") => self.use_item(),
+                (TokenKind::Ident, "mod")
+                    if self.t(self.i + 1).map(|t| t.kind == TokenKind::Ident).unwrap_or(false) =>
+                {
+                    let name = self.tokens[self.i + 1].text.clone();
+                    self.i += 2;
+                    if self.t(self.i).map(|t| t.is_punct("{")).unwrap_or(false) {
+                        let close = self.matching_brace(self.i);
+                        self.i += 1;
+                        let mut inner = module.to_vec();
+                        inner.push(name);
+                        self.items(&inner, impl_type, close);
+                        self.i = close + 1;
+                    }
+                    // `mod name;` — out-of-line, nothing to do here.
+                }
+                (TokenKind::Ident, "impl" | "trait") => {
+                    let ty = self.impl_header_type();
+                    if let Some(open) = self.find_brace_before_semi() {
+                        let close = self.matching_brace(open);
+                        self.i = open + 1;
+                        self.items(module, ty.as_deref(), close);
+                        self.i = close + 1;
+                    } else {
+                        self.i += 1;
+                    }
+                }
+                (TokenKind::Ident, "struct" | "enum" | "union") => {
+                    // No fn items inside; skip the whole declaration.
+                    if let Some(open) = self.find_brace_before_semi() {
+                        self.i = self.matching_brace(open) + 1;
+                    } else {
+                        self.i += 1;
+                    }
+                }
+                (TokenKind::Ident, "static")
+                    if self.is_kw(self.i + 1, "mut")
+                        && self
+                            .t(self.i + 2)
+                            .map(|t| t.kind == TokenKind::Ident)
+                            .unwrap_or(false) =>
+                {
+                    let name = self.tokens[self.i + 2].text.clone();
+                    self.out.static_muts.push((name, t.line));
+                    self.i += 3;
+                }
+                (TokenKind::Ident, "fn")
+                    if self.t(self.i + 1).map(|t| t.kind == TokenKind::Ident).unwrap_or(false) =>
+                {
+                    self.fn_item(module, impl_type);
+                }
+                (TokenKind::Punct, "{") => {
+                    // A brace that is not an item we model (e.g. a const
+                    // initialiser block): skip it wholesale.
+                    self.i = self.matching_brace(self.i) + 1;
+                }
+                (TokenKind::Punct, "}") => return,
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// `use a::b::{c, d as e};` → imports for every leaf.
+    fn use_item(&mut self) {
+        self.i += 1; // `use`
+        let mut prefix: Vec<String> = Vec::new();
+        self.use_tree(&mut prefix);
+        // Consume through the terminating `;`.
+        while self.i < self.tokens.len() && !self.tokens[self.i].is_punct(";") {
+            self.i += 1;
+        }
+        self.i += 1;
+    }
+
+    fn use_tree(&mut self, prefix: &mut Vec<String>) {
+        let depth_base = prefix.len();
+        loop {
+            match self.t(self.i) {
+                Some(t) if t.kind == TokenKind::Ident && t.text == "as" => {
+                    self.i += 1;
+                    if let Some(alias) = self.t(self.i).filter(|t| t.kind == TokenKind::Ident) {
+                        self.out.imports.insert(alias.text.clone(), prefix.clone());
+                        self.i += 1;
+                    }
+                }
+                Some(t) if t.kind == TokenKind::Ident => {
+                    prefix.push(t.text.clone());
+                    self.i += 1;
+                }
+                Some(t) if t.is_punct(":") => {
+                    self.i += 1; // each `:` of `::`
+                }
+                Some(t) if t.is_punct("{") => {
+                    self.i += 1;
+                    loop {
+                        self.use_tree(prefix);
+                        match self.t(self.i) {
+                            Some(t) if t.is_punct(",") => self.i += 1,
+                            _ => break,
+                        }
+                    }
+                    if self.t(self.i).map(|t| t.is_punct("}")).unwrap_or(false) {
+                        self.i += 1;
+                    }
+                    prefix.truncate(depth_base);
+                    return;
+                }
+                Some(t) if t.is_punct("*") => {
+                    self.i += 1; // glob: unresolvable, drop
+                }
+                _ => break,
+            }
+            // A leaf ends at `,`, `;` or `}`.
+            if let Some(t) = self.t(self.i) {
+                if t.is_punct(",") || t.is_punct(";") || t.is_punct("}") {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        if prefix.len() > depth_base {
+            if let Some(leaf) = prefix.last() {
+                if leaf != "self" {
+                    self.out.imports.insert(leaf.clone(), prefix.clone());
+                }
+            }
+        }
+        prefix.truncate(depth_base);
+    }
+
+    /// After `impl`/`trait` at `self.i`: the implemented-on type name
+    /// (the last path segment before `{`, after `for` when present).
+    fn impl_header_type(&self) -> Option<String> {
+        let mut j = self.i + 1;
+        let mut last: Option<String> = None;
+        let mut after_for: Option<String> = None;
+        let mut angle = 0i32;
+        while let Some(t) = self.t(j) {
+            if t.is_punct("{") || t.is_punct(";") {
+                break;
+            }
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle -= 1;
+            } else if angle == 0 && t.kind == TokenKind::Ident {
+                if t.text == "for" {
+                    after_for = None;
+                    last = None;
+                } else if t.text != "where" {
+                    last = Some(t.text.clone());
+                    after_for.get_or_insert_with(|| t.text.clone());
+                }
+                if t.text == "where" {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        last
+    }
+
+    /// From `self.i`, the next top-level `{` unless a `;` (outside
+    /// brackets) comes first.
+    fn find_brace_before_semi(&self) -> Option<usize> {
+        let mut j = self.i;
+        let mut depth = 0i32;
+        while let Some(t) = self.t(j) {
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct("{") {
+                return Some(j);
+            } else if depth == 0 && t.is_punct(";") {
+                return None;
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Index of the `}` matching the `{` at `open`.
+    fn matching_brace(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        let mut j = open;
+        while let Some(t) = self.t(j) {
+            if t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct("}") {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        self.tokens.len()
+    }
+
+    /// `true` when the tokens before `at` (modifiers allowed in between)
+    /// include `pub`.
+    fn is_pub_before(&self, at: usize) -> bool {
+        let mut j = at;
+        while j > 0 {
+            j -= 1;
+            let t = &self.tokens[j];
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Ident, "pub") => return true,
+                (TokenKind::Ident, "async" | "unsafe" | "const" | "extern") => {}
+                (TokenKind::Str, _) => {} // `extern "C"`
+                (TokenKind::Punct, ")") => {
+                    // `pub(crate)` / `pub(super)`: walk back over `(..)`.
+                    let mut depth = 1;
+                    while j > 0 && depth > 0 {
+                        j -= 1;
+                        if self.tokens[j].is_punct(")") {
+                            depth += 1;
+                        } else if self.tokens[j].is_punct("(") {
+                            depth -= 1;
+                        }
+                    }
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    fn fn_item(&mut self, module: &[String], impl_type: Option<&str>) {
+        let fn_at = self.i;
+        let name = self.tokens[self.i + 1].text.clone();
+        let line = self.tokens[self.i + 1].line;
+        let is_pub = self.is_pub_before(fn_at);
+        let is_test = self.mask.get(fn_at).copied().unwrap_or(false);
+        self.i += 2;
+        let Some(open) = self.find_brace_before_semi() else {
+            // Trait method declaration / extern fn: no body.
+            self.out.fns.push(FnDef {
+                name,
+                impl_type: impl_type.map(str::to_owned),
+                module: module.to_vec(),
+                line,
+                is_pub,
+                is_test,
+                calls: Vec::new(),
+                panic_sites: Vec::new(),
+                det_sources: Vec::new(),
+                par_sites: Vec::new(),
+            });
+            return;
+        };
+        let close = self.matching_brace(open);
+        let mut def = FnDef {
+            name,
+            impl_type: impl_type.map(str::to_owned),
+            module: module.to_vec(),
+            line,
+            is_pub,
+            is_test,
+            calls: Vec::new(),
+            panic_sites: Vec::new(),
+            det_sources: Vec::new(),
+            par_sites: Vec::new(),
+        };
+        self.i = open + 1;
+        self.body(&mut def, module, close);
+        self.out.fns.push(def);
+        self.i = close + 1;
+    }
+
+    /// Scans a function body, collecting calls and hazard sites. Nested
+    /// `fn` items become their own [`FnDef`]s.
+    fn body(&mut self, def: &mut FnDef, module: &[String], end: usize) {
+        while self.i < end.min(self.tokens.len()) {
+            let t = &self.tokens[self.i];
+            if t.kind == TokenKind::Ident && t.text == "fn" {
+                if self.t(self.i + 1).map(|n| n.kind == TokenKind::Ident).unwrap_or(false) {
+                    self.fn_item(module, None);
+                    continue;
+                }
+                // `fn` in a type position (`impl Fn()`, `fn()` pointers).
+                self.i += 1;
+                continue;
+            }
+            if t.kind == TokenKind::Ident {
+                self.ident_in_body(def);
+            } else if t.is_punct("[") && self.is_indexing(self.i) {
+                def.panic_sites.push(Site { line: t.line, what: "indexing `[..]`".to_owned() });
+                self.i += 1;
+            } else {
+                self.i += 1;
+            }
+        }
+    }
+
+    /// `[` at `at` is indexing when it follows a value expression.
+    fn is_indexing(&self, at: usize) -> bool {
+        let Some(prev) = at.checked_sub(1).and_then(|p| self.t(p)) else { return false };
+        match prev.kind {
+            TokenKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+            TokenKind::Punct => prev.text == ")" || prev.text == "]",
+            _ => false,
+        }
+    }
+
+    /// Handles one identifier inside a body: hazard sites, determinism
+    /// sources, parallel-readiness sites, and call collection.
+    fn ident_in_body(&mut self, def: &mut FnDef) {
+        let i = self.i;
+        let t = &self.tokens[i];
+        let next_is = |p: &str| self.t(i + 1).map(|n| n.is_punct(p)).unwrap_or(false);
+        let prev_is_dot = i > 0 && self.tokens[i - 1].is_punct(".");
+
+        self.hazard_at(i, def);
+
+        // Call collection (independent of test masking: the graph covers
+        // test code too, it is only never an entry or hazard).
+        if prev_is_dot {
+            if next_is("(") && !AMBIENT_METHODS.contains(&t.text.as_str()) {
+                def.calls.push(Call { path: vec![t.text.clone()], method: true, line: t.line });
+            }
+            self.i += 1;
+            return;
+        }
+        // Path expression: `a::b::c` then `(` (turbofish tolerated).
+        if KEYWORDS.contains(&t.text.as_str()) {
+            self.i += 1;
+            return;
+        }
+        let mut path = vec![t.text.clone()];
+        let mut j = i + 1;
+        while self.t(j).map(|x| x.is_punct(":")).unwrap_or(false)
+            && self.t(j + 1).map(|x| x.is_punct(":")).unwrap_or(false)
+        {
+            match self.t(j + 2) {
+                Some(seg) if seg.kind == TokenKind::Ident => {
+                    // Hazard idents can sit mid-path (`std::rc::Rc::new`,
+                    // `std::time::Instant::now`): check every segment.
+                    self.hazard_at(j + 2, def);
+                    path.push(seg.text.clone());
+                    j += 3;
+                }
+                Some(seg) if seg.is_punct("<") => {
+                    // Turbofish: skip the generic args, then expect `(`.
+                    let mut depth = 1i32;
+                    let mut k = j + 3;
+                    while let Some(x) = self.t(k) {
+                        if x.is_punct("<") {
+                            depth += 1;
+                        } else if x.is_punct(">") {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    j = k + 1;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        let is_call = self.t(j).map(|x| x.is_punct("(")).unwrap_or(false);
+        let is_macro = self.t(j).map(|x| x.is_punct("!")).unwrap_or(false);
+        if is_call && !is_macro {
+            def.calls.push(Call { path, method: false, line: t.line });
+        }
+        self.i = j.max(i + 1);
+    }
+
+    /// Records any hazard/source site the identifier at `i` constitutes.
+    fn hazard_at(&self, i: usize, def: &mut FnDef) {
+        let masked = self.mask.get(i).copied().unwrap_or(false) || def.is_test;
+        if masked {
+            return;
+        }
+        let t = &self.tokens[i];
+        let next_is = |p: &str| self.t(i + 1).map(|n| n.is_punct(p)).unwrap_or(false);
+        let prev_is_dot = i > 0 && self.tokens[i - 1].is_punct(".");
+        match t.text.as_str() {
+            "unwrap" | "expect" if prev_is_dot && next_is("(") => {
+                def.panic_sites.push(Site { line: t.line, what: format!(".{}(..)", t.text) });
+            }
+            "panic" | "todo" | "unimplemented" | "unreachable" if next_is("!") => {
+                def.panic_sites.push(Site { line: t.line, what: format!("{}!", t.text) });
+            }
+            "Instant" | "SystemTime" if self.path_call_is(i, "now") => {
+                def.det_sources.push(Site { line: t.line, what: format!("{}::now()", t.text) });
+            }
+            "thread_rng" | "from_entropy" | "OsRng" => {
+                def.det_sources.push(Site { line: t.line, what: t.text.clone() });
+            }
+            "random"
+                if i >= 3
+                    && self.tokens[i - 1].is_punct(":")
+                    && self.tokens[i - 2].is_punct(":")
+                    && self.tokens[i - 3].is_ident("rand") =>
+            {
+                def.det_sources.push(Site { line: t.line, what: "rand::random".to_owned() });
+            }
+            "HashMap" | "HashSet" => {
+                def.det_sources.push(Site { line: t.line, what: format!("{} iteration", t.text) });
+            }
+            "Rc" | "RefCell" | "Cell" | "UnsafeCell" => {
+                def.par_sites.push(Site { line: t.line, what: format!("{}<..>", t.text) });
+            }
+            "static" if self.is_kw(i + 1, "mut") => {
+                def.par_sites.push(Site { line: t.line, what: "static mut".to_owned() });
+            }
+            _ => {}
+        }
+    }
+
+    /// `tokens[i]` then `::name(`.
+    fn path_call_is(&self, i: usize, name: &str) -> bool {
+        self.t(i + 1).map(|t| t.is_punct(":")).unwrap_or(false)
+            && self.t(i + 2).map(|t| t.is_punct(":")).unwrap_or(false)
+            && self.t(i + 3).map(|t| t.is_ident(name)).unwrap_or(false)
+            && self.t(i + 4).map(|t| t.is_punct("(")).unwrap_or(false)
+    }
+}

@@ -1,0 +1,148 @@
+//! Interprocedural reachability analyses over the call graph:
+//! panic-reachability for the serving crates and the parallel-readiness
+//! audit for the simulation/Monte-Carlo paths.
+//!
+//! Both are deliberately conservative consumers of an over-approximate
+//! graph: a finding says "there exists a call chain the linter cannot
+//! rule out", not "this will panic". The per-rule severities reflect
+//! that — these are worklist rules, ratcheted by the baseline, not
+//! build-breakers on first contact.
+
+use crate::engine::Report;
+use crate::graph::Graph;
+
+/// Crates whose public surface serves requests: a panic here is an
+/// availability incident, not a bug report.
+pub const SERVING_CRATES: &[&str] = &["broker", "cache", "xcloud", "services"];
+
+/// Crates whose hot paths are candidates for parallel execution
+/// (the event loop and the Monte Carlo batches).
+pub const PARALLEL_CRATES: &[&str] = &["sim", "models"];
+
+/// Renders a call chain as `a -> b -> c` using qualified names.
+fn render_path(graph: &Graph, ids: &[usize]) -> String {
+    ids.iter().map(|&i| graph.nodes[i].qualified()).collect::<Vec<_>>().join(" -> ")
+}
+
+/// Public entry points of `crates` — `pub` library fns, non-test,
+/// non-bin — in stable (file, line) order.
+pub fn entries_of(graph: &Graph, crates: &[&str]) -> Vec<usize> {
+    graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.is_pub && n.is_lib && crates.contains(&n.crate_name.as_str()))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Flags public serving-crate APIs that *transitively* reach a panic
+/// site (`unwrap`/`expect`/`panic!`/indexing). Panics in the entry
+/// itself are local findings (`rob-*`) and are not re-reported here;
+/// only depth ≥ 1 chains count. One finding per hazardous entry, at the
+/// entry's definition, naming the nearest hazard and the chain to it.
+pub fn panic_reachability(graph: &Graph, excerpt: impl Fn(&str, u32) -> String) -> Vec<Report> {
+    let mut reports = Vec::new();
+    for entry in entries_of(graph, SERVING_CRATES) {
+        let pred = graph.bfs_lib(&[entry]);
+        // Nearest transitive hazard: scan by path length, tie-broken by
+        // node id (which is (file, line) order) for determinism.
+        let mut best: Option<(usize, usize)> = None; // (path_len, node)
+        let mut hazardous = 0usize;
+        for (node, n) in graph.nodes.iter().enumerate() {
+            if node == entry || pred[node] == usize::MAX || n.panic_sites.is_empty() {
+                continue;
+            }
+            hazardous += 1;
+            let len = graph.path_to(&pred, node).len();
+            if best.map(|(bl, bn)| (len, node) < (bl, bn)).unwrap_or(true) {
+                best = Some((len, node));
+            }
+        }
+        if let Some((_, hazard)) = best {
+            let chain = graph.path_to(&pred, hazard);
+            let site = &graph.nodes[hazard].panic_sites[0];
+            let others = hazardous - 1;
+            let suffix = match others {
+                0 => String::new(),
+                1 => " (and 1 more reachable panicking fn)".to_owned(),
+                n => format!(" (and {n} more reachable panicking fns)"),
+            };
+            let e = &graph.nodes[entry];
+            reports.push(Report {
+                rule: "reach-panic".to_owned(),
+                path: e.file.clone(),
+                line: e.line,
+                message: format!(
+                    "pub fn `{}` can reach {} at {}:{} via {}{}",
+                    e.qualified(),
+                    site.what,
+                    graph.nodes[hazard].file,
+                    site.line,
+                    render_path(graph, &chain),
+                    suffix,
+                ),
+                excerpt: excerpt(&e.file, e.line),
+            });
+        }
+    }
+    reports
+}
+
+/// Flags `Rc`/`RefCell`/`Cell`/`static mut` (non-`Send` interior
+/// mutability) reachable from the sim event loop and the models Monte
+/// Carlo paths. Findings land at the hazard site, naming the parallel
+/// entry that reaches it — that is where the fix goes (swap to
+/// `Arc`/`Mutex` or restructure), and where an `allow` directive would
+/// sit if the single-threaded design is intentional.
+pub fn parallel_readiness(graph: &Graph, excerpt: impl Fn(&str, u32) -> String) -> Vec<Report> {
+    let entries = entries_of(graph, PARALLEL_CRATES);
+    let pred = graph.bfs_lib(&entries);
+    let mut reports = Vec::new();
+    for (node, n) in graph.nodes.iter().enumerate() {
+        if pred[node] == usize::MAX || n.par_sites.is_empty() || !n.is_lib {
+            continue;
+        }
+        let chain = graph.path_to(&pred, node);
+        let entry = &graph.nodes[chain[0]];
+        let via = if chain.len() > 1 {
+            format!(" via {}", render_path(graph, &chain))
+        } else {
+            String::new()
+        };
+        for site in &n.par_sites {
+            reports.push(Report {
+                rule: "par-ready".to_owned(),
+                path: n.file.clone(),
+                line: site.line,
+                message: format!(
+                    "{} in `{}` is reachable from parallel entry `{}`{}; \
+                     not Send — blocks parallelising this path",
+                    site.what,
+                    n.qualified(),
+                    entry.qualified(),
+                    via,
+                ),
+                excerpt: excerpt(&n.file, site.line),
+            });
+        }
+    }
+    // `static mut` in the parallel crates is a hazard regardless of
+    // reachability: the graph cannot see data flow through statics.
+    for (file, name, line) in &graph.static_muts {
+        let c = crate::graph::crate_of(file);
+        if PARALLEL_CRATES.contains(&c.as_str()) {
+            reports.push(Report {
+                rule: "par-ready".to_owned(),
+                path: file.clone(),
+                line: *line,
+                message: format!(
+                    "`static mut {name}` in a parallel-candidate crate; \
+                     unsynchronised global state cannot cross threads"
+                ),
+                excerpt: excerpt(file, *line),
+            });
+        }
+    }
+    reports
+}

@@ -32,10 +32,20 @@ impl Finding {
 pub struct RuleInfo {
     /// Stable id.
     pub id: &'static str,
-    /// Rule family: `determinism`, `robustness` or `hygiene`.
+    /// Rule family: `determinism`, `robustness`, `hygiene` or
+    /// `parallelism`.
     pub family: &'static str,
+    /// SARIF-style severity: `error`, `warning` or `note`. Recorded per
+    /// rule in baseline v2 and in the SARIF export; the ratchet gate
+    /// fails on growth regardless of severity.
+    pub severity: &'static str,
     /// What it catches and where it applies.
     pub summary: &'static str,
+}
+
+/// The severity of a rule id (`note` for unknown ids, defensively).
+pub fn severity_of(id: &str) -> &'static str {
+    RULES.iter().find(|r| r.id == id).map(|r| r.severity).unwrap_or("note")
 }
 
 /// Every rule the engine knows, in report order.
@@ -43,57 +53,88 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "det-hashmap",
         family: "determinism",
+        severity: "error",
         summary: "std HashMap/HashSet (randomized iteration order) anywhere in the workspace; \
                   use BTreeMap/BTreeSet or a seeded hasher",
     },
     RuleInfo {
         id: "det-wallclock",
         family: "determinism",
+        severity: "error",
         summary: "Instant::now()/SystemTime::now() (wall-clock reads) anywhere; simulated code \
                   must use SimTime. Bench wall-clock timing is allowed per-site via a directive",
     },
     RuleInfo {
         id: "det-rng",
         family: "determinism",
+        severity: "error",
         summary: "ambient/unseeded randomness (thread_rng, from_entropy, OsRng, rand::random) \
                   anywhere; every RNG must derive from an explicit seed",
     },
     RuleInfo {
         id: "rob-unwrap",
         family: "robustness",
+        severity: "warning",
         summary: ".unwrap() in library (non-test, non-bin) code; return a typed error instead",
     },
     RuleInfo {
         id: "rob-expect",
         family: "robustness",
+        severity: "warning",
         summary: ".expect(...) in library (non-test, non-bin) code; return a typed error instead",
     },
     RuleInfo {
         id: "rob-panic",
         family: "robustness",
+        severity: "warning",
         summary: "panic!/todo!/unimplemented! in library (non-test, non-bin) code",
     },
     RuleInfo {
         id: "rob-float-eq",
         family: "robustness",
+        severity: "warning",
         summary: "==/!= against a floating-point literal in library (non-test) code; \
                   NaN-unsafe — compare against an epsilon",
     },
     RuleInfo {
         id: "hyg-forbid-unsafe",
         family: "hygiene",
+        severity: "warning",
         summary: "library crate root missing #![forbid(unsafe_code)]",
     },
     RuleInfo {
         id: "hyg-debug-print",
         family: "hygiene",
+        severity: "note",
         summary: "println!/eprintln!/print!/dbg! in library (non-test, non-bin) code",
     },
     RuleInfo {
         id: "hyg-directive",
         family: "hygiene",
+        severity: "note",
         summary: "an evop-lint allow directive that is malformed (unknown rule / missing \
                   `-- reason`) or suppresses nothing",
+    },
+    RuleInfo {
+        id: "reach-panic",
+        family: "robustness",
+        severity: "warning",
+        summary: "a pub fn in a serving crate (broker/cache/xcloud/services) transitively \
+                  reaches unwrap/expect/panic!/indexing through the call graph",
+    },
+    RuleInfo {
+        id: "det-taint",
+        family: "determinism",
+        severity: "error",
+        summary: "a wall-clock/OS-RNG/HashMap-iteration source is reachable from the core \
+                  report/golden harnesses; golden outputs depend on it",
+    },
+    RuleInfo {
+        id: "par-ready",
+        family: "parallelism",
+        severity: "note",
+        summary: "Rc/RefCell/Cell/static-mut (non-Send interior mutability) reachable from \
+                  the sim event loop or the models Monte Carlo paths",
     },
 ];
 

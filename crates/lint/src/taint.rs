@@ -1,0 +1,57 @@
+//! Determinism taint: flows from non-deterministic sources (wall-clock
+//! reads, OS randomness, `HashMap` iteration) into functions reachable
+//! from the report/golden harnesses.
+//!
+//! The token-level `det-*` rules flag every source site; this analysis
+//! adds the interprocedural fact that matters for reproducibility: a
+//! source that the `core` experiment harness can actually reach will
+//! perturb golden outputs. The finding lands at the *source* site —
+//! where the fix goes — and names the harness entry that reaches it.
+
+use crate::engine::Report;
+use crate::graph::Graph;
+use crate::reach::entries_of;
+
+/// The crate whose public fns are the report/golden harnesses: every
+/// experiment, ablation and report pipeline is a `pub fn` here.
+pub const HARNESS_CRATES: &[&str] = &["core"];
+
+/// Flags determinism sources reachable from the harness entries.
+/// One finding per source site, at the site.
+pub fn determinism_taint(graph: &Graph, excerpt: impl Fn(&str, u32) -> String) -> Vec<Report> {
+    let entries = entries_of(graph, HARNESS_CRATES);
+    let pred = graph.bfs_lib(&entries);
+    let mut reports = Vec::new();
+    for (node, n) in graph.nodes.iter().enumerate() {
+        if pred[node] == usize::MAX || n.det_sources.is_empty() || !n.is_lib {
+            continue;
+        }
+        let chain = graph.path_to(&pred, node);
+        let entry = &graph.nodes[chain[0]];
+        let via = if chain.len() > 1 {
+            format!(
+                " via {}",
+                chain.iter().map(|&i| graph.nodes[i].qualified()).collect::<Vec<_>>().join(" -> ")
+            )
+        } else {
+            String::new()
+        };
+        for site in &n.det_sources {
+            reports.push(Report {
+                rule: "det-taint".to_owned(),
+                path: n.file.clone(),
+                line: site.line,
+                message: format!(
+                    "{} in `{}` taints report harness `{}`{}; \
+                     golden outputs depend on this call",
+                    site.what,
+                    n.qualified(),
+                    entry.qualified(),
+                    via,
+                ),
+                excerpt: excerpt(&n.file, site.line),
+            });
+        }
+    }
+    reports
+}

@@ -74,7 +74,7 @@ fn shrunk_and_burned_down_pairs_are_improvements() {
 #[test]
 fn missing_file_loads_as_the_empty_baseline() {
     let base = Baseline::load(&PathBuf::from("/nonexistent/lint-baseline.json")).unwrap();
-    assert!(base.counts.is_empty());
+    assert!(base.is_empty());
     // Against an empty baseline every finding is new.
     assert!(!base.compare(&[report("rob-unwrap", "a.rs", 1)]).is_clean());
 }
@@ -92,6 +92,87 @@ fn store_then_load_round_trips() {
     assert_eq!(Baseline::load(&path).unwrap(), base);
     let text = std::fs::read_to_string(&path).unwrap();
     assert!(text.ends_with('\n'), "committed JSON should end with a newline");
+}
+
+#[test]
+fn from_reports_records_rule_severities() {
+    let base =
+        Baseline::from_reports(&[report("det-rng", "a.rs", 1), report("par-ready", "b.rs", 2)]);
+    assert_eq!(base.version, 2);
+    assert_eq!(base.rules["det-rng"].severity, "error");
+    assert_eq!(base.rules["par-ready"].severity, "note");
+}
+
+/// A v1 baseline as PR 4 committed it.
+const V1_TEXT: &str = r#"{
+  "version": 1,
+  "counts": {
+    "det-wallclock": { "crates/obs/src/profiler.rs": 2 },
+    "rob-unwrap": { "crates/broker/src/lib.rs": 3, "crates/cache/src/lib.rs": 1 }
+  }
+}"#;
+
+#[test]
+fn v1_baselines_migrate_preserving_counts_and_filling_severities() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let path = dir.join("baseline-v1.json");
+    std::fs::write(&path, V1_TEXT).unwrap();
+    let base = Baseline::load(&path).unwrap();
+    assert_eq!(base.version, 2, "load always yields the current format");
+    assert_eq!(base.rules["rob-unwrap"].files["crates/broker/src/lib.rs"], 3);
+    assert_eq!(base.rules["rob-unwrap"].files["crates/cache/src/lib.rs"], 1);
+    assert_eq!(base.rules["det-wallclock"].files["crates/obs/src/profiler.rs"], 2);
+    assert_eq!(base.rules["rob-unwrap"].severity, "warning");
+    assert_eq!(base.rules["det-wallclock"].severity, "error");
+}
+
+#[test]
+fn migration_preserves_the_ratchet() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let path = dir.join("baseline-v1-ratchet.json");
+    std::fs::write(&path, V1_TEXT).unwrap();
+    let base = Baseline::load(&path).unwrap();
+    // Exactly the recorded debt: clean.
+    let at_debt = vec![
+        report("det-wallclock", "crates/obs/src/profiler.rs", 1),
+        report("det-wallclock", "crates/obs/src/profiler.rs", 2),
+        report("rob-unwrap", "crates/broker/src/lib.rs", 1),
+        report("rob-unwrap", "crates/broker/src/lib.rs", 2),
+        report("rob-unwrap", "crates/broker/src/lib.rs", 3),
+        report("rob-unwrap", "crates/cache/src/lib.rs", 4),
+    ];
+    assert!(base.compare(&at_debt).is_clean());
+    // One more unwrap in broker: still a regression after migration.
+    let mut grown = at_debt.clone();
+    grown.push(report("rob-unwrap", "crates/broker/src/lib.rs", 9));
+    let verdict = base.compare(&grown);
+    assert_eq!(verdict.regressions.len(), 1);
+    assert_eq!((verdict.regressions[0].current, verdict.regressions[0].allowed), (4, 3));
+}
+
+#[test]
+fn updating_a_migrated_baseline_writes_v2() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let src = dir.join("baseline-v1-up.json");
+    let dst = dir.join("baseline-v2-up.json");
+    std::fs::write(&src, V1_TEXT).unwrap();
+    // The `--update-baseline` flow: findings in, store out.
+    let migrated = Baseline::load(&src).unwrap();
+    migrated.store(&dst).unwrap();
+    let text = std::fs::read_to_string(&dst).unwrap();
+    assert!(text.contains("\"version\": 2"));
+    assert!(text.contains("\"severity\""));
+    assert!(!text.contains("\"counts\""));
+    assert_eq!(Baseline::load(&dst).unwrap(), migrated, "v2 round-trips exactly");
+}
+
+#[test]
+fn unknown_baseline_versions_are_rejected() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let path = dir.join("baseline-v99.json");
+    std::fs::write(&path, r#"{ "version": 99, "rules": {} }"#).unwrap();
+    let err = Baseline::load(&path).unwrap_err();
+    assert!(err.to_string().contains("unsupported baseline version"));
 }
 
 #[test]

@@ -1,0 +1,135 @@
+//! Call-graph construction tests, including the golden-pinned JSON for a
+//! small fixture crate. The golden file freezes node identity, edge
+//! resolution and serialisation order: any change to parser or resolver
+//! behaviour shows up as a readable JSON diff here before it shows up as
+//! a mysterious baseline shift on the real tree.
+
+use evop_lint::graph;
+
+/// A self-contained mini crate exercising the resolver's main moves:
+/// free fn → free fn, method → method, `Type::assoc` paths, and a
+/// hazard site of each kind.
+const MINI_CRATE: &str = "#![forbid(unsafe_code)]\n\
+pub struct Engine {\n\
+    state: u32,\n\
+}\n\
+\n\
+impl Engine {\n\
+    pub fn new(seed: u32) -> Engine {\n\
+        Engine { state: mix(seed) }\n\
+    }\n\
+    pub fn step(&mut self) -> u32 {\n\
+        self.state = mix(self.state);\n\
+        self.emit()\n\
+    }\n\
+    fn emit(&self) -> u32 {\n\
+        let cell = std::cell::Cell::new(self.state);\n\
+        cell.get()\n\
+    }\n\
+}\n\
+\n\
+fn mix(x: u32) -> u32 {\n\
+    let t = std::time::Instant::now();\n\
+    x ^ (t.elapsed().subsec_nanos())\n\
+}\n\
+\n\
+pub fn run(seed: u32, n: u32) -> u32 {\n\
+    let mut e = Engine::new(seed);\n\
+    let mut last = 0;\n\
+    let mut i = 0;\n\
+    while i < n {\n\
+        last = e.step();\n\
+        i += 1;\n\
+    }\n\
+    checked(last)\n\
+}\n\
+\n\
+fn checked(x: u32) -> u32 {\n\
+    Some(x).unwrap()\n\
+}\n";
+
+fn mini_graph() -> graph::Graph {
+    graph::build(&[("crates/mini/src/lib.rs".to_owned(), MINI_CRATE.to_owned())])
+}
+
+#[test]
+fn mini_crate_graph_matches_the_golden_json() {
+    let g = mini_graph();
+    let mut actual = serde_json::to_string_pretty(&g.to_json()).expect("graph serialises");
+    actual.push('\n');
+    let golden = include_str!("golden/mini_crate_graph.json");
+    // Always drop the current form where an intentional update can copy
+    // it from: target/tmp/mini_crate_graph.actual.json.
+    let dump =
+        std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("mini_crate_graph.actual.json");
+    std::fs::write(&dump, &actual).expect("dump actual graph json");
+    assert_eq!(
+        actual,
+        golden,
+        "graph JSON drifted from the golden; if intentional, copy {} over \
+         crates/lint/tests/golden/mini_crate_graph.json",
+        dump.display()
+    );
+}
+
+#[test]
+fn nodes_are_sorted_by_file_and_line() {
+    let g = mini_graph();
+    let keys: Vec<(String, u32)> = g.nodes.iter().map(|n| (n.file.clone(), n.line)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}
+
+#[test]
+fn resolver_links_methods_paths_and_free_fns() {
+    let g = mini_graph();
+    let id = |label: &str| {
+        g.nodes.iter().position(|n| n.label() == label).unwrap_or_else(|| panic!("no node {label}"))
+    };
+    let has_edge = |a: &str, b: &str| g.succ[id(a)].contains(&id(b));
+    assert!(has_edge("Engine::new", "mix"), "free-fn call from an assoc fn");
+    assert!(has_edge("Engine::step", "mix"), "free-fn call from a method");
+    assert!(has_edge("Engine::step", "Engine::emit"), "method call on self");
+    assert!(has_edge("run", "Engine::new"), "Type::assoc path call");
+    assert!(has_edge("run", "Engine::step"), "method call on a value");
+    assert!(has_edge("run", "checked"), "free fn to free fn");
+    assert!(!has_edge("mix", "checked"), "no fabricated edges");
+}
+
+#[test]
+fn hazard_sites_land_on_their_nodes() {
+    let g = mini_graph();
+    let node = |label: &str| g.nodes.iter().find(|n| n.label() == label).unwrap();
+    assert_eq!(node("mix").det_sources.len(), 1, "Instant::now in mix");
+    assert_eq!(node("checked").panic_sites.len(), 1, "unwrap in checked");
+    assert_eq!(node("Engine::emit").par_sites.len(), 1, "Cell in emit");
+    assert!(node("run").panic_sites.is_empty());
+}
+
+#[test]
+fn dot_output_is_valid_graphviz_shape() {
+    let g = mini_graph();
+    let dot = g.to_dot();
+    assert!(dot.starts_with("digraph evop {"));
+    assert!(dot.trim_end().ends_with('}'));
+    assert!(dot.contains("subgraph \"cluster_mini\""));
+    assert!(dot.contains("label=\"Engine::step\""));
+    assert!(dot.contains(" -> "), "at least one edge rendered");
+    // Hazard colouring: mix reads the clock (orange), checked unwraps (red).
+    assert!(dot.contains("color=red"));
+    assert!(dot.contains("color=orange"));
+}
+
+#[test]
+fn bfs_paths_reconstruct_call_chains() {
+    let g = mini_graph();
+    let entry = g.nodes.iter().position(|n| n.label() == "run").unwrap();
+    let target = g.nodes.iter().position(|n| n.label() == "mix").unwrap();
+    let pred = g.bfs(&[entry]);
+    assert_ne!(pred[target], usize::MAX, "mix is reachable from run");
+    let path = g.path_to(&pred, target);
+    assert_eq!(path.first(), Some(&entry));
+    assert_eq!(path.last(), Some(&target));
+    assert!(path.len() >= 3, "run reaches mix only through Engine: {path:?}");
+}

@@ -134,6 +134,39 @@ fn directive_must_lead_the_comment() {
 }
 
 #[test]
+fn shebang_line_is_skipped() {
+    // cargo-script style files open with a shebang; its body (which may
+    // contain quotes) is not Rust tokens.
+    let src = "#!/usr/bin/env -S cargo -Zscript 'q'\nfn real() {}";
+    assert_eq!(idents(src), ["fn", "real"]);
+    let lexed = lex(src);
+    assert_eq!(lexed.tokens.iter().find(|t| t.is_ident("fn")).unwrap().line, 2);
+}
+
+#[test]
+fn inner_attribute_is_not_a_shebang() {
+    let src = "#![forbid(unsafe_code)]\nfn real() {}";
+    assert_eq!(idents(src), ["forbid", "unsafe_code", "fn", "real"]);
+}
+
+#[test]
+fn raw_strings_with_hashes_inside_nested_block_comments() {
+    // Comment nesting is purely lexical: a raw-string-looking `r#"…"#`
+    // inside a nested block comment neither escapes the comment nor
+    // leaks tokens.
+    let src = "/* outer /* inner */ r#\"text\"# */ fn real() {}";
+    assert_eq!(idents(src), ["fn", "real"]);
+}
+
+#[test]
+fn byte_char_literals_lex_as_single_char_tokens() {
+    let src = "let d = b'0'; let r = b'a'..=b'z'; let e = b'\\''; let tail = 1;";
+    let lexed = lex(src);
+    assert_eq!(lexed.tokens.iter().filter(|t| t.kind == TokenKind::Char).count(), 4);
+    assert_eq!(idents(src), ["let", "d", "let", "r", "let", "e", "let", "tail"]);
+}
+
+#[test]
 fn directives_parse_inside_block_and_doc_comments() {
     let src = "/* evop-lint: allow(det-rng) -- fixture seeds */\n/// evop-lint: allow(rob-panic) -- documented\nfn f() {}";
     let rules: Vec<_> = lex(src).directives.into_iter().map(|d| d.rule).collect();

@@ -1,0 +1,343 @@
+//! Fixture tests for the interprocedural analyses: each one seeds a
+//! violation and asserts the analysis catches it, then shows the clean
+//! variant passes. Fixtures are inline `(path, source)` pairs fed to
+//! [`analyze_files`] — the same entry point the workspace walk uses —
+//! so crate classification and call-graph behaviour match production.
+
+use evop_lint::{analyze_files, Report};
+
+fn run(files: &[(&str, &str)]) -> Vec<Report> {
+    let owned: Vec<(String, String)> =
+        files.iter().map(|(p, s)| ((*p).to_owned(), (*s).to_owned())).collect();
+    analyze_files(&owned)
+}
+
+fn of_rule<'a>(reports: &'a [Report], rule: &str) -> Vec<&'a Report> {
+    reports.iter().filter(|r| r.rule == rule).collect()
+}
+
+// ---------------------------------------------------------------- reach-panic
+
+#[test]
+fn reach_panic_flags_transitive_panic_behind_a_pub_serving_api() {
+    let reports = run(&[(
+        "crates/broker/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn serve(req: u32) -> u32 {\n\
+             decode(req)\n\
+         }\n\
+         fn decode(req: u32) -> u32 {\n\
+             Some(req).unwrap()\n\
+         }\n",
+    )]);
+    let reach = of_rule(&reports, "reach-panic");
+    assert_eq!(reach.len(), 1, "one hazardous entry: {reports:#?}");
+    assert_eq!(reach[0].path, "crates/broker/src/lib.rs");
+    assert_eq!(reach[0].line, 2, "reported at the entry's definition");
+    assert!(reach[0].message.contains("serve"), "names the entry: {}", reach[0].message);
+    assert!(reach[0].message.contains("decode"), "names the chain: {}", reach[0].message);
+    assert!(reach[0].message.contains(".unwrap"), "names the hazard: {}", reach[0].message);
+    // The local finding at the panic site still fires independently.
+    assert_eq!(of_rule(&reports, "rob-unwrap").len(), 1);
+}
+
+#[test]
+fn reach_panic_is_transitive_only_local_panics_are_rob_rules() {
+    let reports = run(&[(
+        "crates/cache/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn serve(req: u32) -> u32 {\n\
+             Some(req).unwrap()\n\
+         }\n",
+    )]);
+    assert!(of_rule(&reports, "reach-panic").is_empty(), "depth-0 is rob-unwrap's job");
+    assert_eq!(of_rule(&reports, "rob-unwrap").len(), 1);
+}
+
+#[test]
+fn reach_panic_crosses_crate_boundaries() {
+    let reports = run(&[
+        (
+            "crates/broker/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             use evop_cache::Cache;\n\
+             pub fn lookup(c: &Cache) -> u32 {\n\
+                 c.fetch()\n\
+             }\n",
+        ),
+        (
+            "crates/cache/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub struct Cache {\n\
+                 slot: Option<u32>,\n\
+             }\n\
+             impl Cache {\n\
+                 pub fn fetch(&self) -> u32 {\n\
+                     self.slot.expect(\"slot filled\")\n\
+                 }\n\
+             }\n",
+        ),
+    ]);
+    let reach = of_rule(&reports, "reach-panic");
+    // `broker::lookup` reaches the expect transitively; `cache::fetch`
+    // holds it locally (rob-expect), so only broker gets reach-panic.
+    assert_eq!(reach.len(), 1, "{reports:#?}");
+    assert_eq!(reach[0].path, "crates/broker/src/lib.rs");
+    assert!(reach[0].message.contains("Cache::fetch"), "{}", reach[0].message);
+    assert!(reach[0].message.contains("crates/cache/src/lib.rs"), "{}", reach[0].message);
+}
+
+#[test]
+fn reach_panic_passes_clean_error_propagation() {
+    let reports = run(&[(
+        "crates/broker/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn serve(req: u32) -> Result<u32, String> {\n\
+             decode(req)\n\
+         }\n\
+         fn decode(req: u32) -> Result<u32, String> {\n\
+             req.checked_mul(2).ok_or_else(|| String::from(\"overflow\"))\n\
+         }\n",
+    )]);
+    assert!(of_rule(&reports, "reach-panic").is_empty(), "{reports:#?}");
+    assert!(of_rule(&reports, "rob-unwrap").is_empty());
+}
+
+#[test]
+fn reach_panic_ignores_non_serving_crates() {
+    // The same shape in a non-serving crate (models) is not an entry.
+    let reports = run(&[(
+        "crates/obs/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn observe(x: u32) -> u32 {\n\
+             inner(x)\n\
+         }\n\
+         fn inner(x: u32) -> u32 {\n\
+             Some(x).unwrap()\n\
+         }\n",
+    )]);
+    assert!(of_rule(&reports, "reach-panic").is_empty());
+    assert_eq!(of_rule(&reports, "rob-unwrap").len(), 1, "local rule still applies");
+}
+
+#[test]
+fn reach_panic_respects_allow_directives_at_the_entry() {
+    let reports = run(&[(
+        "crates/broker/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         // evop-lint: allow(reach-panic) -- startup-only path, panics audited\n\
+         pub fn serve(req: u32) -> u32 {\n\
+             decode(req)\n\
+         }\n\
+         fn decode(req: u32) -> u32 {\n\
+             Some(req).unwrap()\n\
+         }\n",
+    )]);
+    assert!(of_rule(&reports, "reach-panic").is_empty(), "{reports:#?}");
+    // The directive was consumed: no dead-directive hygiene finding.
+    assert!(of_rule(&reports, "hyg-directive").is_empty());
+}
+
+// ------------------------------------------------------------------ det-taint
+
+#[test]
+fn det_taint_flags_wallclock_reachable_from_the_core_harness() {
+    let reports = run(&[
+        (
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn e1_report() -> u64 {\n\
+                 evop_data::stamp()\n\
+             }\n",
+        ),
+        (
+            "crates/data/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn stamp() -> u64 {\n\
+                 let t = std::time::Instant::now();\n\
+                 t.elapsed().as_nanos() as u64\n\
+             }\n",
+        ),
+    ]);
+    let taint = of_rule(&reports, "det-taint");
+    assert_eq!(taint.len(), 1, "{reports:#?}");
+    assert_eq!(taint[0].path, "crates/data/src/lib.rs", "reported at the source — the fix site");
+    assert_eq!(taint[0].line, 3);
+    assert!(taint[0].message.contains("Instant::now()"), "{}", taint[0].message);
+    assert!(taint[0].message.contains("e1_report"), "names the harness: {}", taint[0].message);
+    // The token-level rule fires at the same site, independently.
+    assert_eq!(of_rule(&reports, "det-wallclock").len(), 1);
+}
+
+#[test]
+fn det_taint_needs_reachability_not_just_a_source() {
+    let reports = run(&[
+        (
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn e1_report() -> u64 {\n\
+                 42\n\
+             }\n",
+        ),
+        (
+            "crates/data/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn stamp() -> u64 {\n\
+                 let t = std::time::Instant::now();\n\
+                 t.elapsed().as_nanos() as u64\n\
+             }\n",
+        ),
+    ]);
+    assert!(of_rule(&reports, "det-taint").is_empty(), "unreachable source must not taint");
+    assert_eq!(of_rule(&reports, "det-wallclock").len(), 1, "the local rule still fires");
+}
+
+#[test]
+fn det_taint_passes_seeded_deterministic_code() {
+    let reports = run(&[
+        (
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn e1_report(seed: u64) -> u64 {\n\
+                 evop_data::mix(seed)\n\
+             }\n",
+        ),
+        (
+            "crates/data/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn mix(seed: u64) -> u64 {\n\
+                 seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)\n\
+             }\n",
+        ),
+    ]);
+    assert!(of_rule(&reports, "det-taint").is_empty());
+    assert!(of_rule(&reports, "det-wallclock").is_empty());
+}
+
+// ------------------------------------------------------------------ par-ready
+
+#[test]
+fn par_ready_flags_rc_reachable_from_the_sim_event_loop() {
+    let reports = run(&[(
+        "crates/sim/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn run_event_loop(n: u32) -> u32 {\n\
+             tick(n)\n\
+         }\n\
+         fn tick(n: u32) -> u32 {\n\
+             let shared = std::rc::Rc::new(n);\n\
+             *shared\n\
+         }\n",
+    )]);
+    let par = of_rule(&reports, "par-ready");
+    assert_eq!(par.len(), 1, "{reports:#?}");
+    assert_eq!(par[0].line, 6, "reported at the hazard site");
+    assert!(par[0].message.contains("Rc<..>"), "{}", par[0].message);
+    assert!(par[0].message.contains("run_event_loop"), "names the entry: {}", par[0].message);
+}
+
+#[test]
+fn par_ready_flags_refcell_in_models_monte_carlo_paths() {
+    let reports = run(&[(
+        "crates/models/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         use std::cell::RefCell;\n\
+         pub fn monte_carlo(n: u32) -> u32 {\n\
+             let acc = RefCell::new(0u32);\n\
+             *acc.borrow_mut() += n;\n\
+             let total = *acc.borrow();\n\
+             total\n\
+         }\n",
+    )]);
+    let par = of_rule(&reports, "par-ready");
+    assert_eq!(par.len(), 1, "{reports:#?}");
+    assert!(par[0].message.contains("RefCell<..>"), "{}", par[0].message);
+}
+
+#[test]
+fn par_ready_flags_static_mut_in_parallel_crates_unconditionally() {
+    let reports = run(&[(
+        "crates/sim/src/clock.rs",
+        "static mut TICKS: u64 = 0;\n\
+         pub fn noop() {}\n",
+    )]);
+    let par = of_rule(&reports, "par-ready");
+    assert_eq!(par.len(), 1, "{reports:#?}");
+    assert_eq!(par[0].line, 1);
+    assert!(par[0].message.contains("static mut TICKS"), "{}", par[0].message);
+}
+
+#[test]
+fn par_ready_passes_arc_based_sharing_and_other_crates() {
+    let reports = run(&[
+        (
+            "crates/sim/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn run_event_loop(n: u32) -> u32 {\n\
+                 let shared = std::sync::Arc::new(n);\n\
+                 *shared\n\
+             }\n",
+        ),
+        // Rc outside the parallel crates is nobody's hazard (yet).
+        (
+            "crates/portal/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn render(n: u32) -> u32 {\n\
+                 let local = std::rc::Rc::new(n);\n\
+                 *local\n\
+             }\n",
+        ),
+    ]);
+    assert!(of_rule(&reports, "par-ready").is_empty(), "{reports:#?}");
+}
+
+// ----------------------------------------------------- combined-walk plumbing
+
+#[test]
+fn hazards_inside_cfg_test_do_not_reach() {
+    let reports = run(&[(
+        "crates/broker/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         pub fn serve(req: u32) -> u32 {\n\
+             req\n\
+         }\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             pub fn helper() -> u32 {\n\
+                 super::serve(1);\n\
+                 Some(1).unwrap()\n\
+             }\n\
+         }\n",
+    )]);
+    assert!(of_rule(&reports, "reach-panic").is_empty(), "{reports:#?}");
+    assert!(of_rule(&reports, "rob-unwrap").is_empty());
+}
+
+#[test]
+fn findings_remain_sorted_by_path_line_rule() {
+    let reports = run(&[
+        (
+            "crates/broker/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn serve(req: u32) -> u32 {\n\
+                 decode(req)\n\
+             }\n\
+             fn decode(req: u32) -> u32 {\n\
+                 Some(req).unwrap()\n\
+             }\n",
+        ),
+        (
+            "crates/sim/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             pub fn run_event_loop(n: u32) -> u32 {\n\
+                 let shared = std::rc::Rc::new(n);\n\
+                 *shared\n\
+             }\n",
+        ),
+    ]);
+    let keys: Vec<(String, u32, String)> =
+        reports.iter().map(|r| (r.path.clone(), r.line, r.rule.clone())).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+}

@@ -21,7 +21,7 @@ fn main() {
     // 1. The infrastructure side: how long would 200 Monte Carlo runs take
     //    on the fixed campus quota vs an elastic fleet? (virtual time)
     let runs = 200;
-    let infra = e5_elastic_monte_carlo(runs, SimDuration::from_secs(180), 8, 42);
+    let infra = e5_elastic_monte_carlo(runs, SimDuration::from_secs(180), 8, 42).expect("e5 runs");
     println!("{runs} model runs of 3 CPU-minutes each:");
     println!("  fixed 8-vCPU quota : {}", infra.quota_makespan);
     println!(

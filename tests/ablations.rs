@@ -7,7 +7,8 @@ use evop::sim::SimDuration;
 #[test]
 fn a1_detection_delay_follows_cadence_with_zero_false_positives() {
     let rows =
-        ablate_health_check(&[SimDuration::from_secs(5), SimDuration::from_secs(60)], &[2, 5], 42);
+        ablate_health_check(&[SimDuration::from_secs(5), SimDuration::from_secs(60)], &[2, 5], 42)
+            .expect("a1 runs");
     for row in &rows {
         let delay = row.detection_delay.expect("hang detected");
         let expected = expected_detection_delay(row.check_interval, row.consecutive);
@@ -25,7 +26,7 @@ fn a1_detection_delay_follows_cadence_with_zero_false_positives() {
 
 #[test]
 fn a2_bigger_warm_pools_cut_latency_but_cost_more() {
-    let rows = ablate_warm_pool(40, &[0, 4, 8], 42);
+    let rows = ablate_warm_pool(40, &[0, 4, 8], 42).expect("a2 runs");
     // Median time-to-first-result is non-increasing in pool size…
     for pair in rows.windows(2) {
         assert!(
@@ -51,7 +52,7 @@ fn a2_bigger_warm_pools_cut_latency_but_cost_more() {
 
 #[test]
 fn a3_smaller_private_clouds_burst_deeper_and_pay_more() {
-    let rows = ablate_private_capacity(&[4, 16, 32], 42);
+    let rows = ablate_private_capacity(&[4, 16, 32], 42).expect("a3 runs");
     for pair in rows.windows(2) {
         assert!(
             pair[1].peak_public_instances <= pair[0].peak_public_instances,
@@ -70,14 +71,14 @@ fn a3_smaller_private_clouds_burst_deeper_and_pay_more() {
 
 #[test]
 fn a4_ti_discretisation_converges() {
-    let rows = ablate_ti_bins(&[2, 16, 32], 42);
+    let rows = ablate_ti_bins(&[2, 16, 32], 42).expect("a4 runs");
     assert!(rows.iter().all(|r| r.nse_vs_reference > 0.98));
     assert!(rows[2].nse_vs_reference >= rows[0].nse_vs_reference - 1e-6);
 }
 
 #[test]
 fn a5_replication_dilutes_stateful_loss_hyperbolically() {
-    let rows = ablate_replicas(&[2, 4, 8], 800, 42);
+    let rows = ablate_replicas(&[2, 4, 8], 800, 42).expect("a5 runs");
     // Loss ≈ 1/replicas: each workflow's home replica is the killed one
     // with probability 1/replicas.
     for row in &rows {

@@ -9,7 +9,7 @@ use evop::sim::SimDuration;
 
 #[test]
 fn e1_fig1_end_to_end_dataflow() {
-    let r = e1_dataflow(42);
+    let r = e1_dataflow(42).expect("e1 runs");
     // The user waited less than the boot latency would suggest only if an
     // instance existed; first user pays a boot, bounded sanely.
     assert!(r.activation_wait < SimDuration::from_secs(5));
@@ -21,7 +21,7 @@ fn e1_fig1_end_to_end_dataflow() {
 
 #[test]
 fn e2_statelessness_survives_failover() {
-    let r = e2_rest_vs_soap(200, 4, 7);
+    let r = e2_rest_vs_soap(200, 4, 7).expect("e2 runs");
     assert_eq!(r.rest_completed, r.workflows, "REST loses nothing on replica death");
     assert_eq!(r.rest_lost_steps, 0);
     assert!(
@@ -35,7 +35,7 @@ fn e2_statelessness_survives_failover() {
 
 #[test]
 fn e3_cloudburst_and_retreat() {
-    let r = e3_cloudburst(120, 42);
+    let r = e3_cloudburst(120, 42).expect("e3 runs");
     let burst = r.burst_at.expect("private cloud must saturate under 120 users");
     // Retreat happens after the ramp-down.
     let retreat = r.retreat_at.expect("public instances must drain");
@@ -59,7 +59,7 @@ fn e3_cloudburst_and_retreat() {
 #[test]
 fn e4_failure_modes_are_detected_and_sessions_survive() {
     for mode in [FailureMode::Hang, FailureMode::NetworkBlackhole, FailureMode::Crash] {
-        let r = e4_failure_recovery(mode, 6, 11);
+        let r = e4_failure_recovery(mode, 6, 11).expect("e4 runs");
         let delay = r.detection_delay.unwrap_or_else(|| panic!("{mode:?} not detected"));
         // 3 consecutive bad samples × 15 s checks: detection within a bounded
         // window.
@@ -74,25 +74,26 @@ fn e4_failure_modes_are_detected_and_sessions_survive() {
 
 #[test]
 fn e4_signatures_match_paper_wording() {
-    let hang = e4_failure_recovery(FailureMode::Hang, 3, 5);
+    let hang = e4_failure_recovery(FailureMode::Hang, 3, 5).expect("e4 hang runs");
     assert_eq!(hang.signature.as_deref(), Some("sustained CPU saturation"));
-    let blackhole = e4_failure_recovery(FailureMode::NetworkBlackhole, 3, 5);
+    let blackhole =
+        e4_failure_recovery(FailureMode::NetworkBlackhole, 3, 5).expect("e4 blackhole runs");
     assert_eq!(blackhole.signature.as_deref(), Some("inbound traffic with zero outbound"));
 }
 
 #[test]
 fn e5_elasticity_beats_quota_and_scales() {
-    let r = e5_elastic_monte_carlo(64, SimDuration::from_secs(300), 4, 42);
+    let r = e5_elastic_monte_carlo(64, SimDuration::from_secs(300), 4, 42).expect("e5 runs");
     assert!(r.speedup > 4.0, "speedup was {:.1}", r.speedup);
     assert!(r.elastic_instances > 4);
     // Crossover: with few runs the quota is competitive.
-    let small = e5_elastic_monte_carlo(4, SimDuration::from_secs(300), 4, 42);
+    let small = e5_elastic_monte_carlo(4, SimDuration::from_secs(300), 4, 42).expect("e5 runs");
     assert!(small.speedup < 2.0, "4 runs fit the quota: {:.2}", small.speedup);
 }
 
 #[test]
 fn e6_prebootstrap_cuts_time_to_first_result() {
-    let r = e6_flash_crowd(40, 4, 42);
+    let r = e6_flash_crowd(40, 4, 42).expect("e6 runs");
     assert!(
         r.warm.median_first_result < r.cold.median_first_result,
         "warm {} vs cold {}",
@@ -110,14 +111,14 @@ fn e6_prebootstrap_cuts_time_to_first_result() {
 
 #[test]
 fn e7_image_kinds_tradeoff() {
-    let r = e7_image_kinds(5, SimDuration::from_secs(120), 3);
+    let r = e7_image_kinds(5, SimDuration::from_secs(120), 3).expect("e7 runs");
     assert!(r.incubator_first_result > r.streamlined_first_result);
     assert!(r.incubator_total > r.streamlined_total);
 }
 
 #[test]
 fn e8_policy_swap_redirects_without_caller_changes() {
-    let r = e8_policy_swap(6, 9);
+    let r = e8_policy_swap(6, 9).expect("e8 runs");
     assert_eq!(r.before_streamlined.get("campus"), Some(&6));
     assert_eq!(r.after_streamlined.get("aws"), Some(&6));
     assert_eq!(r.after_incubator.get("campus"), Some(&6));
@@ -125,7 +126,7 @@ fn e8_policy_swap_redirects_without_caller_changes() {
 
 #[test]
 fn e9_scenarios_order_flood_peaks() {
-    let r = e9_scenarios(&Catchment::morland(), 20, 42);
+    let r = e9_scenarios(&Catchment::morland(), 20, 42).expect("e9 runs");
     assert_eq!(r.rows.len(), 10, "5 scenarios × 2 models");
     assert!(r.ordering_holds, "scenario ordering violated: {:#?}", r.rows);
     assert!(r.rows.iter().all(|row| row.metrics.peak_m3s > 0.0));
@@ -133,7 +134,7 @@ fn e9_scenarios_order_flood_peaks() {
 
 #[test]
 fn e10_multimodal_alignment() {
-    let r = e10_multimodal(42);
+    let r = e10_multimodal(42).expect("e10 runs");
     assert!(r.frame_hit_rate > 0.95, "hit rate {}", r.frame_hit_rate);
     assert!(r.mean_frame_lag_secs <= 900.0, "mean lag {}", r.mean_frame_lag_secs);
     assert!(
@@ -164,7 +165,7 @@ fn e12_asset_discovery_is_correct_at_scale() {
 
 #[test]
 fn e13_workflows_replay_deterministically() {
-    let r = e13_workflow(42);
+    let r = e13_workflow(42).expect("e13 runs");
     assert_eq!(r.nodes, 4);
     assert!(r.replay_matches, "replay must reproduce every node output");
     assert!(r.verdict["peak_m3s"].as_f64().unwrap() > 0.0);
@@ -173,7 +174,7 @@ fn e13_workflows_replay_deterministically() {
 
 #[test]
 fn e14_storyboard_fully_verified_by_live_features() {
-    let (_storyboard, coverage) = e14_verify_left(42);
+    let (_storyboard, coverage) = e14_verify_left(42).expect("e14 runs");
     assert_eq!(coverage.steps, 7);
     assert_eq!(
         coverage.steps_verified, 7,

@@ -11,8 +11,8 @@ use evop::experiments::{
 
 #[test]
 fn same_seed_runs_export_byte_identical_telemetry() {
-    let (r1, c1) = e1_dataflow_traced(42);
-    let (r2, c2) = e1_dataflow_traced(42);
+    let (r1, c1) = e1_dataflow_traced(42).expect("e1 runs");
+    let (r2, c2) = e1_dataflow_traced(42).expect("e1 runs");
     assert_eq!(r1, r2, "measured results are seed-deterministic");
     assert_eq!(c1.trace_id, c2.trace_id);
     assert_eq!(c1.trace_json, c2.trace_json, "trace JSON must be byte-identical");
@@ -26,7 +26,7 @@ fn same_seed_runs_export_byte_identical_telemetry() {
 
 #[test]
 fn e1_request_is_one_connected_trace() {
-    let (_, capture) = e1_dataflow_traced(42);
+    let (_, capture) = e1_dataflow_traced(42).expect("e1 runs");
 
     // Every span sits on the root's trace, and every parent pointer
     // resolves inside the capture: a single tree, no orphans.
@@ -62,7 +62,7 @@ fn e1_request_is_one_connected_trace() {
 
 #[test]
 fn metrics_snapshot_covers_every_layer() {
-    let (_, capture) = e1_dataflow_traced(42);
+    let (_, capture) = e1_dataflow_traced(42).expect("e1 runs");
     let counters = capture.metrics["counters"].as_object().expect("counters section");
     for family in [
         "router_requests_total",
@@ -91,10 +91,13 @@ fn metrics_snapshot_covers_every_layer() {
 
 #[test]
 fn tracing_does_not_change_e3_or_e4_results() {
-    assert_eq!(e3_cloudburst(40, 7), e3_cloudburst_traced(40, 7).0);
     assert_eq!(
-        e4_failure_recovery(FailureMode::Hang, 6, 3),
-        e4_failure_recovery_traced(FailureMode::Hang, 6, 3).0
+        e3_cloudburst(40, 7).expect("e3 runs"),
+        e3_cloudburst_traced(40, 7).expect("e3 traced runs").0
+    );
+    assert_eq!(
+        e4_failure_recovery(FailureMode::Hang, 6, 3).expect("e4 runs"),
+        e4_failure_recovery_traced(FailureMode::Hang, 6, 3).expect("e4 traced runs").0
     );
 }
 
@@ -166,8 +169,14 @@ fn profiling_never_changes_a_measured_result() {
     // it must be observation only. Same seed, profiled vs unprofiled,
     // every measured field identical.
     let prof = Profiler::new();
-    assert_eq!(e1_dataflow(42), e1_dataflow_profiled(42, &prof));
-    assert_eq!(e6_flash_crowd(40, 4, 42), e6_flash_crowd_profiled(40, 4, 42, &prof));
+    assert_eq!(
+        e1_dataflow(42).expect("e1 runs"),
+        e1_dataflow_profiled(42, &prof).expect("e1 profiled runs")
+    );
+    assert_eq!(
+        e6_flash_crowd(40, 4, 42).expect("e6 runs"),
+        e6_flash_crowd_profiled(40, 4, 42, &prof).expect("e6 profiled runs")
+    );
 
     // And the profiler did actually observe the runs: both experiment
     // roots show up as profile tree roots with recorded calls.
