@@ -1,9 +1,11 @@
 //! The perf plane: a fixed benchmark suite, a machine-readable baseline
 //! document, and a pure regression gate.
 //!
-//! `perf_report` runs four benchmarks — the sim event-loop microbench and
-//! Monte Carlo calibration (the `sim` suite), and the E1 portal request
-//! and E6 flash crowd (the `e2e` suite) — one untimed warmup plus `N`
+//! `perf_report` runs two suites: `sim` (the event-loop microbench,
+//! ladder-vs-heap queue scaling at 10⁵–10⁷ events, whole-tick batch
+//! drain, and Monte Carlo calibration both sequential and seed-split
+//! parallel) and `e2e` (the E1 portal request and E6 flash crowd).
+//! Each benchmark gets one untimed warmup plus `N`
 //! timed repetitions each, and records best-of-N throughput (see
 //! [`best`]), p50/p99 wall latencies over the reps, per-stage profile
 //! trees, deterministic work counters and an environment stamp into
@@ -21,8 +23,9 @@
 use std::collections::BTreeMap;
 
 use evop_core::experiments::{e1_dataflow_profiled, e6_flash_crowd_profiled};
-use evop_models::calibrate::{monte_carlo, ParamSpace};
+use evop_models::calibrate::{monte_carlo, par_monte_carlo, ParamSpace};
 use evop_obs::Profiler;
+use evop_sim::reference::HeapQueue;
 use evop_sim::{EventQueue, SimRng, SimTime};
 use serde_json::{json, Map, Value};
 
@@ -244,6 +247,212 @@ pub fn bench_event_loop(seed: u64, reps: usize) -> BenchRun {
     BenchRun { name: "event_loop", reps_secs, metrics, work, profile: None, folded: None }
 }
 
+/// The queue-scaling workload at one size on the ladder queue: push `n`
+/// uniformly-timed events, cancel every 16th, drain the rest.
+fn wheel_workload(seed: u64, n: usize) -> f64 {
+    let (secs, checksum) = time(|| {
+        let mut rng = SimRng::new(seed);
+        let mut queue = EventQueue::new();
+        for i in 0..n as u64 {
+            queue.push(SimTime::from_secs_f64(rng.uniform() * 3_600.0), i);
+        }
+        queue.cancel_where(|&i| i % 16 == 0);
+        let mut checksum = 0u64;
+        while let Some((_, event)) = queue.pop() {
+            checksum = checksum.wrapping_add(event);
+        }
+        checksum
+    });
+    std::hint::black_box(checksum);
+    secs
+}
+
+/// The identical workload on the seed's binary heap — the reference both
+/// the differential tests and the speedup claim are measured against.
+fn heap_workload(seed: u64, n: usize) -> f64 {
+    let (secs, checksum) = time(|| {
+        let mut rng = SimRng::new(seed);
+        let mut queue = HeapQueue::new();
+        for i in 0..n as u64 {
+            queue.push(SimTime::from_secs_f64(rng.uniform() * 3_600.0), i);
+        }
+        queue.cancel_where(|&i| i % 16 == 0);
+        let mut checksum = 0u64;
+        while let Some((_, event)) = queue.pop() {
+            checksum = checksum.wrapping_add(event);
+        }
+        checksum
+    });
+    std::hint::black_box(checksum);
+    secs
+}
+
+/// Sim suite: the ladder queue versus the reference heap at 10⁵, 10⁶ and
+/// 10⁷ events. The ladder cells are gated; the heap cells are recorded
+/// ungated so the speedup is a number in the baseline, not a claim in a
+/// doc comment.
+pub fn bench_queue_scaling(seed: u64, reps: usize) -> BenchRun {
+    const SCALES: [(usize, &str, &str, &str); 3] = [
+        (100_000, "wheel_100k_events_per_sec", "heap_100k_events_per_sec", "speedup_100k"),
+        (1_000_000, "wheel_1m_events_per_sec", "heap_1m_events_per_sec", "speedup_1m"),
+        (10_000_000, "wheel_10m_events_per_sec", "heap_10m_events_per_sec", "speedup_10m"),
+    ];
+    let mut metrics = BTreeMap::new();
+    let mut work = BTreeMap::new();
+    let mut reps_secs = Vec::new();
+    for (n, wheel_name, heap_name, speedup_name) in SCALES {
+        // The 10⁷ cell is capped at two reps: one run already averages over
+        // tens of millions of queue ops, and best-of-N needs contrast, not
+        // volume.
+        let scale_reps = if n >= 10_000_000 { reps.min(2) } else { reps };
+        let mut wheel = Vec::with_capacity(scale_reps);
+        let mut heap = Vec::with_capacity(scale_reps);
+        for rep in 0..=scale_reps {
+            let w = wheel_workload(seed, n);
+            let h = heap_workload(seed, n);
+            if rep > 0 {
+                wheel.push(w);
+                heap.push(h);
+            }
+        }
+        metrics.insert(
+            wheel_name,
+            Metric {
+                value: n as f64 / best(&wheel),
+                unit: "events/s",
+                direction: Direction::HigherIsBetter,
+                gated: true,
+            },
+        );
+        metrics.insert(
+            heap_name,
+            Metric {
+                value: n as f64 / best(&heap),
+                unit: "events/s",
+                direction: Direction::HigherIsBetter,
+                gated: false,
+            },
+        );
+        metrics.insert(
+            speedup_name,
+            Metric {
+                value: best(&heap) / best(&wheel),
+                unit: "x",
+                direction: Direction::HigherIsBetter,
+                gated: false,
+            },
+        );
+        if n == 1_000_000 {
+            reps_secs = wheel.clone();
+        }
+    }
+    wall_latency_metrics(&reps_secs, &mut metrics);
+    // One deterministic workload shape for every scale: n scheduled,
+    // n/16 cancelled, the rest delivered.
+    work.insert("events_per_scale_cancelled_div", 16);
+    work.insert("scales", SCALES.len() as u64);
+
+    BenchRun { name: "queue_scaling", reps_secs, metrics, work, profile: None, folded: None }
+}
+
+/// Ticks in the batch-drain benchmark.
+const BATCH_TICKS: usize = 2_000;
+/// Events per tick in the batch-drain benchmark.
+const BATCH_PER_TICK: usize = 500;
+
+/// Sim suite: whole-tick batch delivery versus one `pop_due` per event on
+/// a workload of 2 000 ticks × 500 same-instant events — the cloud/broker
+/// control-loop shape. The batched cell is gated.
+pub fn bench_batch_drain(seed: u64, reps: usize) -> BenchRun {
+    let fill = |rng: &mut SimRng| {
+        let mut queue = EventQueue::new();
+        for tick in 0..BATCH_TICKS as u64 {
+            let t = SimTime::from_millis(tick * 1_000 + rng.index(3) as u64);
+            for i in 0..BATCH_PER_TICK as u64 {
+                queue.push(t, tick * BATCH_PER_TICK as u64 + i);
+            }
+        }
+        queue
+    };
+    let horizon = SimTime::from_millis(BATCH_TICKS as u64 * 1_000 + 10);
+    let total = (BATCH_TICKS * BATCH_PER_TICK) as u64;
+
+    let mut batched = Vec::with_capacity(reps);
+    let mut single = Vec::with_capacity(reps);
+    let mut max_batch = 0u64;
+    for rep in 0..=reps {
+        let mut rng = SimRng::new(seed);
+        let mut queue = fill(&mut rng);
+        let (b_secs, checksum) = time(|| {
+            let mut buf = Vec::new();
+            let mut checksum = 0u64;
+            loop {
+                buf.clear();
+                if queue.pop_batch_due(horizon, &mut buf) == 0 {
+                    break;
+                }
+                for &(_, event) in &buf {
+                    checksum = checksum.wrapping_add(event);
+                }
+            }
+            checksum
+        });
+        std::hint::black_box(checksum);
+        max_batch = queue.counters().max_same_tick_batch;
+
+        let mut rng = SimRng::new(seed);
+        let mut queue = fill(&mut rng);
+        let (s_secs, checksum) = time(|| {
+            let mut checksum = 0u64;
+            while let Some((_, event)) = queue.pop_due(horizon) {
+                checksum = checksum.wrapping_add(event);
+            }
+            checksum
+        });
+        std::hint::black_box(checksum);
+        if rep > 0 {
+            batched.push(b_secs);
+            single.push(s_secs);
+        }
+    }
+
+    let mut metrics = BTreeMap::new();
+    metrics.insert(
+        "batched_events_per_sec",
+        Metric {
+            value: total as f64 / best(&batched),
+            unit: "events/s",
+            direction: Direction::HigherIsBetter,
+            gated: true,
+        },
+    );
+    metrics.insert(
+        "single_pop_events_per_sec",
+        Metric {
+            value: total as f64 / best(&single),
+            unit: "events/s",
+            direction: Direction::HigherIsBetter,
+            gated: false,
+        },
+    );
+    metrics.insert(
+        "batch_speedup",
+        Metric {
+            value: best(&single) / best(&batched),
+            unit: "x",
+            direction: Direction::HigherIsBetter,
+            gated: false,
+        },
+    );
+    wall_latency_metrics(&batched, &mut metrics);
+
+    let mut work = BTreeMap::new();
+    work.insert("events_delivered", total);
+    work.insert("max_same_tick_batch", max_batch);
+
+    BenchRun { name: "batch_drain", reps_secs: batched, metrics, work, profile: None, folded: None }
+}
+
 /// Sim suite: 200k-draw Monte Carlo calibration over a cheap 4-dimensional
 /// objective — the `evop-models` sampling hot path.
 pub fn bench_monte_carlo(seed: u64, reps: usize) -> BenchRun {
@@ -288,6 +497,56 @@ pub fn bench_monte_carlo(seed: u64, reps: usize) -> BenchRun {
     work.insert("mc_allocations", allocations);
 
     BenchRun { name: "monte_carlo", reps_secs, metrics, work, profile: None, folded: None }
+}
+
+/// Sim suite: the same 200k-draw calibration through the seed-split
+/// parallel plane (`par_monte_carlo`, chunked sub-streams, one worker per
+/// core). Throughput is recorded **ungated** — it scales with the host's
+/// core count, so gating it would make the baseline machine-dependent —
+/// but the work counters are exact: the parallel plane must do precisely
+/// the same amount of work regardless of scheduling.
+pub fn bench_monte_carlo_par(seed: u64, reps: usize) -> BenchRun {
+    let space = ParamSpace::from_ranges(&[
+        ("a", 0.0, 1.0),
+        ("b", -1.0, 1.0),
+        ("c", 0.5, 2.0),
+        ("d", 0.0, 10.0),
+    ]);
+    let mut reps_secs = Vec::with_capacity(reps);
+    let mut evaluations = 0;
+    let mut allocations = 0;
+    for rep in 0..=reps {
+        let (secs, result) = time(|| {
+            par_monte_carlo(&space, MONTE_CARLO_SAMPLES, seed, |p| {
+                let sphere: f64 = p.iter().map(|x| x * x).sum();
+                (p[0] * 12.0).sin().mul_add(0.1, -sphere)
+            })
+        });
+        if rep > 0 {
+            reps_secs.push(secs);
+        }
+        evaluations = result.evaluations();
+        allocations = result.allocations();
+        std::hint::black_box(result.best_score());
+    }
+
+    let mut metrics = BTreeMap::new();
+    metrics.insert(
+        "mc_par_runs_per_sec",
+        Metric {
+            value: MONTE_CARLO_SAMPLES as f64 / best(&reps_secs),
+            unit: "runs/s",
+            direction: Direction::HigherIsBetter,
+            gated: false,
+        },
+    );
+    wall_latency_metrics(&reps_secs, &mut metrics);
+
+    let mut work = BTreeMap::new();
+    work.insert("mc_evaluations", evaluations);
+    work.insert("mc_allocations", allocations);
+
+    BenchRun { name: "monte_carlo_par", reps_secs, metrics, work, profile: None, folded: None }
 }
 
 /// E2E suite: the full E1 portal request (observatory build → broker →
@@ -385,9 +644,17 @@ fn duration_ms(d: evop_sim::SimDuration) -> u64 {
     (d.as_secs_f64() * 1e3).round() as u64
 }
 
-/// Runs the `sim` suite: event-loop microbench + Monte Carlo calibration.
+/// Runs the `sim` suite: event-loop microbench, queue scaling (ladder vs
+/// heap), whole-tick batch drain, and Monte Carlo calibration (sequential
+/// and seed-split parallel).
 pub fn run_sim_suite(seed: u64, reps: usize) -> Vec<BenchRun> {
-    vec![bench_event_loop(seed, reps), bench_monte_carlo(seed, reps)]
+    vec![
+        bench_event_loop(seed, reps),
+        bench_queue_scaling(seed, reps),
+        bench_batch_drain(seed, reps),
+        bench_monte_carlo(seed, reps),
+        bench_monte_carlo_par(seed, reps),
+    ]
 }
 
 /// Runs the `e2e` suite: E1 portal request + E6 flash crowd.

@@ -648,6 +648,11 @@ impl Broker {
     /// interval: health monitoring, failure recovery, waiting-session
     /// binding, scale-up (with cloudbursting) and scale-down (with
     /// migration back to the private cloud).
+    ///
+    /// Each slice between control ticks is drained through the kernel's
+    /// whole-tick batch delivery (`CloudSim::advance_to`), so simultaneous
+    /// boot/job/failure completions cost one queue operation per instant,
+    /// not one per event.
     pub fn advance(&mut self, delta: SimDuration) {
         let target = self.cloud.now() + delta;
         loop {

@@ -114,6 +114,9 @@ pub struct CloudSim {
     images: BTreeMap<ImageId, MachineImage>,
     instances: BTreeMap<InstanceId, Instance>,
     events: EventQueue<Event>,
+    /// Reusable buffer for whole-tick batch drains in [`CloudSim::advance_to`]
+    /// — allocated once, recycled across ticks.
+    drain_buf: Vec<(SimTime, Event)>,
     next_instance: u64,
     next_job: u64,
     meter: CostMeter,
@@ -141,6 +144,7 @@ impl CloudSim {
             images: BTreeMap::new(),
             instances: BTreeMap::new(),
             events: EventQueue::new(),
+            drain_buf: Vec::new(),
             next_instance: 0,
             next_job: 0,
             meter: CostMeter::new(),
@@ -512,17 +516,35 @@ impl CloudSim {
 
     /// Advances virtual time to `target`, delivering all due events.
     ///
+    /// Delivery is batched per tick: the kernel drains every event of the
+    /// earliest due instant in one [`EventQueue::pop_batch_due`] call, the
+    /// clock and tracer advance once per tick instead of once per event,
+    /// and handlers run in the exact order the per-event loop used —
+    /// events a handler schedules *at the drained tick* pick up a larger
+    /// sequence number, so they land in the next batch of the same tick,
+    /// which is precisely where the per-event loop would deliver them.
+    ///
     /// # Panics
     ///
     /// Panics if `target` is in the past.
     pub fn advance_to(&mut self, target: SimTime) {
-        while let Some((t, event)) = self.events.pop_due(target) {
-            self.clock.advance_to(t);
-            if let Some(tracer) = &self.tracer {
-                tracer.set_now(t);
+        let mut batch = std::mem::take(&mut self.drain_buf);
+        loop {
+            batch.clear();
+            if self.events.pop_batch_due(target, &mut batch) == 0 {
+                break;
             }
-            self.handle(event);
+            if let Some(&(t, _)) = batch.first() {
+                self.clock.advance_to(t);
+                if let Some(tracer) = &self.tracer {
+                    tracer.set_now(t);
+                }
+            }
+            for (_, event) in batch.drain(..) {
+                self.handle(event);
+            }
         }
+        self.drain_buf = batch;
         self.clock.advance_to(target);
         self.refresh_observability();
     }

@@ -1,0 +1,108 @@
+//! Batch-drain equivalence: [`CloudSim::advance_to`] delivers events in
+//! whole-tick batches, and this suite proves the batching is invisible —
+//! driving the very same scenario with one bulk advance, or stepping the
+//! clock to every single event time via [`CloudSim::next_event_time`],
+//! must end in identical observable state: clocks, instance and job
+//! states, billing totals, and every kernel counter (which the perf plane
+//! exports as golden-pinned gauges).
+
+use evop_cloud::{CloudSim, FailureMode, ImageId, InstanceId, MachineImage, Provider};
+use evop_sim::{SimDuration, SimTime};
+
+/// Builds and runs the canonical scenario, advancing virtual time through
+/// `advance_to` at three checkpoints. Everything else is identical, so any
+/// divergence between two drivers is the drive strategy's fault.
+fn run_scenario(advance_to: impl Fn(&mut CloudSim, SimTime)) -> (CloudSim, Vec<InstanceId>) {
+    let mut sim = CloudSim::new(7);
+    sim.register_provider(Provider::private_openstack("campus", 8));
+    sim.register_provider(Provider::public_aws("aws"));
+    let image = MachineImage::streamlined("topmodel-eden", ["topmodel"]);
+    let img = image.id().clone();
+    sim.register_image(image);
+    sim.register_image(MachineImage::incubator("incubator"));
+
+    let mut ids = Vec::new();
+    for i in 0..6 {
+        let provider = if i < 2 { "campus" } else { "aws" };
+        ids.push(sim.launch(provider, "m1.small", &img).expect("launch"));
+    }
+    let inc = ImageId::new("incubator");
+    ids.push(sim.launch("aws", "m1.small", &inc).expect("launch incubator"));
+    advance_to(&mut sim, SimTime::from_secs(300));
+
+    // A same-instant burst: equal-length jobs submitted at one instant
+    // complete at one instant, so whole-tick batching is actually hit.
+    for &id in &ids[..6] {
+        for _ in 0..4 {
+            sim.submit_job(id, SimDuration::from_secs(60)).expect("submit");
+        }
+    }
+    sim.run_model(ids[6], "fuse", SimDuration::from_secs(90)).expect("run model");
+    advance_to(&mut sim, SimTime::from_secs(500));
+
+    sim.inject_failure(ids[0], FailureMode::Crash).expect("inject");
+    sim.inject_failure(ids[2], FailureMode::Hang).expect("inject");
+    for &id in &ids[3..6] {
+        sim.submit_job(id, SimDuration::from_secs(45)).expect("submit");
+    }
+    advance_to(&mut sim, SimTime::from_secs(5_000));
+    (sim, ids)
+}
+
+/// Every externally observable fact about the run, in comparable form.
+fn observe(sim: &CloudSim, ids: &[InstanceId]) -> (String, String, String) {
+    let instances = ids
+        .iter()
+        .map(|&id| match sim.instance(id) {
+            Some(inst) => format!("{id}: {:?} jobs={:?}", inst.state(), inst.jobs()),
+            None => format!("{id}: gone"),
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let billing = format!("total={:.9} by_provider={:?}", sim.total_cost(), sim.cost_by_provider());
+    let kernel = format!("{:?} now={}", sim.kernel_counters(), sim.now());
+    (instances, billing, kernel)
+}
+
+#[test]
+fn bulk_advance_equals_per_event_stepping() {
+    let (bulk, bulk_ids) = run_scenario(|sim, target| sim.advance_to(target));
+    let (stepped, stepped_ids) = run_scenario(|sim, target| {
+        // Stop at every event time, one tick per advance_to call.
+        while let Some(t) = sim.next_event_time().filter(|&t| t <= target) {
+            sim.advance_to(t);
+        }
+        sim.advance_to(target);
+    });
+    assert_eq!(bulk_ids, stepped_ids);
+    let a = observe(&bulk, &bulk_ids);
+    let b = observe(&stepped, &stepped_ids);
+    assert_eq!(a.0, b.0, "instance/job states diverged");
+    assert_eq!(a.1, b.1, "billing diverged");
+    assert_eq!(a.2, b.2, "kernel counters diverged");
+}
+
+#[test]
+fn one_second_increments_equal_bulk_advance() {
+    let (bulk, ids) = run_scenario(|sim, target| sim.advance_to(target));
+    let (crawled, crawled_ids) = run_scenario(|sim, target| {
+        while sim.now() < target {
+            let next = (sim.now() + SimDuration::from_secs(1)).min(target);
+            sim.advance_to(next);
+        }
+    });
+    assert_eq!(ids, crawled_ids);
+    assert_eq!(observe(&bulk, &ids), observe(&crawled, &crawled_ids));
+}
+
+#[test]
+fn same_tick_burst_is_counted_as_one_batch() {
+    let (sim, _) = run_scenario(|sim, target| sim.advance_to(target));
+    // 4 equal jobs per instance submitted at one instant on 6 instances:
+    // at minimum the per-instance completion quartet shares a tick.
+    assert!(
+        sim.kernel_counters().max_same_tick_batch >= 4,
+        "expected a same-tick batch of at least 4, got {}",
+        sim.kernel_counters().max_same_tick_batch
+    );
+}

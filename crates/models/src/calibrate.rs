@@ -217,6 +217,105 @@ where
     }
 }
 
+/// Chunked, parallelisable [`monte_carlo`]: `n` seeded evaluations split
+/// into fixed-width chunks, each drawing from its own
+/// [`fork_indexed`](SimRng::fork_indexed) child stream, merged in chunk
+/// order.
+///
+/// The result is a pure function of `(space, n, seed, run)` — bitwise
+/// identical across thread counts and with the `parallel` feature compiled
+/// out — but it is a *different* deterministic stream than the
+/// single-stream [`monte_carlo`], so switch a workload to one or the
+/// other, not back and forth.
+///
+/// `run` must be `Fn + Sync` (it may be called from worker threads).
+///
+/// # Panics
+///
+/// Panics if `n` is zero or every sample scored `NaN`. Use
+/// [`try_par_monte_carlo`] to handle the all-`NaN` case as a typed error.
+pub fn par_monte_carlo<F>(space: &ParamSpace, n: usize, seed: u64, run: F) -> CalibrationResult
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    match try_par_monte_carlo(space, n, seed, run) {
+        Ok(result) => result,
+        // evop-lint: allow(rob-panic) -- documented panicking wrapper; try_par_monte_carlo is the typed-error path
+        Err(err) => panic!("{err}"),
+    }
+}
+
+/// Fallible [`par_monte_carlo`]: returns the typed error instead of
+/// panicking when every sample scores `NaN`.
+///
+/// # Errors
+///
+/// [`CalibrationError::AllSamplesNan`] when no sample produced a finite
+/// score.
+///
+/// # Panics
+///
+/// Panics if `n` is zero — programmer input, not model behaviour.
+pub fn try_par_monte_carlo<F>(
+    space: &ParamSpace,
+    n: usize,
+    seed: u64,
+    run: F,
+) -> Result<CalibrationResult, CalibrationError>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    try_par_monte_carlo_with_threads(space, n, seed, crate::par::thread_count(), run)
+}
+
+/// [`try_par_monte_carlo`] with an explicit thread count — the hook the
+/// determinism soak uses to prove 1, 2 and 8 workers produce identical
+/// bits. The thread count only schedules; it never reaches the RNG.
+pub fn try_par_monte_carlo_with_threads<F>(
+    space: &ParamSpace,
+    n: usize,
+    seed: u64,
+    threads: usize,
+    run: F,
+) -> Result<CalibrationResult, CalibrationError>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    assert!(n > 0, "at least one sample is required");
+    let root = SimRng::new(seed).fork("monte-carlo");
+    let chunks = n.div_ceil(crate::par::PAR_CHUNK);
+    let root = &root;
+    let run = &run;
+    let chunk_samples: Vec<Vec<CalibrationSample>> =
+        crate::par::run_chunks_with_threads(chunks, threads, |c| {
+            let mut rng = root.fork_indexed("chunk", c as u64);
+            let lo = c * crate::par::PAR_CHUNK;
+            let hi = (lo + crate::par::PAR_CHUNK).min(n);
+            (lo..hi)
+                .map(|_| {
+                    let params = space.sample(&mut rng);
+                    let score = run(&params);
+                    CalibrationSample { params, score }
+                })
+                .collect()
+        });
+
+    let mut samples: Vec<CalibrationSample> = Vec::with_capacity(n);
+    let mut best: Option<usize> = None;
+    for sample in chunk_samples.into_iter().flatten() {
+        if !sample.score.is_nan() && best.is_none_or(|b: usize| sample.score > samples[b].score) {
+            best = Some(samples.len());
+        }
+        samples.push(sample);
+    }
+    // One params vec per draw, the merged buffer, plus one buffer per chunk.
+    let allocations = n as u64 + 1 + chunks as u64;
+    match best {
+        Some(best) => Ok(CalibrationResult { samples, best, evaluations: n as u64, allocations }),
+        None => Err(CalibrationError::AllSamplesNan),
+    }
+}
+
 /// Multi-round Monte Carlo with box refinement: each round samples
 /// uniformly, then shrinks the box around the incumbent best by `shrink`
 /// (clamped to the original bounds) for the next round.

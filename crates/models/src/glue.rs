@@ -153,6 +153,112 @@ where
         }
         members.push(BehaviouralMember { params, score, weight: 0.0, simulation });
     }
+    weight_and_bound(members, n, threshold)
+}
+
+/// Chunked, parallelisable [`glue`]: the Monte Carlo ensemble is split
+/// into fixed-width chunks, each simulating from its own
+/// [`fork_indexed`](SimRng::fork_indexed) child stream; behavioural
+/// members are merged in chunk order before the (sequential) weighting
+/// and quantile passes.
+///
+/// The result is a pure function of the arguments — bitwise identical
+/// across thread counts and with the `parallel` feature compiled out —
+/// but it draws a *different* deterministic stream than the single-stream
+/// [`glue`], so pick one entry point per workload and stay on it.
+///
+/// `simulate` must be `Fn + Sync` (it may run on worker threads).
+///
+/// # Errors
+///
+/// Returns [`GlueError::NoBehaviouralMembers`] when nothing passes the
+/// threshold.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn par_glue<F>(
+    space: &ParamSpace,
+    n: usize,
+    seed: u64,
+    observed: &TimeSeries,
+    objective: Objective,
+    threshold: f64,
+    simulate: F,
+) -> Result<GlueResult, GlueError>
+where
+    F: Fn(&[f64]) -> Option<TimeSeries> + Sync,
+{
+    par_glue_with_threads(
+        space,
+        n,
+        seed,
+        crate::par::thread_count(),
+        observed,
+        objective,
+        threshold,
+        simulate,
+    )
+}
+
+/// [`par_glue`] with an explicit thread count — the determinism soak's
+/// hook. The thread count only schedules; it never reaches the RNG.
+///
+/// # Errors
+///
+/// Returns [`GlueError::NoBehaviouralMembers`] when nothing passes the
+/// threshold.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn par_glue_with_threads<F>(
+    space: &ParamSpace,
+    n: usize,
+    seed: u64,
+    threads: usize,
+    observed: &TimeSeries,
+    objective: Objective,
+    threshold: f64,
+    simulate: F,
+) -> Result<GlueResult, GlueError>
+where
+    F: Fn(&[f64]) -> Option<TimeSeries> + Sync,
+{
+    assert!(n > 0, "at least one run is required");
+    let root = SimRng::new(seed).fork("glue");
+    let chunks = n.div_ceil(crate::par::PAR_CHUNK);
+    let root = &root;
+    let simulate = &simulate;
+    let chunk_members: Vec<Vec<BehaviouralMember>> =
+        crate::par::run_chunks_with_threads(chunks, threads, |c| {
+            let mut rng = root.fork_indexed("chunk", c as u64);
+            let lo = c * crate::par::PAR_CHUNK;
+            let hi = (lo + crate::par::PAR_CHUNK).min(n);
+            let mut members = Vec::new();
+            for _ in lo..hi {
+                let params = space.sample(&mut rng);
+                let Some(simulation) = simulate(&params) else { continue };
+                let score = objective.score(&simulation, observed);
+                if score.is_nan() || score <= threshold {
+                    continue;
+                }
+                members.push(BehaviouralMember { params, score, weight: 0.0, simulation });
+            }
+            members
+        });
+    let members: Vec<BehaviouralMember> = chunk_members.into_iter().flatten().collect();
+    weight_and_bound(members, n, threshold)
+}
+
+/// Shared tail of [`glue`] and [`par_glue`]: likelihood weighting and the
+/// 5/50/95 % weighted prediction bounds over an already-filtered ensemble.
+fn weight_and_bound(
+    mut members: Vec<BehaviouralMember>,
+    n: usize,
+    threshold: f64,
+) -> Result<GlueResult, GlueError> {
     if members.is_empty() {
         return Err(GlueError::NoBehaviouralMembers { runs: n });
     }

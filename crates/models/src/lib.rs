@@ -31,6 +31,7 @@ pub mod frequency;
 pub mod fuse;
 pub mod glue;
 pub mod objectives;
+pub(crate) mod par;
 pub mod pet;
 pub mod routing;
 pub mod scenarios;

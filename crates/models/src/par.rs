@@ -1,0 +1,133 @@
+//! Seed-split chunked execution for embarrassingly parallel workloads.
+//!
+//! The paper's flagship cloud workloads — Monte Carlo calibration and the
+//! GLUE ensemble (§IV-B, §VI) — are embarrassingly parallel: every model
+//! run is independent. This module provides the one primitive they share:
+//! run `chunks` independent jobs and return their results **in chunk
+//! order**, optionally fanning out across threads when the `parallel`
+//! feature is enabled.
+//!
+//! Determinism is structural, not incidental:
+//!
+//! * randomness never crosses a chunk boundary — each chunk derives its own
+//!   child stream via [`SimRng::fork_indexed`](evop_sim::SimRng::fork_indexed),
+//!   a pure function of `(seed, label, chunk index)`;
+//! * results are merged in chunk index order, never completion order;
+//! * the chunk width is a fixed constant, never derived from the thread
+//!   count.
+//!
+//! Together these make the output a pure function of the arguments: bitwise
+//! identical whether the chunks run on one thread, eight threads, or with
+//! the `parallel` feature compiled out entirely. The sequential paths
+//! (`monte_carlo`, `glue`) remain the golden reference; the `par_*`
+//! entry points are a *different* deterministic stream (one sub-stream per
+//! chunk rather than one global stream), locked down by
+//! `tests/par_determinism.rs`.
+
+/// Fixed number of samples per chunk. Constant by design: deriving it from
+/// the machine's thread count would make results machine-dependent.
+pub(crate) const PAR_CHUNK: usize = 4096;
+
+/// Worker threads to use: `RAYON_NUM_THREADS` when set to a positive
+/// integer (the conventional knob, honoured so CI can pin the matrix),
+/// otherwise the machine's available parallelism.
+///
+/// Only ever consulted for *scheduling*; results never depend on it.
+pub(crate) fn thread_count() -> usize {
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs `job(0..chunks)` with an explicit thread count and returns the
+/// results in chunk order — also the hook the determinism soak uses to
+/// prove 1, 2 and 8 threads produce identical bits.
+///
+/// Threads are assigned chunks by striding (thread `t` runs chunks `t`,
+/// `t + threads`, …) and the per-thread result vectors are interleaved
+/// back into chunk order, so scheduling jitter cannot reorder anything.
+#[cfg(feature = "parallel")]
+pub(crate) fn run_chunks_with_threads<T, F>(chunks: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, chunks.max(1));
+    if threads == 1 {
+        return (0..chunks).map(job).collect();
+    }
+    let job = &job;
+    let per_thread: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| scope.spawn(move || (t..chunks).step_by(threads).map(job).collect()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| match handle.join() {
+                Ok(results) => results,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    // Interleave back into chunk order: round r of the merge visits each
+    // thread once, reproducing chunks r·T, r·T+1, … in index order.
+    let mut iters: Vec<std::vec::IntoIter<T>> =
+        per_thread.into_iter().map(Vec::into_iter).collect();
+    let mut merged = Vec::with_capacity(chunks);
+    while merged.len() < chunks {
+        let before = merged.len();
+        for iter in &mut iters {
+            if let Some(result) = iter.next() {
+                merged.push(result);
+            }
+        }
+        assert!(merged.len() > before, "chunk merge stalled: worker produced too few results");
+    }
+    merged
+}
+
+/// Sequential fallback when the `parallel` feature is off: same chunking,
+/// same per-chunk streams, same order — the bit-identity reference.
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn run_chunks_with_threads<T, F>(chunks: usize, _threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    (0..chunks).map(job).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_chunk_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let got = run_chunks_with_threads(37, threads, |c| c * 10);
+            let expect: Vec<usize> = (0..37).map(|c| c * 10).collect();
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_chunks_is_empty() {
+        let got: Vec<usize> = run_chunks_with_threads(0, 8, |c| c);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn env_override_must_be_positive_integer() {
+        // Not an env-mutation test (those race across threads): just the
+        // machine default path must be at least one.
+        assert!(thread_count() >= 1);
+    }
+}

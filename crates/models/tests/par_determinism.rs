@@ -1,0 +1,178 @@
+//! Determinism soak for the seed-split parallel plane.
+//!
+//! The contract under test: `par_monte_carlo` / `par_glue` output is a
+//! pure function of the arguments — **bitwise** identical across thread
+//! counts (1, 2, 8) and with the `parallel` feature compiled out. The CI
+//! matrix runs this file under both feature configurations and under
+//! `RAYON_NUM_THREADS` ∈ {1, 2, 8}, so the env-driven entry points get
+//! exercised at every pinned width as well.
+//!
+//! Floats are compared through `f64::to_bits`, not `==`: `NaN` scores are
+//! part of the contract (failed model runs) and must reproduce exactly.
+
+use evop_data::{TimeSeries, Timestamp};
+use evop_models::calibrate::{
+    try_par_monte_carlo, try_par_monte_carlo_with_threads, CalibrationResult, ParamSpace,
+};
+use evop_models::glue::{par_glue, par_glue_with_threads, GlueResult};
+use evop_models::objectives::Objective;
+use evop_sim::SimRng;
+
+const SEEDS: [u64; 8] = [0, 1, 2, 7, 42, 1337, 0xDEAD_BEEF, u64::MAX];
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn space() -> ParamSpace {
+    ParamSpace::from_ranges(&[("x", -5.0, 5.0), ("y", 0.0, 1.0), ("z", 10.0, 20.0)])
+}
+
+/// A lumpy score with a NaN pocket, so failed runs are in the soak too.
+fn score(p: &[f64]) -> f64 {
+    if p[1] > 0.95 {
+        return f64::NAN;
+    }
+    -(p[0] - 1.5).powi(2) + (p[2] * p[1]).sin()
+}
+
+fn assert_bitwise_eq(a: &CalibrationResult, b: &CalibrationResult, context: &str) {
+    assert_eq!(a.samples().len(), b.samples().len(), "{context}: sample counts");
+    for (i, (sa, sb)) in a.samples().iter().zip(b.samples()).enumerate() {
+        assert_eq!(
+            sa.score.to_bits(),
+            sb.score.to_bits(),
+            "{context}: score bits diverged at sample {i}"
+        );
+        assert_eq!(sa.params.len(), sb.params.len(), "{context}: params len at sample {i}");
+        for (pa, pb) in sa.params.iter().zip(&sb.params) {
+            assert_eq!(pa.to_bits(), pb.to_bits(), "{context}: param bits at sample {i}");
+        }
+    }
+    assert_eq!(a.best().params, b.best().params, "{context}: best sample");
+    assert_eq!(a.evaluations(), b.evaluations(), "{context}: evaluations");
+    assert_eq!(a.allocations(), b.allocations(), "{context}: allocations");
+}
+
+#[test]
+fn monte_carlo_bits_survive_every_thread_count() {
+    // 10_000 samples spans three chunks (PAR_CHUNK = 4096), so the merge
+    // order and the ragged final chunk are both on the hook.
+    for seed in SEEDS {
+        let reference = try_par_monte_carlo_with_threads(&space(), 10_000, seed, 1, score).unwrap();
+        for threads in THREADS {
+            let run =
+                try_par_monte_carlo_with_threads(&space(), 10_000, seed, threads, score).unwrap();
+            assert_bitwise_eq(&reference, &run, &format!("seed {seed}, {threads} threads"));
+        }
+        // The env-driven entry point (whatever RAYON_NUM_THREADS says in
+        // this CI cell) must land on the same bits.
+        let env_run = try_par_monte_carlo(&space(), 10_000, seed, score).unwrap();
+        assert_bitwise_eq(&reference, &env_run, &format!("seed {seed}, env threads"));
+    }
+}
+
+#[test]
+fn monte_carlo_matches_a_handwritten_sequential_chunk_loop() {
+    // Reimplement the chunk scheme longhand: if this ever diverges, the
+    // parallel plane changed its stream contract, not just its schedule.
+    const N: usize = 9000;
+    const CHUNK: usize = 4096;
+    let space = space();
+    for seed in [3u64, 99] {
+        let root = SimRng::new(seed).fork("monte-carlo");
+        let mut expect: Vec<(Vec<f64>, f64)> = Vec::new();
+        let mut c = 0u64;
+        while expect.len() < N {
+            let mut rng = root.fork_indexed("chunk", c);
+            for _ in 0..CHUNK.min(N - expect.len()) {
+                let params = space.sample(&mut rng);
+                let s = score(&params);
+                expect.push((params, s));
+            }
+            c += 1;
+        }
+        let got = try_par_monte_carlo(&space, N, seed, score).unwrap();
+        assert_eq!(got.samples().len(), N);
+        for (sample, (params, s)) in got.samples().iter().zip(&expect) {
+            assert_eq!(&sample.params, params);
+            assert_eq!(sample.score.to_bits(), s.to_bits());
+        }
+    }
+}
+
+fn toy_observed() -> TimeSeries {
+    TimeSeries::from_values(
+        Timestamp::from_ymd(2012, 1, 1),
+        3600,
+        vec![2.5, 4.5, 10.5, 6.5, 3.5, 2.5],
+    )
+}
+
+fn toy_simulate(params: &[f64]) -> Option<TimeSeries> {
+    if params[1] > 0.9 {
+        return None; // a failure pocket, so skipped runs are in the soak
+    }
+    let base = [1.0, 2.0, 5.0, 3.0, 1.5, 1.0];
+    Some(TimeSeries::from_values(
+        Timestamp::from_ymd(2012, 1, 1),
+        3600,
+        base.iter().map(|b| params[0].abs() * b + params[1]).collect(),
+    ))
+}
+
+fn assert_glue_bitwise_eq(a: &GlueResult, b: &GlueResult, context: &str) {
+    assert_eq!(a.members().len(), b.members().len(), "{context}: member counts");
+    for (i, (ma, mb)) in a.members().iter().zip(b.members()).enumerate() {
+        assert_eq!(ma.params, mb.params, "{context}: params at member {i}");
+        assert_eq!(ma.score.to_bits(), mb.score.to_bits(), "{context}: score at member {i}");
+        assert_eq!(ma.weight.to_bits(), mb.weight.to_bits(), "{context}: weight at member {i}");
+    }
+    for t in 0..a.lower().len() {
+        for (sa, sb) in [(a.lower(), b.lower()), (a.median(), b.median()), (a.upper(), b.upper())] {
+            assert_eq!(sa.value_at(t).to_bits(), sb.value_at(t).to_bits(), "{context}: bounds");
+        }
+    }
+    assert_eq!(a.total_runs(), b.total_runs(), "{context}: total runs");
+}
+
+#[test]
+fn glue_bits_survive_every_thread_count() {
+    let observed = toy_observed();
+    for seed in SEEDS {
+        let reference = par_glue_with_threads(
+            &space(),
+            9000,
+            seed,
+            1,
+            &observed,
+            Objective::Nse,
+            0.0,
+            toy_simulate,
+        )
+        .unwrap();
+        for threads in THREADS {
+            let run = par_glue_with_threads(
+                &space(),
+                9000,
+                seed,
+                threads,
+                &observed,
+                Objective::Nse,
+                0.0,
+                toy_simulate,
+            )
+            .unwrap();
+            assert_glue_bitwise_eq(&reference, &run, &format!("seed {seed}, {threads} threads"));
+        }
+        let env_run =
+            par_glue(&space(), 9000, seed, &observed, Objective::Nse, 0.0, toy_simulate).unwrap();
+        assert_glue_bitwise_eq(&reference, &env_run, &format!("seed {seed}, env threads"));
+    }
+}
+
+#[test]
+fn parallel_counters_match_sequential_contract() {
+    // evaluations = n exactly; allocations = n + merged buffer + one
+    // buffer per chunk — a pure function of n, never of the thread count.
+    let result = try_par_monte_carlo_with_threads(&space(), 10_000, 5, 8, score).unwrap();
+    assert_eq!(result.evaluations(), 10_000);
+    assert_eq!(result.allocations(), 10_000 + 1 + 3);
+}

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod reference;
 pub mod stats;
 
 mod clock;
@@ -38,6 +39,6 @@ mod rng;
 mod time;
 
 pub use clock::Clock;
-pub use queue::{EventQueue, KernelCounters};
+pub use queue::{EventId, EventQueue, KernelCounters};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,226 @@
+//! The original binary-heap event queue, kept as an executable reference.
+//!
+//! [`HeapQueue`] is the seed kernel's `BinaryHeap<Reverse<Entry>>`
+//! implementation, verbatim in behaviour: time order, same-instant FIFO by
+//! insertion sequence, and identical [`KernelCounters`] bookkeeping. The
+//! ladder/slab [`EventQueue`](crate::EventQueue) replaced it on the hot
+//! path, but equivalence between the two must stay *executable*, not
+//! asserted — `tests/queue_equiv.rs` drives both with identical seeded op
+//! sequences and compares every delivery and every counter, and the
+//! `perf_report` queue-scaling cells time both so the speedup claim is a
+//! measured number.
+//!
+//! Do not use this in simulation code; it exists for differential tests
+//! and benchmarks only.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use crate::{KernelCounters, SimTime};
+
+/// An entry in the heap: ordered by time, then by insertion sequence so that
+/// events scheduled for the same instant pop in insertion order.
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Entry<E>) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Entry<E>) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Entry<E>) -> Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The seed's binary-heap priority queue — the reference implementation
+/// the ladder/slab [`EventQueue`](crate::EventQueue) is differentially
+/// tested against.
+///
+/// Same contract: time-ordered delivery, FIFO within an instant,
+/// [`KernelCounters`] maintained identically. Cancellation is by
+/// predicate only (the heap has no O(1) indexed cancel — that is one of
+/// the reasons it was replaced).
+///
+/// # Examples
+///
+/// ```
+/// use evop_sim::reference::HeapQueue;
+/// use evop_sim::SimTime;
+///
+/// let mut queue = HeapQueue::new();
+/// queue.push(SimTime::from_secs(2), "b");
+/// queue.push(SimTime::from_secs(1), "a");
+/// assert_eq!(queue.pop(), Some((SimTime::from_secs(1), "a")));
+/// ```
+#[derive(Debug)]
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    counters: KernelCounters,
+    /// Timestamp and length of the current same-tick delivery run.
+    batch: Option<(SimTime, u64)>,
+}
+
+impl<E> HeapQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> HeapQueue<E> {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            counters: KernelCounters::default(),
+            batch: None,
+        }
+    }
+
+    /// Schedules `event` for delivery at instant `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+        self.counters.scheduled += 1;
+        self.counters.depth_high_water = self.counters.depth_high_water.max(self.heap.len());
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is
+    /// empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (time, event) = self.heap.pop().map(|Reverse(e)| (e.time, e.event))?;
+        self.counters.delivered += 1;
+        let run = match self.batch {
+            Some((t, n)) if t == time => n + 1,
+            _ => 1,
+        };
+        self.batch = Some((time, run));
+        self.counters.max_same_tick_batch = self.counters.max_same_tick_batch.max(run);
+        Some((time, event))
+    }
+
+    /// The delivery time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Removes and returns the earliest event only if it is due at or before
+    /// `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Drains every event of the earliest due tick into `buf`, returning
+    /// how many were appended — the reference semantics for
+    /// [`EventQueue::pop_batch_due`](crate::EventQueue::pop_batch_due).
+    pub fn pop_batch_due(&mut self, now: SimTime, buf: &mut Vec<(SimTime, E)>) -> usize {
+        let Some(tick) = self.peek_time().filter(|&t| t <= now) else { return 0 };
+        let mut n = 0;
+        while self.peek_time() == Some(tick) {
+            match self.pop() {
+                Some(entry) => {
+                    buf.push(entry);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    /// The number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Pending events, under the invariant-suite name (equals `len()`).
+    pub fn backlog(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events (counted as cancelled).
+    pub fn clear(&mut self) {
+        self.counters.cancelled += self.heap.len() as u64;
+        self.heap.clear();
+    }
+
+    /// Removes every pending event matching `pred` without delivering it,
+    /// returning how many were cancelled. Relative order of the survivors
+    /// is preserved.
+    pub fn cancel_where<F: FnMut(&E) -> bool>(&mut self, mut pred: F) -> usize {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let before = entries.len();
+        self.heap = entries.into_iter().filter(|Reverse(e)| !pred(&e.event)).collect();
+        let cancelled = before - self.heap.len();
+        self.counters.cancelled += cancelled as u64;
+        cancelled
+    }
+
+    /// A copy of the queue's hot-path counters.
+    pub fn counters(&self) -> KernelCounters {
+        self.counters
+    }
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> HeapQueue<E> {
+        HeapQueue::new()
+    }
+}
+
+impl<E> Extend<(SimTime, E)> for HeapQueue<E> {
+    fn extend<I: IntoIterator<Item = (SimTime, E)>>(&mut self, iter: I) {
+        for (time, event) in iter {
+            self.push(time, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_pops_in_time_then_fifo_order() {
+        let mut q = HeapQueue::new();
+        let t = SimTime::from_secs(1);
+        q.push(SimTime::from_secs(2), 9);
+        q.push(t, 0);
+        q.push(t, 1);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, [0, 1, 9]);
+        assert_eq!(q.counters().delivered, 3);
+        assert_eq!(q.counters().max_same_tick_batch, 2);
+    }
+
+    #[test]
+    fn reference_batch_drain_matches_tick_semantics() {
+        let mut q = HeapQueue::new();
+        let t = SimTime::from_secs(1);
+        q.push(t, "a");
+        q.push(SimTime::from_secs(2), "b");
+        q.push(t, "c");
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_batch_due(SimTime::from_secs(5), &mut buf), 2);
+        assert_eq!(buf, [(t, "a"), (t, "c")]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Property tests for the ladder/slab [`EventQueue`]: every behavioural
+//! claim the kernel rewrite makes, checked against a trivially-correct
+//! model (a sorted `Vec`) under randomised op interleavings.
+
+use evop_sim::{EventId, EventQueue, SimTime};
+use proptest::prelude::*;
+
+/// A scripted queue operation. Times and indices are drawn by proptest;
+/// `Cancel` picks among currently-outstanding events by rotating index.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u64),
+    Pop,
+    PopDue(u64),
+    PopBatchDue(u64),
+    Cancel(usize),
+}
+
+/// Decodes a drawn `(selector, argument)` pair into an operation, with
+/// pushes weighted heaviest so the queue actually fills up.
+fn decode(sel: u8, arg: u64) -> Op {
+    match sel {
+        0..=3 => Op::Push(arg),
+        4 | 5 => Op::Pop,
+        6 => Op::PopDue(arg),
+        7 => Op::PopBatchDue(arg),
+        _ => Op::Cancel(arg as usize),
+    }
+}
+
+/// The model: outstanding events as `(time, seq, payload)`, delivered by
+/// scanning for the minimum `(time, seq)` key.
+#[derive(Default)]
+struct Model {
+    pending: Vec<(u64, u64, u64)>,
+    next_seq: u64,
+}
+
+impl Model {
+    fn push(&mut self, time: u64, payload: u64) {
+        self.pending.push((time, self.next_seq, payload));
+        self.next_seq += 1;
+    }
+
+    fn min_index(&self) -> Option<usize> {
+        (0..self.pending.len()).min_by_key(|&i| (self.pending[i].0, self.pending[i].1))
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        let i = self.min_index()?;
+        let (t, _, p) = self.pending.remove(i);
+        Some((t, p))
+    }
+
+    fn pop_due(&mut self, now: u64) -> Option<(u64, u64)> {
+        match self.min_index() {
+            Some(i) if self.pending[i].0 <= now => self.pop(),
+            _ => None,
+        }
+    }
+}
+
+proptest! {
+    /// Full model equivalence under random interleavings of every op,
+    /// including the `backlog()` / counter invariants after each step.
+    #[test]
+    fn matches_model_under_random_interleavings(
+        raw_ops in proptest::collection::vec((0u8..10, 0u64..=500), 1..300),
+    ) {
+        let ops: Vec<Op> = raw_ops.into_iter().map(|(sel, arg)| decode(sel, arg)).collect();
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut model = Model::default();
+        let mut handles: Vec<(u64, EventId)> = Vec::new();
+        let mut payload = 0u64;
+        let mut cancelled: Vec<u64> = Vec::new();
+        let mut delivered: Vec<(u64, u64)> = Vec::new();
+        let mut buf = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Push(t) => {
+                    let id = q.push(SimTime::from_millis(t), payload);
+                    model.push(t, payload);
+                    handles.push((payload, id));
+                    payload += 1;
+                }
+                Op::Pop => {
+                    let got = q.pop().map(|(t, p)| (t.as_millis(), p));
+                    prop_assert_eq!(got, model.pop());
+                    if let Some(d) = got {
+                        delivered.push(d);
+                        handles.retain(|(p, _)| *p != d.1);
+                    }
+                }
+                Op::PopDue(now) => {
+                    let got = q.pop_due(SimTime::from_millis(now)).map(|(t, p)| (t.as_millis(), p));
+                    prop_assert_eq!(got, model.pop_due(now));
+                    if let Some(d) = got {
+                        delivered.push(d);
+                        handles.retain(|(p, _)| *p != d.1);
+                    }
+                }
+                Op::PopBatchDue(now) => {
+                    buf.clear();
+                    let n = q.pop_batch_due(SimTime::from_millis(now), &mut buf);
+                    prop_assert_eq!(n, buf.len());
+                    // The whole earliest due tick, nothing else.
+                    if let Some(&(t0, _)) = buf.first() {
+                        prop_assert!(t0.as_millis() <= now);
+                        for &(t, p) in &buf {
+                            prop_assert!(t == t0, "batch must share one tick");
+                            prop_assert_eq!(model.pop_due(now), Some((t.as_millis(), p)));
+                            delivered.push((t.as_millis(), p));
+                            handles.retain(|(hp, _)| *hp != p);
+                        }
+                        // The model's next due event (if any) is a later tick.
+                        if let Some(i) = model.min_index() {
+                            prop_assert!(model.pending[i].0 > t0.as_millis() || model.pending[i].0 > now);
+                        }
+                    } else {
+                        prop_assert!(model.pop_due(now).is_none());
+                    }
+                }
+                Op::Cancel(raw) => {
+                    if !handles.is_empty() {
+                        let (p, id) = handles.swap_remove(raw % handles.len());
+                        prop_assert!(q.cancel(id));
+                        prop_assert!(!q.cancel(id), "cancel must be idempotent");
+                        model.pending.retain(|&(_, _, mp)| mp != p);
+                        cancelled.push(p);
+                    }
+                }
+            }
+
+            // Invariants after every op.
+            let c = q.counters();
+            prop_assert_eq!(q.backlog(), model.pending.len());
+            prop_assert_eq!(q.backlog() as u64, c.in_flight());
+            prop_assert_eq!(q.len(), q.backlog());
+            let model_min = model.min_index().map(|i| model.pending[i].0);
+            prop_assert_eq!(q.peek_time().map(SimTime::as_millis), model_min);
+        }
+
+        // Cancelled events are never delivered.
+        for p in &cancelled {
+            prop_assert!(!delivered.iter().any(|(_, dp)| dp == p), "cancelled event delivered");
+        }
+    }
+
+    /// Deliveries come out sorted by (time, insertion order) even when the
+    /// whole workload lands on a handful of instants.
+    #[test]
+    fn same_instant_pops_are_fifo(
+        times in proptest::collection::vec(0u64..4, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_millis(t), i as u64);
+        }
+        let mut expect: Vec<(u64, u64)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i as u64)).collect();
+        expect.sort_by_key(|&(t, i)| (t, i));
+        let got: Vec<(u64, u64)> =
+            std::iter::from_fn(|| q.pop().map(|(t, p)| (t.as_millis(), p))).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Rung→far-horizon crossover: drain part of a near cluster, then push
+    /// beyond the spread horizon (and below it) — ordering must survive the
+    /// region boundaries.
+    #[test]
+    fn horizon_crossover_keeps_order(
+        near in proptest::collection::vec(0u64..10_000, 8..128),
+        far in proptest::collection::vec(0u64..1_000_000_000, 1..64),
+        drains in 1usize..8,
+    ) {
+        let mut q = EventQueue::new();
+        let mut payload = 0u64;
+        let mut expect: Vec<(u64, u64)> = Vec::new();
+        for &t in &near {
+            q.push(SimTime::from_millis(t), payload);
+            expect.push((t, payload));
+            payload += 1;
+        }
+        // Force a spread: deliver a few, establishing rungs + a horizon.
+        let mut got: Vec<(u64, u64)> = Vec::new();
+        for _ in 0..drains {
+            if let Some((t, p)) = q.pop() {
+                got.push((t.as_millis(), p));
+            }
+        }
+        // Now cross the horizon in both directions.
+        for &t in &far {
+            q.push(SimTime::from_millis(t), payload);
+            expect.push((t, payload));
+            payload += 1;
+        }
+        while let Some((t, p)) = q.pop() {
+            got.push((t.as_millis(), p));
+        }
+        expect.sort_by_key(|&(t, p)| (t, p));
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(q.counters().delivered, payload);
+    }
+
+    /// `backlog()` equals `scheduled − delivered − cancelled` under a
+    /// push/cancel_where/drain cycle (the bench workload's shape).
+    #[test]
+    fn backlog_invariant_under_bench_shape(
+        n in 1usize..300,
+        modulus in 2u64..20,
+    ) {
+        let mut q = EventQueue::new();
+        for i in 0..n as u64 {
+            q.push(SimTime::from_millis(i * 37 % 1000), i);
+        }
+        let cancelled = q.cancel_where(|&i| i % modulus == 0);
+        let c = q.counters();
+        prop_assert_eq!(c.scheduled, n as u64);
+        prop_assert_eq!(c.cancelled, cancelled as u64);
+        prop_assert_eq!(q.backlog() as u64, c.in_flight());
+        let mut seen = 0u64;
+        while q.pop().is_some() {
+            seen += 1;
+            prop_assert_eq!(q.backlog() as u64, q.counters().in_flight());
+        }
+        prop_assert_eq!(seen + cancelled as u64, n as u64);
+    }
+}
