@@ -1,0 +1,132 @@
+//! Diurnal tsdb/tail-sampling report: forecast-ready rollups from a soak.
+//!
+//! Replays the multi-day diurnal portal load (flash crowd at noon on the
+//! final day, API error burst mid-crowd) with every registry tick
+//! ingested into the embedded time-series store and every finished trace
+//! judged by the tail sampler. `--json` prints the canonical digest the
+//! golden test pins; `--out DIR` also writes the full tsdb snapshot, the
+//! retained-trace set and the Prometheus rollup expositions. `--days N`
+//! shortens or lengthens the soak (the golden runs the default).
+
+use std::fs;
+use std::path::Path;
+use std::process::exit;
+
+use evop_bench::cli::CliSpec;
+use evop_bench::tsdb::{run_diurnal, DiurnalConfig, DiurnalOutcome};
+use evop_obs::{prometheus_rollup_text, Resolution};
+
+fn main() {
+    let spec = CliSpec::new("tsdb_report", 42).with_json().with_out().with_value(
+        "days",
+        "N",
+        "virtual days to soak (default 2)",
+    );
+    let opts = spec.parse_or_exit();
+
+    let mut config = DiurnalConfig { seed: opts.seed.unwrap_or(42), ..DiurnalConfig::default() };
+    if let Some(days) = opts.value("days") {
+        match days.parse::<u64>() {
+            Ok(days) if days > 0 => config.days = days,
+            _ => {
+                eprintln!("--days takes a positive integer, got {days:?}");
+                exit(2);
+            }
+        }
+    }
+
+    let outcome = run_diurnal(&config);
+
+    if let Some(dir) = &opts.out {
+        write_artifacts(Path::new(dir), &outcome);
+    }
+
+    if opts.json {
+        match serde_json::to_string_pretty(&outcome.to_json()) {
+            Ok(text) => println!("{text}"),
+            Err(err) => {
+                eprintln!("serialization failed: {err}");
+                exit(1);
+            }
+        }
+        return;
+    }
+
+    print_tables(&outcome);
+}
+
+/// Writes the artifacts the CI job uploads: the full rollup snapshot,
+/// the retained-trace set and one Prometheus exposition per resolution.
+fn write_artifacts(dir: &Path, outcome: &DiurnalOutcome) {
+    if let Err(err) = fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {err}", dir.display());
+        exit(1);
+    }
+    let seed = outcome.config.seed;
+    let files = [
+        (format!("tsdb-{seed}.snapshot.json"), outcome.tsdb.snapshot_string()),
+        (format!("tsdb-{seed}.retained.json"), outcome.sampler.to_json().to_string()),
+        (
+            format!("tsdb-{seed}.minute.prom"),
+            prometheus_rollup_text(&outcome.tsdb, Resolution::Minute),
+        ),
+        (format!("tsdb-{seed}.hour.prom"), prometheus_rollup_text(&outcome.tsdb, Resolution::Hour)),
+    ];
+    for (name, contents) in files {
+        let path = dir.join(&name);
+        if let Err(err) = fs::write(&path, contents) {
+            eprintln!("cannot write {}: {err}", path.display());
+            exit(1);
+        }
+    }
+}
+
+fn print_tables(outcome: &DiurnalOutcome) {
+    let doc = outcome.to_json();
+    println!(
+        "tsdb_report — seed {} — {} day(s), {} resident + {} crowd sessions",
+        outcome.config.seed,
+        outcome.config.days,
+        outcome.config.sessions,
+        outcome.config.crowd_sessions,
+    );
+    println!(
+        "requests: {} attempts ({} ok, {} transient, {} hard), {} faults fired",
+        doc["requests"]["attempts"],
+        doc["requests"]["ok"],
+        doc["requests"]["transient"],
+        doc["requests"]["hard"],
+        outcome.faults_fired,
+    );
+    println!(
+        "tsdb: {} series ({} label-sets collapsed), snapshot fnv {}",
+        outcome.tsdb.series_count(),
+        outcome.tsdb.series_dropped(),
+        outcome.snapshot_fnv(),
+    );
+    let counters = outcome.sampler.counters();
+    println!(
+        "sampler: {} traces decided, {} retained ({} spans), {} discarded",
+        counters.decided,
+        outcome.sampler.retained_ids().len(),
+        outcome.sampler.retained_spans(),
+        counters.discarded,
+    );
+    let acceptance = outcome.acceptance();
+    println!(
+        "acceptance: errored {}/{} retained, burning {}/{} retained",
+        acceptance.errored_retained,
+        acceptance.errored_total,
+        acceptance.burning_retained,
+        acceptance.burning_total,
+    );
+    println!("\nhourly submissions (sum per hour window):");
+    if let Some(points) = doc["forecast"]["submit_hourly"].as_array() {
+        for point in points {
+            let hour = point["start_ms"].as_u64().unwrap_or(0) / 3_600_000;
+            let sum = point["sum"].as_f64().unwrap_or(0.0);
+            let bar = "#".repeat((sum / 5.0).min(60.0) as usize);
+            println!("  h{hour:>3}  {sum:>7.0}  {bar}");
+        }
+    }
+}

@@ -11,7 +11,10 @@
 //! * `cargo run -p evop-bench --release --bin perf_report` runs the fixed
 //!   perf suite and maintains the machine-readable perf trajectory
 //!   (`BENCH_sim.json` / `BENCH_e2e.json`), with `--check` as the CI
-//!   regression gate.
+//!   regression gate;
+//! * `cargo run -p evop-bench --release --bin tsdb_report` replays the
+//!   multi-day diurnal portal soak through the embedded time-series
+//!   store and the tail sampler, emitting forecast-ready hourly rollups.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,5 +23,6 @@ pub mod cache;
 pub mod cli;
 pub mod perf;
 pub mod slo;
+pub mod tsdb;
 
 pub use cli::{CliOptions, CliSpec};

@@ -1,0 +1,75 @@
+//! Golden-output regression for the diurnal tsdb/tail-sampling replay.
+//!
+//! The committed golden is exactly what `tsdb_report --seed 42 --json`
+//! prints: the forecast digest over the two-day diurnal soak, including
+//! the FNV hash of the full rollup snapshot and the retained-trace set.
+//! If a change shifts any rollup window, governor decision or sampling
+//! verdict, this test shows the diff — regenerate with:
+//!
+//! ```text
+//! cargo run -p evop-bench --release --bin tsdb_report -- \
+//!     --seed 42 --json > crates/bench/golden/tsdb_diurnal_seed42.json
+//! ```
+
+use evop_bench::tsdb::{run_diurnal, DiurnalConfig};
+
+mod common;
+
+const GOLDEN: &str = include_str!("../golden/tsdb_diurnal_seed42.json");
+
+#[test]
+fn diurnal_digest_matches_committed_golden() {
+    let outcome = run_diurnal(&DiurnalConfig::default());
+    let rendered = serde_json::to_string_pretty(&outcome.to_json()).expect("serializable");
+    common::assert_matches_golden(
+        &rendered,
+        GOLDEN,
+        "cargo run -p evop-bench --release --bin tsdb_report -- --seed 42 --json \
+         > crates/bench/golden/tsdb_diurnal_seed42.json",
+    );
+}
+
+/// The ISSUE's determinism acceptance: two same-seed runs produce a
+/// byte-identical tsdb snapshot and the same retained-trace id set.
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let config = DiurnalConfig::default();
+    let a = run_diurnal(&config);
+    let b = run_diurnal(&config);
+    assert_eq!(a.tsdb.snapshot_string(), b.tsdb.snapshot_string(), "tsdb snapshots must match");
+    assert_eq!(a.sampler.retained_ids(), b.sampler.retained_ids(), "retained traces must match");
+    assert_eq!(a.snapshot_fnv(), b.snapshot_fnv());
+}
+
+/// The ISSUE's sampling acceptance: in the chaos cell the sampler keeps
+/// every errored and every SLO-burning trace while staying under the
+/// span budget, and healthy traffic is actually being dropped (the whole
+/// point of tail sampling).
+#[test]
+fn golden_run_retains_all_incident_traces_under_budget() {
+    let outcome = run_diurnal(&DiurnalConfig::default());
+    let acceptance = outcome.acceptance();
+    assert!(acceptance.errored_total > 100, "the burst must produce real errors");
+    assert_eq!(
+        acceptance.errored_retained, acceptance.errored_total,
+        "every errored trace must be retained"
+    );
+    assert!(acceptance.burning_total > 100, "the availability SLO must burn");
+    assert_eq!(
+        acceptance.burning_retained, acceptance.burning_total,
+        "every SLO-burning trace must be retained"
+    );
+    assert!(
+        outcome.sampler.retained_spans() <= outcome.config.sampler.max_retained_spans,
+        "retained spans must stay under the budget"
+    );
+    let counters = outcome.sampler.counters();
+    assert!(
+        counters.discarded > counters.decided / 2,
+        "most healthy traffic must be dropped ({} of {} decided)",
+        counters.discarded,
+        counters.decided
+    );
+    // The governor kept the per-user family bounded despite the crowd.
+    assert!(outcome.tsdb.series_dropped() > 0);
+}

@@ -729,7 +729,7 @@ impl Broker {
         let mut loads: Vec<(InstanceId, usize)> =
             serving.iter().map(|&id| (id, self.sessions.load(id))).collect();
         loads.sort_by_key(|&(_, load)| load);
-        let (emptiest, min_load) = loads[0];
+        let Some(&(emptiest, min_load)) = loads.first() else { return };
         let Some(&(fullest, max_load)) = loads.last() else { return };
         if max_load <= min_load + 2 {
             return;

@@ -49,10 +49,14 @@ impl FrequencySketch {
     /// Records one access to `fingerprint`, aging all counters when the
     /// sample budget is spent.
     pub fn touch(&mut self, fingerprint: u64) {
-        for row in 0..ROWS {
-            let idx = self.slot(row, fingerprint);
-            if self.counters[idx] < COUNTER_CAP {
-                self.counters[idx] += 1;
+        let width = self.width_mask as usize + 1;
+        let mask = self.width_mask;
+        for (row, &seed) in self.seeds.iter().enumerate() {
+            let idx = row * width + (splitmix64(fingerprint ^ seed) & mask) as usize;
+            if let Some(counter) = self.counters.get_mut(idx) {
+                if *counter < COUNTER_CAP {
+                    *counter += 1;
+                }
             }
         }
         self.samples += 1;
@@ -64,18 +68,21 @@ impl FrequencySketch {
     /// The approximate access count for `fingerprint` (never an
     /// undercount before saturation, by count-min construction).
     pub fn estimate(&self, fingerprint: u64) -> u8 {
-        (0..ROWS).map(|row| self.counters[self.slot(row, fingerprint)]).min().unwrap_or(0)
+        let width = self.width_mask as usize + 1;
+        self.seeds
+            .iter()
+            .enumerate()
+            .filter_map(|(row, &seed)| {
+                let idx = row * width + (splitmix64(fingerprint ^ seed) & self.width_mask) as usize;
+                self.counters.get(idx).copied()
+            })
+            .min()
+            .unwrap_or(0)
     }
 
     /// Total touches recorded since the last aging pass.
     pub fn samples(&self) -> u64 {
         self.samples
-    }
-
-    fn slot(&self, row: usize, fingerprint: u64) -> usize {
-        let width = self.width_mask as usize + 1;
-        let hashed = splitmix64(fingerprint ^ self.seeds[row]);
-        row * width + (hashed & self.width_mask) as usize
     }
 
     /// Halves every counter — recent popularity outweighs ancient history.

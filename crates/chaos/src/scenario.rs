@@ -8,7 +8,7 @@ use serde_json::{json, Value};
 
 use evop_broker::{Broker, BrokerConfig, BrokerError, BrokerEvent, SessionId, SessionState};
 use evop_cloud::{InstanceId, InstanceState, JobState};
-use evop_obs::{AlertEngine, AlertRecord, AlertSeverity, SloSpec};
+use evop_obs::{AlertEngine, AlertRecord, AlertSeverity, SloSpec, Tsdb, TsdbConfig};
 use evop_sim::{SimDuration, SimTime};
 
 use crate::engine::ChaosEngine;
@@ -41,6 +41,7 @@ pub struct ChaosScenario {
     submit_every: SimDuration,
     work: SimDuration,
     slos: Vec<SloSpec>,
+    tsdb: Option<TsdbConfig>,
 }
 
 impl ChaosScenario {
@@ -57,7 +58,19 @@ impl ChaosScenario {
             submit_every: SimDuration::from_secs(300),
             work: SimDuration::from_secs(30),
             slos: Vec::new(),
+            tsdb: None,
         }
+    }
+
+    /// Attaches an embedded time-series store: every control tick flushes
+    /// the broker's metrics registry into multi-resolution rollups, and
+    /// the report carries the store's deterministic snapshot.
+    ///
+    /// Like the SLO engine, the store only *reads* the registry — the
+    /// chaos/broker event log is byte-identical with or without it.
+    pub fn tsdb(mut self, config: TsdbConfig) -> ChaosScenario {
+        self.tsdb = Some(config);
+        self
     }
 
     /// Registers an SLO to be judged after every control tick.
@@ -136,6 +149,7 @@ impl ChaosScenario {
         for spec in &self.slos {
             alert_engine.add_slo(spec.clone());
         }
+        let mut tsdb = self.tsdb.clone().map(Tsdb::new);
 
         let sessions: Vec<SessionId> = (0..self.sessions)
             .map(|i| {
@@ -180,6 +194,11 @@ impl ChaosScenario {
                         Err(_) => stats.hard_failures += 1,
                     }
                 }
+            }
+            // Flush the registry into the rollup store at the end of the
+            // tick, once this cycle's submissions have been counted.
+            if let Some(tsdb) = tsdb.as_mut() {
+                tsdb.ingest_registry(broker.metrics(), broker.now());
             }
         }
 
@@ -231,6 +250,10 @@ impl ChaosScenario {
             canonical_log(&self.schedule, self.seed, &engine, broker.events(), &alerts);
         let metrics_snapshot = broker.metrics().snapshot();
         let prometheus = evop_obs::prometheus_text(broker.metrics());
+        let tsdb_snapshot = tsdb.map(|mut store| {
+            store.finish(broker.now());
+            store.to_json()
+        });
         ChaosRunReport {
             schedule_name: self.schedule.name().to_owned(),
             seed: self.seed,
@@ -253,6 +276,7 @@ impl ChaosScenario {
             alerts,
             metrics_snapshot,
             prometheus,
+            tsdb_snapshot,
             canonical_log,
         }
     }
@@ -317,6 +341,9 @@ pub struct ChaosRunReport {
     pub metrics_snapshot: Value,
     /// The same registry rendered in the Prometheus text format.
     pub prometheus: String,
+    /// The embedded time-series store's snapshot, when the scenario
+    /// attached one via [`ChaosScenario::tsdb`].
+    pub tsdb_snapshot: Option<Value>,
     canonical_log: String,
 }
 
@@ -536,6 +563,41 @@ mod tests {
         assert_eq!(plain.detections, judged.detections);
         assert_eq!(plain.chaos_faults_fired, judged.chaos_faults_fired);
         assert_eq!(plain.total_cost, judged.total_cost);
+    }
+
+    #[test]
+    fn tsdb_attachment_is_read_only_and_rolls_up_hot_counters() {
+        let plain = short_storm().run();
+        let stored = short_storm().tsdb(TsdbConfig::default()).run();
+        assert_eq!(plain.canonical_log(), stored.canonical_log(), "tsdb must not perturb");
+        let snapshot = stored.tsdb_snapshot.expect("scenario attached a store");
+        assert!(plain.tsdb_snapshot.is_none());
+        let series = snapshot["series"].as_object().expect("series map");
+        assert!(
+            series.keys().any(|k| k.starts_with("broker_submit_total")),
+            "hot broker counters must gain rollup families: {:?}",
+            series.keys().take(8).collect::<Vec<_>>()
+        );
+        // One hour of 15s ticks seals 60 minute windows; the family total
+        // across minute rollups must equal the final cumulative counter.
+        let store = short_storm().tsdb(TsdbConfig::default()).run();
+        let snap = store.tsdb_snapshot.expect("snapshot");
+        let total: f64 = snap["series"]
+            .as_object()
+            .into_iter()
+            .flatten()
+            .filter(|(k, _)| k.starts_with("broker_submit_total"))
+            .flat_map(|(_, v)| v["minute"].as_array().cloned().unwrap_or_default())
+            .filter_map(|p| p["sum"].as_f64())
+            .sum();
+        let cumulative = store.metrics_snapshot["counters"]
+            .as_object()
+            .into_iter()
+            .flatten()
+            .filter(|(k, _)| k.starts_with("broker_submit_total"))
+            .filter_map(|(_, v)| v.as_f64())
+            .sum::<f64>();
+        assert_eq!(total, cumulative, "rollup sums must conserve the counter total");
     }
 
     #[test]

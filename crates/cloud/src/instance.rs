@@ -306,13 +306,17 @@ impl Instance {
         let Some(idx) = self.jobs.iter().position(|j| j.id == id) else {
             return Vec::new();
         };
+        let running = self.is_running();
+        let Some(job) = self.jobs.get_mut(idx) else {
+            return Vec::new();
+        };
         let is_current =
-            matches!(self.jobs[idx].state, JobState::Running { finish_at, .. } if finish_at == now);
-        if !is_current || !self.is_running() {
+            matches!(job.state, JobState::Running { finish_at, .. } if finish_at == now);
+        if !is_current || !running {
             return Vec::new(); // stale event (failure intervened)
         }
-        self.jobs[idx].state = JobState::Completed { finished: now };
-        if let JobKind::Install { model } = self.jobs[idx].kind.clone() {
+        job.state = JobState::Completed { finished: now };
+        if let JobKind::Install { model } = job.kind.clone() {
             self.installed_models.insert(model);
         }
         self.running.retain(|&r| r != idx);
@@ -328,13 +332,13 @@ impl Instance {
         let mut started = Vec::new();
         while self.running.len() < self.itype.vcpus() as usize {
             let Some(idx) = self.queue.pop_front() else { break };
-            let duration = SimDuration::from_secs_f64(
-                self.jobs[idx].work.as_secs_f64() * self.image.execution_penalty(),
-            );
+            let penalty = self.image.execution_penalty();
+            let Some(job) = self.jobs.get_mut(idx) else { continue };
+            let duration = SimDuration::from_secs_f64(job.work.as_secs_f64() * penalty);
             let finish_at = now + duration;
-            self.jobs[idx].state = JobState::Running { started: now, finish_at };
+            job.state = JobState::Running { started: now, finish_at };
+            started.push((job.id, finish_at));
             self.running.push(idx);
-            started.push((self.jobs[idx].id, finish_at));
         }
         started
     }
@@ -366,12 +370,15 @@ impl Instance {
     }
 
     fn lose_in_flight(&mut self, now: SimTime) {
-        for &idx in &self.running {
-            self.jobs[idx].state = JobState::Lost { at: now };
+        for idx in self.running.drain(..) {
+            if let Some(job) = self.jobs.get_mut(idx) {
+                job.state = JobState::Lost { at: now };
+            }
         }
-        self.running.clear();
         while let Some(idx) = self.queue.pop_front() {
-            self.jobs[idx].state = JobState::Lost { at: now };
+            if let Some(job) = self.jobs.get_mut(idx) {
+                job.state = JobState::Lost { at: now };
+            }
         }
     }
 }

@@ -12,6 +12,7 @@ use serde_json::{json, Value};
 use crate::histo::StreamingHistogram;
 use crate::metrics::MetricsRegistry;
 use crate::trace::Tracer;
+use crate::tsdb::{Resolution, Tsdb};
 
 /// Renders a registry in the Prometheus text exposition format.
 ///
@@ -177,6 +178,134 @@ fn millis_to_nanos(ms: u64) -> String {
     format!("{}", (ms as u128) * 1_000_000)
 }
 
+/// Renders one resolution of a [`Tsdb`] in a Prometheus-text-like format:
+/// every window becomes one sample per aggregate (`_sum`, `_count`,
+/// `_min`, `_max`) with the window start attached as a `window` label, so
+/// a scrape of the rollup plane backfills dashboards in one pass.
+///
+/// # Examples
+///
+/// ```
+/// use evop_obs::{prometheus_rollup_text, MetricsRegistry, Resolution, Tsdb, TsdbConfig};
+/// use evop_sim::SimTime;
+///
+/// let m = MetricsRegistry::new();
+/// let mut tsdb = Tsdb::new(TsdbConfig::default());
+/// m.add_counter("req_total", &[], 5);
+/// tsdb.ingest_registry(&m, SimTime::ZERO);
+/// tsdb.finish(SimTime::from_secs(60));
+/// let text = prometheus_rollup_text(&tsdb, Resolution::Raw);
+/// assert!(text.contains("req_total_sum{window=\"0\"} 5"));
+/// ```
+pub fn prometheus_rollup_text(tsdb: &Tsdb, resolution: Resolution) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<String> = None;
+    for key in tsdb.series_keys() {
+        let kind = match tsdb.series_kind(&key) {
+            Some(k) => k,
+            None => continue,
+        };
+        type_header(
+            &mut out,
+            &mut last_family,
+            key.name(),
+            &format!("rollup_{}_{}", resolution.label(), kind.label()),
+        );
+        for point in tsdb.series_points(&key, resolution) {
+            let window = point.start_ms.to_string();
+            for (suffix, value) in [
+                ("sum", point.sum),
+                ("count", point.count as f64),
+                ("min", if point.count == 0 { 0.0 } else { point.min }),
+                ("max", if point.count == 0 { 0.0 } else { point.max }),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    sample_name(
+                        &format!("{}_{}", key.name(), suffix),
+                        key.labels(),
+                        &[("window", &window)],
+                    ),
+                    value
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Exports a [`Tsdb`] resolution as an OTLP-metrics-shaped JSON document
+/// (`resourceMetrics` → `scopeMetrics` → `metrics`, one summary data
+/// point per sealed window). Deterministic: same snapshot, same bytes.
+///
+/// # Examples
+///
+/// ```
+/// use evop_obs::{otlp_rollup_json, MetricsRegistry, Resolution, Tsdb, TsdbConfig};
+/// use evop_sim::SimTime;
+///
+/// let m = MetricsRegistry::new();
+/// let mut tsdb = Tsdb::new(TsdbConfig::default());
+/// m.set_gauge("pool", &[], 3.0);
+/// tsdb.ingest_registry(&m, SimTime::ZERO);
+/// tsdb.finish(SimTime::from_secs(60));
+/// let doc = otlp_rollup_json(&tsdb, Resolution::Raw);
+/// assert_eq!(doc["resourceMetrics"][0]["scopeMetrics"][0]["metrics"][0]["name"], "pool");
+/// ```
+pub fn otlp_rollup_json(tsdb: &Tsdb, resolution: Resolution) -> Value {
+    let interval_ms = match resolution {
+        Resolution::Raw => tsdb.config().raw_interval.as_millis(),
+        Resolution::Minute => 60_000,
+        Resolution::Hour => 3_600_000,
+    };
+    let metrics: Vec<Value> = tsdb
+        .series_keys()
+        .into_iter()
+        .map(|key| {
+            let attributes: Vec<Value> = key
+                .labels()
+                .iter()
+                .map(|(k, v)| json!({ "key": k, "value": { "stringValue": v } }))
+                .collect();
+            let points: Vec<Value> = tsdb
+                .series_points(&key, resolution)
+                .iter()
+                .map(|p| {
+                    json!({
+                        "startTimeUnixNano": millis_to_nanos(p.start_ms),
+                        "timeUnixNano": millis_to_nanos(p.start_ms + interval_ms),
+                        "attributes": attributes,
+                        "sum": p.sum,
+                        "count": p.count,
+                        "min": if p.count == 0 { 0.0 } else { p.min },
+                        "max": if p.count == 0 { 0.0 } else { p.max },
+                    })
+                })
+                .collect();
+            json!({
+                "name": key.name(),
+                "unit": "",
+                "summary": { "dataPoints": points },
+            })
+        })
+        .collect();
+    json!({
+        "resourceMetrics": [{
+            "resource": {
+                "attributes": [
+                    { "key": "service.name", "value": { "stringValue": "evop-sim" } },
+                ],
+            },
+            "scopeMetrics": [{
+                "scope": { "name": "evop-obs.tsdb" },
+                "resolution": resolution.label(),
+                "metrics": metrics,
+            }],
+        }],
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +360,31 @@ mod tests {
             prometheus_text(&m)
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn rollup_exporters_render_sealed_windows() {
+        use crate::tsdb::TsdbConfig;
+        let m = MetricsRegistry::new();
+        let mut tsdb = Tsdb::new(TsdbConfig::default());
+        for tick in 0..4u64 {
+            m.add_counter("req_total", &[("outcome", "ok")], 2);
+            tsdb.ingest_registry(&m, SimTime::from_secs(tick * 30));
+        }
+        tsdb.finish(SimTime::from_secs(120));
+
+        let text = prometheus_rollup_text(&tsdb, Resolution::Minute);
+        assert!(text.contains("# TYPE req_total rollup_minute_counter"));
+        assert!(text.contains("req_total_sum{outcome=\"ok\",window=\"0\"} 4"));
+        assert!(text.contains("req_total_count{outcome=\"ok\",window=\"60000\"} 2"));
+
+        let doc = otlp_rollup_json(&tsdb, Resolution::Minute);
+        let metric = &doc["resourceMetrics"][0]["scopeMetrics"][0]["metrics"][0];
+        assert_eq!(metric["name"], "req_total");
+        let points = metric["summary"]["dataPoints"].as_array().unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1]["timeUnixNano"], "120000000000");
+        assert_eq!(doc.to_string(), otlp_rollup_json(&tsdb, Resolution::Minute).to_string());
     }
 
     #[test]

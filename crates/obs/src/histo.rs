@@ -32,13 +32,10 @@ fn boundaries() -> &'static [f64] {
     static BOUNDARIES: OnceLock<Vec<f64>> = OnceLock::new();
     BOUNDARIES.get_or_init(|| {
         let mut bounds = vec![MIN_TRACKABLE];
-        loop {
-            // evop-lint: allow(rob-expect) -- ladder is non-empty by construction
-            let last = *bounds.last().expect("ladder starts non-empty");
-            if last >= MAX_TRACKABLE {
-                break;
-            }
-            bounds.push(last * GROWTH);
+        let mut last = MIN_TRACKABLE;
+        while last < MAX_TRACKABLE {
+            last *= GROWTH;
+            bounds.push(last);
         }
         bounds
     })
@@ -47,6 +44,21 @@ fn boundaries() -> &'static [f64] {
 /// Number of finite buckets (between underflow and overflow).
 fn ladder_len() -> usize {
     boundaries().len() - 1
+}
+
+/// Adds `n` to the bucket at `idx` in a sorted sparse count vector,
+/// inserting the bucket when absent. Index-free so the hot metrics path
+/// (`MetricsRegistry::observe`, reachable from every pub broker/router
+/// API) carries no panicking site.
+pub(crate) fn bump_bucket(counts: &mut Vec<(u32, u64)>, idx: u32, n: u64) {
+    match counts.binary_search_by_key(&idx, |&(i, _)| i) {
+        Ok(pos) => {
+            if let Some(entry) = counts.get_mut(pos) {
+                entry.1 += n;
+            }
+        }
+        Err(pos) => counts.insert(pos, (idx, n)),
+    }
 }
 
 /// A streaming histogram over non-negative samples.
@@ -159,10 +171,7 @@ impl StreamingHistogram {
         }
         let clamped = value.max(0.0);
         let idx = StreamingHistogram::bucket_index(clamped);
-        match self.counts.binary_search_by_key(&idx, |&(i, _)| i) {
-            Ok(pos) => self.counts[pos].1 += 1,
-            Err(pos) => self.counts.insert(pos, (idx, 1)),
-        }
+        bump_bucket(&mut self.counts, idx, 1);
         self.count += 1;
         self.sum += clamped;
         self.min = self.min.min(clamped);
@@ -173,10 +182,7 @@ impl StreamingHistogram {
     /// shares the fixed ladder, merging is exact on bucket counts.
     pub fn merge(&mut self, other: &StreamingHistogram) {
         for &(idx, n) in &other.counts {
-            match self.counts.binary_search_by_key(&idx, |&(i, _)| i) {
-                Ok(pos) => self.counts[pos].1 += n,
-                Err(pos) => self.counts.insert(pos, (idx, n)),
-            }
+            bump_bucket(&mut self.counts, idx, n);
         }
         self.count += other.count;
         self.sum += other.sum;

@@ -28,6 +28,16 @@
 //! * [`analyze`] — trace analytics: critical-path extraction and
 //!   per-operation latency breakdowns feeding the histograms.
 //!
+//! Above the health plane sits the *telemetry-at-scale plane* (PR 9):
+//!
+//! * [`tsdb`] — a deterministic embedded time-series store: registry
+//!   ingests become multi-resolution rollups (raw → minute → hour) with
+//!   bounded retention and a cardinality governor that collapses
+//!   over-budget label-sets into per-family overflow aggregates;
+//! * [`sample`] — tail-based trace sampling over the flight recorder:
+//!   errored, SLO-burning and slow traces are always retained, healthy
+//!   traffic deterministically one-in-N, under a span budget.
+//!
 //! And beside it the *perf-observability plane* (PR 6), the one part of
 //! this crate that deliberately reads the wall clock:
 //!
@@ -68,18 +78,24 @@ pub mod export;
 pub mod histo;
 pub mod metrics;
 pub mod profile;
+pub mod sample;
 pub mod slo;
 pub mod timeline;
 pub mod trace;
+pub mod tsdb;
 
 pub use analyze::{CriticalPath, OperationBreakdown, TraceAnalysis};
-pub use export::{otlp_json, prometheus_text};
+pub use export::{otlp_json, otlp_rollup_json, prometheus_rollup_text, prometheus_text};
 pub use histo::StreamingHistogram;
 pub use metrics::{MetricsRegistry, SeriesKey};
 pub use profile::{ProfGuard, ProfileReport, Profiler};
+pub use sample::{
+    burn_windows, RetainReason, RetainedTrace, RetentionCounters, SamplePolicy, TailSampler,
+};
 pub use slo::{
     AlertEngine, AlertKind, AlertRecord, AlertSeverity, BurnRateWindow, Selector, SloObjective,
     SloSpec,
 };
 pub use timeline::TimelineReport;
 pub use trace::{Span, SpanEvent, SpanId, SpanRecord, TraceContext, TraceId, Tracer};
+pub use tsdb::{Resolution, RetentionPolicy, RollupPoint, SeriesKind, Tsdb, TsdbConfig};

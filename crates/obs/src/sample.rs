@@ -1,0 +1,621 @@
+//! Tail-based trace sampling over the flight recorder.
+//!
+//! Head sampling decides *before* a request runs and therefore discards
+//! the traces you most want — the errored ones, the slow ones, the ones
+//! that burned an SLO. [`TailSampler`] decides *after*: it drains finished
+//! spans out of the [`Tracer`](crate::Tracer) ring buffer (before the ring
+//! can evict them), groups them into whole traces, waits a grace period
+//! for stragglers, and then applies retention policies in priority order:
+//!
+//! 1. **error** — any span carries an `error` attribute, or an `outcome`
+//!    attribute other than `ok`: always retained;
+//! 2. **slo-burn** — the trace overlaps a window in which an SLO alert
+//!    was firing: always retained;
+//! 3. **slow** — the root span's duration is at or above the configured
+//!    latency threshold (set it from a p99 estimate): always retained;
+//! 4. **healthy** — everything else is retained deterministically one in
+//!    [`SamplePolicy::healthy_one_in`], keyed by `splitmix64(seed ^
+//!    trace_id)` so two same-seed runs keep the identical trace set.
+//!
+//! A span budget bounds memory: healthy samples are admitted only while
+//! they fit, and are evicted (oldest first) to make room for must-keep
+//! traces, which are never dropped. Per-policy counters make the
+//! sampler's behaviour auditable in the report JSON.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use evop_sim::{SimDuration, SimTime};
+use serde_json::{json, Value};
+
+use crate::trace::{SpanRecord, TraceId, Tracer};
+
+/// Re-used seeded mixer so retention decisions are pure functions of
+/// `(seed, trace id)`.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Why a trace was retained, in decision priority order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RetainReason {
+    /// A span carried an error marker.
+    Error,
+    /// The trace overlapped a firing SLO alert window.
+    SloBurn,
+    /// The root span met the latency threshold.
+    Slow,
+    /// Deterministic 1-in-N healthy sample.
+    HealthySample,
+}
+
+impl RetainReason {
+    /// Lower-case label used in JSON reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RetainReason::Error => "error",
+            RetainReason::SloBurn => "slo_burn",
+            RetainReason::Slow => "slow",
+            RetainReason::HealthySample => "healthy_sample",
+        }
+    }
+
+    /// `true` for policies that must never be dropped.
+    pub fn must_keep(&self) -> bool {
+        !matches!(self, RetainReason::HealthySample)
+    }
+}
+
+/// Tuning knobs for the tail sampler.
+#[derive(Debug, Clone)]
+pub struct SamplePolicy {
+    /// How long after a trace's last span ends before it is decided —
+    /// late children arriving within the grace period still join their
+    /// trace.
+    pub grace: SimDuration,
+    /// Keep one in this many healthy traces (`0` disables healthy
+    /// sampling entirely).
+    pub healthy_one_in: u64,
+    /// Root spans at least this long are retained as `slow`. Set it from
+    /// a p99 estimate to implement "above-p99" retention.
+    pub latency_threshold: SimDuration,
+    /// Upper bound on retained spans. Must-keep traces always land;
+    /// healthy samples are admitted only while they fit and are evicted
+    /// first when a must-keep trace needs room.
+    pub max_retained_spans: usize,
+}
+
+impl Default for SamplePolicy {
+    fn default() -> SamplePolicy {
+        SamplePolicy {
+            grace: SimDuration::from_secs(60),
+            healthy_one_in: 10,
+            latency_threshold: SimDuration::from_secs(120),
+            max_retained_spans: 4096,
+        }
+    }
+}
+
+/// One retained trace: its spans and the policy that kept it.
+#[derive(Debug, Clone)]
+pub struct RetainedTrace {
+    /// The trace.
+    pub trace_id: TraceId,
+    /// Why it was kept.
+    pub reason: RetainReason,
+    /// All drained spans of the trace, sorted by (start, span id).
+    pub spans: Vec<SpanRecord>,
+}
+
+impl RetainedTrace {
+    /// The root span (no parent), if present among the drained spans.
+    pub fn root(&self) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.parent.is_none())
+    }
+
+    fn to_json(&self) -> Value {
+        let root = self.root();
+        json!({
+            "trace": self.trace_id.to_string(),
+            "reason": self.reason.label(),
+            "root": root.map(|s| s.name.clone()),
+            "start_ms": self.spans.first().map(|s| s.start.as_millis()),
+            "end_ms": self.spans.iter().filter_map(|s| s.end).map(|t| t.as_millis()).max(),
+            "spans": self.spans.len(),
+        })
+    }
+}
+
+/// Per-policy retention accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetentionCounters {
+    /// Traces decided (retained or discarded).
+    pub decided: u64,
+    /// Traces retained because of an error marker.
+    pub error: u64,
+    /// Traces retained because they overlapped a burning alert window.
+    pub slo_burn: u64,
+    /// Traces retained for root latency at or above the threshold.
+    pub slow: u64,
+    /// Healthy traces retained by the 1-in-N sample.
+    pub healthy_sampled: u64,
+    /// Healthy traces discarded (not sampled, or over budget).
+    pub discarded: u64,
+    /// Previously retained healthy samples evicted to fit must-keeps.
+    pub evicted_healthy: u64,
+    /// Spans arriving after their trace was decided that could not be
+    /// kept (trace discarded, or healthy trace at budget).
+    pub late_spans_dropped: u64,
+}
+
+impl RetentionCounters {
+    /// Canonical JSON rendering, one field per counter.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "decided": self.decided,
+            "error": self.error,
+            "slo_burn": self.slo_burn,
+            "slow": self.slow,
+            "healthy_sampled": self.healthy_sampled,
+            "discarded": self.discarded,
+            "evicted_healthy": self.evicted_healthy,
+            "late_spans_dropped": self.late_spans_dropped,
+        })
+    }
+}
+
+/// The deterministic tail sampler.
+///
+/// Call [`TailSampler::tick`] on every control-loop tick (passing the
+/// intervals during which alerts were firing) and
+/// [`TailSampler::flush`] once at end of run to decide stragglers.
+///
+/// # Examples
+///
+/// ```
+/// use evop_obs::{SamplePolicy, TailSampler, Tracer};
+/// use evop_sim::{SimDuration, SimTime};
+///
+/// let tracer = Tracer::new();
+/// let span = tracer.start_trace("request");
+/// span.attr("outcome", "error");
+/// tracer.set_now(SimTime::from_secs(5));
+/// span.finish();
+///
+/// let mut sampler = TailSampler::new(SamplePolicy::default(), 42);
+/// sampler.flush(&tracer, SimTime::from_secs(10), &[]);
+/// assert_eq!(sampler.retained().len(), 1);
+/// assert_eq!(sampler.counters().error, 1);
+/// ```
+#[derive(Debug)]
+pub struct TailSampler {
+    policy: SamplePolicy,
+    seed: u64,
+    /// Spans drained from the recorder whose trace is not yet decided.
+    pending: BTreeMap<TraceId, Vec<SpanRecord>>,
+    retained: BTreeMap<TraceId, RetainedTrace>,
+    /// Traces decided and not retained — late spans for these are dropped
+    /// rather than re-decided (a long-lived session trace keeps growing
+    /// after its first quiet period).
+    discarded_ids: BTreeSet<TraceId>,
+    counters: RetentionCounters,
+    retained_spans: usize,
+}
+
+impl TailSampler {
+    /// Creates a sampler with the given policy and decision seed.
+    pub fn new(policy: SamplePolicy, seed: u64) -> TailSampler {
+        TailSampler {
+            policy,
+            seed,
+            pending: BTreeMap::new(),
+            retained: BTreeMap::new(),
+            discarded_ids: BTreeSet::new(),
+            counters: RetentionCounters::default(),
+            retained_spans: 0,
+        }
+    }
+
+    /// The sampler's policy.
+    pub fn policy(&self) -> &SamplePolicy {
+        &self.policy
+    }
+
+    /// Drains newly finished spans out of the tracer and decides every
+    /// pending trace whose last span ended at least one grace period ago.
+    /// `burn_windows` are `[start_ms, end_ms)` intervals during which an
+    /// SLO alert was firing (see [`burn_windows`]).
+    pub fn tick(&mut self, tracer: &Tracer, now: SimTime, burn_windows: &[(u64, u64)]) {
+        for span in tracer.drain_finished_before(now) {
+            self.intake(span);
+        }
+        let deadline = now.as_millis().saturating_sub(self.policy.grace.as_millis());
+        let due: Vec<TraceId> = self
+            .pending
+            .iter()
+            .filter(|(_, spans)| {
+                spans.iter().all(|s| s.end.is_some_and(|e| e.as_millis() < deadline))
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            if let Some(spans) = self.pending.remove(&id) {
+                self.decide(id, spans, burn_windows);
+            }
+        }
+    }
+
+    /// Decides every remaining trace regardless of grace — end-of-run
+    /// flush so no trace is left undecided.
+    pub fn flush(&mut self, tracer: &Tracer, now: SimTime, burn_windows: &[(u64, u64)]) {
+        for span in tracer.drain_finished_before(SimTime::MAX) {
+            self.intake(span);
+        }
+        let _ = now;
+        let all: Vec<TraceId> = self.pending.keys().copied().collect();
+        for id in all {
+            if let Some(spans) = self.pending.remove(&id) {
+                self.decide(id, spans, burn_windows);
+            }
+        }
+    }
+
+    /// Routes one drained span: late arrivals for already-decided traces
+    /// join their retained trace (or are dropped when it was discarded);
+    /// everything else waits in `pending` for a decision.
+    fn intake(&mut self, span: SpanRecord) {
+        let id = span.trace_id;
+        if self.discarded_ids.contains(&id) {
+            self.counters.late_spans_dropped += 1;
+            return;
+        }
+        if let Some(reason) = self.retained.get(&id).map(|t| t.reason) {
+            if reason.must_keep() {
+                self.make_room(1, Some(id));
+            } else if self.retained_spans + 1 > self.policy.max_retained_spans {
+                self.counters.late_spans_dropped += 1;
+                return;
+            }
+            if let Some(trace) = self.retained.get_mut(&id) {
+                trace.spans.push(span);
+                trace.spans.sort_by_key(|s| (s.start, s.span_id));
+                self.retained_spans += 1;
+            }
+            return;
+        }
+        self.pending.entry(id).or_default().push(span);
+    }
+
+    /// Evicts healthy samples (lowest trace id — oldest — first) until
+    /// `extra` more spans fit under the budget, never evicting `protect`.
+    fn make_room(&mut self, extra: usize, protect: Option<TraceId>) {
+        while self.retained_spans + extra > self.policy.max_retained_spans {
+            let Some(victim) = self
+                .retained
+                .iter()
+                .find(|(&id, t)| t.reason == RetainReason::HealthySample && Some(id) != protect)
+                .map(|(&id, _)| id)
+            else {
+                break;
+            };
+            if let Some(evicted) = self.retained.remove(&victim) {
+                self.retained_spans -= evicted.spans.len();
+                self.counters.evicted_healthy += 1;
+                self.counters.healthy_sampled -= 1;
+            }
+        }
+    }
+
+    fn decide(&mut self, id: TraceId, mut spans: Vec<SpanRecord>, burn_windows: &[(u64, u64)]) {
+        spans.sort_by_key(|s| (s.start, s.span_id));
+        self.counters.decided += 1;
+
+        let errored = spans.iter().any(|s| {
+            s.attrs.contains_key("error") || s.attrs.get("outcome").is_some_and(|o| o != "ok")
+        });
+        let root = spans.iter().find(|s| s.parent.is_none());
+        let (trace_start, trace_end) = (
+            spans.iter().map(|s| s.start.as_millis()).min().unwrap_or(0),
+            spans.iter().filter_map(|s| s.end).map(|t| t.as_millis()).max().unwrap_or(0),
+        );
+        let burning = burn_windows.iter().any(|&(lo, hi)| trace_start < hi && trace_end >= lo);
+        // "Slow" judges the whole trace envelope, not just the root: a
+        // request whose model run finishes minutes after the submit span
+        // closed is still a slow request.
+        let _ = root;
+        let slow =
+            trace_end.saturating_sub(trace_start) >= self.policy.latency_threshold.as_millis();
+
+        let reason = if errored {
+            Some(RetainReason::Error)
+        } else if burning {
+            Some(RetainReason::SloBurn)
+        } else if slow {
+            Some(RetainReason::Slow)
+        } else if self.policy.healthy_one_in > 0
+            && splitmix64(self.seed ^ id.0).is_multiple_of(self.policy.healthy_one_in)
+        {
+            Some(RetainReason::HealthySample)
+        } else {
+            None
+        };
+
+        let Some(reason) = reason else {
+            self.counters.discarded += 1;
+            self.discarded_ids.insert(id);
+            return;
+        };
+
+        if reason.must_keep() {
+            // Must-keep traces always land; healthy samples make room.
+            self.make_room(spans.len(), None);
+        } else if self.retained_spans + spans.len() > self.policy.max_retained_spans {
+            self.counters.discarded += 1;
+            self.discarded_ids.insert(id);
+            return;
+        }
+
+        match reason {
+            RetainReason::Error => self.counters.error += 1,
+            RetainReason::SloBurn => self.counters.slo_burn += 1,
+            RetainReason::Slow => self.counters.slow += 1,
+            RetainReason::HealthySample => self.counters.healthy_sampled += 1,
+        }
+        self.retained_spans += spans.len();
+        self.retained.insert(id, RetainedTrace { trace_id: id, reason, spans });
+    }
+
+    /// Every retained trace, ascending by trace id.
+    pub fn retained(&self) -> Vec<&RetainedTrace> {
+        self.retained.values().collect()
+    }
+
+    /// Retained trace ids, ascending — the determinism guard compares
+    /// this set across same-seed runs.
+    pub fn retained_ids(&self) -> Vec<TraceId> {
+        self.retained.keys().copied().collect()
+    }
+
+    /// Total spans currently retained.
+    pub fn retained_spans(&self) -> usize {
+        self.retained_spans
+    }
+
+    /// Per-policy accounting.
+    pub fn counters(&self) -> RetentionCounters {
+        self.counters
+    }
+
+    /// Traces drained but not yet decided (inside the grace period).
+    pub fn pending_traces(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// A deterministic JSON report: policy, counters, and one summary row
+    /// per retained trace sorted by trace id.
+    pub fn to_json(&self) -> Value {
+        let rows: Vec<&RetainedTrace> = self.retained.values().collect();
+        json!({
+            "policy": {
+                "grace_ms": self.policy.grace.as_millis(),
+                "healthy_one_in": self.policy.healthy_one_in,
+                "latency_threshold_ms": self.policy.latency_threshold.as_millis(),
+                "max_retained_spans": self.policy.max_retained_spans,
+            },
+            "seed": self.seed,
+            "counters": self.counters.to_json(),
+            "retained_spans": self.retained_spans,
+            "retained": rows.iter().map(|t| t.to_json()).collect::<Vec<Value>>(),
+        })
+    }
+}
+
+/// Collapses an alert transition log into `[fired_ms, resolved_ms)`
+/// windows per SLO, merged across severities: the intervals during which
+/// *any* alert was firing. An alert still firing at the end of the log
+/// yields a window closing at `u64::MAX`.
+pub fn burn_windows(alerts: &[crate::slo::AlertRecord]) -> Vec<(u64, u64)> {
+    use crate::slo::AlertKind;
+    let mut events: Vec<(u64, i64)> =
+        alerts.iter().map(|a| (a.at_ms, if a.kind == AlertKind::Fired { 1 } else { -1 })).collect();
+    events.sort_unstable();
+    let mut windows = Vec::new();
+    let mut depth = 0i64;
+    let mut open_at = 0u64;
+    for (at, delta) in events {
+        if depth == 0 && delta > 0 {
+            open_at = at;
+        }
+        depth += delta;
+        if depth == 0 && delta < 0 {
+            windows.push((open_at, at));
+        }
+    }
+    if depth > 0 {
+        windows.push((open_at, u64::MAX));
+    }
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::{AlertKind, AlertRecord, AlertSeverity};
+
+    fn policy() -> SamplePolicy {
+        SamplePolicy {
+            grace: SimDuration::from_secs(10),
+            healthy_one_in: 4,
+            latency_threshold: SimDuration::from_secs(100),
+            max_retained_spans: 100,
+        }
+    }
+
+    fn run_requests(tracer: &Tracer, n: u64, each_secs: u64, outcome: &str) {
+        for i in 0..n {
+            tracer.set_now(SimTime::from_secs(i * each_secs));
+            let span = tracer.start_trace("request");
+            span.attr("outcome", outcome);
+            tracer.set_now(SimTime::from_secs(i * each_secs + 1));
+            span.finish();
+        }
+    }
+
+    #[test]
+    fn errored_traces_always_retained() {
+        let tracer = Tracer::new();
+        run_requests(&tracer, 20, 2, "error");
+        let mut sampler = TailSampler::new(policy(), 7);
+        sampler.flush(&tracer, SimTime::from_secs(100), &[]);
+        assert_eq!(sampler.counters().error, 20);
+        assert_eq!(sampler.retained().len(), 20);
+    }
+
+    #[test]
+    fn healthy_sampling_is_one_in_n_and_seeded() {
+        let run = |seed| {
+            let tracer = Tracer::new();
+            run_requests(&tracer, 100, 2, "ok");
+            let mut sampler = TailSampler::new(policy(), seed);
+            sampler.flush(&tracer, SimTime::from_secs(400), &[]);
+            sampler.retained_ids()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed, same retained set");
+        // Roughly 1 in 4 — the mixer is uniform enough for a wide margin.
+        assert!(a.len() > 10 && a.len() < 45, "got {}", a.len());
+        assert_ne!(run(8), a, "different seed, different sample");
+    }
+
+    #[test]
+    fn slow_roots_meet_the_threshold_policy() {
+        let tracer = Tracer::new();
+        let slow = tracer.start_trace("request");
+        slow.attr("outcome", "ok");
+        tracer.set_now(SimTime::from_secs(150));
+        slow.finish();
+        let mut sampler = TailSampler::new(SamplePolicy { healthy_one_in: 0, ..policy() }, 7);
+        sampler.flush(&tracer, SimTime::from_secs(300), &[]);
+        assert_eq!(sampler.counters().slow, 1);
+    }
+
+    #[test]
+    fn slo_burn_window_overlap_retains() {
+        let tracer = Tracer::new();
+        run_requests(&tracer, 10, 10, "ok"); // traces at 0,10,...,90s
+        let mut sampler = TailSampler::new(SamplePolicy { healthy_one_in: 0, ..policy() }, 7);
+        sampler.flush(&tracer, SimTime::from_secs(400), &[(35_000, 52_000)]);
+        // Traces starting at 40 and 50s overlap [35s, 52s).
+        assert_eq!(sampler.counters().slo_burn, 2);
+        assert_eq!(sampler.counters().discarded, 8);
+    }
+
+    #[test]
+    fn grace_defers_decisions_until_stragglers_land() {
+        let tracer = Tracer::new();
+        let span = tracer.start_trace("request");
+        tracer.set_now(SimTime::from_secs(5));
+        span.finish();
+        let mut sampler = TailSampler::new(policy(), 7);
+        // At t=10s the trace ended 5s ago — inside the 10s grace.
+        sampler.tick(&tracer, SimTime::from_secs(10), &[]);
+        assert_eq!(sampler.pending_traces(), 1);
+        assert_eq!(sampler.counters().decided, 0);
+        sampler.tick(&tracer, SimTime::from_secs(20), &[]);
+        assert_eq!(sampler.pending_traces(), 0);
+        assert_eq!(sampler.counters().decided, 1);
+    }
+
+    #[test]
+    fn budget_evicts_healthy_before_must_keep() {
+        let tracer = Tracer::new();
+        // 6 healthy + 6 errored single-span traces, budget of 6 spans.
+        run_requests(&tracer, 6, 2, "ok");
+        for i in 0..6u64 {
+            tracer.set_now(SimTime::from_secs(50 + i));
+            let span = tracer.start_trace("request");
+            span.attr("outcome", "error");
+            span.finish();
+        }
+        let mut sampler = TailSampler::new(
+            SamplePolicy { healthy_one_in: 1, max_retained_spans: 6, ..policy() },
+            7,
+        );
+        sampler.flush(&tracer, SimTime::from_secs(200), &[]);
+        let c = sampler.counters();
+        assert_eq!(c.error, 6, "every errored trace retained");
+        assert_eq!(c.healthy_sampled, 0, "all healthy samples evicted");
+        assert_eq!(c.evicted_healthy, 6);
+        assert!(sampler.retained_spans() <= 6);
+    }
+
+    #[test]
+    fn late_spans_join_retained_traces_and_skip_discarded_ones() {
+        let tracer = Tracer::new();
+        let kept = tracer.start_trace("request"); // TraceId(0)
+        kept.attr("outcome", "error");
+        let kept_ctx = kept.context();
+        tracer.set_now(SimTime::from_secs(1));
+        kept.finish();
+        let dropped = tracer.start_trace("request"); // TraceId(1), healthy
+        dropped.attr("outcome", "ok");
+        let dropped_ctx = dropped.context();
+        tracer.set_now(SimTime::from_secs(2));
+        dropped.finish();
+
+        let mut sampler = TailSampler::new(SamplePolicy { healthy_one_in: 0, ..policy() }, 7);
+        sampler.tick(&tracer, SimTime::from_secs(60), &[]);
+        assert_eq!(sampler.counters().decided, 2);
+        assert_eq!(sampler.retained().len(), 1);
+
+        // A migration span lands on each trace an hour later.
+        tracer.set_now(SimTime::from_secs(3600));
+        tracer.start_span("session.migrate", &kept_ctx).finish();
+        tracer.start_span("session.migrate", &dropped_ctx).finish();
+        sampler.flush(&tracer, SimTime::from_secs(7200), &[]);
+
+        assert_eq!(sampler.counters().decided, 2, "late spans must not re-decide");
+        let retained = sampler.retained();
+        assert_eq!(retained[0].spans.len(), 2, "late span joins its retained trace");
+        assert_eq!(sampler.counters().late_spans_dropped, 1, "discarded trace drops it");
+        assert_eq!(sampler.retained_spans(), 2);
+    }
+
+    #[test]
+    fn burn_windows_pair_fired_and_resolved() {
+        let rec = |at_ms, kind| AlertRecord {
+            at_ms,
+            slo: "slo".into(),
+            severity: AlertSeverity::Page,
+            kind,
+            window_secs: (3600, 300),
+            burn_long: 2.0,
+            burn_short: 2.0,
+            evidence: String::new(),
+        };
+        let alerts = vec![
+            rec(10, AlertKind::Fired),
+            rec(20, AlertKind::Fired), // nested severity pair
+            rec(30, AlertKind::Resolved),
+            rec(40, AlertKind::Resolved),
+            rec(90, AlertKind::Fired), // never resolves
+        ];
+        assert_eq!(burn_windows(&alerts), vec![(10, 40), (90, u64::MAX)]);
+        assert!(burn_windows(&[]).is_empty());
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let run = || {
+            let tracer = Tracer::new();
+            run_requests(&tracer, 30, 3, "ok");
+            let mut sampler = TailSampler::new(policy(), 42);
+            sampler.flush(&tracer, SimTime::from_secs(200), &[]);
+            sampler.to_json().to_string()
+        };
+        assert_eq!(run(), run());
+    }
+}

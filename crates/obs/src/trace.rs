@@ -296,6 +296,26 @@ impl Tracer {
         self.inner.state.lock().dropped
     }
 
+    /// Removes and returns every finished span whose end time is strictly
+    /// before `cutoff`, oldest first. This is the tail sampler's intake:
+    /// draining incrementally keeps the flight recorder from evicting
+    /// spans before a retention decision has been made about their trace.
+    /// Spans ending at or after the cutoff stay in the ring buffer.
+    pub fn drain_finished_before(&self, cutoff: SimTime) -> Vec<SpanRecord> {
+        let mut state = self.inner.state.lock();
+        let mut drained = Vec::new();
+        let mut kept = VecDeque::with_capacity(state.finished.len());
+        for span in state.finished.drain(..) {
+            if span.end.is_some_and(|end| end < cutoff) {
+                drained.push(span);
+            } else {
+                kept.push_back(span);
+            }
+        }
+        state.finished = kept;
+        drained
+    }
+
     /// Distinct trace ids present in the ring buffer, ascending.
     pub fn trace_ids(&self) -> Vec<TraceId> {
         let state = self.inner.state.lock();

@@ -1,0 +1,829 @@
+//! A deterministic embedded time-series store with multi-resolution
+//! rollups and a cardinality governor.
+//!
+//! Dashboards and forecasting (the paper's §V "engagement over time"
+//! analysis, and the roadmap's predictive autoscaling) need *windowed*
+//! series — requests per minute, p99 boot latency per hour — while the
+//! [`MetricsRegistry`](crate::MetricsRegistry) only holds cumulative
+//! values. [`Tsdb`] bridges the two: on every virtual-time tick it ingests
+//! a registry, turns cumulative counters and histogram buckets into
+//! per-window deltas, and accumulates them into fixed-interval
+//! [`RollupPoint`]s at three resolutions:
+//!
+//! * **raw** — one point per [`TsdbConfig::raw_interval`] (the control
+//!   loop's cadence);
+//! * **minute** — sealed raw points merged into 60 s windows;
+//! * **hour** — sealed minute points merged into 3600 s windows.
+//!
+//! Every resolution is a bounded ring ([`RetentionPolicy`]), so a
+//! multi-day simulation holds recent history at full resolution and older
+//! history coarsened — classic RRD/Gorilla-style retention, but in virtual
+//! time and byte-stable: same seed, same snapshot, byte for byte.
+//!
+//! A [`RollupPoint`] carries `sum`/`count`/`min`/`max` plus the sparse
+//! log-bucket deltas of the shared [`histo`](crate::histo) ladder, so
+//! merging windows is exact on counts and quantile queries stay within the
+//! ladder's error bound at every resolution.
+//!
+//! **Cardinality governor.** Real collectors die by label explosion, not
+//! by sample rate. Each metric family gets a series budget
+//! ([`TsdbConfig::default_series_budget`], overridable per family); once a
+//! family is at budget, previously unseen label-sets collapse into one
+//! `{__overflow__=1}` aggregate series per family and the
+//! `tsdb.series_dropped` counter records each collapsed label-set. Deltas
+//! are still computed against the *original* cumulative series, so the
+//! overflow aggregate is exact — only the label identity is lost.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use evop_sim::{SimDuration, SimTime};
+use serde_json::{json, Map, Value};
+
+use crate::histo::{bump_bucket, StreamingHistogram};
+use crate::metrics::{MetricsRegistry, SeriesKey};
+
+/// Milliseconds per minute window.
+const MINUTE_MS: u64 = 60_000;
+/// Milliseconds per hour window.
+const HOUR_MS: u64 = 3_600_000;
+/// Label key marking the per-family overflow aggregate series.
+pub const OVERFLOW_LABEL: &str = "__overflow__";
+/// Name of the governor's self-metric counting collapsed label-sets.
+pub const SERIES_DROPPED: &str = "tsdb.series_dropped";
+
+/// One of the store's three rollup resolutions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Resolution {
+    /// One point per [`TsdbConfig::raw_interval`].
+    Raw,
+    /// 60-second windows.
+    Minute,
+    /// 3600-second windows.
+    Hour,
+}
+
+impl Resolution {
+    /// Lower-case label used in JSON snapshots.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Resolution::Raw => "raw",
+            Resolution::Minute => "minute",
+            Resolution::Hour => "hour",
+        }
+    }
+}
+
+/// What a series measures — decides how registry values become deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Monotone cumulative count; each tick ingests the increase.
+    Counter,
+    /// Point-in-time level; each tick ingests the sampled value.
+    Gauge,
+    /// Cumulative histogram; each tick ingests the bucket/sum/count deltas.
+    Histogram,
+}
+
+impl SeriesKind {
+    /// Lower-case label used in JSON snapshots.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One aggregated window of a series: exact moments plus mergeable sparse
+/// histogram buckets on the shared log ladder.
+///
+/// For counters `sum` is the increase over the window and `count` the
+/// number of ticks that contributed; for gauges `sum / count` is the
+/// window average and `min`/`max` the sampled extremes; for histograms the
+/// fields mirror the underlying estimator's per-window deltas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollupPoint {
+    /// Window start, in virtual milliseconds (aligned to the resolution).
+    pub start_ms: u64,
+    /// Sum of contributions in the window.
+    pub sum: f64,
+    /// Number of contributions in the window.
+    pub count: u64,
+    /// Smallest contribution (infinity while empty).
+    pub min: f64,
+    /// Largest contribution (negative infinity while empty).
+    pub max: f64,
+    /// Sparse `(bucket index, count)` deltas on the shared histogram
+    /// ladder, sorted by index; empty for scalar series.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl RollupPoint {
+    /// An empty window starting at `start_ms`.
+    pub fn empty(start_ms: u64) -> RollupPoint {
+        RollupPoint {
+            start_ms,
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Folds one scalar contribution into the window.
+    pub fn observe(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds a histogram delta (bucket counts plus exact sum/count) into
+    /// the window. `min`/`max` are tracked as the deterministic
+    /// representatives of the lowest and highest touched buckets.
+    pub fn observe_hist_delta(&mut self, buckets: &[(u32, u64)], sum: f64, count: u64) {
+        for &(idx, n) in buckets {
+            if n == 0 {
+                continue;
+            }
+            bump_bucket(&mut self.buckets, idx, n);
+            let rep = StreamingHistogram::bucket_representative(idx);
+            self.min = self.min.min(rep);
+            self.max = self.max.max(rep);
+        }
+        self.sum += sum;
+        self.count += count;
+    }
+
+    /// Merges another window into this one (downsampling): exact on
+    /// `sum`/`count`/buckets, conservative on `min`/`max`.
+    pub fn merge(&mut self, other: &RollupPoint) {
+        self.sum += other.sum;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for &(idx, n) in &other.buckets {
+            bump_bucket(&mut self.buckets, idx, n);
+        }
+    }
+
+    /// Mean contribution, `0.0` while empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile from the window's bucket deltas, `None`
+    /// when the window carries no buckets.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total: u64 = self.buckets.iter().map(|&(_, n)| n).sum();
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(StreamingHistogram::bucket_representative(idx));
+            }
+        }
+        None
+    }
+
+    /// The point as a deterministic JSON object (fixed field order; empty
+    /// windows render `min`/`max` as zero).
+    pub fn to_json(&self) -> Value {
+        let buckets: Vec<Value> = self.buckets.iter().map(|&(i, n)| json!([i, n])).collect();
+        json!({
+            "start_ms": self.start_ms,
+            "sum": self.sum,
+            "count": self.count,
+            "min": if self.count == 0 { 0.0 } else { self.min },
+            "max": if self.count == 0 { 0.0 } else { self.max },
+            "buckets": buckets,
+        })
+    }
+}
+
+/// How many sealed points each resolution ring keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Sealed raw windows kept (oldest evicted first).
+    pub raw_points: usize,
+    /// Sealed minute windows kept.
+    pub minute_points: usize,
+    /// Sealed hour windows kept.
+    pub hour_points: usize,
+}
+
+impl Default for RetentionPolicy {
+    /// Two hours of 30 s raw points, a day of minutes, a week of hours.
+    fn default() -> RetentionPolicy {
+        RetentionPolicy { raw_points: 240, minute_points: 1440, hour_points: 168 }
+    }
+}
+
+/// Store-wide configuration.
+#[derive(Debug, Clone)]
+pub struct TsdbConfig {
+    /// Width of a raw window; the control loop should tick at least once
+    /// per interval. Should divide 60 s so raw windows nest into minutes.
+    pub raw_interval: SimDuration,
+    /// Ring sizes per resolution.
+    pub retention: RetentionPolicy,
+    /// Series budget for families without an explicit entry in
+    /// [`TsdbConfig::family_budgets`].
+    pub default_series_budget: usize,
+    /// Per-family series budget overrides, keyed by metric name.
+    pub family_budgets: BTreeMap<String, usize>,
+}
+
+impl Default for TsdbConfig {
+    fn default() -> TsdbConfig {
+        TsdbConfig {
+            raw_interval: SimDuration::from_secs(30),
+            retention: RetentionPolicy::default(),
+            default_series_budget: 32,
+            family_budgets: BTreeMap::new(),
+        }
+    }
+}
+
+impl TsdbConfig {
+    /// The budget for one metric family.
+    fn budget(&self, family: &str) -> usize {
+        self.family_budgets.get(family).copied().unwrap_or(self.default_series_budget)
+    }
+}
+
+/// One series' rollup state: three rings plus the open (unsealed)
+/// accumulator per resolution.
+#[derive(Debug, Clone)]
+struct SeriesStore {
+    kind: SeriesKind,
+    raw: VecDeque<RollupPoint>,
+    minute: VecDeque<RollupPoint>,
+    hour: VecDeque<RollupPoint>,
+    open_raw: Option<RollupPoint>,
+    open_minute: Option<RollupPoint>,
+    open_hour: Option<RollupPoint>,
+}
+
+impl SeriesStore {
+    fn new(kind: SeriesKind) -> SeriesStore {
+        SeriesStore {
+            kind,
+            raw: VecDeque::new(),
+            minute: VecDeque::new(),
+            hour: VecDeque::new(),
+            open_raw: None,
+            open_minute: None,
+            open_hour: None,
+        }
+    }
+
+    /// The open raw window for the tick at `now_ms`, sealing (and
+    /// cascading) any older open window first.
+    fn open_raw_at(&mut self, now_ms: u64, cfg: &TsdbConfig) -> &mut RollupPoint {
+        let interval = cfg.raw_interval.as_millis().max(1);
+        let start = now_ms - now_ms % interval;
+        if self.open_raw.as_ref().is_some_and(|p| p.start_ms != start) {
+            self.seal_raw(cfg);
+        }
+        self.open_raw.get_or_insert_with(|| RollupPoint::empty(start))
+    }
+
+    /// Seals the open raw window: pushes it into the raw ring and merges
+    /// it into the minute accumulator (sealing *that* on boundary).
+    fn seal_raw(&mut self, cfg: &TsdbConfig) {
+        let Some(point) = self.open_raw.take() else { return };
+        let minute_start = point.start_ms - point.start_ms % MINUTE_MS;
+        if self.open_minute.as_ref().is_some_and(|p| p.start_ms != minute_start) {
+            self.seal_minute(cfg);
+        }
+        self.open_minute.get_or_insert_with(|| RollupPoint::empty(minute_start)).merge(&point);
+        self.raw.push_back(point);
+        while self.raw.len() > cfg.retention.raw_points {
+            self.raw.pop_front();
+        }
+    }
+
+    /// Seals the open minute window into the minute ring and the hour
+    /// accumulator.
+    fn seal_minute(&mut self, cfg: &TsdbConfig) {
+        let Some(point) = self.open_minute.take() else { return };
+        let hour_start = point.start_ms - point.start_ms % HOUR_MS;
+        if self.open_hour.as_ref().is_some_and(|p| p.start_ms != hour_start) {
+            self.seal_hour(cfg);
+        }
+        self.open_hour.get_or_insert_with(|| RollupPoint::empty(hour_start)).merge(&point);
+        self.minute.push_back(point);
+        while self.minute.len() > cfg.retention.minute_points {
+            self.minute.pop_front();
+        }
+    }
+
+    /// Seals the open hour window into the hour ring.
+    fn seal_hour(&mut self, cfg: &TsdbConfig) {
+        let Some(point) = self.open_hour.take() else { return };
+        self.hour.push_back(point);
+        while self.hour.len() > cfg.retention.hour_points {
+            self.hour.pop_front();
+        }
+    }
+
+    /// Seals every open accumulator — end-of-run flush.
+    fn seal_all(&mut self, cfg: &TsdbConfig) {
+        self.seal_raw(cfg);
+        self.seal_minute(cfg);
+        self.seal_hour(cfg);
+    }
+
+    fn ring(&self, resolution: Resolution) -> &VecDeque<RollupPoint> {
+        match resolution {
+            Resolution::Raw => &self.raw,
+            Resolution::Minute => &self.minute,
+            Resolution::Hour => &self.hour,
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        let render =
+            |ring: &VecDeque<RollupPoint>| ring.iter().map(|p| p.to_json()).collect::<Vec<Value>>();
+        json!({
+            "kind": self.kind.label(),
+            "raw": render(&self.raw),
+            "minute": render(&self.minute),
+            "hour": render(&self.hour),
+        })
+    }
+}
+
+/// Cursor remembering the last cumulative histogram state of one registry
+/// series, for delta extraction.
+#[derive(Debug, Clone, Default)]
+struct HistCursor {
+    buckets: Vec<(u32, u64)>,
+    count: u64,
+    sum: f64,
+}
+
+/// The deterministic embedded time-series store.
+///
+/// # Examples
+///
+/// ```
+/// use evop_obs::{MetricsRegistry, Tsdb, TsdbConfig, Resolution};
+/// use evop_sim::{SimDuration, SimTime};
+///
+/// let registry = MetricsRegistry::new();
+/// let mut tsdb = Tsdb::new(TsdbConfig {
+///     raw_interval: SimDuration::from_secs(30),
+///     ..TsdbConfig::default()
+/// });
+/// for tick in 0..6u64 {
+///     registry.add_counter("requests_total", &[("route", "/models")], 5);
+///     tsdb.ingest_registry(&registry, SimTime::from_secs(tick * 30));
+/// }
+/// tsdb.finish(SimTime::from_secs(180));
+/// let minutes = tsdb.range(
+///     "requests_total",
+///     &[("route", "/models")],
+///     Resolution::Minute,
+///     SimTime::ZERO,
+///     SimTime::from_secs(180),
+/// );
+/// assert_eq!(minutes.len(), 3);
+/// assert_eq!(minutes[0].sum, 10.0); // two 30s ticks of +5
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tsdb {
+    config: TsdbConfig,
+    series: BTreeMap<SeriesKey, SeriesStore>,
+    family_counts: BTreeMap<String, usize>,
+    dropped_keys: BTreeSet<SeriesKey>,
+    last_counter: BTreeMap<SeriesKey, u64>,
+    last_hist: BTreeMap<SeriesKey, HistCursor>,
+    last_ingest_ms: u64,
+    ingests: u64,
+}
+
+impl Default for Tsdb {
+    fn default() -> Tsdb {
+        Tsdb::new(TsdbConfig::default())
+    }
+}
+
+impl Tsdb {
+    /// Creates an empty store.
+    pub fn new(config: TsdbConfig) -> Tsdb {
+        Tsdb {
+            config,
+            series: BTreeMap::new(),
+            family_counts: BTreeMap::new(),
+            dropped_keys: BTreeSet::new(),
+            last_counter: BTreeMap::new(),
+            last_hist: BTreeMap::new(),
+            last_ingest_ms: 0,
+            ingests: 0,
+        }
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &TsdbConfig {
+        &self.config
+    }
+
+    /// Routes a registry series through the cardinality governor: known
+    /// series pass through, new series are admitted while the family has
+    /// budget, and everything else collapses into the family's
+    /// `{__overflow__=1}` aggregate.
+    fn route(&mut self, key: &SeriesKey, kind: SeriesKind) -> SeriesKey {
+        if self.series.contains_key(key) {
+            return key.clone();
+        }
+        let family = key.name().to_owned();
+        let used = self.family_counts.get(family.as_str()).copied().unwrap_or(0);
+        if used < self.config.budget(&family) {
+            self.family_counts.insert(family, used + 1);
+            self.series.insert(key.clone(), SeriesStore::new(kind));
+            return key.clone();
+        }
+        if self.dropped_keys.insert(key.clone()) {
+            // First sight of an over-budget label-set: count the drop.
+            let drop_key = SeriesKey::new(SERIES_DROPPED, &[]);
+            let now_ms = self.last_ingest_ms;
+            let cfg = self.config.clone();
+            self.series
+                .entry(drop_key)
+                .or_insert_with(|| SeriesStore::new(SeriesKind::Counter))
+                .open_raw_at(now_ms, &cfg)
+                .observe(1.0);
+        }
+        let overflow = SeriesKey::new(key.name(), &[(OVERFLOW_LABEL, "1")]);
+        self.series.entry(overflow.clone()).or_insert_with(|| SeriesStore::new(kind));
+        overflow
+    }
+
+    /// Ingests one registry snapshot at virtual time `now`: counter and
+    /// histogram series contribute their increase since the previous
+    /// ingest, gauges contribute their sampled value. Call once per
+    /// control-loop tick; window sealing happens automatically when the
+    /// tick crosses a resolution boundary.
+    pub fn ingest_registry(&mut self, registry: &MetricsRegistry, now: SimTime) {
+        let now_ms = now.as_millis();
+        self.last_ingest_ms = self.last_ingest_ms.max(now_ms);
+        self.ingests += 1;
+
+        for (key, value) in registry.counter_series() {
+            let last = self.last_counter.insert(key.clone(), value).unwrap_or(0);
+            let delta = value.saturating_sub(last);
+            let routed = self.route(&key, SeriesKind::Counter);
+            let cfg = self.config.clone();
+            if let Some(store) = self.series.get_mut(&routed) {
+                store.open_raw_at(now_ms, &cfg).observe(delta as f64);
+            }
+        }
+
+        for (key, value) in registry.gauge_series() {
+            let routed = self.route(&key, SeriesKind::Gauge);
+            let cfg = self.config.clone();
+            if let Some(store) = self.series.get_mut(&routed) {
+                store.open_raw_at(now_ms, &cfg).observe(value);
+            }
+        }
+
+        for (key, hist) in registry.histogram_series() {
+            let cursor = self.last_hist.entry(key.clone()).or_default();
+            let mut deltas: Vec<(u32, u64)> = Vec::new();
+            let mut last_iter = cursor.buckets.iter().peekable();
+            for (idx, n) in hist.nonzero_buckets() {
+                let mut prev = 0;
+                while let Some(&&(last_idx, last_n)) = last_iter.peek() {
+                    if last_idx < idx {
+                        last_iter.next();
+                    } else {
+                        if last_idx == idx {
+                            prev = last_n;
+                        }
+                        break;
+                    }
+                }
+                let grew = n.saturating_sub(prev);
+                if grew > 0 {
+                    deltas.push((idx, grew));
+                }
+            }
+            let count_delta = hist.count().saturating_sub(cursor.count);
+            let sum_delta = hist.sum() - cursor.sum;
+            cursor.buckets = hist.nonzero_buckets().collect();
+            cursor.count = hist.count();
+            cursor.sum = hist.sum();
+            if count_delta == 0 {
+                continue;
+            }
+            let routed = self.route(&key, SeriesKind::Histogram);
+            let cfg = self.config.clone();
+            if let Some(store) = self.series.get_mut(&routed) {
+                store.open_raw_at(now_ms, &cfg).observe_hist_delta(&deltas, sum_delta, count_delta);
+            }
+        }
+    }
+
+    /// Seals every open window — call once at end of run so the snapshot
+    /// includes the final partial windows. `now` only advances the store's
+    /// notion of time for the snapshot header.
+    pub fn finish(&mut self, now: SimTime) {
+        self.last_ingest_ms = self.last_ingest_ms.max(now.as_millis());
+        let cfg = self.config.clone();
+        for store in self.series.values_mut() {
+            store.seal_all(&cfg);
+        }
+    }
+
+    /// Sealed points of one series whose window start lies in
+    /// `[start, end)`, oldest first. Empty when the series is unknown.
+    pub fn range(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        resolution: Resolution,
+        start: SimTime,
+        end: SimTime,
+    ) -> Vec<RollupPoint> {
+        let key = SeriesKey::new(name, labels);
+        let Some(store) = self.series.get(&key) else { return Vec::new() };
+        store
+            .ring(resolution)
+            .iter()
+            .filter(|p| p.start_ms >= start.as_millis() && p.start_ms < end.as_millis())
+            .cloned()
+            .collect()
+    }
+
+    /// Sealed points of *every* series of one family, merged per aligned
+    /// window — e.g. total submissions across all `outcome` labels,
+    /// including the overflow aggregate. Windows are returned oldest
+    /// first.
+    pub fn family_range(
+        &self,
+        name: &str,
+        resolution: Resolution,
+        start: SimTime,
+        end: SimTime,
+    ) -> Vec<RollupPoint> {
+        let mut merged: BTreeMap<u64, RollupPoint> = BTreeMap::new();
+        for (key, store) in &self.series {
+            if key.name() != name {
+                continue;
+            }
+            for point in store.ring(resolution) {
+                if point.start_ms < start.as_millis() || point.start_ms >= end.as_millis() {
+                    continue;
+                }
+                merged
+                    .entry(point.start_ms)
+                    .or_insert_with(|| RollupPoint::empty(point.start_ms))
+                    .merge(point);
+            }
+        }
+        merged.into_values().collect()
+    }
+
+    /// Number of admitted series (overflow aggregates included).
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Number of distinct label-sets collapsed into overflow aggregates.
+    pub fn series_dropped(&self) -> u64 {
+        self.dropped_keys.len() as u64
+    }
+
+    /// Admitted series keys, in key order.
+    pub fn series_keys(&self) -> Vec<SeriesKey> {
+        self.series.keys().cloned().collect()
+    }
+
+    /// The kind of one admitted series, `None` when unknown.
+    pub fn series_kind(&self, key: &SeriesKey) -> Option<SeriesKind> {
+        self.series.get(key).map(|s| s.kind)
+    }
+
+    /// Sealed points of one admitted series at a resolution (no window
+    /// filter) — what the rollup exporters iterate.
+    pub fn series_points(&self, key: &SeriesKey, resolution: Resolution) -> Vec<RollupPoint> {
+        self.series
+            .get(key)
+            .map(|s| s.ring(resolution).iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// A deterministic JSON snapshot: store stats plus every series'
+    /// sealed rings, all maps in key order. Byte-identical across
+    /// same-seed runs.
+    pub fn to_json(&self) -> Value {
+        let series: Map<String, Value> =
+            self.series.iter().map(|(k, s)| (k.render(), s.to_json())).collect();
+        json!({
+            "stats": {
+                "ingests": self.ingests,
+                "last_ingest_ms": self.last_ingest_ms,
+                "series_count": self.series_count(),
+                "series_dropped": self.series_dropped(),
+                "raw_interval_ms": self.config.raw_interval.as_millis(),
+            },
+            "series": series,
+        })
+    }
+
+    /// [`Tsdb::to_json`] rendered to one line — the byte-stable form the
+    /// golden tests pin (via a digest) and the determinism guard compares.
+    pub fn snapshot_string(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TsdbConfig {
+        TsdbConfig { raw_interval: SimDuration::from_secs(30), ..TsdbConfig::default() }
+    }
+
+    #[test]
+    fn counter_deltas_roll_into_minutes_and_hours() {
+        let registry = MetricsRegistry::new();
+        let mut tsdb = Tsdb::new(cfg());
+        // 2 virtual hours of +3/tick at 30s cadence.
+        for tick in 0..240u64 {
+            registry.add_counter("c", &[], 3);
+            tsdb.ingest_registry(&registry, SimTime::from_secs(tick * 30));
+        }
+        tsdb.finish(SimTime::from_secs(240 * 30));
+        let minutes = tsdb.range("c", &[], Resolution::Minute, SimTime::ZERO, SimTime::MAX);
+        assert_eq!(minutes.len(), 120);
+        // First minute holds ticks 0 and 1 (+3 each).
+        assert_eq!(minutes[0].sum, 6.0);
+        assert_eq!(minutes[0].count, 2);
+        let hours = tsdb.range("c", &[], Resolution::Hour, SimTime::ZERO, SimTime::MAX);
+        assert_eq!(hours.len(), 2);
+        assert_eq!(hours[0].sum, 360.0); // 120 ticks * 3
+        assert_eq!(hours[1].sum, 360.0);
+        // Total increase is conserved across resolutions (the +3 at tick 0
+        // and the final tick land in sealed windows too).
+        let raw_total: f64 = tsdb
+            .range("c", &[], Resolution::Raw, SimTime::ZERO, SimTime::MAX)
+            .iter()
+            .map(|p| p.sum)
+            .sum();
+        let minute_total: f64 = minutes.iter().map(|p| p.sum).sum();
+        assert_eq!(raw_total, minute_total);
+    }
+
+    #[test]
+    fn gauges_average_and_track_extremes() {
+        let registry = MetricsRegistry::new();
+        let mut tsdb = Tsdb::new(cfg());
+        for (tick, level) in [2.0, 6.0, 10.0, 2.0].iter().enumerate() {
+            registry.set_gauge("pool", &[], *level);
+            tsdb.ingest_registry(&registry, SimTime::from_secs(tick as u64 * 30));
+        }
+        tsdb.finish(SimTime::from_secs(120));
+        let minutes = tsdb.range("pool", &[], Resolution::Minute, SimTime::ZERO, SimTime::MAX);
+        assert_eq!(minutes.len(), 2);
+        assert_eq!(minutes[0].mean(), 4.0);
+        assert_eq!(minutes[1].min, 2.0);
+        assert_eq!(minutes[1].max, 10.0);
+    }
+
+    #[test]
+    fn histogram_deltas_preserve_counts_and_quantiles() {
+        let registry = MetricsRegistry::new();
+        let mut tsdb = Tsdb::new(cfg());
+        for tick in 0..4u64 {
+            for i in 0..25u64 {
+                registry.observe("lat", &[], (tick * 25 + i + 1) as f64);
+            }
+            tsdb.ingest_registry(&registry, SimTime::from_secs(tick * 30));
+        }
+        tsdb.finish(SimTime::from_secs(120));
+        let minutes = tsdb.range("lat", &[], Resolution::Minute, SimTime::ZERO, SimTime::MAX);
+        assert_eq!(minutes.len(), 2);
+        assert_eq!(minutes[0].count, 50);
+        assert_eq!(minutes[1].count, 50);
+        // The merged minute quantile stays within the ladder's bound.
+        let p50 = minutes[1].quantile(0.5).unwrap_or(0.0);
+        assert!((p50 / 75.0 - 1.0).abs() < 0.06, "p50 of 51..=100 ≈ 75, got {p50}");
+        assert_eq!(minutes[0].sum, (1..=50).sum::<u64>() as f64);
+    }
+
+    #[test]
+    fn retention_bounds_every_ring() {
+        let registry = MetricsRegistry::new();
+        let mut tsdb = Tsdb::new(TsdbConfig {
+            raw_interval: SimDuration::from_secs(30),
+            retention: RetentionPolicy { raw_points: 4, minute_points: 3, hour_points: 2 },
+            ..TsdbConfig::default()
+        });
+        for tick in 0..=600u64 {
+            registry.inc_counter("c", &[]);
+            tsdb.ingest_registry(&registry, SimTime::from_secs(tick * 30));
+        }
+        tsdb.finish(SimTime::from_secs(601 * 30));
+        assert_eq!(tsdb.range("c", &[], Resolution::Raw, SimTime::ZERO, SimTime::MAX).len(), 4);
+        assert_eq!(tsdb.range("c", &[], Resolution::Minute, SimTime::ZERO, SimTime::MAX).len(), 3);
+        assert_eq!(tsdb.range("c", &[], Resolution::Hour, SimTime::ZERO, SimTime::MAX).len(), 2);
+    }
+
+    #[test]
+    fn governor_collapses_over_budget_series() {
+        let registry = MetricsRegistry::new();
+        let mut tsdb = Tsdb::new(TsdbConfig {
+            raw_interval: SimDuration::from_secs(30),
+            default_series_budget: 2,
+            ..TsdbConfig::default()
+        });
+        for user in 0..5u64 {
+            registry.add_counter("req", &[("user", &user.to_string())], 10);
+        }
+        tsdb.ingest_registry(&registry, SimTime::ZERO);
+        tsdb.finish(SimTime::from_secs(60));
+        assert_eq!(tsdb.series_dropped(), 3);
+        let overflow = tsdb.range(
+            "req",
+            &[(OVERFLOW_LABEL, "1")],
+            Resolution::Raw,
+            SimTime::ZERO,
+            SimTime::MAX,
+        );
+        assert_eq!(overflow.len(), 1);
+        assert_eq!(overflow[0].sum, 30.0, "three collapsed series of +10 each");
+        // The family total is exact despite the collapse.
+        let family = tsdb.family_range("req", Resolution::Raw, SimTime::ZERO, SimTime::MAX);
+        assert_eq!(family[0].sum, 50.0);
+        // The governor's self-metric materialized.
+        let dropped = tsdb.range(SERIES_DROPPED, &[], Resolution::Raw, SimTime::ZERO, SimTime::MAX);
+        assert_eq!(dropped[0].sum, 3.0);
+    }
+
+    #[test]
+    fn family_budget_overrides_default() {
+        let registry = MetricsRegistry::new();
+        let mut budgets = BTreeMap::new();
+        budgets.insert("wide".to_owned(), 8usize);
+        let mut tsdb =
+            Tsdb::new(TsdbConfig { default_series_budget: 1, family_budgets: budgets, ..cfg() });
+        for i in 0..4u64 {
+            registry.inc_counter("wide", &[("i", &i.to_string())]);
+            registry.inc_counter("narrow", &[("i", &i.to_string())]);
+        }
+        tsdb.ingest_registry(&registry, SimTime::ZERO);
+        assert_eq!(tsdb.series_dropped(), 3, "only `narrow` overflows");
+    }
+
+    #[test]
+    fn snapshot_is_byte_stable() {
+        let build = || {
+            let registry = MetricsRegistry::new();
+            let mut tsdb = Tsdb::new(cfg());
+            for tick in 0..10u64 {
+                registry.add_counter("c", &[("k", "v")], tick);
+                registry.set_gauge("g", &[], tick as f64);
+                registry.observe("h", &[], (tick + 1) as f64);
+                tsdb.ingest_registry(&registry, SimTime::from_secs(tick * 30));
+            }
+            tsdb.finish(SimTime::from_secs(300));
+            tsdb.snapshot_string()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn range_filters_by_window_start() {
+        let registry = MetricsRegistry::new();
+        let mut tsdb = Tsdb::new(cfg());
+        for tick in 0..8u64 {
+            registry.inc_counter("c", &[]);
+            tsdb.ingest_registry(&registry, SimTime::from_secs(tick * 30));
+        }
+        tsdb.finish(SimTime::from_secs(240));
+        let window = tsdb.range(
+            "c",
+            &[],
+            Resolution::Minute,
+            SimTime::from_secs(60),
+            SimTime::from_secs(180),
+        );
+        assert_eq!(window.len(), 2);
+        assert_eq!(window[0].start_ms, 60_000);
+        assert_eq!(window[1].start_ms, 120_000);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the rollup store: merging rollup points is
+//! associative and equivalent to one big fold, sealed windows agree with
+//! a naive per-window fold over the raw samples, and identical ingest
+//! sequences produce byte-identical snapshots.
+//!
+//! Samples are integer-valued throughout: float addition is not
+//! associative, so exact equality of sums is only a fair property when
+//! every partial sum is exactly representable.
+
+use proptest::prelude::*;
+
+use evop_obs::tsdb::{Resolution, RollupPoint, Tsdb, TsdbConfig};
+use evop_obs::MetricsRegistry;
+use evop_sim::{SimDuration, SimTime};
+
+const TICK_MS: u64 = 30_000;
+const MINUTE_MS: u64 = 60_000;
+
+fn config() -> TsdbConfig {
+    TsdbConfig { raw_interval: SimDuration::from_secs(30), ..TsdbConfig::default() }
+}
+
+fn point_from(samples: &[u32]) -> RollupPoint {
+    let mut p = RollupPoint::empty(0);
+    for &s in samples {
+        p.observe(f64::from(s));
+    }
+    p
+}
+
+proptest! {
+    /// Downsampling may merge partial windows in any grouping: merging
+    /// is associative, and any merge tree equals folding every sample
+    /// into one point.
+    #[test]
+    fn merge_is_associative_and_equals_one_fold(
+        a in prop::collection::vec(0u32..1000, 0..40),
+        b in prop::collection::vec(0u32..1000, 0..40),
+        c in prop::collection::vec(0u32..1000, 0..40),
+    ) {
+        let (pa, pb, pc) = (point_from(&a), point_from(&b), point_from(&c));
+
+        let mut left = pa.clone();
+        left.merge(&pb);
+        left.merge(&pc);
+
+        let mut bc = pb.clone();
+        bc.merge(&pc);
+        let mut right = pa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &point_from(&all));
+    }
+
+    /// A gauge sampled once per tick: every sealed minute window carries
+    /// exactly the naive sum/count/min/max of the raw samples that
+    /// landed in it.
+    #[test]
+    fn gauge_windows_match_a_naive_fold(
+        samples in prop::collection::vec(0u32..1000, 1..200),
+    ) {
+        let registry = MetricsRegistry::new();
+        let mut tsdb = Tsdb::new(config());
+        for (i, &s) in samples.iter().enumerate() {
+            registry.set_gauge("load", &[], f64::from(s));
+            tsdb.ingest_registry(&registry, SimTime::from_millis((i as u64 + 1) * TICK_MS));
+        }
+        let end = SimTime::from_millis((samples.len() as u64 + 2) * TICK_MS);
+        tsdb.finish(end);
+
+        let windows = tsdb.range("load", &[], Resolution::Minute, SimTime::ZERO, end);
+        prop_assert!(!windows.is_empty());
+        let mut checked = 0usize;
+        for w in &windows {
+            // Sample i lands at (i+1)*TICK_MS; collect the ones whose
+            // timestamp opens inside this minute window.
+            let naive: Vec<f64> = samples
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| ((i as u64 + 1) * TICK_MS, f64::from(s)))
+                .filter(|&(at, _)| at >= w.start_ms && at < w.start_ms + MINUTE_MS)
+                .map(|(_, s)| s)
+                .collect();
+            prop_assert_eq!(w.count, naive.len() as u64);
+            prop_assert_eq!(w.sum, naive.iter().sum::<f64>());
+            prop_assert_eq!(w.min, naive.iter().copied().fold(f64::INFINITY, f64::min));
+            prop_assert_eq!(w.max, naive.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+            checked += naive.len();
+        }
+        // Every sample was accounted to exactly one window.
+        prop_assert_eq!(checked, samples.len());
+    }
+
+    /// A counter bumped by arbitrary per-tick increments: window sums
+    /// are the per-window increments, and the grand total across every
+    /// sealed window is exactly the cumulative counter value.
+    #[test]
+    fn counter_windows_conserve_the_cumulative_total(
+        increments in prop::collection::vec(0u64..100, 1..200),
+    ) {
+        let registry = MetricsRegistry::new();
+        let mut tsdb = Tsdb::new(config());
+        for (i, &inc) in increments.iter().enumerate() {
+            registry.add_counter("reqs", &[], inc);
+            tsdb.ingest_registry(&registry, SimTime::from_millis((i as u64 + 1) * TICK_MS));
+        }
+        let end = SimTime::from_millis((increments.len() as u64 + 2) * TICK_MS);
+        tsdb.finish(end);
+
+        for resolution in [Resolution::Raw, Resolution::Minute, Resolution::Hour] {
+            let windows = tsdb.range("reqs", &[], resolution, SimTime::ZERO, end);
+            let total: f64 = windows.iter().map(|w| w.sum).sum();
+            prop_assert_eq!(total as u64, increments.iter().sum::<u64>());
+        }
+    }
+
+    /// Replaying the same ingest sequence into two fresh stores yields
+    /// byte-identical snapshots — the determinism the goldens rely on.
+    #[test]
+    fn identical_ingest_sequences_snapshot_identically(
+        ops in prop::collection::vec((0u8..3, 1u32..1000), 1..150),
+    ) {
+        let run = || {
+            let registry = MetricsRegistry::new();
+            let mut tsdb = Tsdb::new(config());
+            for (i, &(kind, v)) in ops.iter().enumerate() {
+                match kind {
+                    0 => registry.add_counter("reqs", &[("op", "mixed")], u64::from(v)),
+                    1 => registry.set_gauge("load", &[], f64::from(v)),
+                    _ => registry.observe("latency", &[], f64::from(v)),
+                }
+                tsdb.ingest_registry(&registry, SimTime::from_millis((i as u64 + 1) * TICK_MS));
+            }
+            tsdb.finish(SimTime::from_millis((ops.len() as u64 + 2) * TICK_MS));
+            tsdb.snapshot_string()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

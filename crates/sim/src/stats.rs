@@ -310,7 +310,9 @@ impl Histogram {
         } else {
             let width = (self.hi - self.lo) / self.buckets.len() as f64;
             let idx = (((x - self.lo) / width) as usize).min(self.buckets.len() - 1);
-            self.buckets[idx] += 1;
+            if let Some(bucket) = self.buckets.get_mut(idx) {
+                *bucket += 1;
+            }
         }
     }
 
